@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: the GEV read-out percentile (paper Section 3.2 reads the
+ * estimated minimum at a "low percentile p (e.g., 1st percentile)" of
+ * the fitted distribution). This sweeps p to show the estimate moves
+ * smoothly from optimistic (deep tail) to the observed-minimum regime,
+ * while the CI width stays governed by the fit, not by p.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "stats/gev_fit.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Ablation: GEV percentile",
+        "minimum estimate vs read-out percentile of the fitted GEV");
+
+    // Per-task minima of a search with a true floor at 1000.
+    Rng rng(17);
+    std::vector<double> minima;
+    for (int t = 0; t < 150; ++t) {
+        double m = 1e18;
+        for (int i = 0; i < 60; ++i) {
+            m = std::min(m, 1000.0 + rng.exponential(0.05));
+        }
+        minima.push_back(m);
+    }
+    double observed = *std::min_element(minima.begin(), minima.end());
+    std::printf("sample: 150 per-task minima, observed min %.2f, true "
+                "floor 1000.00\n\n",
+                observed);
+    std::printf("%12s %12s %20s %10s\n", "percentile", "estimate",
+                "95% CI", "CI width");
+    for (double p : {0.001, 0.005, 0.01, 0.05, 0.10, 0.25}) {
+        stats::ExtremeEstimate est = stats::estimateMinimum(minima, p,
+                                                            0.95);
+        if (!est.ok) {
+            std::printf("%11.1f%% %12s\n", 100.0 * p, "fit failed");
+            continue;
+        }
+        std::printf("%11.1f%% %12.2f [%8.2f, %8.2f] %10.2f\n", 100.0 * p,
+                    est.value, est.lower, est.upper,
+                    est.upper - est.lower);
+    }
+    std::printf("\nExpected shape: smaller p reaches deeper below the "
+                "observed minimum toward the true floor; the CI width is "
+                "set by the fit quality and varies only mildly with p.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef APPROXHADOOP_BENCH_BENCH_UTIL_H_
+#define APPROXHADOOP_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::benchutil {
+
+/** Mean / min / max over repetitions, as the paper's range bars report. */
+struct Agg
+{
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+inline Agg
+aggregate(const std::vector<double>& values)
+{
+    Agg agg;
+    if (values.empty()) {
+        return agg;
+    }
+    agg.min = values.front();
+    agg.max = values.front();
+    for (double v : values) {
+        agg.mean += v;
+        agg.min = std::min(agg.min, v);
+        agg.max = std::max(agg.max, v);
+    }
+    agg.mean /= static_cast<double>(values.size());
+    return agg;
+}
+
+/** Prints the experiment banner (paper artifact id + description). */
+inline void
+printTitle(const char* artifact, const char* description)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s — %s\n", artifact, description);
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+/**
+ * Repetitions per configuration. The paper repeats each experiment 20
+ * times; the default here keeps full-suite wall time modest. Override
+ * with APPROX_BENCH_REPS.
+ */
+inline int
+repetitions(int fallback = 3)
+{
+    const char* env = std::getenv("APPROX_BENCH_REPS");
+    if (env != nullptr) {
+        int reps = std::atoi(env);
+        if (reps > 0) {
+            return reps;
+        }
+    }
+    return fallback;
+}
+
+}  // namespace approxhadoop::benchutil
+
+#endif  // APPROXHADOOP_BENCH_BENCH_UTIL_H_

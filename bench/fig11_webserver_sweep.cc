@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11 of the paper: web-server log processing runtime/accuracy vs
+ * sampling ratio for (a) Request Rate (stable values, tight CIs) and
+ * (b) Attack Frequencies (rare values, wide CIs). Single-wave job
+ * (80 blocks on 80 slots), so only sampling moves the runtime.
+ */
+#include "apps/webserver_apps.h"
+#include "bench_util.h"
+#include "sweep.h"
+#include "workloads/webserver_log.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 11",
+        "web-server log: runtime + error vs sampling ratio");
+
+    workloads::WebServerLogParams params;
+    params.entries_per_week = 10000;
+    auto log = workloads::makeWebServerLog(params);
+
+    std::printf("\n===== (a) Request Rate =====\n");
+    {
+        benchutil::SweepSpec spec;
+        spec.dataset = log.get();
+        spec.config =
+            apps::webServerLogConfig("RequestRate",
+                                     params.entries_per_week);
+        spec.mapper_factory = apps::WebRequestRate::mapperFactory();
+        spec.precise_reducer_factory =
+            apps::WebRequestRate::preciseReducerFactory();
+        spec.op = apps::WebRequestRate::kOp;
+        spec.dropping_ratios = {0.0};  // single wave: dropping is a no-op
+        benchutil::runRatioSweep(spec);
+    }
+
+    std::printf("\n===== (b) Attack Frequencies =====\n");
+    {
+        benchutil::SweepSpec spec;
+        spec.dataset = log.get();
+        spec.config =
+            apps::webServerLogConfig("AttackFrequencies",
+                                     params.entries_per_week);
+        spec.mapper_factory = apps::AttackFrequencies::mapperFactory();
+        spec.precise_reducer_factory =
+            apps::AttackFrequencies::preciseReducerFactory();
+        spec.op = apps::AttackFrequencies::kOp;
+        spec.dropping_ratios = {0.0};
+        benchutil::runRatioSweep(spec);
+    }
+    return 0;
+}

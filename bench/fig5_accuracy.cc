@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 5 of the paper: precise vs approximate outputs, with 95%
+ * confidence intervals, at a 1% input data sampling ratio —
+ * (a) WikiLength article-size histogram, (b) WikiPageRank top linked-to
+ * pages, (c) Project Popularity, (d) Page Popularity.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/log_apps.h"
+#include "apps/wiki_apps.h"
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/wiki_dump.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct Panel
+{
+    mr::JobResult precise;
+    mr::JobResult approx;
+};
+
+template <typename App>
+Panel
+runPanel(const hdfs::BlockDataset& data, mr::JobConfig config)
+{
+    Panel panel;
+    {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 5);
+        core::ApproxJobRunner runner(cluster, data, nn);
+        panel.precise = runner.runPrecise(config, App::mapperFactory(),
+                                          App::preciseReducerFactory());
+    }
+    {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 5);
+        core::ApproxJobRunner runner(cluster, data, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = 0.01;
+        panel.approx = runner.runAggregation(config, approx,
+                                             App::mapperFactory(), App::kOp);
+    }
+    return panel;
+}
+
+void
+printPanel(const char* title, const Panel& panel, int rows,
+           bool sort_by_value)
+{
+    std::printf("\n--- %s ---\n", title);
+    std::printf("%-16s %14s %14s %12s\n", "key", "precise", "approx",
+                "95% CI");
+    std::vector<mr::OutputRecord> ordered = panel.precise.output;
+    if (sort_by_value) {
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.value > b.value;
+                  });
+    }
+    auto approx_map = panel.approx.toMap();
+    int printed = 0;
+    int missed = 0;
+    for (const auto& rec : ordered) {
+        auto it = approx_map.find(rec.key);
+        if (printed < rows) {
+            if (it == approx_map.end()) {
+                std::printf("%-16s %14.0f %14s %12s\n", rec.key.c_str(),
+                            rec.value, "missed", "-");
+            } else {
+                std::printf("%-16s %14.0f %14.0f %11.0f\n",
+                            rec.key.c_str(), rec.value, it->second.value,
+                            it->second.errorBound());
+            }
+            ++printed;
+        }
+        if (it == approx_map.end()) {
+            ++missed;
+        }
+    }
+    mr::JobResult::HeadlineError err =
+        panel.approx.headlineErrorAgainst(panel.precise);
+    std::printf("keys: precise %zu, approx %zu (missed %d rare keys)\n",
+                panel.precise.output.size(), panel.approx.output.size(),
+                missed);
+    std::printf("worst-predicted key %s: actual %.2f%%, CI %.2f%%\n",
+                err.key.c_str(), 100.0 * err.actual_relative_error,
+                100.0 * err.bound_relative_error);
+}
+
+}  // namespace
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 5", "precise vs 1%-sampled outputs with 95% CIs");
+
+    workloads::WikiDumpParams dump_params;  // paper: 161 blocks
+    dump_params.articles_per_block = 2000;
+    auto dump = workloads::makeWikiDump(dump_params);
+
+    printPanel("(a) WikiLength: article size histogram",
+               runPanel<apps::WikiLength>(
+                   *dump, apps::WikiLength::jobConfig(2000)),
+               10, true);
+    printPanel("(b) WikiPageRank: top linked-to pages",
+               runPanel<apps::WikiPageRank>(
+                   *dump, apps::WikiPageRank::jobConfig(2000)),
+               10, true);
+
+    workloads::AccessLogParams log_params;  // paper: 744 blocks (1 week)
+    log_params.entries_per_block = 2000;
+    auto log = workloads::makeAccessLog(log_params);
+
+    printPanel("(c) Project Popularity (1 week of logs)",
+               runPanel<apps::ProjectPopularity>(
+                   *log, apps::logProcessingConfig("projpop", 2000)),
+               10, true);
+    printPanel("(d) Page Popularity (1 week of logs)",
+               runPanel<apps::PagePopularity>(
+                   *log, apps::logProcessingConfig("pagepop", 2000)),
+               10, true);
+    return 0;
+}

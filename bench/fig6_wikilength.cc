@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 6 of the paper: WikiLength performance and accuracy for
+ * different input-sampling ratios at (a) 0%, (b) 25%, (c) 50% map
+ * dropping. The reproduction targets the paper's shapes: ~21% runtime
+ * cut from sampling alone (read-dominated maps), larger cuts and wider
+ * CIs from dropping, and a <1% framework overhead.
+ */
+#include "apps/wiki_apps.h"
+#include "bench_util.h"
+#include "sweep.h"
+#include "workloads/wiki_dump.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 6",
+        "WikiLength: runtime + error vs sampling ratio at 0/25/50% "
+        "dropping");
+
+    workloads::WikiDumpParams params;  // paper: 161 blocks, 2+ waves
+    params.articles_per_block = 2000;
+    auto dump = workloads::makeWikiDump(params);
+
+    benchutil::SweepSpec spec;
+    spec.dataset = dump.get();
+    spec.config = apps::WikiLength::jobConfig(params.articles_per_block);
+    spec.mapper_factory = apps::WikiLength::mapperFactory();
+    spec.precise_reducer_factory = apps::WikiLength::preciseReducerFactory();
+    spec.op = apps::WikiLength::kOp;
+    spec.framework_overhead = 0.008;  // paper: <1% for WikiLength
+    benchutil::runRatioSweep(spec);
+    return 0;
+}

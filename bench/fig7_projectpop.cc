@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 7 of the paper: Project Popularity (one week of Wikipedia
+ * access logs, 744 blocks) — runtime and accuracy for different
+ * sampling ratios at 0/25/50% map dropping. Trends mirror Figure 6 with
+ * a larger (~12%) framework overhead.
+ */
+#include "apps/log_apps.h"
+#include "bench_util.h"
+#include "sweep.h"
+#include "workloads/access_log.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 7",
+        "Project Popularity: runtime + error vs sampling ratio at "
+        "0/25/50% dropping");
+
+    workloads::AccessLogParams params;  // 744 blocks = 1 week
+    params.entries_per_block = 1000;
+    auto log = workloads::makeAccessLog(params);
+
+    benchutil::SweepSpec spec;
+    spec.dataset = log.get();
+    spec.config =
+        apps::logProcessingConfig("ProjectPopularity",
+                                  params.entries_per_block);
+    spec.mapper_factory = apps::ProjectPopularity::mapperFactory();
+    spec.precise_reducer_factory =
+        apps::ProjectPopularity::preciseReducerFactory();
+    spec.op = apps::ProjectPopularity::kOp;
+    spec.framework_overhead = 0.12;  // paper: 12% for this app
+    benchutil::runRatioSweep(spec);
+    return 0;
+}

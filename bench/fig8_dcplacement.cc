@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 8 of the paper: DC Placement performance and accuracy as a
+ * function of the percentage of executed map tasks (the rest dropped),
+ * with a 50 ms max latency constraint. Expect the runtime cliff when an
+ * entire wave of maps is dropped (below 50% executed on a 2-wave job)
+ * and error bounds growing slowly until then.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/dc_placement_app.h"
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/dc_placement.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Figure 8",
+        "DC Placement: runtime + GEV error vs fraction of executed maps "
+        "(50ms latency)");
+
+    workloads::DCPlacementParams pp;
+    pp.max_latency_ms = 50.0;
+    pp.sa_iterations = 400;
+    auto problem = std::make_shared<const workloads::DCPlacementProblem>(pp);
+
+    const uint64_t kMaps = 80;
+    const uint64_t kSeeds = 2;
+    auto seeds = workloads::makeDCPlacementSeeds(kMaps, kSeeds, 7);
+
+    // Paper: 4 map slots per server is most efficient for this CPU-bound
+    // app -> 40 slots, so 80 maps run in exactly 2 waves.
+    sim::ClusterConfig cluster_config = sim::ClusterConfig::xeon10();
+    cluster_config.map_slots_per_server = 4;
+
+    int reps = benchutil::repetitions();
+
+    // Reference: the minimum found by the full (no dropping) execution.
+    double full_min = 0.0;
+    {
+        sim::Cluster cluster(cluster_config);
+        hdfs::NameNode nn(cluster.numServers(), 3, 70);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        core::ApproxConfig approx;
+        mr::JobResult r = runner.runExtreme(
+            apps::DCPlacementApp::jobConfig(kSeeds), approx,
+            apps::DCPlacementApp::mapperFactory(problem), true);
+        full_min = r.find(apps::DCPlacementApp::kKey)->value;
+    }
+
+    std::printf("full-execution estimated min: %.1f\n\n", full_min);
+    std::printf("%10s %22s %12s %12s\n", "executed",
+                "runtime mean[min,max]", "err vs full", "95% CI width");
+    for (double executed : {1.0, 0.875, 0.75, 0.625, 0.5, 0.375, 0.25}) {
+        std::vector<double> runtimes;
+        std::vector<double> errors;
+        std::vector<double> ci_widths;
+        for (int rep = 0; rep < reps; ++rep) {
+            sim::Cluster cluster(cluster_config);
+            hdfs::NameNode nn(cluster.numServers(), 3, 300 + rep);
+            core::ApproxJobRunner runner(cluster, *seeds, nn);
+            core::ApproxConfig approx;
+            approx.drop_ratio = 1.0 - executed;
+            mr::JobConfig config = apps::DCPlacementApp::jobConfig(kSeeds);
+            config.seed = 900 + rep;
+            mr::JobResult r = runner.runExtreme(
+                config, approx,
+                apps::DCPlacementApp::mapperFactory(problem), true);
+            runtimes.push_back(r.runtime);
+            const mr::OutputRecord* rec =
+                r.find(apps::DCPlacementApp::kKey);
+            errors.push_back(
+                100.0 * std::fabs(rec->value - full_min) / full_min);
+            double width = rec->has_bound && std::isfinite(rec->upper)
+                               ? 100.0 * (rec->upper - rec->lower) /
+                                     rec->value
+                               : -1.0;
+            ci_widths.push_back(width);
+        }
+        benchutil::Agg rt = benchutil::aggregate(runtimes);
+        benchutil::Agg err = benchutil::aggregate(errors);
+        benchutil::Agg ci = benchutil::aggregate(ci_widths);
+        std::printf("%9.1f%% %9.0fs [%4.0f,%5.0f] %10.2f%% %11.2f%%\n",
+                    100.0 * executed, rt.mean, rt.min, rt.max, err.mean,
+                    ci.mean);
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Figure 9 of the paper: the target-error mode. ApproxHadoop picks
+ * dropping/sampling ratios online to meet a user-specified error bound
+ * at 95% confidence while minimizing execution time:
+ *  (a) Project Popularity — no approximation below the feasibility
+ *      floor, sampling first, then dropping, plateauing once the target
+ *      is achieved after the first wave;
+ *  (b) Page Popularity with a 1% pilot wave;
+ *  (c) DC Placement with the GEV controller.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "apps/dc_placement_app.h"
+#include "apps/log_apps.h"
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/dc_placement.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+void
+panelA(const hdfs::BlockDataset& log, uint64_t entries)
+{
+    std::printf("\n--- (a) Project Popularity, targets 0.1%%..5%% ---\n");
+    mr::JobResult precise;
+    {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 40);
+        core::ApproxJobRunner runner(cluster, log, nn);
+        precise = runner.runPrecise(
+            apps::logProcessingConfig("pp", entries),
+            apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::preciseReducerFactory());
+    }
+    std::printf("precise runtime: %.0fs\n", precise.runtime);
+    std::printf("%8s %9s %9s %9s %11s %11s\n", "target", "runtime",
+                "dropped", "sampled", "95% CI", "actual err");
+    for (double target :
+         {0.001, 0.0025, 0.005, 0.01, 0.02, 0.05}) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 41);
+        core::ApproxJobRunner runner(cluster, log, nn);
+        core::ApproxConfig approx;
+        approx.target_relative_error = target;
+        approx.framework_overhead = 0.12;
+        mr::JobResult r = runner.runAggregation(
+            apps::logProcessingConfig("pp", entries), approx,
+            apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+        mr::JobResult::HeadlineError err = r.headlineErrorAgainst(precise);
+        std::printf("%7.2f%% %8.0fs %8.0f%% %8.0f%% %10.2f%% %10.2f%%\n",
+                    100.0 * target, r.runtime,
+                    100.0 * r.counters.droppedFraction(),
+                    100.0 * r.counters.effectiveSamplingRatio(),
+                    100.0 * err.bound_relative_error,
+                    100.0 * err.actual_relative_error);
+    }
+}
+
+void
+panelB(const hdfs::BlockDataset& log, uint64_t entries)
+{
+    std::printf("\n--- (b) Page Popularity with a 1%% pilot wave ---\n");
+    std::printf("(the paper's precise run swaps on this app; the pilot "
+                "avoids running any full wave)\n");
+    std::printf("%8s %9s %9s %9s %11s\n", "target", "runtime", "dropped",
+                "sampled", "95% CI");
+    for (double target : {0.005, 0.01, 0.02, 0.05}) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 42);
+        core::ApproxJobRunner runner(cluster, log, nn);
+        core::ApproxConfig approx;
+        approx.target_relative_error = target;
+        approx.framework_overhead = 0.12;
+        approx.pilot.enabled = true;
+        approx.pilot.maps = 80;  // one slot-width pilot
+        approx.pilot.sampling_ratio = 0.2;
+        mr::JobResult r = runner.runAggregation(
+            apps::logProcessingConfig("pagepop", entries), approx,
+            apps::PagePopularity::mapperFactory(),
+            apps::PagePopularity::kOp);
+        mr::JobResult::HeadlineError err = r.headlineErrorAgainst(r);
+        std::printf("%7.2f%% %8.0fs %8.0f%% %8.0f%% %10.2f%%\n",
+                    100.0 * target, r.runtime,
+                    100.0 * r.counters.droppedFraction(),
+                    100.0 * r.counters.effectiveSamplingRatio(),
+                    100.0 * err.bound_relative_error);
+    }
+}
+
+void
+panelC()
+{
+    std::printf("\n--- (c) DC Placement (GEV), 320 maps ---\n");
+    workloads::DCPlacementParams pp;
+    pp.max_latency_ms = 50.0;
+    pp.sa_iterations = 400;
+    auto problem =
+        std::make_shared<const workloads::DCPlacementProblem>(pp);
+    auto seeds = workloads::makeDCPlacementSeeds(320, 2, 9);
+    sim::ClusterConfig cc = sim::ClusterConfig::xeon10();
+    cc.map_slots_per_server = 4;
+
+    double full_runtime = 0.0;
+    {
+        sim::Cluster cluster(cc);
+        hdfs::NameNode nn(cluster.numServers(), 3, 43);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        core::ApproxConfig approx;
+        mr::JobResult r = runner.runExtreme(
+            apps::DCPlacementApp::jobConfig(2), approx,
+            apps::DCPlacementApp::mapperFactory(problem), true);
+        full_runtime = r.runtime;
+        std::printf("all-maps runtime: %.0fs\n", full_runtime);
+    }
+    std::printf("%8s %9s %10s %11s\n", "target", "runtime", "executed",
+                "95% CI");
+    for (double target : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10}) {
+        sim::Cluster cluster(cc);
+        hdfs::NameNode nn(cluster.numServers(), 3, 44);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        core::ApproxConfig approx;
+        approx.target_relative_error = target;
+        mr::JobResult r = runner.runExtreme(
+            apps::DCPlacementApp::jobConfig(2), approx,
+            apps::DCPlacementApp::mapperFactory(problem), true);
+        const mr::OutputRecord* rec = r.find(apps::DCPlacementApp::kKey);
+        std::printf("%7.0f%% %8.0fs %9llu %10.2f%%\n", 100.0 * target,
+                    r.runtime,
+                    static_cast<unsigned long long>(
+                        r.counters.maps_completed),
+                    100.0 * rec->relativeError());
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    benchutil::printTitle("Figure 9",
+                          "runtime + accuracy vs target error bound");
+    workloads::AccessLogParams params;
+    params.num_blocks = 744;
+    params.entries_per_block = 1000;
+    auto log = workloads::makeAccessLog(params);
+    panelA(*log, params.entries_per_block);
+    panelB(*log, params.entries_per_block);
+    panelC();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the statistics kernels on the
+ * runtime's hot paths: t critical values (with and without the memo),
+ * two-stage estimation, GEV fitting, and Zipf sampling.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "stats/gev_fit.h"
+#include "stats/student_t.h"
+#include "stats/two_stage.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+void
+BM_StudentTCritical(benchmark::State& state)
+{
+    double df = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::studentTCritical(0.95, df));
+        df += 1.0;
+        if (df > 500.0) {
+            df = 1.0;
+        }
+    }
+}
+BENCHMARK(BM_StudentTCritical);
+
+void
+BM_StudentTCriticalCached(benchmark::State& state)
+{
+    double df = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::studentTCriticalCached(0.95, df));
+        df += 1.0;
+        if (df > 500.0) {
+            df = 1.0;
+        }
+    }
+}
+BENCHMARK(BM_StudentTCriticalCached);
+
+void
+BM_TwoStageEstimate(benchmark::State& state)
+{
+    Rng rng(1);
+    std::vector<stats::ClusterSample> clusters;
+    for (int c = 0; c < state.range(0); ++c) {
+        stats::ClusterSample s;
+        s.units_total = 1000;
+        s.units_sampled = 100;
+        s.emitted = 80;
+        s.sum = rng.uniform(50.0, 150.0);
+        s.sum_squares = s.sum * 2.0;
+        clusters.push_back(s);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::TwoStageEstimator::estimateSum(
+            clusters, 2000, 0.95));
+    }
+}
+BENCHMARK(BM_TwoStageEstimate)->Arg(10)->Arg(100)->Arg(1000);
+
+void
+BM_GevFit(benchmark::State& state)
+{
+    Rng rng(2);
+    stats::GevDistribution gev(10.0, 2.0, 0.1);
+    std::vector<double> sample;
+    for (int i = 0; i < state.range(0); ++i) {
+        sample.push_back(gev.quantile(
+            std::clamp(rng.uniform(), 1e-9, 1.0 - 1e-9)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::fitGevMaxima(sample));
+    }
+}
+BENCHMARK(BM_GevFit)->Arg(30)->Arg(100)->Arg(500);
+
+void
+BM_ZipfSample(benchmark::State& state)
+{
+    ZipfDistribution zipf(state.range(0), 1.05);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000)->Arg(1000000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+#ifndef APPROXHADOOP_BENCH_SWEEP_H_
+#define APPROXHADOOP_BENCH_SWEEP_H_
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "core/sampling_reducer.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::benchutil {
+
+/**
+ * Shared harness for the Figure 6/7/11 style sweeps: runtime, actual
+ * error, and 95% CI as a function of the input sampling ratio, at fixed
+ * map dropping ratios, against the precise-runtime band.
+ */
+struct SweepSpec
+{
+    const hdfs::BlockDataset* dataset = nullptr;
+    mr::JobConfig config;
+    mr::Job::MapperFactory mapper_factory;
+    mr::Job::ReducerFactory precise_reducer_factory;
+    core::MultiStageSamplingReducer::Op op =
+        core::MultiStageSamplingReducer::Op::kCount;
+    /** Paper-reported framework overhead for the app (e.g., 0.01/0.12). */
+    double framework_overhead = 0.01;
+    std::vector<double> dropping_ratios = {0.0, 0.25, 0.5};
+    std::vector<double> sampling_ratios = {1.0, 0.5, 0.1, 0.05, 0.01};
+    sim::ClusterConfig cluster = sim::ClusterConfig::xeon10();
+};
+
+inline void
+runRatioSweep(const SweepSpec& spec)
+{
+    int reps = repetitions();
+
+    // Precise runtime band.
+    std::vector<double> precise_runtimes;
+    mr::JobResult precise;
+    for (int rep = 0; rep < reps; ++rep) {
+        sim::Cluster cluster(spec.cluster);
+        hdfs::NameNode nn(cluster.numServers(), 3, 100 + rep);
+        core::ApproxJobRunner runner(cluster, *spec.dataset, nn);
+        mr::JobConfig config = spec.config;
+        config.seed = 100 + rep;
+        precise = runner.runPrecise(config, spec.mapper_factory,
+                                    spec.precise_reducer_factory);
+        precise_runtimes.push_back(precise.runtime);
+    }
+    Agg pr = aggregate(precise_runtimes);
+    std::printf("precise runtime: %.0fs [%.0f, %.0f]  (%d reps; paper "
+                "uses 20)\n",
+                pr.mean, pr.min, pr.max, reps);
+
+    // Overhead of the approximate version without sampling/dropping.
+    {
+        sim::Cluster cluster(spec.cluster);
+        hdfs::NameNode nn(cluster.numServers(), 3, 100);
+        core::ApproxJobRunner runner(cluster, *spec.dataset, nn);
+        core::ApproxConfig approx;
+        approx.framework_overhead = spec.framework_overhead;
+        mr::JobConfig config = spec.config;
+        config.seed = 100;
+        mr::JobResult r = runner.runAggregation(
+            config, approx, spec.mapper_factory, spec.op);
+        std::printf("approx version, no sampling/dropping: %.0fs "
+                    "(overhead %.1f%%)\n",
+                    r.runtime, 100.0 * (r.runtime / pr.mean - 1.0));
+    }
+
+    for (double drop : spec.dropping_ratios) {
+        std::printf("\n-- dropping %.0f%% of maps --\n", 100.0 * drop);
+        std::printf("%9s %22s %12s %12s\n", "sampling",
+                    "runtime mean[min,max]", "actual err", "95% CI");
+        for (double sampling : spec.sampling_ratios) {
+            std::vector<double> runtimes;
+            std::vector<double> actual_errors;
+            std::vector<double> bounds;
+            for (int rep = 0; rep < reps; ++rep) {
+                sim::Cluster cluster(spec.cluster);
+                hdfs::NameNode nn(cluster.numServers(), 3, 200 + rep);
+                core::ApproxJobRunner runner(cluster, *spec.dataset, nn);
+                core::ApproxConfig approx;
+                approx.sampling_ratio = sampling;
+                approx.drop_ratio = drop;
+                approx.framework_overhead = spec.framework_overhead;
+                mr::JobConfig config = spec.config;
+                config.seed = 500 + rep * 17 +
+                              static_cast<uint64_t>(sampling * 1000);
+                mr::JobResult r = runner.runAggregation(
+                    config, approx, spec.mapper_factory, spec.op);
+                runtimes.push_back(r.runtime);
+                mr::JobResult::HeadlineError err =
+                    r.headlineErrorAgainst(precise);
+                actual_errors.push_back(100.0 *
+                                        err.actual_relative_error);
+                bounds.push_back(100.0 * err.bound_relative_error);
+            }
+            Agg rt = aggregate(runtimes);
+            Agg err = aggregate(actual_errors);
+            Agg ci = aggregate(bounds);
+            std::printf("%8.0f%% %9.0fs [%4.0f,%5.0f] %10.2f%% %11.2f%%\n",
+                        100.0 * sampling, rt.mean, rt.min, rt.max,
+                        err.mean, ci.mean);
+        }
+    }
+}
+
+}  // namespace approxhadoop::benchutil
+
+#endif  // APPROXHADOOP_BENCH_SWEEP_H_

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Table 1 of the paper: the application inventory — which approximation
+ * mechanisms each app uses (S = input sampling, D = task dropping,
+ * U = user-defined) and which error estimation applies (MS = multi-stage
+ * sampling, GEV = extreme values, U = user-defined). Each row is backed
+ * by an actual tiny run of the app in this repository.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "apps/dc_placement_app.h"
+#include "apps/frame_encoder_app.h"
+#include "apps/kmeans_app.h"
+#include "apps/log_apps.h"
+#include "apps/webserver_apps.h"
+#include "apps/wiki_apps.h"
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/dc_placement.h"
+#include "workloads/kmeans_data.h"
+#include "workloads/webserver_log.h"
+#include "workloads/wiki_dump.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+void
+row(const char* app, const char* input, const char* mechanisms,
+    const char* error, double runtime, size_t keys)
+{
+    std::printf("%-18s %-22s %-6s %-5s %9.1fs %8zu\n", app, input,
+                mechanisms, error, runtime, keys);
+}
+
+template <typename App>
+mr::JobResult
+runAggApp(const hdfs::BlockDataset& data, mr::JobConfig config)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 1);
+    core::ApproxJobRunner runner(cluster, data, nn);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = 0.25;
+    approx.drop_ratio = 0.25;
+    return runner.runAggregation(std::move(config), approx,
+                                 App::mapperFactory(), App::kOp);
+}
+
+}  // namespace
+
+int
+main()
+{
+    benchutil::printTitle(
+        "Table 1", "evaluated applications: mechanisms (S/D/U) and error "
+                   "estimation (MS/GEV/U)");
+    std::printf("%-18s %-22s %-6s %-5s %10s %8s\n", "Application",
+                "Input data", "Approx", "Err", "runtime", "keys");
+
+    // --- Wikipedia dump apps -----------------------------------------------
+    workloads::WikiDumpParams dump_params;
+    dump_params.num_blocks = 40;
+    dump_params.articles_per_block = 150;
+    auto dump = workloads::makeWikiDump(dump_params);
+    {
+        auto r = runAggApp<apps::WikiLength>(
+            *dump, apps::WikiLength::jobConfig(150));
+        row("Page Length", "Wikipedia dump", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::WikiPageRank>(
+            *dump, apps::WikiPageRank::jobConfig(150));
+        row("Page Rank", "Wikipedia dump", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+
+    // --- Wikipedia access-log apps -----------------------------------------
+    workloads::AccessLogParams log_params;
+    log_params.num_blocks = 60;
+    log_params.entries_per_block = 200;
+    auto wikilog = workloads::makeAccessLog(log_params);
+    {
+        auto r = runAggApp<apps::LogRequestRate>(
+            *wikilog, apps::logProcessingConfig("rate", 200));
+        row("Request Rate", "Wikipedia log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::ProjectPopularity>(
+            *wikilog, apps::logProcessingConfig("projpop", 200));
+        row("Project Popul.", "Wikipedia log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::PagePopularity>(
+            *wikilog, apps::logProcessingConfig("pagepop", 200));
+        row("Page Popul.", "Wikipedia log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::PageTraffic>(
+            *wikilog, apps::logProcessingConfig("traffic", 200));
+        row("Page Traffic", "Wikipedia log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+
+    // --- Departmental web-server log apps ----------------------------------
+    workloads::WebServerLogParams web_params;
+    web_params.num_weeks = 40;
+    web_params.entries_per_week = 300;
+    auto weblog = workloads::makeWebServerLog(web_params);
+    auto web_config = apps::webServerLogConfig("web", 300);
+    {
+        auto r = runAggApp<apps::TotalSize>(*weblog, web_config);
+        row("Total Size", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::RequestSize>(*weblog, web_config);
+        row("Request Size", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::WebRequestRate>(*weblog, web_config);
+        row("Request Rate", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::Clients>(*weblog, web_config);
+        row("Clients", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::ClientBrowser>(*weblog, web_config);
+        row("Client Browser", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+    {
+        auto r = runAggApp<apps::AttackFrequencies>(*weblog, web_config);
+        row("Attack Freq.", "Webserver log", "S+D", "MS", r.runtime,
+            r.output.size());
+    }
+
+    // --- DC Placement (GEV) -------------------------------------------------
+    {
+        workloads::DCPlacementParams pp;
+        pp.grid_size = 12;
+        pp.num_clients = 16;
+        pp.sa_iterations = 600;
+        auto problem =
+            std::make_shared<const workloads::DCPlacementProblem>(pp);
+        auto seeds = workloads::makeDCPlacementSeeds(40, 2, 1);
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 1);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        core::ApproxConfig approx;
+        approx.drop_ratio = 0.5;
+        auto r = runner.runExtreme(apps::DCPlacementApp::jobConfig(2),
+                                   approx,
+                                   apps::DCPlacementApp::mapperFactory(
+                                       problem),
+                                   true);
+        row("DC Placement", "US/Europe grid", "D", "GEV", r.runtime,
+            r.output.size());
+    }
+
+    // --- User-defined approximation apps ------------------------------------
+    {
+        auto frames = apps::FrameEncoderApp::makeFrames(24, 60, 1);
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 1);
+        core::ApproxJobRunner runner(cluster, *frames, nn);
+        core::ApproxConfig approx;
+        approx.user_defined_fraction = 0.5;
+        auto r = runner.runUserDefined(
+            apps::FrameEncoderApp::jobConfig(60), approx,
+            apps::FrameEncoderApp::mapperFactory(),
+            apps::FrameEncoderApp::reducerFactory());
+        row("Video Encoding", "Movie frames", "U", "U", r.runtime,
+            r.output.size());
+    }
+    {
+        workloads::KMeansDataParams kp;
+        kp.num_blocks = 12;
+        kp.points_per_block = 100;
+        auto points = workloads::makeKMeansData(kp);
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 1);
+        core::ApproxConfig approx;
+        approx.user_defined_fraction = 0.5;
+        auto result = apps::KMeansApp::run(
+            cluster, *points, nn, approx,
+            workloads::kmeansTrueCenters(kp), 3);
+        row("K-Means", "Point corpus", "U", "U", result.runtime,
+            result.centroids.size());
+    }
+
+    std::printf("\nAll 15 applications ran end to end with the listed "
+                "mechanisms.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Target-error mode end to end: Project Popularity over a week of logs
+ * with targets from 0.5% to 5%, showing how ApproxHadoop picks
+ * dropping/sampling ratios online (Figure 9(a) of the paper), plus the
+ * pilot-wave variant for Page Popularity (Figure 9(b)).
+ */
+#include <cstdio>
+
+#include "apps/log_apps.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = 744;
+    params.entries_per_block = 200;
+    auto log = workloads::makeAccessLog(params);
+
+    // Precise reference for actual-error measurement.
+    sim::Cluster c0(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn0(c0.numServers(), 3, 11);
+    core::ApproxJobRunner r0(c0, *log, nn0);
+    mr::JobResult precise = r0.runPrecise(
+        apps::logProcessingConfig("ProjectPopularity",
+                                  params.entries_per_block),
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::preciseReducerFactory());
+    std::printf("precise runtime: %.0fs\n\n", precise.runtime);
+
+    std::printf("%8s %10s %10s %10s %12s\n", "target", "runtime",
+                "dropped", "sampled", "actual err");
+    for (double target : {0.005, 0.01, 0.02, 0.05}) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 11);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+        core::ApproxConfig approx;
+        approx.target_relative_error = target;
+        mr::JobResult result = runner.runAggregation(
+            apps::logProcessingConfig("ProjectPopularity",
+                                      params.entries_per_block),
+            approx, apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+        mr::JobResult::HeadlineError err =
+            result.headlineErrorAgainst(precise);
+        std::printf("%7.1f%% %9.0fs %9.0f%% %9.0f%% %11.2f%%\n",
+                    100.0 * target, result.runtime,
+                    100.0 * result.counters.droppedFraction(),
+                    100.0 * result.counters.effectiveSamplingRatio(),
+                    100.0 * err.actual_relative_error);
+    }
+
+    // Pilot-wave variant (Page Popularity, Figure 9(b)).
+    std::printf("\nwith a 1%% pilot wave (PagePopularity, target 1%%):\n");
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 11);
+    core::ApproxJobRunner runner(cluster, *log, nn);
+    core::ApproxConfig approx;
+    approx.target_relative_error = 0.01;
+    approx.pilot.enabled = true;
+    approx.pilot.maps = 40;
+    approx.pilot.sampling_ratio = 0.01;
+    mr::JobResult result = runner.runAggregation(
+        apps::logProcessingConfig("PagePopularity",
+                                  params.entries_per_block),
+        approx, apps::PagePopularity::mapperFactory(),
+        apps::PagePopularity::kOp);
+    std::printf("runtime %.0fs, dropped %.0f%%, effective sampling %.1f%%\n",
+                result.runtime, 100.0 * result.counters.droppedFraction(),
+                100.0 * result.counters.effectiveSamplingRatio());
+    return 0;
+}

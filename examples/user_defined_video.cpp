@@ -1,0 +1,43 @@
+/**
+ * @file
+ * User-defined approximation (the paper's third mechanism): the video
+ * FrameEncoder runs a precise exhaustive motion search or a cheap
+ * diamond search per map task; ApproxHadoop mixes the two per-task.
+ * Quality (PSNR) degrades gracefully as more tasks go approximate while
+ * runtime drops.
+ */
+#include <cstdio>
+
+#include "apps/frame_encoder_app.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+
+using namespace approxhadoop;
+
+int
+main()
+{
+    auto frames = apps::FrameEncoderApp::makeFrames(160, 120, 21);
+
+    std::printf("%12s %10s %12s %12s\n", "approx frac", "runtime",
+                "avg bits", "avg PSNR");
+    for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 17);
+        core::ApproxJobRunner runner(cluster, *frames, nn);
+        core::ApproxConfig approx;
+        approx.user_defined_fraction = fraction;
+        mr::JobResult result = runner.runUserDefined(
+            apps::FrameEncoderApp::jobConfig(120), approx,
+            apps::FrameEncoderApp::mapperFactory(),
+            apps::FrameEncoderApp::reducerFactory());
+        const mr::OutputRecord* bits = result.find("bits");
+        const mr::OutputRecord* psnr = result.find("psnr");
+        std::printf("%11.0f%% %9.0fs %12.0f %11.2fdB\n", 100.0 * fraction,
+                    result.runtime, bits ? bits->value : 0.0,
+                    psnr ? psnr->value : 0.0);
+    }
+    return 0;
+}

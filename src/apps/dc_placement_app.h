@@ -1,0 +1,65 @@
+#ifndef APPROXHADOOP_APPS_DC_PLACEMENT_APP_H_
+#define APPROXHADOOP_APPS_DC_PLACEMENT_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+#include "workloads/dc_placement.h"
+
+namespace approxhadoop::apps {
+
+/**
+ * Datacenter Placement (paper Section 5.2): each map task runs
+ * independent simulated-annealing searches over the placement space and
+ * emits the minimum cost it found; the single reduce task outputs the
+ * overall minimum plus a GEV-based estimate of the achievable optimum
+ * with its confidence interval.
+ *
+ * Approximation mechanism: task dropping only (the per-task minima are
+ * already in Block Minima format, paper Section 3.2).
+ */
+class DCPlacementApp
+{
+  public:
+    /** Intermediate key under which all minima are emitted. */
+    static constexpr const char* kKey = "placement";
+
+    class Mapper : public mr::Mapper
+    {
+      public:
+        explicit Mapper(
+            std::shared_ptr<const workloads::DCPlacementProblem> problem)
+            : problem_(std::move(problem))
+        {
+        }
+
+        void map(const std::string& record, mr::MapContext& ctx) override;
+        void cleanup(mr::MapContext& ctx) override;
+
+      private:
+        std::shared_ptr<const workloads::DCPlacementProblem> problem_;
+        double best_ = 0.0;
+        bool any_ = false;
+    };
+
+    static mr::Job::MapperFactory
+    mapperFactory(std::shared_ptr<const workloads::DCPlacementProblem>
+                      problem);
+
+    static mr::Job::ReducerFactory preciseReducerFactory();
+
+    /**
+     * CPU-bound cost model: the paper runs this with 4 map slots per
+     * server (most efficient for the CPU-bound search), 80 or 320 maps.
+     *
+     * @param seeds_per_task SA searches per map task
+     */
+    static mr::JobConfig jobConfig(uint64_t seeds_per_task = 4,
+                                   uint32_t num_reducers = 1);
+};
+
+}  // namespace approxhadoop::apps
+
+#endif  // APPROXHADOOP_APPS_DC_PLACEMENT_APP_H_

@@ -1,0 +1,62 @@
+#ifndef APPROXHADOOP_APPS_FRAME_ENCODER_APP_H_
+#define APPROXHADOOP_APPS_FRAME_ENCODER_APP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/user_defined.h"
+#include "hdfs/dataset.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+
+namespace approxhadoop::apps {
+
+/**
+ * Video Encoding (paper Table 1: user-defined approximation).
+ *
+ * Each data item is one frame, described by per-macroblock complexity
+ * values. The precise map variant performs an exhaustive motion search
+ * per macroblock; the approximate variant uses a small diamond-pattern
+ * search that may settle for a slightly worse match, producing more
+ * residual bits. The job reports the encoded bit count and a PSNR-like
+ * quality metric, making the accuracy/effort trade explicit.
+ */
+class FrameEncoderApp
+{
+  public:
+    /** Macroblocks per frame. */
+    static constexpr uint32_t kMacroblocks = 64;
+    /** Candidates evaluated by the exhaustive search (15x15 window). */
+    static constexpr uint32_t kFullSearchCandidates = 225;
+    /** Candidates evaluated by the approximate diamond search. */
+    static constexpr uint32_t kDiamondCandidates = 25;
+
+    class Mapper : public core::UserDefinedApproxMapper
+    {
+      public:
+        void mapPrecise(const std::string& record,
+                        mr::MapContext& ctx) override;
+        void mapApprox(const std::string& record,
+                       mr::MapContext& ctx) override;
+
+      private:
+        /** Encodes one frame with the given search breadth. */
+        void encode(const std::string& record, mr::MapContext& ctx,
+                    uint32_t candidates);
+    };
+
+    /** Synthetic frame dataset (one movie of num_blocks GOPs). */
+    static std::unique_ptr<hdfs::BlockDataset>
+    makeFrames(uint64_t num_blocks, uint64_t frames_per_block,
+               uint64_t seed);
+
+    static mr::Job::MapperFactory mapperFactory();
+    static mr::Job::ReducerFactory reducerFactory();
+    static mr::JobConfig jobConfig(uint64_t frames_per_block = 120,
+                                   uint32_t num_reducers = 1);
+};
+
+}  // namespace approxhadoop::apps
+
+#endif  // APPROXHADOOP_APPS_FRAME_ENCODER_APP_H_

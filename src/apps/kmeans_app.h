@@ -1,0 +1,96 @@
+#ifndef APPROXHADOOP_APPS_KMEANS_APP_H_
+#define APPROXHADOOP_APPS_KMEANS_APP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/approx_config.h"
+#include "core/user_defined.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::apps {
+
+/**
+ * K-Means clustering (paper Table 1: user-defined approximation).
+ *
+ * One MapReduce job per Lloyd iteration: the map phase assigns each
+ * point to its nearest centroid and emits per-centroid coordinate sums
+ * and counts; the reduce phase sums them and the driver recomputes the
+ * centroids. The user-defined approximate map variant computes nearest
+ * centroids on a prefix of the dimensions — cheaper and usually, but
+ * not provably, equivalent. The job also emits a user-defined quality
+ * metric (the sum of squared distances) so accuracy loss is observable.
+ */
+class KMeansApp
+{
+  public:
+    using Centroids = std::vector<std::vector<double>>;
+
+    class Mapper : public core::UserDefinedApproxMapper
+    {
+      public:
+        /**
+         * @param centroids   current centroids (shared, read-only)
+         * @param approx_dims dimensions used by the approximate variant
+         */
+        Mapper(std::shared_ptr<const Centroids> centroids,
+               uint32_t approx_dims)
+            : centroids_(std::move(centroids)), approx_dims_(approx_dims)
+        {
+        }
+
+        void mapPrecise(const std::string& record,
+                        mr::MapContext& ctx) override;
+        void mapApprox(const std::string& record,
+                       mr::MapContext& ctx) override;
+
+      private:
+        /** Assignment using the first @p dims dimensions. */
+        void assign(const std::string& record, mr::MapContext& ctx,
+                    uint32_t dims);
+
+        std::shared_ptr<const Centroids> centroids_;
+        uint32_t approx_dims_;
+    };
+
+    /** Result of a full K-Means run. */
+    struct Result
+    {
+        Centroids centroids;
+        /** Final sum of squared distances (user-defined quality). */
+        double sse = 0.0;
+        /** Total simulated runtime across iterations, seconds. */
+        double runtime = 0.0;
+        double energy_wh = 0.0;
+        int iterations = 0;
+    };
+
+    /**
+     * Runs Lloyd iterations as a sequence of MapReduce jobs.
+     *
+     * @param cluster    simulated cluster
+     * @param dataset    point dataset (workloads::makeKMeansData)
+     * @param namenode   block-location service
+     * @param approx     approximation policy (user_defined_fraction,
+     *                   sampling/dropping)
+     * @param initial    starting centroids
+     * @param iterations Lloyd iterations to run
+     */
+    static Result run(sim::Cluster& cluster,
+                      const hdfs::BlockDataset& dataset,
+                      hdfs::NameNode& namenode,
+                      const core::ApproxConfig& approx, Centroids initial,
+                      int iterations);
+
+    static mr::JobConfig jobConfig(uint64_t points_per_block = 300,
+                                   uint32_t num_reducers = 1);
+};
+
+}  // namespace approxhadoop::apps
+
+#endif  // APPROXHADOOP_APPS_KMEANS_APP_H_

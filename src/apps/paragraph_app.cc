@@ -1,0 +1,99 @@
+#include "apps/paragraph_app.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "workloads/wiki_dump.h"
+
+namespace approxhadoop::apps {
+
+uint64_t
+ParagraphAverage::paragraphCount(uint64_t size_bytes)
+{
+    return size_bytes / kBytesPerParagraph + 1;
+}
+
+uint64_t
+ParagraphAverage::occurrences(uint64_t article_id, uint64_t paragraph)
+{
+    // 0..4 occurrences, heavier on 0/1, deterministic in (page, para).
+    uint64_t h = splitmix64(article_id * 2654435761ULL + paragraph);
+    uint64_t r = h % 16;
+    if (r < 8) {
+        return 0;
+    }
+    if (r < 13) {
+        return 1;
+    }
+    if (r < 15) {
+        return 2;
+    }
+    return 3;
+}
+
+void
+ParagraphAverage::Mapper::map(const std::string& record,
+                              mr::MapContext& ctx)
+{
+    // Record format comes from workloads::makeWikiDump: "aID\tsize\t...".
+    uint64_t article_id = std::strtoull(record.c_str() + 1, nullptr, 10);
+    uint64_t size = workloads::wikiArticleSize(record);
+    uint64_t paragraphs = paragraphCount(size);
+    uint64_t scanned = std::min(paragraphs, paragraphs_scanned_);
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (uint64_t p = 0; p < scanned; ++p) {
+        double occ = static_cast<double>(occurrences(article_id, p));
+        sum += occ;
+        sum_sq += occ * occ;
+    }
+    core::ThreeStageEmitter::emitUnit(ctx, kKey, paragraphs, scanned, sum,
+                                      sum_sq);
+}
+
+mr::Job::MapperFactory
+ParagraphAverage::mapperFactory(uint64_t scanned)
+{
+    return [scanned] { return std::make_unique<Mapper>(scanned); };
+}
+
+mr::JobConfig
+ParagraphAverage::jobConfig(uint64_t items_per_block, uint32_t num_reducers)
+{
+    mr::JobConfig config;
+    config.name = "ParagraphAverage";
+    config.num_reducers = num_reducers;
+    double scale = 400.0 / static_cast<double>(items_per_block);
+    config.map_cost.t0 = 1.2;
+    config.map_cost.t_read = 0.10 * scale;
+    config.map_cost.t_process = 0.06 * scale;
+    config.map_cost.noise_sigma = 0.03;
+    config.reduce_cost.t0 = 1.0;
+    config.reduce_cost.t_record = 2e-5;
+    return config;
+}
+
+double
+ParagraphAverage::exactAverage(const hdfs::BlockDataset& dataset)
+{
+    double total = 0.0;
+    double paragraphs = 0.0;
+    for (uint64_t b = 0; b < dataset.numBlocks(); ++b) {
+        for (uint64_t i = 0; i < dataset.itemsInBlock(b); ++i) {
+            std::string record = dataset.item(b, i);
+            uint64_t article_id =
+                std::strtoull(record.c_str() + 1, nullptr, 10);
+            uint64_t count =
+                paragraphCount(workloads::wikiArticleSize(record));
+            for (uint64_t p = 0; p < count; ++p) {
+                total += static_cast<double>(occurrences(article_id, p));
+            }
+            paragraphs += static_cast<double>(count);
+        }
+    }
+    return total / paragraphs;
+}
+
+}  // namespace approxhadoop::apps

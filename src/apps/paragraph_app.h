@@ -1,0 +1,72 @@
+#ifndef APPROXHADOOP_APPS_PARAGRAPH_APP_H_
+#define APPROXHADOOP_APPS_PARAGRAPH_APP_H_
+
+#include <string>
+
+#include "core/three_stage_reducer.h"
+#include "hdfs/dataset.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+
+namespace approxhadoop::apps {
+
+/**
+ * Three-stage sampling demo app, directly from the paper's Section 3.1
+ * example: compute the average number of occurrences of a term per
+ * *paragraph*, where each input data item is a whole page. The
+ * population units are the intermediate pairs (paragraphs), not the
+ * pages, so the programmer explicitly opts into the third sampling
+ * stage: each map pre-aggregates the paragraphs it actually scanned and
+ * emits one unit record per page via ThreeStageEmitter.
+ *
+ * Pages derive their paragraph count from the article size; per-
+ * paragraph occurrence counts are synthesized deterministically from
+ * (page, paragraph) so precise and sampled runs observe identical data.
+ */
+class ParagraphAverage
+{
+  public:
+    /** Term whose per-paragraph frequency is estimated. */
+    static constexpr const char* kKey = "occurrences_per_paragraph";
+
+    /** Bytes of article per paragraph (defines K_ij from the size). */
+    static constexpr uint64_t kBytesPerParagraph = 400;
+
+    class Mapper : public mr::Mapper
+    {
+      public:
+        /**
+         * @param paragraphs_scanned max paragraphs examined per page
+         *        (the third-stage sample size k_ij)
+         */
+        explicit Mapper(uint64_t paragraphs_scanned = 8)
+            : paragraphs_scanned_(paragraphs_scanned)
+        {
+        }
+
+        void map(const std::string& record, mr::MapContext& ctx) override;
+
+      private:
+        uint64_t paragraphs_scanned_;
+    };
+
+    /** Deterministic occurrence count for (article, paragraph). */
+    static uint64_t occurrences(uint64_t article_id, uint64_t paragraph);
+
+    /** Paragraphs in an article of the given size. */
+    static uint64_t paragraphCount(uint64_t size_bytes);
+
+    static mr::Job::MapperFactory mapperFactory(uint64_t scanned = 8);
+    static mr::JobConfig jobConfig(uint64_t items_per_block = 400,
+                                   uint32_t num_reducers = 1);
+
+    /**
+     * Exact average over the whole dataset (all pages, all paragraphs);
+     * used by tests and benches as ground truth.
+     */
+    static double exactAverage(const hdfs::BlockDataset& dataset);
+};
+
+}  // namespace approxhadoop::apps
+
+#endif  // APPROXHADOOP_APPS_PARAGRAPH_APP_H_

@@ -1,0 +1,39 @@
+#include "common/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace approxhadoop {
+
+Histogram::Histogram(double bin_width) : bin_width_(bin_width)
+{
+    assert(bin_width > 0.0);
+}
+
+void
+Histogram::add(double value)
+{
+    ++bins_[binIndex(value)];
+    ++total_;
+}
+
+int64_t
+Histogram::binIndex(double value) const
+{
+    return static_cast<int64_t>(std::floor(value / bin_width_));
+}
+
+double
+Histogram::binLowerEdge(int64_t index) const
+{
+    return static_cast<double>(index) * bin_width_;
+}
+
+uint64_t
+Histogram::count(int64_t index) const
+{
+    auto it = bins_.find(index);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+}  // namespace approxhadoop

@@ -1,0 +1,50 @@
+#ifndef APPROXHADOOP_COMMON_HISTOGRAM_H_
+#define APPROXHADOOP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace approxhadoop {
+
+/**
+ * Fixed-width binning helper.
+ *
+ * WikiLength and several benchmarks bucket values (e.g., article sizes)
+ * into bins and count occurrences; this class centralizes the bin math so
+ * the precise and approximate code paths agree on bin labels.
+ */
+class Histogram
+{
+  public:
+    /** @param bin_width width of each bin (must be > 0) */
+    explicit Histogram(double bin_width);
+
+    /** Adds one observation. */
+    void add(double value);
+
+    /** Returns the bin index for @p value. */
+    int64_t binIndex(double value) const;
+
+    /** Returns the inclusive lower edge of bin @p index. */
+    double binLowerEdge(int64_t index) const;
+
+    /** Returns the count in bin @p index (0 if empty). */
+    uint64_t count(int64_t index) const;
+
+    /** Returns all non-empty bins sorted by index. */
+    const std::map<int64_t, uint64_t>& bins() const { return bins_; }
+
+    /** Total number of observations. */
+    uint64_t total() const { return total_; }
+
+  private:
+    double bin_width_;
+    uint64_t total_ = 0;
+    std::map<int64_t, uint64_t> bins_;
+};
+
+}  // namespace approxhadoop
+
+#endif  // APPROXHADOOP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,25 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace approxhadoop {
+
+Logger&
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string& tag, const std::string& msg)
+{
+    if (level < level_) {
+        return;
+    }
+    static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::fprintf(stderr, "[%s] %s: %s\n",
+                 kNames[static_cast<int>(level)], tag.c_str(), msg.c_str());
+}
+
+}  // namespace approxhadoop

@@ -1,0 +1,77 @@
+#ifndef APPROXHADOOP_COMMON_LOGGING_H_
+#define APPROXHADOOP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace approxhadoop {
+
+/** Severity levels for the framework logger. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/**
+ * Minimal leveled logger used throughout the framework.
+ *
+ * The logger writes to stderr and is intentionally not thread-safe: the
+ * simulator is single-threaded by design (see src/sim/event_queue.h).
+ * Benchmarks silence it by raising the level to kError.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger instance. */
+    static Logger& instance();
+
+    /** Sets the minimum severity that will be emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Returns the current minimum severity. */
+    LogLevel level() const { return level_; }
+
+    /**
+     * Emits one log line if @p level passes the configured threshold.
+     *
+     * @param level severity of the message
+     * @param tag   short subsystem tag (e.g., "jobtracker")
+     * @param msg   preformatted message body
+     */
+    void log(LogLevel level, const std::string& tag, const std::string& msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::kWarn;
+};
+
+/** Stream-style helper: LOG_STREAM(kInfo, "tag") << "message"; */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, std::string tag)
+        : level_(level), tag_(std::move(tag)) {}
+
+    ~LogStream() { Logger::instance().log(level_, tag_, out_.str()); }
+
+    template <typename T>
+    LogStream&
+    operator<<(const T& value)
+    {
+        out_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string tag_;
+    std::ostringstream out_;
+};
+
+}  // namespace approxhadoop
+
+#define AH_LOG(level, tag) ::approxhadoop::LogStream((level), (tag))
+#define AH_DEBUG(tag) AH_LOG(::approxhadoop::LogLevel::kDebug, (tag))
+#define AH_INFO(tag) AH_LOG(::approxhadoop::LogLevel::kInfo, (tag))
+#define AH_WARN(tag) AH_LOG(::approxhadoop::LogLevel::kWarn, (tag))
+#define AH_ERROR(tag) AH_LOG(::approxhadoop::LogLevel::kError, (tag))
+
+#endif  // APPROXHADOOP_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace approxhadoop {
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) : engine_(splitmix64(seed)) {}
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    assert(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return uniform() < p;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    return std::exponential_distribution<double>(rate)(engine_);
+}
+
+Rng
+Rng::derive(uint64_t stream)
+{
+    uint64_t base = engine_();
+    return Rng(splitmix64(base ^ splitmix64(stream)));
+}
+
+std::vector<uint64_t>
+Rng::sampleWithoutReplacement(uint64_t n, uint64_t k)
+{
+    assert(k <= n);
+    // Floyd's algorithm: k iterations, each adding exactly one new element.
+    std::unordered_set<uint64_t> chosen;
+    std::vector<uint64_t> result;
+    result.reserve(k);
+    for (uint64_t j = n - k; j < n; ++j) {
+        uint64_t t = uniformInt(j + 1);
+        if (chosen.count(t)) {
+            t = j;
+        }
+        chosen.insert(t);
+        result.push_back(t);
+    }
+    return result;
+}
+
+}  // namespace approxhadoop

@@ -1,0 +1,83 @@
+#ifndef APPROXHADOOP_COMMON_RANDOM_H_
+#define APPROXHADOOP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace approxhadoop {
+
+/**
+ * Deterministic random source used everywhere in the framework.
+ *
+ * Wraps a 64-bit Mersenne Twister with the handful of draws the framework
+ * needs. Every component that needs randomness receives (or derives) an
+ * explicit Rng so that whole experiments are reproducible from a single
+ * seed. Use derive() to split independent streams (e.g., one per map task)
+ * without correlated sequences.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from an explicit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Returns a uniformly distributed double in [0, 1). */
+    double uniform();
+
+    /** Returns a uniformly distributed double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Returns a uniformly distributed integer in [0, n). @pre n > 0 */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Returns true with probability @p p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /** Returns a normal deviate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /** Returns a lognormal deviate with the given log-space parameters. */
+    double lognormal(double mu, double sigma);
+
+    /** Returns an exponential deviate with the given rate. */
+    double exponential(double rate);
+
+    /**
+     * Derives an independent child generator.
+     *
+     * @param stream distinguishes sibling children derived from the same
+     *               parent (e.g., a task index)
+     */
+    Rng derive(uint64_t stream);
+
+    /**
+     * Samples @p k distinct indices uniformly from [0, n) in O(k) expected
+     * time (Floyd's algorithm). The result is not sorted.
+     */
+    std::vector<uint64_t> sampleWithoutReplacement(uint64_t n, uint64_t k);
+
+    /** Shuffles @p values in place (Fisher-Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& values)
+    {
+        for (size_t i = values.size(); i > 1; --i) {
+            size_t j = uniformInt(i);
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+    /** Exposes the underlying engine for use with std distributions. */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/** SplitMix64 step; used for cheap per-item hashing/seeding. */
+uint64_t splitmix64(uint64_t x);
+
+}  // namespace approxhadoop
+
+#endif  // APPROXHADOOP_COMMON_RANDOM_H_

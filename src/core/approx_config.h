@@ -1,0 +1,95 @@
+#ifndef APPROXHADOOP_CORE_APPROX_CONFIG_H_
+#define APPROXHADOOP_CORE_APPROX_CONFIG_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace approxhadoop::core {
+
+/**
+ * Approximation policy for one job, mirroring the two job-submission
+ * modes of the paper (Section 4.2):
+ *
+ *  1. *User-specified ratios*: set sampling_ratio and/or drop_ratio; the
+ *     runtime applies them and still computes error bounds.
+ *  2. *Target error bound*: set target_relative_error (or
+ *     target_absolute_error) and the runtime chooses dropping/sampling
+ *     ratios online to meet the bound while minimizing execution time.
+ */
+struct ApproxConfig
+{
+    /** Input data sampling ratio in (0, 1]; 1.0 disables sampling. */
+    double sampling_ratio = 1.0;
+
+    /** Fraction of map tasks to drop up front; 0 disables dropping. */
+    double drop_ratio = 0.0;
+
+    /**
+     * Target maximum relative error for any intermediate key, measured
+     * on the key with the largest predicted absolute error (e.g., 0.01
+     * for +/-1%). Mutually exclusive with target_absolute_error.
+     */
+    std::optional<double> target_relative_error;
+
+    /** Target maximum absolute error for any intermediate key. */
+    std::optional<double> target_absolute_error;
+
+    /** Confidence level for all error bounds (paper uses 95%). */
+    double confidence = 0.95;
+
+    /**
+     * Percentile at which extreme-value estimates are read from the
+     * fitted GEV distribution (paper Section 3.2 suggests the 1st).
+     */
+    double extreme_percentile = 0.01;
+
+    /** Completed clusters required before the controller acts. */
+    uint64_t min_clusters_for_decision = 2;
+
+    /**
+     * Re-evaluate the target-error decision every this many map
+     * completions. 0 = auto: max(1, num_maps / 200), which keeps the
+     * controller overhead negligible even for 37k-map jobs while still
+     * reacting within a fraction of a wave.
+     */
+    uint64_t decision_interval = 0;
+
+    /** Completed maps required before a GEV fit is attempted. */
+    uint64_t min_maps_for_extreme = 8;
+
+    /** Pilot-wave settings (paper Section 4.4, last paragraph). */
+    struct Pilot
+    {
+        bool enabled = false;
+        /** Map tasks in the pilot wave. */
+        uint64_t maps = 8;
+        /** Sampling ratio the pilot runs at (e.g., 1%). */
+        double sampling_ratio = 0.01;
+    };
+    Pilot pilot;
+
+    /**
+     * Fraction of map tasks that run the user-defined approximate map
+     * variant (third mechanism; see core/user_defined.h).
+     */
+    double user_defined_fraction = 0.0;
+
+    /**
+     * Per-task overhead of the approximation machinery, applied whenever
+     * an approximation-enabled job runs. The paper measures <1% to 12%
+     * depending on the application.
+     */
+    double framework_overhead = 0.01;
+
+    /** True when a target-error mode is configured. */
+    bool
+    hasTarget() const
+    {
+        return target_relative_error.has_value() ||
+               target_absolute_error.has_value();
+    }
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_APPROX_CONFIG_H_

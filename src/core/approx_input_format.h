@@ -1,0 +1,38 @@
+#ifndef APPROXHADOOP_CORE_APPROX_INPUT_FORMAT_H_
+#define APPROXHADOOP_CORE_APPROX_INPUT_FORMAT_H_
+
+#include "mapreduce/input_format.h"
+
+namespace approxhadoop::core {
+
+/**
+ * ApproxHadoop's sampling input format (paper Section 4.3).
+ *
+ * Like Hadoop's TextInputFormat it yields one data item per "line" of
+ * the block, but instead of returning all items it returns a uniform
+ * random subset of size round(ratio * M_i), sampled without replacement.
+ * This is the within-cluster stage of the two-stage sampling design.
+ */
+class ApproxTextInputFormat : public mr::InputFormat
+{
+  public:
+    /**
+     * @param min_items floor on the sample size so blocks never go
+     *                  entirely unobserved (the estimator needs m_i >= 1)
+     */
+    explicit ApproxTextInputFormat(uint64_t min_items = 1)
+        : min_items_(min_items)
+    {
+    }
+
+    std::vector<uint64_t> select(uint64_t block, uint64_t block_items,
+                                 double sampling_ratio,
+                                 Rng& rng) const override;
+
+  private:
+    uint64_t min_items_;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_APPROX_INPUT_FORMAT_H_

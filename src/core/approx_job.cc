@@ -1,0 +1,205 @@
+#include "core/approx_job.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/approx_input_format.h"
+#include "core/extreme_target_controller.h"
+#include "core/ratio_controller.h"
+#include "core/target_error_controller.h"
+
+namespace approxhadoop::core {
+
+ApproxJobRunner::ApproxJobRunner(sim::Cluster& cluster,
+                                 const hdfs::BlockDataset& dataset,
+                                 hdfs::NameNode& namenode)
+    : cluster_(cluster), dataset_(dataset), namenode_(namenode)
+{
+}
+
+template <typename ReducerT>
+mr::Job::ReducerFactory
+ApproxJobRunner::makeSharedFactory(
+    std::shared_ptr<std::vector<std::unique_ptr<ReducerT>>> pool)
+{
+    auto next = std::make_shared<size_t>(0);
+    return [pool, next]() -> std::unique_ptr<mr::Reducer> {
+        if (*next >= pool->size()) {
+            throw std::logic_error("reducer pool exhausted");
+        }
+        return std::move((*pool)[(*next)++]);
+    };
+}
+
+mr::JobResult
+ApproxJobRunner::runAggregation(mr::JobConfig config,
+                                const ApproxConfig& approx,
+                                mr::Job::MapperFactory mapper_factory,
+                                MultiStageSamplingReducer::Op op,
+                                bool use_moments_combiner)
+{
+    if (use_moments_combiner &&
+        op != MultiStageSamplingReducer::Op::kSum &&
+        op != MultiStageSamplingReducer::Op::kCount) {
+        throw std::invalid_argument(
+            "MomentsCombiner is only sound for sum/count reductions");
+    }
+    last_target_achieved_ = false;
+    config.framework_overhead = approx.framework_overhead;
+
+    // Pre-create the reducers so the controller can watch their live
+    // error estimates (the JobTracker error-collection role).
+    auto pool = std::make_shared<
+        std::vector<std::unique_ptr<MultiStageSamplingReducer>>>();
+    std::vector<MultiStageSamplingReducer*> raw;
+    for (uint32_t r = 0; r < config.num_reducers; ++r) {
+        pool->push_back(std::make_unique<MultiStageSamplingReducer>(
+            op, approx.confidence));
+        raw.push_back(pool->back().get());
+    }
+
+    mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setMapperFactory(std::move(mapper_factory));
+    job.setReducerFactory(makeSharedFactory(pool));
+    job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
+    job.setInitialApproximateFraction(approx.user_defined_fraction);
+    if (use_moments_combiner) {
+        job.setCombiner(std::make_shared<mr::MomentsCombiner>());
+    }
+
+    std::unique_ptr<mr::JobController> controller;
+    if (approx.hasTarget()) {
+        // Target mode: the first wave (or the pilot) runs precise and the
+        // controller takes over from there.
+        controller =
+            std::make_unique<TargetErrorController>(approx, raw);
+        job.setController(controller.get());
+    } else {
+        job.setInitialSamplingRatio(approx.sampling_ratio);
+        if (approx.drop_ratio > 0.0) {
+            controller =
+                std::make_unique<UserRatioController>(approx.drop_ratio);
+            job.setController(controller.get());
+        }
+    }
+
+    mr::JobResult result = job.run();
+    if (auto* target =
+            dynamic_cast<TargetErrorController*>(controller.get())) {
+        last_target_achieved_ = target->targetAchieved();
+    }
+    return result;
+}
+
+mr::JobResult
+ApproxJobRunner::runThreeStageAggregation(
+    mr::JobConfig config, const ApproxConfig& approx,
+    mr::Job::MapperFactory mapper_factory,
+    ThreeStageSamplingReducer::Op op)
+{
+    last_target_achieved_ = false;
+    config.framework_overhead = approx.framework_overhead;
+
+    auto pool = std::make_shared<
+        std::vector<std::unique_ptr<ThreeStageSamplingReducer>>>();
+    for (uint32_t r = 0; r < config.num_reducers; ++r) {
+        pool->push_back(std::make_unique<ThreeStageSamplingReducer>(
+            op, approx.confidence));
+    }
+
+    mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setMapperFactory(std::move(mapper_factory));
+    job.setReducerFactory(makeSharedFactory(pool));
+    job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
+    job.setInitialSamplingRatio(approx.sampling_ratio);
+
+    std::unique_ptr<mr::JobController> controller;
+    if (approx.drop_ratio > 0.0) {
+        controller =
+            std::make_unique<UserRatioController>(approx.drop_ratio);
+        job.setController(controller.get());
+    }
+    return job.run();
+}
+
+mr::JobResult
+ApproxJobRunner::runExtreme(mr::JobConfig config, const ApproxConfig& approx,
+                            mr::Job::MapperFactory mapper_factory,
+                            bool minimum, bool values_are_extremes)
+{
+    last_target_achieved_ = false;
+    config.framework_overhead = approx.framework_overhead;
+
+    auto pool = std::make_shared<
+        std::vector<std::unique_ptr<ApproxExtremeReducer>>>();
+    std::vector<ApproxExtremeReducer*> raw;
+    for (uint32_t r = 0; r < config.num_reducers; ++r) {
+        pool->push_back(std::make_unique<ApproxExtremeReducer>(
+            minimum, approx.extreme_percentile, approx.confidence,
+            values_are_extremes));
+        raw.push_back(pool->back().get());
+    }
+
+    mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setMapperFactory(std::move(mapper_factory));
+    job.setReducerFactory(makeSharedFactory(pool));
+    // Extreme-value jobs approximate by dropping tasks only; sampling
+    // within a block would bias the per-task extreme.
+    job.setInitialApproximateFraction(approx.user_defined_fraction);
+
+    std::unique_ptr<mr::JobController> controller;
+    if (approx.hasTarget()) {
+        controller =
+            std::make_unique<ExtremeTargetController>(approx, raw);
+        job.setController(controller.get());
+    } else if (approx.drop_ratio > 0.0) {
+        controller =
+            std::make_unique<UserRatioController>(approx.drop_ratio);
+        job.setController(controller.get());
+    }
+
+    mr::JobResult result = job.run();
+    if (auto* target =
+            dynamic_cast<ExtremeTargetController*>(controller.get())) {
+        last_target_achieved_ = target->targetAchieved();
+    }
+    return result;
+}
+
+mr::JobResult
+ApproxJobRunner::runUserDefined(mr::JobConfig config,
+                                const ApproxConfig& approx,
+                                mr::Job::MapperFactory mapper_factory,
+                                mr::Job::ReducerFactory reducer_factory)
+{
+    last_target_achieved_ = false;
+    config.framework_overhead = approx.framework_overhead;
+
+    mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setMapperFactory(std::move(mapper_factory));
+    job.setReducerFactory(std::move(reducer_factory));
+    job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
+    job.setInitialSamplingRatio(approx.sampling_ratio);
+    job.setInitialApproximateFraction(approx.user_defined_fraction);
+
+    std::unique_ptr<mr::JobController> controller;
+    if (approx.drop_ratio > 0.0) {
+        controller =
+            std::make_unique<UserRatioController>(approx.drop_ratio);
+        job.setController(controller.get());
+    }
+    return job.run();
+}
+
+mr::JobResult
+ApproxJobRunner::runPrecise(mr::JobConfig config,
+                            mr::Job::MapperFactory mapper_factory,
+                            mr::Job::ReducerFactory reducer_factory)
+{
+    mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setMapperFactory(std::move(mapper_factory));
+    job.setReducerFactory(std::move(reducer_factory));
+    return job.run();
+}
+
+}  // namespace approxhadoop::core

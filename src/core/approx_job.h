@@ -1,0 +1,106 @@
+#ifndef APPROXHADOOP_CORE_APPROX_JOB_H_
+#define APPROXHADOOP_CORE_APPROX_JOB_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/approx_config.h"
+#include "core/extreme_reducer.h"
+#include "core/sampling_reducer.h"
+#include "core/three_stage_reducer.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::core {
+
+/**
+ * High-level entry point: assembles and runs approximation-enabled jobs.
+ *
+ * This is the analogue of the ApproxHadoop client interface — given a
+ * mapper and a reduce operation it wires up the sampling input format,
+ * the error-bounding reducers, and the controller matching the
+ * ApproxConfig (user-specified ratios vs. target error bound), then runs
+ * the job on the simulated cluster.
+ */
+class ApproxJobRunner
+{
+  public:
+    ApproxJobRunner(sim::Cluster& cluster, const hdfs::BlockDataset& dataset,
+                    hdfs::NameNode& namenode);
+
+    /**
+     * Runs an aggregation job (sum/count/average/ratio) with multi-stage
+     * sampling error bounds.
+     *
+     * @param use_moments_combiner install the map-side MomentsCombiner
+     *        (sound for kSum/kCount only); cuts shuffle volume without
+     *        changing any estimate or bound
+     */
+    mr::JobResult runAggregation(mr::JobConfig config,
+                                 const ApproxConfig& approx,
+                                 mr::Job::MapperFactory mapper_factory,
+                                 MultiStageSamplingReducer::Op op,
+                                 bool use_moments_combiner = false);
+
+    /**
+     * Runs a three-stage sampling aggregation: population units are the
+     * intermediate pairs the mapper pre-aggregated into unit records
+     * (see core::ThreeStageEmitter). Only user-specified ratios are
+     * supported; the online optimizer targets two-stage jobs.
+     */
+    mr::JobResult
+    runThreeStageAggregation(mr::JobConfig config,
+                             const ApproxConfig& approx,
+                             mr::Job::MapperFactory mapper_factory,
+                             ThreeStageSamplingReducer::Op op);
+
+    /**
+     * Runs a min/max job with GEV error bounds.
+     *
+     * @param minimum true for min, false for max
+     * @param values_are_extremes true when each map emits a single
+     *        per-task extreme (skips the Block Minima/Maxima transform)
+     */
+    mr::JobResult runExtreme(mr::JobConfig config, const ApproxConfig& approx,
+                             mr::Job::MapperFactory mapper_factory,
+                             bool minimum, bool values_are_extremes = true);
+
+    /**
+     * Runs a job whose mapper derives from UserDefinedApproxMapper;
+     * approx.user_defined_fraction selects the mix of approximate tasks,
+     * and sampling/dropping ratios apply as usual.
+     */
+    mr::JobResult runUserDefined(mr::JobConfig config,
+                                 const ApproxConfig& approx,
+                                 mr::Job::MapperFactory mapper_factory,
+                                 mr::Job::ReducerFactory reducer_factory);
+
+    /** Runs a fully precise baseline job (stock Hadoop behaviour). */
+    mr::JobResult runPrecise(mr::JobConfig config,
+                             mr::Job::MapperFactory mapper_factory,
+                             mr::Job::ReducerFactory reducer_factory);
+
+    /** True if the last target-mode run achieved its bound early. */
+    bool lastTargetAchieved() const { return last_target_achieved_; }
+
+  private:
+    /**
+     * Pre-creates @p count reducers so controllers can observe them, and
+     * returns a factory that hands them to the job one by one.
+     */
+    template <typename ReducerT>
+    static mr::Job::ReducerFactory
+    makeSharedFactory(std::shared_ptr<std::vector<std::unique_ptr<ReducerT>>>
+                          pool);
+
+    sim::Cluster& cluster_;
+    const hdfs::BlockDataset& dataset_;
+    hdfs::NameNode& namenode_;
+    bool last_target_achieved_ = false;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_APPROX_JOB_H_

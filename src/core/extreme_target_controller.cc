@@ -1,0 +1,59 @@
+#include "core/extreme_target_controller.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace approxhadoop::core {
+
+ExtremeTargetController::ExtremeTargetController(
+    const ApproxConfig& config, std::vector<ApproxExtremeReducer*> reducers)
+    : config_(config), reducers_(std::move(reducers))
+{
+    assert(config_.hasTarget());
+    assert(!reducers_.empty());
+}
+
+bool
+ExtremeTargetController::meetsTarget(const mr::JobHandle& job) const
+{
+    bool any_key = false;
+    for (const ApproxExtremeReducer* r : reducers_) {
+        for (const KeyEstimate& est :
+             r->currentEstimates(job.numMapTasks())) {
+            any_key = true;
+            if (!est.finite) {
+                return false;
+            }
+            double target =
+                config_.target_absolute_error.has_value()
+                    ? *config_.target_absolute_error
+                    : *config_.target_relative_error * std::fabs(est.value);
+            if (est.error_bound > target) {
+                return false;
+            }
+        }
+    }
+    return any_key;
+}
+
+void
+ExtremeTargetController::onMapComplete(mr::JobHandle& job,
+                                       const mr::MapTaskInfo& /*task*/)
+{
+    if (achieved_) {
+        return;
+    }
+    if (job.completedMaps() < config_.min_maps_for_extreme) {
+        return;
+    }
+    if (meetsTarget(job)) {
+        achieved_ = true;
+        job.dropAllRemaining();
+        AH_INFO("gev-ctl") << "extreme target achieved after "
+                           << job.completedMaps() << " maps";
+    }
+}
+
+}  // namespace approxhadoop::core

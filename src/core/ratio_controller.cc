@@ -1,0 +1,25 @@
+#include "core/ratio_controller.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace approxhadoop::core {
+
+UserRatioController::UserRatioController(double drop_ratio)
+    : drop_ratio_(drop_ratio)
+{
+    assert(drop_ratio >= 0.0 && drop_ratio < 1.0);
+}
+
+void
+UserRatioController::onJobStart(mr::JobHandle& job)
+{
+    if (drop_ratio_ <= 0.0) {
+        return;
+    }
+    uint64_t to_drop = static_cast<uint64_t>(std::llround(
+        drop_ratio_ * static_cast<double>(job.numMapTasks())));
+    job.dropPendingMaps(to_drop);
+}
+
+}  // namespace approxhadoop::core

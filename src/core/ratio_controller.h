@@ -1,0 +1,31 @@
+#ifndef APPROXHADOOP_CORE_RATIO_CONTROLLER_H_
+#define APPROXHADOOP_CORE_RATIO_CONTROLLER_H_
+
+#include "mapreduce/controller.h"
+
+namespace approxhadoop::core {
+
+/**
+ * Implements the first job-submission mode of the paper (Section 4.2):
+ * the user explicitly specifies the dropping ratio. The controller drops
+ * the corresponding number of randomly chosen map tasks at job start;
+ * the input-data sampling ratio is applied independently through
+ * ApproxTextInputFormat.
+ */
+class UserRatioController : public mr::JobController
+{
+  public:
+    /**
+     * @param drop_ratio fraction of map tasks to drop, in [0, 1)
+     */
+    explicit UserRatioController(double drop_ratio);
+
+    void onJobStart(mr::JobHandle& job) override;
+
+  private:
+    double drop_ratio_;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_RATIO_CONTROLLER_H_

@@ -1,0 +1,342 @@
+#include "core/sampling_reducer.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "mapreduce/combiner.h"
+#include "stats/moments.h"
+#include "stats/student_t.h"
+
+namespace approxhadoop::core {
+
+MultiStageSamplingReducer::MultiStageSamplingReducer(Op op, double confidence)
+    : op_(op), confidence_(confidence)
+{
+    assert(confidence > 0.0 && confidence < 1.0);
+}
+
+void
+MultiStageSamplingReducer::consume(const mr::MapOutputChunk& chunk)
+{
+    uint64_t cluster_index = clusters_;
+    ++clusters_;
+
+    if (op_ == Op::kSum || op_ == Op::kCount) {
+        // Fold this cluster's per-key moments into O(1)-per-key state.
+        struct Moments
+        {
+            uint64_t count = 0;
+            double sum = 0.0;
+            double sum_sq = 0.0;
+        };
+        std::map<std::string, Moments> per_key;
+        for (const mr::KeyValue& kv : chunk.records) {
+            Moments& m = per_key[kv.key];
+            if (mr::MomentsCombiner::isMomentsRecord(kv)) {
+                // Map-side MomentsCombiner output: unpack (sum, sum_sq,
+                // count) so bounds match the uncombined execution.
+                uint64_t count = static_cast<uint64_t>(kv.value3);
+                m.count += count;
+                if (op_ == Op::kCount) {
+                    m.sum += static_cast<double>(count);
+                    m.sum_sq += static_cast<double>(count);
+                } else {
+                    m.sum += kv.value;
+                    m.sum_sq += kv.value2;
+                }
+                continue;
+            }
+            double v = op_ == Op::kCount ? 1.0 : kv.value;
+            ++m.count;
+            m.sum += v;
+            m.sum_sq += v * v;
+        }
+        double big_m = static_cast<double>(chunk.items_total);
+        double mi = static_cast<double>(chunk.items_processed);
+        for (const auto& [key, m] : per_key) {
+            SumAggregate& agg = sums_[key];
+            ++agg.emitted_clusters;
+            agg.records += m.count;
+            if (mi <= 0.0) {
+                continue;
+            }
+            double tau = big_m / mi * m.sum;
+            agg.sum_tau += tau;
+            agg.sum_tau_sq += tau * tau;
+            double s2 = stats::varianceWithImplicitZeros(
+                chunk.items_processed, m.sum, m.sum_sq);
+            agg.sum_intra_variance += s2;
+            if (chunk.items_processed < chunk.items_total) {
+                agg.within += big_m * (big_m - mi) * s2 / mi;
+            }
+        }
+        return;
+    }
+
+    // kAverage / kRatio: keep per-cluster samples per key.
+    cluster_sizes_.emplace_back(chunk.items_total, chunk.items_processed);
+    for (const mr::KeyValue& kv : chunk.records) {
+        stats::RatioClusterSample& s =
+            ratio_data_[kv.key][cluster_index];
+        s.units_total = chunk.items_total;
+        s.units_sampled = chunk.items_processed;
+        double y = kv.value;
+        double x = op_ == Op::kAverage ? 1.0 : kv.value2;
+        s.sum_y += y;
+        s.sum_squares_y += y * y;
+        s.sum_x += x;
+        s.sum_squares_x += x * x;
+        s.sum_xy += y * x;
+    }
+}
+
+std::pair<double, double>
+MultiStageSamplingReducer::sumEstimateNumbers(const SumAggregate& agg,
+                                              uint64_t total_clusters) const
+{
+    uint64_t n = clusters_;
+    if (n == 0) {
+        return {0.0, std::numeric_limits<double>::infinity()};
+    }
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+    double value = big_n / nd * agg.sum_tau;
+    if (n < 2) {
+        return {value, std::numeric_limits<double>::infinity()};
+    }
+    // Inter-cluster variance over all n clusters: clusters that emitted
+    // nothing for this key have tau_i = 0 and are implicit in the sums.
+    double s2u = (agg.sum_tau_sq - agg.sum_tau * agg.sum_tau / nd) /
+                 (nd - 1.0);
+    if (s2u < 0.0) {
+        s2u = 0.0;
+    }
+    double variance =
+        big_n * (big_n - nd) * s2u / nd + (big_n / nd) * agg.within;
+    double t = stats::studentTCriticalCached(confidence_, nd - 1.0);
+    return {value, t * std::sqrt(variance)};
+}
+
+KeyEstimate
+MultiStageSamplingReducer::sumEstimate(const std::string& key,
+                                       const SumAggregate& agg,
+                                       uint64_t total_clusters) const
+{
+    KeyEstimate est;
+    est.key = key;
+    auto [value, bound] = sumEstimateNumbers(agg, total_clusters);
+    est.value = value;
+    est.error_bound = bound;
+    est.lower = est.value - est.error_bound;
+    est.upper = est.value + est.error_bound;
+    est.finite = std::isfinite(est.error_bound);
+    return est;
+}
+
+std::vector<stats::RatioClusterSample>
+MultiStageSamplingReducer::ratioSamples(const std::string& key) const
+{
+    std::vector<stats::RatioClusterSample> samples;
+    samples.reserve(clusters_);
+    auto it = ratio_data_.find(key);
+    for (uint64_t c = 0; c < clusters_; ++c) {
+        if (it != ratio_data_.end()) {
+            auto cit = it->second.find(c);
+            if (cit != it->second.end()) {
+                samples.push_back(cit->second);
+                continue;
+            }
+        }
+        stats::RatioClusterSample zero;
+        zero.units_total = cluster_sizes_[c].first;
+        zero.units_sampled = cluster_sizes_[c].second;
+        samples.push_back(zero);
+    }
+    return samples;
+}
+
+KeyEstimate
+MultiStageSamplingReducer::ratioEstimate(const std::string& key,
+                                         uint64_t total_clusters) const
+{
+    stats::Estimate e = stats::TwoStageEstimator::estimateRatio(
+        ratioSamples(key), total_clusters, confidence_);
+    KeyEstimate est;
+    est.key = key;
+    est.value = e.value;
+    est.error_bound = e.error_bound;
+    est.lower = e.value - e.error_bound;
+    est.upper = e.value + e.error_bound;
+    est.finite = std::isfinite(e.error_bound);
+    return est;
+}
+
+std::vector<KeyEstimate>
+MultiStageSamplingReducer::currentEstimates(uint64_t total_clusters) const
+{
+    std::vector<KeyEstimate> estimates;
+    if (op_ == Op::kSum || op_ == Op::kCount) {
+        estimates.reserve(sums_.size());
+        for (const auto& [key, agg] : sums_) {
+            estimates.push_back(sumEstimate(key, agg, total_clusters));
+        }
+    } else {
+        for (const auto& [key, _] : ratio_data_) {
+            estimates.push_back(ratioEstimate(key, total_clusters));
+        }
+    }
+    return estimates;
+}
+
+std::vector<MultiStageSamplingReducer::KeyPlanStats>
+MultiStageSamplingReducer::planStats(uint64_t total_clusters,
+                                     size_t top_k) const
+{
+    std::vector<KeyPlanStats> result;
+    if (op_ != Op::kSum && op_ != Op::kCount) {
+        return result;
+    }
+    uint64_t n = clusters_;
+    if (n < 2) {
+        return result;
+    }
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+
+    auto make_stats = [&](const std::string& key,
+                          const SumAggregate& agg) {
+        KeyPlanStats stats;
+        stats.key = key;
+        stats.tau_hat = big_n / nd * agg.sum_tau;
+        double s2u = (agg.sum_tau_sq - agg.sum_tau * agg.sum_tau / nd) /
+                     (nd - 1.0);
+        stats.inter_cluster_variance = std::max(0.0, s2u);
+        stats.mean_intra_variance = agg.sum_intra_variance / nd;
+        stats.within_consumed = agg.within;
+        stats.error_bound =
+            sumEstimate(key, agg, total_clusters).error_bound;
+        return stats;
+    };
+
+    if (top_k == 0 || sums_.size() <= top_k) {
+        result.reserve(sums_.size());
+        for (const auto& [key, agg] : sums_) {
+            result.push_back(make_stats(key, agg));
+        }
+        return result;
+    }
+
+    // Partial top-k selection by error bound: scan once keeping a small
+    // min-heap of (bound, aggregate pointer); avoids copying the key
+    // strings of the (potentially millions of) non-worst keys.
+    using Entry = std::pair<double, const std::pair<const std::string,
+                                                    SumAggregate>*>;
+    auto cmp = [](const Entry& a, const Entry& b) {
+        return a.first > b.first;  // min-heap on bound
+    };
+    std::vector<Entry> heap;
+    heap.reserve(top_k + 1);
+    for (const auto& entry : sums_) {
+        double bound =
+            sumEstimateNumbers(entry.second, total_clusters).second;
+        if (heap.size() < top_k) {
+            heap.emplace_back(bound, &entry);
+            std::push_heap(heap.begin(), heap.end(), cmp);
+        } else if (bound > heap.front().first) {
+            std::pop_heap(heap.begin(), heap.end(), cmp);
+            heap.back() = Entry{bound, &entry};
+            std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+    }
+    result.reserve(heap.size());
+    for (const Entry& e : heap) {
+        result.push_back(make_stats(e.second->first, e.second->second));
+    }
+    return result;
+}
+
+MultiStageSamplingReducer::WorstError
+MultiStageSamplingReducer::worstAbsoluteError(uint64_t total_clusters) const
+{
+    WorstError worst;
+    if (op_ == Op::kSum || op_ == Op::kCount) {
+        for (const auto& [key, agg] : sums_) {
+            auto [value, bound] = sumEstimateNumbers(agg, total_clusters);
+            if (value == 0.0) {
+                continue;
+            }
+            worst.any_key = true;
+            if (!std::isfinite(bound)) {
+                worst.all_finite = false;
+                continue;
+            }
+            if (bound > worst.error_bound) {
+                worst.error_bound = bound;
+                worst.value = value;
+            }
+        }
+        return worst;
+    }
+    for (const KeyEstimate& est : currentEstimates(total_clusters)) {
+        if (est.value == 0.0) {
+            continue;
+        }
+        worst.any_key = true;
+        if (!est.finite) {
+            worst.all_finite = false;
+            continue;
+        }
+        if (est.error_bound > worst.error_bound) {
+            worst.error_bound = est.error_bound;
+            worst.value = est.value;
+        }
+    }
+    return worst;
+}
+
+double
+MultiStageSamplingReducer::estimateDistinctKeys() const
+{
+    if (op_ != Op::kSum && op_ != Op::kCount) {
+        return static_cast<double>(observedKeys());
+    }
+    uint64_t singletons = 0;
+    uint64_t doubletons = 0;
+    for (const auto& [key, agg] : sums_) {
+        if (agg.records == 1) {
+            ++singletons;
+        } else if (agg.records == 2) {
+            ++doubletons;
+        }
+    }
+    double d = static_cast<double>(sums_.size());
+    double f1 = static_cast<double>(singletons);
+    double f2 = static_cast<double>(doubletons);
+    if (f2 > 0.0) {
+        return d + f1 * f1 / (2.0 * f2);
+    }
+    // Chao1 bias-corrected form when no doubletons were seen.
+    return d + f1 * (f1 - 1.0) / 2.0;
+}
+
+void
+MultiStageSamplingReducer::finalize(mr::ReduceContext& ctx)
+{
+    for (KeyEstimate& est : currentEstimates(ctx.totalMapTasks())) {
+        mr::OutputRecord rec;
+        rec.key = est.key;
+        rec.value = est.value;
+        rec.has_bound = true;
+        if (est.finite) {
+            rec.lower = est.lower;
+            rec.upper = est.upper;
+        } else {
+            rec.lower = -std::numeric_limits<double>::infinity();
+            rec.upper = std::numeric_limits<double>::infinity();
+        }
+        ctx.write(std::move(rec));
+    }
+}
+
+}  // namespace approxhadoop::core

@@ -1,0 +1,182 @@
+#ifndef APPROXHADOOP_CORE_SAMPLING_REDUCER_H_
+#define APPROXHADOOP_CORE_SAMPLING_REDUCER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/key_estimate.h"
+#include "mapreduce/mapper.h"
+#include "mapreduce/reducer.h"
+#include "stats/two_stage.h"
+
+namespace approxhadoop::core {
+
+/**
+ * The paper's MultiStageSamplingMapper: a plain Mapper marker base class.
+ * In this runtime the framework itself tags map output with the task id
+ * and block item counts (paper Section 4.4), so subclassing only signals
+ * that the job opts into multi-stage error estimation; map() is written
+ * exactly as for stock Hadoop (see Figure 3 of the paper).
+ */
+class MultiStageSamplingMapper : public mr::Mapper
+{
+};
+
+/**
+ * Aggregation reducer with multi-stage sampling error bounds
+ * (the paper's MultiStageSamplingReducer).
+ *
+ * Supports sum, count, average, and ratio reductions. For every key it
+ * emits the estimate tau-hat with its confidence interval (Equations
+ * 1-3), treating input items that emitted nothing for the key as
+ * implicit zeros. Controllers read live estimates through the
+ * ErrorBoundedReducer interface and plan-prediction aggregates through
+ * planStats().
+ */
+class MultiStageSamplingReducer : public ErrorBoundedReducer
+{
+  public:
+    /** Supported aggregation operations. */
+    enum class Op {
+        kSum,      ///< sum of emitted values per key
+        kCount,    ///< number of emitted records per key
+        kAverage,  ///< mean emitted value per key (ratio to record count)
+        kRatio,    ///< sum(value) / sum(value2) per key
+    };
+
+    /**
+     * @param op         aggregation operation
+     * @param confidence confidence level for the bounds (e.g., 0.95)
+     */
+    MultiStageSamplingReducer(Op op, double confidence);
+
+    void consume(const mr::MapOutputChunk& chunk) override;
+    void finalize(mr::ReduceContext& ctx) override;
+
+    std::vector<KeyEstimate>
+    currentEstimates(uint64_t total_clusters) const override;
+
+    uint64_t clustersConsumed() const override { return clusters_; }
+
+    /**
+     * Per-key aggregates the target-error controller plugs into the
+     * paper's Equations 6-7 to predict the error of candidate
+     * dropping/sampling plans. Only meaningful for kSum/kCount (the
+     * operations the online optimizer supports); empty otherwise.
+     */
+    struct KeyPlanStats
+    {
+        std::string key;
+        /** Current tau-hat. */
+        double tau_hat = 0.0;
+        /** s_u^2: inter-cluster variance of the cluster totals. */
+        double inter_cluster_variance = 0.0;
+        /** Mean intra-cluster variance across consumed clusters. */
+        double mean_intra_variance = 0.0;
+        /** Sum of M_i (M_i - m_i) s_i^2 / m_i over consumed clusters. */
+        double within_consumed = 0.0;
+        /** Current absolute error bound. */
+        double error_bound = 0.0;
+    };
+
+    /**
+     * @param total_clusters N: map tasks in the job
+     * @param top_k          return only the top_k keys by absolute error
+     *                       bound (0 = all); selection avoids sorting the
+     *                       full key space, which matters for jobs with
+     *                       millions of intermediate keys
+     */
+    std::vector<KeyPlanStats> planStats(uint64_t total_clusters,
+                                        size_t top_k = 0) const;
+
+    /**
+     * Worst (largest) absolute error bound across all keys and the
+     * estimate it belongs to, without materializing per-key snapshots.
+     * Used by the target controller's per-completion check on jobs with
+     * very large key spaces.
+     */
+    struct WorstError
+    {
+        double error_bound = 0.0;
+        double value = 0.0;
+        bool all_finite = true;
+        bool any_key = false;
+    };
+    WorstError worstAbsoluteError(uint64_t total_clusters) const;
+
+    /**
+     * Estimates the total number of distinct intermediate keys in the
+     * population, including keys the sample missed entirely — the
+     * paper's Section 3.1 remark that the overall key count can be
+     * extrapolated from a sample (Haas et al., VLDB'95). Uses the Chao1
+     * lower-bound estimator D = d + f1^2 / (2 f2), where f1/f2 are the
+     * keys observed in exactly one/two records. Only meaningful for
+     * kSum/kCount; returns the observed key count otherwise.
+     */
+    double estimateDistinctKeys() const;
+
+    /** Distinct keys actually observed so far. */
+    uint64_t
+    observedKeys() const
+    {
+        return op_ == Op::kSum || op_ == Op::kCount ? sums_.size()
+                                                    : ratio_data_.size();
+    }
+
+    Op op() const { return op_; }
+    double confidence() const { return confidence_; }
+
+  private:
+    /** Folded per-key aggregate for sum/count. */
+    struct SumAggregate
+    {
+        uint64_t emitted_clusters = 0;
+        /** Records observed for the key (for Chao1 key-count estimation). */
+        uint64_t records = 0;
+        double sum_tau = 0.0;
+        double sum_tau_sq = 0.0;
+        double within = 0.0;
+        double sum_intra_variance = 0.0;
+    };
+
+    /** Computes one key's sum/count estimate from its folded aggregate. */
+    KeyEstimate sumEstimate(const std::string& key, const SumAggregate& agg,
+                            uint64_t total_clusters) const;
+
+    /**
+     * String-free core of sumEstimate for the hot scan paths.
+     * @return {value, error_bound (may be +inf)}
+     */
+    std::pair<double, double>
+    sumEstimateNumbers(const SumAggregate& agg,
+                       uint64_t total_clusters) const;
+
+    /** Builds the full per-cluster vector (with zero rows) for a key. */
+    std::vector<stats::RatioClusterSample>
+    ratioSamples(const std::string& key) const;
+
+    KeyEstimate ratioEstimate(const std::string& key,
+                              uint64_t total_clusters) const;
+
+    Op op_;
+    double confidence_;
+    uint64_t clusters_ = 0;
+
+    // kSum/kCount path: O(1) state per key.
+    std::map<std::string, SumAggregate> sums_;
+
+    // kAverage/kRatio path: per-key per-emitting-cluster samples plus the
+    // (M_i, m_i) roster of every consumed cluster so implicit-zero rows
+    // can be reconstructed at estimation time.
+    std::vector<std::pair<uint64_t, uint64_t>> cluster_sizes_;
+    std::map<std::string,
+             std::unordered_map<uint64_t, stats::RatioClusterSample>>
+        ratio_data_;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_SAMPLING_REDUCER_H_

@@ -1,0 +1,84 @@
+#include "core/stratified_input_format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/approx_input_format.h"
+
+namespace approxhadoop::core {
+
+StratifiedSampleIndex::StratifiedSampleIndex(
+    const hdfs::BlockDataset& dataset, const KeyExtractor& extractor,
+    uint64_t rare_threshold)
+{
+    // Pass 1: global key frequencies.
+    std::unordered_map<std::string, uint64_t> frequency;
+    std::vector<std::string> keys;
+    for (uint64_t b = 0; b < dataset.numBlocks(); ++b) {
+        for (uint64_t i = 0; i < dataset.itemsInBlock(b); ++i) {
+            keys.clear();
+            extractor(dataset.item(b, i), keys);
+            for (const std::string& key : keys) {
+                ++frequency[key];
+            }
+        }
+    }
+    for (const auto& [key, count] : frequency) {
+        if (count <= rare_threshold) {
+            ++rare_keys_;
+        }
+    }
+
+    // Pass 2: pin every item that carries at least one rare key.
+    must_include_.resize(dataset.numBlocks());
+    for (uint64_t b = 0; b < dataset.numBlocks(); ++b) {
+        for (uint64_t i = 0; i < dataset.itemsInBlock(b); ++i) {
+            keys.clear();
+            extractor(dataset.item(b, i), keys);
+            for (const std::string& key : keys) {
+                if (frequency[key] <= rare_threshold) {
+                    must_include_[b].push_back(i);
+                    ++pinned_items_;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+const std::vector<uint64_t>&
+StratifiedSampleIndex::mustInclude(uint64_t block) const
+{
+    assert(block < must_include_.size());
+    return must_include_[block];
+}
+
+StratifiedInputFormat::StratifiedInputFormat(
+    std::shared_ptr<const StratifiedSampleIndex> index, uint64_t min_items)
+    : index_(std::move(index)), min_items_(min_items)
+{
+    assert(index_ != nullptr);
+}
+
+std::vector<uint64_t>
+StratifiedInputFormat::select(uint64_t block, uint64_t block_items,
+                              double sampling_ratio, Rng& rng) const
+{
+    ApproxTextInputFormat uniform(min_items_);
+    std::vector<uint64_t> sample =
+        uniform.select(block, block_items, sampling_ratio, rng);
+    const std::vector<uint64_t>& pinned = index_->mustInclude(block);
+    if (pinned.empty()) {
+        return sample;
+    }
+    // Merge-and-dedup the uniform sample with the pinned items.
+    std::vector<uint64_t> merged;
+    merged.reserve(sample.size() + pinned.size());
+    std::merge(sample.begin(), sample.end(), pinned.begin(), pinned.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    return merged;
+}
+
+}  // namespace approxhadoop::core

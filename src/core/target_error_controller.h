@@ -1,0 +1,126 @@
+#ifndef APPROXHADOOP_CORE_TARGET_ERROR_CONTROLLER_H_
+#define APPROXHADOOP_CORE_TARGET_ERROR_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/approx_config.h"
+#include "core/sampling_reducer.h"
+#include "mapreduce/controller.h"
+
+namespace approxhadoop::core {
+
+/**
+ * The paper's online dropping/sampling optimizer for aggregation jobs
+ * (Section 4.4, "User-specified target error bound").
+ *
+ * After enough map tasks have completed, the controller:
+ *
+ *  1. estimates the map cost model parameters t0, t_read, t_process from
+ *     the measured duration components of the completed tasks;
+ *  2. collects per-key variance aggregates from all reduce tasks (the
+ *     JobTracker role of tracking error bounds across the whole job);
+ *  3. solves min RET = n2 * t_map(M-bar, m) subject to
+ *     t_{n-1,1-alpha/2} sqrt(Var(tau-hat)) <= target for the binding
+ *     intermediate key, scanning candidate n2 values and binary-searching
+ *     the minimal feasible m (Var is monotone in both);
+ *  4. applies the plan: drops surplus pending maps and sets the sampling
+ *     ratio for not-yet-started ones; once the achieved bound meets the
+ *     target, drops/kills every remaining map.
+ *
+ * A pilot wave (ApproxConfig::Pilot) withholds all but a few maps, runs
+ * them at a small sampling ratio, and uses their statistics to pick the
+ * plan for the full wave — the paper's remedy for single-wave jobs.
+ */
+class TargetErrorController : public mr::JobController
+{
+  public:
+    /**
+     * @param config   approximation policy (must have a target set)
+     * @param reducers the job's sampling reducers (not owned; must
+     *                 outlive the controller's use)
+     */
+    TargetErrorController(
+        const ApproxConfig& config,
+        std::vector<MultiStageSamplingReducer*> reducers);
+
+    void onJobStart(mr::JobHandle& job) override;
+    void onMapComplete(mr::JobHandle& job,
+                       const mr::MapTaskInfo& task) override;
+
+    /** A dropping/sampling plan chosen by the optimizer. */
+    struct Plan
+    {
+        /** Remaining (pending) maps to execute; the rest are dropped. */
+        uint64_t maps_to_run = 0;
+        /** Within-block sampling ratio for those maps. */
+        double sampling_ratio = 1.0;
+        /** Predicted remaining execution time (the objective). */
+        double predicted_ret = 0.0;
+        /** False when no plan meets the target (run everything). */
+        bool feasible = false;
+    };
+
+    /** Last plan applied (for tests and experiment logging). */
+    const Plan& lastPlan() const { return last_plan_; }
+
+    /** True once the target was achieved and remaining maps dropped. */
+    bool targetAchieved() const { return achieved_; }
+
+  private:
+    /** Fitted cost-model parameters from completed task measurements. */
+    struct CostFit
+    {
+        double t0 = 0.0;
+        double t_read = 0.0;
+        double t_process = 0.0;
+        bool valid = false;
+    };
+
+    CostFit fitCostModel(const mr::JobHandle& job) const;
+
+    /** Gathers plan stats from every reducer and keeps the worst keys. */
+    std::vector<MultiStageSamplingReducer::KeyPlanStats>
+    worstKeys(uint64_t total_clusters) const;
+
+    /** Target absolute error for a key with the given estimate. */
+    double targetFor(double tau_hat) const;
+
+    /**
+     * Predicted absolute error bound for one key under a candidate plan.
+     *
+     * @param n_total   clusters that will have been executed
+     * @param n2        future clusters executed at the candidate ratio
+     * @param m         items sampled per future cluster
+     * @param mean_items M-bar
+     * @param key       per-key aggregates
+     * @param total_clusters N
+     * @param within_running predicted within-term factor for running maps
+     */
+    double predictedError(
+        uint64_t n_total, uint64_t n2, double m, double mean_items,
+        const MultiStageSamplingReducer::KeyPlanStats& key,
+        uint64_t total_clusters, double within_running_factor) const;
+
+    /** Solves the optimization problem; see class comment. */
+    Plan solve(const mr::JobHandle& job, const CostFit& fit) const;
+
+    void applyPlan(mr::JobHandle& job, const Plan& plan);
+
+    /** True when all keys currently meet the target. */
+    bool currentlyMeetsTarget(const mr::JobHandle& job) const;
+
+    ApproxConfig config_;
+    std::vector<MultiStageSamplingReducer*> reducers_;
+
+    bool pilot_released_ = false;
+    bool achieved_ = false;
+    Plan last_plan_;
+
+    /** Keys examined per decision (the binding key plus runners-up). */
+    static constexpr size_t kMaxKeysChecked = 16;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_TARGET_ERROR_CONTROLLER_H_

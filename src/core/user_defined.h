@@ -1,0 +1,46 @@
+#ifndef APPROXHADOOP_CORE_USER_DEFINED_H_
+#define APPROXHADOOP_CORE_USER_DEFINED_H_
+
+#include <string>
+
+#include "mapreduce/mapper.h"
+
+namespace approxhadoop::core {
+
+/**
+ * The paper's third approximation mechanism: user-defined approximation.
+ * The programmer provides both a precise and an approximate version of
+ * the map computation; the framework chooses, per task, which variant
+ * runs (ApproxConfig::user_defined_fraction controls the mix).
+ *
+ * ApproxHadoop cannot compute statistical error bounds for this
+ * mechanism — accuracy is whatever the user's approximate algorithm
+ * delivers — but it composes freely with task dropping and sampling,
+ * and applications can attach their own quality metrics (the K-Means
+ * and FrameEncoder apps do).
+ */
+class UserDefinedApproxMapper : public mr::Mapper
+{
+  public:
+    void
+    map(const std::string& record, mr::MapContext& ctx) final
+    {
+        if (ctx.approximate()) {
+            mapApprox(record, ctx);
+        } else {
+            mapPrecise(record, ctx);
+        }
+    }
+
+    /** Precise map computation. */
+    virtual void mapPrecise(const std::string& record,
+                            mr::MapContext& ctx) = 0;
+
+    /** Cheaper, approximate map computation. */
+    virtual void mapApprox(const std::string& record,
+                           mr::MapContext& ctx) = 0;
+};
+
+}  // namespace approxhadoop::core
+
+#endif  // APPROXHADOOP_CORE_USER_DEFINED_H_

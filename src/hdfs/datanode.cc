@@ -1,0 +1,19 @@
+#include "hdfs/datanode.h"
+
+namespace approxhadoop::hdfs {
+
+void
+DataNode::recordLocalRead(uint64_t bytes)
+{
+    local_bytes_ += bytes;
+    ++local_reads_;
+}
+
+void
+DataNode::recordRemoteRead(uint64_t bytes)
+{
+    remote_bytes_ += bytes;
+    ++remote_reads_;
+}
+
+}  // namespace approxhadoop::hdfs

@@ -1,0 +1,42 @@
+#ifndef APPROXHADOOP_HDFS_DATANODE_H_
+#define APPROXHADOOP_HDFS_DATANODE_H_
+
+#include <cstdint>
+
+namespace approxhadoop::hdfs {
+
+/**
+ * Per-server data service; in this runtime it is an accounting point for
+ * block reads so experiments can report local vs remote I/O volumes
+ * (locality matters for the sampling-vs-dropping runtime asymmetry:
+ * sampled blocks are still read in full).
+ */
+class DataNode
+{
+  public:
+    explicit DataNode(uint32_t server_id) : server_id_(server_id) {}
+
+    uint32_t serverId() const { return server_id_; }
+
+    /** Records a block read served to a local map task. */
+    void recordLocalRead(uint64_t bytes);
+
+    /** Records a block read shipped to a remote map task. */
+    void recordRemoteRead(uint64_t bytes);
+
+    uint64_t localBytesRead() const { return local_bytes_; }
+    uint64_t remoteBytesRead() const { return remote_bytes_; }
+    uint64_t localReads() const { return local_reads_; }
+    uint64_t remoteReads() const { return remote_reads_; }
+
+  private:
+    uint32_t server_id_;
+    uint64_t local_bytes_ = 0;
+    uint64_t remote_bytes_ = 0;
+    uint64_t local_reads_ = 0;
+    uint64_t remote_reads_ = 0;
+};
+
+}  // namespace approxhadoop::hdfs
+
+#endif  // APPROXHADOOP_HDFS_DATANODE_H_

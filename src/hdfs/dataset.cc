@@ -1,0 +1,80 @@
+#include "hdfs/dataset.h"
+
+#include <cassert>
+#include <utility>
+
+namespace approxhadoop::hdfs {
+
+uint64_t
+BlockDataset::totalItems() const
+{
+    uint64_t total = 0;
+    for (uint64_t b = 0; b < numBlocks(); ++b) {
+        total += itemsInBlock(b);
+    }
+    return total;
+}
+
+InMemoryDataset::InMemoryDataset(std::vector<std::vector<std::string>> blocks)
+    : blocks_(std::move(blocks))
+{
+}
+
+InMemoryDataset::InMemoryDataset(const std::vector<std::string>& records,
+                                 uint64_t block_size)
+{
+    assert(block_size > 0);
+    for (size_t i = 0; i < records.size(); i += block_size) {
+        size_t end = std::min(records.size(), i + block_size);
+        blocks_.emplace_back(records.begin() + i, records.begin() + end);
+    }
+}
+
+uint64_t
+InMemoryDataset::numBlocks() const
+{
+    return blocks_.size();
+}
+
+uint64_t
+InMemoryDataset::itemsInBlock(uint64_t block) const
+{
+    assert(block < blocks_.size());
+    return blocks_[block].size();
+}
+
+std::string
+InMemoryDataset::item(uint64_t block, uint64_t index) const
+{
+    assert(block < blocks_.size());
+    assert(index < blocks_[block].size());
+    return blocks_[block][index];
+}
+
+GeneratedDataset::GeneratedDataset(uint64_t num_blocks,
+                                   uint64_t items_per_block,
+                                   Generator generator,
+                                   uint64_t bytes_per_item)
+    : num_blocks_(num_blocks), items_per_block_(items_per_block),
+      generator_(std::move(generator)), bytes_per_item_(bytes_per_item)
+{
+    assert(num_blocks > 0);
+    assert(items_per_block > 0);
+}
+
+uint64_t
+GeneratedDataset::itemsInBlock(uint64_t block) const
+{
+    assert(block < num_blocks_);
+    return items_per_block_;
+}
+
+std::string
+GeneratedDataset::item(uint64_t block, uint64_t index) const
+{
+    assert(block < num_blocks_);
+    assert(index < items_per_block_);
+    return generator_(block, index);
+}
+
+}  // namespace approxhadoop::hdfs

@@ -1,0 +1,102 @@
+#ifndef APPROXHADOOP_HDFS_DATASET_H_
+#define APPROXHADOOP_HDFS_DATASET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::hdfs {
+
+/**
+ * A block-structured input dataset, the HDFS file abstraction the
+ * MapReduce runtime consumes.
+ *
+ * Data items (records) are addressed as (block, index) pairs; one map
+ * task processes one block. Implementations may hold records in memory
+ * (InMemoryDataset) or synthesize them on demand (GeneratedDataset),
+ * which is how the benchmarks model multi-terabyte logs without
+ * materializing them: item() is called only for records the sampled map
+ * tasks actually process.
+ */
+class BlockDataset
+{
+  public:
+    virtual ~BlockDataset() = default;
+
+    /** Number of blocks (equals the number of map tasks). */
+    virtual uint64_t numBlocks() const = 0;
+
+    /** Number of data items in block @p block. */
+    virtual uint64_t itemsInBlock(uint64_t block) const = 0;
+
+    /**
+     * Materializes one record.
+     * @pre block < numBlocks() and index < itemsInBlock(block)
+     */
+    virtual std::string item(uint64_t block, uint64_t index) const = 0;
+
+    /** Nominal bytes per item, for I/O and locality accounting. */
+    virtual uint64_t bytesPerItem() const { return 100; }
+
+    /** Total items across all blocks. */
+    uint64_t totalItems() const;
+};
+
+/** Dataset backed by in-memory record vectors; used by tests/examples. */
+class InMemoryDataset : public BlockDataset
+{
+  public:
+    /** Wraps pre-split blocks of records. */
+    explicit InMemoryDataset(std::vector<std::vector<std::string>> blocks);
+
+    /**
+     * Splits a flat record list into blocks of at most @p block_size
+     * records, mirroring how HDFS splits a file.
+     */
+    InMemoryDataset(const std::vector<std::string>& records,
+                    uint64_t block_size);
+
+    uint64_t numBlocks() const override;
+    uint64_t itemsInBlock(uint64_t block) const override;
+    std::string item(uint64_t block, uint64_t index) const override;
+
+  private:
+    std::vector<std::vector<std::string>> blocks_;
+};
+
+/**
+ * Dataset whose records are produced lazily by a generator function.
+ * The generator must be deterministic in (block, index) so that precise
+ * and approximate runs observe identical data.
+ */
+class GeneratedDataset : public BlockDataset
+{
+  public:
+    using Generator = std::function<std::string(uint64_t block,
+                                                uint64_t index)>;
+
+    /**
+     * @param num_blocks      number of blocks
+     * @param items_per_block items in every block
+     * @param generator       record synthesizer
+     * @param bytes_per_item  nominal record size for I/O accounting
+     */
+    GeneratedDataset(uint64_t num_blocks, uint64_t items_per_block,
+                     Generator generator, uint64_t bytes_per_item = 100);
+
+    uint64_t numBlocks() const override { return num_blocks_; }
+    uint64_t itemsInBlock(uint64_t block) const override;
+    std::string item(uint64_t block, uint64_t index) const override;
+    uint64_t bytesPerItem() const override { return bytes_per_item_; }
+
+  private:
+    uint64_t num_blocks_;
+    uint64_t items_per_block_;
+    Generator generator_;
+    uint64_t bytes_per_item_;
+};
+
+}  // namespace approxhadoop::hdfs
+
+#endif  // APPROXHADOOP_HDFS_DATASET_H_

@@ -1,0 +1,50 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace approxhadoop::hdfs {
+
+NameNode::NameNode(uint32_t num_servers, int replication, uint64_t seed)
+    : num_servers_(num_servers),
+      replication_(std::min<int>(replication, static_cast<int>(num_servers))),
+      rng_(seed)
+{
+    assert(num_servers > 0);
+    assert(replication >= 1);
+}
+
+uint64_t
+NameNode::registerFile(uint64_t num_blocks)
+{
+    uint64_t first = locations_.size();
+    locations_.reserve(locations_.size() + num_blocks);
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+        std::vector<uint64_t> chosen = rng_.sampleWithoutReplacement(
+            num_servers_, static_cast<uint64_t>(replication_));
+        std::vector<uint32_t> servers;
+        servers.reserve(chosen.size());
+        for (uint64_t s : chosen) {
+            servers.push_back(static_cast<uint32_t>(s));
+        }
+        std::sort(servers.begin(), servers.end());
+        locations_.push_back(std::move(servers));
+    }
+    return first;
+}
+
+const std::vector<uint32_t>&
+NameNode::replicas(uint64_t block) const
+{
+    assert(block < locations_.size());
+    return locations_[block];
+}
+
+bool
+NameNode::isLocal(uint64_t block, uint32_t server) const
+{
+    const std::vector<uint32_t>& reps = replicas(block);
+    return std::binary_search(reps.begin(), reps.end(), server);
+}
+
+}  // namespace approxhadoop::hdfs

@@ -1,0 +1,58 @@
+#ifndef APPROXHADOOP_HDFS_NAMENODE_H_
+#define APPROXHADOOP_HDFS_NAMENODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace approxhadoop::hdfs {
+
+/**
+ * Cluster-wide block-location service.
+ *
+ * Mirrors the HDFS NameNode's role in the paper's architecture: the
+ * JobTracker consults it to place map tasks on servers that hold a local
+ * replica of their input block. Placement follows the HDFS default of
+ * pseudo-random replica spreading across distinct servers.
+ */
+class NameNode
+{
+  public:
+    /**
+     * @param num_servers cluster size
+     * @param replication replicas per block (capped at num_servers)
+     * @param seed        placement randomness seed
+     */
+    NameNode(uint32_t num_servers, int replication, uint64_t seed);
+
+    /**
+     * Registers a file of @p num_blocks blocks and assigns replica
+     * locations for each.
+     *
+     * @return the file's starting block id (block ids are global)
+     */
+    uint64_t registerFile(uint64_t num_blocks);
+
+    /** Servers holding a replica of @p block. */
+    const std::vector<uint32_t>& replicas(uint64_t block) const;
+
+    /** True when @p server holds a replica of @p block. */
+    bool isLocal(uint64_t block, uint32_t server) const;
+
+    /** Total registered blocks. */
+    uint64_t numBlocks() const { return locations_.size(); }
+
+    uint32_t numServers() const { return num_servers_; }
+    int replication() const { return replication_; }
+
+  private:
+    uint32_t num_servers_;
+    int replication_;
+    Rng rng_;
+    std::vector<std::vector<uint32_t>> locations_;
+};
+
+}  // namespace approxhadoop::hdfs
+
+#endif  // APPROXHADOOP_HDFS_NAMENODE_H_

@@ -1,0 +1,48 @@
+#include "mapreduce/combiner.h"
+
+namespace approxhadoop::mr {
+
+void
+SumCombiner::combine(const std::string& key,
+                     const std::vector<KeyValue>& values,
+                     std::vector<KeyValue>& out)
+{
+    double sum = 0.0;
+    for (const KeyValue& kv : values) {
+        sum += kv.value;
+    }
+    out.push_back(KeyValue{key, sum, 0.0, 0.0, 0.0});
+}
+
+void
+CountCombiner::combine(const std::string& key,
+                       const std::vector<KeyValue>& values,
+                       std::vector<KeyValue>& out)
+{
+    out.push_back(
+        KeyValue{key, static_cast<double>(values.size()), 0.0, 0.0, 0.0});
+}
+
+void
+MomentsCombiner::combine(const std::string& key,
+                         const std::vector<KeyValue>& values,
+                         std::vector<KeyValue>& out)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const KeyValue& kv : values) {
+        sum += kv.value;
+        sum_sq += kv.value * kv.value;
+    }
+    out.push_back(KeyValue{key, sum, sum_sq,
+                           static_cast<double>(values.size()),
+                           kMomentsMarker});
+}
+
+bool
+MomentsCombiner::isMomentsRecord(const KeyValue& kv)
+{
+    return kv.value4 == kMomentsMarker;
+}
+
+}  // namespace approxhadoop::mr

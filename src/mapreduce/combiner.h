@@ -1,0 +1,92 @@
+#ifndef APPROXHADOOP_MAPREDUCE_COMBINER_H_
+#define APPROXHADOOP_MAPREDUCE_COMBINER_H_
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/types.h"
+
+namespace approxhadoop::mr {
+
+/**
+ * Map-side pre-aggregation (Hadoop's Combiner), applied to each map
+ * task's output before the shuffle to cut intermediate record volume.
+ *
+ * IMPORTANT constraint inherited from the paper's design: ApproxHadoop's
+ * multi-stage error estimation needs the raw per-cluster records (it
+ * derives within-cluster variances from the individual values), so
+ * combiners are only sound for *precise* jobs or for combiners that
+ * preserve the moments the estimator needs (MomentsCombiner); pairing a
+ * plain sum/count combiner with a sampling reducer silently biases the
+ * variance and is a programming error.
+ */
+class Combiner
+{
+  public:
+    virtual ~Combiner() = default;
+
+    /**
+     * Combines all records of one key emitted by one map task.
+     *
+     * @param key    the intermediate key
+     * @param values that key's records from this map task
+     * @param out    sink for the combined record(s)
+     */
+    virtual void combine(const std::string& key,
+                         const std::vector<KeyValue>& values,
+                         std::vector<KeyValue>& out) = 0;
+
+    /**
+     * True when the combiner's output lets a downstream multi-stage
+     * sampling reducer reconstruct the per-cluster count/sum/sum-of-
+     * squares (e.g., MomentsCombiner). Plain sum/count combiners return
+     * false and may only feed precise reducers.
+     */
+    virtual bool preservesMoments() const { return false; }
+};
+
+/** Sums values per key (Hadoop's typical word-count combiner). */
+class SumCombiner : public Combiner
+{
+  public:
+    void combine(const std::string& key,
+                 const std::vector<KeyValue>& values,
+                 std::vector<KeyValue>& out) override;
+};
+
+/** Replaces each key's records with their count. */
+class CountCombiner : public Combiner
+{
+  public:
+    void combine(const std::string& key,
+                 const std::vector<KeyValue>& values,
+                 std::vector<KeyValue>& out) override;
+};
+
+/**
+ * Moment-preserving combiner: folds one map task's records for a key
+ * into a single record carrying (sum, sum_sq, count) in
+ * (value, value2, value3). MultiStageSamplingReducer detects such
+ * records (value4 set to the kMomentsMarker sentinel) and unpacks the
+ * moments instead of treating the record as one observation, so the
+ * error bounds are bit-identical to the uncombined execution.
+ */
+class MomentsCombiner : public Combiner
+{
+  public:
+    /** Sentinel in KeyValue::value4 marking a moments record. */
+    static constexpr double kMomentsMarker = -9.0e99;
+
+    void combine(const std::string& key,
+                 const std::vector<KeyValue>& values,
+                 std::vector<KeyValue>& out) override;
+
+    bool preservesMoments() const override { return true; }
+
+    /** True when @p kv is a folded moments record. */
+    static bool isMomentsRecord(const KeyValue& kv);
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_COMBINER_H_

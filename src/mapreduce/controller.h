@@ -1,0 +1,121 @@
+#ifndef APPROXHADOOP_MAPREDUCE_CONTROLLER_H_
+#define APPROXHADOOP_MAPREDUCE_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "mapreduce/types.h"
+
+namespace approxhadoop::mr {
+
+class Job;
+
+/**
+ * The JobTracker surface exposed to approximation controllers: query
+ * task states and manipulate the not-yet-executed portion of the job.
+ * This is the seam between the generic runtime (this module) and the
+ * approximation policies (src/core/).
+ */
+class JobHandle
+{
+  public:
+    explicit JobHandle(Job& job) : job_(job) {}
+
+    /** Number of map tasks in the job (the population size N). */
+    uint64_t numMapTasks() const;
+
+    uint64_t pendingMaps() const;  ///< pending + held
+    uint64_t runningMaps() const;
+    uint64_t completedMaps() const;
+    uint64_t droppedMaps() const;  ///< dropped + killed
+
+    /** Task record (valid for ids in [0, numMapTasks())). */
+    const MapTaskInfo& mapTask(uint64_t task_id) const;
+
+    /** Current simulated time. */
+    double now() const;
+
+    /** Map slots across the cluster (the wave width). */
+    int totalMapSlots() const;
+
+    /**
+     * Sets the input-data sampling ratio for tasks that have not started
+     * yet. Running tasks keep the ratio they started with.
+     */
+    void setPendingSamplingRatio(double ratio);
+
+    /**
+     * Sets the fraction of not-yet-started tasks that will run the
+     * user-defined approximate map variant.
+     */
+    void setPendingApproximateFraction(double fraction);
+
+    /**
+     * Drops up to @p count randomly chosen pending tasks.
+     * @return the number actually dropped
+     */
+    uint64_t dropPendingMaps(uint64_t count);
+
+    /**
+     * Terminates the job's Map phase: kills running tasks (their output
+     * is discarded) and drops all pending/held tasks. Reduce tasks then
+     * finalize with the data already delivered.
+     */
+    void dropAllRemaining();
+
+    /**
+     * Withholds all pending tasks except @p keep from the scheduler;
+     * used to stage a pilot wave (paper Section 4.4).
+     */
+    void holdPendingExcept(uint64_t keep);
+
+    /**
+     * Releases tasks withheld by holdPendingExcept(). Does not schedule
+     * them by itself: callers adjust sampling ratios and drop counts
+     * first, then call kickScheduler().
+     */
+    void releaseHeld();
+
+    /** Fills free slots with pending tasks (after releaseHeld etc.). */
+    void kickScheduler();
+
+    /** T: data items in the whole input. */
+    uint64_t totalItems() const;
+
+  private:
+    Job& job_;
+};
+
+/**
+ * Observer/policy hook invoked by the runtime at scheduling milestones.
+ * The ApproxHadoop controllers (ratio-based dropping, target-error
+ * optimization, pilot waves) are implemented as JobControllers.
+ */
+class JobController
+{
+  public:
+    virtual ~JobController() = default;
+
+    /** Called once before any task is scheduled. */
+    virtual void onJobStart(JobHandle& /*job*/) {}
+
+    /**
+     * Called after a map task completes and its output has been delivered
+     * to the (incremental) reduce tasks, so error estimates computed here
+     * already include the new data.
+     */
+    virtual void onMapComplete(JobHandle& /*job*/,
+                               const MapTaskInfo& /*task*/)
+    {
+    }
+
+    /** Called when every task of wave @p wave has reached a terminal
+     *  state. */
+    virtual void onWaveComplete(JobHandle& /*job*/, int /*wave*/) {}
+
+    /** Called when all map tasks are terminal, before reducers finalize. */
+    virtual void onMapPhaseDone(JobHandle& /*job*/) {}
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_CONTROLLER_H_

@@ -1,0 +1,43 @@
+#include "mapreduce/counters.h"
+
+#include <cstdio>
+
+namespace approxhadoop::mr {
+
+double
+Counters::droppedFraction() const
+{
+    if (maps_total == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(maps_dropped + maps_killed) /
+           static_cast<double>(maps_total);
+}
+
+double
+Counters::effectiveSamplingRatio() const
+{
+    if (items_total == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(items_processed) /
+           static_cast<double>(items_total);
+}
+
+std::string
+Counters::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "maps=%llu done=%llu dropped=%llu killed=%llu "
+                  "items=%llu processed=%llu waves=%d",
+                  static_cast<unsigned long long>(maps_total),
+                  static_cast<unsigned long long>(maps_completed),
+                  static_cast<unsigned long long>(maps_dropped),
+                  static_cast<unsigned long long>(maps_killed),
+                  static_cast<unsigned long long>(items_total),
+                  static_cast<unsigned long long>(items_processed), waves);
+    return buf;
+}
+
+}  // namespace approxhadoop::mr

@@ -1,0 +1,45 @@
+#ifndef APPROXHADOOP_MAPREDUCE_COUNTERS_H_
+#define APPROXHADOOP_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace approxhadoop::mr {
+
+/**
+ * Job-level execution counters, in the spirit of Hadoop's job counters.
+ * Filled by the runtime; read by benchmarks and the EXPERIMENTS harness.
+ */
+struct Counters
+{
+    uint64_t maps_total = 0;
+    uint64_t maps_completed = 0;
+    uint64_t maps_killed = 0;
+    uint64_t maps_dropped = 0;
+    uint64_t maps_speculated = 0;
+
+    /** T: items in the whole input (the population size). */
+    uint64_t items_total = 0;
+    /** Items scanned by completed maps (read cost is paid for these). */
+    uint64_t items_read = 0;
+    /** Items actually processed (the multi-stage sample). */
+    uint64_t items_processed = 0;
+
+    uint64_t records_shuffled = 0;
+    uint64_t local_maps = 0;
+    uint64_t remote_maps = 0;
+    int waves = 0;
+
+    /** Fraction of maps that were dropped or killed. */
+    double droppedFraction() const;
+
+    /** Overall effective sampling ratio: processed / total items. */
+    double effectiveSamplingRatio() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_COUNTERS_H_

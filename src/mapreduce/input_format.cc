@@ -1,0 +1,16 @@
+#include "mapreduce/input_format.h"
+
+#include <numeric>
+
+namespace approxhadoop::mr {
+
+std::vector<uint64_t>
+TextInputFormat::select(uint64_t /*block*/, uint64_t block_items,
+                        double /*sampling_ratio*/, Rng& /*rng*/) const
+{
+    std::vector<uint64_t> all(block_items);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+}
+
+}  // namespace approxhadoop::mr

@@ -1,0 +1,55 @@
+#ifndef APPROXHADOOP_MAPREDUCE_INPUT_FORMAT_H_
+#define APPROXHADOOP_MAPREDUCE_INPUT_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace approxhadoop::mr {
+
+/**
+ * Input parsing policy for map tasks.
+ *
+ * In this runtime the InputFormat's job is to decide *which* items of a
+ * block a map task processes. TextInputFormat returns every item;
+ * ApproxTextInputFormat (src/core/) returns a uniform random sample of
+ * the requested size, which is the second stage of the paper's two-stage
+ * sampling design.
+ */
+class InputFormat
+{
+  public:
+    virtual ~InputFormat() = default;
+
+    /**
+     * Selects the item indices a map task will process.
+     *
+     * @param block          the block (= map task) id, for formats whose
+     *                       policy is block-specific (e.g., stratified)
+     * @param block_items    M_i: items in the block
+     * @param sampling_ratio requested sampling ratio in (0, 1]
+     * @param rng            task-private randomness
+     * @return indices into the block, in ascending order
+     */
+    virtual std::vector<uint64_t> select(uint64_t block,
+                                         uint64_t block_items,
+                                         double sampling_ratio,
+                                         Rng& rng) const = 0;
+};
+
+/**
+ * Hadoop's TextInputFormat analogue: every line (item) of the block is
+ * processed, regardless of the requested sampling ratio.
+ */
+class TextInputFormat : public InputFormat
+{
+  public:
+    std::vector<uint64_t> select(uint64_t block, uint64_t block_items,
+                                 double sampling_ratio,
+                                 Rng& rng) const override;
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_INPUT_FORMAT_H_

@@ -1,0 +1,910 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace approxhadoop::mr {
+
+// ---------------------------------------------------------------------------
+// JobResult
+// ---------------------------------------------------------------------------
+
+const OutputRecord*
+JobResult::find(const std::string& key) const
+{
+    for (const OutputRecord& r : output) {
+        if (r.key == key) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+std::map<std::string, OutputRecord>
+JobResult::toMap() const
+{
+    std::map<std::string, OutputRecord> by_key;
+    for (const OutputRecord& r : output) {
+        by_key[r.key] = r;
+    }
+    return by_key;
+}
+
+double
+JobResult::averageMapConcurrency() const
+{
+    if (runtime <= 0.0) {
+        return 0.0;
+    }
+    double busy = 0.0;
+    for (const MapTaskInfo& t : tasks) {
+        if (t.state == TaskState::kCompleted) {
+            busy += t.duration();
+        }
+    }
+    return busy / runtime;
+}
+
+double
+JobResult::maxRelativeErrorAgainst(const JobResult& precise) const
+{
+    std::map<std::string, OutputRecord> mine = toMap();
+    double worst = 0.0;
+    for (const OutputRecord& ref : precise.output) {
+        if (ref.value == 0.0) {
+            continue;
+        }
+        auto it = mine.find(ref.key);
+        // Keys missed entirely by the approximation count as 100% error
+        // (paper Section 3.1, "Missed intermediate keys").
+        double err = 1.0;
+        if (it != mine.end()) {
+            err = std::fabs(it->second.value - ref.value) /
+                  std::fabs(ref.value);
+        }
+        worst = std::max(worst, err);
+    }
+    return worst;
+}
+
+JobResult::HeadlineError
+JobResult::headlineErrorAgainst(const JobResult& precise) const
+{
+    HeadlineError headline;
+    const OutputRecord* worst = nullptr;
+    for (const OutputRecord& r : output) {
+        double bound = r.errorBound();
+        if (!std::isfinite(bound)) {
+            continue;
+        }
+        if (worst == nullptr || bound > worst->errorBound()) {
+            worst = &r;
+        }
+    }
+    if (worst == nullptr) {
+        return headline;
+    }
+    headline.key = worst->key;
+    if (worst->value != 0.0) {
+        headline.bound_relative_error =
+            worst->errorBound() / std::fabs(worst->value);
+    }
+    const OutputRecord* ref = precise.find(worst->key);
+    if (ref != nullptr && ref->value != 0.0) {
+        headline.actual_relative_error =
+            std::fabs(worst->value - ref->value) / std::fabs(ref->value);
+    }
+    return headline;
+}
+
+// ---------------------------------------------------------------------------
+// JobHandle (controller surface)
+// ---------------------------------------------------------------------------
+
+uint64_t
+JobHandle::numMapTasks() const
+{
+    return job_.tasks_.size();
+}
+
+uint64_t
+JobHandle::pendingMaps() const
+{
+    return job_.pending_count_ + job_.held_count_;
+}
+
+uint64_t
+JobHandle::runningMaps() const
+{
+    return job_.running_count_;
+}
+
+uint64_t
+JobHandle::completedMaps() const
+{
+    return job_.counters_.maps_completed;
+}
+
+uint64_t
+JobHandle::droppedMaps() const
+{
+    return job_.counters_.maps_dropped + job_.counters_.maps_killed;
+}
+
+const MapTaskInfo&
+JobHandle::mapTask(uint64_t task_id) const
+{
+    return job_.tasks_.at(task_id);
+}
+
+double
+JobHandle::now() const
+{
+    return job_.cluster_.now();
+}
+
+int
+JobHandle::totalMapSlots() const
+{
+    return job_.cluster_.totalMapSlots();
+}
+
+void
+JobHandle::setPendingSamplingRatio(double ratio)
+{
+    assert(ratio > 0.0 && ratio <= 1.0);
+    job_.pending_sampling_ratio_ = ratio;
+}
+
+void
+JobHandle::setPendingApproximateFraction(double fraction)
+{
+    assert(fraction >= 0.0 && fraction <= 1.0);
+    job_.pending_approx_fraction_ = fraction;
+}
+
+uint64_t
+JobHandle::dropPendingMaps(uint64_t count)
+{
+    return job_.dropPendingMaps(count);
+}
+
+void
+JobHandle::dropAllRemaining()
+{
+    job_.dropAllRemaining();
+}
+
+void
+JobHandle::holdPendingExcept(uint64_t keep)
+{
+    job_.holdPendingExcept(keep);
+}
+
+void
+JobHandle::releaseHeld()
+{
+    job_.releaseHeld();
+}
+
+void
+JobHandle::kickScheduler()
+{
+    job_.scheduleLoop();
+}
+
+uint64_t
+JobHandle::totalItems() const
+{
+    return job_.counters_.items_total;
+}
+
+// ---------------------------------------------------------------------------
+// Job: setup
+// ---------------------------------------------------------------------------
+
+Job::Job(sim::Cluster& cluster, const hdfs::BlockDataset& dataset,
+         hdfs::NameNode& namenode, JobConfig config)
+    : cluster_(cluster), dataset_(dataset), namenode_(namenode),
+      config_(std::move(config)),
+      input_format_(std::make_shared<TextInputFormat>()),
+      partitioner_(std::make_shared<HashPartitioner>()),
+      rng_(config_.seed)
+{
+    if (config_.num_reducers == 0) {
+        throw std::invalid_argument("job needs at least one reducer");
+    }
+}
+
+Job::~Job() = default;
+
+void
+Job::setMapperFactory(MapperFactory factory)
+{
+    assert(!started_);
+    mapper_factory_ = std::move(factory);
+}
+
+void
+Job::setReducerFactory(ReducerFactory factory)
+{
+    assert(!started_);
+    reducer_factory_ = std::move(factory);
+}
+
+void
+Job::setInputFormat(std::shared_ptr<const InputFormat> format)
+{
+    assert(!started_);
+    input_format_ = std::move(format);
+}
+
+void
+Job::setPartitioner(std::shared_ptr<const Partitioner> partitioner)
+{
+    assert(!started_);
+    partitioner_ = std::move(partitioner);
+}
+
+void
+Job::setCombiner(std::shared_ptr<Combiner> combiner)
+{
+    assert(!started_);
+    combiner_ = std::move(combiner);
+}
+
+void
+Job::setController(JobController* controller)
+{
+    assert(!started_);
+    controller_ = controller;
+}
+
+void
+Job::setInitialSamplingRatio(double ratio)
+{
+    assert(!started_);
+    assert(ratio > 0.0 && ratio <= 1.0);
+    pending_sampling_ratio_ = ratio;
+}
+
+void
+Job::setInitialApproximateFraction(double fraction)
+{
+    assert(!started_);
+    assert(fraction >= 0.0 && fraction <= 1.0);
+    pending_approx_fraction_ = fraction;
+}
+
+void
+Job::buildTasks()
+{
+    uint64_t num_blocks = dataset_.numBlocks();
+    first_block_ = namenode_.registerFile(num_blocks);
+    tasks_.resize(num_blocks);
+    exec_.resize(num_blocks);
+    task_order_.resize(num_blocks);
+    for (uint64_t t = 0; t < num_blocks; ++t) {
+        tasks_[t].task_id = t;
+        tasks_[t].block = first_block_ + t;
+        tasks_[t].items_total = dataset_.itemsInBlock(t);
+        counters_.items_total += tasks_[t].items_total;
+        task_order_[t] = t;
+    }
+    // Random execution order: required for task dropping to be a valid
+    // cluster sample (paper Section 4.3).
+    rng_.shuffle(task_order_);
+    pending_count_ = num_blocks;
+    counters_.maps_total = num_blocks;
+    rebuildQueues();
+}
+
+void
+Job::rebuildQueues()
+{
+    pending_order_.clear();
+    local_pending_.assign(cluster_.numServers(), {});
+    for (uint64_t t : task_order_) {
+        if (tasks_[t].state != TaskState::kPending) {
+            continue;
+        }
+        pending_order_.push_back(t);
+        for (uint32_t s : namenode_.replicas(tasks_[t].block)) {
+            local_pending_[s].push_back(t);
+        }
+    }
+}
+
+void
+Job::placeReducers()
+{
+    // One reducer per reduce slot, round-robin over servers; reducers
+    // hold their slot for the whole job (they shuffle incrementally).
+    uint32_t placed = 0;
+    while (placed < config_.num_reducers) {
+        bool progress = false;
+        for (sim::Server& s : cluster_.servers()) {
+            if (placed >= config_.num_reducers) {
+                break;
+            }
+            if (s.freeReduceSlots() > 0) {
+                s.acquireReduceSlot(cluster_.now());
+                reducer_servers_.push_back(s.id());
+                progress = true;
+                ++placed;
+            }
+        }
+        if (!progress) {
+            throw std::runtime_error(
+                "not enough reduce slots for requested reducers");
+        }
+    }
+    reducer_records_.assign(config_.num_reducers, 0);
+    for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        reducers_.push_back(reducer_factory_());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job: scheduling
+// ---------------------------------------------------------------------------
+
+int64_t
+Job::nextLocalTaskForServer(uint32_t server)
+{
+    // Queues are purged lazily: a task may appear in several queues,
+    // only its state is authoritative.
+    std::deque<uint64_t>& local_q = local_pending_[server];
+    while (!local_q.empty()) {
+        uint64_t t = local_q.front();
+        local_q.pop_front();
+        if (tasks_[t].state == TaskState::kPending) {
+            return static_cast<int64_t>(t);
+        }
+    }
+    return -1;
+}
+
+int64_t
+Job::nextGlobalTask(uint32_t server, bool& local)
+{
+    while (!pending_order_.empty()) {
+        uint64_t t = pending_order_.front();
+        pending_order_.pop_front();
+        if (tasks_[t].state == TaskState::kPending) {
+            local = namenode_.isLocal(tasks_[t].block, server);
+            return static_cast<int64_t>(t);
+        }
+    }
+    return -1;
+}
+
+void
+Job::scheduleLoop()
+{
+    // Pass 1: satisfy block locality — every server first picks tasks
+    // whose input it holds. Pass 2: round-robin the remaining pending
+    // tasks one slot at a time so no single server swallows the queue
+    // (mirrors Hadoop's per-heartbeat assignment).
+    if (pending_count_ > 0) {
+        for (sim::Server& s : cluster_.servers()) {
+            if (s.state() != sim::ServerState::kActive) {
+                continue;
+            }
+            while (s.freeMapSlots() > 0 && pending_count_ > 0) {
+                int64_t t = nextLocalTaskForServer(s.id());
+                if (t < 0) {
+                    break;
+                }
+                startAttempt(static_cast<uint64_t>(t), s.id(), true);
+            }
+        }
+        bool progress = true;
+        while (progress && pending_count_ > 0) {
+            progress = false;
+            for (sim::Server& s : cluster_.servers()) {
+                if (s.state() != sim::ServerState::kActive ||
+                    s.freeMapSlots() == 0 || pending_count_ == 0) {
+                    continue;
+                }
+                // Prefer a (newly exposed) local task even in pass 2.
+                int64_t t = nextLocalTaskForServer(s.id());
+                bool local = t >= 0;
+                if (t < 0) {
+                    t = nextGlobalTask(s.id(), local);
+                }
+                if (t < 0) {
+                    continue;
+                }
+                startAttempt(static_cast<uint64_t>(t), s.id(), local);
+                progress = true;
+            }
+        }
+    }
+    maybeSpeculate();
+    if (config_.s3_when_drained) {
+        maybeSleepServers();
+    }
+}
+
+void
+Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    TaskExec& exec = exec_[task_id];
+    sim::Server& srv = cluster_.server(server);
+    srv.acquireMapSlot(cluster_.now());
+
+    bool first_attempt = task.state == TaskState::kPending;
+    if (first_attempt) {
+        assert(pending_count_ > 0);
+        --pending_count_;
+        ++running_count_;
+        task.state = TaskState::kRunning;
+        task.start_time = cluster_.now();
+        task.sampling_ratio = pending_sampling_ratio_;
+        task.approximate = rng_.bernoulli(pending_approx_fraction_);
+        task.wave = static_cast<int>(
+            started_count_ /
+            static_cast<uint64_t>(cluster_.totalMapSlots()));
+        ++started_count_;
+        max_wave_ = std::max(max_wave_, task.wave);
+        ++wave_counts_[task.wave].first;
+
+        // The sample is fixed per task (not per attempt) so speculative
+        // duplicates compute the identical result.
+        Rng sample_rng = Rng(config_.seed).derive(0x5A5A + task_id);
+        exec.sample = input_format_->select(task_id, task.items_total,
+                                            task.sampling_ratio, sample_rng);
+    }
+
+    Attempt attempt;
+    attempt.server = server;
+    attempt.local = local;
+    attempt.start = cluster_.now();
+    Rng duration_rng =
+        rng_.derive(task_id * 7919 + exec.attempts.size());
+    attempt.cost = config_.map_cost.durationDetailed(
+        task.items_total, exec.sample.size(), srv.speed(),
+        local ? 1.0 : config_.remote_read_penalty,
+        config_.framework_overhead, duration_rng, task.approximate);
+    size_t attempt_index = exec.attempts.size();
+    attempt.event = cluster_.events().scheduleAfter(
+        attempt.cost.total,
+        [this, task_id, attempt_index] {
+            onAttemptFinish(task_id, attempt_index);
+        });
+    exec.attempts.push_back(attempt);
+}
+
+void
+Job::maybeSpeculate()
+{
+    if (!config_.speculation || pending_count_ > 0 || held_count_ > 0 ||
+        running_count_ == 0 || completed_duration_count_ == 0) {
+        return;
+    }
+    double mean_duration =
+        completed_duration_sum_ /
+        static_cast<double>(completed_duration_count_);
+    double threshold = config_.speculation_threshold * mean_duration;
+
+    for (MapTaskInfo& task : tasks_) {
+        if (task.state != TaskState::kRunning) {
+            continue;
+        }
+        TaskExec& exec = exec_[task.task_id];
+        if (exec.attempts.size() > 1) {
+            continue;  // already speculating
+        }
+        double elapsed = cluster_.now() - exec.attempts.front().start;
+        if (elapsed <= threshold) {
+            continue;
+        }
+        // Find a free slot, preferring a replica holder.
+        int64_t chosen = -1;
+        bool local = false;
+        for (uint32_t s : namenode_.replicas(task.block)) {
+            sim::Server& srv = cluster_.server(s);
+            if (srv.state() == sim::ServerState::kActive &&
+                srv.freeMapSlots() > 0) {
+                chosen = s;
+                local = true;
+                break;
+            }
+        }
+        if (chosen < 0) {
+            for (sim::Server& srv : cluster_.servers()) {
+                if (srv.state() == sim::ServerState::kActive &&
+                    srv.freeMapSlots() > 0) {
+                    chosen = srv.id();
+                    local = namenode_.isLocal(task.block, srv.id());
+                    break;
+                }
+            }
+        }
+        if (chosen < 0) {
+            return;  // no free slots anywhere
+        }
+        task.speculated = true;
+        ++counters_.maps_speculated;
+        startAttempt(task.task_id, static_cast<uint32_t>(chosen), local);
+    }
+}
+
+void
+Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    TaskExec& exec = exec_[task_id];
+    assert(task.state == TaskState::kRunning);
+
+    Attempt& winner = exec.attempts[attempt_index];
+    winner.done = true;
+    cluster_.server(winner.server).releaseMapSlot(cluster_.now());
+
+    // Cancel losing attempts and free their slots.
+    for (size_t a = 0; a < exec.attempts.size(); ++a) {
+        if (a == attempt_index || exec.attempts[a].done) {
+            continue;
+        }
+        cluster_.events().cancel(exec.attempts[a].event);
+        cluster_.server(exec.attempts[a].server)
+            .releaseMapSlot(cluster_.now());
+        exec.attempts[a].done = true;
+    }
+
+    task.state = TaskState::kCompleted;
+    task.finish_time = cluster_.now();
+    task.server = winner.server;
+    task.local = winner.local;
+    task.items_processed = exec.sample.size();
+    task.startup_time = winner.cost.startup;
+    task.read_time = winner.cost.read;
+    task.process_time = winner.cost.process;
+    --running_count_;
+    ++terminal_count_;
+    ++counters_.maps_completed;
+    counters_.items_read += task.items_total;
+    counters_.items_processed += task.items_processed;
+    if (winner.local) {
+        ++counters_.local_maps;
+    } else {
+        ++counters_.remote_maps;
+    }
+    completed_duration_sum_ += task.duration();
+    ++completed_duration_count_;
+    ++wave_counts_[task.wave].second;
+
+    // Run the user's map function for real, then shuffle incrementally.
+    executeMapper(task_id);
+
+    // Refill the freed slots before notifying the controller so wave
+    // indices stay contiguous.
+    scheduleLoop();
+
+    if (controller_ != nullptr) {
+        JobHandle handle(*this);
+        controller_->onMapComplete(handle, task);
+    }
+    checkWaveCompletion(task.wave);
+    checkMapPhaseDone();
+}
+
+void
+Job::killRunningTask(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    assert(task.state == TaskState::kRunning);
+    TaskExec& exec = exec_[task_id];
+    for (Attempt& a : exec.attempts) {
+        if (a.done) {
+            continue;
+        }
+        cluster_.events().cancel(a.event);
+        cluster_.server(a.server).releaseMapSlot(cluster_.now());
+        a.done = true;
+    }
+    task.state = TaskState::kKilled;
+    task.finish_time = cluster_.now();
+    --running_count_;
+    ++terminal_count_;
+    ++counters_.maps_killed;
+    ++wave_counts_[task.wave].second;
+}
+
+// ---------------------------------------------------------------------------
+// Job: data path
+// ---------------------------------------------------------------------------
+
+void
+Job::executeMapper(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    TaskExec& exec = exec_[task_id];
+
+    std::unique_ptr<Mapper> mapper = mapper_factory_();
+    // Task randomness derives from the seed + task id only, so results do
+    // not depend on scheduling order or speculation.
+    MapContext ctx(task_id, task.items_total, exec.sample.size(),
+                   task.approximate,
+                   Rng(config_.seed).derive(0xA11CE + task_id));
+    mapper->setup(ctx);
+    for (uint64_t index : exec.sample) {
+        mapper->map(dataset_.item(task_id, index), ctx);
+    }
+    mapper->cleanup(ctx);
+    deliverChunks(task_id, std::move(ctx.output()));
+}
+
+void
+Job::deliverChunks(uint64_t task_id, std::vector<KeyValue>&& output)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    if (combiner_ != nullptr && !output.empty()) {
+        // Map-side combine: group this task's records by key and fold.
+        std::map<std::string, std::vector<KeyValue>> groups;
+        for (KeyValue& kv : output) {
+            groups[kv.key].push_back(std::move(kv));
+        }
+        std::vector<KeyValue> combined;
+        combined.reserve(groups.size());
+        for (const auto& [key, values] : groups) {
+            combiner_->combine(key, values, combined);
+        }
+        output = std::move(combined);
+    }
+    std::vector<MapOutputChunk> chunks(config_.num_reducers);
+    for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        chunks[r].map_task = task_id;
+        chunks[r].items_total = task.items_total;
+        chunks[r].items_processed = task.items_processed;
+    }
+    for (KeyValue& kv : output) {
+        uint32_t r = partitioner_->partition(kv.key, config_.num_reducers);
+        chunks[r].records.push_back(std::move(kv));
+    }
+    counters_.records_shuffled += output.size();
+    // Every reducer gets the chunk even when it carries no records:
+    // multi-stage sampling needs each cluster's (M_i, m_i) to account for
+    // implicit zeros for the keys of that partition.
+    for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        reducer_records_[r] += chunks[r].records.size();
+        reducers_[r]->consume(chunks[r]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job: controller operations
+// ---------------------------------------------------------------------------
+
+void
+Job::dropPendingTask(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    assert(task.state == TaskState::kPending ||
+           task.state == TaskState::kHeld);
+    if (task.state == TaskState::kPending) {
+        --pending_count_;
+    } else {
+        --held_count_;
+    }
+    task.state = TaskState::kDropped;
+    task.finish_time = cluster_.now();
+    ++terminal_count_;
+    ++counters_.maps_dropped;
+}
+
+uint64_t
+Job::dropPendingMaps(uint64_t count)
+{
+    std::vector<uint64_t> pending;
+    for (const MapTaskInfo& t : tasks_) {
+        if (t.state == TaskState::kPending) {
+            pending.push_back(t.task_id);
+        }
+    }
+    uint64_t to_drop = std::min<uint64_t>(count, pending.size());
+    // The pending queue is already in random order, but choose the drop
+    // set independently so repeated calls stay unbiased.
+    rng_.shuffle(pending);
+    for (uint64_t i = 0; i < to_drop; ++i) {
+        dropPendingTask(pending[i]);
+    }
+    if (to_drop > 0) {
+        checkMapPhaseDone();
+    }
+    return to_drop;
+}
+
+void
+Job::dropAllRemaining()
+{
+    for (MapTaskInfo& t : tasks_) {
+        if (t.state == TaskState::kPending || t.state == TaskState::kHeld) {
+            dropPendingTask(t.task_id);
+        } else if (t.state == TaskState::kRunning) {
+            killRunningTask(t.task_id);
+        }
+    }
+    checkMapPhaseDone();
+}
+
+void
+Job::holdPendingExcept(uint64_t keep)
+{
+    uint64_t kept = 0;
+    for (uint64_t t : task_order_) {
+        if (tasks_[t].state != TaskState::kPending) {
+            continue;
+        }
+        if (kept < keep) {
+            ++kept;
+            continue;
+        }
+        tasks_[t].state = TaskState::kHeld;
+        --pending_count_;
+        ++held_count_;
+    }
+    rebuildQueues();
+}
+
+void
+Job::releaseHeld()
+{
+    for (MapTaskInfo& t : tasks_) {
+        if (t.state == TaskState::kHeld) {
+            t.state = TaskState::kPending;
+            --held_count_;
+            ++pending_count_;
+        }
+    }
+    rebuildQueues();
+}
+
+// ---------------------------------------------------------------------------
+// Job: completion
+// ---------------------------------------------------------------------------
+
+void
+Job::checkWaveCompletion(int wave)
+{
+    auto it = wave_counts_.find(wave);
+    if (it == wave_counts_.end()) {
+        return;
+    }
+    auto [started, terminal] = it->second;
+    if (started != terminal) {
+        return;
+    }
+    // The wave is only truly over once no future task can join it, i.e.,
+    // a later wave exists or nothing remains to start.
+    if (wave == max_wave_ && (pending_count_ > 0 || held_count_ > 0)) {
+        return;
+    }
+    wave_counts_.erase(it);
+    if (controller_ != nullptr) {
+        JobHandle handle(*this);
+        controller_->onWaveComplete(handle, wave);
+    }
+}
+
+void
+Job::checkMapPhaseDone()
+{
+    if (map_phase_done_ || terminal_count_ != tasks_.size()) {
+        return;
+    }
+    map_phase_done_ = true;
+    counters_.waves = max_wave_ + 1;
+    if (controller_ != nullptr) {
+        JobHandle handle(*this);
+        controller_->onMapPhaseDone(handle);
+    }
+    if (config_.s3_when_drained) {
+        maybeSleepServers();
+    }
+    finishReducers();
+}
+
+void
+Job::maybeSleepServers()
+{
+    if (pending_count_ > 0 || held_count_ > 0) {
+        return;
+    }
+    for (sim::Server& s : cluster_.servers()) {
+        if (s.state() == sim::ServerState::kActive &&
+            s.busyMapSlots() == 0 && s.busyReduceSlots() == 0) {
+            s.enterLowPower(cluster_.now());
+        }
+    }
+}
+
+void
+Job::finishReducers()
+{
+    for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        sim::Server& srv = cluster_.server(reducer_servers_[r]);
+        Rng reduce_rng = rng_.derive(0xBEEF00ULL + r);
+        double duration = config_.reduce_cost.duration(
+            reducer_records_[r], srv.speed(), reduce_rng);
+        cluster_.events().scheduleAfter(duration,
+                                        [this, r] { onReducerDone(r); });
+    }
+}
+
+void
+Job::onReducerDone(uint32_t reducer)
+{
+    ReduceContext ctx(tasks_.size(), counters_.items_total);
+    reducers_[reducer]->finalize(ctx);
+    for (OutputRecord& rec : ctx.output()) {
+        output_.push_back(std::move(rec));
+    }
+    cluster_.server(reducer_servers_[reducer])
+        .releaseReduceSlot(cluster_.now());
+    ++reducers_done_;
+    if (reducers_done_ == config_.num_reducers) {
+        end_time_ = cluster_.now();
+        job_done_ = true;
+        // Wake any servers we parked so the cluster is reusable.
+        for (sim::Server& s : cluster_.servers()) {
+            if (s.state() == sim::ServerState::kLowPower) {
+                s.exitLowPower(cluster_.now());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job: driver
+// ---------------------------------------------------------------------------
+
+JobResult
+Job::run()
+{
+    if (started_) {
+        throw std::logic_error("Job::run() called twice");
+    }
+    if (!mapper_factory_ || !reducer_factory_) {
+        throw std::logic_error("job needs mapper and reducer factories");
+    }
+    started_ = true;
+    start_time_ = cluster_.now();
+    start_energy_wh_ = cluster_.energyWattHours();
+
+    buildTasks();
+    placeReducers();
+
+    if (controller_ != nullptr) {
+        JobHandle handle(*this);
+        controller_->onJobStart(handle);
+    }
+    scheduleLoop();
+    // Degenerate case: everything dropped before anything ran.
+    checkMapPhaseDone();
+    cluster_.events().run();
+
+    if (!job_done_) {
+        throw std::runtime_error("job did not complete (scheduler stall)");
+    }
+
+    JobResult result;
+    result.output = std::move(output_);
+    result.runtime = end_time_ - start_time_;
+    result.energy_wh = cluster_.energyWattHours() - start_energy_wh_;
+    result.counters = counters_;
+    result.tasks = std::move(tasks_);
+    AH_INFO("job") << config_.name << " finished in " << result.runtime
+                   << "s: " << result.counters.summary();
+    return result;
+}
+
+}  // namespace approxhadoop::mr

@@ -1,0 +1,263 @@
+#ifndef APPROXHADOOP_MAPREDUCE_JOB_H_
+#define APPROXHADOOP_MAPREDUCE_JOB_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/combiner.h"
+#include "mapreduce/controller.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/job_config.h"
+#include "mapreduce/mapper.h"
+#include "mapreduce/partitioner.h"
+#include "mapreduce/reducer.h"
+#include "mapreduce/types.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::mr {
+
+/** Everything a job run produces. */
+struct JobResult
+{
+    /** Concatenated output of all reduce tasks. */
+    std::vector<OutputRecord> output;
+    /** Wall-clock job runtime in simulated seconds. */
+    double runtime = 0.0;
+    /** Cluster energy consumed during the job, watt-hours. */
+    double energy_wh = 0.0;
+    Counters counters;
+    /**
+     * Full per-task execution log (the Hadoop job-history analogue):
+     * states, wave indices, servers, timings. Useful for utilization
+     * analysis and for verifying scheduling behaviour in tests.
+     */
+    std::vector<MapTaskInfo> tasks;
+
+    /**
+     * Mean number of map tasks executing concurrently over the job
+     * (completed-task busy time divided by runtime).
+     */
+    double averageMapConcurrency() const;
+
+    /** Finds a record by key (nullptr when absent). */
+    const OutputRecord* find(const std::string& key) const;
+
+    /** Output indexed by key. */
+    std::map<std::string, OutputRecord> toMap() const;
+
+    /**
+     * Largest actual relative deviation from a precise reference, over
+     * keys present in the reference. Used by every accuracy experiment.
+     */
+    double maxRelativeErrorAgainst(const JobResult& precise) const;
+
+    /**
+     * Actual relative error and CI, reported the way the paper does
+     * (Section 5.1): for the key with the maximum *predicted absolute
+     * error*. Rare keys have huge relative but tiny absolute errors, so
+     * this matches the paper's headline numbers while
+     * maxRelativeErrorAgainst() exposes the rare-key story.
+     */
+    struct HeadlineError
+    {
+        std::string key;
+        /** |approx - precise| / |precise| for that key. */
+        double actual_relative_error = 0.0;
+        /** CI half-width / |estimate| for that key. */
+        double bound_relative_error = 0.0;
+    };
+    HeadlineError headlineErrorAgainst(const JobResult& precise) const;
+};
+
+/**
+ * One MapReduce job execution: the JobTracker, TaskTracker slots, shuffle,
+ * and barrier-less reduce, all driven by the discrete-event cluster.
+ *
+ * Responsibilities mirroring the paper's modified Hadoop (Section 4.3):
+ *  - map tasks execute in *random order* so that dropped tasks form a
+ *    uniform random cluster sample;
+ *  - locality-aware slot assignment against the NameNode's replica map;
+ *  - speculative re-execution of stragglers;
+ *  - kill/drop support with a distinct terminal state so job completion
+ *    is detected despite maps never finishing;
+ *  - incremental delivery of map output to reduce tasks, enabling
+ *    mid-job error estimation by approximation controllers.
+ *
+ * User map/reduce code runs for real inside completion events; only task
+ * *durations* are simulated (see DESIGN.md, "Simulated time, real
+ * statistics").
+ */
+class Job
+{
+  public:
+    using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+    using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+    /**
+     * @param cluster  simulated cluster to run on
+     * @param dataset  input data (one map task per block)
+     * @param namenode block location service (shared across jobs)
+     * @param config   job configuration
+     */
+    Job(sim::Cluster& cluster, const hdfs::BlockDataset& dataset,
+        hdfs::NameNode& namenode, JobConfig config);
+    ~Job();
+
+    Job(const Job&) = delete;
+    Job& operator=(const Job&) = delete;
+
+    /** Sets the factory creating one Mapper per map task. @pre not run */
+    void setMapperFactory(MapperFactory factory);
+
+    /** Sets the factory creating one Reducer per partition. @pre not run */
+    void setReducerFactory(ReducerFactory factory);
+
+    /** Overrides the input format (default: TextInputFormat). */
+    void setInputFormat(std::shared_ptr<const InputFormat> format);
+
+    /**
+     * Installs a map-side combiner (optional). See combiner.h for the
+     * soundness constraint with approximation-enabled reducers.
+     */
+    void setCombiner(std::shared_ptr<Combiner> combiner);
+
+    /** Overrides the partitioner (default: HashPartitioner). */
+    void setPartitioner(std::shared_ptr<const Partitioner> partitioner);
+
+    /** Installs an approximation controller (optional, not owned). */
+    void setController(JobController* controller);
+
+    /**
+     * Sets the initial sampling ratio for map tasks (controllers may
+     * change it for not-yet-started tasks while the job runs).
+     */
+    void setInitialSamplingRatio(double ratio);
+
+    /**
+     * Sets the initial fraction of map tasks that run the user-defined
+     * approximate map variant (paper's third mechanism).
+     */
+    void setInitialApproximateFraction(double fraction);
+
+    /** Runs the job to completion and returns its results. */
+    JobResult run();
+
+    const JobConfig& config() const { return config_; }
+
+  private:
+    friend class JobHandle;
+
+    struct Attempt
+    {
+        uint32_t server = 0;
+        bool local = false;
+        sim::EventQueue::EventId event = 0;
+        sim::SimTime start = 0.0;
+        sim::TaskCostModel::Sample cost;
+        bool done = false;
+    };
+
+    struct TaskExec
+    {
+        std::vector<uint64_t> sample;  ///< item indices to process
+        std::vector<Attempt> attempts;
+    };
+
+    // --- scheduling ---
+    void buildTasks();
+    void placeReducers();
+    void rebuildQueues();
+    void scheduleLoop();
+    /** Next pending task local to @p server; -1 if none. */
+    int64_t nextLocalTaskForServer(uint32_t server);
+    /** Next pending task from the global queue; -1 if none. */
+    int64_t nextGlobalTask(uint32_t server, bool& local);
+    void startAttempt(uint64_t task_id, uint32_t server, bool local);
+    void onAttemptFinish(uint64_t task_id, size_t attempt_index);
+    void maybeSpeculate();
+    void killRunningTask(uint64_t task_id);
+
+    // --- data path ---
+    void executeMapper(uint64_t task_id);
+    void deliverChunks(uint64_t task_id, std::vector<KeyValue>&& output);
+
+    // --- controller surface (via JobHandle) ---
+    void dropPendingTask(uint64_t task_id);
+    uint64_t dropPendingMaps(uint64_t count);
+    void dropAllRemaining();
+    void holdPendingExcept(uint64_t keep);
+    void releaseHeld();
+
+    // --- completion ---
+    void checkWaveCompletion(int wave);
+    void checkMapPhaseDone();
+    void maybeSleepServers();
+    void finishReducers();
+    void onReducerDone(uint32_t reducer);
+
+    sim::Cluster& cluster_;
+    const hdfs::BlockDataset& dataset_;
+    hdfs::NameNode& namenode_;
+    JobConfig config_;
+
+    MapperFactory mapper_factory_;
+    ReducerFactory reducer_factory_;
+    std::shared_ptr<const InputFormat> input_format_;
+    std::shared_ptr<const Partitioner> partitioner_;
+    std::shared_ptr<Combiner> combiner_;
+    JobController* controller_ = nullptr;
+
+    Rng rng_;
+    uint64_t first_block_ = 0;
+
+    std::vector<MapTaskInfo> tasks_;
+    std::vector<TaskExec> exec_;
+    /** Randomized task execution order (fixed at job start). */
+    std::vector<uint64_t> task_order_;
+    std::deque<uint64_t> pending_order_;
+    std::vector<std::deque<uint64_t>> local_pending_;
+    uint64_t pending_count_ = 0;
+    uint64_t held_count_ = 0;
+    uint64_t running_count_ = 0;
+    uint64_t terminal_count_ = 0;
+    uint64_t started_count_ = 0;
+
+    double pending_sampling_ratio_ = 1.0;
+    double pending_approx_fraction_ = 0.0;
+
+    /** started/terminal task counts per wave index. */
+    std::map<int, std::pair<uint64_t, uint64_t>> wave_counts_;
+    int max_wave_ = -1;
+
+    /** Completed map durations, for the speculation threshold. */
+    double completed_duration_sum_ = 0.0;
+    uint64_t completed_duration_count_ = 0;
+
+    // Reduce side.
+    std::vector<std::unique_ptr<Reducer>> reducers_;
+    std::vector<uint32_t> reducer_servers_;
+    std::vector<uint64_t> reducer_records_;
+    uint32_t reducers_done_ = 0;
+    bool map_phase_done_ = false;
+    bool job_done_ = false;
+    bool started_ = false;
+
+    sim::SimTime start_time_ = 0.0;
+    sim::SimTime end_time_ = 0.0;
+    double start_energy_wh_ = 0.0;
+
+    Counters counters_;
+    std::vector<OutputRecord> output_;
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_JOB_H_

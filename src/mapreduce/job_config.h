@@ -1,0 +1,61 @@
+#ifndef APPROXHADOOP_MAPREDUCE_JOB_CONFIG_H_
+#define APPROXHADOOP_MAPREDUCE_JOB_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cost_model.h"
+
+namespace approxhadoop::mr {
+
+/** Static configuration of one MapReduce job. */
+struct JobConfig
+{
+    std::string name = "job";
+
+    /** Number of reduce tasks (the paper runs one per server). */
+    uint32_t num_reducers = 1;
+
+    /** Map task cost model (per-item costs depend on the application). */
+    sim::TaskCostModel map_cost;
+
+    /** Reduce task cost model. */
+    sim::ReduceCostModel reduce_cost;
+
+    /**
+     * Read-cost multiplier for map tasks that cannot run block-local.
+     * Models shipping the block over the 1 Gb interconnect.
+     */
+    double remote_read_penalty = 1.3;
+
+    /** Enables speculative execution of straggler map tasks. */
+    bool speculation = true;
+
+    /**
+     * A running task becomes speculation-eligible once its elapsed time
+     * exceeds this multiple of the median completed-task duration.
+     */
+    double speculation_threshold = 1.3;
+
+    /**
+     * When true, servers left with no work after map dropping transition
+     * to ACPI S3 until the job finishes (the paper's energy experiments,
+     * Figure 12).
+     */
+    bool s3_when_drained = false;
+
+    /**
+     * Multiplicative per-map-task overhead of the approximation
+     * machinery. The paper measures <1% (WikiLength) to 12% (Project
+     * Popularity) for the approximate version with no sampling/dropping;
+     * the core layer sets this for approximation-enabled jobs.
+     */
+    double framework_overhead = 0.0;
+
+    /** Root seed; all task-level randomness derives from it. */
+    uint64_t seed = 42;
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_JOB_CONFIG_H_

@@ -1,0 +1,101 @@
+#ifndef APPROXHADOOP_MAPREDUCE_MAPPER_H_
+#define APPROXHADOOP_MAPREDUCE_MAPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/types.h"
+
+namespace approxhadoop::mr {
+
+/**
+ * Per-task context handed to map functions.
+ *
+ * Collects emitted intermediate records and exposes the task-level
+ * metadata the approximation layer piggybacks on the shuffle: the task
+ * id (cluster id for multi-stage sampling), block item counts, and
+ * whether the task is running its user-defined approximate variant.
+ */
+class MapContext
+{
+  public:
+    /**
+     * @param task_id         map task id (doubles as the cluster id)
+     * @param items_total     M_i: items in the input block
+     * @param items_processed m_i: items in the sample being processed
+     * @param approximate     user-defined-approximation flag for the task
+     * @param rng             task-private randomness (derived per task so
+     *                        results are reproducible under any schedule)
+     */
+    MapContext(uint64_t task_id, uint64_t items_total,
+               uint64_t items_processed, bool approximate, Rng rng)
+        : task_id_(task_id), items_total_(items_total),
+          items_processed_(items_processed), approximate_(approximate),
+          rng_(rng)
+    {
+    }
+
+    /** Emits an intermediate record. */
+    void
+    write(const std::string& key, double value)
+    {
+        output_.push_back(KeyValue{key, value, 0.0});
+    }
+
+    /** Emits a ratio observation (numerator, denominator). */
+    void
+    write(const std::string& key, double value, double value2)
+    {
+        output_.push_back(KeyValue{key, value, value2});
+    }
+
+    uint64_t taskId() const { return task_id_; }
+    uint64_t itemsTotal() const { return items_total_; }
+    uint64_t itemsProcessed() const { return items_processed_; }
+
+    /** True when this task should run the approximate code path. */
+    bool approximate() const { return approximate_; }
+
+    /** Task-private randomness (e.g., for Monte Carlo map tasks). */
+    Rng& rng() { return rng_; }
+
+    /** Emitted records; consumed by the framework after the task runs. */
+    std::vector<KeyValue>& output() { return output_; }
+
+  private:
+    uint64_t task_id_;
+    uint64_t items_total_;
+    uint64_t items_processed_;
+    bool approximate_;
+    Rng rng_;
+    std::vector<KeyValue> output_;
+};
+
+/**
+ * User map function. One instance is created per map task (so instances
+ * may keep per-task state between map() calls, like Hadoop's Mapper).
+ *
+ * Each input record is one data item of the block; the framework calls
+ * map() once per (sampled) item. This mirrors Hadoop's TextInputFormat
+ * convention where the value is one line of the input file.
+ */
+class Mapper
+{
+  public:
+    virtual ~Mapper() = default;
+
+    /** Called once before the first record. */
+    virtual void setup(MapContext& /*ctx*/) {}
+
+    /** Called for every (sampled) input record. */
+    virtual void map(const std::string& record, MapContext& ctx) = 0;
+
+    /** Called once after the last record. */
+    virtual void cleanup(MapContext& /*ctx*/) {}
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_MAPPER_H_

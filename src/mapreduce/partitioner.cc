@@ -1,0 +1,26 @@
+#include "mapreduce/partitioner.h"
+
+#include <cassert>
+
+namespace approxhadoop::mr {
+
+uint64_t
+HashPartitioner::fnv1a(const std::string& key)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+uint32_t
+HashPartitioner::partition(const std::string& key,
+                           uint32_t num_partitions) const
+{
+    assert(num_partitions > 0);
+    return static_cast<uint32_t>(fnv1a(key) % num_partitions);
+}
+
+}  // namespace approxhadoop::mr

@@ -1,0 +1,41 @@
+#ifndef APPROXHADOOP_MAPREDUCE_PARTITIONER_H_
+#define APPROXHADOOP_MAPREDUCE_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace approxhadoop::mr {
+
+/** Routes intermediate keys to reduce partitions. */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    /**
+     * @param key            intermediate key
+     * @param num_partitions reduce task count (> 0)
+     * @return partition index in [0, num_partitions)
+     */
+    virtual uint32_t partition(const std::string& key,
+                               uint32_t num_partitions) const = 0;
+};
+
+/**
+ * Default hash partitioner (Hadoop's HashPartitioner analogue). Uses
+ * FNV-1a rather than std::hash so partition assignment is stable across
+ * platforms and library versions.
+ */
+class HashPartitioner : public Partitioner
+{
+  public:
+    uint32_t partition(const std::string& key,
+                       uint32_t num_partitions) const override;
+
+    /** The underlying stable hash, exposed for tests. */
+    static uint64_t fnv1a(const std::string& key);
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_PARTITIONER_H_

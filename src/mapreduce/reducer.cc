@@ -1,0 +1,84 @@
+#include "mapreduce/reducer.h"
+
+#include <algorithm>
+
+namespace approxhadoop::mr {
+
+void
+GroupingReducer::consume(const MapOutputChunk& chunk)
+{
+    for (const KeyValue& kv : chunk.records) {
+        groups_[kv.key].push_back(kv);
+    }
+}
+
+void
+GroupingReducer::finalize(ReduceContext& ctx)
+{
+    for (const auto& [key, values] : groups_) {
+        reduce(key, values, ctx);
+    }
+}
+
+void
+SumReducer::reduce(const std::string& key,
+                   const std::vector<KeyValue>& values, ReduceContext& ctx)
+{
+    double sum = 0.0;
+    for (const KeyValue& kv : values) {
+        sum += kv.value;
+    }
+    ctx.write(key, sum);
+}
+
+void
+CountReducer::reduce(const std::string& key,
+                     const std::vector<KeyValue>& values, ReduceContext& ctx)
+{
+    ctx.write(key, static_cast<double>(values.size()));
+}
+
+void
+AverageReducer::reduce(const std::string& key,
+                       const std::vector<KeyValue>& values,
+                       ReduceContext& ctx)
+{
+    if (values.empty()) {
+        return;
+    }
+    double sum = 0.0;
+    for (const KeyValue& kv : values) {
+        sum += kv.value;
+    }
+    ctx.write(key, sum / static_cast<double>(values.size()));
+}
+
+void
+MinReducer::reduce(const std::string& key,
+                   const std::vector<KeyValue>& values, ReduceContext& ctx)
+{
+    if (values.empty()) {
+        return;
+    }
+    double best = values.front().value;
+    for (const KeyValue& kv : values) {
+        best = std::min(best, kv.value);
+    }
+    ctx.write(key, best);
+}
+
+void
+MaxReducer::reduce(const std::string& key,
+                   const std::vector<KeyValue>& values, ReduceContext& ctx)
+{
+    if (values.empty()) {
+        return;
+    }
+    double best = values.front().value;
+    for (const KeyValue& kv : values) {
+        best = std::max(best, kv.value);
+    }
+    ctx.write(key, best);
+}
+
+}  // namespace approxhadoop::mr

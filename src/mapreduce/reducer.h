@@ -1,0 +1,163 @@
+#ifndef APPROXHADOOP_MAPREDUCE_REDUCER_H_
+#define APPROXHADOOP_MAPREDUCE_REDUCER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/types.h"
+
+namespace approxhadoop::mr {
+
+/**
+ * The slice of one map task's output routed to one reduce partition,
+ * delivered incrementally as map tasks complete (barrier-less reduce,
+ * paper Section 4.3). Carries the per-cluster metadata multi-stage
+ * sampling needs: the map task id and the block's item counts.
+ */
+struct MapOutputChunk
+{
+    /** Producing map task (the sampling "cluster" id). */
+    uint64_t map_task = 0;
+    /** M_i: items in the producing task's block. */
+    uint64_t items_total = 0;
+    /** m_i: items the producing task actually processed. */
+    uint64_t items_processed = 0;
+    /** Records for this partition only. */
+    std::vector<KeyValue> records;
+};
+
+/** Final-output sink plus job-level facts reducers may need. */
+class ReduceContext
+{
+  public:
+    /**
+     * @param total_map_tasks N: map tasks in the job (the cluster
+     *                        population for multi-stage sampling)
+     * @param total_items     T: items in the whole input
+     */
+    ReduceContext(uint64_t total_map_tasks, uint64_t total_items)
+        : total_map_tasks_(total_map_tasks), total_items_(total_items)
+    {
+    }
+
+    /** Emits a precise output record. */
+    void
+    write(const std::string& key, double value)
+    {
+        output_.push_back(OutputRecord{key, value, false, value, value});
+    }
+
+    /** Emits an output record with a confidence interval. */
+    void
+    write(const std::string& key, double value, double lower, double upper)
+    {
+        output_.push_back(OutputRecord{key, value, true, lower, upper});
+    }
+
+    /** Emits a fully formed record. */
+    void write(OutputRecord record) { output_.push_back(std::move(record)); }
+
+    uint64_t totalMapTasks() const { return total_map_tasks_; }
+    uint64_t totalItems() const { return total_items_; }
+
+    std::vector<OutputRecord>& output() { return output_; }
+
+  private:
+    uint64_t total_map_tasks_;
+    uint64_t total_items_;
+    std::vector<OutputRecord> output_;
+};
+
+/**
+ * User reduce computation for one partition.
+ *
+ * Unlike stock Hadoop, reducers are *incremental*: consume() is invoked
+ * once per completed map task as soon as its output is shuffled, and
+ * finalize() runs after every map task has completed or been dropped.
+ * This is the paper's barrier-less extension, which is what lets the
+ * runtime estimate errors mid-job and drop the remaining maps.
+ */
+class Reducer
+{
+  public:
+    virtual ~Reducer() = default;
+
+    /** Ingests one map task's records for this partition. */
+    virtual void consume(const MapOutputChunk& chunk) = 0;
+
+    /** Produces the partition's final output. */
+    virtual void finalize(ReduceContext& ctx) = 0;
+};
+
+/**
+ * Convenience base class providing the classic Hadoop reduce(key, values)
+ * interface on top of the incremental one: chunks are buffered, grouped
+ * by key, and reduce() is called per key at finalize time.
+ */
+class GroupingReducer : public Reducer
+{
+  public:
+    void consume(const MapOutputChunk& chunk) override;
+    void finalize(ReduceContext& ctx) override;
+
+    /** Classic per-key reduction over all buffered records. */
+    virtual void reduce(const std::string& key,
+                        const std::vector<KeyValue>& values,
+                        ReduceContext& ctx) = 0;
+
+  protected:
+    const std::map<std::string, std::vector<KeyValue>>&
+    groups() const
+    {
+        return groups_;
+    }
+
+  private:
+    std::map<std::string, std::vector<KeyValue>> groups_;
+};
+
+/** Precise sum-per-key reducer (Hadoop's LongSumReducer analogue). */
+class SumReducer : public GroupingReducer
+{
+  public:
+    void reduce(const std::string& key, const std::vector<KeyValue>& values,
+                ReduceContext& ctx) override;
+};
+
+/** Precise record-count-per-key reducer. */
+class CountReducer : public GroupingReducer
+{
+  public:
+    void reduce(const std::string& key, const std::vector<KeyValue>& values,
+                ReduceContext& ctx) override;
+};
+
+/** Precise mean-of-values-per-key reducer. */
+class AverageReducer : public GroupingReducer
+{
+  public:
+    void reduce(const std::string& key, const std::vector<KeyValue>& values,
+                ReduceContext& ctx) override;
+};
+
+/** Precise minimum-per-key reducer. */
+class MinReducer : public GroupingReducer
+{
+  public:
+    void reduce(const std::string& key, const std::vector<KeyValue>& values,
+                ReduceContext& ctx) override;
+};
+
+/** Precise maximum-per-key reducer. */
+class MaxReducer : public GroupingReducer
+{
+  public:
+    void reduce(const std::string& key, const std::vector<KeyValue>& values,
+                ReduceContext& ctx) override;
+};
+
+}  // namespace approxhadoop::mr
+
+#endif  // APPROXHADOOP_MAPREDUCE_REDUCER_H_

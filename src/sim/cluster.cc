@@ -1,0 +1,79 @@
+#include "sim/cluster.h"
+
+namespace approxhadoop::sim {
+
+ClusterConfig
+ClusterConfig::xeon10()
+{
+    ClusterConfig config;
+    config.num_servers = 10;
+    config.map_slots_per_server = 8;
+    config.reduce_slots_per_server = 1;
+    config.speed = 1.0;
+    config.power = xeonPowerModel();
+    return config;
+}
+
+ClusterConfig
+ClusterConfig::atom60()
+{
+    ClusterConfig config;
+    config.num_servers = 60;
+    config.map_slots_per_server = 4;
+    config.reduce_slots_per_server = 1;
+    // The Atom nodes are substantially slower than the Xeon reference.
+    config.speed = 0.35;
+    config.power = atomPowerModel();
+    return config;
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config)
+{
+    servers_.reserve(config.num_servers);
+    for (uint32_t i = 0; i < config.num_servers; ++i) {
+        servers_.emplace_back(i, config.map_slots_per_server,
+                              config.reduce_slots_per_server, config.speed,
+                              config.power);
+    }
+}
+
+int
+Cluster::totalMapSlots() const
+{
+    int total = 0;
+    for (const Server& s : servers_) {
+        total += s.mapSlots();
+    }
+    return total;
+}
+
+int
+Cluster::totalReduceSlots() const
+{
+    int total = 0;
+    for (const Server& s : servers_) {
+        total += s.reduceSlots();
+    }
+    return total;
+}
+
+void
+Cluster::accrueAll()
+{
+    for (Server& s : servers_) {
+        s.accrue(now());
+    }
+}
+
+double
+Cluster::energyWattHours()
+{
+    accrueAll();
+    double joules = 0.0;
+    for (const Server& s : servers_) {
+        joules += s.energyJoules();
+    }
+    return joules / 3600.0;
+}
+
+}  // namespace approxhadoop::sim

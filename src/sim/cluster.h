@@ -1,0 +1,72 @@
+#ifndef APPROXHADOOP_SIM_CLUSTER_H_
+#define APPROXHADOOP_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/power_model.h"
+#include "sim/server.h"
+
+namespace approxhadoop::sim {
+
+/** Static description of a simulated cluster. */
+struct ClusterConfig
+{
+    uint32_t num_servers = 10;
+    int map_slots_per_server = 8;
+    int reduce_slots_per_server = 1;
+    /** Relative compute speed (1.0 = paper's Xeon reference). */
+    double speed = 1.0;
+    PowerModel power = xeonPowerModel();
+
+    /** The paper's 10-node Xeon cluster (8 map slots, 1 reduce slot). */
+    static ClusterConfig xeon10();
+    /** The paper's 60-node Atom cluster (4 map slots, 1 reduce slot). */
+    static ClusterConfig atom60();
+};
+
+/**
+ * A simulated server cluster: the event queue plus the servers and their
+ * energy meters. The MapReduce runtime (src/mapreduce/) layers job
+ * scheduling on top of this.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig& config);
+
+    EventQueue& events() { return events_; }
+    const EventQueue& events() const { return events_; }
+
+    SimTime now() const { return events_.now(); }
+
+    const ClusterConfig& config() const { return config_; }
+
+    std::vector<Server>& servers() { return servers_; }
+    const std::vector<Server>& servers() const { return servers_; }
+
+    Server& server(uint32_t id) { return servers_.at(id); }
+
+    uint32_t numServers() const {
+        return static_cast<uint32_t>(servers_.size());
+    }
+
+    int totalMapSlots() const;
+    int totalReduceSlots() const;
+
+    /** Accrues energy on every server up to the current time. */
+    void accrueAll();
+
+    /** Total cluster energy consumed so far, in watt-hours. */
+    double energyWattHours();
+
+  private:
+    ClusterConfig config_;
+    EventQueue events_;
+    std::vector<Server> servers_;
+};
+
+}  // namespace approxhadoop::sim
+
+#endif  // APPROXHADOOP_SIM_CLUSTER_H_

@@ -1,0 +1,74 @@
+#include "sim/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace approxhadoop::sim {
+
+double
+TaskCostModel::meanDuration(double items_total, double items_processed) const
+{
+    return t0 + items_total * t_read + items_processed * t_process;
+}
+
+double
+TaskCostModel::duration(uint64_t items_total, uint64_t items_processed,
+                        double server_speed, Rng& rng) const
+{
+    assert(server_speed > 0.0);
+    double base = meanDuration(static_cast<double>(items_total),
+                               static_cast<double>(items_processed));
+    double noise = 1.0;
+    if (noise_sigma > 0.0) {
+        // Lognormal with unit mean: mu = -sigma^2 / 2.
+        noise = rng.lognormal(-0.5 * noise_sigma * noise_sigma, noise_sigma);
+    }
+    double d = base * noise / server_speed;
+    if (straggler_prob > 0.0 && rng.bernoulli(straggler_prob)) {
+        d *= straggler_factor;
+    }
+    return d;
+}
+
+TaskCostModel::Sample
+TaskCostModel::durationDetailed(uint64_t items_total,
+                                uint64_t items_processed,
+                                double server_speed, double read_penalty,
+                                double overhead_factor, Rng& rng,
+                                bool approximate) const
+{
+    assert(server_speed > 0.0);
+    assert(read_penalty >= 1.0);
+    Sample s;
+    double noise = 1.0;
+    if (noise_sigma > 0.0) {
+        noise = rng.lognormal(-0.5 * noise_sigma * noise_sigma, noise_sigma);
+    }
+    double factor = noise * (1.0 + overhead_factor) / server_speed;
+    if (straggler_prob > 0.0 && rng.bernoulli(straggler_prob)) {
+        factor *= straggler_factor;
+        s.straggler = true;
+    }
+    s.startup = t0 * factor;
+    s.read = static_cast<double>(items_total) * t_read * read_penalty *
+             factor;
+    s.process = static_cast<double>(items_processed) * t_process * factor *
+                (approximate ? approx_process_factor : 1.0);
+    s.total = s.startup + s.read + s.process;
+    return s;
+}
+
+double
+ReduceCostModel::duration(uint64_t records, double server_speed, Rng& rng,
+                          double noise_sigma) const
+{
+    assert(server_speed > 0.0);
+    double base = t0 + static_cast<double>(records) * t_record;
+    double noise = 1.0;
+    if (noise_sigma > 0.0) {
+        noise = rng.lognormal(-0.5 * noise_sigma * noise_sigma, noise_sigma);
+    }
+    return base * noise / server_speed;
+}
+
+}  // namespace approxhadoop::sim

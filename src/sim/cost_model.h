@@ -1,0 +1,106 @@
+#ifndef APPROXHADOOP_SIM_COST_MODEL_H_
+#define APPROXHADOOP_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace approxhadoop::sim {
+
+/**
+ * Map-task duration model, directly from the paper's Equation 5:
+ *
+ *   t_map(M, m) = t0 + M * t_read + m * t_process
+ *
+ * where M is the number of data items in the task's input block and m is
+ * the number of items actually processed (m < M under input data
+ * sampling). Reading cost is paid for every item because a sampled block
+ * must still be scanned end to end; processing cost is paid only for the
+ * chosen sample — this asymmetry is why task dropping shortens runtime
+ * more than input sampling (paper Section 5.2).
+ *
+ * A multiplicative lognormal noise term models run-to-run variation, and
+ * a small straggler probability models the slow outliers that Hadoop
+ * handles with speculative execution.
+ */
+struct TaskCostModel
+{
+    /** Fixed startup cost per task, seconds. */
+    double t0 = 1.5;
+    /** Per-item read cost, seconds. */
+    double t_read = 0.0;
+    /** Per-item processing cost, seconds. */
+    double t_process = 0.0;
+    /** Lognormal sigma of the multiplicative noise (0 disables noise). */
+    double noise_sigma = 0.03;
+    /** Probability that a task is a straggler. */
+    double straggler_prob = 0.0;
+    /** Duration multiplier applied to stragglers. */
+    double straggler_factor = 4.0;
+    /**
+     * Processing-cost multiplier for tasks running a user-defined
+     * approximate map variant (< 1 when the approximate algorithm is
+     * cheaper; see core/user_defined.h).
+     */
+    double approx_process_factor = 1.0;
+
+    /**
+     * Breakdown of one drawn task duration. The components are what real
+     * Hadoop would report through task counters; the target-error
+     * controller uses them to estimate t0, t_read, and t_process online.
+     */
+    struct Sample
+    {
+        double total = 0.0;
+        double startup = 0.0;
+        double read = 0.0;
+        double process = 0.0;
+        bool straggler = false;
+    };
+
+    /**
+     * Draws the duration of one task on a server with the given relative
+     * speed.
+     *
+     * @param items_total     M: items in the block
+     * @param items_processed m: items actually processed
+     * @param server_speed    relative speed factor (higher = faster)
+     * @param rng             randomness source for noise/stragglers
+     */
+    double duration(uint64_t items_total, uint64_t items_processed,
+                    double server_speed, Rng& rng) const;
+
+    /**
+     * Like duration(), but returns the component breakdown and applies
+     * the extra multipliers the runtime layers on top (remote reads,
+     * framework overhead). Noise, overhead, and straggler factors scale
+     * all components uniformly, so component ratios remain faithful.
+     *
+     * @param read_penalty    multiplier on the read component (>= 1)
+     * @param overhead_factor extra multiplicative overhead (>= 0)
+     * @param approximate     true for user-defined approximate tasks
+     *                        (applies approx_process_factor)
+     */
+    Sample durationDetailed(uint64_t items_total, uint64_t items_processed,
+                            double server_speed, double read_penalty,
+                            double overhead_factor, Rng& rng,
+                            bool approximate = false) const;
+
+    /** Deterministic mean duration (no noise, no stragglers, speed 1). */
+    double meanDuration(double items_total, double items_processed) const;
+};
+
+/** Reduce-task cost model: startup plus per-record shuffle/merge cost. */
+struct ReduceCostModel
+{
+    double t0 = 1.0;
+    /** Per intermediate record cost, seconds. */
+    double t_record = 1e-6;
+
+    double duration(uint64_t records, double server_speed, Rng& rng,
+                    double noise_sigma = 0.02) const;
+};
+
+}  // namespace approxhadoop::sim
+
+#endif  // APPROXHADOOP_SIM_COST_MODEL_H_

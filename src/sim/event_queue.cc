@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace approxhadoop::sim {
+
+EventQueue::EventId
+EventQueue::schedule(SimTime at, Callback fn)
+{
+    assert(at >= now_);
+    EventId id = next_id_++;
+    Key key{at, id};
+    events_.emplace(key, std::move(fn));
+    index_.emplace(id, key);
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(SimTime delay, Callback fn)
+{
+    assert(delay >= 0.0);
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+        return false;
+    }
+    events_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty()) {
+        return false;
+    }
+    auto it = events_.begin();
+    Key key = it->first;
+    // Move the callback out before erasing so the callback can freely
+    // schedule or cancel other events.
+    Callback fn = std::move(it->second);
+    events_.erase(it);
+    index_.erase(key.second);
+    now_ = key.first;
+    ++executed_;
+    fn();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+}  // namespace approxhadoop::sim

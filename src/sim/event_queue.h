@@ -1,0 +1,83 @@
+#ifndef APPROXHADOOP_SIM_EVENT_QUEUE_H_
+#define APPROXHADOOP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace approxhadoop::sim {
+
+/** Simulated time, in seconds. */
+using SimTime = double;
+
+/**
+ * Single-threaded discrete-event simulation core.
+ *
+ * The MapReduce runtime schedules task completions, heartbeats, and
+ * controller decisions as events; the queue executes them in timestamp
+ * order (FIFO among equal timestamps). Events can be cancelled, which is
+ * how the JobTracker kills running map tasks when the target error bound
+ * has been reached.
+ *
+ * Everything that runs on the simulated cluster executes inside event
+ * callbacks, so user map/reduce code runs for real while time is virtual.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    /** Opaque handle for cancellation. */
+    using EventId = uint64_t;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedules @p fn to run at absolute time @p at.
+     *
+     * @pre at >= now()
+     * @return handle usable with cancel()
+     */
+    EventId schedule(SimTime at, Callback fn);
+
+    /** Schedules @p fn to run @p delay seconds from now. */
+    EventId scheduleAfter(SimTime delay, Callback fn);
+
+    /**
+     * Cancels a pending event. Cancelling an event that already ran (or
+     * was already cancelled) is a harmless no-op.
+     *
+     * @return true if the event was pending and is now cancelled
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Executes the next pending event.
+     * @return false when the queue is empty
+     */
+    bool step();
+
+    /** Runs events until the queue drains. */
+    void run();
+
+    /** Number of pending events. */
+    size_t pending() const { return events_.size(); }
+
+    /** Total events executed since construction. */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    using Key = std::pair<SimTime, EventId>;
+
+    SimTime now_ = 0.0;
+    EventId next_id_ = 1;
+    uint64_t executed_ = 0;
+    std::map<Key, Callback> events_;
+    std::unordered_map<EventId, Key> index_;
+};
+
+}  // namespace approxhadoop::sim
+
+#endif  // APPROXHADOOP_SIM_EVENT_QUEUE_H_

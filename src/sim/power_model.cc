@@ -1,0 +1,26 @@
+#include "sim/power_model.h"
+
+#include <algorithm>
+
+namespace approxhadoop::sim {
+
+double
+PowerModel::activeWatts(double utilization) const
+{
+    double u = std::clamp(utilization, 0.0, 1.0);
+    return idle_watts + (peak_watts - idle_watts) * u;
+}
+
+PowerModel
+xeonPowerModel()
+{
+    return PowerModel{60.0, 150.0, 5.0};
+}
+
+PowerModel
+atomPowerModel()
+{
+    return PowerModel{22.0, 38.0, 2.5};
+}
+
+}  // namespace approxhadoop::sim

@@ -1,0 +1,37 @@
+#ifndef APPROXHADOOP_SIM_POWER_MODEL_H_
+#define APPROXHADOOP_SIM_POWER_MODEL_H_
+
+namespace approxhadoop::sim {
+
+/**
+ * Linear-utilization server power model.
+ *
+ * The paper measured 60 W idle and 150 W peak per Xeon server and built a
+ * power model from that; we use the same two-point linear interpolation,
+ * plus an ACPI S3 suspend state that the energy experiments (Figure 12)
+ * transition idle servers into once all of their would-be map tasks have
+ * been dropped.
+ */
+struct PowerModel
+{
+    double idle_watts = 60.0;
+    double peak_watts = 150.0;
+    /** Power in the ACPI S3 suspend state. */
+    double s3_watts = 5.0;
+
+    /**
+     * Active power at the given utilization.
+     * @param utilization busy fraction in [0, 1]
+     */
+    double activeWatts(double utilization) const;
+};
+
+/** The paper's 4-core Xeon servers (8 hardware threads, 8 GB). */
+PowerModel xeonPowerModel();
+
+/** The paper's 2-core Atom servers used for the 12.5 TB experiments. */
+PowerModel atomPowerModel();
+
+}  // namespace approxhadoop::sim
+
+#endif  // APPROXHADOOP_SIM_POWER_MODEL_H_

@@ -1,0 +1,89 @@
+#include "sim/server.h"
+
+#include <cassert>
+
+namespace approxhadoop::sim {
+
+Server::Server(uint32_t id, int map_slots, int reduce_slots, double speed,
+               const PowerModel& power)
+    : id_(id), map_slots_(map_slots), reduce_slots_(reduce_slots),
+      speed_(speed), power_(power)
+{
+    assert(map_slots >= 0);
+    assert(reduce_slots >= 0);
+    assert(speed > 0.0);
+}
+
+double
+Server::currentWatts() const
+{
+    if (state_ == ServerState::kLowPower) {
+        return power_.s3_watts;
+    }
+    int total = map_slots_ + reduce_slots_;
+    double utilization =
+        total == 0 ? 0.0
+                   : static_cast<double>(busy_map_slots_ +
+                                         busy_reduce_slots_) /
+                         static_cast<double>(total);
+    return power_.activeWatts(utilization);
+}
+
+void
+Server::accrue(SimTime now)
+{
+    assert(now >= last_accrual_);
+    energy_joules_ += currentWatts() * (now - last_accrual_);
+    last_accrual_ = now;
+}
+
+void
+Server::acquireMapSlot(SimTime now)
+{
+    assert(state_ == ServerState::kActive);
+    assert(busy_map_slots_ < map_slots_);
+    accrue(now);
+    ++busy_map_slots_;
+}
+
+void
+Server::releaseMapSlot(SimTime now)
+{
+    assert(busy_map_slots_ > 0);
+    accrue(now);
+    --busy_map_slots_;
+}
+
+void
+Server::acquireReduceSlot(SimTime now)
+{
+    assert(state_ == ServerState::kActive);
+    assert(busy_reduce_slots_ < reduce_slots_);
+    accrue(now);
+    ++busy_reduce_slots_;
+}
+
+void
+Server::releaseReduceSlot(SimTime now)
+{
+    assert(busy_reduce_slots_ > 0);
+    accrue(now);
+    --busy_reduce_slots_;
+}
+
+void
+Server::enterLowPower(SimTime now)
+{
+    assert(busy_map_slots_ == 0 && busy_reduce_slots_ == 0);
+    accrue(now);
+    state_ = ServerState::kLowPower;
+}
+
+void
+Server::exitLowPower(SimTime now)
+{
+    accrue(now);
+    state_ = ServerState::kActive;
+}
+
+}  // namespace approxhadoop::sim

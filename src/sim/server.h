@@ -1,0 +1,96 @@
+#ifndef APPROXHADOOP_SIM_SERVER_H_
+#define APPROXHADOOP_SIM_SERVER_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/power_model.h"
+
+namespace approxhadoop::sim {
+
+/** Power-relevant server states. */
+enum class ServerState {
+    kActive,    ///< powered on; draws idle..peak depending on utilization
+    kLowPower,  ///< ACPI S3 suspend
+};
+
+/**
+ * One simulated cluster node: a fixed number of map and reduce compute
+ * slots (Hadoop 1.x style), a relative speed factor, and an energy meter.
+ *
+ * Energy is integrated lazily: every slot or state change first accrues
+ * energy for the elapsed interval at the previous power draw.
+ */
+class Server
+{
+  public:
+    /**
+     * @param id           index within the cluster
+     * @param map_slots    concurrent map tasks the node can run
+     * @param reduce_slots concurrent reduce tasks the node can run
+     * @param speed        relative speed factor (1.0 = reference Xeon)
+     * @param power        power model for energy accounting
+     */
+    Server(uint32_t id, int map_slots, int reduce_slots, double speed,
+           const PowerModel& power);
+
+    uint32_t id() const { return id_; }
+    int mapSlots() const { return map_slots_; }
+    int reduceSlots() const { return reduce_slots_; }
+    double speed() const { return speed_; }
+
+    int busyMapSlots() const { return busy_map_slots_; }
+    int busyReduceSlots() const { return busy_reduce_slots_; }
+    int freeMapSlots() const { return map_slots_ - busy_map_slots_; }
+    int freeReduceSlots() const { return reduce_slots_ - busy_reduce_slots_; }
+
+    ServerState state() const { return state_; }
+
+    /** Claims one map slot. @pre freeMapSlots() > 0 and state is active */
+    void acquireMapSlot(SimTime now);
+
+    /** Releases one map slot. @pre busyMapSlots() > 0 */
+    void releaseMapSlot(SimTime now);
+
+    /** Claims one reduce slot. @pre freeReduceSlots() > 0 */
+    void acquireReduceSlot(SimTime now);
+
+    /** Releases one reduce slot. @pre busyReduceSlots() > 0 */
+    void releaseReduceSlot(SimTime now);
+
+    /**
+     * Transitions to the S3 suspend state.
+     * @pre no busy slots
+     */
+    void enterLowPower(SimTime now);
+
+    /** Wakes the server back to the active state. */
+    void exitLowPower(SimTime now);
+
+    /** Instantaneous power draw in watts. */
+    double currentWatts() const;
+
+    /** Accrues energy up to @p now at the current power draw. */
+    void accrue(SimTime now);
+
+    /** Total energy consumed so far, in joules (call accrue() first). */
+    double energyJoules() const { return energy_joules_; }
+
+  private:
+    uint32_t id_;
+    int map_slots_;
+    int reduce_slots_;
+    double speed_;
+    PowerModel power_;
+
+    int busy_map_slots_ = 0;
+    int busy_reduce_slots_ = 0;
+    ServerState state_ = ServerState::kActive;
+
+    SimTime last_accrual_ = 0.0;
+    double energy_joules_ = 0.0;
+};
+
+}  // namespace approxhadoop::sim
+
+#endif  // APPROXHADOOP_SIM_SERVER_H_

@@ -1,0 +1,59 @@
+#include "stats/block_minima.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace approxhadoop::stats {
+
+namespace {
+
+template <typename Compare>
+std::vector<double>
+blockExtremes(const std::vector<double>& values, size_t num_blocks,
+              Compare better)
+{
+    assert(num_blocks >= 1);
+    assert(values.size() >= num_blocks);
+    size_t block_size = values.size() / num_blocks;
+    std::vector<double> extremes;
+    extremes.reserve(num_blocks);
+    for (size_t b = 0; b < num_blocks; ++b) {
+        size_t begin = b * block_size;
+        size_t end = (b + 1 == num_blocks) ? values.size()
+                                           : begin + block_size;
+        double best = values[begin];
+        for (size_t i = begin + 1; i < end; ++i) {
+            if (better(values[i], best)) {
+                best = values[i];
+            }
+        }
+        extremes.push_back(best);
+    }
+    return extremes;
+}
+
+}  // namespace
+
+std::vector<double>
+blockMinima(const std::vector<double>& values, size_t num_blocks)
+{
+    return blockExtremes(values, num_blocks, std::less<double>());
+}
+
+std::vector<double>
+blockMaxima(const std::vector<double>& values, size_t num_blocks)
+{
+    return blockExtremes(values, num_blocks, std::greater<double>());
+}
+
+size_t
+defaultBlockCount(size_t sample_size, size_t min_blocks)
+{
+    size_t blocks = static_cast<size_t>(
+        std::floor(std::sqrt(static_cast<double>(sample_size))));
+    blocks = std::max(blocks, min_blocks);
+    return std::min(blocks, sample_size);
+}
+
+}  // namespace approxhadoop::stats

@@ -1,0 +1,34 @@
+#ifndef APPROXHADOOP_STATS_BLOCK_MINIMA_H_
+#define APPROXHADOOP_STATS_BLOCK_MINIMA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace approxhadoop::stats {
+
+/**
+ * Transforms a raw sample into block minima: split into @p num_blocks
+ * equal-size contiguous blocks and keep the minimum of each (paper
+ * Section 3.2, the Block Minima method). Trailing values that do not fill
+ * a complete block are folded into the last block.
+ *
+ * @pre num_blocks >= 1 and values.size() >= num_blocks
+ */
+std::vector<double> blockMinima(const std::vector<double>& values,
+                                size_t num_blocks);
+
+/** Block maxima counterpart of blockMinima(). */
+std::vector<double> blockMaxima(const std::vector<double>& values,
+                                size_t num_blocks);
+
+/**
+ * Picks a block count for the minima/maxima transform: roughly
+ * sqrt(sample size), clamped to [min_blocks, sample size]. The square-root
+ * rule balances block size (convergence to the GEV limit) against the
+ * number of blocks (fitting sample size).
+ */
+size_t defaultBlockCount(size_t sample_size, size_t min_blocks = 5);
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_BLOCK_MINIMA_H_

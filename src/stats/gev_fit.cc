@@ -1,0 +1,303 @@
+#include "stats/gev_fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "stats/moments.h"
+#include "stats/nelder_mead.h"
+#include "stats/student_t.h"
+
+namespace approxhadoop::stats {
+
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+/**
+ * Inverts a symmetric 3x3 matrix via the adjugate. Returns false when the
+ * determinant is (numerically) zero.
+ */
+bool
+invert3x3(const std::array<std::array<double, 3>, 3>& m,
+          std::array<std::array<double, 3>, 3>& out)
+{
+    double det =
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+        m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+        m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    if (!std::isfinite(det) || std::fabs(det) < 1e-30) {
+        return false;
+    }
+    double inv = 1.0 / det;
+    out[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+    out[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+    out[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+    out[1][0] = out[0][1];
+    out[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+    out[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+    out[2][0] = out[0][2];
+    out[2][1] = out[1][2];
+    out[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+    return true;
+}
+
+/** Numerical Hessian of the objective at theta (relative central steps). */
+std::array<std::array<double, 3>, 3>
+numericalHessian(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::array<double, 3>& theta)
+{
+    auto nll = [&](const std::array<double, 3>& t) {
+        return objective({t[0], t[1], t[2]});
+    };
+    std::array<double, 3> h;
+    for (int i = 0; i < 3; ++i) {
+        h[i] = 1e-4 * std::max(1.0, std::fabs(theta[i]));
+    }
+    std::array<std::array<double, 3>, 3> hess{};
+    double f0 = nll(theta);
+    for (int i = 0; i < 3; ++i) {
+        for (int j = i; j < 3; ++j) {
+            std::array<double, 3> tpp = theta;
+            std::array<double, 3> tpm = theta;
+            std::array<double, 3> tmp = theta;
+            std::array<double, 3> tmm = theta;
+            tpp[i] += h[i];
+            tpp[j] += h[j];
+            tpm[i] += h[i];
+            tpm[j] -= h[j];
+            tmp[i] -= h[i];
+            tmp[j] += h[j];
+            tmm[i] -= h[i];
+            tmm[j] -= h[j];
+            double v;
+            if (i == j) {
+                std::array<double, 3> tp = theta;
+                std::array<double, 3> tm = theta;
+                tp[i] += h[i];
+                tm[i] -= h[i];
+                v = (nll(tp) - 2.0 * f0 + nll(tm)) / (h[i] * h[i]);
+            } else {
+                v = (nll(tpp) - nll(tpm) - nll(tmp) + nll(tmm)) /
+                    (4.0 * h[i] * h[j]);
+            }
+            hess[i][j] = v;
+            hess[j][i] = v;
+        }
+    }
+    return hess;
+}
+
+}  // namespace
+
+double
+ExtremeEstimate::relativeError()  const
+{
+    if (!ok) {
+        return std::numeric_limits<double>::infinity();
+    }
+    if (value == 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return std::max(upper - value, value - lower) / std::fabs(value);
+}
+
+GevFit
+fitGevMaxima(const std::vector<double>& maxima)
+{
+    GevFit fit;
+    if (maxima.size() < 3) {
+        return fit;
+    }
+
+    RunningMoments moments;
+    for (double v : maxima) {
+        moments.add(v);
+    }
+    double sd = moments.stddev();
+    if (sd <= 0.0 || !std::isfinite(sd)) {
+        // Degenerate sample: every block maximum identical.
+        fit.mu = moments.mean();
+        fit.sigma = 1e-12;
+        fit.xi = 0.0;
+        fit.ok = true;
+        fit.degenerate = true;
+        return fit;
+    }
+
+    // Method-of-moments start assuming the Gumbel case.
+    double sigma0 = sd * std::sqrt(6.0) / M_PI;
+    double mu0 = moments.mean() - kEulerMascheroni * sigma0;
+
+    // Penalized likelihood: the GEV MLE is non-regular for xi <= -0.5
+    // (Smith 1985), which arises for minima of distributions with a hard
+    // lower endpoint (exactly the optimization-app case). A smooth
+    // penalty keeps the fit in the regular regime so the observed
+    // information matrix stays meaningful; the resulting CIs are mildly
+    // conservative for hard-boundary data.
+    double n = static_cast<double>(maxima.size());
+    auto objective = [&, n](const std::vector<double>& t) {
+        double nll =
+            GevDistribution::negLogLikelihood(t[0], t[1], t[2], maxima);
+        if (!std::isfinite(nll)) {
+            return nll;
+        }
+        double xi = t[2];
+        if (xi < -0.4) {
+            double over = -0.4 - xi;
+            nll += 1e3 * n * over * over;
+        } else if (xi > 1.5) {
+            double over = xi - 1.5;
+            nll += 1e3 * n * over * over;
+        }
+        return nll;
+    };
+
+    // Try a few shape starts; the likelihood surface can have a boundary
+    // ridge, and restarts are cheap at these sample sizes.
+    NelderMeadOptions options;
+    options.max_iterations = 4000;
+    options.tolerance = 1e-12;
+    NelderMeadResult best;
+    best.value = std::numeric_limits<double>::infinity();
+    for (double xi0 : {0.1, -0.1, 0.0}) {
+        NelderMeadResult r = nelderMead(objective, {mu0, sigma0, xi0},
+                                        options);
+        if (r.value < best.value) {
+            best = r;
+        }
+    }
+    if (!std::isfinite(best.value)) {
+        return fit;
+    }
+    fit.mu = best.x[0];
+    fit.sigma = best.x[1];
+    fit.xi = best.x[2];
+    fit.neg_log_likelihood = best.value;
+    if (fit.sigma <= 0.0) {
+        return fit;
+    }
+
+    std::array<double, 3> theta = {fit.mu, fit.sigma, fit.xi};
+    auto hess = numericalHessian(objective, theta);
+    std::array<std::array<double, 3>, 3> cov;
+    if (!invert3x3(hess, cov)) {
+        return fit;
+    }
+    // Diagonal must be positive for the fit to be a genuine maximum.
+    for (int i = 0; i < 3; ++i) {
+        if (!(cov[i][i] > 0.0) || !std::isfinite(cov[i][i])) {
+            return fit;
+        }
+    }
+    fit.covariance = cov;
+    fit.ok = true;
+    return fit;
+}
+
+namespace {
+
+/**
+ * Shared implementation: fits maxima, reads the quantile at prob, and
+ * applies the delta method for the CI.
+ */
+ExtremeEstimate
+estimateFromMaxima(const std::vector<double>& maxima, double prob,
+                   double confidence)
+{
+    ExtremeEstimate est;
+    est.confidence = confidence;
+    est.observed = *std::max_element(maxima.begin(), maxima.end());
+
+    GevFit fit = fitGevMaxima(maxima);
+    if (!fit.ok) {
+        est.value = est.observed;
+        est.lower = -std::numeric_limits<double>::infinity();
+        est.upper = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    if (fit.degenerate) {
+        est.value = fit.mu;
+        est.lower = fit.mu;
+        est.upper = fit.mu;
+        est.ok = true;
+        return est;
+    }
+
+    GevDistribution dist = fit.distribution();
+    double q = dist.quantile(prob);
+
+    // Delta method: gradient of the quantile w.r.t. (mu, sigma, xi).
+    std::array<double, 3> theta = {fit.mu, fit.sigma, fit.xi};
+    std::array<double, 3> grad;
+    for (int i = 0; i < 3; ++i) {
+        double h = 1e-5 * std::max(1.0, std::fabs(theta[i]));
+        std::array<double, 3> tp = theta;
+        std::array<double, 3> tm = theta;
+        tp[i] += h;
+        tm[i] -= h;
+        double sp = std::max(tp[1], 1e-12);
+        double sm = std::max(tm[1], 1e-12);
+        double qp = GevDistribution(tp[0], sp, tp[2]).quantile(prob);
+        double qm = GevDistribution(tm[0], sm, tm[2]).quantile(prob);
+        grad[i] = (qp - qm) / (2.0 * h);
+    }
+    double var_q = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            var_q += grad[i] * fit.covariance[i][j] * grad[j];
+        }
+    }
+    if (!(var_q >= 0.0) || !std::isfinite(var_q)) {
+        est.value = q;
+        est.lower = -std::numeric_limits<double>::infinity();
+        est.upper = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    double z = normalQuantile(1.0 - (1.0 - confidence) / 2.0);
+    double half = z * std::sqrt(var_q);
+    est.value = q;
+    est.lower = q - half;
+    est.upper = q + half;
+    est.ok = true;
+    return est;
+}
+
+}  // namespace
+
+ExtremeEstimate
+estimateMinimum(const std::vector<double>& minima, double percentile,
+                double confidence)
+{
+    assert(percentile > 0.0 && percentile < 1.0);
+    // Fit the negated sample as maxima; if G~ is the fitted law of -X then
+    // G(x) = 1 - G~(-x), so G(min) = p  <=>  min = -quantile_{G~}(1 - p).
+    std::vector<double> negated;
+    negated.reserve(minima.size());
+    for (double v : minima) {
+        negated.push_back(-v);
+    }
+    ExtremeEstimate neg =
+        estimateFromMaxima(negated, 1.0 - percentile, confidence);
+    ExtremeEstimate est;
+    est.confidence = confidence;
+    est.ok = neg.ok;
+    est.value = -neg.value;
+    est.lower = -neg.upper;
+    est.upper = -neg.lower;
+    est.observed = -neg.observed;
+    return est;
+}
+
+ExtremeEstimate
+estimateMaximum(const std::vector<double>& maxima, double percentile,
+                double confidence)
+{
+    assert(percentile > 0.0 && percentile < 1.0);
+    return estimateFromMaxima(maxima, 1.0 - percentile, confidence);
+}
+
+}  // namespace approxhadoop::stats

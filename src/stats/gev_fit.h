@@ -1,0 +1,81 @@
+#ifndef APPROXHADOOP_STATS_GEV_FIT_H_
+#define APPROXHADOOP_STATS_GEV_FIT_H_
+
+#include <array>
+#include <vector>
+
+#include "stats/gev.h"
+
+namespace approxhadoop::stats {
+
+/** Result of a GEV maximum-likelihood fit on block maxima. */
+struct GevFit
+{
+    double mu = 0.0;
+    double sigma = 1.0;
+    double xi = 0.0;
+    /** Parameter covariance from the observed information matrix. */
+    std::array<std::array<double, 3>, 3> covariance{};
+    /** Negative log-likelihood at the optimum. */
+    double neg_log_likelihood = 0.0;
+    /** False when the optimizer failed or the Hessian was singular. */
+    bool ok = false;
+    /** True when the sample was (near-)degenerate (all values equal). */
+    bool degenerate = false;
+
+    GevDistribution distribution() const { return {mu, sigma, xi}; }
+};
+
+/**
+ * Fits GEV(mu, sigma, xi) to a sample of block maxima by maximum
+ * likelihood (paper Section 3.2). Uses moment-based starting values and
+ * Nelder-Mead; parameter covariances come from the numerically evaluated
+ * observed information matrix.
+ *
+ * @param maxima block maxima (at least 3 values for a meaningful fit)
+ */
+GevFit fitGevMaxima(const std::vector<double>& maxima);
+
+/**
+ * Extreme-value estimate with confidence interval, as produced by the
+ * ApproxMin/ApproxMax reducers.
+ */
+struct ExtremeEstimate
+{
+    /** Estimated minimum (or maximum). */
+    double value = 0.0;
+    /** Confidence interval around the estimate: [lower, upper]. */
+    double lower = 0.0;
+    double upper = 0.0;
+    double confidence = 0.0;
+    /** Best value actually observed in the sample. */
+    double observed = 0.0;
+    /** False when the GEV fit failed; the CI is then unbounded. */
+    bool ok = false;
+
+    /** Half-width of the CI relative to |value|. */
+    double relativeError() const;
+};
+
+/**
+ * Estimates the population minimum from a sample of minima (paper
+ * Section 3.2): fit a GEV G to the sample (minima are fitted by negation),
+ * report the value min where G(min) = @p percentile, and derive the
+ * confidence interval from the bounding fitted distributions G_l / G_h
+ * (computed via the delta method on the fitted parameters).
+ *
+ * @param minima     the sample (one value per map task, or block minima)
+ * @param percentile low percentile p at which to read the estimate
+ *                   (e.g., 0.01)
+ * @param confidence e.g. 0.95
+ */
+ExtremeEstimate estimateMinimum(const std::vector<double>& minima,
+                                double percentile, double confidence);
+
+/** Maximum counterpart of estimateMinimum (reads the 1-p quantile). */
+ExtremeEstimate estimateMaximum(const std::vector<double>& maxima,
+                                double percentile, double confidence);
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_GEV_FIT_H_

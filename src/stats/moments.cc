@@ -1,0 +1,74 @@
+#include "stats/moments.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxhadoop::stats {
+
+void
+RunningMoments::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunningMoments::merge(const RunningMoments& other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    uint64_t total = count_ + other.count_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+double
+RunningMoments::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningMoments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+varianceWithImplicitZeros(uint64_t m, double sum, double sum_sq)
+{
+    if (m < 2) {
+        return 0.0;
+    }
+    double md = static_cast<double>(m);
+    double centered = sum_sq - sum * sum / md;
+    if (centered < 0.0) {
+        centered = 0.0;  // guard against cancellation
+    }
+    return centered / (md - 1.0);
+}
+
+}  // namespace approxhadoop::stats

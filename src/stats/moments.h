@@ -1,0 +1,70 @@
+#ifndef APPROXHADOOP_STATS_MOMENTS_H_
+#define APPROXHADOOP_STATS_MOMENTS_H_
+
+#include <cstdint>
+
+namespace approxhadoop::stats {
+
+/**
+ * Numerically stable running mean/variance accumulator (Welford).
+ *
+ * Used wherever the framework needs sample statistics: per-cluster
+ * intra-block variances, task duration models, and test assertions.
+ * Supports merging two accumulators (Chan et al.), which the incremental
+ * reducers use when map outputs arrive out of order.
+ */
+class RunningMoments
+{
+  public:
+    /** Adds one observation. */
+    void add(double value);
+
+    /** Merges another accumulator into this one. */
+    void merge(const RunningMoments& other);
+
+    /** Number of observations. */
+    uint64_t count() const { return count_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** Unbiased sample variance (0 if fewer than 2 observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Sum of observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Computes the unbiased sample variance of m values whose nonzero subset
+ * has the given count, sum, and sum of squares; the remaining
+ * (m - nonzero_count) values are implicit zeros.
+ *
+ * This is the paper's "a value of 0 can be correctly associated with an
+ * input data item if the Map phase did not produce a value for the item"
+ * assumption (Section 3.1), turned into arithmetic: reducers never see the
+ * zero-valued units, only the block totals.
+ *
+ * @param m       total number of sampled units in the cluster
+ * @param sum     sum of the emitted (nonzero) values
+ * @param sum_sq  sum of squares of the emitted values
+ * @return unbiased variance over all m units; 0 when m < 2
+ */
+double varianceWithImplicitZeros(uint64_t m, double sum, double sum_sq);
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_MOMENTS_H_

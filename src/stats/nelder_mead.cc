@@ -1,0 +1,116 @@
+#include "stats/nelder_mead.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace approxhadoop::stats {
+
+NelderMeadResult
+nelderMead(const std::function<double(const std::vector<double>&)>& objective,
+           const std::vector<double>& x0, const NelderMeadOptions& options)
+{
+    const double kAlpha = 1.0;   // reflection
+    const double kGamma = 2.0;   // expansion
+    const double kRho = 0.5;     // contraction
+    const double kSigma = 0.5;   // shrink
+
+    size_t dim = x0.size();
+    assert(dim > 0);
+
+    struct Vertex
+    {
+        std::vector<double> x;
+        double f;
+    };
+
+    // Initial simplex: x0 plus one displaced vertex per coordinate.
+    std::vector<Vertex> simplex;
+    simplex.reserve(dim + 1);
+    simplex.push_back({x0, objective(x0)});
+    for (size_t i = 0; i < dim; ++i) {
+        std::vector<double> x = x0;
+        double step = options.initial_step;
+        if (x[i] != 0.0) {
+            step *= std::fabs(x[i]);
+        }
+        x[i] += step;
+        simplex.push_back({x, objective(x)});
+    }
+
+    auto by_value = [](const Vertex& a, const Vertex& b) {
+        return a.f < b.f;
+    };
+
+    NelderMeadResult result;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        std::sort(simplex.begin(), simplex.end(), by_value);
+        result.iterations = iter + 1;
+
+        double spread = std::fabs(simplex.back().f - simplex.front().f);
+        if (std::isfinite(simplex.front().f) &&
+            spread < options.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(dim, 0.0);
+        for (size_t v = 0; v < dim; ++v) {
+            for (size_t i = 0; i < dim; ++i) {
+                centroid[i] += simplex[v].x[i];
+            }
+        }
+        for (double& c : centroid) {
+            c /= static_cast<double>(dim);
+        }
+
+        const Vertex& worst = simplex.back();
+        auto blend = [&](double coeff) {
+            std::vector<double> x(dim);
+            for (size_t i = 0; i < dim; ++i) {
+                x[i] = centroid[i] + coeff * (centroid[i] - worst.x[i]);
+            }
+            return x;
+        };
+
+        std::vector<double> reflected = blend(kAlpha);
+        double f_reflected = objective(reflected);
+
+        if (f_reflected < simplex.front().f) {
+            std::vector<double> expanded = blend(kGamma);
+            double f_expanded = objective(expanded);
+            if (f_expanded < f_reflected) {
+                simplex.back() = {expanded, f_expanded};
+            } else {
+                simplex.back() = {reflected, f_reflected};
+            }
+            continue;
+        }
+        if (f_reflected < simplex[dim - 1].f) {
+            simplex.back() = {reflected, f_reflected};
+            continue;
+        }
+        std::vector<double> contracted = blend(-kRho);
+        double f_contracted = objective(contracted);
+        if (f_contracted < worst.f) {
+            simplex.back() = {contracted, f_contracted};
+            continue;
+        }
+        // Shrink toward the best vertex.
+        for (size_t v = 1; v <= dim; ++v) {
+            for (size_t i = 0; i < dim; ++i) {
+                simplex[v].x[i] = simplex[0].x[i] +
+                                  kSigma * (simplex[v].x[i] - simplex[0].x[i]);
+            }
+            simplex[v].f = objective(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    result.x = simplex.front().x;
+    result.value = simplex.front().f;
+    return result;
+}
+
+}  // namespace approxhadoop::stats

@@ -1,0 +1,50 @@
+#ifndef APPROXHADOOP_STATS_NELDER_MEAD_H_
+#define APPROXHADOOP_STATS_NELDER_MEAD_H_
+
+#include <functional>
+#include <vector>
+
+namespace approxhadoop::stats {
+
+/** Result of a Nelder-Mead minimization. */
+struct NelderMeadResult
+{
+    /** Best point found. */
+    std::vector<double> x;
+    /** Objective value at x. */
+    double value = 0.0;
+    /** Number of iterations executed. */
+    int iterations = 0;
+    /** True if the simplex converged before hitting the iteration cap. */
+    bool converged = false;
+};
+
+/** Tuning knobs for nelderMead(). */
+struct NelderMeadOptions
+{
+    int max_iterations = 2000;
+    /** Stop when the simplex value spread falls below this. */
+    double tolerance = 1e-10;
+    /** Initial simplex displacement per coordinate. */
+    double initial_step = 0.1;
+};
+
+/**
+ * Derivative-free simplex minimization (Nelder & Mead 1965).
+ *
+ * Used by the GEV maximum-likelihood fit, where the log-likelihood has a
+ * bounded support region that makes gradient methods awkward: the
+ * objective may return +infinity outside the feasible region and the
+ * simplex simply contracts away from it.
+ *
+ * @param objective function to minimize; may return +inf for infeasible x
+ * @param x0        starting point (dimension defines the problem size)
+ */
+NelderMeadResult
+nelderMead(const std::function<double(const std::vector<double>&)>& objective,
+           const std::vector<double>& x0,
+           const NelderMeadOptions& options = {});
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_NELDER_MEAD_H_

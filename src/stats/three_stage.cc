@@ -1,0 +1,167 @@
+#include "stats/three_stage.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/moments.h"
+#include "stats/student_t.h"
+
+namespace approxhadoop::stats {
+
+namespace {
+
+/** Estimated total for one unit: (K_ij / k_ij) * sum_ij. */
+double
+unitTotal(const UnitSample& u)
+{
+    if (u.subunits_sampled == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(u.subunits_total) /
+           static_cast<double>(u.subunits_sampled) * u.sum;
+}
+
+/** Estimated total for one cluster: (M_i / m_i) * sum_j unitTotal. */
+double
+clusterTotal(const ThreeStageCluster& c)
+{
+    uint64_t m = c.effectiveUnitsSampled();
+    if (m == 0) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const UnitSample& u : c.units) {
+        sum += unitTotal(u);
+    }
+    return static_cast<double>(c.units_total) / static_cast<double>(m) *
+           sum;
+}
+
+}  // namespace
+
+Estimate
+ThreeStageEstimator::estimateSum(
+    const std::vector<ThreeStageCluster>& clusters, uint64_t total_clusters,
+    double confidence)
+{
+    Estimate est;
+    est.confidence = confidence;
+    est.clusters_sampled = clusters.size();
+
+    size_t n = clusters.size();
+    if (n == 0) {
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+
+    double sum_totals = 0.0;
+    for (const ThreeStageCluster& c : clusters) {
+        sum_totals += clusterTotal(c);
+    }
+    est.value = big_n / nd * sum_totals;
+
+    if (n < 2) {
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+
+    RunningMoments cluster_totals;
+    double stage2 = 0.0;
+    double stage3 = 0.0;
+    for (const ThreeStageCluster& c : clusters) {
+        cluster_totals.add(clusterTotal(c));
+        uint64_t mi = c.effectiveUnitsSampled();
+        if (mi == 0) {
+            continue;
+        }
+        double mid = static_cast<double>(mi);
+        double big_m = static_cast<double>(c.units_total);
+
+        // Stage 2: variance of the estimated unit totals within cluster i,
+        // counting implicit zero-subunit units as unit totals of 0.
+        if (mi >= 2 && c.units_total > mi) {
+            RunningMoments unit_totals;
+            for (const UnitSample& u : c.units) {
+                unit_totals.add(unitTotal(u));
+            }
+            for (uint64_t z = c.units.size(); z < mi; ++z) {
+                unit_totals.add(0.0);
+            }
+            stage2 +=
+                big_m * (big_m - mid) * unit_totals.variance() / mid;
+        }
+
+        // Stage 3: subunit sampling variance within each sampled unit.
+        double inner = 0.0;
+        for (const UnitSample& u : c.units) {
+            if (u.subunits_sampled >= 2 &&
+                u.subunits_total > u.subunits_sampled) {
+                double kij = static_cast<double>(u.subunits_sampled);
+                double big_k = static_cast<double>(u.subunits_total);
+                double s2 = varianceWithImplicitZeros(
+                    u.subunits_sampled, u.sum, u.sum_squares);
+                inner += big_k * (big_k - kij) * s2 / kij;
+            }
+        }
+        stage3 += big_m / mid * inner;
+    }
+    double s2u = cluster_totals.variance();
+    est.variance = big_n * (big_n - nd) * s2u / nd +
+                   (big_n / nd) * stage2 + (big_n / nd) * stage3;
+    double t = studentTCritical(confidence, nd - 1.0);
+    est.error_bound = t * std::sqrt(est.variance);
+    return est;
+}
+
+Estimate
+ThreeStageEstimator::estimateAverage(
+    const std::vector<ThreeStageCluster>& clusters, uint64_t total_clusters,
+    double confidence)
+{
+    // Numerator: estimated total of the values. Denominator: estimated
+    // total number of subunits. Reuse the sum machinery on a copy whose
+    // values are the subunit indicator (1 each).
+    Estimate value_total = estimateSum(clusters, total_clusters, confidence);
+
+    std::vector<ThreeStageCluster> counts = clusters;
+    for (ThreeStageCluster& c : counts) {
+        for (UnitSample& u : c.units) {
+            u.sum = static_cast<double>(u.subunits_sampled);
+            u.sum_squares = static_cast<double>(u.subunits_sampled);
+        }
+    }
+    Estimate count_total = estimateSum(counts, total_clusters, confidence);
+
+    Estimate est;
+    est.confidence = confidence;
+    est.clusters_sampled = value_total.clusters_sampled;
+    if (count_total.value == 0.0) {
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    double r = value_total.value / count_total.value;
+    est.value = r;
+    if (!std::isfinite(value_total.variance) ||
+        !std::isfinite(count_total.variance)) {
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    // First-order (independent-components) delta approximation; the exact
+    // covariance term is omitted, which is conservative when value and
+    // count are positively correlated.
+    double tx = count_total.value;
+    est.variance = (value_total.variance + r * r * count_total.variance) /
+                   (tx * tx);
+    double t = studentTCritical(
+        confidence, static_cast<double>(est.clusters_sampled) - 1.0);
+    est.error_bound = t * std::sqrt(est.variance);
+    return est;
+}
+
+}  // namespace approxhadoop::stats

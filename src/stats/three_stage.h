@@ -1,0 +1,85 @@
+#ifndef APPROXHADOOP_STATS_THREE_STAGE_H_
+#define APPROXHADOOP_STATS_THREE_STAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/two_stage.h"
+
+namespace approxhadoop::stats {
+
+/**
+ * Statistics for one sampled unit (stage 2) that itself contains subunits
+ * (stage 3). In the paper's example, a unit is one Web page and the
+ * subunits are the <key, value> pairs the Map phase produced for it
+ * (e.g., one count per paragraph).
+ */
+struct UnitSample
+{
+    /** K_ij: subunits contained in the unit. */
+    uint64_t subunits_total = 0;
+    /** k_ij: subunits actually sampled. */
+    uint64_t subunits_sampled = 0;
+    /** Sum of sampled subunit values. */
+    double sum = 0.0;
+    /** Sum of squares of sampled subunit values. */
+    double sum_squares = 0.0;
+};
+
+/** Per-cluster data for three-stage sampling. */
+struct ThreeStageCluster
+{
+    /** M_i: total units in the cluster. */
+    uint64_t units_total = 0;
+    /**
+     * m_i: units sampled from the cluster. When larger than
+     * units.size(), the difference are implicit units that produced no
+     * subunits at all (K_ij = 0); they dilute the cluster mean exactly
+     * like the implicit zeros of two-stage sampling. 0 means "equal to
+     * units.size()".
+     */
+    uint64_t units_sampled = 0;
+    /** Statistics for each sampled unit that produced subunits. */
+    std::vector<UnitSample> units;
+
+    /** Effective m_i. */
+    uint64_t
+    effectiveUnitsSampled() const
+    {
+        return units_sampled > units.size() ? units_sampled : units.size();
+    }
+};
+
+/**
+ * Three-stage sampling estimator (paper Section 3.1, "Three-stage
+ * sampling"). Extends the two-stage sum estimator with a third variance
+ * component for sampling subunits within units:
+ *
+ *   Var = N(N-n) s_u^2 / n
+ *       + (N/n) sum_i M_i (M_i - m_i) s_i^2 / m_i
+ *       + (N/n) sum_i (M_i/m_i) sum_j K_ij (K_ij - k_ij) s_ij^2 / k_ij
+ *
+ * The programmer opts into the third stage explicitly (the framework
+ * cannot infer how map outputs group into population units).
+ */
+class ThreeStageEstimator
+{
+  public:
+    /** Estimates the population sum over all subunits. */
+    static Estimate
+    estimateSum(const std::vector<ThreeStageCluster>& clusters,
+                uint64_t total_clusters, double confidence);
+
+    /**
+     * Estimates the mean value per subunit, e.g., the average number of
+     * occurrences of a word per paragraph. Uses the ratio estimator with
+     * the estimated subunit count as the denominator.
+     */
+    static Estimate
+    estimateAverage(const std::vector<ThreeStageCluster>& clusters,
+                    uint64_t total_clusters, double confidence);
+};
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_THREE_STAGE_H_

@@ -1,0 +1,199 @@
+#include "stats/two_stage.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/moments.h"
+#include "stats/student_t.h"
+
+namespace approxhadoop::stats {
+
+namespace {
+
+/** tau_i = (M_i / m_i) * sum_i: the estimated total for one cluster. */
+double
+clusterTotal(const ClusterSample& c)
+{
+    if (c.units_sampled == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(c.units_total) /
+           static_cast<double>(c.units_sampled) * c.sum;
+}
+
+}  // namespace
+
+double
+Estimate::relativeError() const
+{
+    if (value == 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return error_bound / std::fabs(value);
+}
+
+double
+TwoStageEstimator::sumVariance(const std::vector<ClusterSample>& clusters,
+                               uint64_t total_clusters)
+{
+    size_t n = clusters.size();
+    if (n < 2) {
+        return std::numeric_limits<double>::infinity();
+    }
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+
+    RunningMoments cluster_totals;
+    double within = 0.0;
+    for (const ClusterSample& c : clusters) {
+        cluster_totals.add(clusterTotal(c));
+        if (c.units_sampled > 0 && c.units_sampled < c.units_total) {
+            double mi = static_cast<double>(c.units_sampled);
+            double big_m = static_cast<double>(c.units_total);
+            double s2 = varianceWithImplicitZeros(c.units_sampled, c.sum,
+                                                  c.sum_squares);
+            within += big_m * (big_m - mi) * s2 / mi;
+        }
+    }
+    double s2u = cluster_totals.variance();
+    return big_n * (big_n - nd) * s2u / nd + (big_n / nd) * within;
+}
+
+Estimate
+TwoStageEstimator::estimateSum(const std::vector<ClusterSample>& clusters,
+                               uint64_t total_clusters, double confidence)
+{
+    Estimate est;
+    est.confidence = confidence;
+    est.clusters_sampled = clusters.size();
+
+    size_t n = clusters.size();
+    if (n == 0) {
+        est.error_bound = std::numeric_limits<double>::infinity();
+        est.variance = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    assert(n <= total_clusters);
+
+    double sum_totals = 0.0;
+    for (const ClusterSample& c : clusters) {
+        sum_totals += clusterTotal(c);
+    }
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+    est.value = big_n / nd * sum_totals;
+
+    if (n < 2) {
+        // A single cluster gives a point estimate but no finite CI.
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    est.variance = sumVariance(clusters, total_clusters);
+    double t = studentTCritical(confidence, nd - 1.0);
+    est.error_bound = t * std::sqrt(est.variance);
+    return est;
+}
+
+Estimate
+TwoStageEstimator::estimateCount(const std::vector<ClusterSample>& clusters,
+                                 uint64_t total_clusters, double confidence)
+{
+    return estimateSum(clusters, total_clusters, confidence);
+}
+
+Estimate
+TwoStageEstimator::estimateRatio(
+    const std::vector<RatioClusterSample>& clusters, uint64_t total_clusters,
+    double confidence)
+{
+    Estimate est;
+    est.confidence = confidence;
+    est.clusters_sampled = clusters.size();
+
+    size_t n = clusters.size();
+    if (n == 0) {
+        est.error_bound = std::numeric_limits<double>::infinity();
+        est.variance = std::numeric_limits<double>::infinity();
+        return est;
+    }
+
+    double tau_y = 0.0;
+    double tau_x = 0.0;
+    for (const RatioClusterSample& c : clusters) {
+        if (c.units_sampled == 0) {
+            continue;
+        }
+        double scale = static_cast<double>(c.units_total) /
+                       static_cast<double>(c.units_sampled);
+        tau_y += scale * c.sum_y;
+        tau_x += scale * c.sum_x;
+    }
+    if (tau_x == 0.0) {
+        est.error_bound = std::numeric_limits<double>::infinity();
+        est.variance = std::numeric_limits<double>::infinity();
+        return est;
+    }
+    double r = tau_y / tau_x;
+    est.value = r;
+
+    if (n < 2) {
+        est.variance = std::numeric_limits<double>::infinity();
+        est.error_bound = std::numeric_limits<double>::infinity();
+        return est;
+    }
+
+    // Linearization: run the residuals d_ij = y_ij - r * x_ij through the
+    // two-stage sum variance. Residual moments expand as
+    //   sum d      = sum_y - r sum_x
+    //   sum d^2    = sum_y^2moment - 2 r sum_xy + r^2 sum_x^2moment
+    std::vector<ClusterSample> residuals;
+    residuals.reserve(n);
+    for (const RatioClusterSample& c : clusters) {
+        ClusterSample d;
+        d.units_total = c.units_total;
+        d.units_sampled = c.units_sampled;
+        d.sum = c.sum_y - r * c.sum_x;
+        d.sum_squares =
+            c.sum_squares_y - 2.0 * r * c.sum_xy + r * r * c.sum_squares_x;
+        if (d.sum_squares < 0.0) {
+            d.sum_squares = 0.0;
+        }
+        residuals.push_back(d);
+    }
+    // sumVariance already returns the variance of the *population* residual
+    // total, so the ratio variance just divides by the estimated
+    // denominator total squared.
+    double var_d = sumVariance(residuals, total_clusters);
+    double nd = static_cast<double>(n);
+    double big_n = static_cast<double>(total_clusters);
+    double tau_x_hat = big_n / nd * tau_x;
+    est.variance = var_d / (tau_x_hat * tau_x_hat);
+    double t = studentTCritical(confidence, nd - 1.0);
+    est.error_bound = t * std::sqrt(est.variance);
+    return est;
+}
+
+Estimate
+TwoStageEstimator::estimateAverage(const std::vector<ClusterSample>& clusters,
+                                   uint64_t total_clusters, double confidence)
+{
+    std::vector<RatioClusterSample> ratio;
+    ratio.reserve(clusters.size());
+    for (const ClusterSample& c : clusters) {
+        RatioClusterSample r;
+        r.units_total = c.units_total;
+        r.units_sampled = c.units_sampled;
+        r.sum_y = c.sum;
+        r.sum_squares_y = c.sum_squares;
+        // x_ij = 1 for every sampled unit.
+        r.sum_x = static_cast<double>(c.units_sampled);
+        r.sum_squares_x = static_cast<double>(c.units_sampled);
+        r.sum_xy = c.sum;
+        ratio.push_back(r);
+    }
+    return estimateRatio(ratio, total_clusters, confidence);
+}
+
+}  // namespace approxhadoop::stats

@@ -1,0 +1,127 @@
+#ifndef APPROXHADOOP_STATS_TWO_STAGE_H_
+#define APPROXHADOOP_STATS_TWO_STAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace approxhadoop::stats {
+
+/**
+ * Per-cluster sufficient statistics for two-stage sampling.
+ *
+ * In MapReduce terms (paper Section 3.1): a cluster is one input data
+ * block, units are the input data items in the block, and the values are
+ * whatever the Map phase emitted for one intermediate key. Units that
+ * emitted nothing are implicit zeros and are accounted for by carrying
+ * m (units sampled) separately from the emitted-value sums.
+ */
+struct ClusterSample
+{
+    /** M_i: total units (data items) in the cluster (block). */
+    uint64_t units_total = 0;
+    /** m_i: units actually sampled/processed from the cluster. */
+    uint64_t units_sampled = 0;
+    /** Number of sampled units that emitted a (nonzero) value. */
+    uint64_t emitted = 0;
+    /** Sum of emitted values. */
+    double sum = 0.0;
+    /** Sum of squares of emitted values. */
+    double sum_squares = 0.0;
+};
+
+/**
+ * Per-cluster statistics for ratio/average estimation: two co-observed
+ * variables y (numerator) and x (denominator) over the same sampled units,
+ * plus their cross moment for residual variances.
+ */
+struct RatioClusterSample
+{
+    uint64_t units_total = 0;
+    uint64_t units_sampled = 0;
+    double sum_y = 0.0;
+    double sum_squares_y = 0.0;
+    double sum_x = 0.0;
+    double sum_squares_x = 0.0;
+    double sum_xy = 0.0;
+};
+
+/** Point estimate with its variance and confidence interval half-width. */
+struct Estimate
+{
+    /** Estimated quantity (tau-hat for sums; r-hat for ratios). */
+    double value = 0.0;
+    /** Estimated variance of the estimator. */
+    double variance = 0.0;
+    /** Half-width of the confidence interval (the paper's epsilon). */
+    double error_bound = 0.0;
+    /** Confidence level the bound was computed at. */
+    double confidence = 0.0;
+    /** n: number of sampled clusters that informed the estimate. */
+    uint64_t clusters_sampled = 0;
+
+    /** error_bound / |value|; +inf when value == 0. */
+    double relativeError() const;
+};
+
+/**
+ * Two-stage sampling estimators (Lohr, "Sampling: Design and Analysis").
+ *
+ * Implements the paper's Equations 1-3: unbiased estimation of population
+ * sums (and derived counts, averages, ratios) from a random sample of n of
+ * N clusters, with m_i of M_i units sampled within each chosen cluster.
+ * Confidence intervals use Student's t with n-1 degrees of freedom.
+ *
+ * All estimators tolerate degenerate inputs gracefully: a single sampled
+ * cluster yields an infinite error bound rather than a crash, and clusters
+ * sampled exhaustively (m_i = M_i) contribute no within-cluster variance.
+ */
+class TwoStageEstimator
+{
+  public:
+    /**
+     * Estimates the population sum of the unit values (Equation 1) and its
+     * error bound (Equation 2).
+     *
+     * @param clusters       statistics for each sampled cluster
+     * @param total_clusters N: clusters in the whole population
+     * @param confidence     e.g. 0.95 for 95% confidence intervals
+     */
+    static Estimate estimateSum(const std::vector<ClusterSample>& clusters,
+                                uint64_t total_clusters, double confidence);
+
+    /**
+     * Estimates how many units satisfy a predicate. Identical math to
+     * estimateSum with indicator values, so sum_squares must equal sum.
+     */
+    static Estimate estimateCount(const std::vector<ClusterSample>& clusters,
+                                  uint64_t total_clusters, double confidence);
+
+    /**
+     * Estimates the ratio of two population sums r = tau_y / tau_x using
+     * the linearized (residual) variance: d_ij = y_ij - r x_ij run through
+     * the two-stage sum variance, scaled by 1 / tau_x^2.
+     */
+    static Estimate
+    estimateRatio(const std::vector<RatioClusterSample>& clusters,
+                  uint64_t total_clusters, double confidence);
+
+    /**
+     * Estimates the population mean value per unit. This is the ratio
+     * estimator with x_ij = 1, which stays valid when the population unit
+     * count is itself only estimated from the sample.
+     */
+    static Estimate
+    estimateAverage(const std::vector<ClusterSample>& clusters,
+                    uint64_t total_clusters, double confidence);
+
+    /**
+     * Variance of the sum estimator alone (Equation 3); exposed so the
+     * target-error controller can re-evaluate candidate sampling plans.
+     */
+    static double sumVariance(const std::vector<ClusterSample>& clusters,
+                              uint64_t total_clusters);
+};
+
+}  // namespace approxhadoop::stats
+
+#endif  // APPROXHADOOP_STATS_TWO_STAGE_H_

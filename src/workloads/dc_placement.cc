@@ -1,0 +1,167 @@
+#include "workloads/dc_placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace approxhadoop::workloads {
+
+DCPlacementProblem::DCPlacementProblem(const DCPlacementParams& params)
+    : params_(params)
+{
+    assert(params.grid_size >= 2);
+    assert(params.num_datacenters >= 1);
+    Rng rng(splitmix64(params.seed));
+    uint32_t cells = params.grid_size * params.grid_size;
+    cell_cost_.reserve(cells);
+    for (uint32_t c = 0; c < cells; ++c) {
+        // Land + energy cost varies smoothly over the map with local
+        // noise; cheap regions exist but are scattered.
+        double x = cellX(c) / params.grid_size;
+        double y = cellY(c) / params.grid_size;
+        double base = 100.0 + 40.0 * std::sin(3.0 * M_PI * x) *
+                                  std::cos(2.0 * M_PI * y);
+        cell_cost_.push_back(base + rng.uniform(0.0, 30.0));
+    }
+    clients_.reserve(params.num_clients);
+    for (uint32_t i = 0; i < params.num_clients; ++i) {
+        Client client;
+        client.x = rng.uniform(0.0, static_cast<double>(params.grid_size));
+        client.y = rng.uniform(0.0, static_cast<double>(params.grid_size));
+        client.weight = rng.lognormal(0.0, 0.8);
+        clients_.push_back(client);
+    }
+}
+
+double
+DCPlacementProblem::cellX(uint32_t cell) const
+{
+    return static_cast<double>(cell % params_.grid_size) + 0.5;
+}
+
+double
+DCPlacementProblem::cellY(uint32_t cell) const
+{
+    return static_cast<double>(cell / params_.grid_size) + 0.5;
+}
+
+double
+DCPlacementProblem::cost(const Placement& placement) const
+{
+    assert(placement.size() == params_.num_datacenters);
+    double build = 0.0;
+    for (uint32_t cell : placement) {
+        build += cell_cost_[cell];
+    }
+    double latency_cost = 0.0;
+    double penalty = 0.0;
+    for (const Client& client : clients_) {
+        double best = std::numeric_limits<double>::infinity();
+        for (uint32_t cell : placement) {
+            double dx = cellX(cell) - client.x;
+            double dy = cellY(cell) - client.y;
+            double latency =
+                params_.ms_per_cell * std::sqrt(dx * dx + dy * dy);
+            best = std::min(best, latency);
+        }
+        latency_cost += client.weight * best;
+        if (best > params_.max_latency_ms) {
+            penalty += 500.0 * client.weight *
+                       (best - params_.max_latency_ms);
+        }
+    }
+    return build + latency_cost + penalty;
+}
+
+bool
+DCPlacementProblem::feasible(const Placement& placement) const
+{
+    for (const Client& client : clients_) {
+        double best = std::numeric_limits<double>::infinity();
+        for (uint32_t cell : placement) {
+            double dx = cellX(cell) - client.x;
+            double dy = cellY(cell) - client.y;
+            best = std::min(best, params_.ms_per_cell *
+                                      std::sqrt(dx * dx + dy * dy));
+        }
+        if (best > params_.max_latency_ms) {
+            return false;
+        }
+    }
+    return true;
+}
+
+DCPlacementProblem::Placement
+DCPlacementProblem::randomPlacement(Rng& rng) const
+{
+    uint32_t cells = params_.grid_size * params_.grid_size;
+    Placement placement(params_.num_datacenters);
+    for (uint32_t& cell : placement) {
+        cell = static_cast<uint32_t>(rng.uniformInt(cells));
+    }
+    return placement;
+}
+
+double
+DCPlacementProblem::simulatedAnnealing(Rng& rng) const
+{
+    uint32_t cells = params_.grid_size * params_.grid_size;
+    Placement current = randomPlacement(rng);
+    double current_cost = cost(current);
+    double best_cost = current_cost;
+    double temperature = params_.sa_initial_temp;
+
+    for (uint32_t iter = 0; iter < params_.sa_iterations; ++iter) {
+        // Neighbor: move one datacenter to an adjacent cell (or jump).
+        Placement next = current;
+        uint32_t dc = static_cast<uint32_t>(
+            rng.uniformInt(params_.num_datacenters));
+        if (rng.bernoulli(0.15)) {
+            next[dc] = static_cast<uint32_t>(rng.uniformInt(cells));
+        } else {
+            int32_t x = static_cast<int32_t>(next[dc] % params_.grid_size);
+            int32_t y = static_cast<int32_t>(next[dc] / params_.grid_size);
+            x += static_cast<int32_t>(rng.uniformInt(3)) - 1;
+            y += static_cast<int32_t>(rng.uniformInt(3)) - 1;
+            x = std::clamp<int32_t>(x, 0, params_.grid_size - 1);
+            y = std::clamp<int32_t>(y, 0, params_.grid_size - 1);
+            next[dc] = static_cast<uint32_t>(y) * params_.grid_size +
+                       static_cast<uint32_t>(x);
+        }
+        double next_cost = cost(next);
+        double delta = next_cost - current_cost;
+        if (delta <= 0.0 ||
+            rng.bernoulli(std::exp(-delta / std::max(temperature, 1e-6)))) {
+            current = std::move(next);
+            current_cost = next_cost;
+            best_cost = std::min(best_cost, current_cost);
+        }
+        temperature *= params_.sa_cooling;
+    }
+    return best_cost;
+}
+
+double
+DCPlacementProblem::bestOfRandom(Rng& rng, uint32_t tries) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t i = 0; i < tries; ++i) {
+        best = std::min(best, cost(randomPlacement(rng)));
+    }
+    return best;
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeDCPlacementSeeds(uint64_t num_tasks, uint64_t seeds_per_task,
+                     uint64_t seed)
+{
+    auto generator = [seed](uint64_t block, uint64_t index) {
+        return std::to_string(
+            splitmix64(seed ^ (block * 8191 + index)));
+    };
+    return std::make_unique<hdfs::GeneratedDataset>(
+        num_tasks, seeds_per_task, generator, 24);
+}
+
+}  // namespace approxhadoop::workloads

@@ -1,0 +1,108 @@
+#ifndef APPROXHADOOP_WORKLOADS_DC_PLACEMENT_H_
+#define APPROXHADOOP_WORKLOADS_DC_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "hdfs/dataset.h"
+
+namespace approxhadoop::workloads {
+
+/**
+ * The paper's datacenter-placement optimization (Section 5.2, based on
+ * Goiri et al., ICDCS'11): place k datacenters on a 2-D grid so that
+ * every client population is within a maximum network latency of some
+ * datacenter, minimizing build + operating cost.
+ *
+ * Each map task runs an independent simulated-annealing search and emits
+ * the minimum cost it found; the reduce task takes the overall minimum
+ * and (in ApproxHadoop) a GEV estimate of the true optimum.
+ */
+struct DCPlacementParams
+{
+    /** Grid dimension (grid_size x grid_size cells). */
+    uint32_t grid_size = 24;
+    /** Datacenters to place. */
+    uint32_t num_datacenters = 4;
+    /** Client population centers. */
+    uint32_t num_clients = 40;
+    /** Maximum client-to-datacenter latency in ms. */
+    double max_latency_ms = 50.0;
+    /** Latency per grid-cell distance unit, ms. */
+    double ms_per_cell = 4.0;
+    /** Simulated annealing iterations per search. */
+    uint32_t sa_iterations = 3000;
+    double sa_initial_temp = 40.0;
+    double sa_cooling = 0.998;
+    uint64_t seed = 2011;
+};
+
+/**
+ * A concrete placement problem instance: per-cell build costs and client
+ * locations/weights are derived deterministically from the seed.
+ */
+class DCPlacementProblem
+{
+  public:
+    explicit DCPlacementProblem(const DCPlacementParams& params);
+
+    /** A placement is one grid cell index per datacenter. */
+    using Placement = std::vector<uint32_t>;
+
+    /**
+     * Total cost of a placement: build cost + latency-weighted operating
+     * cost + a stiff penalty per client outside the latency constraint.
+     */
+    double cost(const Placement& placement) const;
+
+    /** True when every client is within the latency constraint. */
+    bool feasible(const Placement& placement) const;
+
+    /** Uniformly random placement. */
+    Placement randomPlacement(Rng& rng) const;
+
+    /**
+     * One independent simulated-annealing search.
+     *
+     * @param rng search-private randomness (seeded per map task)
+     * @return the minimum cost found
+     */
+    double simulatedAnnealing(Rng& rng) const;
+
+    /**
+     * Brute-force-ish reference: many restarts of local descent; used by
+     * tests to sanity-check that SA results are in the right range.
+     */
+    double bestOfRandom(Rng& rng, uint32_t tries) const;
+
+    const DCPlacementParams& params() const { return params_; }
+
+  private:
+    double cellX(uint32_t cell) const;
+    double cellY(uint32_t cell) const;
+
+    DCPlacementParams params_;
+    std::vector<double> cell_cost_;
+    struct Client
+    {
+        double x;
+        double y;
+        double weight;
+    };
+    std::vector<Client> clients_;
+};
+
+/**
+ * Input dataset for the MapReduce formulation: each data item is one
+ * search seed; a block holds seeds_per_task of them, so a map task runs
+ * that many SA searches and emits the minimum.
+ */
+std::unique_ptr<hdfs::BlockDataset>
+makeDCPlacementSeeds(uint64_t num_tasks, uint64_t seeds_per_task,
+                     uint64_t seed);
+
+}  // namespace approxhadoop::workloads
+
+#endif  // APPROXHADOOP_WORKLOADS_DC_PLACEMENT_H_

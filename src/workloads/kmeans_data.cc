@@ -1,0 +1,66 @@
+#include "workloads/kmeans_data.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+
+namespace approxhadoop::workloads {
+
+std::vector<std::vector<double>>
+kmeansTrueCenters(const KMeansDataParams& params)
+{
+    Rng rng(splitmix64(params.seed * 101));
+    std::vector<std::vector<double>> centers(params.num_clusters);
+    for (auto& center : centers) {
+        center.resize(params.dimensions);
+        for (double& c : center) {
+            c = rng.uniform(-params.center_spread, params.center_spread);
+        }
+    }
+    return centers;
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeKMeansData(const KMeansDataParams& params)
+{
+    auto centers = std::make_shared<std::vector<std::vector<double>>>(
+        kmeansTrueCenters(params));
+    KMeansDataParams p = params;
+    auto generator = [p, centers](uint64_t block, uint64_t index) {
+        Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+        const std::vector<double>& center =
+            (*centers)[rng.uniformInt(p.num_clusters)];
+        std::string record;
+        record.reserve(p.dimensions * 10);
+        char buf[32];
+        for (uint32_t d = 0; d < p.dimensions; ++d) {
+            double v = center[d] + rng.normal(0.0, p.cluster_stddev);
+            std::snprintf(buf, sizeof(buf), "%s%.4f", d ? "," : "", v);
+            record += buf;
+        }
+        return record;
+    };
+    return std::make_unique<hdfs::GeneratedDataset>(
+        p.num_blocks, p.points_per_block, generator,
+        params.dimensions * 9);
+}
+
+std::vector<double>
+parsePoint(const std::string& record)
+{
+    std::vector<double> point;
+    const char* p = record.c_str();
+    char* end = nullptr;
+    while (*p != '\0') {
+        double v = std::strtod(p, &end);
+        if (end == p) {
+            break;
+        }
+        point.push_back(v);
+        p = (*end == ',') ? end + 1 : end;
+    }
+    return point;
+}
+
+}  // namespace approxhadoop::workloads

@@ -1,0 +1,47 @@
+#ifndef APPROXHADOOP_WORKLOADS_KMEANS_DATA_H_
+#define APPROXHADOOP_WORKLOADS_KMEANS_DATA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdfs/dataset.h"
+
+namespace approxhadoop::workloads {
+
+/**
+ * Synthetic feature vectors for the K-Means application (the paper
+ * clusters an Apache mailing-list corpus; we generate a Gaussian
+ * mixture with the same role: well-separated clusters plus noise).
+ *
+ * Record: comma-separated doubles, one point per line.
+ */
+struct KMeansDataParams
+{
+    uint64_t num_blocks = 24;
+    uint64_t points_per_block = 300;
+    uint32_t dimensions = 8;
+    /** True generating clusters. */
+    uint32_t num_clusters = 5;
+    /** Spread of points around their cluster center. */
+    double cluster_stddev = 0.6;
+    /** Spread of the cluster centers themselves. */
+    double center_spread = 10.0;
+    uint64_t seed = 7;
+};
+
+/** Builds the synthetic point set. */
+std::unique_ptr<hdfs::BlockDataset>
+makeKMeansData(const KMeansDataParams& params);
+
+/** The generating cluster centers (for test verification). */
+std::vector<std::vector<double>>
+kmeansTrueCenters(const KMeansDataParams& params);
+
+/** Parses a comma-separated point record. */
+std::vector<double> parsePoint(const std::string& record);
+
+}  // namespace approxhadoop::workloads
+
+#endif  // APPROXHADOOP_WORKLOADS_KMEANS_DATA_H_

@@ -1,0 +1,137 @@
+#include "workloads/webserver_log.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace approxhadoop::workloads {
+
+double
+weeklyIntensity(uint32_t hour_of_week)
+{
+    uint32_t day = (hour_of_week / 24) % 7;
+    uint32_t hour = hour_of_week % 24;
+    // Diurnal curve peaking mid-afternoon; the busiest/quietest spread is
+    // roughly 33%, matching Figure 10(b).
+    double diurnal =
+        1.0 + 0.10 * std::sin((static_cast<double>(hour) - 8.0) * M_PI /
+                               12.0);
+    double weekend = (day >= 5) ? 0.95 : 1.0;
+    return diurnal * weekend;
+}
+
+namespace {
+
+/** Cumulative distribution over the 168 hours of a week. */
+const std::vector<double>&
+hourCdf()
+{
+    static const std::vector<double> cdf = [] {
+        std::vector<double> c(168);
+        double total = 0.0;
+        for (uint32_t h = 0; h < 168; ++h) {
+            total += weeklyIntensity(h);
+            c[h] = total;
+        }
+        for (double& v : c) {
+            v /= total;
+        }
+        return c;
+    }();
+    return cdf;
+}
+
+uint32_t
+sampleHour(Rng& rng)
+{
+    const std::vector<double>& cdf = hourCdf();
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<uint32_t>(it - cdf.begin());
+}
+
+const char*
+sampleBrowser(Rng& rng)
+{
+    static const std::array<const char*, 5> kBrowsers = {
+        "chrome", "firefox", "safari", "msie", "bot"};
+    static const std::array<double, 5> kCdf = {0.45, 0.70, 0.84, 0.93, 1.0};
+    double u = rng.uniform();
+    for (size_t i = 0; i < kBrowsers.size(); ++i) {
+        if (u <= kCdf[i]) {
+            return kBrowsers[i];
+        }
+    }
+    return kBrowsers.back();
+}
+
+}  // namespace
+
+std::unique_ptr<hdfs::BlockDataset>
+makeWebServerLog(const WebServerLogParams& params)
+{
+    auto client_zipf = std::make_shared<ZipfDistribution>(
+        params.num_clients, params.client_zipf);
+    auto url_zipf = std::make_shared<ZipfDistribution>(params.num_urls,
+                                                       params.url_zipf);
+    auto attacker_zipf = std::make_shared<ZipfDistribution>(
+        params.num_attackers, 1.2);
+    WebServerLogParams p = params;
+
+    auto generator = [p, client_zipf, url_zipf, attacker_zipf](
+                         uint64_t block, uint64_t index) {
+        Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+        uint32_t hour = sampleHour(rng);
+        bool attack = rng.bernoulli(p.attack_prob);
+        uint64_t client = attack ? attacker_zipf->sample(rng)
+                                 : p.num_attackers +
+                                       client_zipf->sample(rng);
+        uint64_t url = url_zipf->sample(rng);
+        uint64_t bytes = static_cast<uint64_t>(
+            rng.exponential(1.0 / p.mean_bytes)) + 128;
+        const char* browser = sampleBrowser(rng);
+
+        char buf[112];
+        std::snprintf(buf, sizeof(buf), "%u\tc%llu\t/u%llu\t%llu\t%s\t%d",
+                      hour, static_cast<unsigned long long>(client),
+                      static_cast<unsigned long long>(url),
+                      static_cast<unsigned long long>(bytes), browser,
+                      attack ? 1 : 0);
+        return std::string(buf);
+    };
+    return std::make_unique<hdfs::GeneratedDataset>(
+        p.num_weeks, p.entries_per_week, generator, 140);
+}
+
+bool
+parseWebLogEntry(const std::string& record, WebLogEntry& entry)
+{
+    size_t pos = 0;
+    std::array<std::string, 6> fields;
+    for (int f = 0; f < 6; ++f) {
+        size_t tab = record.find('\t', pos);
+        if (tab == std::string::npos) {
+            if (f != 5) {
+                return false;
+            }
+            tab = record.size();
+        }
+        fields[f] = record.substr(pos, tab - pos);
+        pos = tab + 1;
+    }
+    entry.hour_of_week =
+        static_cast<uint32_t>(std::strtoul(fields[0].c_str(), nullptr, 10));
+    entry.client = fields[1];
+    entry.url = fields[2];
+    entry.bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
+    entry.browser = fields[4];
+    entry.attack = fields[5] == "1";
+    return true;
+}
+
+}  // namespace approxhadoop::workloads

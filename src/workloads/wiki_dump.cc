@@ -1,0 +1,88 @@
+#include "workloads/wiki_dump.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace approxhadoop::workloads {
+
+std::unique_ptr<hdfs::BlockDataset>
+makeWikiDump(const WikiDumpParams& params)
+{
+    auto zipf = std::make_shared<ZipfDistribution>(params.num_link_targets,
+                                                   params.link_zipf);
+    WikiDumpParams p = params;
+    auto generator = [p, zipf](uint64_t block, uint64_t index) {
+        // Deterministic per-record randomness: identical data regardless
+        // of which tasks run or in which order.
+        Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+        // Per-block multiplier creates within-block size locality.
+        Rng block_rng(splitmix64(p.seed * 31 + block));
+        double block_effect =
+            block_rng.lognormal(-0.5 * p.block_effect_sigma *
+                                    p.block_effect_sigma,
+                                p.block_effect_sigma);
+
+        uint64_t article_id = block * p.articles_per_block + index;
+        double size = rng.lognormal(p.size_mu, p.size_sigma) * block_effect;
+        uint64_t size_bytes = static_cast<uint64_t>(std::llround(size)) + 1;
+
+        // Geometric number of outgoing links with the configured mean.
+        double q = 1.0 / (1.0 + p.mean_links);
+        uint64_t links = 0;
+        while (!rng.bernoulli(q) && links < 64) {
+            ++links;
+        }
+
+        std::ostringstream record;
+        record << 'a' << article_id << '\t' << size_bytes << '\t';
+        for (uint64_t l = 0; l < links; ++l) {
+            if (l > 0) {
+                record << ',';
+            }
+            record << 'a' << zipf->sample(rng);
+        }
+        return record.str();
+    };
+    return std::make_unique<hdfs::GeneratedDataset>(
+        p.num_blocks, p.articles_per_block, generator, 1200);
+}
+
+uint64_t
+wikiArticleSize(const std::string& record)
+{
+    size_t first = record.find('\t');
+    if (first == std::string::npos) {
+        return 0;
+    }
+    return std::strtoull(record.c_str() + first + 1, nullptr, 10);
+}
+
+void
+wikiArticleLinks(const std::string& record, std::vector<std::string>& out)
+{
+    size_t first = record.find('\t');
+    if (first == std::string::npos) {
+        return;
+    }
+    size_t second = record.find('\t', first + 1);
+    if (second == std::string::npos) {
+        return;
+    }
+    size_t pos = second + 1;
+    while (pos < record.size()) {
+        size_t comma = record.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = record.size();
+        }
+        if (comma > pos) {
+            out.push_back(record.substr(pos, comma - pos));
+        }
+        pos = comma + 1;
+    }
+}
+
+}  // namespace approxhadoop::workloads

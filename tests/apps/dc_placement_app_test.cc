@@ -1,0 +1,86 @@
+#include "apps/dc_placement_app.h"
+
+#include <gtest/gtest.h>
+
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::apps {
+namespace {
+
+std::shared_ptr<const workloads::DCPlacementProblem>
+smallProblem()
+{
+    workloads::DCPlacementParams params;
+    params.grid_size = 10;
+    params.num_datacenters = 3;
+    params.num_clients = 12;
+    params.sa_iterations = 400;
+    return std::make_shared<const workloads::DCPlacementProblem>(params);
+}
+
+TEST(DCPlacementAppTest, AllMapsProduceOneMinimumEach)
+{
+    auto problem = smallProblem();
+    auto seeds = workloads::makeDCPlacementSeeds(20, 3, 1);
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 1);
+    core::ApproxJobRunner runner(cluster, *seeds, nn);
+    core::ApproxConfig approx;  // no approximation
+    mr::JobResult result = runner.runExtreme(
+        DCPlacementApp::jobConfig(3), approx,
+        DCPlacementApp::mapperFactory(problem), true);
+    EXPECT_EQ(result.counters.records_shuffled, 20u);
+    const mr::OutputRecord* rec = result.find(DCPlacementApp::kKey);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->value, 0.0);
+}
+
+TEST(DCPlacementAppTest, DroppingKeepsEstimateInRange)
+{
+    auto problem = smallProblem();
+    auto seeds = workloads::makeDCPlacementSeeds(60, 3, 2);
+
+    auto run_with_drop = [&](double drop) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 2);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        core::ApproxConfig approx;
+        approx.drop_ratio = drop;
+        return runner.runExtreme(DCPlacementApp::jobConfig(3), approx,
+                                 DCPlacementApp::mapperFactory(problem),
+                                 true);
+    };
+
+    mr::JobResult full = run_with_drop(0.0);
+    mr::JobResult half = run_with_drop(0.5);
+    const mr::OutputRecord* f = full.find(DCPlacementApp::kKey);
+    const mr::OutputRecord* h = half.find(DCPlacementApp::kKey);
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(h, nullptr);
+    // Dropped run estimates the same optimum within a loose factor.
+    EXPECT_NEAR(h->value / f->value, 1.0, 0.35);
+    EXPECT_EQ(half.counters.maps_dropped, 30u);
+}
+
+TEST(DCPlacementAppTest, MapperEmitsMinOfItsSeeds)
+{
+    auto problem = smallProblem();
+    DCPlacementApp::Mapper mapper(problem);
+    mr::MapContext ctx(0, 3, 3, false, Rng(1));
+    mapper.map("12345", ctx);
+    mapper.map("67890", ctx);
+    mapper.cleanup(ctx);
+    ASSERT_EQ(ctx.output().size(), 1u);
+    // The emitted value equals the smaller of the two search results.
+    Rng r1(12345);
+    Rng r2(67890);
+    double expected = std::min(problem->simulatedAnnealing(r1),
+                               problem->simulatedAnnealing(r2));
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, expected);
+}
+
+}  // namespace
+}  // namespace approxhadoop::apps

@@ -1,0 +1,99 @@
+#include "apps/paragraph_app.h"
+
+#include <gtest/gtest.h>
+
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/wiki_dump.h"
+
+namespace approxhadoop::apps {
+namespace {
+
+workloads::WikiDumpParams
+smallDump()
+{
+    workloads::WikiDumpParams params;
+    params.num_blocks = 30;
+    params.articles_per_block = 120;
+    return params;
+}
+
+mr::JobResult
+runParagraph(const hdfs::BlockDataset& dump, double sampling, double drop,
+             uint64_t scanned)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 8);
+    core::ApproxJobRunner runner(cluster, dump, nn);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = sampling;
+    approx.drop_ratio = drop;
+    return runner.runThreeStageAggregation(
+        ParagraphAverage::jobConfig(120), approx,
+        ParagraphAverage::mapperFactory(scanned),
+        core::ThreeStageSamplingReducer::Op::kAverage);
+}
+
+TEST(ParagraphAverageTest, HelpersAreDeterministic)
+{
+    EXPECT_EQ(ParagraphAverage::occurrences(42, 3),
+              ParagraphAverage::occurrences(42, 3));
+    EXPECT_EQ(ParagraphAverage::paragraphCount(0), 1u);
+    EXPECT_EQ(ParagraphAverage::paragraphCount(399), 1u);
+    EXPECT_EQ(ParagraphAverage::paragraphCount(400), 2u);
+}
+
+TEST(ParagraphAverageTest, FullScanEstimatesTruth)
+{
+    auto params = smallDump();
+    auto dump = workloads::makeWikiDump(params);
+    double truth = ParagraphAverage::exactAverage(*dump);
+    // Scan a very large number of paragraphs per page: the remaining
+    // approximation is only page-level.
+    mr::JobResult result = runParagraph(*dump, 1.0, 0.0, 1'000'000);
+    const mr::OutputRecord* rec = result.find(ParagraphAverage::kKey);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_NEAR(rec->value, truth, 1e-9);
+    EXPECT_NEAR(rec->errorBound(), 0.0, 1e-6);
+}
+
+TEST(ParagraphAverageTest, ThirdStageSamplingStaysWithinBounds)
+{
+    auto params = smallDump();
+    auto dump = workloads::makeWikiDump(params);
+    double truth = ParagraphAverage::exactAverage(*dump);
+    // Only 4 paragraphs scanned per page: third-stage sampling active.
+    mr::JobResult result = runParagraph(*dump, 1.0, 0.0, 4);
+    const mr::OutputRecord* rec = result.find(ParagraphAverage::kKey);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->errorBound(), 0.0);
+    EXPECT_NEAR(rec->value, truth, 3.0 * rec->errorBound() + 1e-9);
+}
+
+TEST(ParagraphAverageTest, ComposesWithSamplingAndDropping)
+{
+    auto params = smallDump();
+    auto dump = workloads::makeWikiDump(params);
+    double truth = ParagraphAverage::exactAverage(*dump);
+    mr::JobResult result = runParagraph(*dump, 0.5, 0.3, 6);
+    const mr::OutputRecord* rec = result.find(ParagraphAverage::kKey);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->has_bound);
+    EXPECT_NEAR(rec->value, truth, 3.0 * rec->errorBound() + 0.05);
+    EXPECT_GT(result.counters.maps_dropped, 0u);
+}
+
+TEST(ParagraphAverageTest, ScanningFewerParagraphsWidensBound)
+{
+    auto params = smallDump();
+    auto dump = workloads::makeWikiDump(params);
+    mr::JobResult wide = runParagraph(*dump, 1.0, 0.0, 2);
+    mr::JobResult narrow = runParagraph(*dump, 1.0, 0.0, 64);
+    EXPECT_GT(wide.find(ParagraphAverage::kKey)->errorBound(),
+              narrow.find(ParagraphAverage::kKey)->errorBound());
+}
+
+}  // namespace
+}  // namespace approxhadoop::apps

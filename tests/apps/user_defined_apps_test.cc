@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "apps/frame_encoder_app.h"
+#include "apps/kmeans_app.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/kmeans_data.h"
+
+namespace approxhadoop::apps {
+namespace {
+
+TEST(KMeansAppTest, ConvergesTowardTrueCenters)
+{
+    workloads::KMeansDataParams params;
+    params.num_blocks = 12;
+    params.points_per_block = 120;
+    params.dimensions = 4;
+    params.num_clusters = 3;
+    params.cluster_stddev = 0.4;
+    auto data = workloads::makeKMeansData(params);
+    auto truth = workloads::kmeansTrueCenters(params);
+
+    // Start from perturbed truth so label assignment is stable.
+    KMeansApp::Centroids initial = truth;
+    Rng rng(5);
+    for (auto& c : initial) {
+        for (double& v : c) {
+            v += rng.normal(0.0, 0.8);
+        }
+    }
+
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 1);
+    core::ApproxConfig approx;  // fully precise
+    KMeansApp::Result result = KMeansApp::run(cluster, *data, nn, approx,
+                                              initial, 5);
+    ASSERT_EQ(result.iterations, 5);
+    // Each recovered centroid should sit close to its true center.
+    for (size_t c = 0; c < truth.size(); ++c) {
+        double d2 = 0.0;
+        for (size_t d = 0; d < truth[c].size(); ++d) {
+            double diff = result.centroids[c][d] - truth[c][d];
+            d2 += diff * diff;
+        }
+        EXPECT_LT(std::sqrt(d2), 0.5) << "centroid " << c;
+    }
+    EXPECT_GT(result.sse, 0.0);
+    EXPECT_GT(result.runtime, 0.0);
+}
+
+TEST(KMeansAppTest, ApproximateVariantStillConverges)
+{
+    workloads::KMeansDataParams params;
+    params.num_blocks = 12;
+    params.points_per_block = 120;
+    params.dimensions = 6;
+    params.num_clusters = 3;
+    params.cluster_stddev = 0.4;
+    auto data = workloads::makeKMeansData(params);
+    auto truth = workloads::kmeansTrueCenters(params);
+
+    KMeansApp::Centroids initial = truth;
+    Rng rng(6);
+    for (auto& c : initial) {
+        for (double& v : c) {
+            v += rng.normal(0.0, 0.5);
+        }
+    }
+
+    auto run_with = [&](double fraction) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 2);
+        core::ApproxConfig approx;
+        approx.user_defined_fraction = fraction;
+        return KMeansApp::run(cluster, *data, nn, approx, initial, 4);
+    };
+    KMeansApp::Result precise = run_with(0.0);
+    KMeansApp::Result approx = run_with(1.0);
+    // The approximate variant (half the dimensions) is faster but only
+    // slightly worse on the user-defined quality metric.
+    EXPECT_LT(approx.runtime, precise.runtime);
+    EXPECT_LT(approx.sse, 2.0 * precise.sse + 1e-9);
+}
+
+TEST(FrameEncoderAppTest, ApproxSearchTradesBitsForSpeed)
+{
+    auto frames = FrameEncoderApp::makeFrames(30, 40, 1);
+
+    auto run_with = [&](double fraction) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 3);
+        core::ApproxJobRunner runner(cluster, *frames, nn);
+        core::ApproxConfig approx;
+        approx.user_defined_fraction = fraction;
+        return runner.runUserDefined(FrameEncoderApp::jobConfig(40), approx,
+                                     FrameEncoderApp::mapperFactory(),
+                                     FrameEncoderApp::reducerFactory());
+    };
+    mr::JobResult precise = run_with(0.0);
+    mr::JobResult approx = run_with(1.0);
+
+    const mr::OutputRecord* precise_bits = precise.find("bits");
+    const mr::OutputRecord* approx_bits = approx.find("bits");
+    ASSERT_NE(precise_bits, nullptr);
+    ASSERT_NE(approx_bits, nullptr);
+    // Diamond search finds worse matches -> more residual bits...
+    EXPECT_GT(approx_bits->value, precise_bits->value);
+    // ...but within a graceful margin.
+    EXPECT_LT(approx_bits->value, 1.5 * precise_bits->value);
+    // And the approximate encode is faster.
+    EXPECT_LT(approx.runtime, precise.runtime);
+
+    const mr::OutputRecord* precise_psnr = precise.find("psnr");
+    const mr::OutputRecord* approx_psnr = approx.find("psnr");
+    ASSERT_NE(precise_psnr, nullptr);
+    ASSERT_NE(approx_psnr, nullptr);
+    EXPECT_GT(precise_psnr->value, approx_psnr->value);
+}
+
+TEST(FrameEncoderAppTest, FramesAreDeterministic)
+{
+    auto a = FrameEncoderApp::makeFrames(5, 10, 42);
+    auto b = FrameEncoderApp::makeFrames(5, 10, 42);
+    EXPECT_EQ(a->item(3, 7), b->item(3, 7));
+}
+
+}  // namespace
+}  // namespace approxhadoop::apps

@@ -1,0 +1,42 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop {
+namespace {
+
+TEST(HistogramTest, BinIndexing)
+{
+    Histogram h(100.0);
+    EXPECT_EQ(h.binIndex(0.0), 0);
+    EXPECT_EQ(h.binIndex(99.9), 0);
+    EXPECT_EQ(h.binIndex(100.0), 1);
+    EXPECT_EQ(h.binIndex(250.0), 2);
+    EXPECT_EQ(h.binIndex(-1.0), -1);
+}
+
+TEST(HistogramTest, BinLowerEdgeRoundTrips)
+{
+    Histogram h(25.0);
+    for (double v : {0.0, 10.0, 25.0, 99.0, 1234.5}) {
+        int64_t bin = h.binIndex(v);
+        EXPECT_LE(h.binLowerEdge(bin), v);
+        EXPECT_GT(h.binLowerEdge(bin) + 25.0, v);
+    }
+}
+
+TEST(HistogramTest, CountsAccumulate)
+{
+    Histogram h(10.0);
+    h.add(5.0);
+    h.add(7.0);
+    h.add(15.0);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.bins().size(), 2u);
+}
+
+}  // namespace
+}  // namespace approxhadoop

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop {
+namespace {
+
+TEST(LoggerTest, LevelFiltering)
+{
+    Logger& logger = Logger::instance();
+    LogLevel original = logger.level();
+    logger.setLevel(LogLevel::kError);
+    EXPECT_EQ(logger.level(), LogLevel::kError);
+    // Suppressed and emitted paths must both be safe to call.
+    logger.log(LogLevel::kDebug, "test", "suppressed");
+    logger.log(LogLevel::kError, "test", "emitted to stderr");
+    logger.setLevel(original);
+}
+
+TEST(LoggerTest, StreamHelperBuildsMessages)
+{
+    Logger& logger = Logger::instance();
+    LogLevel original = logger.level();
+    logger.setLevel(LogLevel::kError);  // keep test output clean
+    {
+        AH_DEBUG("test") << "value=" << 42 << " pi=" << 3.14;
+    }
+    logger.setLevel(original);
+}
+
+TEST(LoggerTest, SingletonIdentity)
+{
+    EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+}  // namespace
+}  // namespace approxhadoop

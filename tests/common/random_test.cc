@@ -1,0 +1,188 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop {
+namespace {
+
+TEST(RngTest, UniformStaysInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    const int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniformInt(1000000), b.uniformInt(1000000));
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(42);
+    Rng b(43);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(1000000) == b.uniformInt(1000000)) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntCoversRange)
+{
+    Rng rng(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / kSamples;
+    double var = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LognormalUnitMeanParameterization)
+{
+    // lognormal(-s^2/2, s) has mean 1: the cost-model noise relies on it.
+    Rng rng(7);
+    double sigma = 0.3;
+    double sum = 0.0;
+    const int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+        sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+    }
+    EXPECT_NEAR(sum / kSamples, 1.0, 0.01);
+}
+
+TEST(RngTest, DeriveProducesIndependentStreams)
+{
+    Rng parent(8);
+    Rng child1 = parent.derive(1);
+    Rng child2 = parent.derive(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child1.uniformInt(1 << 30) == child2.uniformInt(1 << 30)) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange)
+{
+    Rng rng(9);
+    auto sample = rng.sampleWithoutReplacement(1000, 100);
+    ASSERT_EQ(sample.size(), 100u);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 100u);
+    for (uint64_t v : sample) {
+        EXPECT_LT(v, 1000u);
+    }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation)
+{
+    Rng rng(10);
+    auto sample = rng.sampleWithoutReplacement(50, 50);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform)
+{
+    // Every element should be chosen with probability k/n.
+    Rng rng(11);
+    std::vector<int> counts(20, 0);
+    const int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+        for (uint64_t v : rng.sampleWithoutReplacement(20, 5)) {
+            ++counts[v];
+        }
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.25, 0.02);
+    }
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(12);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(SplitMix64Test, IsDeterministicAndMixes)
+{
+    EXPECT_EQ(splitmix64(1), splitmix64(1));
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+    // Adjacent inputs should produce wildly different outputs.
+    uint64_t diff = splitmix64(100) ^ splitmix64(101);
+    int bits = __builtin_popcountll(diff);
+    EXPECT_GT(bits, 16);
+}
+
+}  // namespace
+}  // namespace approxhadoop

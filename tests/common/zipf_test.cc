@@ -1,0 +1,93 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne)
+{
+    ZipfDistribution zipf(100, 1.1);
+    double total = 0.0;
+    for (uint64_t r = 0; r < 100; ++r) {
+        total += zipf.pmf(r);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing)
+{
+    ZipfDistribution zipf(1000, 0.9);
+    for (uint64_t r = 1; r < 1000; ++r) {
+        EXPECT_LT(zipf.pmf(r), zipf.pmf(r - 1));
+    }
+}
+
+TEST(ZipfTest, SamplesMatchPmf)
+{
+    ZipfDistribution zipf(50, 1.2);
+    Rng rng(1);
+    std::vector<int> counts(50, 0);
+    const int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+        uint64_t r = zipf.sample(rng);
+        ASSERT_LT(r, 50u);
+        ++counts[r];
+    }
+    // Check the head of the distribution closely and the tail loosely.
+    for (uint64_t r = 0; r < 10; ++r) {
+        double expected = zipf.pmf(r);
+        double observed = static_cast<double>(counts[r]) / kSamples;
+        EXPECT_NEAR(observed, expected, 0.15 * expected + 0.002)
+            << "rank " << r;
+    }
+}
+
+TEST(ZipfTest, SingleElement)
+{
+    ZipfDistribution zipf(1, 1.0);
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(zipf.sample(rng), 0u);
+    }
+    EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ExponentOneUsesLogNormalizer)
+{
+    ZipfDistribution zipf(1000, 1.0);
+    double total = 0.0;
+    for (uint64_t r = 0; r < 1000; ++r) {
+        total += zipf.pmf(r);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, LargePopulationSamplesQuickly)
+{
+    // Rejection-inversion must handle huge N without precomputation.
+    ZipfDistribution zipf(1'000'000'000ULL, 1.05);
+    Rng rng(3);
+    uint64_t max_seen = 0;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t r = zipf.sample(rng);
+        ASSERT_LT(r, 1'000'000'000ULL);
+        max_seen = std::max(max_seen, r);
+    }
+    // Heavy tail: some samples land far out, most land near the head.
+    EXPECT_GT(max_seen, 1000u);
+}
+
+TEST(ZipfTest, HigherExponentConcentratesMass)
+{
+    ZipfDistribution flat(100, 0.5);
+    ZipfDistribution steep(100, 2.0);
+    EXPECT_GT(steep.pmf(0), flat.pmf(0));
+    EXPECT_LT(steep.pmf(99), flat.pmf(99));
+}
+
+}  // namespace
+}  // namespace approxhadoop

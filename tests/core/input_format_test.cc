@@ -1,0 +1,79 @@
+#include "core/approx_input_format.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::core {
+namespace {
+
+TEST(ApproxTextInputFormatTest, FullRatioReturnsEverything)
+{
+    ApproxTextInputFormat fmt;
+    Rng rng(1);
+    auto sel = fmt.select(0, 100, 1.0, rng);
+    ASSERT_EQ(sel.size(), 100u);
+    for (uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(sel[i], i);
+    }
+}
+
+TEST(ApproxTextInputFormatTest, SampleSizeMatchesRatio)
+{
+    ApproxTextInputFormat fmt;
+    Rng rng(2);
+    EXPECT_EQ(fmt.select(0, 1000, 0.1, rng).size(), 100u);
+    EXPECT_EQ(fmt.select(0, 1000, 0.01, rng).size(), 10u);
+    EXPECT_EQ(fmt.select(0, 200, 0.25, rng).size(), 50u);
+}
+
+TEST(ApproxTextInputFormatTest, IndicesAreSortedDistinctInRange)
+{
+    ApproxTextInputFormat fmt;
+    Rng rng(3);
+    auto sel = fmt.select(0, 500, 0.2, rng);
+    std::set<uint64_t> unique(sel.begin(), sel.end());
+    EXPECT_EQ(unique.size(), sel.size());
+    EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+    for (uint64_t i : sel) {
+        EXPECT_LT(i, 500u);
+    }
+}
+
+TEST(ApproxTextInputFormatTest, MinimumOneItem)
+{
+    ApproxTextInputFormat fmt;
+    Rng rng(4);
+    // 0.1% of 100 items rounds to 0, but the floor keeps one item so the
+    // cluster is never entirely unobserved.
+    EXPECT_EQ(fmt.select(0, 100, 0.001, rng).size(), 1u);
+}
+
+TEST(ApproxTextInputFormatTest, ConfigurableFloor)
+{
+    ApproxTextInputFormat fmt(5);
+    Rng rng(5);
+    EXPECT_EQ(fmt.select(0, 100, 0.001, rng).size(), 5u);
+    // Floor cannot exceed the block size.
+    EXPECT_EQ(fmt.select(0, 3, 0.001, rng).size(), 3u);
+}
+
+TEST(ApproxTextInputFormatTest, SamplingIsUniform)
+{
+    // Each item should appear with probability ~ratio across repetitions.
+    ApproxTextInputFormat fmt;
+    std::vector<int> hits(50, 0);
+    const int kTrials = 10000;
+    for (int t = 0; t < kTrials; ++t) {
+        Rng rng(1000 + t);
+        for (uint64_t i : fmt.select(0, 50, 0.2, rng)) {
+            ++hits[i];
+        }
+    }
+    for (int h : hits) {
+        EXPECT_NEAR(static_cast<double>(h) / kTrials, 0.2, 0.03);
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::core

@@ -1,0 +1,287 @@
+#include "core/sampling_reducer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+#include "stats/two_stage.h"
+
+namespace approxhadoop::core {
+namespace {
+
+mr::MapOutputChunk
+chunk(uint64_t task, uint64_t items_total, uint64_t items_processed,
+      std::vector<mr::KeyValue> records)
+{
+    mr::MapOutputChunk c;
+    c.map_task = task;
+    c.items_total = items_total;
+    c.items_processed = items_processed;
+    c.records = std::move(records);
+    return c;
+}
+
+TEST(MultiStageSamplingReducerTest, FullCensusSumIsExact)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    r.consume(chunk(0, 3, 3,
+                    {{"a", 1.0, 0, 0, 0},
+                     {"a", 2.0, 0, 0, 0},
+                     {"b", 5.0, 0, 0, 0}}));
+    r.consume(chunk(1, 2, 2, {{"a", 4.0, 0, 0, 0}}));
+    mr::ReduceContext ctx(2, 5);
+    r.finalize(ctx);
+    auto out = ctx.output();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].key, "a");
+    EXPECT_DOUBLE_EQ(out[0].value, 7.0);
+    EXPECT_NEAR(out[0].errorBound(), 0.0, 1e-9);
+    EXPECT_EQ(out[1].key, "b");
+    EXPECT_DOUBLE_EQ(out[1].value, 5.0);
+}
+
+TEST(MultiStageSamplingReducerTest, MatchesTwoStageEstimatorExactly)
+{
+    // The folded O(1)-per-key path must agree with the reference
+    // estimator fed the same per-cluster data (including an implicit-
+    // zero cluster for key "a").
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    r.consume(chunk(0, 10, 4,
+                    {{"a", 2.0, 0, 0, 0}, {"a", 3.0, 0, 0, 0}}));
+    r.consume(chunk(1, 8, 4, {{"a", 1.0, 0, 0, 0}}));
+    r.consume(chunk(2, 12, 6, {}));  // nothing emitted for "a"
+
+    std::vector<KeyEstimate> estimates = r.currentEstimates(10);
+    ASSERT_EQ(estimates.size(), 1u);
+
+    std::vector<stats::ClusterSample> reference(3);
+    reference[0] = {10, 4, 2, 5.0, 13.0};
+    reference[1] = {8, 4, 1, 1.0, 1.0};
+    reference[2] = {12, 6, 0, 0.0, 0.0};
+    stats::Estimate expected =
+        stats::TwoStageEstimator::estimateSum(reference, 10, 0.95);
+
+    EXPECT_NEAR(estimates[0].value, expected.value, 1e-9);
+    EXPECT_NEAR(estimates[0].error_bound, expected.error_bound,
+                1e-9 * (1.0 + expected.error_bound));
+}
+
+TEST(MultiStageSamplingReducerTest, CountIgnoresValues)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kCount,
+                                0.95);
+    r.consume(chunk(0, 2, 2, {{"a", 100.0, 0, 0, 0},
+                              {"a", -3.0, 0, 0, 0}}));
+    r.consume(chunk(1, 2, 2, {{"a", 7.0, 0, 0, 0}}));
+    mr::ReduceContext ctx(2, 4);
+    r.finalize(ctx);
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 3.0);
+}
+
+TEST(MultiStageSamplingReducerTest, SamplingScalesUpEstimate)
+{
+    // Cluster of 100 items, 10 processed, each emitting 1: the estimated
+    // total for the key is 2 clusters * 100 * (10/10) = 200... with two
+    // identical clusters and N = 2.
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kCount,
+                                0.95);
+    std::vector<mr::KeyValue> ten(10, {"k", 1.0, 0, 0, 0});
+    r.consume(chunk(0, 100, 10, ten));
+    r.consume(chunk(1, 100, 10, ten));
+    mr::ReduceContext ctx(2, 200);
+    r.finalize(ctx);
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 200.0);
+}
+
+TEST(MultiStageSamplingReducerTest, DroppedClustersExtrapolate)
+{
+    // 4 of 8 clusters consumed; estimate scales by N/n = 2.
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    for (uint64_t t = 0; t < 4; ++t) {
+        r.consume(chunk(t, 5, 5, {{"k", 10.0, 0, 0, 0}}));
+    }
+    mr::ReduceContext ctx(8, 40);
+    r.finalize(ctx);
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 80.0);
+    // Identical clusters: zero inter-cluster variance, zero bound.
+    EXPECT_NEAR(ctx.output()[0].errorBound(), 0.0, 1e-9);
+}
+
+TEST(MultiStageSamplingReducerTest, SingleClusterUnboundedCi)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    r.consume(chunk(0, 5, 5, {{"k", 1.0, 0, 0, 0}}));
+    auto est = r.currentEstimates(4);
+    ASSERT_EQ(est.size(), 1u);
+    EXPECT_FALSE(est[0].finite);
+    EXPECT_TRUE(std::isinf(est[0].relativeError()));
+}
+
+TEST(MultiStageSamplingReducerTest, AverageOfConstantValues)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kAverage,
+                                0.95);
+    for (uint64_t t = 0; t < 3; ++t) {
+        r.consume(chunk(t, 10, 5,
+                        {{"k", 6.0, 0, 0, 0}, {"k", 6.0, 0, 0, 0}}));
+    }
+    mr::ReduceContext ctx(3, 30);
+    r.finalize(ctx);
+    EXPECT_NEAR(ctx.output()[0].value, 6.0, 1e-12);
+    EXPECT_NEAR(ctx.output()[0].errorBound(), 0.0, 1e-6);
+}
+
+TEST(MultiStageSamplingReducerTest, RatioOp)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kRatio,
+                                0.95);
+    for (uint64_t t = 0; t < 3; ++t) {
+        // y = 3x for every record.
+        r.consume(chunk(t, 10, 10,
+                        {{"k", 9.0, 3.0, 0, 0}, {"k", 6.0, 2.0, 0, 0}}));
+    }
+    mr::ReduceContext ctx(3, 30);
+    r.finalize(ctx);
+    EXPECT_NEAR(ctx.output()[0].value, 3.0, 1e-12);
+}
+
+TEST(MultiStageSamplingReducerTest, PlanStatsOnlyForSumCount)
+{
+    MultiStageSamplingReducer avg(MultiStageSamplingReducer::Op::kAverage,
+                                  0.95);
+    avg.consume(chunk(0, 5, 5, {{"k", 1.0, 0, 0, 0}}));
+    avg.consume(chunk(1, 5, 5, {{"k", 2.0, 0, 0, 0}}));
+    EXPECT_TRUE(avg.planStats(4).empty());
+
+    MultiStageSamplingReducer sum(MultiStageSamplingReducer::Op::kSum,
+                                  0.95);
+    sum.consume(chunk(0, 5, 5, {{"k", 1.0, 0, 0, 0}}));
+    sum.consume(chunk(1, 5, 5, {{"k", 2.0, 0, 0, 0}}));
+    auto stats = sum.planStats(4);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_GT(stats[0].inter_cluster_variance, 0.0);
+    EXPECT_DOUBLE_EQ(stats[0].tau_hat, 6.0);
+}
+
+TEST(MultiStageSamplingReducerTest, WithinVarianceGrowsWhenSampling)
+{
+    auto build = [](uint64_t processed) {
+        MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum,
+                                    0.95);
+        for (uint64_t t = 0; t < 4; ++t) {
+            // Same emitted data, different claimed sample sizes.
+            std::vector<mr::KeyValue> recs = {{"k", 1.0, 0, 0, 0},
+                                              {"k", 3.0, 0, 0, 0}};
+            r.consume(chunk(t, 100, processed, recs));
+        }
+        return r.currentEstimates(8)[0].error_bound;
+    };
+    EXPECT_GT(build(10), build(100));
+}
+
+TEST(MultiStageSamplingReducerTest, ChaoDistinctKeyEstimate)
+{
+    // 5 abundant keys plus 6 singletons and 4 doubletons observed:
+    // Chao1 = 15 + 36 / 8 = 19.5.
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kCount,
+                                0.95);
+    std::vector<mr::KeyValue> records;
+    for (int k = 0; k < 5; ++k) {
+        for (int i = 0; i < 10; ++i) {
+            records.push_back({"big" + std::to_string(k), 1.0, 0, 0, 0});
+        }
+    }
+    for (int k = 0; k < 6; ++k) {
+        records.push_back({"single" + std::to_string(k), 1.0, 0, 0, 0});
+    }
+    for (int k = 0; k < 4; ++k) {
+        records.push_back({"double" + std::to_string(k), 1.0, 0, 0, 0});
+        records.push_back({"double" + std::to_string(k), 1.0, 0, 0, 0});
+    }
+    r.consume(chunk(0, 100, 50, records));
+    EXPECT_EQ(r.observedKeys(), 15u);
+    EXPECT_DOUBLE_EQ(r.estimateDistinctKeys(), 15.0 + 36.0 / 8.0);
+}
+
+TEST(MultiStageSamplingReducerTest, ChaoWithoutDoubletons)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kCount,
+                                0.95);
+    r.consume(chunk(0, 10, 5,
+                    {{"a", 1.0, 0, 0, 0}, {"b", 1.0, 0, 0, 0}}));
+    // d=2, f1=2, f2=0 -> bias-corrected: 2 + 2*1/2 = 3.
+    EXPECT_DOUBLE_EQ(r.estimateDistinctKeys(), 3.0);
+}
+
+TEST(MultiStageSamplingReducerTest, ChaoNeverBelowObserved)
+{
+    Rng rng(3);
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kCount,
+                                0.95);
+    ZipfDistribution zipf(500, 1.1);
+    for (uint64_t c = 0; c < 10; ++c) {
+        std::vector<mr::KeyValue> records;
+        for (int i = 0; i < 100; ++i) {
+            records.push_back(
+                {"k" + std::to_string(zipf.sample(rng)), 1.0, 0, 0, 0});
+        }
+        r.consume(chunk(c, 1000, 100, records));
+    }
+    double chao = r.estimateDistinctKeys();
+    EXPECT_GE(chao, static_cast<double>(r.observedKeys()));
+    // And it should extrapolate beyond the observed count for a
+    // heavy-tailed key distribution sampled at 10%.
+    EXPECT_GT(chao, static_cast<double>(r.observedKeys()) * 1.05);
+}
+
+TEST(MultiStageSamplingReducerTest, WorstAbsoluteErrorMatchesScan)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    Rng rng(4);
+    for (uint64_t c = 0; c < 6; ++c) {
+        std::vector<mr::KeyValue> records;
+        for (int k = 0; k < 8; ++k) {
+            records.push_back({"k" + std::to_string(k),
+                               rng.uniform(0.0, 10.0 * (k + 1)), 0, 0, 0});
+        }
+        r.consume(chunk(c, 50, 10, records));
+    }
+    auto worst = r.worstAbsoluteError(12);
+    ASSERT_TRUE(worst.any_key);
+    double expected = 0.0;
+    for (const KeyEstimate& est : r.currentEstimates(12)) {
+        expected = std::max(expected, est.error_bound);
+    }
+    EXPECT_DOUBLE_EQ(worst.error_bound, expected);
+}
+
+TEST(MultiStageSamplingReducerTest, PlanStatsTopKSelectsWorstKeys)
+{
+    MultiStageSamplingReducer r(MultiStageSamplingReducer::Op::kSum, 0.95);
+    Rng rng(5);
+    for (uint64_t c = 0; c < 6; ++c) {
+        std::vector<mr::KeyValue> records;
+        for (int k = 0; k < 40; ++k) {
+            records.push_back({"k" + std::to_string(k),
+                               rng.uniform(0.0, 2.0 * (k + 1)), 0, 0, 0});
+        }
+        r.consume(chunk(c, 50, 10, records));
+    }
+    auto all = r.planStats(12);
+    auto top = r.planStats(12, 5);
+    ASSERT_EQ(top.size(), 5u);
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        return a.error_bound > b.error_bound;
+    });
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+        return a.error_bound > b.error_bound;
+    });
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(top[i].key, all[i].key) << i;
+        EXPECT_DOUBLE_EQ(top[i].error_bound, all[i].error_bound);
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::core

@@ -1,0 +1,151 @@
+#include "core/stratified_input_format.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/approx_config.h"
+#include "core/approx_input_format.h"
+#include "core/sampling_reducer.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::core {
+namespace {
+
+/**
+ * Dataset where every record carries key "common", and every 50th record
+ * additionally carries a unique rare key "rare<i>".
+ */
+hdfs::GeneratedDataset
+rareKeyDataset(uint64_t blocks = 20, uint64_t items = 100)
+{
+    return hdfs::GeneratedDataset(
+        blocks, items, [items](uint64_t b, uint64_t i) {
+            uint64_t global = b * items + i;
+            if (global % 50 == 0) {
+                return "common rare" + std::to_string(global / 50);
+            }
+            return std::string("common");
+        });
+}
+
+void
+extractKeys(const std::string& record, std::vector<std::string>& keys)
+{
+    size_t pos = 0;
+    while (pos < record.size()) {
+        size_t space = record.find(' ', pos);
+        if (space == std::string::npos) {
+            space = record.size();
+        }
+        keys.push_back(record.substr(pos, space - pos));
+        pos = space + 1;
+    }
+}
+
+class MultiKeyMapper : public mr::Mapper
+{
+  public:
+    void
+    map(const std::string& record, mr::MapContext& ctx) override
+    {
+        std::vector<std::string> keys;
+        extractKeys(record, keys);
+        for (const std::string& k : keys) {
+            ctx.write(k, 1.0);
+        }
+    }
+};
+
+TEST(StratifiedSampleIndexTest, FindsRareKeysAndPinsTheirItems)
+{
+    auto ds = rareKeyDataset();
+    StratifiedSampleIndex index(ds, extractKeys, 1);
+    // 2000 records -> 40 rare keys, each on exactly one item.
+    EXPECT_EQ(index.rareKeys(), 40u);
+    EXPECT_EQ(index.pinnedItems(), 40u);
+    // Items at global index multiples of 50 are pinned.
+    const auto& block0 = index.mustInclude(0);
+    ASSERT_EQ(block0.size(), 2u);
+    EXPECT_EQ(block0[0], 0u);
+    EXPECT_EQ(block0[1], 50u);
+}
+
+TEST(StratifiedSampleIndexTest, HighThresholdPinsEverything)
+{
+    auto ds = rareKeyDataset(4, 50);
+    StratifiedSampleIndex index(ds, extractKeys, 1'000'000);
+    EXPECT_EQ(index.pinnedItems(), 200u);
+}
+
+TEST(StratifiedInputFormatTest, SampleAlwaysContainsPinnedItems)
+{
+    auto ds = rareKeyDataset();
+    auto index = std::make_shared<const StratifiedSampleIndex>(
+        ds, extractKeys, 1);
+    StratifiedInputFormat fmt(index);
+    Rng rng(1);
+    for (uint64_t b = 0; b < ds.numBlocks(); ++b) {
+        auto sample = fmt.select(b, ds.itemsInBlock(b), 0.05, rng);
+        std::set<uint64_t> chosen(sample.begin(), sample.end());
+        for (uint64_t pinned : index->mustInclude(b)) {
+            EXPECT_TRUE(chosen.count(pinned))
+                << "block " << b << " item " << pinned;
+        }
+        // Still (mostly) a sample: far fewer items than the block.
+        EXPECT_LT(sample.size(), ds.itemsInBlock(b) / 2);
+        EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+        // No duplicates after the merge.
+        EXPECT_EQ(chosen.size(), sample.size());
+    }
+}
+
+TEST(StratifiedInputFormatTest, EndToEndNoMissedKeys)
+{
+    auto ds = rareKeyDataset();
+    auto index = std::make_shared<const StratifiedSampleIndex>(
+        ds, extractKeys, 1);
+
+    auto run_with = [&](bool stratified) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 9);
+        mr::JobConfig config;
+        config.map_cost.noise_sigma = 0.0;
+        config.speculation = false;
+        mr::Job job(cluster, ds, nn, config);
+        job.setMapperFactory(
+            [] { return std::make_unique<MultiKeyMapper>(); });
+        auto reducer = std::make_shared<
+            std::unique_ptr<MultiStageSamplingReducer>>(
+            std::make_unique<MultiStageSamplingReducer>(
+                MultiStageSamplingReducer::Op::kCount, 0.95));
+        job.setReducerFactory(
+            [reducer]() -> std::unique_ptr<mr::Reducer> {
+                return std::move(*reducer);
+            });
+        if (stratified) {
+            job.setInputFormat(
+                std::make_shared<StratifiedInputFormat>(index));
+        } else {
+            job.setInputFormat(
+                std::make_shared<ApproxTextInputFormat>());
+        }
+        job.setInitialSamplingRatio(0.05);
+        return job.run();
+    };
+
+    mr::JobResult uniform = run_with(false);
+    mr::JobResult stratified = run_with(true);
+
+    // Uniform 5% sampling misses most of the 40 singleton keys...
+    EXPECT_LT(uniform.output.size(), 30u);
+    // ...stratified sampling reports every one of them plus "common".
+    EXPECT_EQ(stratified.output.size(), 41u);
+}
+
+}  // namespace
+}  // namespace approxhadoop::core

@@ -1,0 +1,60 @@
+#include "hdfs/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::hdfs {
+namespace {
+
+TEST(InMemoryDatasetTest, PreSplitBlocks)
+{
+    InMemoryDataset ds({{"a", "b"}, {"c"}});
+    EXPECT_EQ(ds.numBlocks(), 2u);
+    EXPECT_EQ(ds.itemsInBlock(0), 2u);
+    EXPECT_EQ(ds.itemsInBlock(1), 1u);
+    EXPECT_EQ(ds.item(0, 1), "b");
+    EXPECT_EQ(ds.item(1, 0), "c");
+    EXPECT_EQ(ds.totalItems(), 3u);
+}
+
+TEST(InMemoryDatasetTest, SplitsFlatRecordList)
+{
+    std::vector<std::string> records;
+    for (int i = 0; i < 10; ++i) {
+        records.push_back("r" + std::to_string(i));
+    }
+    InMemoryDataset ds(records, 4);
+    EXPECT_EQ(ds.numBlocks(), 3u);
+    EXPECT_EQ(ds.itemsInBlock(0), 4u);
+    EXPECT_EQ(ds.itemsInBlock(1), 4u);
+    EXPECT_EQ(ds.itemsInBlock(2), 2u);
+    EXPECT_EQ(ds.item(2, 1), "r9");
+}
+
+TEST(GeneratedDatasetTest, CallsGeneratorWithCoordinates)
+{
+    GeneratedDataset ds(3, 5, [](uint64_t b, uint64_t i) {
+        return std::to_string(b * 100 + i);
+    });
+    EXPECT_EQ(ds.numBlocks(), 3u);
+    EXPECT_EQ(ds.itemsInBlock(2), 5u);
+    EXPECT_EQ(ds.item(2, 4), "204");
+    EXPECT_EQ(ds.totalItems(), 15u);
+}
+
+TEST(GeneratedDatasetTest, IsDeterministic)
+{
+    auto gen = [](uint64_t b, uint64_t i) {
+        return std::to_string(b ^ (i * 7));
+    };
+    GeneratedDataset ds(2, 3, gen);
+    EXPECT_EQ(ds.item(1, 2), ds.item(1, 2));
+}
+
+TEST(GeneratedDatasetTest, BytesPerItem)
+{
+    GeneratedDataset ds(1, 1, [](uint64_t, uint64_t) { return ""; }, 512);
+    EXPECT_EQ(ds.bytesPerItem(), 512u);
+}
+
+}  // namespace
+}  // namespace approxhadoop::hdfs

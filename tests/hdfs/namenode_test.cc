@@ -1,0 +1,86 @@
+#include "hdfs/namenode.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::hdfs {
+namespace {
+
+TEST(NameNodeTest, AssignsRequestedReplication)
+{
+    NameNode nn(10, 3, 1);
+    nn.registerFile(50);
+    for (uint64_t b = 0; b < 50; ++b) {
+        const auto& reps = nn.replicas(b);
+        EXPECT_EQ(reps.size(), 3u);
+        std::set<uint32_t> unique(reps.begin(), reps.end());
+        EXPECT_EQ(unique.size(), 3u) << "replicas must be distinct";
+        for (uint32_t s : reps) {
+            EXPECT_LT(s, 10u);
+        }
+    }
+}
+
+TEST(NameNodeTest, ReplicationCappedAtClusterSize)
+{
+    NameNode nn(2, 3, 1);
+    nn.registerFile(5);
+    EXPECT_EQ(nn.replicas(0).size(), 2u);
+}
+
+TEST(NameNodeTest, IsLocalMatchesReplicaList)
+{
+    NameNode nn(8, 2, 2);
+    nn.registerFile(20);
+    for (uint64_t b = 0; b < 20; ++b) {
+        const auto& reps = nn.replicas(b);
+        for (uint32_t s = 0; s < 8; ++s) {
+            bool expected = std::find(reps.begin(), reps.end(), s) !=
+                            reps.end();
+            EXPECT_EQ(nn.isLocal(b, s), expected);
+        }
+    }
+}
+
+TEST(NameNodeTest, MultipleFilesGetGlobalBlockIds)
+{
+    NameNode nn(4, 2, 3);
+    uint64_t first_a = nn.registerFile(10);
+    uint64_t first_b = nn.registerFile(5);
+    EXPECT_EQ(first_a, 0u);
+    EXPECT_EQ(first_b, 10u);
+    EXPECT_EQ(nn.numBlocks(), 15u);
+    EXPECT_EQ(nn.replicas(14).size(), 2u);
+}
+
+TEST(NameNodeTest, PlacementSpreadsLoad)
+{
+    // Each of 10 servers should hold roughly 3*1000/10 replicas.
+    NameNode nn(10, 3, 4);
+    nn.registerFile(1000);
+    std::vector<int> load(10, 0);
+    for (uint64_t b = 0; b < 1000; ++b) {
+        for (uint32_t s : nn.replicas(b)) {
+            ++load[s];
+        }
+    }
+    for (int l : load) {
+        EXPECT_GT(l, 200);
+        EXPECT_LT(l, 400);
+    }
+}
+
+TEST(NameNodeTest, DeterministicForSameSeed)
+{
+    NameNode a(10, 3, 42);
+    NameNode b(10, 3, 42);
+    a.registerFile(100);
+    b.registerFile(100);
+    for (uint64_t blk = 0; blk < 100; ++blk) {
+        EXPECT_EQ(a.replicas(blk), b.replicas(blk));
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::hdfs

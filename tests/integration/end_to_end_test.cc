@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cross-module integration tests: full jobs over realistic workloads,
+ * exercising sampling + dropping + error bounds + energy together.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/log_apps.h"
+#include "apps/wiki_apps.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/wiki_dump.h"
+
+namespace approxhadoop {
+namespace {
+
+std::unique_ptr<hdfs::BlockDataset>
+weekLog(uint64_t blocks = 60, uint64_t entries = 150)
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = blocks;
+    params.entries_per_block = entries;
+    return workloads::makeAccessLog(params);
+}
+
+TEST(EndToEndTest, SamplingSpeedsUpAndStaysAccurate)
+{
+    auto log = weekLog();
+    sim::Cluster c1(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn1(c1.numServers(), 3, 1);
+    core::ApproxJobRunner r1(c1, *log, nn1);
+    mr::JobResult precise = r1.runPrecise(
+        apps::logProcessingConfig("pp", 150),
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::preciseReducerFactory());
+
+    sim::Cluster c2(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn2(c2.numServers(), 3, 1);
+    core::ApproxJobRunner r2(c2, *log, nn2);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = 0.05;
+    mr::JobResult sampled = r2.runAggregation(
+        apps::logProcessingConfig("pp", 150), approx,
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::kOp);
+
+    EXPECT_LT(sampled.runtime, precise.runtime);
+    EXPECT_LT(sampled.energy_wh, precise.energy_wh);
+    mr::JobResult::HeadlineError err = sampled.headlineErrorAgainst(precise);
+    EXPECT_LT(err.actual_relative_error, 0.30);
+    EXPECT_GT(err.bound_relative_error, 0.0);
+}
+
+TEST(EndToEndTest, DroppingSpeedsUpMoreThanSamplingAtEqualVolume)
+{
+    // Paper Section 5.2: dropping eliminates block reads; sampling does
+    // not. Compare 50% of data via dropping vs via sampling. Needs a
+    // multi-wave job (160 blocks over 80 slots) for dropping to shorten
+    // the wall clock.
+    auto log = weekLog(160, 150);
+    auto run_with = [&](double sampling, double dropping) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 2);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = sampling;
+        approx.drop_ratio = dropping;
+        return runner.runAggregation(
+            apps::logProcessingConfig("pp", 150), approx,
+            apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+    };
+    mr::JobResult sampled = run_with(0.5, 0.0);
+    mr::JobResult dropped = run_with(1.0, 0.5);
+    EXPECT_LT(dropped.runtime, sampled.runtime);
+}
+
+TEST(EndToEndTest, DroppingWidensBoundsAtEqualVolume)
+{
+    // The flip side: dropping loses whole clusters, so its confidence
+    // intervals are wider than sampling's at the same data volume (the
+    // within-block locality of the generator is what drives this).
+    auto log = weekLog(80, 150);
+    auto run_with = [&](double sampling, double dropping, uint64_t seed) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, seed);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = sampling;
+        approx.drop_ratio = dropping;
+        mr::JobConfig config = apps::logProcessingConfig("pp", 150);
+        config.seed = seed;
+        return runner.runAggregation(
+            config, approx, apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+    };
+    // Average over several seeds to avoid flakiness.
+    double sampled_bound = 0.0;
+    double dropped_bound = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        mr::JobResult sampled = run_with(0.25, 0.0, seed);
+        mr::JobResult dropped = run_with(1.0, 0.75, seed);
+        sampled_bound += sampled.find("proj0")->errorBound();
+        dropped_bound += dropped.find("proj0")->errorBound();
+    }
+    EXPECT_GT(dropped_bound, sampled_bound);
+}
+
+TEST(EndToEndTest, WikiLengthMissesOnlyRareBins)
+{
+    workloads::WikiDumpParams params;
+    params.num_blocks = 30;
+    params.articles_per_block = 150;
+    auto dump = workloads::makeWikiDump(params);
+
+    sim::Cluster c1(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn1(c1.numServers(), 3, 3);
+    core::ApproxJobRunner r1(c1, *dump, nn1);
+    mr::JobResult precise = r1.runPrecise(
+        apps::WikiLength::jobConfig(150),
+        apps::WikiLength::mapperFactory(),
+        apps::WikiLength::preciseReducerFactory());
+
+    sim::Cluster c2(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn2(c2.numServers(), 3, 3);
+    core::ApproxJobRunner r2(c2, *dump, nn2);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = 0.05;
+    mr::JobResult sampled = r2.runAggregation(
+        apps::WikiLength::jobConfig(150), approx,
+        apps::WikiLength::mapperFactory(), apps::WikiLength::kOp);
+
+    // Sampling misses bins (paper Section 5.2 reports 128 of 518 bins at
+    // 1%), but only ones with small precise counts.
+    auto sampled_keys = sampled.toMap();
+    EXPECT_LT(sampled.output.size(), precise.output.size());
+    double max_missed = 0.0;
+    double max_present = 0.0;
+    for (const auto& rec : precise.output) {
+        if (sampled_keys.count(rec.key)) {
+            max_present = std::max(max_present, rec.value);
+        } else {
+            max_missed = std::max(max_missed, rec.value);
+        }
+    }
+    EXPECT_LT(max_missed, max_present);
+}
+
+TEST(EndToEndTest, EnergyTracksRuntimeWithoutS3)
+{
+    auto log = weekLog(40, 100);
+    auto energy_at = [&](double sampling) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 4);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = sampling;
+        return runner
+            .runAggregation(apps::logProcessingConfig("pp", 100), approx,
+                            apps::ProjectPopularity::mapperFactory(),
+                            apps::ProjectPopularity::kOp)
+            .energy_wh;
+    };
+    EXPECT_LT(energy_at(0.05), energy_at(1.0));
+}
+
+TEST(EndToEndTest, S3SavesEnergyWhenMapsAreDroppedInSingleWaveJob)
+{
+    // 80 blocks on 80 slots: dropping does not shorten the (single-wave)
+    // runtime but idles servers, which S3 converts into energy savings
+    // (paper Figure 12).
+    auto log = weekLog(80, 150);
+    auto run_with = [&](double drop) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 5);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+        core::ApproxConfig approx;
+        approx.drop_ratio = drop;
+        mr::JobConfig config = apps::logProcessingConfig("pp", 150);
+        config.s3_when_drained = true;
+        return runner.runAggregation(
+            config, approx, apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+    };
+    mr::JobResult full = run_with(0.0);
+    mr::JobResult dropped = run_with(0.75);
+    // Runtime roughly unchanged (single wave)...
+    EXPECT_NEAR(dropped.runtime / full.runtime, 1.0, 0.35);
+    // ...but energy clearly lower.
+    EXPECT_LT(dropped.energy_wh, 0.8 * full.energy_wh);
+}
+
+}  // namespace
+}  // namespace approxhadoop

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Property-style tests over parameter sweeps (TEST_P): invariants that
+ * must hold across sampling ratios, dropping ratios, and seeds.
+ */
+#include <gtest/gtest.h>
+
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "core/sampling_reducer.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop {
+namespace {
+
+/** Each record is "v<block-dependent value>" so totals are computable. */
+class ValueMapper : public mr::Mapper
+{
+  public:
+    void
+    map(const std::string& record, mr::MapContext& ctx) override
+    {
+        ctx.write("total", std::stod(record));
+    }
+};
+
+hdfs::GeneratedDataset
+valueDataset(uint64_t blocks, uint64_t items, uint64_t seed)
+{
+    return hdfs::GeneratedDataset(
+        blocks, items, [seed](uint64_t b, uint64_t i) {
+            // Value in [1, 3) varying by block and item, deterministic.
+            double v = 1.0 +
+                       static_cast<double>(splitmix64(seed ^ (b * 911 + i)) %
+                                           2000) /
+                           1000.0;
+            return std::to_string(v);
+        });
+}
+
+double
+trueTotal(const hdfs::BlockDataset& ds)
+{
+    double total = 0.0;
+    for (uint64_t b = 0; b < ds.numBlocks(); ++b) {
+        for (uint64_t i = 0; i < ds.itemsInBlock(b); ++i) {
+            total += std::stod(ds.item(b, i));
+        }
+    }
+    return total;
+}
+
+struct SweepCase
+{
+    double sampling;
+    double dropping;
+    uint64_t seed;
+};
+
+void
+PrintTo(const SweepCase& c, std::ostream* os)
+{
+    *os << "sampling=" << c.sampling << " dropping=" << c.dropping
+        << " seed=" << c.seed;
+}
+
+class ApproxSweepTest : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(ApproxSweepTest, EstimateWithinBoundAndBoundFinite)
+{
+    const SweepCase& param = GetParam();
+    auto ds = valueDataset(40, 50, 7);
+    double truth = trueTotal(ds);
+
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, param.seed);
+    core::ApproxJobRunner runner(cluster, ds, nn);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = param.sampling;
+    approx.drop_ratio = param.dropping;
+    mr::JobConfig config;
+    config.num_reducers = 1;
+    config.map_cost.t0 = 1.0;
+    config.map_cost.t_read = 0.01;
+    config.map_cost.t_process = 0.01;
+    config.seed = param.seed;
+    mr::JobResult result = runner.runAggregation(
+        config, approx, [] { return std::make_unique<ValueMapper>(); },
+        core::MultiStageSamplingReducer::Op::kSum);
+
+    const mr::OutputRecord* rec = result.find("total");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->has_bound);
+    ASSERT_TRUE(std::isfinite(rec->errorBound()));
+    // 95% CI: allow 2x slack so the sweep is not flaky, but the bound
+    // must genuinely bracket the truth at that slack for every case.
+    EXPECT_NEAR(rec->value, truth, 2.0 * rec->errorBound() + 1e-9)
+        << "truth " << truth;
+    // The interval must be consistent: lower <= value <= upper.
+    EXPECT_LE(rec->lower, rec->value);
+    EXPECT_GE(rec->upper, rec->value);
+}
+
+TEST_P(ApproxSweepTest, CountersAreConsistent)
+{
+    const SweepCase& param = GetParam();
+    auto ds = valueDataset(40, 50, 7);
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, param.seed);
+    core::ApproxJobRunner runner(cluster, ds, nn);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = param.sampling;
+    approx.drop_ratio = param.dropping;
+    mr::JobConfig config;
+    config.num_reducers = 2;
+    config.seed = param.seed;
+    mr::JobResult result = runner.runAggregation(
+        config, approx, [] { return std::make_unique<ValueMapper>(); },
+        core::MultiStageSamplingReducer::Op::kSum);
+
+    const mr::Counters& c = result.counters;
+    EXPECT_EQ(c.maps_total, 40u);
+    EXPECT_EQ(c.maps_completed + c.maps_dropped + c.maps_killed, 40u);
+    EXPECT_EQ(c.items_total, 2000u);
+    EXPECT_LE(c.items_processed, c.items_read);
+    EXPECT_EQ(c.local_maps + c.remote_maps, c.maps_completed);
+    // Effective sampling ratio is bounded by the nominal one.
+    if (param.sampling < 1.0) {
+        EXPECT_LE(c.effectiveSamplingRatio(), param.sampling * 1.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatioGrid, ApproxSweepTest,
+    ::testing::Values(SweepCase{1.0, 0.0, 1}, SweepCase{0.5, 0.0, 2},
+                      SweepCase{0.1, 0.0, 3}, SweepCase{1.0, 0.25, 4},
+                      SweepCase{1.0, 0.5, 5}, SweepCase{0.5, 0.25, 6},
+                      SweepCase{0.1, 0.5, 7}, SweepCase{0.05, 0.75, 8},
+                      SweepCase{0.25, 0.25, 9}, SweepCase{0.75, 0.1, 10}));
+
+/** Seeds-only sweep: determinism of the full pipeline. */
+class DeterminismTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DeterminismTest, IdenticalSeedsGiveIdenticalResults)
+{
+    uint64_t seed = GetParam();
+    auto run_once = [&] {
+        auto ds = valueDataset(24, 40, 3);
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, seed);
+        core::ApproxJobRunner runner(cluster, ds, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = 0.3;
+        approx.drop_ratio = 0.25;
+        mr::JobConfig config;
+        config.seed = seed;
+        return runner.runAggregation(
+            config, approx, [] { return std::make_unique<ValueMapper>(); },
+            core::MultiStageSamplingReducer::Op::kSum);
+    };
+    mr::JobResult a = run_once();
+    mr::JobResult b = run_once();
+    ASSERT_EQ(a.output.size(), b.output.size());
+    for (size_t i = 0; i < a.output.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.output[i].value, b.output[i].value);
+        EXPECT_DOUBLE_EQ(a.output[i].lower, b.output[i].lower);
+    }
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_DOUBLE_EQ(a.energy_wh, b.energy_wh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1u, 17u, 123u, 9999u));
+
+/**
+ * Coverage property: across many seeds, the 95% CI of a sampled sum
+ * must cover the truth in at least ~90% of runs.
+ */
+TEST(CoverageTest, ConfidenceIntervalsCoverTruth)
+{
+    auto ds = valueDataset(30, 40, 13);
+    double truth = trueTotal(ds);
+    int covered = 0;
+    const int kTrials = 40;
+    for (int t = 0; t < kTrials; ++t) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 100 + t);
+        core::ApproxJobRunner runner(cluster, ds, nn);
+        core::ApproxConfig approx;
+        approx.sampling_ratio = 0.2;
+        approx.drop_ratio = 0.3;
+        mr::JobConfig config;
+        config.seed = 1000 + t;
+        mr::JobResult result = runner.runAggregation(
+            config, approx, [] { return std::make_unique<ValueMapper>(); },
+            core::MultiStageSamplingReducer::Op::kSum);
+        const mr::OutputRecord* rec = result.find("total");
+        ASSERT_NE(rec, nullptr);
+        if (rec->lower <= truth && truth <= rec->upper) {
+            ++covered;
+        }
+    }
+    EXPECT_GE(covered, 34) << "covered " << covered << "/" << kTrials;
+}
+
+}  // namespace
+}  // namespace approxhadoop

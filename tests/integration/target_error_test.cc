@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Integration tests of the target-error mode over realistic workloads
+ * (the paper's Figure 9 scenarios, scaled down).
+ */
+#include <gtest/gtest.h>
+
+#include "apps/dc_placement_app.h"
+#include "apps/log_apps.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/dc_placement.h"
+
+namespace approxhadoop {
+namespace {
+
+std::unique_ptr<hdfs::BlockDataset>
+weekLog()
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = 120;
+    params.entries_per_block = 400;
+    return workloads::makeAccessLog(params);
+}
+
+mr::JobResult
+runTarget(const hdfs::BlockDataset& log, double target, bool pilot = false)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 11);
+    core::ApproxJobRunner runner(cluster, log, nn);
+    core::ApproxConfig approx;
+    approx.target_relative_error = target;
+    if (pilot) {
+        approx.pilot.enabled = true;
+        approx.pilot.maps = 20;
+        approx.pilot.sampling_ratio = 0.05;
+    }
+    return runner.runAggregation(
+        apps::logProcessingConfig("pp", 400), approx,
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::kOp);
+}
+
+TEST(TargetErrorIntegrationTest, AchievedBoundIsWithinTarget)
+{
+    auto log = weekLog();
+    for (double target : {0.02, 0.05, 0.10}) {
+        mr::JobResult result = runTarget(*log, target);
+        mr::JobResult::HeadlineError err =
+            result.headlineErrorAgainst(result);  // bound only
+        EXPECT_LE(err.bound_relative_error, target * 1.05)
+            << "target " << target;
+    }
+}
+
+TEST(TargetErrorIntegrationTest, ActualErrorWithinBound)
+{
+    auto log = weekLog();
+    sim::Cluster c(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(c.numServers(), 3, 11);
+    core::ApproxJobRunner runner(c, *log, nn);
+    mr::JobResult precise = runner.runPrecise(
+        apps::logProcessingConfig("pp", 400),
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::preciseReducerFactory());
+
+    mr::JobResult result = runTarget(*log, 0.05);
+    mr::JobResult::HeadlineError err = result.headlineErrorAgainst(precise);
+    // The actual error should be within ~the bound (95% confidence, so
+    // allow some slack).
+    EXPECT_LE(err.actual_relative_error, 2.0 * 0.05);
+}
+
+TEST(TargetErrorIntegrationTest, LooserTargetsRunFaster)
+{
+    auto log = weekLog();
+    mr::JobResult tight = runTarget(*log, 0.01);
+    mr::JobResult loose = runTarget(*log, 0.10);
+    EXPECT_LE(loose.runtime, tight.runtime * 1.05);
+    EXPECT_GE(loose.counters.droppedFraction(),
+              tight.counters.droppedFraction());
+}
+
+TEST(TargetErrorIntegrationTest, PilotWaveReducesProcessedItems)
+{
+    auto log = weekLog();
+    mr::JobResult without = runTarget(*log, 0.05, false);
+    mr::JobResult with = runTarget(*log, 0.05, true);
+    // Without a pilot the first wave runs precise; with a pilot only a
+    // few maps do, so total processed volume is smaller.
+    EXPECT_LT(with.counters.items_processed,
+              without.counters.items_processed);
+}
+
+TEST(TargetErrorIntegrationTest, GevTargetStopsEarlyOnDCPlacement)
+{
+    workloads::DCPlacementParams pp;
+    pp.grid_size = 10;
+    pp.num_datacenters = 3;
+    pp.num_clients = 12;
+    pp.sa_iterations = 400;
+    auto problem =
+        std::make_shared<const workloads::DCPlacementProblem>(pp);
+    auto seeds = workloads::makeDCPlacementSeeds(160, 2, 3);
+
+    sim::ClusterConfig cc = sim::ClusterConfig::xeon10();
+    cc.map_slots_per_server = 4;
+    sim::Cluster cluster(cc);
+    hdfs::NameNode nn(cluster.numServers(), 3, 3);
+    core::ApproxJobRunner runner(cluster, *seeds, nn);
+    core::ApproxConfig approx;
+    approx.target_relative_error = 0.10;
+    mr::JobResult result = runner.runExtreme(
+        apps::DCPlacementApp::jobConfig(2), approx,
+        apps::DCPlacementApp::mapperFactory(problem), true);
+
+    EXPECT_LT(result.counters.maps_completed, 160u);
+    const mr::OutputRecord* rec = result.find(apps::DCPlacementApp::kKey);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_LE(rec->relativeError(), 0.10 + 1e-9);
+}
+
+}  // namespace
+}  // namespace approxhadoop

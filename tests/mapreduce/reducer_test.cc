@@ -1,0 +1,93 @@
+#include "mapreduce/reducer.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::mr {
+namespace {
+
+MapOutputChunk
+chunk(uint64_t task, std::vector<KeyValue> records)
+{
+    MapOutputChunk c;
+    c.map_task = task;
+    c.items_total = 10;
+    c.items_processed = 10;
+    c.records = std::move(records);
+    return c;
+}
+
+TEST(SumReducerTest, SumsPerKey)
+{
+    SumReducer r;
+    r.consume(chunk(0, {{"a", 1.0, 0, 0, 0}, {"b", 2.0, 0, 0, 0}}));
+    r.consume(chunk(1, {{"a", 3.0, 0, 0, 0}}));
+    ReduceContext ctx(2, 20);
+    r.finalize(ctx);
+    ASSERT_EQ(ctx.output().size(), 2u);
+    EXPECT_EQ(ctx.output()[0].key, "a");
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 4.0);
+    EXPECT_EQ(ctx.output()[1].key, "b");
+    EXPECT_DOUBLE_EQ(ctx.output()[1].value, 2.0);
+    EXPECT_FALSE(ctx.output()[0].has_bound);
+}
+
+TEST(CountReducerTest, CountsRecords)
+{
+    CountReducer r;
+    r.consume(chunk(0, {{"x", 5.0, 0, 0, 0}, {"x", 7.0, 0, 0, 0}}));
+    ReduceContext ctx(1, 10);
+    r.finalize(ctx);
+    ASSERT_EQ(ctx.output().size(), 1u);
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 2.0);
+}
+
+TEST(AverageReducerTest, Averages)
+{
+    AverageReducer r;
+    r.consume(chunk(0, {{"x", 2.0, 0, 0, 0}, {"x", 4.0, 0, 0, 0}}));
+    ReduceContext ctx(1, 10);
+    r.finalize(ctx);
+    EXPECT_DOUBLE_EQ(ctx.output()[0].value, 3.0);
+}
+
+TEST(MinMaxReducerTest, Extremes)
+{
+    MinReducer mn;
+    MaxReducer mx;
+    auto c = chunk(0, {{"x", 5.0, 0, 0, 0},
+                       {"x", -2.0, 0, 0, 0},
+                       {"x", 9.0, 0, 0, 0}});
+    mn.consume(c);
+    mx.consume(c);
+    ReduceContext ctx1(1, 10);
+    ReduceContext ctx2(1, 10);
+    mn.finalize(ctx1);
+    mx.finalize(ctx2);
+    EXPECT_DOUBLE_EQ(ctx1.output()[0].value, -2.0);
+    EXPECT_DOUBLE_EQ(ctx2.output()[0].value, 9.0);
+}
+
+TEST(ReduceContextTest, BoundedWrite)
+{
+    ReduceContext ctx(4, 40);
+    ctx.write("k", 10.0, 8.0, 13.0);
+    ASSERT_EQ(ctx.output().size(), 1u);
+    const OutputRecord& r = ctx.output()[0];
+    EXPECT_TRUE(r.has_bound);
+    EXPECT_DOUBLE_EQ(r.errorBound(), 3.0);
+    EXPECT_NEAR(r.relativeError(), 0.3, 1e-12);
+    EXPECT_EQ(ctx.totalMapTasks(), 4u);
+    EXPECT_EQ(ctx.totalItems(), 40u);
+}
+
+TEST(OutputRecordTest, PreciseRecordHasZeroError)
+{
+    OutputRecord r;
+    r.key = "k";
+    r.value = 5.0;
+    EXPECT_EQ(r.errorBound(), 0.0);
+    EXPECT_EQ(r.relativeError(), 0.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::mr

@@ -1,0 +1,47 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::sim {
+namespace {
+
+TEST(ClusterTest, Xeon10Preset)
+{
+    Cluster cluster(ClusterConfig::xeon10());
+    EXPECT_EQ(cluster.numServers(), 10u);
+    EXPECT_EQ(cluster.totalMapSlots(), 80);
+    EXPECT_EQ(cluster.totalReduceSlots(), 10);
+}
+
+TEST(ClusterTest, Atom60Preset)
+{
+    Cluster cluster(ClusterConfig::atom60());
+    EXPECT_EQ(cluster.numServers(), 60u);
+    EXPECT_EQ(cluster.totalMapSlots(), 240);
+    EXPECT_LT(cluster.config().speed, 1.0);
+}
+
+TEST(ClusterTest, EnergyAggregatesAcrossServers)
+{
+    ClusterConfig config;
+    config.num_servers = 2;
+    config.map_slots_per_server = 1;
+    config.power = PowerModel{100.0, 200.0, 10.0};
+    Cluster cluster(config);
+    cluster.events().schedule(3600.0, [] {});
+    cluster.events().run();
+    // Two idle servers at 100 W for one hour = 200 Wh.
+    EXPECT_NEAR(cluster.energyWattHours(), 200.0, 1e-9);
+}
+
+TEST(ClusterTest, TimeComesFromEventQueue)
+{
+    Cluster cluster(ClusterConfig::xeon10());
+    EXPECT_EQ(cluster.now(), 0.0);
+    cluster.events().schedule(12.5, [] {});
+    cluster.events().run();
+    EXPECT_EQ(cluster.now(), 12.5);
+}
+
+}  // namespace
+}  // namespace approxhadoop::sim

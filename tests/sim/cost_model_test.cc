@@ -1,0 +1,133 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::sim {
+namespace {
+
+TEST(TaskCostModelTest, MeanDurationFollowsEquation5)
+{
+    // t_map(M, m) = t0 + M t_r + m t_p  (paper Equation 5).
+    TaskCostModel model;
+    model.t0 = 2.0;
+    model.t_read = 0.1;
+    model.t_process = 0.5;
+    EXPECT_DOUBLE_EQ(model.meanDuration(100, 10), 2.0 + 10.0 + 5.0);
+}
+
+TEST(TaskCostModelTest, NoiselessDurationIsDeterministic)
+{
+    TaskCostModel model;
+    model.t0 = 1.0;
+    model.t_read = 0.01;
+    model.t_process = 0.02;
+    model.noise_sigma = 0.0;
+    model.straggler_prob = 0.0;
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(model.duration(100, 50, 1.0, rng), 1.0 + 1.0 + 1.0);
+}
+
+TEST(TaskCostModelTest, SpeedDividesDuration)
+{
+    TaskCostModel model;
+    model.t0 = 1.0;
+    model.noise_sigma = 0.0;
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(model.duration(0, 0, 2.0, rng), 0.5);
+}
+
+TEST(TaskCostModelTest, NoiseHasUnitMean)
+{
+    TaskCostModel model;
+    model.t0 = 10.0;
+    model.noise_sigma = 0.2;
+    Rng rng(2);
+    double sum = 0.0;
+    const int kTrials = 50000;
+    for (int i = 0; i < kTrials; ++i) {
+        sum += model.duration(0, 0, 1.0, rng);
+    }
+    EXPECT_NEAR(sum / kTrials, 10.0, 0.1);
+}
+
+TEST(TaskCostModelTest, StragglersInflateDuration)
+{
+    TaskCostModel model;
+    model.t0 = 1.0;
+    model.noise_sigma = 0.0;
+    model.straggler_prob = 1.0;
+    model.straggler_factor = 4.0;
+    Rng rng(3);
+    EXPECT_DOUBLE_EQ(model.duration(0, 0, 1.0, rng), 4.0);
+}
+
+TEST(TaskCostModelTest, DetailedComponentsSumToTotal)
+{
+    TaskCostModel model;
+    model.t0 = 1.0;
+    model.t_read = 0.05;
+    model.t_process = 0.1;
+    model.noise_sigma = 0.1;
+    Rng rng(4);
+    auto s = model.durationDetailed(200, 50, 1.0, 1.0, 0.0, rng);
+    EXPECT_NEAR(s.total, s.startup + s.read + s.process, 1e-12);
+    EXPECT_GT(s.read, 0.0);
+    EXPECT_GT(s.process, 0.0);
+}
+
+TEST(TaskCostModelTest, RemotePenaltyOnlyAffectsRead)
+{
+    TaskCostModel model;
+    model.t0 = 1.0;
+    model.t_read = 0.1;
+    model.t_process = 0.1;
+    model.noise_sigma = 0.0;
+    Rng rng1(5);
+    Rng rng2(5);
+    auto local = model.durationDetailed(100, 100, 1.0, 1.0, 0.0, rng1);
+    auto remote = model.durationDetailed(100, 100, 1.0, 1.5, 0.0, rng2);
+    EXPECT_DOUBLE_EQ(remote.read, 1.5 * local.read);
+    EXPECT_DOUBLE_EQ(remote.process, local.process);
+    EXPECT_DOUBLE_EQ(remote.startup, local.startup);
+}
+
+TEST(TaskCostModelTest, OverheadScalesEverything)
+{
+    TaskCostModel model;
+    model.t0 = 2.0;
+    model.noise_sigma = 0.0;
+    Rng rng1(6);
+    Rng rng2(6);
+    auto plain = model.durationDetailed(0, 0, 1.0, 1.0, 0.0, rng1);
+    auto overhead = model.durationDetailed(0, 0, 1.0, 1.0, 0.12, rng2);
+    EXPECT_NEAR(overhead.total, 1.12 * plain.total, 1e-12);
+}
+
+TEST(TaskCostModelTest, ApproximateTasksProcessCheaper)
+{
+    TaskCostModel model;
+    model.t0 = 0.0;
+    model.t_process = 1.0;
+    model.noise_sigma = 0.0;
+    model.approx_process_factor = 0.25;
+    Rng rng1(7);
+    Rng rng2(7);
+    auto precise = model.durationDetailed(10, 10, 1.0, 1.0, 0.0, rng1,
+                                          false);
+    auto approx = model.durationDetailed(10, 10, 1.0, 1.0, 0.0, rng2,
+                                         true);
+    EXPECT_DOUBLE_EQ(approx.process, 0.25 * precise.process);
+}
+
+TEST(ReduceCostModelTest, ScalesWithRecords)
+{
+    ReduceCostModel model;
+    model.t0 = 1.0;
+    model.t_record = 0.001;
+    Rng rng(8);
+    double d = model.duration(1000, 1.0, rng, 0.0);
+    EXPECT_DOUBLE_EQ(d, 2.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::sim

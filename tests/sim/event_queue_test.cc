@@ -1,0 +1,108 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::sim {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimestampOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(1.0, [&] { order.push_back(2); });
+    q.schedule(1.0, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, NowAdvancesOnlyOnExecution)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    EXPECT_EQ(q.now(), 0.0);
+    q.step();
+    EXPECT_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(1.0, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+    // Cancelling twice is a no-op.
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelExecutedEventIsNoop)
+{
+    EventQueue q;
+    auto id = q.schedule(1.0, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    std::vector<double> times;
+    q.schedule(1.0, [&] {
+        times.push_back(q.now());
+        q.scheduleAfter(2.0, [&] { times.push_back(q.now()); });
+    });
+    q.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 1.0);
+    EXPECT_EQ(times[1], 3.0);
+}
+
+TEST(EventQueueTest, EventsCanCancelOtherEvents)
+{
+    EventQueue q;
+    bool victim_ran = false;
+    EventQueue::EventId victim =
+        q.schedule(2.0, [&] { victim_ran = true; });
+    q.schedule(1.0, [&] { EXPECT_TRUE(q.cancel(victim)); });
+    q.run();
+    EXPECT_FALSE(victim_ran);
+}
+
+TEST(EventQueueTest, PendingAndExecutedCounts)
+{
+    EventQueue q;
+    q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.step();
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.executed(), 1u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace approxhadoop::sim

@@ -1,0 +1,74 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::sim {
+namespace {
+
+PowerModel
+testPower()
+{
+    return PowerModel{60.0, 150.0, 5.0};
+}
+
+TEST(ServerTest, SlotAccounting)
+{
+    Server s(0, 4, 1, 1.0, testPower());
+    EXPECT_EQ(s.freeMapSlots(), 4);
+    s.acquireMapSlot(0.0);
+    s.acquireMapSlot(0.0);
+    EXPECT_EQ(s.busyMapSlots(), 2);
+    EXPECT_EQ(s.freeMapSlots(), 2);
+    s.releaseMapSlot(1.0);
+    EXPECT_EQ(s.busyMapSlots(), 1);
+    s.acquireReduceSlot(1.0);
+    EXPECT_EQ(s.freeReduceSlots(), 0);
+}
+
+TEST(ServerTest, PowerScalesWithUtilization)
+{
+    Server s(0, 4, 0, 1.0, testPower());
+    EXPECT_DOUBLE_EQ(s.currentWatts(), 60.0);
+    s.acquireMapSlot(0.0);
+    EXPECT_DOUBLE_EQ(s.currentWatts(), 60.0 + 90.0 / 4.0);
+    s.acquireMapSlot(0.0);
+    s.acquireMapSlot(0.0);
+    s.acquireMapSlot(0.0);
+    EXPECT_DOUBLE_EQ(s.currentWatts(), 150.0);
+}
+
+TEST(ServerTest, EnergyIntegration)
+{
+    Server s(0, 2, 0, 1.0, testPower());
+    // Idle for 100 s at 60 W = 6000 J.
+    s.accrue(100.0);
+    EXPECT_DOUBLE_EQ(s.energyJoules(), 6000.0);
+    // One of two slots busy for 100 s at 105 W.
+    s.acquireMapSlot(100.0);
+    s.accrue(200.0);
+    EXPECT_DOUBLE_EQ(s.energyJoules(), 6000.0 + 105.0 * 100.0);
+}
+
+TEST(ServerTest, LowPowerState)
+{
+    Server s(0, 2, 0, 1.0, testPower());
+    s.enterLowPower(0.0);
+    EXPECT_EQ(s.state(), ServerState::kLowPower);
+    EXPECT_DOUBLE_EQ(s.currentWatts(), 5.0);
+    s.accrue(3600.0);
+    EXPECT_DOUBLE_EQ(s.energyJoules(), 5.0 * 3600.0);
+    s.exitLowPower(3600.0);
+    EXPECT_EQ(s.state(), ServerState::kActive);
+    EXPECT_DOUBLE_EQ(s.currentWatts(), 60.0);
+}
+
+TEST(ServerTest, AccrualHappensOnStateChanges)
+{
+    Server s(0, 1, 0, 1.0, testPower());
+    s.acquireMapSlot(10.0);  // accrues 10 s idle
+    s.releaseMapSlot(20.0);  // accrues 10 s at peak (1/1 slots busy)
+    EXPECT_DOUBLE_EQ(s.energyJoules(), 60.0 * 10.0 + 150.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::sim

@@ -1,0 +1,62 @@
+#include "stats/block_minima.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(BlockMinimaTest, ExactBlocks)
+{
+    std::vector<double> values = {5.0, 3.0, 8.0, 1.0, 9.0, 2.0};
+    auto minima = blockMinima(values, 3);
+    ASSERT_EQ(minima.size(), 3u);
+    EXPECT_EQ(minima[0], 3.0);
+    EXPECT_EQ(minima[1], 1.0);
+    EXPECT_EQ(minima[2], 2.0);
+}
+
+TEST(BlockMinimaTest, TrailingValuesFoldIntoLastBlock)
+{
+    std::vector<double> values = {5.0, 3.0, 8.0, 1.0, 9.0, 2.0, 0.5};
+    auto minima = blockMinima(values, 3);
+    ASSERT_EQ(minima.size(), 3u);
+    // Block size 7/3 = 2; last block takes values[4..6].
+    EXPECT_EQ(minima[2], 0.5);
+}
+
+TEST(BlockMaximaTest, ExactBlocks)
+{
+    std::vector<double> values = {5.0, 3.0, 8.0, 1.0};
+    auto maxima = blockMaxima(values, 2);
+    ASSERT_EQ(maxima.size(), 2u);
+    EXPECT_EQ(maxima[0], 5.0);
+    EXPECT_EQ(maxima[1], 8.0);
+}
+
+TEST(BlockMinimaTest, SingleBlockIsGlobalMin)
+{
+    std::vector<double> values = {4.0, -2.0, 7.0};
+    auto minima = blockMinima(values, 1);
+    ASSERT_EQ(minima.size(), 1u);
+    EXPECT_EQ(minima[0], -2.0);
+}
+
+TEST(BlockMinimaTest, OneBlockPerValue)
+{
+    std::vector<double> values = {4.0, -2.0, 7.0};
+    auto minima = blockMinima(values, 3);
+    EXPECT_EQ(minima, values);
+}
+
+TEST(DefaultBlockCountTest, SquareRootRule)
+{
+    EXPECT_EQ(defaultBlockCount(100), 10u);
+    EXPECT_EQ(defaultBlockCount(10000), 100u);
+    // Clamped to the minimum...
+    EXPECT_EQ(defaultBlockCount(9, 5), 5u);
+    // ...but never more blocks than values.
+    EXPECT_EQ(defaultBlockCount(3, 5), 3u);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

@@ -1,0 +1,159 @@
+#include "stats/gev_fit.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxhadoop::stats {
+namespace {
+
+/** Draws a sample from GEV(mu, sigma, xi) by inverse transform. */
+std::vector<double>
+gevSample(double mu, double sigma, double xi, size_t n, uint64_t seed)
+{
+    GevDistribution g(mu, sigma, xi);
+    Rng rng(seed);
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        u = std::min(std::max(u, 1e-9), 1.0 - 1e-9);
+        sample.push_back(g.quantile(u));
+    }
+    return sample;
+}
+
+TEST(GevFitTest, RecoversGumbelParameters)
+{
+    auto sample = gevSample(5.0, 2.0, 0.0, 2000, 1);
+    GevFit fit = fitGevMaxima(sample);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.mu, 5.0, 0.15);
+    EXPECT_NEAR(fit.sigma, 2.0, 0.15);
+    EXPECT_NEAR(fit.xi, 0.0, 0.08);
+}
+
+TEST(GevFitTest, RecoversHeavyTailShape)
+{
+    auto sample = gevSample(0.0, 1.0, 0.3, 3000, 2);
+    GevFit fit = fitGevMaxima(sample);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.xi, 0.3, 0.1);
+}
+
+TEST(GevFitTest, RecoversBoundedShape)
+{
+    auto sample = gevSample(0.0, 1.0, -0.25, 3000, 3);
+    GevFit fit = fitGevMaxima(sample);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.xi, -0.25, 0.1);
+}
+
+TEST(GevFitTest, CovarianceShrinksWithSampleSize)
+{
+    GevFit small = fitGevMaxima(gevSample(0.0, 1.0, 0.0, 50, 4));
+    GevFit large = fitGevMaxima(gevSample(0.0, 1.0, 0.0, 5000, 4));
+    ASSERT_TRUE(small.ok);
+    ASSERT_TRUE(large.ok);
+    EXPECT_LT(large.covariance[0][0], small.covariance[0][0]);
+}
+
+TEST(GevFitTest, TooFewValuesFails)
+{
+    GevFit fit = fitGevMaxima({1.0, 2.0});
+    EXPECT_FALSE(fit.ok);
+}
+
+TEST(GevFitTest, DegenerateSample)
+{
+    GevFit fit = fitGevMaxima({3.0, 3.0, 3.0, 3.0, 3.0});
+    ASSERT_TRUE(fit.ok);
+    EXPECT_TRUE(fit.degenerate);
+    EXPECT_NEAR(fit.mu, 3.0, 1e-9);
+}
+
+TEST(EstimateMinimumTest, EstimateBracketsTrueMinimumRegion)
+{
+    // Values are per-task minima of a search whose true floor is 100:
+    // minima = 100 + positive noise. The GEV estimate at the 1st
+    // percentile should land near/below the observed minimum but not
+    // absurdly far.
+    Rng rng(7);
+    std::vector<double> minima;
+    for (int i = 0; i < 200; ++i) {
+        double m = 1e9;
+        for (int j = 0; j < 50; ++j) {
+            m = std::min(m, 100.0 + rng.exponential(0.2));
+        }
+        minima.push_back(m);
+    }
+    ExtremeEstimate est = estimateMinimum(minima, 0.01, 0.95);
+    ASSERT_TRUE(est.ok);
+    EXPECT_LE(est.value, est.observed);
+    EXPECT_GT(est.value, 90.0);
+    EXPECT_LE(est.lower, est.value);
+    EXPECT_GE(est.upper, est.value);
+}
+
+TEST(EstimateMinimumTest, MoreDataTightensInterval)
+{
+    Rng rng(8);
+    auto draw = [&](int n) {
+        std::vector<double> minima;
+        for (int i = 0; i < n; ++i) {
+            double m = 1e9;
+            for (int j = 0; j < 30; ++j) {
+                m = std::min(m, 50.0 + rng.exponential(0.5));
+            }
+            minima.push_back(m);
+        }
+        return minima;
+    };
+    ExtremeEstimate small = estimateMinimum(draw(20), 0.01, 0.95);
+    ExtremeEstimate large = estimateMinimum(draw(500), 0.01, 0.95);
+    ASSERT_TRUE(small.ok);
+    ASSERT_TRUE(large.ok);
+    EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(EstimateMaximumTest, MirrorsMinimum)
+{
+    Rng rng(9);
+    std::vector<double> values;
+    for (int i = 0; i < 300; ++i) {
+        values.push_back(rng.normal(0.0, 1.0));
+    }
+    std::vector<double> negated;
+    for (double v : values) {
+        negated.push_back(-v);
+    }
+    ExtremeEstimate max_est = estimateMaximum(values, 0.01, 0.95);
+    ExtremeEstimate min_est = estimateMinimum(negated, 0.01, 0.95);
+    ASSERT_TRUE(max_est.ok);
+    ASSERT_TRUE(min_est.ok);
+    EXPECT_NEAR(max_est.value, -min_est.value, 1e-6);
+    EXPECT_NEAR(max_est.upper, -min_est.lower, 1e-6);
+}
+
+TEST(EstimateMinimumTest, FailureYieldsUnboundedInterval)
+{
+    ExtremeEstimate est = estimateMinimum({1.0, 2.0}, 0.01, 0.95);
+    EXPECT_FALSE(est.ok);
+    EXPECT_TRUE(std::isinf(est.relativeError()));
+}
+
+TEST(ExtremeEstimateTest, RelativeError)
+{
+    ExtremeEstimate est;
+    est.ok = true;
+    est.value = 100.0;
+    est.lower = 90.0;
+    est.upper = 105.0;
+    EXPECT_DOUBLE_EQ(est.relativeError(), 0.10);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

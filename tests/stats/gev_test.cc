@@ -1,0 +1,119 @@
+#include "stats/gev.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(GevTest, GumbelCdfKnownValues)
+{
+    // xi = 0: CDF(mu) = exp(-1) and CDF is the double exponential.
+    GevDistribution g(0.0, 1.0, 0.0);
+    EXPECT_NEAR(g.cdf(0.0), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(g.cdf(3.0), std::exp(-std::exp(-3.0)), 1e-12);
+}
+
+TEST(GevTest, QuantileRoundTripsThroughCdf)
+{
+    for (double xi : {-0.3, 0.0, 0.4}) {
+        GevDistribution g(2.0, 1.5, xi);
+        for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+            double q = g.quantile(p);
+            EXPECT_NEAR(g.cdf(q), p, 1e-10)
+                << "xi=" << xi << " p=" << p;
+        }
+    }
+}
+
+TEST(GevTest, SupportBoundsForPositiveShape)
+{
+    // xi > 0: lower endpoint at mu - sigma/xi.
+    GevDistribution g(0.0, 1.0, 0.5);
+    double lower = 0.0 - 1.0 / 0.5;
+    EXPECT_EQ(g.cdf(lower - 0.1), 0.0);
+    EXPECT_EQ(g.pdf(lower - 0.1), 0.0);
+    EXPECT_GT(g.cdf(lower + 0.1), 0.0);
+}
+
+TEST(GevTest, SupportBoundsForNegativeShape)
+{
+    // xi < 0: upper endpoint at mu - sigma/xi.
+    GevDistribution g(0.0, 1.0, -0.5);
+    double upper = 0.0 + 1.0 / 0.5;
+    EXPECT_EQ(g.cdf(upper + 0.1), 1.0);
+    EXPECT_EQ(g.pdf(upper + 0.1), 0.0);
+}
+
+TEST(GevTest, PdfIntegratesToOne)
+{
+    GevDistribution g(1.0, 2.0, 0.1);
+    double integral = 0.0;
+    const double kStep = 0.01;
+    for (double x = -30.0; x < 200.0; x += kStep) {
+        integral += g.pdf(x) * kStep;
+    }
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GevTest, PdfMatchesCdfDerivative)
+{
+    GevDistribution g(0.5, 1.2, -0.2);
+    for (double x : {-1.0, 0.0, 1.0, 2.5}) {
+        double h = 1e-6;
+        double numeric = (g.cdf(x + h) - g.cdf(x - h)) / (2.0 * h);
+        EXPECT_NEAR(g.pdf(x), numeric, 1e-5) << "x=" << x;
+    }
+}
+
+TEST(GevTest, CdfIsMonotone)
+{
+    GevDistribution g(0.0, 1.0, 0.2);
+    double prev = 0.0;
+    for (double x = -4.0; x < 20.0; x += 0.25) {
+        double c = g.cdf(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(GevTest, NegLogLikelihoodInfiniteOutsideSupport)
+{
+    // Observation below the xi>0 lower endpoint makes the sample
+    // impossible.
+    std::vector<double> sample = {-10.0, 0.0, 1.0};
+    double nll = GevDistribution::negLogLikelihood(0.0, 1.0, 0.5, sample);
+    EXPECT_TRUE(std::isinf(nll));
+}
+
+TEST(GevTest, NegLogLikelihoodInfiniteForBadSigma)
+{
+    std::vector<double> sample = {0.0, 1.0};
+    EXPECT_TRUE(std::isinf(
+        GevDistribution::negLogLikelihood(0.0, -1.0, 0.0, sample)));
+    EXPECT_TRUE(std::isinf(
+        GevDistribution::negLogLikelihood(0.0, 0.0, 0.0, sample)));
+}
+
+TEST(GevTest, NegLogLikelihoodPrefersTrueParameters)
+{
+    // NLL at the generating parameters should beat NLL at wrong ones for
+    // a decent-size sample.
+    GevDistribution g(3.0, 2.0, 0.0);
+    std::vector<double> sample;
+    // Deterministic quantile sample (stratified): quantiles of the true
+    // distribution.
+    for (int i = 1; i <= 200; ++i) {
+        sample.push_back(g.quantile(i / 201.0));
+    }
+    double nll_true =
+        GevDistribution::negLogLikelihood(3.0, 2.0, 0.0, sample);
+    double nll_wrong =
+        GevDistribution::negLogLikelihood(10.0, 2.0, 0.0, sample);
+    EXPECT_LT(nll_true, nll_wrong);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

@@ -1,0 +1,119 @@
+#include "stats/moments.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(RunningMomentsTest, EmptyIsZero)
+{
+    RunningMoments m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleValue)
+{
+    RunningMoments m;
+    m.add(5.0);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_EQ(m.mean(), 5.0);
+    EXPECT_EQ(m.variance(), 0.0);
+    EXPECT_EQ(m.min(), 5.0);
+    EXPECT_EQ(m.max(), 5.0);
+}
+
+TEST(RunningMomentsTest, KnownValues)
+{
+    RunningMoments m;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        m.add(v);
+    }
+    EXPECT_EQ(m.count(), 8u);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    // Unbiased sample variance of the classic dataset: 32/7.
+    EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(m.min(), 2.0);
+    EXPECT_EQ(m.max(), 9.0);
+    EXPECT_NEAR(m.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential)
+{
+    Rng rng(1);
+    RunningMoments all;
+    RunningMoments a;
+    RunningMoments b;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.normal(3.0, 2.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty)
+{
+    RunningMoments a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningMoments empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningMoments b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningMomentsTest, NumericallyStableForLargeOffsets)
+{
+    RunningMoments m;
+    for (int i = 0; i < 1000; ++i) {
+        m.add(1e9 + (i % 2));
+    }
+    // Variance of alternating 0/1 around 1e9: ~0.2503 (unbiased).
+    EXPECT_NEAR(m.variance(), 0.25025, 1e-3);
+}
+
+TEST(VarianceWithImplicitZerosTest, MatchesExplicitZeros)
+{
+    // 3 nonzero values among m=10 sampled units.
+    double sum = 2.0 + 5.0 + 3.0;
+    double sum_sq = 4.0 + 25.0 + 9.0;
+    double implicit = varianceWithImplicitZeros(10, sum, sum_sq);
+
+    RunningMoments explicit_calc;
+    for (double v : {2.0, 5.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}) {
+        explicit_calc.add(v);
+    }
+    EXPECT_NEAR(implicit, explicit_calc.variance(), 1e-12);
+}
+
+TEST(VarianceWithImplicitZerosTest, DegenerateCases)
+{
+    EXPECT_EQ(varianceWithImplicitZeros(0, 0.0, 0.0), 0.0);
+    EXPECT_EQ(varianceWithImplicitZeros(1, 5.0, 25.0), 0.0);
+    // All values identical and filling the sample: zero variance.
+    EXPECT_NEAR(varianceWithImplicitZeros(4, 12.0, 36.0), 0.0, 1e-12);
+}
+
+TEST(VarianceWithImplicitZerosTest, GuardsAgainstCancellation)
+{
+    // sum_sq barely below sum^2/m due to rounding must not go negative.
+    double v = varianceWithImplicitZeros(3, 3.0, 3.0 - 1e-13);
+    EXPECT_GE(v, 0.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

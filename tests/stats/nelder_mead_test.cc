@@ -1,0 +1,82 @@
+#include "stats/nelder_mead.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(NelderMeadTest, QuadraticBowl)
+{
+    auto f = [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    NelderMeadResult r = nelderMead(f, {0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+    EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMeadTest, Rosenbrock)
+{
+    auto f = [](const std::vector<double>& x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.max_iterations = 10000;
+    options.tolerance = 1e-14;
+    NelderMeadResult r = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, OneDimensional)
+{
+    auto f = [](const std::vector<double>& x) {
+        return std::cosh(x[0] - 2.0);
+    };
+    NelderMeadResult r = nelderMead(f, {10.0});
+    EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMeadTest, InfeasibleRegionsReturnInfinity)
+{
+    // Minimum at x = 1 on the boundary-constrained domain x > 0.
+    auto f = [](const std::vector<double>& x) {
+        if (x[0] <= 0.0) {
+            return std::numeric_limits<double>::infinity();
+        }
+        return x[0] - std::log(x[0]);
+    };
+    NelderMeadResult r = nelderMead(f, {5.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_TRUE(std::isfinite(r.value));
+}
+
+TEST(NelderMeadTest, RespectsIterationCap)
+{
+    auto f = [](const std::vector<double>& x) {
+        return x[0] * x[0];
+    };
+    NelderMeadOptions options;
+    options.max_iterations = 3;
+    NelderMeadResult r = nelderMead(f, {100.0}, options);
+    EXPECT_LE(r.iterations, 3);
+}
+
+TEST(NelderMeadTest, StartAtOptimumStaysThere)
+{
+    auto f = [](const std::vector<double>& x) {
+        return x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+    };
+    NelderMeadResult r = nelderMead(f, {0.0, 0.0, 0.0});
+    EXPECT_NEAR(r.value, 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

@@ -1,0 +1,65 @@
+#include "stats/student_t.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(StudentTCriticalCachedTest, MatchesUncached)
+{
+    for (double confidence : {0.90, 0.95, 0.99}) {
+        for (double df : {1.0, 2.0, 9.0, 63.0, 743.0}) {
+            EXPECT_DOUBLE_EQ(studentTCriticalCached(confidence, df),
+                             studentTCritical(confidence, df))
+                << "confidence=" << confidence << " df=" << df;
+        }
+    }
+}
+
+TEST(StudentTCriticalCachedTest, RepeatedLookupsAreStable)
+{
+    double first = studentTCriticalCached(0.95, 17.0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_DOUBLE_EQ(studentTCriticalCached(0.95, 17.0), first);
+    }
+}
+
+TEST(StudentTCriticalCachedTest, SubUnitDfIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(studentTCriticalCached(0.95, 0.0)));
+    EXPECT_TRUE(std::isinf(studentTCriticalCached(0.95, 0.5)));
+}
+
+TEST(IncompleteBetaTest, ExtremeParameters)
+{
+    // Very asymmetric (a, b): still in [0, 1] and monotone in x.
+    double prev = 0.0;
+    for (double x = 0.05; x < 1.0; x += 0.05) {
+        double v = incompleteBeta(50.0, 0.5, x);
+        EXPECT_GE(v, prev - 1e-12);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        prev = v;
+    }
+}
+
+TEST(IncompleteBetaTest, ComplementIdentity)
+{
+    // I_x(a, b) = 1 - I_{1-x}(b, a).
+    for (double x : {0.1, 0.37, 0.62, 0.9}) {
+        EXPECT_NEAR(incompleteBeta(2.5, 4.0, x),
+                    1.0 - incompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+    }
+}
+
+TEST(StudentTCdfTest, LargeDfApproachesNormal)
+{
+    for (double z : {-2.0, -0.5, 0.7, 1.96}) {
+        EXPECT_NEAR(studentTCdf(z, 1e7), normalCdf(z), 1e-4) << z;
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

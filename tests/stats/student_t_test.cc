@@ -1,0 +1,135 @@
+#include "stats/student_t.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::stats {
+namespace {
+
+TEST(IncompleteBetaTest, Boundaries)
+{
+    EXPECT_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase)
+{
+    // I_0.5(a, a) = 0.5 by symmetry.
+    for (double a : {0.5, 1.0, 2.0, 7.5}) {
+        EXPECT_NEAR(incompleteBeta(a, a, 0.5), 0.5, 1e-10) << "a=" << a;
+    }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase)
+{
+    // I_x(1, 1) = x.
+    for (double x : {0.1, 0.3, 0.7, 0.95}) {
+        EXPECT_NEAR(incompleteBeta(1.0, 1.0, x), x, 1e-10);
+    }
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter)
+{
+    for (double df : {1.0, 3.0, 10.0, 100.0}) {
+        EXPECT_NEAR(studentTCdf(0.0, df), 0.5, 1e-12);
+        EXPECT_NEAR(studentTCdf(1.5, df) + studentTCdf(-1.5, df), 1.0,
+                    1e-10);
+    }
+}
+
+TEST(StudentTCdfTest, CauchyCase)
+{
+    // df = 1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+    for (double t : {-3.0, -1.0, 0.5, 2.0, 10.0}) {
+        EXPECT_NEAR(studentTCdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-9);
+    }
+}
+
+// Textbook two-sided 95% critical values t_{df,0.975}.
+struct CriticalValueCase
+{
+    double df;
+    double expected;
+};
+
+class StudentTCriticalTest
+    : public ::testing::TestWithParam<CriticalValueCase>
+{
+};
+
+TEST_P(StudentTCriticalTest, MatchesTables)
+{
+    const auto& param = GetParam();
+    EXPECT_NEAR(studentTCritical(0.95, param.df), param.expected, 2e-3)
+        << "df=" << param.df;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TextbookValues, StudentTCriticalTest,
+    ::testing::Values(CriticalValueCase{1, 12.706}, CriticalValueCase{2,
+                                                                      4.303},
+                      CriticalValueCase{3, 3.182}, CriticalValueCase{5,
+                                                                     2.571},
+                      CriticalValueCase{10, 2.228},
+                      CriticalValueCase{30, 2.042},
+                      CriticalValueCase{120, 1.980}));
+
+TEST(StudentTCriticalTest, NinetyNinePercent)
+{
+    EXPECT_NEAR(studentTCritical(0.99, 10.0), 3.169, 2e-3);
+    EXPECT_NEAR(studentTCritical(0.99, 2.0), 9.925, 5e-3);
+}
+
+TEST(StudentTCriticalTest, ZeroDegreesOfFreedomIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(studentTCritical(0.95, 0.0)));
+}
+
+TEST(StudentTCriticalTest, ConvergesToNormal)
+{
+    EXPECT_NEAR(studentTCritical(0.95, 1e6), 1.95996, 1e-3);
+}
+
+TEST(StudentTQuantileTest, RoundTripsThroughCdf)
+{
+    for (double df : {1.0, 2.0, 7.0, 50.0}) {
+        for (double p : {0.01, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+            double q = studentTQuantile(p, df);
+            EXPECT_NEAR(studentTCdf(q, df), p, 1e-8)
+                << "df=" << df << " p=" << p;
+        }
+    }
+}
+
+TEST(StudentTQuantileTest, SymmetryAroundMedian)
+{
+    EXPECT_NEAR(studentTQuantile(0.25, 5.0), -studentTQuantile(0.75, 5.0),
+                1e-9);
+}
+
+TEST(NormalTest, CdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.959964), 0.975, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655, 1e-6);
+}
+
+TEST(NormalTest, QuantileKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.0013499), -3.0, 1e-4);
+}
+
+TEST(NormalTest, QuantileRoundTripsThroughCdf)
+{
+    for (double p : {0.001, 0.01, 0.2, 0.5, 0.8, 0.99, 0.999}) {
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-8) << "p=" << p;
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

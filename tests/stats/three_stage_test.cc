@@ -1,0 +1,180 @@
+#include "stats/three_stage.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxhadoop::stats {
+namespace {
+
+UnitSample
+makeUnit(uint64_t subunits_total, const std::vector<double>& sampled)
+{
+    UnitSample u;
+    u.subunits_total = subunits_total;
+    u.subunits_sampled = sampled.size();
+    for (double v : sampled) {
+        u.sum += v;
+        u.sum_squares += v * v;
+    }
+    return u;
+}
+
+TEST(ThreeStageTest, FullCensusIsExact)
+{
+    ThreeStageCluster c1;
+    c1.units_total = 2;
+    c1.units.push_back(makeUnit(2, {1.0, 2.0}));
+    c1.units.push_back(makeUnit(3, {3.0, 4.0, 5.0}));
+
+    ThreeStageCluster c2;
+    c2.units_total = 1;
+    c2.units.push_back(makeUnit(2, {6.0, 7.0}));
+
+    Estimate est =
+        ThreeStageEstimator::estimateSum({c1, c2}, 2, 0.95);
+    EXPECT_DOUBLE_EQ(est.value, 28.0);
+    EXPECT_NEAR(est.error_bound, 0.0, 1e-9);
+}
+
+TEST(ThreeStageTest, ReducesToTwoStageWithSingletonSubunits)
+{
+    // When every unit has exactly one subunit sampled exhaustively, the
+    // three-stage estimator degenerates to two-stage cluster sampling.
+    ThreeStageCluster a;
+    a.units_total = 4;
+    a.units.push_back(makeUnit(1, {2.0}));
+    a.units.push_back(makeUnit(1, {4.0}));
+
+    ThreeStageCluster b;
+    b.units_total = 6;
+    b.units.push_back(makeUnit(1, {1.0}));
+    b.units.push_back(makeUnit(1, {3.0}));
+    b.units.push_back(makeUnit(1, {5.0}));
+
+    Estimate est = ThreeStageEstimator::estimateSum({a, b}, 4, 0.95);
+    // Same numbers as the two-stage HandComputedExample: tau = 60.
+    EXPECT_DOUBLE_EQ(est.value, 60.0);
+    EXPECT_NEAR(est.variance, 136.0, 1e-9);
+}
+
+TEST(ThreeStageTest, SubunitSamplingAddsVariance)
+{
+    // Identical data; one version samples all subunits, the other half.
+    auto build = [](uint64_t sampled_of_4) {
+        ThreeStageCluster c;
+        c.units_total = 8;
+        for (int u = 0; u < 4; ++u) {
+            UnitSample unit;
+            unit.subunits_total = 4;
+            unit.subunits_sampled = sampled_of_4;
+            // Mean value 2 per subunit with some spread.
+            unit.sum = 2.0 * sampled_of_4 + (u % 2 == 0 ? 1.0 : -1.0);
+            unit.sum_squares =
+                5.0 * sampled_of_4;  // > sum^2/k, so s^2 > 0
+            c.units.push_back(unit);
+        }
+        return c;
+    };
+    Estimate full = ThreeStageEstimator::estimateSum(
+        {build(4), build(4), build(4)}, 6, 0.95);
+    Estimate half = ThreeStageEstimator::estimateSum(
+        {build(2), build(2), build(2)}, 6, 0.95);
+    EXPECT_GT(half.variance, full.variance);
+}
+
+TEST(ThreeStageTest, ImplicitZeroUnitsDiluteClusterTotals)
+{
+    // units_sampled > units.size(): the missing units produced no
+    // subunits, so the cluster total must shrink accordingly.
+    ThreeStageCluster with_zeros;
+    with_zeros.units_total = 10;
+    with_zeros.units_sampled = 5;  // 5 sampled, only 2 produced subunits
+    with_zeros.units.push_back(makeUnit(2, {3.0, 3.0}));
+    with_zeros.units.push_back(makeUnit(2, {3.0, 3.0}));
+
+    ThreeStageCluster without;
+    without.units_total = 10;
+    without.units.push_back(makeUnit(2, {3.0, 3.0}));
+    without.units.push_back(makeUnit(2, {3.0, 3.0}));
+
+    Estimate dilute = ThreeStageEstimator::estimateSum(
+        {with_zeros, with_zeros}, 2, 0.95);
+    Estimate dense = ThreeStageEstimator::estimateSum({without, without},
+                                                      2, 0.95);
+    // with zeros: (10/5)*12 = 24/cluster; without: (10/2)*12 = 60.
+    EXPECT_DOUBLE_EQ(dilute.value, 48.0);
+    EXPECT_DOUBLE_EQ(dense.value, 120.0);
+}
+
+TEST(ThreeStageTest, AverageOfConstantSubunits)
+{
+    ThreeStageCluster c;
+    c.units_total = 5;
+    for (int u = 0; u < 3; ++u) {
+        c.units.push_back(makeUnit(4, {5.0, 5.0, 5.0, 5.0}));
+    }
+    Estimate est =
+        ThreeStageEstimator::estimateAverage({c, c, c}, 9, 0.95);
+    EXPECT_NEAR(est.value, 5.0, 1e-12);
+}
+
+TEST(ThreeStageTest, MonteCarloUnbiased)
+{
+    // Population: 12 clusters x 8 units x 6 subunits, uniform values.
+    Rng rng(31);
+    const uint64_t kClusters = 12;
+    const uint64_t kUnits = 8;
+    const uint64_t kSubunits = 6;
+    std::vector<std::vector<std::vector<double>>> population(kClusters);
+    double true_sum = 0.0;
+    for (auto& cluster : population) {
+        cluster.resize(kUnits);
+        for (auto& unit : cluster) {
+            unit.resize(kSubunits);
+            for (double& v : unit) {
+                v = rng.uniform(0.0, 4.0);
+                true_sum += v;
+            }
+        }
+    }
+
+    double mean_estimate = 0.0;
+    const int kTrials = 2000;
+    for (int t = 0; t < kTrials; ++t) {
+        std::vector<ThreeStageCluster> sample;
+        for (uint64_t c : rng.sampleWithoutReplacement(kClusters, 5)) {
+            ThreeStageCluster cluster;
+            cluster.units_total = kUnits;
+            for (uint64_t u : rng.sampleWithoutReplacement(kUnits, 4)) {
+                std::vector<double> vals;
+                for (uint64_t s :
+                     rng.sampleWithoutReplacement(kSubunits, 3)) {
+                    vals.push_back(population[c][u][s]);
+                }
+                cluster.units.push_back(makeUnit(kSubunits, vals));
+            }
+            sample.push_back(std::move(cluster));
+        }
+        mean_estimate +=
+            ThreeStageEstimator::estimateSum(sample, kClusters, 0.95)
+                .value;
+    }
+    mean_estimate /= kTrials;
+    EXPECT_NEAR(mean_estimate / true_sum, 1.0, 0.02);
+}
+
+TEST(ThreeStageTest, SingleClusterInfiniteBound)
+{
+    ThreeStageCluster c;
+    c.units_total = 3;
+    c.units.push_back(makeUnit(2, {1.0, 2.0}));
+    Estimate est = ThreeStageEstimator::estimateSum({c}, 5, 0.95);
+    EXPECT_TRUE(std::isinf(est.error_bound));
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

@@ -1,0 +1,297 @@
+#include "stats/two_stage.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/student_t.h"
+
+namespace approxhadoop::stats {
+namespace {
+
+/** Builds a ClusterSample from explicit unit values. */
+ClusterSample
+makeCluster(uint64_t units_total, const std::vector<double>& sampled_values)
+{
+    ClusterSample c;
+    c.units_total = units_total;
+    c.units_sampled = sampled_values.size();
+    for (double v : sampled_values) {
+        if (v != 0.0) {
+            ++c.emitted;
+        }
+        c.sum += v;
+        c.sum_squares += v * v;
+    }
+    return c;
+}
+
+TEST(TwoStageTest, FullCensusIsExact)
+{
+    // Sampling every unit of every cluster: estimate equals the true sum
+    // and the error bound is zero.
+    std::vector<ClusterSample> clusters = {
+        makeCluster(3, {1.0, 2.0, 3.0}),
+        makeCluster(2, {4.0, 5.0}),
+    };
+    Estimate est = TwoStageEstimator::estimateSum(clusters, 2, 0.95);
+    EXPECT_DOUBLE_EQ(est.value, 15.0);
+    EXPECT_NEAR(est.error_bound, 0.0, 1e-9);
+}
+
+TEST(TwoStageTest, SingleClusterHasInfiniteBound)
+{
+    std::vector<ClusterSample> clusters = {makeCluster(4, {1.0, 1.0})};
+    Estimate est = TwoStageEstimator::estimateSum(clusters, 10, 0.95);
+    EXPECT_TRUE(std::isinf(est.error_bound));
+    // But the point estimate is still the Horvitz-Thompson value:
+    // N/n * (M/m) * sum = 10 * (4/2) * 2 = 40.
+    EXPECT_DOUBLE_EQ(est.value, 40.0);
+}
+
+TEST(TwoStageTest, EmptySampleIsInfinite)
+{
+    Estimate est = TwoStageEstimator::estimateSum({}, 10, 0.95);
+    EXPECT_TRUE(std::isinf(est.error_bound));
+    EXPECT_EQ(est.value, 0.0);
+}
+
+TEST(TwoStageTest, HandComputedExample)
+{
+    // Lohr-style worked example. N=4 clusters; we sample n=2:
+    //   cluster A: M=4, sample m=2 values {2, 4}   -> tau_A = 4/2*6  = 12
+    //   cluster B: M=6, sample m=3 values {1, 3, 5}-> tau_B = 6/3*9  = 18
+    std::vector<ClusterSample> clusters = {
+        makeCluster(4, {2.0, 4.0}),
+        makeCluster(6, {1.0, 3.0, 5.0}),
+    };
+    Estimate est = TwoStageEstimator::estimateSum(clusters, 4, 0.95);
+    EXPECT_DOUBLE_EQ(est.value, 4.0 / 2.0 * (12.0 + 18.0));  // = 60
+
+    // Variance by hand:
+    //  s_u^2 = var({12, 18}) = 18
+    //  term1 = N(N-n) s_u^2 / n = 4*2*18/2 = 72
+    //  s_A^2 = var({2,4}) = 2;    M(M-m)s^2/m = 4*2*2/2  = 8
+    //  s_B^2 = var({1,3,5}) = 4;  M(M-m)s^2/m = 6*3*4/3  = 24
+    //  term2 = N/n * (8+24) = 2*32 = 64
+    EXPECT_NEAR(est.variance, 72.0 + 64.0, 1e-9);
+    double t = studentTCritical(0.95, 1.0);
+    EXPECT_NEAR(est.error_bound, t * std::sqrt(136.0), 1e-6);
+}
+
+TEST(TwoStageTest, ImplicitZerosWidenVariance)
+{
+    // Two clusters with the same emitted sum but different sample sizes:
+    // the one where the value is spread over more implicit zeros has
+    // higher within-cluster variance.
+    ClusterSample dense = makeCluster(100, std::vector<double>(10, 1.0));
+    ClusterSample sparse;
+    sparse.units_total = 100;
+    sparse.units_sampled = 10;
+    sparse.emitted = 1;
+    sparse.sum = 10.0;  // one unit carrying all the mass
+    sparse.sum_squares = 100.0;
+
+    double v_dense =
+        TwoStageEstimator::sumVariance({dense, dense}, 4);
+    double v_sparse =
+        TwoStageEstimator::sumVariance({sparse, sparse}, 4);
+    EXPECT_GT(v_sparse, v_dense);
+}
+
+TEST(TwoStageTest, EstimatorIsUnbiasedMonteCarlo)
+{
+    // Population: 20 clusters x 50 units, values ~ Uniform(0, 10).
+    Rng rng(77);
+    const uint64_t kClusters = 20;
+    const uint64_t kUnits = 50;
+    std::vector<std::vector<double>> population(kClusters);
+    double true_sum = 0.0;
+    for (auto& cluster : population) {
+        cluster.resize(kUnits);
+        for (double& v : cluster) {
+            v = rng.uniform(0.0, 10.0);
+            true_sum += v;
+        }
+    }
+
+    double mean_estimate = 0.0;
+    const int kTrials = 3000;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        std::vector<ClusterSample> sample;
+        for (uint64_t c : rng.sampleWithoutReplacement(kClusters, 8)) {
+            std::vector<double> values;
+            for (uint64_t u : rng.sampleWithoutReplacement(kUnits, 10)) {
+                values.push_back(population[c][u]);
+            }
+            sample.push_back(makeCluster(kUnits, values));
+        }
+        mean_estimate +=
+            TwoStageEstimator::estimateSum(sample, kClusters, 0.95).value;
+    }
+    mean_estimate /= kTrials;
+    EXPECT_NEAR(mean_estimate / true_sum, 1.0, 0.01);
+}
+
+TEST(TwoStageTest, ConfidenceIntervalCoverage)
+{
+    // The 95% CI should contain the true sum in roughly 95% of trials.
+    Rng rng(99);
+    const uint64_t kClusters = 30;
+    const uint64_t kUnits = 40;
+    std::vector<std::vector<double>> population(kClusters);
+    double true_sum = 0.0;
+    for (auto& cluster : population) {
+        cluster.resize(kUnits);
+        for (double& v : cluster) {
+            v = rng.exponential(0.5);
+            true_sum += v;
+        }
+    }
+
+    int covered = 0;
+    const int kTrials = 1000;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        std::vector<ClusterSample> sample;
+        for (uint64_t c : rng.sampleWithoutReplacement(kClusters, 10)) {
+            std::vector<double> values;
+            for (uint64_t u : rng.sampleWithoutReplacement(kUnits, 12)) {
+                values.push_back(population[c][u]);
+            }
+            sample.push_back(makeCluster(kUnits, values));
+        }
+        Estimate est =
+            TwoStageEstimator::estimateSum(sample, kClusters, 0.95);
+        if (std::fabs(est.value - true_sum) <= est.error_bound) {
+            ++covered;
+        }
+    }
+    // Expect coverage near 95%; allow slack for the t approximation.
+    EXPECT_GE(covered, 900);
+}
+
+TEST(TwoStageTest, CountEqualsSumOfIndicators)
+{
+    std::vector<ClusterSample> clusters = {
+        makeCluster(10, {1.0, 0.0, 1.0, 1.0}),
+        makeCluster(10, {0.0, 1.0, 0.0, 0.0}),
+        makeCluster(10, {1.0, 1.0, 0.0, 1.0}),
+    };
+    Estimate count = TwoStageEstimator::estimateCount(clusters, 6, 0.95);
+    Estimate sum = TwoStageEstimator::estimateSum(clusters, 6, 0.95);
+    EXPECT_DOUBLE_EQ(count.value, sum.value);
+    EXPECT_DOUBLE_EQ(count.error_bound, sum.error_bound);
+}
+
+TEST(TwoStageTest, AverageOfConstantIsExact)
+{
+    // Every unit has value 7: the ratio estimator must return exactly 7
+    // with zero variance, regardless of sampling.
+    std::vector<ClusterSample> clusters = {
+        makeCluster(100, std::vector<double>(5, 7.0)),
+        makeCluster(80, std::vector<double>(8, 7.0)),
+        makeCluster(120, std::vector<double>(3, 7.0)),
+    };
+    Estimate est = TwoStageEstimator::estimateAverage(clusters, 50, 0.95);
+    EXPECT_NEAR(est.value, 7.0, 1e-12);
+    EXPECT_NEAR(est.error_bound, 0.0, 1e-6);
+}
+
+TEST(TwoStageTest, AverageRecoversPopulationMean)
+{
+    Rng rng(13);
+    const uint64_t kClusters = 25;
+    const uint64_t kUnits = 60;
+    std::vector<std::vector<double>> population(kClusters);
+    double total = 0.0;
+    for (auto& cluster : population) {
+        cluster.resize(kUnits);
+        for (double& v : cluster) {
+            v = rng.normal(20.0, 5.0);
+            total += v;
+        }
+    }
+    double true_mean = total / (kClusters * kUnits);
+
+    std::vector<ClusterSample> sample;
+    for (uint64_t c : rng.sampleWithoutReplacement(kClusters, 12)) {
+        std::vector<double> values;
+        for (uint64_t u : rng.sampleWithoutReplacement(kUnits, 20)) {
+            values.push_back(population[c][u]);
+        }
+        sample.push_back(makeCluster(kUnits, values));
+    }
+    Estimate est = TwoStageEstimator::estimateAverage(sample, kClusters,
+                                                      0.95);
+    EXPECT_NEAR(est.value, true_mean, est.error_bound);
+    EXPECT_LT(est.error_bound / true_mean, 0.2);
+}
+
+TEST(TwoStageTest, RatioEstimator)
+{
+    // y = 2x exactly: ratio must be 2 with zero variance.
+    std::vector<RatioClusterSample> clusters;
+    Rng rng(5);
+    for (int c = 0; c < 5; ++c) {
+        RatioClusterSample s;
+        s.units_total = 50;
+        s.units_sampled = 10;
+        for (int u = 0; u < 10; ++u) {
+            double x = rng.uniform(1.0, 5.0);
+            double y = 2.0 * x;
+            s.sum_y += y;
+            s.sum_squares_y += y * y;
+            s.sum_x += x;
+            s.sum_squares_x += x * x;
+            s.sum_xy += x * y;
+        }
+        clusters.push_back(s);
+    }
+    Estimate est = TwoStageEstimator::estimateRatio(clusters, 20, 0.95);
+    EXPECT_NEAR(est.value, 2.0, 1e-12);
+    EXPECT_NEAR(est.error_bound, 0.0, 1e-6);
+}
+
+TEST(TwoStageTest, RelativeErrorHelper)
+{
+    Estimate est;
+    est.value = 100.0;
+    est.error_bound = 5.0;
+    EXPECT_DOUBLE_EQ(est.relativeError(), 0.05);
+    est.value = 0.0;
+    EXPECT_TRUE(std::isinf(est.relativeError()));
+}
+
+TEST(TwoStageTest, MoreClustersTightenTheBound)
+{
+    Rng rng(21);
+    auto make_sample = [&](int n) {
+        std::vector<ClusterSample> sample;
+        for (int c = 0; c < n; ++c) {
+            std::vector<double> values;
+            for (int u = 0; u < 10; ++u) {
+                values.push_back(rng.uniform(0.0, 10.0));
+            }
+            sample.push_back(makeCluster(40, values));
+        }
+        return sample;
+    };
+    double err_small = TwoStageEstimator::estimateSum(make_sample(5), 100,
+                                                      0.95)
+                           .error_bound /
+                       TwoStageEstimator::estimateSum(make_sample(5), 100,
+                                                      0.95)
+                           .value;
+    double err_large = TwoStageEstimator::estimateSum(make_sample(50), 100,
+                                                      0.95)
+                           .error_bound /
+                       TwoStageEstimator::estimateSum(make_sample(50), 100,
+                                                      0.95)
+                           .value;
+    EXPECT_LT(err_large, err_small);
+}
+
+}  // namespace
+}  // namespace approxhadoop::stats

@@ -1,0 +1,87 @@
+#include "workloads/dc_placement.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::workloads {
+namespace {
+
+DCPlacementParams
+smallParams()
+{
+    DCPlacementParams params;
+    params.grid_size = 10;
+    params.num_datacenters = 3;
+    params.num_clients = 15;
+    params.sa_iterations = 800;
+    return params;
+}
+
+TEST(DCPlacementTest, CostIsDeterministic)
+{
+    DCPlacementProblem problem(smallParams());
+    Rng rng(1);
+    auto placement = problem.randomPlacement(rng);
+    EXPECT_DOUBLE_EQ(problem.cost(placement), problem.cost(placement));
+}
+
+TEST(DCPlacementTest, SameSeedSameProblem)
+{
+    DCPlacementProblem a(smallParams());
+    DCPlacementProblem b(smallParams());
+    Rng rng(2);
+    auto placement = a.randomPlacement(rng);
+    EXPECT_DOUBLE_EQ(a.cost(placement), b.cost(placement));
+}
+
+TEST(DCPlacementTest, InfeasiblePlacementsArePenalized)
+{
+    DCPlacementParams params = smallParams();
+    params.max_latency_ms = 1.0;  // nearly impossible to satisfy
+    DCPlacementProblem tight(params);
+    params.max_latency_ms = 1000.0;  // trivially satisfied
+    DCPlacementProblem loose(params);
+    Rng rng(3);
+    auto placement = tight.randomPlacement(rng);
+    EXPECT_GT(tight.cost(placement), loose.cost(placement));
+    EXPECT_FALSE(tight.feasible(placement));
+    EXPECT_TRUE(loose.feasible(placement));
+}
+
+TEST(DCPlacementTest, AnnealingBeatsRandomSearch)
+{
+    DCPlacementProblem problem(smallParams());
+    Rng rng_sa(4);
+    Rng rng_rand(4);
+    double sa = problem.simulatedAnnealing(rng_sa);
+    double random = problem.bestOfRandom(rng_rand, 50);
+    EXPECT_LT(sa, random);
+}
+
+TEST(DCPlacementTest, MoreSeedsFindLowerMinima)
+{
+    DCPlacementProblem problem(smallParams());
+    Rng rng(5);
+    double best_few = 1e18;
+    for (int i = 0; i < 2; ++i) {
+        Rng search = rng.derive(i);
+        best_few = std::min(best_few, problem.simulatedAnnealing(search));
+    }
+    double best_many = best_few;
+    for (int i = 2; i < 16; ++i) {
+        Rng search = rng.derive(i);
+        best_many = std::min(best_many, problem.simulatedAnnealing(search));
+    }
+    EXPECT_LE(best_many, best_few);
+}
+
+TEST(DCPlacementSeedsTest, DatasetShapeAndDeterminism)
+{
+    auto ds = makeDCPlacementSeeds(12, 4, 99);
+    EXPECT_EQ(ds->numBlocks(), 12u);
+    EXPECT_EQ(ds->itemsInBlock(0), 4u);
+    EXPECT_EQ(ds->item(3, 2), ds->item(3, 2));
+    EXPECT_NE(ds->item(3, 2), ds->item(3, 3));
+}
+
+}  // namespace
+}  // namespace approxhadoop::workloads

@@ -1,0 +1,74 @@
+#include "workloads/kmeans_data.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::workloads {
+namespace {
+
+TEST(KMeansDataTest, PointsParseToRightDimension)
+{
+    KMeansDataParams params;
+    params.num_blocks = 4;
+    params.points_per_block = 30;
+    params.dimensions = 6;
+    auto ds = makeKMeansData(params);
+    for (uint64_t b = 0; b < 4; ++b) {
+        for (uint64_t i = 0; i < 30; ++i) {
+            auto point = parsePoint(ds->item(b, i));
+            EXPECT_EQ(point.size(), 6u);
+        }
+    }
+}
+
+TEST(KMeansDataTest, PointsClusterAroundTrueCenters)
+{
+    KMeansDataParams params;
+    params.num_blocks = 10;
+    params.points_per_block = 100;
+    params.cluster_stddev = 0.3;
+    auto ds = makeKMeansData(params);
+    auto centers = kmeansTrueCenters(params);
+    int near = 0;
+    int total = 0;
+    for (uint64_t b = 0; b < 10; ++b) {
+        for (uint64_t i = 0; i < 100; ++i) {
+            auto point = parsePoint(ds->item(b, i));
+            double best = 1e18;
+            for (const auto& center : centers) {
+                double d2 = 0.0;
+                for (size_t d = 0; d < point.size(); ++d) {
+                    double diff = point[d] - center[d];
+                    d2 += diff * diff;
+                }
+                best = std::min(best, d2);
+            }
+            ++total;
+            // Within ~5 sigma of some center in 8 dims.
+            if (best < 25.0 * 0.3 * 0.3 * 8) {
+                ++near;
+            }
+        }
+    }
+    EXPECT_GT(static_cast<double>(near) / total, 0.99);
+}
+
+TEST(KMeansDataTest, CentersAreDeterministic)
+{
+    KMeansDataParams params;
+    EXPECT_EQ(kmeansTrueCenters(params), kmeansTrueCenters(params));
+}
+
+TEST(ParsePointTest, HandlesEdgeCases)
+{
+    EXPECT_TRUE(parsePoint("").empty());
+    auto p = parsePoint("1.5,-2.25,3");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_DOUBLE_EQ(p[0], 1.5);
+    EXPECT_DOUBLE_EQ(p[1], -2.25);
+    EXPECT_DOUBLE_EQ(p[2], 3.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::workloads

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * approxrun — command-line driver for the ApproxHadoop reproduction.
+ *
+ * Runs any of the paper's applications on the simulated cluster with the
+ * approximation settings given on the command line, and prints the
+ * result records (with confidence intervals), runtime, energy, and job
+ * counters. Examples:
+ *
+ *   approxrun projectpop --sampling 0.01
+ *   approxrun wikilength --drop 0.5 --sampling 0.1 --reps 3
+ *   approxrun pagepop --target 0.01 --pilot 80:0.05
+ *   approxrun dcplacement --target 0.05
+ *   approxrun video --user-defined 0.5
+ *   approxrun projectpop --precise --cluster atom60 --blocks 3552
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/dc_placement_app.h"
+#include "apps/frame_encoder_app.h"
+#include "apps/log_apps.h"
+#include "apps/webserver_apps.h"
+#include "apps/wiki_apps.h"
+#include "common/logging.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+#include "workloads/dc_placement.h"
+#include "workloads/webserver_log.h"
+#include "workloads/wiki_dump.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct Options
+{
+    std::string app;
+    core::ApproxConfig approx;
+    bool precise = false;
+    bool s3 = false;
+    bool verbose = false;
+    uint64_t blocks = 0;  // 0 = app default
+    uint64_t items = 0;
+    uint32_t reducers = 1;
+    uint64_t seed = 42;
+    std::string cluster = "xeon10";
+    int top = 10;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: approxrun <app> [options]\n"
+        "\n"
+        "apps:\n"
+        "  wikilength wikipagerank        (Wikipedia dump)\n"
+        "  projectpop pagepop pagetraffic (Wikipedia access log)\n"
+        "  webrate attacks totalsize requestsize clients browsers\n"
+        "                                 (web-server log)\n"
+        "  dcplacement                    (simulated annealing, GEV)\n"
+        "  video                          (user-defined approximation)\n"
+        "\n"
+        "options:\n"
+        "  --precise             run without any approximation\n"
+        "  --sampling R          input data sampling ratio in (0,1]\n"
+        "  --drop R              map dropping ratio in [0,1)\n"
+        "  --target X            target relative error (e.g. 0.01)\n"
+        "  --confidence C        confidence level (default 0.95)\n"
+        "  --pilot N:R           pilot wave of N maps at ratio R\n"
+        "  --user-defined F      fraction of approximate map variants\n"
+        "  --blocks N            input blocks (= map tasks)\n"
+        "  --items N             items per block\n"
+        "  --reducers N          reduce tasks (default 1)\n"
+        "  --cluster NAME        xeon10 (default) or atom60\n"
+        "  --seed S              experiment seed\n"
+        "  --s3                  suspend drained servers (energy mode)\n"
+        "  --top K               result rows to print (default 10)\n"
+        "  --verbose             framework INFO logging\n");
+}
+
+bool
+parseArgs(int argc, char** argv, Options& opt)
+{
+    if (argc < 2) {
+        return false;
+    }
+    opt.app = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--precise") {
+            opt.precise = true;
+        } else if (arg == "--sampling") {
+            opt.approx.sampling_ratio = std::atof(value());
+        } else if (arg == "--drop") {
+            opt.approx.drop_ratio = std::atof(value());
+        } else if (arg == "--target") {
+            opt.approx.target_relative_error = std::atof(value());
+        } else if (arg == "--confidence") {
+            opt.approx.confidence = std::atof(value());
+        } else if (arg == "--pilot") {
+            const char* v = value();
+            const char* colon = std::strchr(v, ':');
+            if (colon == nullptr) {
+                std::fprintf(stderr, "--pilot wants N:R\n");
+                return false;
+            }
+            opt.approx.pilot.enabled = true;
+            opt.approx.pilot.maps = std::strtoull(v, nullptr, 10);
+            opt.approx.pilot.sampling_ratio = std::atof(colon + 1);
+        } else if (arg == "--user-defined") {
+            opt.approx.user_defined_fraction = std::atof(value());
+        } else if (arg == "--blocks") {
+            opt.blocks = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--items") {
+            opt.items = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--reducers") {
+            opt.reducers = static_cast<uint32_t>(std::atoi(value()));
+        } else if (arg == "--cluster") {
+            opt.cluster = value();
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--s3") {
+            opt.s3 = true;
+        } else if (arg == "--top") {
+            opt.top = std::atoi(value());
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+printResult(const Options& opt, const mr::JobResult& result)
+{
+    std::vector<mr::OutputRecord> rows = result.output;
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.value > b.value;
+    });
+    std::printf("%-24s %16s %16s\n", "key", "value", "95% CI");
+    int printed = 0;
+    for (const auto& r : rows) {
+        if (printed++ >= opt.top) {
+            break;
+        }
+        if (r.has_bound && std::isfinite(r.errorBound())) {
+            std::printf("%-24s %16.2f %15.2f\n", r.key.c_str(), r.value,
+                        r.errorBound());
+        } else {
+            std::printf("%-24s %16.2f %16s\n", r.key.c_str(), r.value,
+                        r.has_bound ? "unbounded" : "-");
+        }
+    }
+    if (rows.size() > static_cast<size_t>(opt.top)) {
+        std::printf("... (%zu keys total)\n", rows.size());
+    }
+    std::printf("\nruntime %.1fs | energy %.2f Wh | %s\n", result.runtime,
+                result.energy_wh, result.counters.summary().c_str());
+}
+
+template <typename App>
+int
+runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
+                  mr::JobConfig config)
+{
+    config.num_reducers = opt.reducers;
+    config.seed = opt.seed;
+    config.s3_when_drained = opt.s3;
+    sim::Cluster cluster(opt.cluster == "atom60"
+                             ? sim::ClusterConfig::atom60()
+                             : sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
+    core::ApproxJobRunner runner(cluster, data, nn);
+    mr::JobResult result =
+        opt.precise ? runner.runPrecise(config, App::mapperFactory(),
+                                        App::preciseReducerFactory())
+                    : runner.runAggregation(config, opt.approx,
+                                            App::mapperFactory(), App::kOp);
+    printResult(opt, result);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    Logger::instance().setLevel(opt.verbose ? LogLevel::kInfo
+                                            : LogLevel::kWarn);
+
+    // --- Wikipedia dump apps ------------------------------------------------
+    if (opt.app == "wikilength" || opt.app == "wikipagerank") {
+        workloads::WikiDumpParams params;
+        params.num_blocks = opt.blocks ? opt.blocks : 161;
+        params.articles_per_block = opt.items ? opt.items : 400;
+        params.seed = opt.seed;
+        auto dump = workloads::makeWikiDump(params);
+        if (opt.app == "wikilength") {
+            return runAggregationApp<apps::WikiLength>(
+                opt, *dump,
+                apps::WikiLength::jobConfig(params.articles_per_block));
+        }
+        return runAggregationApp<apps::WikiPageRank>(
+            opt, *dump,
+            apps::WikiPageRank::jobConfig(params.articles_per_block));
+    }
+
+    // --- Wikipedia access-log apps ------------------------------------------
+    if (opt.app == "projectpop" || opt.app == "pagepop" ||
+        opt.app == "pagetraffic") {
+        workloads::AccessLogParams params;
+        params.num_blocks = opt.blocks ? opt.blocks : 744;
+        params.entries_per_block = opt.items ? opt.items : 400;
+        params.seed = opt.seed;
+        auto log = workloads::makeAccessLog(params);
+        mr::JobConfig config = apps::logProcessingConfig(
+            opt.app, params.entries_per_block);
+        if (opt.app == "projectpop") {
+            return runAggregationApp<apps::ProjectPopularity>(opt, *log,
+                                                              config);
+        }
+        if (opt.app == "pagepop") {
+            return runAggregationApp<apps::PagePopularity>(opt, *log,
+                                                           config);
+        }
+        return runAggregationApp<apps::PageTraffic>(opt, *log, config);
+    }
+
+    // --- Web-server log apps -------------------------------------------------
+    if (opt.app == "webrate" || opt.app == "attacks" ||
+        opt.app == "totalsize" || opt.app == "requestsize" ||
+        opt.app == "clients" || opt.app == "browsers") {
+        workloads::WebServerLogParams params;
+        params.num_weeks = opt.blocks ? opt.blocks : 80;
+        params.entries_per_week = opt.items ? opt.items : 2000;
+        params.seed = opt.seed;
+        auto log = workloads::makeWebServerLog(params);
+        mr::JobConfig config =
+            apps::webServerLogConfig(opt.app, params.entries_per_week);
+        if (opt.app == "webrate") {
+            return runAggregationApp<apps::WebRequestRate>(opt, *log,
+                                                           config);
+        }
+        if (opt.app == "attacks") {
+            return runAggregationApp<apps::AttackFrequencies>(opt, *log,
+                                                              config);
+        }
+        if (opt.app == "totalsize") {
+            return runAggregationApp<apps::TotalSize>(opt, *log, config);
+        }
+        if (opt.app == "requestsize") {
+            return runAggregationApp<apps::RequestSize>(opt, *log, config);
+        }
+        if (opt.app == "clients") {
+            return runAggregationApp<apps::Clients>(opt, *log, config);
+        }
+        return runAggregationApp<apps::ClientBrowser>(opt, *log, config);
+    }
+
+    // --- DC Placement (GEV) ---------------------------------------------------
+    if (opt.app == "dcplacement") {
+        workloads::DCPlacementParams pp;
+        pp.sa_iterations = 400;
+        pp.seed = opt.seed;
+        auto problem =
+            std::make_shared<const workloads::DCPlacementProblem>(pp);
+        uint64_t maps = opt.blocks ? opt.blocks : 80;
+        uint64_t seeds_per_map = opt.items ? opt.items : 2;
+        auto seeds =
+            workloads::makeDCPlacementSeeds(maps, seeds_per_map, opt.seed);
+        sim::ClusterConfig cc = opt.cluster == "atom60"
+                                    ? sim::ClusterConfig::atom60()
+                                    : sim::ClusterConfig::xeon10();
+        cc.map_slots_per_server = 4;
+        sim::Cluster cluster(cc);
+        hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
+        core::ApproxJobRunner runner(cluster, *seeds, nn);
+        mr::JobConfig config = apps::DCPlacementApp::jobConfig(
+            seeds_per_map, opt.reducers);
+        config.seed = opt.seed;
+        config.s3_when_drained = opt.s3;
+        mr::JobResult result =
+            opt.precise
+                ? runner.runPrecise(
+                      config, apps::DCPlacementApp::mapperFactory(problem),
+                      apps::DCPlacementApp::preciseReducerFactory())
+                : runner.runExtreme(
+                      config, opt.approx,
+                      apps::DCPlacementApp::mapperFactory(problem), true);
+        printResult(opt, result);
+        return 0;
+    }
+
+    // --- Video encoding (user-defined approximation) --------------------------
+    if (opt.app == "video") {
+        uint64_t blocks = opt.blocks ? opt.blocks : 160;
+        uint64_t frames = opt.items ? opt.items : 120;
+        auto data = apps::FrameEncoderApp::makeFrames(blocks, frames,
+                                                      opt.seed);
+        sim::Cluster cluster(opt.cluster == "atom60"
+                                 ? sim::ClusterConfig::atom60()
+                                 : sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
+        core::ApproxJobRunner runner(cluster, *data, nn);
+        mr::JobConfig config =
+            apps::FrameEncoderApp::jobConfig(frames, opt.reducers);
+        config.seed = opt.seed;
+        mr::JobResult result = runner.runUserDefined(
+            config, opt.approx, apps::FrameEncoderApp::mapperFactory(),
+            apps::FrameEncoderApp::reducerFactory());
+        printResult(opt, result);
+        return 0;
+    }
+
+    std::fprintf(stderr, "unknown app '%s'\n\n", opt.app.c_str());
+    usage();
+    return 2;
+}
