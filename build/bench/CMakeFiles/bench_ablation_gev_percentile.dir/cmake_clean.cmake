@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gev_percentile.dir/ablation_gev_percentile.cc.o"
+  "CMakeFiles/bench_ablation_gev_percentile.dir/ablation_gev_percentile.cc.o.d"
+  "bench_ablation_gev_percentile"
+  "bench_ablation_gev_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gev_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quantile.dir/ablation_quantile.cc.o"
+  "CMakeFiles/bench_ablation_quantile.dir/ablation_quantile.cc.o.d"
+  "bench_ablation_quantile"
+  "bench_ablation_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

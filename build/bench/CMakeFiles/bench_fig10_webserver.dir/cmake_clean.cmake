@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_webserver.dir/fig10_webserver.cc.o"
+  "CMakeFiles/bench_fig10_webserver.dir/fig10_webserver.cc.o.d"
+  "bench_fig10_webserver"
+  "bench_fig10_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wikilength.dir/fig6_wikilength.cc.o"
+  "CMakeFiles/bench_fig6_wikilength.dir/fig6_wikilength.cc.o.d"
+  "bench_fig6_wikilength"
+  "bench_fig6_wikilength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wikilength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

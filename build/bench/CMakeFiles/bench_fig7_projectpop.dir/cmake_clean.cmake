@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_projectpop.dir/fig7_projectpop.cc.o"
+  "CMakeFiles/bench_fig7_projectpop.dir/fig7_projectpop.cc.o.d"
+  "bench_fig7_projectpop"
+  "bench_fig7_projectpop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_projectpop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dcplacement.dir/fig8_dcplacement.cc.o"
+  "CMakeFiles/bench_fig8_dcplacement.dir/fig8_dcplacement.cc.o.d"
+  "bench_fig8_dcplacement"
+  "bench_fig8_dcplacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dcplacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

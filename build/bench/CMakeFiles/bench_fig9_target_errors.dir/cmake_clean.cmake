@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_target_errors.dir/fig9_target_errors.cc.o"
+  "CMakeFiles/bench_fig9_target_errors.dir/fig9_target_errors.cc.o.d"
+  "bench_fig9_target_errors"
+  "bench_fig9_target_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_target_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

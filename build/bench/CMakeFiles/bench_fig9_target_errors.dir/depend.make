@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_target_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_kernels.dir/stats_kernels.cc.o"
+  "CMakeFiles/bench_stats_kernels.dir/stats_kernels.cc.o.d"
+  "bench_stats_kernels"
+  "bench_stats_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_logsizes.dir/table2_logsizes.cc.o"
+  "CMakeFiles/bench_table2_logsizes.dir/table2_logsizes.cc.o.d"
+  "bench_table2_logsizes"
+  "bench_table2_logsizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_logsizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_placement.dir/dc_placement.cpp.o"
+  "CMakeFiles/dc_placement.dir/dc_placement.cpp.o.d"
+  "dc_placement"
+  "dc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_error.dir/target_error.cpp.o"
+  "CMakeFiles/target_error.dir/target_error.cpp.o.d"
+  "target_error"
+  "target_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_defined_video.dir/user_defined_video.cpp.o"
+  "CMakeFiles/user_defined_video.dir/user_defined_video.cpp.o.d"
+  "user_defined_video"
+  "user_defined_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_defined_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_log.dir/webserver_log.cpp.o"
+  "CMakeFiles/webserver_log.dir/webserver_log.cpp.o.d"
+  "webserver_log"
+  "webserver_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

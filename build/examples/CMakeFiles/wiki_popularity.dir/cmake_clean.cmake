@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_popularity.dir/wiki_popularity.cpp.o"
+  "CMakeFiles/wiki_popularity.dir/wiki_popularity.cpp.o.d"
+  "wiki_popularity"
+  "wiki_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dc_placement_app.cc" "src/apps/CMakeFiles/approx_apps.dir/dc_placement_app.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/dc_placement_app.cc.o.d"
+  "/root/repo/src/apps/frame_encoder_app.cc" "src/apps/CMakeFiles/approx_apps.dir/frame_encoder_app.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/frame_encoder_app.cc.o.d"
+  "/root/repo/src/apps/kmeans_app.cc" "src/apps/CMakeFiles/approx_apps.dir/kmeans_app.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/kmeans_app.cc.o.d"
+  "/root/repo/src/apps/log_apps.cc" "src/apps/CMakeFiles/approx_apps.dir/log_apps.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/log_apps.cc.o.d"
+  "/root/repo/src/apps/paragraph_app.cc" "src/apps/CMakeFiles/approx_apps.dir/paragraph_app.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/paragraph_app.cc.o.d"
+  "/root/repo/src/apps/webserver_apps.cc" "src/apps/CMakeFiles/approx_apps.dir/webserver_apps.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/webserver_apps.cc.o.d"
+  "/root/repo/src/apps/wiki_apps.cc" "src/apps/CMakeFiles/approx_apps.dir/wiki_apps.cc.o" "gcc" "src/apps/CMakeFiles/approx_apps.dir/wiki_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/approx_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/approx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_apps.dir/dc_placement_app.cc.o"
+  "CMakeFiles/approx_apps.dir/dc_placement_app.cc.o.d"
+  "CMakeFiles/approx_apps.dir/frame_encoder_app.cc.o"
+  "CMakeFiles/approx_apps.dir/frame_encoder_app.cc.o.d"
+  "CMakeFiles/approx_apps.dir/kmeans_app.cc.o"
+  "CMakeFiles/approx_apps.dir/kmeans_app.cc.o.d"
+  "CMakeFiles/approx_apps.dir/log_apps.cc.o"
+  "CMakeFiles/approx_apps.dir/log_apps.cc.o.d"
+  "CMakeFiles/approx_apps.dir/paragraph_app.cc.o"
+  "CMakeFiles/approx_apps.dir/paragraph_app.cc.o.d"
+  "CMakeFiles/approx_apps.dir/webserver_apps.cc.o"
+  "CMakeFiles/approx_apps.dir/webserver_apps.cc.o.d"
+  "CMakeFiles/approx_apps.dir/wiki_apps.cc.o"
+  "CMakeFiles/approx_apps.dir/wiki_apps.cc.o.d"
+  "libapprox_apps.a"
+  "libapprox_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

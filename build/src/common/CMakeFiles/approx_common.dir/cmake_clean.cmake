@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_common.dir/histogram.cc.o"
+  "CMakeFiles/approx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/approx_common.dir/logging.cc.o"
+  "CMakeFiles/approx_common.dir/logging.cc.o.d"
+  "CMakeFiles/approx_common.dir/random.cc.o"
+  "CMakeFiles/approx_common.dir/random.cc.o.d"
+  "CMakeFiles/approx_common.dir/zipf.cc.o"
+  "CMakeFiles/approx_common.dir/zipf.cc.o.d"
+  "libapprox_common.a"
+  "libapprox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

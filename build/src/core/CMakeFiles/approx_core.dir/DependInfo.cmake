@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_input_format.cc" "src/core/CMakeFiles/approx_core.dir/approx_input_format.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/approx_input_format.cc.o.d"
+  "/root/repo/src/core/approx_job.cc" "src/core/CMakeFiles/approx_core.dir/approx_job.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/approx_job.cc.o.d"
+  "/root/repo/src/core/extreme_reducer.cc" "src/core/CMakeFiles/approx_core.dir/extreme_reducer.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/extreme_reducer.cc.o.d"
+  "/root/repo/src/core/extreme_target_controller.cc" "src/core/CMakeFiles/approx_core.dir/extreme_target_controller.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/extreme_target_controller.cc.o.d"
+  "/root/repo/src/core/ratio_controller.cc" "src/core/CMakeFiles/approx_core.dir/ratio_controller.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/ratio_controller.cc.o.d"
+  "/root/repo/src/core/sampling_reducer.cc" "src/core/CMakeFiles/approx_core.dir/sampling_reducer.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/sampling_reducer.cc.o.d"
+  "/root/repo/src/core/stratified_input_format.cc" "src/core/CMakeFiles/approx_core.dir/stratified_input_format.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/stratified_input_format.cc.o.d"
+  "/root/repo/src/core/target_error_controller.cc" "src/core/CMakeFiles/approx_core.dir/target_error_controller.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/target_error_controller.cc.o.d"
+  "/root/repo/src/core/three_stage_reducer.cc" "src/core/CMakeFiles/approx_core.dir/three_stage_reducer.cc.o" "gcc" "src/core/CMakeFiles/approx_core.dir/three_stage_reducer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/approx_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/approx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_core.dir/approx_input_format.cc.o"
+  "CMakeFiles/approx_core.dir/approx_input_format.cc.o.d"
+  "CMakeFiles/approx_core.dir/approx_job.cc.o"
+  "CMakeFiles/approx_core.dir/approx_job.cc.o.d"
+  "CMakeFiles/approx_core.dir/extreme_reducer.cc.o"
+  "CMakeFiles/approx_core.dir/extreme_reducer.cc.o.d"
+  "CMakeFiles/approx_core.dir/extreme_target_controller.cc.o"
+  "CMakeFiles/approx_core.dir/extreme_target_controller.cc.o.d"
+  "CMakeFiles/approx_core.dir/ratio_controller.cc.o"
+  "CMakeFiles/approx_core.dir/ratio_controller.cc.o.d"
+  "CMakeFiles/approx_core.dir/sampling_reducer.cc.o"
+  "CMakeFiles/approx_core.dir/sampling_reducer.cc.o.d"
+  "CMakeFiles/approx_core.dir/stratified_input_format.cc.o"
+  "CMakeFiles/approx_core.dir/stratified_input_format.cc.o.d"
+  "CMakeFiles/approx_core.dir/target_error_controller.cc.o"
+  "CMakeFiles/approx_core.dir/target_error_controller.cc.o.d"
+  "CMakeFiles/approx_core.dir/three_stage_reducer.cc.o"
+  "CMakeFiles/approx_core.dir/three_stage_reducer.cc.o.d"
+  "libapprox_core.a"
+  "libapprox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

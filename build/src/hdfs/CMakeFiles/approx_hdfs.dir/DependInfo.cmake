@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/datanode.cc" "src/hdfs/CMakeFiles/approx_hdfs.dir/datanode.cc.o" "gcc" "src/hdfs/CMakeFiles/approx_hdfs.dir/datanode.cc.o.d"
+  "/root/repo/src/hdfs/dataset.cc" "src/hdfs/CMakeFiles/approx_hdfs.dir/dataset.cc.o" "gcc" "src/hdfs/CMakeFiles/approx_hdfs.dir/dataset.cc.o.d"
+  "/root/repo/src/hdfs/namenode.cc" "src/hdfs/CMakeFiles/approx_hdfs.dir/namenode.cc.o" "gcc" "src/hdfs/CMakeFiles/approx_hdfs.dir/namenode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

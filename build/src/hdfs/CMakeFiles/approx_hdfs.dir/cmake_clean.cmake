@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_hdfs.dir/datanode.cc.o"
+  "CMakeFiles/approx_hdfs.dir/datanode.cc.o.d"
+  "CMakeFiles/approx_hdfs.dir/dataset.cc.o"
+  "CMakeFiles/approx_hdfs.dir/dataset.cc.o.d"
+  "CMakeFiles/approx_hdfs.dir/namenode.cc.o"
+  "CMakeFiles/approx_hdfs.dir/namenode.cc.o.d"
+  "libapprox_hdfs.a"
+  "libapprox_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

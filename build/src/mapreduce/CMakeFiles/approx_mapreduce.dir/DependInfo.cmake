@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/combiner.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/combiner.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/combiner.cc.o.d"
+  "/root/repo/src/mapreduce/counters.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/counters.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/counters.cc.o.d"
+  "/root/repo/src/mapreduce/input_format.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/input_format.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/input_format.cc.o.d"
+  "/root/repo/src/mapreduce/job.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/job.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/job.cc.o.d"
+  "/root/repo/src/mapreduce/partitioner.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/partitioner.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/partitioner.cc.o.d"
+  "/root/repo/src/mapreduce/reducer.cc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/reducer.cc.o" "gcc" "src/mapreduce/CMakeFiles/approx_mapreduce.dir/reducer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_mapreduce.dir/combiner.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/combiner.cc.o.d"
+  "CMakeFiles/approx_mapreduce.dir/counters.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/counters.cc.o.d"
+  "CMakeFiles/approx_mapreduce.dir/input_format.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/input_format.cc.o.d"
+  "CMakeFiles/approx_mapreduce.dir/job.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/job.cc.o.d"
+  "CMakeFiles/approx_mapreduce.dir/partitioner.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/partitioner.cc.o.d"
+  "CMakeFiles/approx_mapreduce.dir/reducer.cc.o"
+  "CMakeFiles/approx_mapreduce.dir/reducer.cc.o.d"
+  "libapprox_mapreduce.a"
+  "libapprox_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_sim.dir/cluster.cc.o"
+  "CMakeFiles/approx_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/approx_sim.dir/cost_model.cc.o"
+  "CMakeFiles/approx_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/approx_sim.dir/event_queue.cc.o"
+  "CMakeFiles/approx_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/approx_sim.dir/power_model.cc.o"
+  "CMakeFiles/approx_sim.dir/power_model.cc.o.d"
+  "CMakeFiles/approx_sim.dir/server.cc.o"
+  "CMakeFiles/approx_sim.dir/server.cc.o.d"
+  "libapprox_sim.a"
+  "libapprox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/block_minima.cc" "src/stats/CMakeFiles/approx_stats.dir/block_minima.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/block_minima.cc.o.d"
+  "/root/repo/src/stats/gev.cc" "src/stats/CMakeFiles/approx_stats.dir/gev.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/gev.cc.o.d"
+  "/root/repo/src/stats/gev_fit.cc" "src/stats/CMakeFiles/approx_stats.dir/gev_fit.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/gev_fit.cc.o.d"
+  "/root/repo/src/stats/moments.cc" "src/stats/CMakeFiles/approx_stats.dir/moments.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/moments.cc.o.d"
+  "/root/repo/src/stats/nelder_mead.cc" "src/stats/CMakeFiles/approx_stats.dir/nelder_mead.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/stats/student_t.cc" "src/stats/CMakeFiles/approx_stats.dir/student_t.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/student_t.cc.o.d"
+  "/root/repo/src/stats/three_stage.cc" "src/stats/CMakeFiles/approx_stats.dir/three_stage.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/three_stage.cc.o.d"
+  "/root/repo/src/stats/two_stage.cc" "src/stats/CMakeFiles/approx_stats.dir/two_stage.cc.o" "gcc" "src/stats/CMakeFiles/approx_stats.dir/two_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_stats.dir/block_minima.cc.o"
+  "CMakeFiles/approx_stats.dir/block_minima.cc.o.d"
+  "CMakeFiles/approx_stats.dir/gev.cc.o"
+  "CMakeFiles/approx_stats.dir/gev.cc.o.d"
+  "CMakeFiles/approx_stats.dir/gev_fit.cc.o"
+  "CMakeFiles/approx_stats.dir/gev_fit.cc.o.d"
+  "CMakeFiles/approx_stats.dir/moments.cc.o"
+  "CMakeFiles/approx_stats.dir/moments.cc.o.d"
+  "CMakeFiles/approx_stats.dir/nelder_mead.cc.o"
+  "CMakeFiles/approx_stats.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/approx_stats.dir/student_t.cc.o"
+  "CMakeFiles/approx_stats.dir/student_t.cc.o.d"
+  "CMakeFiles/approx_stats.dir/three_stage.cc.o"
+  "CMakeFiles/approx_stats.dir/three_stage.cc.o.d"
+  "CMakeFiles/approx_stats.dir/two_stage.cc.o"
+  "CMakeFiles/approx_stats.dir/two_stage.cc.o.d"
+  "libapprox_stats.a"
+  "libapprox_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/access_log.cc" "src/workloads/CMakeFiles/approx_workloads.dir/access_log.cc.o" "gcc" "src/workloads/CMakeFiles/approx_workloads.dir/access_log.cc.o.d"
+  "/root/repo/src/workloads/dc_placement.cc" "src/workloads/CMakeFiles/approx_workloads.dir/dc_placement.cc.o" "gcc" "src/workloads/CMakeFiles/approx_workloads.dir/dc_placement.cc.o.d"
+  "/root/repo/src/workloads/kmeans_data.cc" "src/workloads/CMakeFiles/approx_workloads.dir/kmeans_data.cc.o" "gcc" "src/workloads/CMakeFiles/approx_workloads.dir/kmeans_data.cc.o.d"
+  "/root/repo/src/workloads/webserver_log.cc" "src/workloads/CMakeFiles/approx_workloads.dir/webserver_log.cc.o" "gcc" "src/workloads/CMakeFiles/approx_workloads.dir/webserver_log.cc.o.d"
+  "/root/repo/src/workloads/wiki_dump.cc" "src/workloads/CMakeFiles/approx_workloads.dir/wiki_dump.cc.o" "gcc" "src/workloads/CMakeFiles/approx_workloads.dir/wiki_dump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_workloads.dir/access_log.cc.o"
+  "CMakeFiles/approx_workloads.dir/access_log.cc.o.d"
+  "CMakeFiles/approx_workloads.dir/dc_placement.cc.o"
+  "CMakeFiles/approx_workloads.dir/dc_placement.cc.o.d"
+  "CMakeFiles/approx_workloads.dir/kmeans_data.cc.o"
+  "CMakeFiles/approx_workloads.dir/kmeans_data.cc.o.d"
+  "CMakeFiles/approx_workloads.dir/webserver_log.cc.o"
+  "CMakeFiles/approx_workloads.dir/webserver_log.cc.o.d"
+  "CMakeFiles/approx_workloads.dir/wiki_dump.cc.o"
+  "CMakeFiles/approx_workloads.dir/wiki_dump.cc.o.d"
+  "libapprox_workloads.a"
+  "libapprox_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

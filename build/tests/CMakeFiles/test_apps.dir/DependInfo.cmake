@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/dc_placement_app_test.cc" "tests/CMakeFiles/test_apps.dir/apps/dc_placement_app_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/dc_placement_app_test.cc.o.d"
+  "/root/repo/tests/apps/log_apps_test.cc" "tests/CMakeFiles/test_apps.dir/apps/log_apps_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/log_apps_test.cc.o.d"
+  "/root/repo/tests/apps/paragraph_app_test.cc" "tests/CMakeFiles/test_apps.dir/apps/paragraph_app_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/paragraph_app_test.cc.o.d"
+  "/root/repo/tests/apps/user_defined_apps_test.cc" "tests/CMakeFiles/test_apps.dir/apps/user_defined_apps_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/user_defined_apps_test.cc.o.d"
+  "/root/repo/tests/apps/webserver_apps_test.cc" "tests/CMakeFiles/test_apps.dir/apps/webserver_apps_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/webserver_apps_test.cc.o.d"
+  "/root/repo/tests/apps/wiki_apps_test.cc" "tests/CMakeFiles/test_apps.dir/apps/wiki_apps_test.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/wiki_apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/approx_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/approx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

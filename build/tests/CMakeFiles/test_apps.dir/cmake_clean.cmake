@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/dc_placement_app_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/dc_placement_app_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/log_apps_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/log_apps_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/paragraph_app_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/paragraph_app_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/user_defined_apps_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/user_defined_apps_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/webserver_apps_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/webserver_apps_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/wiki_apps_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/wiki_apps_test.cc.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/test_common.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/test_common.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/zipf_test.cc" "tests/CMakeFiles/test_common.dir/common/zipf_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/approx_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/approx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

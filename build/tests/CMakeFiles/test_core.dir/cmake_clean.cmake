@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/approx_job_test.cc.o"
+  "CMakeFiles/test_core.dir/core/approx_job_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/controllers_test.cc.o"
+  "CMakeFiles/test_core.dir/core/controllers_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/extreme_reducer_test.cc.o"
+  "CMakeFiles/test_core.dir/core/extreme_reducer_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/input_format_test.cc.o"
+  "CMakeFiles/test_core.dir/core/input_format_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/sampling_reducer_test.cc.o"
+  "CMakeFiles/test_core.dir/core/sampling_reducer_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/stratified_test.cc.o"
+  "CMakeFiles/test_core.dir/core/stratified_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/three_stage_reducer_test.cc.o"
+  "CMakeFiles/test_core.dir/core/three_stage_reducer_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdfs.dir/hdfs/dataset_test.cc.o"
+  "CMakeFiles/test_hdfs.dir/hdfs/dataset_test.cc.o.d"
+  "CMakeFiles/test_hdfs.dir/hdfs/namenode_test.cc.o"
+  "CMakeFiles/test_hdfs.dir/hdfs/namenode_test.cc.o.d"
+  "test_hdfs"
+  "test_hdfs.pdb"
+  "test_hdfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/combiner_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/edge_cases_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/edge_cases_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/job_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/job_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/map_context_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/map_context_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/partitioner_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/partitioner_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/reducer_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/reducer_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculation_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/speculation_test.cc.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/task_log_test.cc.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/task_log_test.cc.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+  "test_mapreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

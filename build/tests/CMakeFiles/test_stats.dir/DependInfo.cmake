@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/block_minima_test.cc" "tests/CMakeFiles/test_stats.dir/stats/block_minima_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/block_minima_test.cc.o.d"
+  "/root/repo/tests/stats/gev_fit_test.cc" "tests/CMakeFiles/test_stats.dir/stats/gev_fit_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/gev_fit_test.cc.o.d"
+  "/root/repo/tests/stats/gev_test.cc" "tests/CMakeFiles/test_stats.dir/stats/gev_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/gev_test.cc.o.d"
+  "/root/repo/tests/stats/moments_test.cc" "tests/CMakeFiles/test_stats.dir/stats/moments_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/moments_test.cc.o.d"
+  "/root/repo/tests/stats/nelder_mead_test.cc" "tests/CMakeFiles/test_stats.dir/stats/nelder_mead_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/nelder_mead_test.cc.o.d"
+  "/root/repo/tests/stats/student_t_cache_test.cc" "tests/CMakeFiles/test_stats.dir/stats/student_t_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/student_t_cache_test.cc.o.d"
+  "/root/repo/tests/stats/student_t_test.cc" "tests/CMakeFiles/test_stats.dir/stats/student_t_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/student_t_test.cc.o.d"
+  "/root/repo/tests/stats/three_stage_test.cc" "tests/CMakeFiles/test_stats.dir/stats/three_stage_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/three_stage_test.cc.o.d"
+  "/root/repo/tests/stats/two_stage_test.cc" "tests/CMakeFiles/test_stats.dir/stats/two_stage_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/two_stage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/approx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/approx_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/approx_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/approx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/block_minima_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/block_minima_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/gev_fit_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/gev_fit_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/gev_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/gev_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/moments_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/moments_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/nelder_mead_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/nelder_mead_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/student_t_cache_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/student_t_cache_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/student_t_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/student_t_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/three_stage_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/three_stage_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/two_stage_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/two_stage_test.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxrun.dir/approxrun.cc.o"
+  "CMakeFiles/approxrun.dir/approxrun.cc.o.d"
+  "approxrun"
+  "approxrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
