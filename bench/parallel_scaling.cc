@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Host-parallelism scaling of the real map work (the tentpole of the
+ * parallel wave executor): runs the WikiLength workload precisely at
+ * 1/2/4/8 exec threads and reports *host* wall-clock time per run.
+ *
+ * Unlike the fig/table harnesses, which report simulated seconds, this
+ * benchmark measures the time the reproduction itself takes on the host —
+ * the number the ROADMAP's "fast as the hardware allows" goal cares
+ * about. Simulated results are asserted identical across thread counts
+ * (a checksum over all output records), so any speedup shown here is
+ * statistically free.
+ *
+ * Usage:
+ *   bench_parallel_scaling            full workload (161 blocks x 400)
+ *   bench_parallel_scaling --smoke    seconds-scale CI smoke run
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/wiki_apps.h"
+#include "bench_util.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "workloads/wiki_dump.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct RunOutcome
+{
+    double wall_ms = 0.0;
+    double sim_runtime = 0.0;
+    double checksum = 0.0;
+};
+
+RunOutcome
+runOnce(const hdfs::BlockDataset& dump, uint64_t articles_per_block,
+        uint32_t threads)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 42);
+    core::ApproxJobRunner runner(cluster, dump, nn);
+    mr::JobConfig config = apps::WikiLength::jobConfig(articles_per_block);
+    config.seed = 42;
+    config.num_exec_threads = threads;
+
+    auto start = std::chrono::steady_clock::now();
+    mr::JobResult result =
+        runner.runPrecise(config, apps::WikiLength::mapperFactory(),
+                          apps::WikiLength::preciseReducerFactory());
+    auto end = std::chrono::steady_clock::now();
+
+    RunOutcome outcome;
+    outcome.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    outcome.sim_runtime = result.runtime;
+    for (const mr::OutputRecord& r : result.output) {
+        outcome.checksum += r.value + 0.5 * r.lower + 0.25 * r.upper;
+    }
+    return outcome;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    workloads::WikiDumpParams params;
+    params.num_blocks = smoke ? 24 : 161;
+    params.articles_per_block = smoke ? 40 : 400;
+    params.seed = 42;
+    auto dump = workloads::makeWikiDump(params);
+
+    int reps = smoke ? 1 : benchutil::repetitions(3);
+    std::vector<uint32_t> thread_counts =
+        smoke ? std::vector<uint32_t>{1, 2}
+              : std::vector<uint32_t>{1, 2, 4, 8};
+
+    benchutil::printTitle(
+        "parallel-scaling",
+        smoke ? "WikiLength host wall-clock vs exec threads (smoke)"
+              : "WikiLength host wall-clock vs exec threads");
+    std::printf("%8s %14s %14s %14s %10s\n", "threads", "wall mean ms",
+                "wall min ms", "sim runtime s", "speedup");
+
+    double base_min = 0.0;
+    double base_checksum = 0.0;
+    bool identical = true;
+    for (uint32_t threads : thread_counts) {
+        std::vector<double> walls;
+        RunOutcome last;
+        for (int r = 0; r < reps; ++r) {
+            last = runOnce(*dump, params.articles_per_block, threads);
+            walls.push_back(last.wall_ms);
+        }
+        benchutil::Agg agg = benchutil::aggregate(walls);
+        if (threads == thread_counts.front()) {
+            base_min = agg.min;
+            base_checksum = last.checksum;
+        } else if (std::fabs(last.checksum - base_checksum) >
+                   1e-9 * std::fabs(base_checksum)) {
+            identical = false;
+        }
+        std::printf("%8u %14.1f %14.1f %14.1f %9.2fx\n", threads, agg.mean,
+                    agg.min, last.sim_runtime,
+                    agg.min > 0.0 ? base_min / agg.min : 0.0);
+    }
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: output checksum varied with thread count\n");
+        return 1;
+    }
+    std::printf("\noutputs identical across all thread counts\n");
+    return 0;
+}

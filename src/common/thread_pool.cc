@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace approxhadoop {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    num_threads = std::max(1u, num_threads);
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) {
+        w.join();
+    }
+}
+
+uint64_t
+ThreadPool::unfinishedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return unfinished_;
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stop_ set and queue drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A packaged_task never throws out of operator(): user exceptions
+        // land in the future's shared state.
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --unfinished_;
+            if (unfinished_ == 0) {
+                idle_cv_.notify_all();
+            }
+        }
+    }
+}
+
+}  // namespace approxhadoop

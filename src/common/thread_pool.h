@@ -1,0 +1,89 @@
+#ifndef APPROXHADOOP_COMMON_THREAD_POOL_H_
+#define APPROXHADOOP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace approxhadoop {
+
+/**
+ * Fixed-size worker pool executing submitted tasks FIFO.
+ *
+ * submit() returns a std::future for the task's result; exceptions thrown
+ * by the task are captured and rethrown from future::get() on the caller's
+ * thread, so error handling looks exactly like a synchronous call.
+ *
+ * The destructor drains the queue (every submitted task runs) and joins
+ * the workers, so tasks may safely reference state that outlives the pool
+ * object itself — e.g. the Job that owns it.
+ *
+ * The pool makes no fairness or ordering promise beyond FIFO dequeue;
+ * callers that need deterministic *results* must make each task a pure
+ * function of its inputs and impose ordering when consuming the futures
+ * (see mr::Job, which merges map output in simulated-completion order).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawns @p num_threads workers (clamped to at least one). */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Runs all queued tasks to completion, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Tasks accepted but not yet finished executing. */
+    uint64_t unfinishedTasks() const;
+
+    /**
+     * Enqueues @p fn for execution and returns a future for its result.
+     * @p fn may be move-only (it is invoked exactly once).
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F&& fn)
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.emplace_back([task] { (*task)(); });
+            ++unfinished_;
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /** Blocks until every task submitted so far has finished. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;       ///< signals workers: work or stop
+    std::condition_variable idle_cv_;  ///< signals waiters: all drained
+    uint64_t unfinished_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace approxhadoop
+
+#endif  // APPROXHADOOP_COMMON_THREAD_POOL_H_

@@ -19,6 +19,12 @@ namespace approxhadoop::mr {
  * preserve the moments the estimator needs (MomentsCombiner); pairing a
  * plain sum/count combiner with a sampling reducer silently biases the
  * variance and is a programming error.
+ *
+ * Threading: one combiner instance is shared by all map tasks of a job,
+ * and with JobConfig::num_exec_threads > 1 combine() is called
+ * concurrently for tasks in flight. Implementations must therefore be
+ * stateless across calls (all built-in combiners are): everything a call
+ * needs arrives via its arguments.
  */
 class Combiner
 {

@@ -222,7 +222,12 @@ Job::Job(sim::Cluster& cluster, const hdfs::BlockDataset& dataset,
     }
 }
 
-Job::~Job() = default;
+Job::~Job()
+{
+    // Join the workers while the members they reference (exec_, reducers,
+    // the dataset) are still alive; matters when run() exited by throwing.
+    pool_.reset();
+}
 
 void
 Job::setMapperFactory(MapperFactory factory)
@@ -462,6 +467,9 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
         Rng sample_rng = Rng(config_.seed).derive(0x5A5A + task_id);
         exec.sample = input_format_->select(task_id, task.items_total,
                                             task.sampling_ratio, sample_rng);
+        if (pool_ != nullptr) {
+            launchMapCompute(task_id);
+        }
     }
 
     Attempt attempt;
@@ -582,8 +590,18 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     ++completed_duration_count_;
     ++wave_counts_[task.wave].second;
 
-    // Run the user's map function for real, then shuffle incrementally.
-    executeMapper(task_id);
+    // Merge the user map function's real output into the shuffle. In
+    // parallel mode the work was computed (or is still being computed) by
+    // the pool; get() blocks only on *this* task and rethrows any user
+    // exception here, exactly where serial mode would have thrown it.
+    if (exec.pending_output.valid()) {
+        deliverChunks(exec.pending_output.get());
+    } else {
+        std::unique_ptr<Mapper> mapper = mapper_factory_();
+        deliverChunks(computeMapOutput(task_id, task.items_total,
+                                       task.approximate,
+                                       std::move(mapper)));
+    }
 
     // Refill the freed slots before notifying the controller so wave
     // indices stay contiguous.
@@ -623,32 +641,28 @@ Job::killRunningTask(uint64_t task_id)
 // Job: data path
 // ---------------------------------------------------------------------------
 
-void
-Job::executeMapper(uint64_t task_id)
+std::vector<MapOutputChunk>
+Job::computeMapOutput(uint64_t task_id, uint64_t items_total,
+                      bool approximate, std::unique_ptr<Mapper> mapper) const
 {
-    MapTaskInfo& task = tasks_[task_id];
-    TaskExec& exec = exec_[task_id];
-
-    std::unique_ptr<Mapper> mapper = mapper_factory_();
+    const TaskExec& exec = exec_[task_id];
     // Task randomness derives from the seed + task id only, so results do
-    // not depend on scheduling order or speculation.
-    MapContext ctx(task_id, task.items_total, exec.sample.size(),
-                   task.approximate,
+    // not depend on scheduling order, speculation, or which thread runs
+    // the computation.
+    MapContext ctx(task_id, items_total, exec.sample.size(), approximate,
                    Rng(config_.seed).derive(0xA11CE + task_id));
     mapper->setup(ctx);
     for (uint64_t index : exec.sample) {
         mapper->map(dataset_.item(task_id, index), ctx);
     }
     mapper->cleanup(ctx);
-    deliverChunks(task_id, std::move(ctx.output()));
-}
 
-void
-Job::deliverChunks(uint64_t task_id, std::vector<KeyValue>&& output)
-{
-    MapTaskInfo& task = tasks_[task_id];
+    std::vector<KeyValue> output = std::move(ctx.output());
     if (combiner_ != nullptr && !output.empty()) {
         // Map-side combine: group this task's records by key and fold.
+        // The shared combiner instance runs concurrently for every
+        // in-flight task in parallel mode, so combiners must be stateless
+        // across combine() calls (see combiner.h).
         std::map<std::string, std::vector<KeyValue>> groups;
         for (KeyValue& kv : output) {
             groups[kv.key].push_back(std::move(kv));
@@ -663,18 +677,46 @@ Job::deliverChunks(uint64_t task_id, std::vector<KeyValue>&& output)
     std::vector<MapOutputChunk> chunks(config_.num_reducers);
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
         chunks[r].map_task = task_id;
-        chunks[r].items_total = task.items_total;
-        chunks[r].items_processed = task.items_processed;
+        chunks[r].items_total = items_total;
+        chunks[r].items_processed = exec.sample.size();
     }
     for (KeyValue& kv : output) {
         uint32_t r = partitioner_->partition(kv.key, config_.num_reducers);
         chunks[r].records.push_back(std::move(kv));
     }
-    counters_.records_shuffled += output.size();
+    return chunks;
+}
+
+void
+Job::launchMapCompute(uint64_t task_id)
+{
+    // The factory runs on the driver thread (factories may share app
+    // state); only the pure computation moves to the pool. Everything the
+    // worker reads — the sample, the flags passed by value, the dataset —
+    // is frozen before submit() and never written again, and submit()'s
+    // internal lock publishes those writes to the worker.
+    MapTaskInfo& task = tasks_[task_id];
+    std::unique_ptr<Mapper> mapper = mapper_factory_();
+    exec_[task_id].pending_output =
+        pool_->submit([this, task_id, items_total = task.items_total,
+                       approximate = task.approximate,
+                       mapper = std::move(mapper)]() mutable {
+            return computeMapOutput(task_id, items_total, approximate,
+                                    std::move(mapper));
+        });
+}
+
+void
+Job::deliverChunks(std::vector<MapOutputChunk>&& chunks)
+{
+    assert(chunks.size() == config_.num_reducers);
     // Every reducer gets the chunk even when it carries no records:
     // multi-stage sampling needs each cluster's (M_i, m_i) to account for
-    // implicit zeros for the keys of that partition.
+    // implicit zeros for the keys of that partition. Consumption stays on
+    // the driver thread, in simulated-completion order, so reducers need
+    // no locking and estimates are schedule-independent.
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        counters_.records_shuffled += chunks[r].records.size();
         reducer_records_[r] += chunks[r].records.size();
         reducers_[r]->consume(chunks[r]);
     }
@@ -879,6 +921,9 @@ Job::run()
     started_ = true;
     start_time_ = cluster_.now();
     start_energy_wh_ = cluster_.energyWattHours();
+    if (config_.num_exec_threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(config_.num_exec_threads);
+    }
 
     buildTasks();
     placeReducers();
@@ -891,6 +936,9 @@ Job::run()
     // Degenerate case: everything dropped before anything ran.
     checkMapPhaseDone();
     cluster_.events().run();
+    // Drain computations of tasks killed mid-flight and release the
+    // workers; their futures were never consumed and are discarded here.
+    pool_.reset();
 
     if (!job_done_) {
         throw std::runtime_error("job did not complete (scheduler stall)");

@@ -3,12 +3,14 @@
 
 #include <deque>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "hdfs/dataset.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/combiner.h"
@@ -94,6 +96,16 @@ struct JobResult
  * User map/reduce code runs for real inside completion events; only task
  * *durations* are simulated (see DESIGN.md, "Simulated time, real
  * statistics").
+ *
+ * When JobConfig::num_exec_threads > 1 the real CPU work of in-flight map
+ * tasks executes concurrently on a ThreadPool while the driver thread
+ * keeps sole ownership of simulated time, scheduling, the job Rng, the
+ * counters, and the reducers. A task's computation is launched when its
+ * first attempt starts (its sample and flags are frozen at that point)
+ * and its output is merged when its completion *event* fires, so the
+ * shuffle order — and therefore every estimate, confidence interval, and
+ * controller decision — is bit-identical to serial execution
+ * (see DESIGN.md, "Parallel wave execution").
  */
 class Job
 {
@@ -169,6 +181,15 @@ class Job
     {
         std::vector<uint64_t> sample;  ///< item indices to process
         std::vector<Attempt> attempts;
+        /**
+         * Partitioned map output being computed by the thread pool
+         * (parallel mode only; invalid in serial mode). Launched when the
+         * task's first attempt starts, consumed when the winning attempt's
+         * completion event fires — in simulated-time order, so the merge
+         * into the reducers is deterministic regardless of which worker
+         * thread finished first. Killed tasks simply never consume theirs.
+         */
+        std::future<std::vector<MapOutputChunk>> pending_output;
     };
 
     // --- scheduling ---
@@ -186,8 +207,19 @@ class Job
     void killRunningTask(uint64_t task_id);
 
     // --- data path ---
-    void executeMapper(uint64_t task_id);
-    void deliverChunks(uint64_t task_id, std::vector<KeyValue>&& output);
+    /**
+     * Runs the task's real CPU work — record materialization, the map
+     * UDF, map-side combine, partitioning. Pure function of the task's
+     * pre-selected sample and seed-derived randomness, so it is safe to
+     * run on any thread at any time after the sample is fixed.
+     */
+    std::vector<MapOutputChunk>
+    computeMapOutput(uint64_t task_id, uint64_t items_total,
+                     bool approximate, std::unique_ptr<Mapper> mapper) const;
+    /** Submits computeMapOutput() for @p task_id to the thread pool. */
+    void launchMapCompute(uint64_t task_id);
+    /** Feeds one completed task's chunks to the reducers (driver thread). */
+    void deliverChunks(std::vector<MapOutputChunk>&& chunks);
 
     // --- controller surface (via JobHandle) ---
     void dropPendingTask(uint64_t task_id);
@@ -217,6 +249,13 @@ class Job
 
     Rng rng_;
     uint64_t first_block_ = 0;
+
+    /**
+     * Workers executing real map-task CPU work while the driver thread
+     * runs the discrete-event simulation (null when num_exec_threads <= 1).
+     * Created for the duration of run() only.
+     */
+    std::unique_ptr<ThreadPool> pool_;
 
     std::vector<MapTaskInfo> tasks_;
     std::vector<TaskExec> exec_;

@@ -54,6 +54,17 @@ struct JobConfig
 
     /** Root seed; all task-level randomness derives from it. */
     uint64_t seed = 42;
+
+    /**
+     * Host worker threads executing the *real* CPU work of map tasks
+     * (record synthesis, the map UDF, combining, partitioning). 1 runs
+     * everything on the driver thread exactly as before; N > 1 overlaps
+     * the work of map tasks that are concurrently in flight on the
+     * simulated cluster. Results are bit-identical at every setting:
+     * each task's computation is a pure function of (seed, task id,
+     * sample), and output is merged in simulated-completion order.
+     */
+    uint32_t num_exec_threads = 1;
 };
 
 }  // namespace approxhadoop::mr

@@ -78,6 +78,12 @@ class ReduceContext
  * finalize() runs after every map task has completed or been dropped.
  * This is the paper's barrier-less extension, which is what lets the
  * runtime estimate errors mid-job and drop the remaining maps.
+ *
+ * Threading contract: the framework always calls consume() and finalize()
+ * from the driver thread, in simulated-completion order — even when map
+ * CPU work runs on a thread pool (JobConfig::num_exec_threads > 1). The
+ * incremental estimators therefore need no internal locking, and
+ * mid-job error estimates never depend on host scheduling.
  */
 class Reducer
 {

@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop {
+namespace {
+
+TEST(ThreadPoolTest, ReturnsResultsForEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i] { return i * i; }));
+    }
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    std::future<int> bad = pool.submit(
+        []() -> int { throw std::runtime_error("mapper exploded"); });
+    std::future<int> good = pool.submit([] { return 1; });
+    EXPECT_EQ(good.get(), 1);
+    try {
+        bad.get();
+        FAIL() << "expected the task's exception to be rethrown";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "mapper exploded");
+    }
+}
+
+TEST(ThreadPoolTest, SupportsMoveOnlyTasks)
+{
+    ThreadPool pool(2);
+    auto data = std::make_unique<std::string>("payload");
+    std::future<std::string> f =
+        pool.submit([data = std::move(data)]() mutable {
+            return *data + "!";
+        });
+    EXPECT_EQ(f.get(), "payload!");
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers)
+{
+    // One task blocks until another task (necessarily on a different
+    // worker) runs: passes only if the pool truly executes in parallel.
+    ThreadPool pool(2);
+    std::promise<void> unblock;
+    std::shared_future<void> gate = unblock.get_future().share();
+    std::future<int> waiter = pool.submit([gate] {
+        gate.wait();
+        return 1;
+    });
+    std::future<int> opener = pool.submit([&unblock] {
+        unblock.set_value();
+        return 2;
+    });
+    EXPECT_EQ(waiter.get(), 1);
+    EXPECT_EQ(opener.get(), 2);
+}
+
+TEST(ThreadPoolTest, StressManySmallTasksSumCorrectly)
+{
+    ThreadPool pool(8);
+    std::atomic<int64_t> sum{0};
+    std::vector<std::future<void>> futures;
+    constexpr int kTasks = 2000;
+    futures.reserve(kTasks);
+    for (int i = 1; i <= kTasks; ++i) {
+        futures.push_back(pool.submit([i, &sum] { sum += i; }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(sum.load(), int64_t{kTasks} * (kTasks + 1) / 2);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 32);
+    EXPECT_EQ(pool.unfinishedTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> executed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&executed] { ++executed; });
+        }
+        // Destructor must run everything that was accepted.
+    }
+    EXPECT_EQ(executed.load(), 64);
+}
+
+}  // namespace
+}  // namespace approxhadoop

@@ -51,6 +51,7 @@ struct Options
     uint64_t blocks = 0;  // 0 = app default
     uint64_t items = 0;
     uint32_t reducers = 1;
+    uint32_t threads = 1;
     uint64_t seed = 42;
     std::string cluster = "xeon10";
     int top = 10;
@@ -81,6 +82,9 @@ usage()
         "  --blocks N            input blocks (= map tasks)\n"
         "  --items N             items per block\n"
         "  --reducers N          reduce tasks (default 1)\n"
+        "  --threads N           host threads for real map work "
+        "(default 1;\n"
+        "                        results are identical at any setting)\n"
         "  --cluster NAME        xeon10 (default) or atom60\n"
         "  --seed S              experiment seed\n"
         "  --s3                  suspend drained servers (energy mode)\n"
@@ -132,6 +136,14 @@ parseArgs(int argc, char** argv, Options& opt)
             opt.items = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--reducers") {
             opt.reducers = static_cast<uint32_t>(std::atoi(value()));
+        } else if (arg == "--threads") {
+            int threads = std::atoi(value());
+            if (threads < 1 || threads > 1024) {
+                std::fprintf(stderr,
+                             "--threads wants a value in [1, 1024]\n");
+                return false;
+            }
+            opt.threads = static_cast<uint32_t>(threads);
         } else if (arg == "--cluster") {
             opt.cluster = value();
         } else if (arg == "--seed") {
@@ -186,6 +198,7 @@ runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
     config.num_reducers = opt.reducers;
     config.seed = opt.seed;
     config.s3_when_drained = opt.s3;
+    config.num_exec_threads = opt.threads;
     sim::Cluster cluster(opt.cluster == "atom60"
                              ? sim::ClusterConfig::atom60()
                              : sim::ClusterConfig::xeon10());
@@ -304,6 +317,7 @@ main(int argc, char** argv)
             seeds_per_map, opt.reducers);
         config.seed = opt.seed;
         config.s3_when_drained = opt.s3;
+        config.num_exec_threads = opt.threads;
         mr::JobResult result =
             opt.precise
                 ? runner.runPrecise(
@@ -330,6 +344,7 @@ main(int argc, char** argv)
         mr::JobConfig config =
             apps::FrameEncoderApp::jobConfig(frames, opt.reducers);
         config.seed = opt.seed;
+        config.num_exec_threads = opt.threads;
         mr::JobResult result = runner.runUserDefined(
             config, opt.approx, apps::FrameEncoderApp::mapperFactory(),
             apps::FrameEncoderApp::reducerFactory());
