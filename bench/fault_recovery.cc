@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Time-to-target-error under failures: runs the Project Popularity
+ * target-error job (2% bound) fault-free and under injected map
+ * crashes with the two recovery policies, and reports how long each
+ * takes to deliver an answer that meets the target.
+ *
+ *   fault-free — no injected faults (baseline runtime)
+ *   retry      — failed attempts are re-executed after backoff
+ *   absorb     — failed tasks become dropped clusters; the CI widens
+ *                instead of the job re-running work
+ *
+ * Emits BENCH_fault_recovery.json (in the working directory) with one
+ * entry per (mode, crash probability) cell, plus the usual table on
+ * stdout.
+ *
+ * Usage:
+ *   bench_fault_recovery            full workload (744 blocks x 200)
+ *   bench_fault_recovery --smoke    seconds-scale CI smoke run
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/log_apps.h"
+#include "bench_util.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job_config.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct Cell
+{
+    std::string mode;
+    double crash_prob = 0.0;
+    double runtime = 0.0;
+    double actual_error = 0.0;
+    double target_met = 0.0;  // 1.0 when actual <= target
+    uint64_t attempts_failed = 0;
+    uint64_t maps_retried = 0;
+    uint64_t maps_absorbed = 0;
+    double wasted_attempt_seconds = 0.0;
+};
+
+Cell
+runCell(const hdfs::BlockDataset& log, uint64_t entries_per_block,
+        const mr::JobResult& precise, double target, double crash_prob,
+        ft::FailureMode mode, const char* label)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 11);
+    core::ApproxJobRunner runner(cluster, log, nn);
+
+    mr::JobConfig config =
+        apps::logProcessingConfig("ProjectPopularity", entries_per_block);
+    if (crash_prob > 0.0) {
+        config.fault_plan.task_crash_prob = crash_prob;
+        config.fault_plan.seed = 7;
+    }
+    config.failure_mode = mode;
+    // Never fail the whole job in the retry column: this harness
+    // measures recovery cost, not job abortion.
+    config.recovery.max_attempts = 50;
+
+    core::ApproxConfig approx;
+    approx.target_relative_error = target;
+    mr::JobResult result = runner.runAggregation(
+        config, approx, apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::kOp);
+
+    Cell cell;
+    cell.mode = label;
+    cell.crash_prob = crash_prob;
+    cell.runtime = result.runtime;
+    cell.actual_error =
+        result.headlineErrorAgainst(precise).actual_relative_error;
+    cell.target_met = cell.actual_error <= target ? 1.0 : 0.0;
+    cell.attempts_failed = result.counters.map_attempts_failed;
+    cell.maps_retried = result.counters.maps_retried;
+    cell.maps_absorbed = result.counters.maps_absorbed;
+    cell.wasted_attempt_seconds = result.counters.wasted_attempt_seconds;
+    return cell;
+}
+
+void
+writeJson(const std::vector<Cell>& cells, double target,
+          const char* path)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"fault_recovery\",\n");
+    std::fprintf(f, "  \"target_relative_error\": %g,\n", target);
+    std::fprintf(f, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        std::fprintf(
+            f,
+            "    {\"mode\": \"%s\", \"crash_prob\": %g, "
+            "\"runtime_s\": %.3f, \"actual_error\": %.6f, "
+            "\"target_met\": %s, \"attempts_failed\": %llu, "
+            "\"maps_retried\": %llu, \"maps_absorbed\": %llu, "
+            "\"wasted_attempt_seconds\": %.3f}%s\n",
+            c.mode.c_str(), c.crash_prob, c.runtime, c.actual_error,
+            c.target_met > 0.5 ? "true" : "false",
+            static_cast<unsigned long long>(c.attempts_failed),
+            static_cast<unsigned long long>(c.maps_retried),
+            static_cast<unsigned long long>(c.maps_absorbed),
+            c.wasted_attempt_seconds,
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    workloads::AccessLogParams params;
+    params.num_blocks = smoke ? 96 : 744;
+    params.entries_per_block = smoke ? 50 : 200;
+    auto log = workloads::makeAccessLog(params);
+
+    // Precise reference for actual-error measurement.
+    sim::Cluster c0(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn0(c0.numServers(), 3, 11);
+    core::ApproxJobRunner r0(c0, *log, nn0);
+    mr::JobResult precise = r0.runPrecise(
+        apps::logProcessingConfig("ProjectPopularity",
+                                  params.entries_per_block),
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::preciseReducerFactory());
+
+    const double target = 0.02;
+    std::vector<double> crash_probs =
+        smoke ? std::vector<double>{0.1}
+              : std::vector<double>{0.02, 0.05, 0.1, 0.2};
+
+    benchutil::printTitle(
+        "fault-recovery",
+        smoke ? "time to 2% target error under map crashes (smoke)"
+              : "time to 2% target error under map crashes");
+    std::printf("%11s %8s %9s %11s %8s %8s %8s %10s\n", "mode", "crash",
+                "runtime", "actual err", "failed", "retried", "absorbed",
+                "wasted s");
+
+    std::vector<Cell> cells;
+    cells.push_back(runCell(*log, params.entries_per_block, precise,
+                            target, 0.0, ft::FailureMode::kRetry,
+                            "fault-free"));
+    for (double p : crash_probs) {
+        cells.push_back(runCell(*log, params.entries_per_block, precise,
+                                target, p, ft::FailureMode::kRetry,
+                                "retry"));
+        cells.push_back(runCell(*log, params.entries_per_block, precise,
+                                target, p, ft::FailureMode::kAbsorb,
+                                "absorb"));
+    }
+
+    bool all_met = true;
+    for (const Cell& c : cells) {
+        std::printf("%11s %7.0f%% %8.0fs %10.2f%% %8llu %8llu %8llu "
+                    "%10.0f\n",
+                    c.mode.c_str(), 100.0 * c.crash_prob, c.runtime,
+                    100.0 * c.actual_error,
+                    static_cast<unsigned long long>(c.attempts_failed),
+                    static_cast<unsigned long long>(c.maps_retried),
+                    static_cast<unsigned long long>(c.maps_absorbed),
+                    c.wasted_attempt_seconds);
+        all_met = all_met && c.target_met > 0.5;
+    }
+
+    writeJson(cells, target, "BENCH_fault_recovery.json");
+
+    if (!all_met) {
+        std::fprintf(stderr,
+                     "note: some cells exceeded the error target\n");
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fault tolerance under approximation: Project Popularity over a week
+ * of access logs with a 2% target error while map attempts crash, a
+ * server dies mid-job, and stragglers run slow.
+ *
+ * The same job runs four times:
+ *   fault-free  — baseline, no injected faults
+ *   retry       — classic Hadoop recovery: re-execute failed attempts
+ *   absorb      — failed tasks become dropped clusters; the CI widens
+ *                 instead of the job re-running work (Section 4 insight:
+ *                 a failed map task is statistically identical to a
+ *                 dropped one)
+ *   auto        — the framework absorbs while the predicted end-of-job
+ *                 bound still meets the target, else retries
+ */
+#include <cstdio>
+
+#include "apps/log_apps.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job_config.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct Variant
+{
+    const char* label;
+    const char* plan;  // nullptr = fault-free
+    ft::FailureMode mode;
+};
+
+}  // namespace
+
+int
+main()
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = 744;
+    params.entries_per_block = 200;
+    auto log = workloads::makeAccessLog(params);
+
+    // Precise reference for actual-error measurement.
+    sim::Cluster c0(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn0(c0.numServers(), 3, 11);
+    core::ApproxJobRunner r0(c0, *log, nn0);
+    mr::JobResult precise = r0.runPrecise(
+        apps::logProcessingConfig("ProjectPopularity",
+                                  params.entries_per_block),
+        apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::preciseReducerFactory());
+    std::printf("precise runtime: %.0fs\n\n", precise.runtime);
+
+    const char* kPlan = "crash=0.05,straggler=0.03:6,server=3@40+200,seed=7";
+    const Variant variants[] = {
+        {"fault-free", nullptr, ft::FailureMode::kRetry},
+        {"retry", kPlan, ft::FailureMode::kRetry},
+        {"absorb", kPlan, ft::FailureMode::kAbsorb},
+        {"auto", kPlan, ft::FailureMode::kAuto},
+    };
+
+    std::printf("%11s %9s %11s %8s %8s %8s %11s\n", "mode", "runtime",
+                "actual err", "failed", "retried", "absorbed", "wasted s");
+    for (const Variant& v : variants) {
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 11);
+        core::ApproxJobRunner runner(cluster, *log, nn);
+
+        mr::JobConfig config = apps::logProcessingConfig(
+            "ProjectPopularity", params.entries_per_block);
+        if (v.plan != nullptr) {
+            config.fault_plan = ft::FaultPlan::parse(v.plan);
+        }
+        config.failure_mode = v.mode;
+
+        core::ApproxConfig approx;
+        approx.target_relative_error = 0.02;
+        mr::JobResult result = runner.runAggregation(
+            config, approx, apps::ProjectPopularity::mapperFactory(),
+            apps::ProjectPopularity::kOp);
+
+        mr::JobResult::HeadlineError err =
+            result.headlineErrorAgainst(precise);
+        const mr::Counters& c = result.counters;
+        std::printf("%11s %8.0fs %10.2f%% %8lu %8lu %8lu %11.0f\n",
+                    v.label, result.runtime,
+                    100.0 * err.actual_relative_error,
+                    static_cast<unsigned long>(c.map_attempts_failed),
+                    static_cast<unsigned long>(c.maps_retried),
+                    static_cast<unsigned long>(c.maps_absorbed),
+                    c.wasted_attempt_seconds);
+    }
+
+    std::printf("\nAbsorb turns recovery work into a slightly wider "
+                "confidence interval;\nretry reproduces the fault-free "
+                "answer at the cost of re-executed attempts.\n");
+    return 0;
+}

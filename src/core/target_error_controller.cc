@@ -128,6 +128,25 @@ TargetErrorController::predictedError(
     return t * std::sqrt(variance);
 }
 
+double
+TargetErrorController::withinRunningFactor(const mr::JobHandle& job) const
+{
+    double factor = 0.0;
+    for (uint64_t t = 0; t < job.numMapTasks(); ++t) {
+        const mr::MapTaskInfo& task = job.mapTask(t);
+        if (task.state != mr::TaskState::kRunning) {
+            continue;
+        }
+        double big_m = static_cast<double>(task.items_total);
+        double mi = std::max(
+            1.0, std::round(task.sampling_ratio * big_m));
+        if (mi < big_m) {
+            factor += big_m * (big_m - mi) / mi;
+        }
+    }
+    return factor;
+}
+
 TargetErrorController::Plan
 TargetErrorController::solve(const mr::JobHandle& job,
                              const CostFit& fit) const
@@ -149,19 +168,7 @@ TargetErrorController::solve(const mr::JobHandle& job,
 
     // Within-term factor contributed by in-flight maps (their sampling
     // ratio is already fixed).
-    double within_running_factor = 0.0;
-    for (uint64_t t = 0; t < total; ++t) {
-        const mr::MapTaskInfo& task = job.mapTask(t);
-        if (task.state != mr::TaskState::kRunning) {
-            continue;
-        }
-        double big_m = static_cast<double>(task.items_total);
-        double mi = std::max(
-            1.0, std::round(task.sampling_ratio * big_m));
-        if (mi < big_m) {
-            within_running_factor += big_m * (big_m - mi) / mi;
-        }
-    }
+    double within_running_factor = withinRunningFactor(job);
 
     std::vector<MultiStageSamplingReducer::KeyPlanStats> keys =
         worstKeys(total);
@@ -361,6 +368,59 @@ TargetErrorController::onMapComplete(mr::JobHandle& job,
         Plan plan = solve(job, fit);
         applyPlan(job, plan);
     }
+}
+
+mr::FailureAction
+TargetErrorController::onMapFailure(mr::JobHandle& job,
+                                    const mr::MapTaskInfo& task,
+                                    uint32_t /*failed_attempts*/)
+{
+    if (achieved_) {
+        // The target is already met; this task was about to be killed.
+        return mr::FailureAction::kAbsorb;
+    }
+    uint64_t completed = job.completedMaps();
+    if (completed <
+        std::max<uint64_t>(2, config_.min_clusters_for_decision)) {
+        // Too few clusters to trust an error prediction: re-run, like
+        // stock Hadoop.
+        return mr::FailureAction::kRetry;
+    }
+
+    uint64_t total = job.numMapTasks();
+    uint64_t running = job.runningMaps();
+    uint64_t pending = job.pendingMaps();
+    // Clusters the job ends with if this failure is absorbed: everything
+    // completed, in flight, or still scheduled. The failed task is none
+    // of those at call time, so it is already excluded.
+    uint64_t n_end = completed + running + pending;
+    double mean_items = static_cast<double>(job.totalItems()) /
+                        static_cast<double>(total);
+    double m = std::max(1.0, job.pendingSamplingRatio() * mean_items);
+
+    std::vector<MultiStageSamplingReducer::KeyPlanStats> keys =
+        worstKeys(total);
+    if (keys.empty()) {
+        return mr::FailureAction::kRetry;
+    }
+    double within_running_factor = withinRunningFactor(job);
+    double worst_err = 0.0;
+    double worst_tau = 0.0;
+    for (const auto& key : keys) {
+        double err = predictedError(n_end, pending, m, mean_items, key,
+                                    total, within_running_factor);
+        if (err > worst_err) {
+            worst_err = err;
+            worst_tau = key.tau_hat;
+        }
+    }
+    bool absorb = worst_err <= targetFor(worst_tau);
+    AH_INFO("target-ctl")
+        << (absorb ? "absorbing" : "retrying") << " failed map "
+        << task.task_id << ": predicted bound " << worst_err
+        << (absorb ? " <= " : " > ") << "target "
+        << targetFor(worst_tau) << " without its cluster";
+    return absorb ? mr::FailureAction::kAbsorb : mr::FailureAction::kRetry;
 }
 
 }  // namespace approxhadoop::core

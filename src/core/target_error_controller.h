@@ -48,6 +48,19 @@ class TargetErrorController : public mr::JobController
     void onMapComplete(mr::JobHandle& job,
                        const mr::MapTaskInfo& task) override;
 
+    /**
+     * Retry-vs-absorb arbitration for failed map tasks (FailureMode::
+     * kAuto). A failed task is statistically one more dropped cluster,
+     * so: absorb when the predicted end-of-job bound *without* this
+     * cluster still meets the target for every binding key; re-run it
+     * (stock Hadoop) when the sample cannot spare the cluster or too
+     * little data exists to predict. See DESIGN.md, "Failures as
+     * sampling".
+     */
+    mr::FailureAction onMapFailure(mr::JobHandle& job,
+                                   const mr::MapTaskInfo& task,
+                                   uint32_t failed_attempts) override;
+
     /** A dropping/sampling plan chosen by the optimizer. */
     struct Plan
     {
@@ -101,6 +114,9 @@ class TargetErrorController : public mr::JobController
         uint64_t n_total, uint64_t n2, double m, double mean_items,
         const MultiStageSamplingReducer::KeyPlanStats& key,
         uint64_t total_clusters, double within_running_factor) const;
+
+    /** Within-term factor contributed by currently running maps. */
+    double withinRunningFactor(const mr::JobHandle& job) const;
 
     /** Solves the optimization problem; see class comment. */
     Plan solve(const mr::JobHandle& job, const CostFit& fit) const;

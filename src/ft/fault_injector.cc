@@ -1,0 +1,41 @@
+#include "ft/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxhadoop::ft {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t job_seed)
+    : plan_(plan),
+      root_seed_(splitmix64(job_seed ^ 0xFA17F417FA17F417ULL) ^
+                 splitmix64(plan.seed))
+{
+}
+
+FaultInjector::AttemptFate
+FaultInjector::attemptFate(uint64_t task_id, uint64_t attempt_index) const
+{
+    AttemptFate fate;
+    if (!enabled()) {
+        return fate;
+    }
+    // A fresh stream per (task, attempt): immune to query order.
+    Rng rng = Rng(root_seed_).derive(task_id * 0x10001ULL + attempt_index);
+    if (plan_.task_crash_prob > 0.0 &&
+        rng.bernoulli(plan_.task_crash_prob)) {
+        fate.crashes = true;
+        // Crash somewhere in the middle of the attempt; avoid the exact
+        // endpoints so a crash never ties with the completion instant.
+        fate.crash_fraction = rng.uniform(0.05, 0.95);
+    }
+    if (plan_.straggler_prob > 0.0 && rng.bernoulli(plan_.straggler_prob)) {
+        double slowdown = plan_.straggler_factor;
+        if (plan_.straggler_sigma > 0.0) {
+            slowdown *= rng.lognormal(0.0, plan_.straggler_sigma);
+        }
+        fate.slowdown = std::max(1.0, slowdown);
+    }
+    return fate;
+}
+
+}  // namespace approxhadoop::ft

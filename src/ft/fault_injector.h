@@ -1,0 +1,65 @@
+#ifndef APPROXHADOOP_FT_FAULT_INJECTOR_H_
+#define APPROXHADOOP_FT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "ft/fault_plan.h"
+
+namespace approxhadoop::ft {
+
+/**
+ * Deterministic fault oracle for one job run.
+ *
+ * Every decision is a pure function of (job seed, plan seed, task id,
+ * attempt index): the injector holds no mutable state, so fates do not
+ * depend on scheduling order, speculation, host thread count, or how
+ * many other attempts were queried first. That property is what keeps
+ * fault-injected runs bit-identical across `--threads` settings and is
+ * pinned by tests/integration/fault_recovery_test.cc.
+ *
+ * The Job consults attemptFate() when an attempt starts and schedules
+ * either its completion event or its failure event in *simulated* time;
+ * server crashes from the plan are scheduled as ordinary events on the
+ * cluster's queue.
+ */
+class FaultInjector
+{
+  public:
+    /** What happens to one map-task attempt. */
+    struct AttemptFate
+    {
+        /** The attempt crashes before completing. */
+        bool crashes = false;
+        /**
+         * Fraction of the attempt's (slowed) duration that elapses
+         * before the crash, in (0, 1); wasted work accounting uses it.
+         */
+        double crash_fraction = 0.5;
+        /** Straggler slowdown multiplier (1.0 = run at normal speed). */
+        double slowdown = 1.0;
+    };
+
+    FaultInjector(const FaultPlan& plan, uint64_t job_seed);
+
+    /** True when the plan injects anything. */
+    bool enabled() const { return plan_.enabled(); }
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /**
+     * Fate of attempt @p attempt_index of task @p task_id. Deterministic
+     * and side-effect free: calling it twice, in any order relative to
+     * other (task, attempt) pairs, returns identical results.
+     */
+    AttemptFate attemptFate(uint64_t task_id, uint64_t attempt_index) const;
+
+  private:
+    FaultPlan plan_;
+    /** Mixed (job seed, plan seed) root for per-attempt streams. */
+    uint64_t root_seed_;
+};
+
+}  // namespace approxhadoop::ft
+
+#endif  // APPROXHADOOP_FT_FAULT_INJECTOR_H_

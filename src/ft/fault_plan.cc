@@ -1,0 +1,152 @@
+#include "ft/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace approxhadoop::ft {
+
+namespace {
+
+/** Splits @p s on @p sep (no empty trailing fields). */
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(s.substr(start));
+            break;
+        }
+        parts.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+double
+parseDouble(const std::string& token, const char* what)
+{
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+        throw std::invalid_argument(std::string("fault plan: bad ") + what +
+                                    " '" + token + "'");
+    }
+    return v;
+}
+
+double
+parseProbability(const std::string& token, const char* what)
+{
+    double p = parseDouble(token, what);
+    if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(std::string("fault plan: ") + what +
+                                    " must be in [0, 1]");
+    }
+    return p;
+}
+
+}  // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return task_crash_prob > 0.0 || straggler_prob > 0.0 ||
+           !server_crashes.empty();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    if (spec.empty()) {
+        return plan;
+    }
+    for (const std::string& clause : split(spec, ',')) {
+        size_t eq = clause.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("fault plan: clause '" + clause +
+                                        "' is not key=value");
+        }
+        std::string key = clause.substr(0, eq);
+        std::string value = clause.substr(eq + 1);
+        if (key == "crash") {
+            plan.task_crash_prob =
+                parseProbability(value, "crash probability");
+        } else if (key == "straggler") {
+            std::vector<std::string> f = split(value, ':');
+            if (f.empty() || f.size() > 3) {
+                throw std::invalid_argument(
+                    "fault plan: straggler wants P[:F[:S]]");
+            }
+            plan.straggler_prob =
+                parseProbability(f[0], "straggler probability");
+            if (f.size() > 1) {
+                plan.straggler_factor =
+                    parseDouble(f[1], "straggler factor");
+                if (plan.straggler_factor < 1.0) {
+                    throw std::invalid_argument(
+                        "fault plan: straggler factor must be >= 1");
+                }
+            }
+            if (f.size() > 2) {
+                plan.straggler_sigma = parseDouble(f[2], "straggler sigma");
+                if (plan.straggler_sigma < 0.0) {
+                    throw std::invalid_argument(
+                        "fault plan: straggler sigma must be >= 0");
+                }
+            }
+        } else if (key == "server") {
+            size_t at = value.find('@');
+            if (at == std::string::npos) {
+                throw std::invalid_argument(
+                    "fault plan: server wants ID@T[+D]");
+            }
+            ServerCrash crash;
+            crash.server = static_cast<uint32_t>(
+                parseDouble(value.substr(0, at), "server id"));
+            std::string when = value.substr(at + 1);
+            size_t plus = when.find('+');
+            if (plus != std::string::npos) {
+                crash.down_for =
+                    parseDouble(when.substr(plus + 1), "server downtime");
+                if (crash.down_for < 0.0) {
+                    throw std::invalid_argument(
+                        "fault plan: server downtime must be >= 0");
+                }
+                when = when.substr(0, plus);
+            }
+            crash.at = parseDouble(when, "server crash time");
+            if (crash.at < 0.0) {
+                throw std::invalid_argument(
+                    "fault plan: server crash time must be >= 0");
+            }
+            plan.server_crashes.push_back(crash);
+        } else if (key == "seed") {
+            plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else {
+            throw std::invalid_argument("fault plan: unknown clause '" +
+                                        key + "'");
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    if (!enabled()) {
+        return "none";
+    }
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "crash=%.3g straggler=%.3g:%.3g server-crashes=%zu",
+                  task_crash_prob, straggler_prob, straggler_factor,
+                  server_crashes.size());
+    return buf;
+}
+
+}  // namespace approxhadoop::ft

@@ -1,0 +1,81 @@
+#ifndef APPROXHADOOP_FT_FAULT_PLAN_H_
+#define APPROXHADOOP_FT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::ft {
+
+/**
+ * Declarative description of the faults to inject into one job run.
+ *
+ * A plan is *deterministic given a seed*: the FaultInjector derives every
+ * fault decision from (job seed, plan seed, task id, attempt index), so a
+ * plan reproduces the identical failure pattern across reruns and across
+ * host thread counts. All times are simulated seconds relative to job
+ * start; no fault ever depends on wall-clock time.
+ */
+struct FaultPlan
+{
+    /** One scheduled whole-server crash. */
+    struct ServerCrash
+    {
+        /** Server id within the cluster. */
+        uint32_t server = 0;
+        /** Crash time, simulated seconds after job start. */
+        double at = 0.0;
+        /**
+         * Seconds until the server is repaired and rejoins the cluster;
+         * < 0 means it stays down for the rest of the job.
+         */
+        double down_for = -1.0;
+    };
+
+    /** Probability that any single map attempt crashes mid-execution. */
+    double task_crash_prob = 0.0;
+
+    /** Probability that an attempt is slowed down as an injected
+     *  straggler (on top of the cost model's own straggler machinery). */
+    double straggler_prob = 0.0;
+
+    /** Median slowdown multiplier for injected stragglers (>= 1). */
+    double straggler_factor = 4.0;
+
+    /**
+     * Lognormal sigma of the straggler slowdown distribution; 0 makes
+     * every injected straggler exactly straggler_factor times slower.
+     */
+    double straggler_sigma = 0.0;
+
+    /** Scheduled server crashes. */
+    std::vector<ServerCrash> server_crashes;
+
+    /** Extra seed mixed into the job seed (vary failure patterns while
+     *  keeping the workload fixed). */
+    uint64_t seed = 0;
+
+    /** True when the plan injects anything at all. */
+    bool enabled() const;
+
+    /**
+     * Parses a command-line plan spec: comma-separated clauses
+     *
+     *   crash=P            per-attempt crash probability
+     *   straggler=P:F[:S]  probability, factor, optional lognormal sigma
+     *   server=ID@T[+D]    crash server ID at time T, repaired after D s
+     *   seed=S             fault-stream seed
+     *
+     * e.g. "crash=0.05,straggler=0.1:4,server=3@120+60".
+     *
+     * @throws std::invalid_argument on malformed input
+     */
+    static FaultPlan parse(const std::string& spec);
+
+    /** Human-readable one-line description (empty plan: "none"). */
+    std::string summary() const;
+};
+
+}  // namespace approxhadoop::ft
+
+#endif  // APPROXHADOOP_FT_FAULT_PLAN_H_

@@ -1,0 +1,52 @@
+#include "ft/recovery_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace approxhadoop::ft {
+
+const char*
+toString(FailureMode mode)
+{
+    switch (mode) {
+        case FailureMode::kRetry:
+            return "retry";
+        case FailureMode::kAbsorb:
+            return "absorb";
+        case FailureMode::kAuto:
+            return "auto";
+    }
+    return "?";
+}
+
+FailureMode
+parseFailureMode(const std::string& name)
+{
+    if (name == "retry") {
+        return FailureMode::kRetry;
+    }
+    if (name == "absorb") {
+        return FailureMode::kAbsorb;
+    }
+    if (name == "auto") {
+        return FailureMode::kAuto;
+    }
+    throw std::invalid_argument("failure mode must be retry, absorb, or "
+                                "auto (got '" +
+                                name + "')");
+}
+
+double
+RecoveryPolicy::backoffDelay(uint32_t failed_attempts) const
+{
+    double delay = backoff_initial;
+    for (uint32_t i = 1; i < failed_attempts; ++i) {
+        delay *= backoff_factor;
+        if (delay >= backoff_cap) {
+            return backoff_cap;
+        }
+    }
+    return std::min(delay, backoff_cap);
+}
+
+}  // namespace approxhadoop::ft

@@ -1,0 +1,76 @@
+#ifndef APPROXHADOOP_FT_RECOVERY_POLICY_H_
+#define APPROXHADOOP_FT_RECOVERY_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace approxhadoop::ft {
+
+/**
+ * What the runtime does with a map task whose attempts keep failing.
+ *
+ * The paper's multi-stage sampling machinery makes a *failed* map task
+ * statistically identical to a *dropped* one (both remove a uniformly
+ * random cluster from the sample), so unlike stock Hadoop the runtime
+ * can absorb a failure into the error bound instead of re-executing.
+ */
+enum class FailureMode {
+    /** Hadoop semantics: retry with backoff; the job fails once a task
+     *  exhausts RecoveryPolicy::max_attempts. Output is exactly the
+     *  fault-free output. */
+    kRetry,
+    /** Reclassify a failed task as dropped on its first failure: no
+     *  re-execution, the confidence interval widens instead. */
+    kAbsorb,
+    /** Ask the job's controller (approximation-aware: absorb when the
+     *  widened bound still meets the target, retry otherwise); without a
+     *  controller, absorb while the dropped fraction stays under
+     *  RecoveryPolicy::auto_absorb_cap. */
+    kAuto,
+};
+
+const char* toString(FailureMode mode);
+
+/**
+ * Parses "retry" / "absorb" / "auto".
+ * @throws std::invalid_argument otherwise
+ */
+FailureMode parseFailureMode(const std::string& name);
+
+/**
+ * Hadoop-style recovery knobs: capped exponential retry backoff and the
+ * per-task attempt limit (mapred.map.max.attempts analogue).
+ */
+struct RecoveryPolicy
+{
+    /** Attempts allowed per task, counting the first (Hadoop default 4). */
+    uint32_t max_attempts = 4;
+
+    /** Backoff before the first re-attempt, simulated seconds. */
+    double backoff_initial = 5.0;
+
+    /** Multiplier applied per additional failure. */
+    double backoff_factor = 2.0;
+
+    /** Upper bound on any single backoff delay, simulated seconds. */
+    double backoff_cap = 60.0;
+
+    /**
+     * FailureMode::kAuto without a controller: absorb a failure only
+     * while (dropped + killed + absorbed) / total stays below this cap,
+     * so unbounded fault rates cannot silently erase the sample.
+     */
+    double auto_absorb_cap = 0.25;
+
+    /**
+     * Backoff before re-attempt number (@p failed_attempts + 1):
+     * min(backoff_cap, backoff_initial * backoff_factor^(failed-1)).
+     *
+     * @param failed_attempts failures so far (>= 1)
+     */
+    double backoffDelay(uint32_t failed_attempts) const;
+};
+
+}  // namespace approxhadoop::ft
+
+#endif  // APPROXHADOOP_FT_RECOVERY_POLICY_H_

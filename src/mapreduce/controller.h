@@ -23,10 +23,11 @@ class JobHandle
     /** Number of map tasks in the job (the population size N). */
     uint64_t numMapTasks() const;
 
-    uint64_t pendingMaps() const;  ///< pending + held
+    uint64_t pendingMaps() const;  ///< pending + held + awaiting retry
     uint64_t runningMaps() const;
     uint64_t completedMaps() const;
-    uint64_t droppedMaps() const;  ///< dropped + killed
+    uint64_t droppedMaps() const;  ///< dropped + killed + absorbed
+    uint64_t absorbedMaps() const; ///< failures absorbed as drops
 
     /** Task record (valid for ids in [0, numMapTasks())). */
     const MapTaskInfo& mapTask(uint64_t task_id) const;
@@ -81,8 +82,17 @@ class JobHandle
     /** T: data items in the whole input. */
     uint64_t totalItems() const;
 
+    /** Sampling ratio that not-yet-started tasks will run at. */
+    double pendingSamplingRatio() const;
+
   private:
     Job& job_;
+};
+
+/** Verdict of a failure-handling decision (FailureMode::kAuto). */
+enum class FailureAction {
+    kRetry,   ///< re-execute the task after backoff
+    kAbsorb,  ///< reclassify the task as dropped; widen the bound
 };
 
 /**
@@ -111,6 +121,22 @@ class JobController
     /** Called when every task of wave @p wave has reached a terminal
      *  state. */
     virtual void onWaveComplete(JobHandle& /*job*/, int /*wave*/) {}
+
+    /**
+     * Called in FailureMode::kAuto when every attempt of a map task has
+     * failed, to decide between re-running the task and absorbing it
+     * into the error bound. At call time the task is counted neither as
+     * running nor as pending. Approximation controllers override this
+     * with the paper-aware rule (absorb iff the widened confidence
+     * interval still meets the target); the default is stock-Hadoop
+     * retry.
+     */
+    virtual FailureAction
+    onMapFailure(JobHandle& /*job*/, const MapTaskInfo& /*task*/,
+                 uint32_t /*failed_attempts*/)
+    {
+        return FailureAction::kRetry;
+    }
 
     /** Called when all map tasks are terminal, before reducers finalize. */
     virtual void onMapPhaseDone(JobHandle& /*job*/) {}

@@ -10,8 +10,16 @@ Counters::droppedFraction() const
     if (maps_total == 0) {
         return 0.0;
     }
-    return static_cast<double>(maps_dropped + maps_killed) /
+    return static_cast<double>(maps_dropped + maps_killed +
+                               maps_absorbed) /
            static_cast<double>(maps_total);
+}
+
+bool
+Counters::anyFaults() const
+{
+    return map_attempts_failed > 0 || maps_retried > 0 ||
+           maps_absorbed > 0 || server_crashes > 0;
 }
 
 double
@@ -37,6 +45,31 @@ Counters::summary() const
                   static_cast<unsigned long long>(maps_killed),
                   static_cast<unsigned long long>(items_total),
                   static_cast<unsigned long long>(items_processed), waves);
+    std::string line = buf;
+    std::string faults = faultSummary();
+    if (!faults.empty()) {
+        line += " | ";
+        line += faults;
+    }
+    return line;
+}
+
+std::string
+Counters::faultSummary() const
+{
+    if (!anyFaults()) {
+        return "";
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "attempts_failed=%llu retried=%llu absorbed=%llu "
+                  "speculated=%llu server_crashes=%llu wasted=%.1fs",
+                  static_cast<unsigned long long>(map_attempts_failed),
+                  static_cast<unsigned long long>(maps_retried),
+                  static_cast<unsigned long long>(maps_absorbed),
+                  static_cast<unsigned long long>(maps_speculated),
+                  static_cast<unsigned long long>(server_crashes),
+                  wasted_attempt_seconds);
     return buf;
 }
 

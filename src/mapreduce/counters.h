@@ -18,6 +18,22 @@ struct Counters
     uint64_t maps_dropped = 0;
     uint64_t maps_speculated = 0;
 
+    // --- failure / recovery (fault injection, src/ft/) ---
+    /** Map attempts that crashed (task faults + server crashes). */
+    uint64_t map_attempts_failed = 0;
+    /** Re-attempts scheduled after a failure (retry path). */
+    uint64_t maps_retried = 0;
+    /** Failed tasks reclassified as dropped instead of re-run. */
+    uint64_t maps_absorbed = 0;
+    /** Whole-server crash events that fired during the job. */
+    uint64_t server_crashes = 0;
+    /**
+     * Simulated seconds spent by attempts whose work was discarded:
+     * crashed attempts, losing speculative twins, and attempts of
+     * killed tasks.
+     */
+    double wasted_attempt_seconds = 0.0;
+
     /** T: items in the whole input (the population size). */
     uint64_t items_total = 0;
     /** Items scanned by completed maps (read cost is paid for these). */
@@ -30,14 +46,23 @@ struct Counters
     uint64_t remote_maps = 0;
     int waves = 0;
 
-    /** Fraction of maps that were dropped or killed. */
+    /** Fraction of maps that were dropped, killed, or absorbed. */
     double droppedFraction() const;
 
     /** Overall effective sampling ratio: processed / total items. */
     double effectiveSamplingRatio() const;
 
+    /** True when any failure/recovery counter is nonzero. */
+    bool anyFaults() const;
+
     /** Human-readable one-line summary. */
     std::string summary() const;
+
+    /**
+     * One-line failure/recovery summary ("" when the run was
+     * fault-free); approxrun appends it to the job summary.
+     */
+    std::string faultSummary() const;
 };
 
 }  // namespace approxhadoop::mr

@@ -116,7 +116,7 @@ JobHandle::numMapTasks() const
 uint64_t
 JobHandle::pendingMaps() const
 {
-    return job_.pending_count_ + job_.held_count_;
+    return job_.pending_count_ + job_.held_count_ + job_.retry_wait_count_;
 }
 
 uint64_t
@@ -134,7 +134,14 @@ JobHandle::completedMaps() const
 uint64_t
 JobHandle::droppedMaps() const
 {
-    return job_.counters_.maps_dropped + job_.counters_.maps_killed;
+    return job_.counters_.maps_dropped + job_.counters_.maps_killed +
+           job_.counters_.maps_absorbed;
+}
+
+uint64_t
+JobHandle::absorbedMaps() const
+{
+    return job_.counters_.maps_absorbed;
 }
 
 const MapTaskInfo&
@@ -205,6 +212,12 @@ JobHandle::totalItems() const
     return job_.counters_.items_total;
 }
 
+double
+JobHandle::pendingSamplingRatio() const
+{
+    return job_.pending_sampling_ratio_;
+}
+
 // ---------------------------------------------------------------------------
 // Job: setup
 // ---------------------------------------------------------------------------
@@ -215,7 +228,7 @@ Job::Job(sim::Cluster& cluster, const hdfs::BlockDataset& dataset,
       config_(std::move(config)),
       input_format_(std::make_shared<TextInputFormat>()),
       partitioner_(std::make_shared<HashPartitioner>()),
-      rng_(config_.seed)
+      rng_(config_.seed), injector_(config_.fault_plan, config_.seed)
 {
     if (config_.num_reducers == 0) {
         throw std::invalid_argument("job needs at least one reducer");
@@ -446,29 +459,34 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
     sim::Server& srv = cluster_.server(server);
     srv.acquireMapSlot(cluster_.now());
 
-    bool first_attempt = task.state == TaskState::kPending;
-    if (first_attempt) {
+    if (task.state == TaskState::kPending) {
         assert(pending_count_ > 0);
         --pending_count_;
         ++running_count_;
         task.state = TaskState::kRunning;
-        task.start_time = cluster_.now();
-        task.sampling_ratio = pending_sampling_ratio_;
-        task.approximate = rng_.bernoulli(pending_approx_fraction_);
-        task.wave = static_cast<int>(
-            started_count_ /
-            static_cast<uint64_t>(cluster_.totalMapSlots()));
-        ++started_count_;
-        max_wave_ = std::max(max_wave_, task.wave);
-        ++wave_counts_[task.wave].first;
+        if (exec.attempts.empty()) {
+            // Fresh task (not a post-failure retry): freeze its wave,
+            // flags, and sample. Retries keep all of these — the task is
+            // statistically the same cluster whichever attempt runs it.
+            task.start_time = cluster_.now();
+            task.sampling_ratio = pending_sampling_ratio_;
+            task.approximate = rng_.bernoulli(pending_approx_fraction_);
+            task.wave = static_cast<int>(
+                started_count_ /
+                static_cast<uint64_t>(cluster_.totalMapSlots()));
+            ++started_count_;
+            max_wave_ = std::max(max_wave_, task.wave);
+            ++wave_counts_[task.wave].first;
 
-        // The sample is fixed per task (not per attempt) so speculative
-        // duplicates compute the identical result.
-        Rng sample_rng = Rng(config_.seed).derive(0x5A5A + task_id);
-        exec.sample = input_format_->select(task_id, task.items_total,
-                                            task.sampling_ratio, sample_rng);
-        if (pool_ != nullptr) {
-            launchMapCompute(task_id);
+            // The sample is fixed per task (not per attempt) so
+            // speculative duplicates and retries compute the identical
+            // result.
+            Rng sample_rng = Rng(config_.seed).derive(0x5A5A + task_id);
+            exec.sample = input_format_->select(
+                task_id, task.items_total, task.sampling_ratio, sample_rng);
+            if (pool_ != nullptr) {
+                launchMapCompute(task_id);
+            }
         }
     }
 
@@ -483,11 +501,33 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
         local ? 1.0 : config_.remote_read_penalty,
         config_.framework_overhead, duration_rng, task.approximate);
     size_t attempt_index = exec.attempts.size();
-    attempt.event = cluster_.events().scheduleAfter(
-        attempt.cost.total,
-        [this, task_id, attempt_index] {
-            onAttemptFinish(task_id, attempt_index);
-        });
+
+    // The attempt's fate (crash / straggle) is a pure function of
+    // (job seed, fault-plan seed, task id, attempt index), so fault
+    // injection is deterministic at any thread count.
+    ft::FaultInjector::AttemptFate fate =
+        injector_.attemptFate(task_id, attempt_index);
+    if (fate.slowdown > 1.0) {
+        attempt.cost.total *= fate.slowdown;
+        attempt.cost.startup *= fate.slowdown;
+        attempt.cost.read *= fate.slowdown;
+        attempt.cost.process *= fate.slowdown;
+        attempt.cost.straggler = true;
+    }
+    if (fate.crashes) {
+        // The attempt dies partway through; its slot is held until then.
+        attempt.event = cluster_.events().scheduleAfter(
+            attempt.cost.total * fate.crash_fraction,
+            [this, task_id, attempt_index] {
+                onAttemptFailed(task_id, attempt_index);
+            });
+    } else {
+        attempt.event = cluster_.events().scheduleAfter(
+            attempt.cost.total,
+            [this, task_id, attempt_index] {
+                onAttemptFinish(task_id, attempt_index);
+            });
+    }
     exec.attempts.push_back(attempt);
 }
 
@@ -508,10 +548,21 @@ Job::maybeSpeculate()
             continue;
         }
         TaskExec& exec = exec_[task.task_id];
-        if (exec.attempts.size() > 1) {
-            continue;  // already speculating
+        // Only tasks with exactly one live attempt are eligible: a
+        // second live attempt means we already speculated, and failed
+        // (done) attempts of a retried task do not count against it.
+        const Attempt* active = nullptr;
+        size_t active_count = 0;
+        for (const Attempt& a : exec.attempts) {
+            if (!a.done) {
+                active = &a;
+                ++active_count;
+            }
         }
-        double elapsed = cluster_.now() - exec.attempts.front().start;
+        if (active_count != 1) {
+            continue;
+        }
+        double elapsed = cluster_.now() - active->start;
         if (elapsed <= threshold) {
             continue;
         }
@@ -554,6 +605,7 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     assert(task.state == TaskState::kRunning);
 
     Attempt& winner = exec.attempts[attempt_index];
+    assert(!winner.done && !winner.failed);
     winner.done = true;
     cluster_.server(winner.server).releaseMapSlot(cluster_.now());
 
@@ -566,6 +618,8 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
         cluster_.server(exec.attempts[a].server)
             .releaseMapSlot(cluster_.now());
         exec.attempts[a].done = true;
+        counters_.wasted_attempt_seconds +=
+            cluster_.now() - exec.attempts[a].start;
     }
 
     task.state = TaskState::kCompleted;
@@ -595,10 +649,11 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     // the pool; get() blocks only on *this* task and rethrows any user
     // exception here, exactly where serial mode would have thrown it.
     if (exec.pending_output.valid()) {
-        deliverChunks(exec.pending_output.get());
+        deliverChunks(task_id, exec.pending_output.get());
     } else {
         std::unique_ptr<Mapper> mapper = mapper_factory_();
-        deliverChunks(computeMapOutput(task_id, task.items_total,
+        deliverChunks(task_id,
+                      computeMapOutput(task_id, task.items_total,
                                        task.approximate,
                                        std::move(mapper)));
     }
@@ -628,6 +683,7 @@ Job::killRunningTask(uint64_t task_id)
         cluster_.events().cancel(a.event);
         cluster_.server(a.server).releaseMapSlot(cluster_.now());
         a.done = true;
+        counters_.wasted_attempt_seconds += cluster_.now() - a.start;
     }
     task.state = TaskState::kKilled;
     task.finish_time = cluster_.now();
@@ -635,6 +691,209 @@ Job::killRunningTask(uint64_t task_id)
     ++terminal_count_;
     ++counters_.maps_killed;
     ++wave_counts_[task.wave].second;
+}
+
+// ---------------------------------------------------------------------------
+// Job: failure handling (src/ft/ wiring)
+// ---------------------------------------------------------------------------
+
+void
+Job::failAttempt(uint64_t task_id, size_t attempt_index)
+{
+    Attempt& a = exec_[task_id].attempts[attempt_index];
+    assert(!a.done);
+    // No-op when this attempt's own crash event is what brought us here;
+    // required when a server crash kills the attempt mid-flight.
+    cluster_.events().cancel(a.event);
+    a.done = true;
+    a.failed = true;
+    cluster_.server(a.server).releaseMapSlot(cluster_.now());
+    ++tasks_[task_id].failed_attempts;
+    ++counters_.map_attempts_failed;
+    counters_.wasted_attempt_seconds += cluster_.now() - a.start;
+}
+
+void
+Job::onAttemptFailed(uint64_t task_id, size_t attempt_index)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    assert(task.state == TaskState::kRunning);
+    failAttempt(task_id, attempt_index);
+
+    for (const Attempt& a : exec_[task_id].attempts) {
+        if (!a.done) {
+            // A speculative twin is still running; it may yet complete
+            // the task, so no retry/absorb decision is due.
+            scheduleLoop();
+            return;
+        }
+    }
+    --running_count_;
+    resolveFailure(task_id);
+}
+
+void
+Job::resolveFailure(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    bool absorb = false;
+    switch (config_.failure_mode) {
+    case ft::FailureMode::kRetry:
+        break;
+    case ft::FailureMode::kAbsorb:
+        absorb = true;
+        break;
+    case ft::FailureMode::kAuto:
+        if (controller_ != nullptr) {
+            JobHandle handle(*this);
+            absorb = controller_->onMapFailure(handle, task,
+                                               task.failed_attempts) ==
+                     FailureAction::kAbsorb;
+        } else {
+            // Headless default: absorb while the sample keeps enough
+            // clusters to stay useful.
+            double would_be_dropped = static_cast<double>(
+                counters_.maps_dropped + counters_.maps_killed +
+                counters_.maps_absorbed + 1);
+            absorb = would_be_dropped /
+                         static_cast<double>(counters_.maps_total) <=
+                     config_.recovery.auto_absorb_cap;
+        }
+        break;
+    }
+    if (!absorb && task.failed_attempts >= config_.recovery.max_attempts) {
+        if (config_.failure_mode == ft::FailureMode::kRetry) {
+            // Stock-Hadoop semantics: a task out of attempts fails the
+            // whole job.
+            throw std::runtime_error(
+                "map task " + std::to_string(task_id) + " failed " +
+                std::to_string(task.failed_attempts) +
+                " attempts (max_attempts exhausted)");
+        }
+        // kAuto chose retry but no attempts remain: absorbing is always
+        // statistically valid, failing the job never is.
+        absorb = true;
+    }
+    if (absorb) {
+        absorbFailedTask(task_id);
+        return;
+    }
+    task.state = TaskState::kAwaitingRetry;
+    ++retry_wait_count_;
+    ++counters_.maps_retried;
+    double delay = config_.recovery.backoffDelay(task.failed_attempts);
+    exec_[task_id].retry_event = cluster_.events().scheduleAfter(
+        delay, [this, task_id] { requeueTask(task_id); });
+    // The freed slot can host other work during the backoff.
+    scheduleLoop();
+}
+
+void
+Job::absorbFailedTask(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    task.state = TaskState::kAbsorbed;
+    task.finish_time = cluster_.now();
+    ++terminal_count_;
+    ++counters_.maps_absorbed;
+    ++wave_counts_[task.wave].second;
+    // Its chunk is never delivered: the reducers see one cluster fewer,
+    // which widens the confidence interval exactly as dropping does.
+    scheduleLoop();
+    checkWaveCompletion(task.wave);
+    checkMapPhaseDone();
+}
+
+void
+Job::requeueTask(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    assert(task.state == TaskState::kAwaitingRetry);
+    exec_[task_id].retry_event = 0;
+    --retry_wait_count_;
+    task.state = TaskState::kPending;
+    ++pending_count_;
+    pending_order_.push_back(task_id);
+    for (uint32_t s : namenode_.replicas(task.block)) {
+        local_pending_[s].push_back(task_id);
+    }
+    scheduleLoop();
+}
+
+void
+Job::killRetryWaiter(uint64_t task_id)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    assert(task.state == TaskState::kAwaitingRetry);
+    cluster_.events().cancel(exec_[task_id].retry_event);
+    exec_[task_id].retry_event = 0;
+    --retry_wait_count_;
+    task.state = TaskState::kKilled;
+    task.finish_time = cluster_.now();
+    ++terminal_count_;
+    ++counters_.maps_killed;
+    ++wave_counts_[task.wave].second;
+}
+
+void
+Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
+{
+    sim::Server& srv = cluster_.server(crash.server);
+    if (srv.state() == sim::ServerState::kFailed) {
+        return;  // still down from an earlier crash
+    }
+    ++counters_.server_crashes;
+
+    // Every in-flight attempt hosted by the dying server fails with it.
+    std::vector<std::pair<uint64_t, size_t>> affected;
+    for (const MapTaskInfo& task : tasks_) {
+        if (task.state != TaskState::kRunning) {
+            continue;
+        }
+        const TaskExec& exec = exec_[task.task_id];
+        for (size_t a = 0; a < exec.attempts.size(); ++a) {
+            if (!exec.attempts[a].done &&
+                exec.attempts[a].server == crash.server) {
+                affected.emplace_back(task.task_id, a);
+            }
+        }
+    }
+    // Fail the attempts first so the server's map slots are free, which
+    // Server::fail() asserts; reduce slots survive (reducer state is
+    // treated as checkpointed off-node, see DESIGN.md).
+    for (auto [t, a] : affected) {
+        failAttempt(t, a);
+    }
+    srv.fail(cluster_.now());
+    // Now resolve the orphaned tasks; retries will land on the surviving
+    // servers.
+    for (auto [t, a] : affected) {
+        (void)a;
+        if (tasks_[t].state != TaskState::kRunning) {
+            continue;  // both twins were on this server; already resolved
+        }
+        bool any_active = false;
+        for (const Attempt& att : exec_[t].attempts) {
+            if (!att.done) {
+                any_active = true;
+                break;
+            }
+        }
+        if (!any_active) {
+            --running_count_;
+            resolveFailure(t);
+        }
+    }
+    if (crash.down_for >= 0.0) {
+        cluster_.events().scheduleAfter(
+            crash.down_for, [this, server = crash.server] {
+                sim::Server& s = cluster_.server(server);
+                if (s.state() == sim::ServerState::kFailed) {
+                    s.repair(cluster_.now());
+                    scheduleLoop();
+                }
+            });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -707,8 +966,14 @@ Job::launchMapCompute(uint64_t task_id)
 }
 
 void
-Job::deliverChunks(std::vector<MapOutputChunk>&& chunks)
+Job::deliverChunks(uint64_t task_id, std::vector<MapOutputChunk>&& chunks)
 {
+    // Only a completed task may shuffle, and only once: partial or
+    // combiner-folded output of killed/failed/absorbed attempts must
+    // never leak into the merge (see kill_path_test.cc).
+    assert(tasks_[task_id].state == TaskState::kCompleted);
+    assert(!exec_[task_id].delivered);
+    exec_[task_id].delivered = true;
     assert(chunks.size() == config_.num_reducers);
     // Every reducer gets the chunk even when it carries no records:
     // multi-stage sampling needs each cluster's (M_i, m_i) to account for
@@ -773,6 +1038,8 @@ Job::dropAllRemaining()
             dropPendingTask(t.task_id);
         } else if (t.state == TaskState::kRunning) {
             killRunningTask(t.task_id);
+        } else if (t.state == TaskState::kAwaitingRetry) {
+            killRetryWaiter(t.task_id);
         }
     }
     checkMapPhaseDone();
@@ -858,7 +1125,8 @@ Job::checkMapPhaseDone()
 void
 Job::maybeSleepServers()
 {
-    if (pending_count_ > 0 || held_count_ > 0) {
+    // retry_wait_count_: a backoff expiry will need slots again soon.
+    if (pending_count_ > 0 || held_count_ > 0 || retry_wait_count_ > 0) {
         return;
     }
     for (sim::Server& s : cluster_.servers()) {
@@ -927,6 +1195,20 @@ Job::run()
 
     buildTasks();
     placeReducers();
+
+    // Server crashes fire at plan-fixed simulated times, interleaving
+    // deterministically with task events.
+    for (const ft::FaultPlan::ServerCrash& crash :
+         config_.fault_plan.server_crashes) {
+        if (crash.server >= cluster_.numServers()) {
+            throw std::invalid_argument(
+                "fault plan crashes server " +
+                std::to_string(crash.server) + " but the cluster has " +
+                std::to_string(cluster_.numServers()) + " servers");
+        }
+        cluster_.events().scheduleAfter(crash.at,
+                                        [this, crash] { onServerCrash(crash); });
+    }
 
     if (controller_ != nullptr) {
         JobHandle handle(*this);

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "ft/fault_injector.h"
 #include "hdfs/dataset.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/combiner.h"
@@ -90,6 +91,11 @@ struct JobResult
  *  - speculative re-execution of stragglers;
  *  - kill/drop support with a distinct terminal state so job completion
  *    is detected despite maps never finishing;
+ *  - fault tolerance (src/ft/): a FaultPlan injects attempt crashes,
+ *    stragglers, and server failures in simulated time; failed tasks are
+ *    retried with capped exponential backoff, absorbed into the error
+ *    bound as extra dropped clusters, or arbitrated per failure by the
+ *    approximation controller (JobConfig::failure_mode);
  *  - incremental delivery of map output to reduce tasks, enabling
  *    mid-job error estimation by approximation controllers.
  *
@@ -175,19 +181,28 @@ class Job
         sim::SimTime start = 0.0;
         sim::TaskCostModel::Sample cost;
         bool done = false;
+        /** True when the attempt crashed (fault injection). */
+        bool failed = false;
     };
 
     struct TaskExec
     {
         std::vector<uint64_t> sample;  ///< item indices to process
         std::vector<Attempt> attempts;
+        /** Pending backoff-expiry event while in kAwaitingRetry. */
+        sim::EventQueue::EventId retry_event = 0;
+        /** Guards against double shuffle delivery (see deliverChunks). */
+        bool delivered = false;
         /**
          * Partitioned map output being computed by the thread pool
          * (parallel mode only; invalid in serial mode). Launched when the
          * task's first attempt starts, consumed when the winning attempt's
          * completion event fires — in simulated-time order, so the merge
          * into the reducers is deterministic regardless of which worker
-         * thread finished first. Killed tasks simply never consume theirs.
+         * thread finished first. Killed, failed, and absorbed tasks simply
+         * never consume theirs (re-attempts reuse the same future: the
+         * computation is a pure function of the frozen sample, so the
+         * simulated crash does not invalidate it).
          */
         std::future<std::vector<MapOutputChunk>> pending_output;
     };
@@ -206,6 +221,22 @@ class Job
     void maybeSpeculate();
     void killRunningTask(uint64_t task_id);
 
+    // --- failure handling (src/ft/ wiring) ---
+    /** Marks one attempt as crashed and frees its slot. */
+    void failAttempt(uint64_t task_id, size_t attempt_index);
+    /** Attempt crash event: fail it, then resolve if no twin remains. */
+    void onAttemptFailed(uint64_t task_id, size_t attempt_index);
+    /** Retry-vs-absorb decision once every attempt of a task failed. */
+    void resolveFailure(uint64_t task_id);
+    /** Absorbs a failed task as an extra dropped cluster. */
+    void absorbFailedTask(uint64_t task_id);
+    /** Backoff expiry: puts the task back on the pending queues. */
+    void requeueTask(uint64_t task_id);
+    /** Cancels a kAwaitingRetry task (job shutdown path). */
+    void killRetryWaiter(uint64_t task_id);
+    /** Scheduled whole-server crash from the fault plan. */
+    void onServerCrash(ft::FaultPlan::ServerCrash crash);
+
     // --- data path ---
     /**
      * Runs the task's real CPU work — record materialization, the map
@@ -218,8 +249,14 @@ class Job
                      bool approximate, std::unique_ptr<Mapper> mapper) const;
     /** Submits computeMapOutput() for @p task_id to the thread pool. */
     void launchMapCompute(uint64_t task_id);
-    /** Feeds one completed task's chunks to the reducers (driver thread). */
-    void deliverChunks(std::vector<MapOutputChunk>&& chunks);
+    /**
+     * Feeds one completed task's chunks to the reducers (driver thread).
+     * Asserts the producing task actually completed and delivers at most
+     * once, so partial output of killed/failed attempts can never leak
+     * into the shuffle merge.
+     */
+    void deliverChunks(uint64_t task_id,
+                       std::vector<MapOutputChunk>&& chunks);
 
     // --- controller surface (via JobHandle) ---
     void dropPendingTask(uint64_t task_id);
@@ -249,6 +286,7 @@ class Job
 
     Rng rng_;
     uint64_t first_block_ = 0;
+    ft::FaultInjector injector_;
 
     /**
      * Workers executing real map-task CPU work while the driver thread
@@ -265,6 +303,7 @@ class Job
     std::vector<std::deque<uint64_t>> local_pending_;
     uint64_t pending_count_ = 0;
     uint64_t held_count_ = 0;
+    uint64_t retry_wait_count_ = 0;
     uint64_t running_count_ = 0;
     uint64_t terminal_count_ = 0;
     uint64_t started_count_ = 0;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
 #include "sim/cost_model.h"
 
 namespace approxhadoop::mr {
@@ -54,6 +56,25 @@ struct JobConfig
 
     /** Root seed; all task-level randomness derives from it. */
     uint64_t seed = 42;
+
+    /**
+     * Faults to inject into this run (none by default). Failures are
+     * scheduled in *simulated* time from (seed, fault_plan.seed), so a
+     * faulty run is bit-identical across num_exec_threads settings.
+     */
+    ft::FaultPlan fault_plan;
+
+    /** Retry backoff schedule and attempt limit for failed map tasks. */
+    ft::RecoveryPolicy recovery;
+
+    /**
+     * What to do when a map task's attempt fails: re-run it (Hadoop
+     * semantics), absorb it into the error bound as an extra dropped
+     * task (valid because dropped and failed tasks are statistically
+     * identical cluster-sample removals), or let the job's controller
+     * decide per failure against the target error bound.
+     */
+    ft::FailureMode failure_mode = ft::FailureMode::kRetry;
 
     /**
      * Host worker threads executing the *real* CPU work of map tasks

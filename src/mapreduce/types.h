@@ -70,12 +70,15 @@ struct OutputRecord
 
 /** Lifecycle states of a map task. */
 enum class TaskState {
-    kPending,    ///< waiting for a slot
-    kHeld,       ///< withheld by the controller (pilot-wave staging)
-    kRunning,    ///< at least one attempt executing
-    kCompleted,  ///< finished; output delivered
-    kKilled,     ///< killed while running (output discarded)
-    kDropped,    ///< dropped before starting
+    kPending,       ///< waiting for a slot
+    kHeld,          ///< withheld by the controller (pilot-wave staging)
+    kRunning,       ///< at least one attempt executing
+    kAwaitingRetry, ///< all attempts failed; waiting out the retry backoff
+    kCompleted,     ///< finished; output delivered
+    kKilled,        ///< killed while running (output discarded)
+    kDropped,       ///< dropped before starting
+    kAbsorbed,      ///< failed and reclassified as dropped (no output;
+                    ///< statistically identical to kDropped)
 };
 
 /** Returns true for states that no longer occupy the scheduler. */
@@ -83,7 +86,7 @@ inline bool
 isTerminal(TaskState s)
 {
     return s == TaskState::kCompleted || s == TaskState::kKilled ||
-           s == TaskState::kDropped;
+           s == TaskState::kDropped || s == TaskState::kAbsorbed;
 }
 
 /**
@@ -115,6 +118,8 @@ struct MapTaskInfo
     bool local = true;
     /** True if a speculative duplicate was launched. */
     bool speculated = false;
+    /** Attempts of this task that crashed (fault injection). */
+    uint32_t failed_attempts = 0;
 
     sim::SimTime start_time = 0.0;
     sim::SimTime finish_time = 0.0;

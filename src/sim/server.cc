@@ -17,6 +17,9 @@ Server::Server(uint32_t id, int map_slots, int reduce_slots, double speed,
 double
 Server::currentWatts() const
 {
+    if (state_ == ServerState::kFailed) {
+        return 0.0;
+    }
     if (state_ == ServerState::kLowPower) {
         return power_.s3_watts;
     }
@@ -82,6 +85,22 @@ Server::enterLowPower(SimTime now)
 void
 Server::exitLowPower(SimTime now)
 {
+    accrue(now);
+    state_ = ServerState::kActive;
+}
+
+void
+Server::fail(SimTime now)
+{
+    assert(busy_map_slots_ == 0);
+    accrue(now);
+    state_ = ServerState::kFailed;
+}
+
+void
+Server::repair(SimTime now)
+{
+    assert(state_ == ServerState::kFailed);
     accrue(now);
     state_ = ServerState::kActive;
 }

@@ -12,6 +12,7 @@ namespace approxhadoop::sim {
 enum class ServerState {
     kActive,    ///< powered on; draws idle..peak depending on utilization
     kLowPower,  ///< ACPI S3 suspend
+    kFailed,    ///< crashed; draws nothing, takes no work until repair
 };
 
 /**
@@ -66,6 +67,18 @@ class Server
 
     /** Wakes the server back to the active state. */
     void exitLowPower(SimTime now);
+
+    /**
+     * Crashes the server (fault injection). The caller (the JobTracker)
+     * is responsible for failing the map attempts that were running here
+     * and releasing their slots first; reduce slots may stay claimed —
+     * reducers survive server crashes in this model (their incremental
+     * state is treated as checkpointed off-node; see DESIGN.md).
+     */
+    void fail(SimTime now);
+
+    /** Repairs a failed server; it can host new attempts again. */
+    void repair(SimTime now);
 
     /** Instantaneous power draw in watts. */
     double currentWatts() const;

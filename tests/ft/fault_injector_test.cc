@@ -1,0 +1,157 @@
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ft/fault_injector.h"
+#include "ft/fault_plan.h"
+
+namespace approxhadoop::ft {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanInjectsNothing)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_EQ(plan.summary(), "none");
+    EXPECT_FALSE(FaultPlan::parse("").enabled());
+}
+
+TEST(FaultPlanTest, ParsesFullSpec)
+{
+    FaultPlan plan =
+        FaultPlan::parse("crash=0.1,straggler=0.05:4:0.3,server=2@100+50,"
+                         "seed=9");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_DOUBLE_EQ(plan.task_crash_prob, 0.1);
+    EXPECT_DOUBLE_EQ(plan.straggler_prob, 0.05);
+    EXPECT_DOUBLE_EQ(plan.straggler_factor, 4.0);
+    EXPECT_DOUBLE_EQ(plan.straggler_sigma, 0.3);
+    ASSERT_EQ(plan.server_crashes.size(), 1u);
+    EXPECT_EQ(plan.server_crashes[0].server, 2u);
+    EXPECT_DOUBLE_EQ(plan.server_crashes[0].at, 100.0);
+    EXPECT_DOUBLE_EQ(plan.server_crashes[0].down_for, 50.0);
+    EXPECT_EQ(plan.seed, 9u);
+    EXPECT_NE(plan.summary(), "none");
+}
+
+TEST(FaultPlanTest, ServerCrashWithoutRepairStaysDown)
+{
+    FaultPlan plan = FaultPlan::parse("server=0@10");
+    ASSERT_EQ(plan.server_crashes.size(), 1u);
+    EXPECT_LT(plan.server_crashes[0].down_for, 0.0);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultPlan::parse("crash"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("crash=1.5"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("crash=abc"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("straggler=0.1:0.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("server=3"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("server=3@-5"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("bogus=1"), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, DisabledPlanNeverFaults)
+{
+    FaultInjector inj(FaultPlan{}, 42);
+    for (uint64_t t = 0; t < 100; ++t) {
+        FaultInjector::AttemptFate fate = inj.attemptFate(t, 0);
+        EXPECT_FALSE(fate.crashes);
+        EXPECT_DOUBLE_EQ(fate.slowdown, 1.0);
+    }
+}
+
+TEST(FaultInjectorTest, FatesAreDeterministicAndOrderIndependent)
+{
+    FaultPlan plan = FaultPlan::parse("crash=0.3,straggler=0.2:5:0.4");
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+
+    // Query b in reverse order, and a twice; every fate must agree.
+    std::vector<FaultInjector::AttemptFate> forward;
+    for (uint64_t t = 0; t < 200; ++t) {
+        forward.push_back(a.attemptFate(t, t % 3));
+    }
+    for (uint64_t i = 200; i-- > 0;) {
+        FaultInjector::AttemptFate fb = b.attemptFate(i, i % 3);
+        FaultInjector::AttemptFate fa = a.attemptFate(i, i % 3);
+        EXPECT_EQ(forward[i].crashes, fb.crashes);
+        EXPECT_EQ(forward[i].crash_fraction, fb.crash_fraction);
+        EXPECT_EQ(forward[i].slowdown, fb.slowdown);
+        EXPECT_EQ(forward[i].crashes, fa.crashes);
+        EXPECT_EQ(forward[i].slowdown, fa.slowdown);
+    }
+}
+
+TEST(FaultInjectorTest, CrashRateMatchesPlanProbability)
+{
+    FaultPlan plan = FaultPlan::parse("crash=0.5");
+    FaultInjector inj(plan, 7);
+    uint64_t crashes = 0;
+    const uint64_t kTrials = 20000;
+    for (uint64_t t = 0; t < kTrials; ++t) {
+        if (inj.attemptFate(t, 0).crashes) {
+            ++crashes;
+        }
+    }
+    double rate = static_cast<double>(crashes) / kTrials;
+    EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+TEST(FaultInjectorTest, CrashFractionStaysInsideAttempt)
+{
+    FaultPlan plan = FaultPlan::parse("crash=1");
+    FaultInjector inj(plan, 3);
+    for (uint64_t t = 0; t < 500; ++t) {
+        FaultInjector::AttemptFate fate = inj.attemptFate(t, 1);
+        ASSERT_TRUE(fate.crashes);
+        EXPECT_GT(fate.crash_fraction, 0.0);
+        EXPECT_LT(fate.crash_fraction, 1.0);
+    }
+}
+
+TEST(FaultInjectorTest, FixedSigmaZeroStragglersUseExactFactor)
+{
+    FaultPlan plan = FaultPlan::parse("straggler=1:6");
+    FaultInjector inj(plan, 11);
+    for (uint64_t t = 0; t < 50; ++t) {
+        EXPECT_DOUBLE_EQ(inj.attemptFate(t, 0).slowdown, 6.0);
+    }
+}
+
+TEST(FaultInjectorTest, AttemptsOfOneTaskHaveIndependentFates)
+{
+    FaultPlan plan = FaultPlan::parse("crash=0.5");
+    FaultInjector inj(plan, 21);
+    // Across many tasks, some must crash on attempt 0 but not attempt 1
+    // (and vice versa): retries genuinely get a fresh chance.
+    bool saw_first_only = false;
+    bool saw_second_only = false;
+    for (uint64_t t = 0; t < 500; ++t) {
+        bool c0 = inj.attemptFate(t, 0).crashes;
+        bool c1 = inj.attemptFate(t, 1).crashes;
+        saw_first_only |= c0 && !c1;
+        saw_second_only |= !c0 && c1;
+    }
+    EXPECT_TRUE(saw_first_only);
+    EXPECT_TRUE(saw_second_only);
+}
+
+TEST(FaultInjectorTest, DifferentPlanSeedsChangeTheFaultPattern)
+{
+    FaultPlan a = FaultPlan::parse("crash=0.3,seed=1");
+    FaultPlan b = FaultPlan::parse("crash=0.3,seed=2");
+    FaultInjector ia(a, 42);
+    FaultInjector ib(b, 42);
+    bool differs = false;
+    for (uint64_t t = 0; t < 200 && !differs; ++t) {
+        differs = ia.attemptFate(t, 0).crashes != ib.attemptFate(t, 0).crashes;
+    }
+    EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace approxhadoop::ft

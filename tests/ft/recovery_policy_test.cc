@@ -1,0 +1,53 @@
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "ft/recovery_policy.h"
+
+namespace approxhadoop::ft {
+namespace {
+
+TEST(RecoveryPolicyTest, DefaultBackoffScheduleIsCappedExponential)
+{
+    RecoveryPolicy policy;  // 5s initial, x2, 60s cap
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(1), 5.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(2), 10.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(3), 20.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(4), 40.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(5), 60.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(20), 60.0);
+}
+
+TEST(RecoveryPolicyTest, CustomScheduleHonoursKnobs)
+{
+    RecoveryPolicy policy;
+    policy.backoff_initial = 1.0;
+    policy.backoff_factor = 3.0;
+    policy.backoff_cap = 10.0;
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(1), 1.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(2), 3.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(3), 9.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(4), 10.0);
+}
+
+TEST(RecoveryPolicyTest, HadoopStyleDefaults)
+{
+    RecoveryPolicy policy;
+    EXPECT_EQ(policy.max_attempts, 4u);  // mapred.map.max.attempts
+    EXPECT_GT(policy.auto_absorb_cap, 0.0);
+    EXPECT_LT(policy.auto_absorb_cap, 1.0);
+}
+
+TEST(FailureModeTest, ParseAndPrintRoundTrip)
+{
+    EXPECT_EQ(parseFailureMode("retry"), FailureMode::kRetry);
+    EXPECT_EQ(parseFailureMode("absorb"), FailureMode::kAbsorb);
+    EXPECT_EQ(parseFailureMode("auto"), FailureMode::kAuto);
+    EXPECT_STREQ(toString(FailureMode::kRetry), "retry");
+    EXPECT_STREQ(toString(FailureMode::kAbsorb), "absorb");
+    EXPECT_STREQ(toString(FailureMode::kAuto), "auto");
+    EXPECT_THROW(parseFailureMode("panic"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxhadoop::ft

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Fault-injection integration tests (src/ft/ + mapreduce + stats):
+ *
+ *  - Retry mode reproduces the exact fault-free output;
+ *  - estimates and confidence intervals are bit-identical across host
+ *    thread counts under an active fault plan;
+ *  - Absorb mode widens the CI exactly as dropping the same clusters
+ *    would (verified against the two-stage estimator directly);
+ *  - target-error jobs absorb failures without re-running them and the
+ *    reported CI covers the precise answer;
+ *  - server crashes fail over to the surviving servers;
+ *  - injected stragglers trigger speculative execution.
+ *
+ * The "FaultRecovery" test-name prefix is matched by the TSan CI job.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+#include "stats/two_stage.h"
+
+namespace approxhadoop {
+namespace {
+
+constexpr uint64_t kBlocks = 60;
+constexpr uint64_t kItemsPerBlock = 20;
+
+/** Item value: small integers so sums are exact in any order. */
+double
+itemValue(uint64_t flat_index)
+{
+    return static_cast<double>(flat_index % 7 + 1);
+}
+
+std::vector<std::string>
+records()
+{
+    std::vector<std::string> recs;
+    recs.reserve(kBlocks * kItemsPerBlock);
+    for (uint64_t i = 0; i < kBlocks * kItemsPerBlock; ++i) {
+        recs.push_back(std::to_string(itemValue(i)));
+    }
+    return recs;
+}
+
+class ValueMapper : public mr::Mapper
+{
+  public:
+    void
+    map(const std::string& record, mr::MapContext& ctx) override
+    {
+        ctx.write("total", std::atof(record.c_str()));
+    }
+};
+
+mr::Job::MapperFactory
+valueMapperFactory()
+{
+    return [] { return std::make_unique<ValueMapper>(); };
+}
+
+mr::JobConfig
+baseConfig()
+{
+    mr::JobConfig config;
+    config.name = "fault-recovery-test";
+    config.map_cost.t0 = 10.0;
+    config.map_cost.noise_sigma = 0.2;
+    config.seed = 42;
+    return config;
+}
+
+struct AggSpec
+{
+    std::string fault_plan;
+    ft::FailureMode mode = ft::FailureMode::kRetry;
+    double sampling = 1.0;
+    uint32_t threads = 1;
+    uint32_t max_attempts = 4;
+    std::optional<double> target;
+};
+
+mr::JobResult
+runAggregation(const AggSpec& spec)
+{
+    hdfs::InMemoryDataset data(records(), kItemsPerBlock);
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 7);
+    core::ApproxJobRunner runner(cluster, data, nn);
+    mr::JobConfig config = baseConfig();
+    config.fault_plan = ft::FaultPlan::parse(spec.fault_plan);
+    config.failure_mode = spec.mode;
+    config.num_exec_threads = spec.threads;
+    config.recovery.max_attempts = spec.max_attempts;
+    core::ApproxConfig approx;
+    approx.sampling_ratio = spec.sampling;
+    approx.target_relative_error = spec.target;
+    return runner.runAggregation(config, approx, valueMapperFactory(),
+                                 core::MultiStageSamplingReducer::Op::kSum);
+}
+
+double
+preciseTotal()
+{
+    double total = 0.0;
+    for (uint64_t i = 0; i < kBlocks * kItemsPerBlock; ++i) {
+        total += itemValue(i);
+    }
+    return total;
+}
+
+TEST(FaultRecoveryTest, RetryReproducesExactFaultFreeOutput)
+{
+    AggSpec clean;
+    mr::JobResult fault_free = runAggregation(clean);
+
+    AggSpec faulted;
+    faulted.fault_plan = "crash=0.4";
+    // The point here is exact output reproduction, not job failure:
+    // give unlucky tasks enough attempts to eventually succeed.
+    faulted.max_attempts = 20;
+    mr::JobResult recovered = runAggregation(faulted);
+
+    EXPECT_GT(recovered.counters.map_attempts_failed, 0u);
+    EXPECT_GT(recovered.counters.maps_retried, 0u);
+    EXPECT_EQ(recovered.counters.maps_completed, kBlocks);
+
+    auto want = fault_free.toMap();
+    auto got = recovered.toMap();
+    ASSERT_EQ(want.size(), got.size());
+    for (const auto& [key, rec] : want) {
+        const mr::OutputRecord& r = got.at(key);
+        EXPECT_EQ(rec.value, r.value) << key;
+        EXPECT_EQ(rec.errorBound(), r.errorBound()) << key;
+    }
+    // Full completion at full sampling: the CI is exactly zero-width.
+    EXPECT_EQ(got.at("total").errorBound(), 0.0);
+    EXPECT_EQ(got.at("total").value, preciseTotal());
+}
+
+TEST(FaultRecoveryTest, EstimatesBitIdenticalAcrossThreadCounts)
+{
+    for (ft::FailureMode mode :
+         {ft::FailureMode::kRetry, ft::FailureMode::kAbsorb}) {
+        AggSpec one;
+        one.fault_plan = "crash=0.3,straggler=0.1:6,server=2@40+30,seed=5";
+        one.mode = mode;
+        one.sampling = 0.5;
+        one.threads = 1;
+        AggSpec eight = one;
+        eight.threads = 8;
+
+        mr::JobResult serial = runAggregation(one);
+        mr::JobResult parallel = runAggregation(eight);
+
+        EXPECT_EQ(serial.runtime, parallel.runtime);
+        EXPECT_EQ(serial.counters.maps_completed,
+                  parallel.counters.maps_completed);
+        EXPECT_EQ(serial.counters.maps_absorbed,
+                  parallel.counters.maps_absorbed);
+        EXPECT_EQ(serial.counters.maps_retried,
+                  parallel.counters.maps_retried);
+        EXPECT_EQ(serial.counters.map_attempts_failed,
+                  parallel.counters.map_attempts_failed);
+        EXPECT_EQ(serial.counters.server_crashes,
+                  parallel.counters.server_crashes);
+        EXPECT_EQ(serial.counters.records_shuffled,
+                  parallel.counters.records_shuffled);
+        EXPECT_GT(serial.counters.server_crashes, 0u);
+
+        auto a = serial.toMap();
+        auto b = parallel.toMap();
+        ASSERT_EQ(a.size(), b.size());
+        for (const auto& [key, rec] : a) {
+            const mr::OutputRecord& r = b.at(key);
+            // Bit-identical estimates and CI endpoints.
+            EXPECT_EQ(rec.value, r.value) << key;
+            EXPECT_EQ(rec.lower, r.lower) << key;
+            EXPECT_EQ(rec.upper, r.upper) << key;
+        }
+    }
+}
+
+TEST(FaultRecoveryTest, AbsorbWidensBoundExactlyLikeDropping)
+{
+    AggSpec spec;
+    spec.fault_plan = "crash=0.3";
+    spec.mode = ft::FailureMode::kAbsorb;
+    mr::JobResult result = runAggregation(spec);
+
+    EXPECT_EQ(result.counters.maps_retried, 0u);
+    ASSERT_GT(result.counters.maps_absorbed, 0u);
+    EXPECT_EQ(result.counters.maps_completed +
+                  result.counters.maps_absorbed,
+              kBlocks);
+
+    // Recompute the estimate directly: absorbed tasks are exactly
+    // removed clusters, so feeding only the *completed* clusters to the
+    // two-stage estimator must reproduce the job's estimate and CI.
+    std::vector<stats::ClusterSample> clusters;
+    for (const mr::MapTaskInfo& task : result.tasks) {
+        if (task.state != mr::TaskState::kCompleted) {
+            EXPECT_EQ(task.state, mr::TaskState::kAbsorbed);
+            continue;
+        }
+        stats::ClusterSample c;
+        c.units_total = kItemsPerBlock;
+        c.units_sampled = kItemsPerBlock;
+        for (uint64_t i = 0; i < kItemsPerBlock; ++i) {
+            double v = itemValue(task.task_id * kItemsPerBlock + i);
+            ++c.emitted;
+            c.sum += v;
+            c.sum_squares += v * v;
+        }
+        clusters.push_back(c);
+    }
+    stats::Estimate direct =
+        stats::TwoStageEstimator::estimateSum(clusters, kBlocks, 0.95);
+
+    const mr::OutputRecord* rec = result.find("total");
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(rec->has_bound);
+    EXPECT_GT(rec->errorBound(), 0.0);  // clusters lost -> CI widened
+    EXPECT_NEAR(rec->value, direct.value, 1e-9 * std::abs(direct.value));
+    EXPECT_NEAR(rec->errorBound(), direct.error_bound,
+                1e-9 * direct.error_bound);
+    EXPECT_EQ(direct.clusters_sampled, result.counters.maps_completed);
+}
+
+TEST(FaultRecoveryTest, AbsorbMeetsTargetWithoutRerunningFailures)
+{
+    AggSpec spec;
+    spec.fault_plan = "crash=0.2";
+    spec.mode = ft::FailureMode::kAbsorb;
+    spec.target = 0.1;
+    mr::JobResult result = runAggregation(spec);
+
+    // No failed map was ever re-executed...
+    EXPECT_EQ(result.counters.maps_retried, 0u);
+    // ...yet the job finished with a CI covering the precise answer.
+    const mr::OutputRecord* rec = result.find("total");
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(rec->has_bound);
+    EXPECT_LE(std::abs(rec->value - preciseTotal()), rec->errorBound());
+}
+
+TEST(FaultRecoveryTest, AutoModeCompletesTargetJobUnderFaults)
+{
+    AggSpec spec;
+    spec.fault_plan = "crash=0.25,seed=3";
+    spec.mode = ft::FailureMode::kAuto;
+    spec.target = 0.1;
+    mr::JobResult result = runAggregation(spec);
+
+    const mr::Counters& c = result.counters;
+    EXPECT_EQ(c.maps_completed + c.maps_absorbed + c.maps_dropped +
+                  c.maps_killed,
+              kBlocks);
+    const mr::OutputRecord* rec = result.find("total");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_LE(std::abs(rec->value - preciseTotal()), rec->errorBound());
+}
+
+// --- plain-Job scenarios (no approximation layer) --------------------------
+
+class OneMapper : public mr::Mapper
+{
+  public:
+    void
+    map(const std::string& record, mr::MapContext& ctx) override
+    {
+        ctx.write(record, 1.0);
+    }
+};
+
+mr::JobResult
+runPlainJob(mr::JobConfig config, int blocks = 40)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 7);
+    std::vector<std::string> recs(blocks, "k");
+    hdfs::InMemoryDataset ds(recs, 1);
+    mr::Job job(cluster, ds, nn, std::move(config));
+    job.setMapperFactory([] { return std::make_unique<OneMapper>(); });
+    job.setReducerFactory([] { return std::make_unique<mr::SumReducer>(); });
+    return job.run();
+}
+
+TEST(FaultRecoveryTest, ServerCrashFailsOverToSurvivors)
+{
+    mr::JobConfig config = baseConfig();
+    config.fault_plan = ft::FaultPlan::parse("server=1@5");
+    mr::JobResult result = runPlainJob(config);
+    EXPECT_EQ(result.counters.server_crashes, 1u);
+    EXPECT_GT(result.counters.map_attempts_failed, 0u);
+    // Every task still completes, re-run on the surviving servers.
+    EXPECT_EQ(result.counters.maps_completed, 40u);
+    EXPECT_DOUBLE_EQ(result.find("k")->value, 40.0);
+}
+
+TEST(FaultRecoveryTest, RepairedServerRejoinsTheCluster)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 7);
+    std::vector<std::string> recs(40, "k");
+    hdfs::InMemoryDataset ds(recs, 1);
+    mr::JobConfig config = baseConfig();
+    config.fault_plan = ft::FaultPlan::parse("server=1@5+20");
+    mr::Job job(cluster, ds, nn, config);
+    job.setMapperFactory([] { return std::make_unique<OneMapper>(); });
+    job.setReducerFactory([] { return std::make_unique<mr::SumReducer>(); });
+    mr::JobResult result = job.run();
+    EXPECT_EQ(result.counters.maps_completed, 40u);
+    EXPECT_EQ(cluster.server(1).state(), sim::ServerState::kActive);
+}
+
+TEST(FaultRecoveryTest, InjectedStragglersTriggerSpeculation)
+{
+    mr::JobConfig config = baseConfig();
+    config.map_cost.noise_sigma = 0.0;
+    config.fault_plan = ft::FaultPlan::parse("straggler=0.12:10");
+    config.speculation = true;
+    config.speculation_threshold = 1.3;
+    mr::JobResult faulted = runPlainJob(config);
+    EXPECT_GT(faulted.counters.maps_speculated, 0u);
+    EXPECT_EQ(faulted.counters.maps_completed, 40u);
+    EXPECT_DOUBLE_EQ(faulted.find("k")->value, 40.0);
+}
+
+TEST(FaultRecoveryTest, RetryModeFailsJobWhenAttemptsExhausted)
+{
+    mr::JobConfig config = baseConfig();
+    config.fault_plan = ft::FaultPlan::parse("crash=1");
+    config.failure_mode = ft::FailureMode::kRetry;
+    EXPECT_THROW(runPlainJob(config), std::runtime_error);
+}
+
+TEST(FaultRecoveryTest, HeadlessAutoAbsorbsWhenRetriesKeepFailing)
+{
+    mr::JobConfig config = baseConfig();
+    config.fault_plan = ft::FaultPlan::parse("crash=1");
+    config.failure_mode = ft::FailureMode::kAuto;
+    mr::JobResult result = runPlainJob(config);
+    // Nothing can ever complete; every task ends absorbed (the first
+    // quarter under the auto cap, the rest after exhausting attempts).
+    EXPECT_EQ(result.counters.maps_completed, 0u);
+    EXPECT_EQ(result.counters.maps_absorbed, 40u);
+    EXPECT_TRUE(result.output.empty());
+}
+
+}  // namespace
+}  // namespace approxhadoop

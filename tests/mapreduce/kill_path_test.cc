@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Regression tests for the kill/failure data path: output of killed,
+ * crashed, or absorbed map attempts — including partial combiner
+ * output — must never leak into the shuffle merge, and a retried task
+ * must shuffle exactly once. Each mapper emits value 1 for its single
+ * input item, so any leak or double delivery shows up as
+ * sum != maps_completed.
+ */
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/combiner.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::mr {
+namespace {
+
+class OneMapper : public Mapper
+{
+  public:
+    void
+    map(const std::string& record, MapContext& ctx) override
+    {
+        ctx.write(record, 1.0);
+    }
+};
+
+/** Kills every remaining map once @p after tasks have completed. */
+class KillAfterController : public JobController
+{
+  public:
+    explicit KillAfterController(uint64_t after) : after_(after) {}
+
+    void
+    onMapComplete(JobHandle& job, const MapTaskInfo& /*task*/) override
+    {
+        if (!fired_ && job.completedMaps() >= after_) {
+            fired_ = true;
+            job.dropAllRemaining();
+        }
+    }
+
+  private:
+    uint64_t after_;
+    bool fired_ = false;
+};
+
+JobConfig
+quickConfig()
+{
+    JobConfig config;
+    config.name = "kill-path-test";
+    config.map_cost.t0 = 10.0;
+    config.map_cost.noise_sigma = 0.2;
+    config.seed = 99;
+    return config;
+}
+
+hdfs::InMemoryDataset
+dataset(int blocks = 40)
+{
+    std::vector<std::string> records(blocks, "k");
+    return hdfs::InMemoryDataset(records, 1);  // single-item blocks
+}
+
+struct RunSpec
+{
+    JobConfig config = quickConfig();
+    JobController* controller = nullptr;
+    std::shared_ptr<Combiner> combiner;
+    int blocks = 40;
+};
+
+JobResult
+runJob(RunSpec spec)
+{
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 7);
+    auto ds = dataset(spec.blocks);
+    Job job(cluster, ds, nn, spec.config);
+    job.setMapperFactory([] { return std::make_unique<OneMapper>(); });
+    job.setReducerFactory([] { return std::make_unique<SumReducer>(); });
+    if (spec.controller != nullptr) {
+        job.setController(spec.controller);
+    }
+    if (spec.combiner != nullptr) {
+        job.setCombiner(spec.combiner);
+    }
+    return job.run();
+}
+
+double
+sumValue(const JobResult& result)
+{
+    const OutputRecord* rec = result.find("k");
+    return rec == nullptr ? 0.0 : rec->value;
+}
+
+TEST(KillPathTest, KilledTasksNeverShuffle)
+{
+    KillAfterController controller(5);
+    RunSpec spec;
+    spec.controller = &controller;
+    JobResult result = runJob(std::move(spec));
+    EXPECT_GT(result.counters.maps_killed + result.counters.maps_dropped,
+              0u);
+    // The shuffle saw exactly one record per *completed* task.
+    EXPECT_DOUBLE_EQ(
+        sumValue(result),
+        static_cast<double>(result.counters.maps_completed));
+    EXPECT_EQ(result.counters.records_shuffled,
+              result.counters.maps_completed);
+}
+
+TEST(KillPathTest, CombinerOutputOfKilledTasksNeverLeaks)
+{
+    KillAfterController controller(5);
+    RunSpec spec;
+    spec.controller = &controller;
+    spec.combiner = std::make_shared<SumCombiner>();
+    JobResult result = runJob(std::move(spec));
+    EXPECT_GT(result.counters.maps_killed + result.counters.maps_dropped,
+              0u);
+    EXPECT_DOUBLE_EQ(
+        sumValue(result),
+        static_cast<double>(result.counters.maps_completed));
+}
+
+TEST(KillPathTest, CrashedAttemptsNeverShuffleInAbsorbMode)
+{
+    RunSpec spec;
+    spec.config.fault_plan = ft::FaultPlan::parse("crash=0.4");
+    spec.config.failure_mode = ft::FailureMode::kAbsorb;
+    JobResult result = runJob(std::move(spec));
+    EXPECT_GT(result.counters.maps_absorbed, 0u);
+    EXPECT_EQ(result.counters.maps_retried, 0u);
+    EXPECT_EQ(result.counters.maps_completed +
+                  result.counters.maps_absorbed,
+              40u);
+    EXPECT_DOUBLE_EQ(
+        sumValue(result),
+        static_cast<double>(result.counters.maps_completed));
+}
+
+TEST(KillPathTest, RetriedTasksShuffleExactlyOnce)
+{
+    RunSpec spec;
+    spec.config.fault_plan = ft::FaultPlan::parse("crash=0.35");
+    spec.config.failure_mode = ft::FailureMode::kRetry;
+    JobResult result = runJob(std::move(spec));
+    EXPECT_GT(result.counters.map_attempts_failed, 0u);
+    EXPECT_GT(result.counters.maps_retried, 0u);
+    EXPECT_EQ(result.counters.maps_completed, 40u);
+    // Every task delivered once despite multiple attempts: a double
+    // delivery would push the sum past 40.
+    EXPECT_DOUBLE_EQ(sumValue(result), 40.0);
+    EXPECT_GT(result.counters.wasted_attempt_seconds, 0.0);
+}
+
+TEST(KillPathTest, KillDuringRetryBackoffCompletesTheJob)
+{
+    KillAfterController controller(3);
+    RunSpec spec;
+    spec.controller = &controller;
+    spec.config.fault_plan = ft::FaultPlan::parse("crash=0.7");
+    spec.config.failure_mode = ft::FailureMode::kRetry;
+    spec.config.recovery.max_attempts = 100;  // never exhaust
+    JobResult result = runJob(std::move(spec));
+    const Counters& c = result.counters;
+    // Tasks waiting out a retry backoff are killed cleanly with the rest.
+    EXPECT_EQ(c.maps_completed + c.maps_killed + c.maps_dropped +
+                  c.maps_absorbed,
+              40u);
+    EXPECT_DOUBLE_EQ(sumValue(result),
+                     static_cast<double>(c.maps_completed));
+}
+
+}  // namespace
+}  // namespace approxhadoop::mr

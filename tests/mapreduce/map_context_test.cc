@@ -40,9 +40,11 @@ TEST(TaskStateTest, TerminalClassification)
     EXPECT_FALSE(isTerminal(TaskState::kPending));
     EXPECT_FALSE(isTerminal(TaskState::kHeld));
     EXPECT_FALSE(isTerminal(TaskState::kRunning));
+    EXPECT_FALSE(isTerminal(TaskState::kAwaitingRetry));
     EXPECT_TRUE(isTerminal(TaskState::kCompleted));
     EXPECT_TRUE(isTerminal(TaskState::kKilled));
     EXPECT_TRUE(isTerminal(TaskState::kDropped));
+    EXPECT_TRUE(isTerminal(TaskState::kAbsorbed));
 }
 
 TEST(CountersTest, DerivedMetrics)

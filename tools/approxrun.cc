@@ -30,6 +30,8 @@
 #include "common/logging.h"
 #include "core/approx_config.h"
 #include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
 #include "hdfs/namenode.h"
 #include "sim/cluster.h"
 #include "workloads/access_log.h"
@@ -55,6 +57,8 @@ struct Options
     uint64_t seed = 42;
     std::string cluster = "xeon10";
     int top = 10;
+    ft::FaultPlan fault_plan;
+    ft::FailureMode failure_mode = ft::FailureMode::kRetry;
 };
 
 void
@@ -87,6 +91,10 @@ usage()
         "                        results are identical at any setting)\n"
         "  --cluster NAME        xeon10 (default) or atom60\n"
         "  --seed S              experiment seed\n"
+        "  --fault-plan SPEC     inject failures; SPEC is comma-separated\n"
+        "                        crash=P, straggler=P:F[:S],\n"
+        "                        server=ID@T[+D], seed=S\n"
+        "  --failure-mode M      retry | absorb | auto (default retry)\n"
         "  --s3                  suspend drained servers (energy mode)\n"
         "  --top K               result rows to print (default 10)\n"
         "  --verbose             framework INFO logging\n");
@@ -148,6 +156,20 @@ parseArgs(int argc, char** argv, Options& opt)
             opt.cluster = value();
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--fault-plan") {
+            try {
+                opt.fault_plan = ft::FaultPlan::parse(value());
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+                return false;
+            }
+        } else if (arg == "--failure-mode") {
+            try {
+                opt.failure_mode = ft::parseFailureMode(value());
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "--failure-mode: %s\n", e.what());
+                return false;
+            }
         } else if (arg == "--s3") {
             opt.s3 = true;
         } else if (arg == "--top") {
@@ -199,6 +221,8 @@ runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
     config.seed = opt.seed;
     config.s3_when_drained = opt.s3;
     config.num_exec_threads = opt.threads;
+    config.fault_plan = opt.fault_plan;
+    config.failure_mode = opt.failure_mode;
     sim::Cluster cluster(opt.cluster == "atom60"
                              ? sim::ClusterConfig::atom60()
                              : sim::ClusterConfig::xeon10());
@@ -318,6 +342,8 @@ main(int argc, char** argv)
         config.seed = opt.seed;
         config.s3_when_drained = opt.s3;
         config.num_exec_threads = opt.threads;
+        config.fault_plan = opt.fault_plan;
+        config.failure_mode = opt.failure_mode;
         mr::JobResult result =
             opt.precise
                 ? runner.runPrecise(
@@ -345,6 +371,8 @@ main(int argc, char** argv)
             apps::FrameEncoderApp::jobConfig(frames, opt.reducers);
         config.seed = opt.seed;
         config.num_exec_threads = opt.threads;
+        config.fault_plan = opt.fault_plan;
+        config.failure_mode = opt.failure_mode;
         mr::JobResult result = runner.runUserDefined(
             config, opt.approx, apps::FrameEncoderApp::mapperFactory(),
             apps::FrameEncoderApp::reducerFactory());
