@@ -10,9 +10,14 @@
  *   absorb     — failed tasks become dropped clusters; the CI widens
  *                instead of the job re-running work
  *
+ * Two sweeps share the harness: map-crash probability under both
+ * recovery policies, and shuffle-corruption rate x heartbeat detection
+ * timeout (a corrupted fetch that exhausts its refetch budget forces a
+ * map re-execution whose cost includes the detection latency).
+ *
  * Emits BENCH_fault_recovery.json (in the working directory) with one
- * entry per (mode, crash probability) cell, plus the usual table on
- * stdout.
+ * entry per (mode, crash, corrupt, timeout) cell, plus the usual table
+ * on stdout.
  *
  * Usage:
  *   bench_fault_recovery            full workload (744 blocks x 200)
@@ -42,18 +47,32 @@ struct Cell
 {
     std::string mode;
     double crash_prob = 0.0;
+    double corrupt_prob = 0.0;
+    double task_timeout_ms = -1.0;  // <0: JobConfig default
     double runtime = 0.0;
     double actual_error = 0.0;
     double target_met = 0.0;  // 1.0 when actual <= target
     uint64_t attempts_failed = 0;
     uint64_t maps_retried = 0;
     uint64_t maps_absorbed = 0;
+    uint64_t chunks_corrupted = 0;
+    uint64_t chunk_refetches = 0;
+    uint64_t outputs_lost = 0;
+    uint64_t timeouts_detected = 0;
+    double detection_wait_seconds = 0.0;
     double wasted_attempt_seconds = 0.0;
+};
+
+struct FaultSpec
+{
+    double crash_prob = 0.0;
+    double corrupt_prob = 0.0;
+    double task_timeout_ms = -1.0;  // <0: JobConfig default
 };
 
 Cell
 runCell(const hdfs::BlockDataset& log, uint64_t entries_per_block,
-        const mr::JobResult& precise, double target, double crash_prob,
+        const mr::JobResult& precise, double target, const FaultSpec& fault,
         ft::FailureMode mode, const char* label)
 {
     sim::Cluster cluster(sim::ClusterConfig::xeon10());
@@ -62,9 +81,13 @@ runCell(const hdfs::BlockDataset& log, uint64_t entries_per_block,
 
     mr::JobConfig config =
         apps::logProcessingConfig("ProjectPopularity", entries_per_block);
-    if (crash_prob > 0.0) {
-        config.fault_plan.task_crash_prob = crash_prob;
+    if (fault.crash_prob > 0.0 || fault.corrupt_prob > 0.0) {
+        config.fault_plan.task_crash_prob = fault.crash_prob;
+        config.fault_plan.chunk_corrupt_prob = fault.corrupt_prob;
         config.fault_plan.seed = 7;
+    }
+    if (fault.task_timeout_ms >= 0.0) {
+        config.task_timeout_ms = fault.task_timeout_ms;
     }
     config.failure_mode = mode;
     // Never fail the whole job in the retry column: this harness
@@ -79,7 +102,11 @@ runCell(const hdfs::BlockDataset& log, uint64_t entries_per_block,
 
     Cell cell;
     cell.mode = label;
-    cell.crash_prob = crash_prob;
+    cell.crash_prob = fault.crash_prob;
+    cell.corrupt_prob = fault.corrupt_prob;
+    cell.task_timeout_ms =
+        fault.task_timeout_ms >= 0.0 ? fault.task_timeout_ms
+                                     : config.task_timeout_ms;
     cell.runtime = result.runtime;
     cell.actual_error =
         result.headlineErrorAgainst(precise).actual_relative_error;
@@ -87,6 +114,11 @@ runCell(const hdfs::BlockDataset& log, uint64_t entries_per_block,
     cell.attempts_failed = result.counters.map_attempts_failed;
     cell.maps_retried = result.counters.maps_retried;
     cell.maps_absorbed = result.counters.maps_absorbed;
+    cell.chunks_corrupted = result.counters.chunks_corrupted;
+    cell.chunk_refetches = result.counters.chunk_refetches;
+    cell.outputs_lost = result.counters.map_outputs_lost;
+    cell.timeouts_detected = result.counters.timeouts_detected;
+    cell.detection_wait_seconds = result.counters.detection_wait_seconds;
     cell.wasted_attempt_seconds = result.counters.wasted_attempt_seconds;
     return cell;
 }
@@ -108,16 +140,25 @@ writeJson(const std::vector<Cell>& cells, double target,
         std::fprintf(
             f,
             "    {\"mode\": \"%s\", \"crash_prob\": %g, "
+            "\"corrupt_prob\": %g, \"task_timeout_ms\": %g, "
             "\"runtime_s\": %.3f, \"actual_error\": %.6f, "
             "\"target_met\": %s, \"attempts_failed\": %llu, "
             "\"maps_retried\": %llu, \"maps_absorbed\": %llu, "
+            "\"chunks_corrupted\": %llu, \"chunk_refetches\": %llu, "
+            "\"outputs_lost\": %llu, \"timeouts_detected\": %llu, "
+            "\"detection_wait_seconds\": %.3f, "
             "\"wasted_attempt_seconds\": %.3f}%s\n",
-            c.mode.c_str(), c.crash_prob, c.runtime, c.actual_error,
+            c.mode.c_str(), c.crash_prob, c.corrupt_prob,
+            c.task_timeout_ms, c.runtime, c.actual_error,
             c.target_met > 0.5 ? "true" : "false",
             static_cast<unsigned long long>(c.attempts_failed),
             static_cast<unsigned long long>(c.maps_retried),
             static_cast<unsigned long long>(c.maps_absorbed),
-            c.wasted_attempt_seconds,
+            static_cast<unsigned long long>(c.chunks_corrupted),
+            static_cast<unsigned long long>(c.chunk_refetches),
+            static_cast<unsigned long long>(c.outputs_lost),
+            static_cast<unsigned long long>(c.timeouts_detected),
+            c.detection_wait_seconds, c.wasted_attempt_seconds,
             i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -159,37 +200,71 @@ main(int argc, char** argv)
     std::vector<double> crash_probs =
         smoke ? std::vector<double>{0.1}
               : std::vector<double>{0.02, 0.05, 0.1, 0.2};
+    std::vector<double> corrupt_probs =
+        smoke ? std::vector<double>{0.3}
+              : std::vector<double>{0.05, 0.1, 0.2, 0.3};
+    std::vector<double> timeouts_ms =
+        smoke ? std::vector<double>{1000.0, 30000.0}
+              : std::vector<double>{1000.0, 10000.0, 30000.0};
+    // A fixed low crash rate rides along with the corruption sweep:
+    // losing an output to corruption costs only a refetch + rerun, but
+    // the rerun is itself exposed to crashes, whose cost scales with
+    // the detection timeout — that interaction is the sweep's subject.
+    const double kSweepCrashProb = 0.05;
 
     benchutil::printTitle(
         "fault-recovery",
-        smoke ? "time to 2% target error under map crashes (smoke)"
-              : "time to 2% target error under map crashes");
-    std::printf("%11s %8s %9s %11s %8s %8s %8s %10s\n", "mode", "crash",
-                "runtime", "actual err", "failed", "retried", "absorbed",
+        smoke
+            ? "time to 2% target error under injected faults (smoke)"
+            : "time to 2% target error under injected faults");
+    std::printf("%11s %8s %8s %9s %9s %11s %8s %8s %8s %8s %10s\n",
+                "mode", "crash", "corrupt", "timeout", "runtime",
+                "actual err", "failed", "retried", "absorbed", "lost",
                 "wasted s");
 
     std::vector<Cell> cells;
     cells.push_back(runCell(*log, params.entries_per_block, precise,
-                            target, 0.0, ft::FailureMode::kRetry,
+                            target, FaultSpec{}, ft::FailureMode::kRetry,
                             "fault-free"));
     for (double p : crash_probs) {
+        FaultSpec fault;
+        fault.crash_prob = p;
         cells.push_back(runCell(*log, params.entries_per_block, precise,
-                                target, p, ft::FailureMode::kRetry,
+                                target, fault, ft::FailureMode::kRetry,
                                 "retry"));
         cells.push_back(runCell(*log, params.entries_per_block, precise,
-                                target, p, ft::FailureMode::kAbsorb,
+                                target, fault, ft::FailureMode::kAbsorb,
                                 "absorb"));
+    }
+    // Corruption rate x detection timeout sweep: runtime should climb
+    // along both axes in retry mode while absorb stays flat (lost
+    // outputs become dropped clusters instead of re-executions).
+    for (double q : corrupt_probs) {
+        for (double timeout : timeouts_ms) {
+            FaultSpec fault;
+            fault.crash_prob = kSweepCrashProb;
+            fault.corrupt_prob = q;
+            fault.task_timeout_ms = timeout;
+            cells.push_back(runCell(*log, params.entries_per_block,
+                                    precise, target, fault,
+                                    ft::FailureMode::kRetry, "retry"));
+            cells.push_back(runCell(*log, params.entries_per_block,
+                                    precise, target, fault,
+                                    ft::FailureMode::kAbsorb, "absorb"));
+        }
     }
 
     bool all_met = true;
     for (const Cell& c : cells) {
-        std::printf("%11s %7.0f%% %8.0fs %10.2f%% %8llu %8llu %8llu "
-                    "%10.0f\n",
-                    c.mode.c_str(), 100.0 * c.crash_prob, c.runtime,
-                    100.0 * c.actual_error,
+        std::printf("%11s %7.0f%% %7.0f%% %8.0fs %8.0fs %10.2f%% %8llu "
+                    "%8llu %8llu %8llu %10.0f\n",
+                    c.mode.c_str(), 100.0 * c.crash_prob,
+                    100.0 * c.corrupt_prob, c.task_timeout_ms / 1000.0,
+                    c.runtime, 100.0 * c.actual_error,
                     static_cast<unsigned long long>(c.attempts_failed),
                     static_cast<unsigned long long>(c.maps_retried),
                     static_cast<unsigned long long>(c.maps_absorbed),
+                    static_cast<unsigned long long>(c.outputs_lost),
                     c.wasted_attempt_seconds);
         all_met = all_met && c.target_met > 0.5;
     }

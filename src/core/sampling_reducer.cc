@@ -1,9 +1,12 @@
 #include "core/sampling_reducer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
+#include "integrity/blob.h"
 #include "mapreduce/combiner.h"
 #include "stats/moments.h"
 #include "stats/student_t.h"
@@ -337,6 +340,126 @@ MultiStageSamplingReducer::finalize(mr::ReduceContext& ctx)
         }
         ctx.write(std::move(rec));
     }
+}
+
+bool
+MultiStageSamplingReducer::checkpoint(std::string& state) const
+{
+    integrity::BlobWriter w;
+    w.putU64(static_cast<uint64_t>(op_));
+    w.putDouble(confidence_);
+    w.putU64(clusters_);
+
+    w.putU64(sums_.size());
+    for (const auto& [key, agg] : sums_) {
+        w.putString(key);
+        w.putU64(agg.emitted_clusters);
+        w.putU64(agg.records);
+        w.putDouble(agg.sum_tau);
+        w.putDouble(agg.sum_tau_sq);
+        w.putDouble(agg.within);
+        w.putDouble(agg.sum_intra_variance);
+    }
+
+    w.putU64(cluster_sizes_.size());
+    for (const auto& [total, processed] : cluster_sizes_) {
+        w.putU64(total);
+        w.putU64(processed);
+    }
+
+    w.putU64(ratio_data_.size());
+    for (const auto& [key, per_cluster] : ratio_data_) {
+        w.putString(key);
+        // The inner map is unordered; serialize sorted by cluster id so
+        // the blob (and anything hashed over it) is deterministic.
+        std::vector<uint64_t> ids;
+        ids.reserve(per_cluster.size());
+        for (const auto& [id, sample] : per_cluster) {
+            ids.push_back(id);
+        }
+        std::sort(ids.begin(), ids.end());
+        w.putU64(ids.size());
+        for (uint64_t id : ids) {
+            const stats::RatioClusterSample& s = per_cluster.at(id);
+            w.putU64(id);
+            w.putU64(s.units_total);
+            w.putU64(s.units_sampled);
+            w.putDouble(s.sum_y);
+            w.putDouble(s.sum_squares_y);
+            w.putDouble(s.sum_x);
+            w.putDouble(s.sum_squares_x);
+            w.putDouble(s.sum_xy);
+        }
+    }
+
+    state = w.release();
+    return true;
+}
+
+bool
+MultiStageSamplingReducer::restore(const std::string& state)
+{
+    integrity::BlobReader r(state);
+    Op op = static_cast<Op>(r.getU64());
+    double confidence = r.getDouble();
+    if (op != op_ || confidence != confidence_) {
+        throw std::runtime_error(
+            "sampling reducer checkpoint: op/confidence mismatch");
+    }
+    uint64_t clusters = r.getU64();
+
+    std::map<std::string, SumAggregate> sums;
+    uint64_t num_sums = r.getU64();
+    for (uint64_t i = 0; i < num_sums; ++i) {
+        std::string key = r.getString();
+        SumAggregate agg;
+        agg.emitted_clusters = r.getU64();
+        agg.records = r.getU64();
+        agg.sum_tau = r.getDouble();
+        agg.sum_tau_sq = r.getDouble();
+        agg.within = r.getDouble();
+        agg.sum_intra_variance = r.getDouble();
+        sums.emplace(std::move(key), agg);
+    }
+
+    std::vector<std::pair<uint64_t, uint64_t>> cluster_sizes;
+    uint64_t num_clusters = r.getU64();
+    cluster_sizes.reserve(num_clusters);
+    for (uint64_t i = 0; i < num_clusters; ++i) {
+        uint64_t total = r.getU64();
+        uint64_t processed = r.getU64();
+        cluster_sizes.emplace_back(total, processed);
+    }
+
+    std::map<std::string,
+             std::unordered_map<uint64_t, stats::RatioClusterSample>>
+        ratio_data;
+    uint64_t num_ratio_keys = r.getU64();
+    for (uint64_t i = 0; i < num_ratio_keys; ++i) {
+        std::string key = r.getString();
+        uint64_t count = r.getU64();
+        auto& per_cluster = ratio_data[key];
+        per_cluster.reserve(count);
+        for (uint64_t c = 0; c < count; ++c) {
+            uint64_t id = r.getU64();
+            stats::RatioClusterSample s;
+            s.units_total = r.getU64();
+            s.units_sampled = r.getU64();
+            s.sum_y = r.getDouble();
+            s.sum_squares_y = r.getDouble();
+            s.sum_x = r.getDouble();
+            s.sum_squares_x = r.getDouble();
+            s.sum_xy = r.getDouble();
+            per_cluster.emplace(id, s);
+        }
+    }
+    r.expectEnd();
+
+    clusters_ = clusters;
+    sums_ = std::move(sums);
+    cluster_sizes_ = std::move(cluster_sizes);
+    ratio_data_ = std::move(ratio_data);
+    return true;
 }
 
 }  // namespace approxhadoop::core

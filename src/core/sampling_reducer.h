@@ -56,6 +56,14 @@ class MultiStageSamplingReducer : public ErrorBoundedReducer
     void consume(const mr::MapOutputChunk& chunk) override;
     void finalize(mr::ReduceContext& ctx) override;
 
+    /**
+     * Serializes the folded estimator state (cluster count, per-key
+     * aggregates, cluster roster, ratio samples) with bit-exact doubles:
+     * a restored reducer produces bit-identical estimates and CIs.
+     */
+    bool checkpoint(std::string& state) const override;
+    bool restore(const std::string& state) override;
+
     std::vector<KeyEstimate>
     currentEstimates(uint64_t total_clusters) const override;
 

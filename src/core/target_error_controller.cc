@@ -154,6 +154,23 @@ TargetErrorController::solve(const mr::JobHandle& job,
     Plan best;
     best.feasible = false;
 
+    // Failure-aware cost: under fault injection a map has probability p
+    // of needing a retry, and each retry costs heartbeat detection
+    // latency (the tracker only learns of the death after the task
+    // timeout expires) plus the recovery backoff before re-execution.
+    // Expected extra time per map: p/(1-p) * (detection + backoff).
+    // Recorded on the plan even when no candidate is feasible: the
+    // overhead is a property of the observed failure process, not of
+    // the chosen plan.
+    double failure_overhead = 0.0;
+    double p = job.attemptFailureRate();
+    if (p > 0.0 && p < 1.0) {
+        failure_overhead = p / (1.0 - p) *
+                           (job.failureDetectionDelaySeconds() +
+                            job.typicalRetryBackoffSeconds());
+    }
+    best.failure_overhead = failure_overhead;
+
     uint64_t total = job.numMapTasks();
     uint64_t completed = job.completedMaps();
     uint64_t running = job.runningMaps();
@@ -248,7 +265,8 @@ TargetErrorController::solve(const mr::JobHandle& job,
         }
         double m = static_cast<double>(lo);
         double ret = static_cast<double>(n2) *
-                     (fit.t0 + mean_items * fit.t_read + m * fit.t_process);
+                     (fit.t0 + mean_items * fit.t_read +
+                      m * fit.t_process + failure_overhead);
         if (ret < best.predicted_ret) {
             best.feasible = true;
             best.maps_to_run = n2;

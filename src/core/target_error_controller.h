@@ -70,6 +70,13 @@ class TargetErrorController : public mr::JobController
         double sampling_ratio = 1.0;
         /** Predicted remaining execution time (the objective). */
         double predicted_ret = 0.0;
+        /**
+         * Expected per-map failure overhead folded into predicted_ret:
+         * p/(1-p) retries each costing heartbeat detection latency plus
+         * retry backoff, with p the observed attempt failure rate. Zero
+         * until a failure has been observed.
+         */
+        double failure_overhead = 0.0;
         /** False when no plan meets the target (run everything). */
         bool feasible = false;
     };

@@ -5,6 +5,17 @@
 
 namespace approxhadoop::ft {
 
+namespace {
+
+// Salts keeping the corruption / bad-record / reduce-crash streams
+// disjoint from each other and from the map-attempt stream (which must
+// stay byte-stable: tests pin fault patterns across revisions).
+constexpr uint64_t kCorruptSalt = 0xC0221791C0221791ULL;
+constexpr uint64_t kBadRecordSalt = 0xBADCAFEBADCAFE01ULL;
+constexpr uint64_t kReduceSalt = 0x2ED0C5ED2ED0C5EDULL;
+
+}  // namespace
+
 FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t job_seed)
     : plan_(plan),
       root_seed_(splitmix64(job_seed ^ 0xFA17F417FA17F417ULL) ^
@@ -34,6 +45,48 @@ FaultInjector::attemptFate(uint64_t task_id, uint64_t attempt_index) const
             slowdown *= rng.lognormal(0.0, plan_.straggler_sigma);
         }
         fate.slowdown = std::max(1.0, slowdown);
+    }
+    return fate;
+}
+
+bool
+FaultInjector::chunkCorrupted(uint64_t task_id, uint32_t partition,
+                              uint64_t fetch) const
+{
+    if (plan_.chunk_corrupt_prob <= 0.0) {
+        return false;
+    }
+    Rng rng = Rng(root_seed_ ^ kCorruptSalt)
+                  .derive(splitmix64(task_id * 0x9E3779B97F4A7C15ULL +
+                                     partition) +
+                          fetch);
+    return rng.bernoulli(plan_.chunk_corrupt_prob);
+}
+
+bool
+FaultInjector::recordBad(uint64_t task_id, uint64_t item_index) const
+{
+    if (plan_.bad_record_prob <= 0.0) {
+        return false;
+    }
+    Rng rng = Rng(root_seed_ ^ kBadRecordSalt)
+                  .derive(splitmix64(task_id) + item_index);
+    return rng.bernoulli(plan_.bad_record_prob);
+}
+
+FaultInjector::ReduceAttemptFate
+FaultInjector::reduceAttemptFate(uint64_t reducer_id,
+                                 uint64_t attempt_index) const
+{
+    ReduceAttemptFate fate;
+    if (plan_.reduce_crash_prob <= 0.0) {
+        return fate;
+    }
+    Rng rng = Rng(root_seed_ ^ kReduceSalt)
+                  .derive(reducer_id * 0x10001ULL + attempt_index);
+    if (rng.bernoulli(plan_.reduce_crash_prob)) {
+        fate.crashes = true;
+        fate.crash_fraction = rng.uniform(0.05, 0.95);
     }
     return fate;
 }

@@ -47,12 +47,46 @@ class FaultInjector
 
     const FaultPlan& plan() const { return plan_; }
 
+    /** What happens to one reduce-task attempt. */
+    struct ReduceAttemptFate
+    {
+        /** The attempt crashes before finalize. */
+        bool crashes = false;
+        /**
+         * Fraction of the job's map tasks whose chunks the attempt
+         * manages to consume before crashing, in (0, 1).
+         */
+        double crash_fraction = 0.5;
+    };
+
     /**
      * Fate of attempt @p attempt_index of task @p task_id. Deterministic
      * and side-effect free: calling it twice, in any order relative to
      * other (task, attempt) pairs, returns identical results.
      */
     AttemptFate attemptFate(uint64_t task_id, uint64_t attempt_index) const;
+
+    /**
+     * Whether fetch number @p fetch of map task @p task_id's chunk for
+     * reduce partition @p partition arrives corrupted. Each refetch
+     * (incrementing @p fetch) rolls independently, so a corrupt first
+     * fetch can be repaired by refetching from the retained map output.
+     * Pure function of its arguments — query-order independent.
+     */
+    bool chunkCorrupted(uint64_t task_id, uint32_t partition,
+                        uint64_t fetch) const;
+
+    /**
+     * Whether sampled item @p item_index of map task @p task_id is a
+     * bad record the mapper must skip. Pure and order-independent, so
+     * re-executions of the task skip the identical records.
+     */
+    bool recordBad(uint64_t task_id, uint64_t item_index) const;
+
+    /** Fate of reduce attempt @p attempt_index of partition
+     *  @p reducer_id; pure and order-independent. */
+    ReduceAttemptFate reduceAttemptFate(uint64_t reducer_id,
+                                        uint64_t attempt_index) const;
 
   private:
     FaultPlan plan_;

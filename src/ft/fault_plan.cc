@@ -1,7 +1,10 @@
 #include "ft/fault_plan.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <stdexcept>
 
 namespace approxhadoop::ft {
@@ -35,6 +38,10 @@ parseDouble(const std::string& token, const char* what)
         throw std::invalid_argument(std::string("fault plan: bad ") + what +
                                     " '" + token + "'");
     }
+    if (!std::isfinite(v)) {
+        throw std::invalid_argument(std::string("fault plan: ") + what +
+                                    " '" + token + "' must be finite");
+    }
     return v;
 }
 
@@ -42,11 +49,32 @@ double
 parseProbability(const std::string& token, const char* what)
 {
     double p = parseDouble(token, what);
-    if (p < 0.0 || p > 1.0) {
+    // Written as a negated range check so NaN (every comparison false)
+    // cannot slip through.
+    if (!(p >= 0.0 && p <= 1.0)) {
         throw std::invalid_argument(std::string("fault plan: ") + what +
-                                    " must be in [0, 1]");
+                                    " must be in [0, 1], got '" + token +
+                                    "'");
     }
     return p;
+}
+
+uint64_t
+parseSeed(const std::string& token)
+{
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+        throw std::invalid_argument("fault plan: bad seed '" + token +
+                                    "' (want a non-negative integer)");
+    }
+    errno = 0;
+    char* end = nullptr;
+    uint64_t v = std::strtoull(token.c_str(), &end, 10);
+    if (errno == ERANGE || end != token.c_str() + token.size()) {
+        throw std::invalid_argument("fault plan: seed '" + token +
+                                    "' out of range");
+    }
+    return v;
 }
 
 }  // namespace
@@ -54,8 +82,9 @@ parseProbability(const std::string& token, const char* what)
 bool
 FaultPlan::enabled() const
 {
-    return task_crash_prob > 0.0 || straggler_prob > 0.0 ||
-           !server_crashes.empty();
+    return task_crash_prob > 0.0 || chunk_corrupt_prob > 0.0 ||
+           bad_record_prob > 0.0 || reduce_crash_prob > 0.0 ||
+           straggler_prob > 0.0 || !server_crashes.empty();
 }
 
 FaultPlan
@@ -65,6 +94,7 @@ FaultPlan::parse(const std::string& spec)
     if (spec.empty()) {
         return plan;
     }
+    std::set<std::string> seen;
     for (const std::string& clause : split(spec, ',')) {
         size_t eq = clause.find('=');
         if (eq == std::string::npos) {
@@ -73,9 +103,24 @@ FaultPlan::parse(const std::string& spec)
         }
         std::string key = clause.substr(0, eq);
         std::string value = clause.substr(eq + 1);
+        // `server` may legitimately repeat (several scheduled crashes);
+        // for every other key a repeat is a spec mistake, not a merge.
+        if (key != "server" && !seen.insert(key).second) {
+            throw std::invalid_argument("fault plan: duplicate clause '" +
+                                        key + "'");
+        }
         if (key == "crash") {
             plan.task_crash_prob =
                 parseProbability(value, "crash probability");
+        } else if (key == "corrupt") {
+            plan.chunk_corrupt_prob =
+                parseProbability(value, "corrupt probability");
+        } else if (key == "badrec") {
+            plan.bad_record_prob =
+                parseProbability(value, "badrec probability");
+        } else if (key == "rcrash") {
+            plan.reduce_crash_prob =
+                parseProbability(value, "rcrash probability");
         } else if (key == "straggler") {
             std::vector<std::string> f = split(value, ':');
             if (f.empty() || f.size() > 3) {
@@ -126,7 +171,7 @@ FaultPlan::parse(const std::string& spec)
             }
             plan.server_crashes.push_back(crash);
         } else if (key == "seed") {
-            plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+            plan.seed = parseSeed(value);
         } else {
             throw std::invalid_argument("fault plan: unknown clause '" +
                                         key + "'");
@@ -141,10 +186,12 @@ FaultPlan::summary() const
     if (!enabled()) {
         return "none";
     }
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "crash=%.3g straggler=%.3g:%.3g server-crashes=%zu",
-                  task_crash_prob, straggler_prob, straggler_factor,
+                  "crash=%.3g corrupt=%.3g badrec=%.3g rcrash=%.3g "
+                  "straggler=%.3g:%.3g server-crashes=%zu",
+                  task_crash_prob, chunk_corrupt_prob, bad_record_prob,
+                  reduce_crash_prob, straggler_prob, straggler_factor,
                   server_crashes.size());
     return buf;
 }

@@ -35,6 +35,21 @@ struct FaultPlan
     /** Probability that any single map attempt crashes mid-execution. */
     double task_crash_prob = 0.0;
 
+    /**
+     * Probability that one shuffle-chunk fetch arrives corrupted (per
+     * chunk per fetch; a refetch rolls independently). Detected by the
+     * reduce-side checksum verification in src/integrity/.
+     */
+    double chunk_corrupt_prob = 0.0;
+
+    /** Probability that any single input record is bad and must be
+     *  skipped by the mapper (Hadoop's skip-bad-records, bounded). */
+    double bad_record_prob = 0.0;
+
+    /** Probability that a reduce attempt crashes mid-delivery and must
+     *  restart from its last checkpoint. */
+    double reduce_crash_prob = 0.0;
+
     /** Probability that an attempt is slowed down as an injected
      *  straggler (on top of the cost model's own straggler machinery). */
     double straggler_prob = 0.0;
@@ -62,11 +77,19 @@ struct FaultPlan
      * Parses a command-line plan spec: comma-separated clauses
      *
      *   crash=P            per-attempt crash probability
+     *   corrupt=P          per-fetch shuffle-chunk corruption probability
+     *   badrec=P           per-record bad-input probability
+     *   rcrash=P           per-attempt reduce crash probability
      *   straggler=P:F[:S]  probability, factor, optional lognormal sigma
      *   server=ID@T[+D]    crash server ID at time T, repaired after D s
      *   seed=S             fault-stream seed
      *
-     * e.g. "crash=0.05,straggler=0.1:4,server=3@120+60".
+     * e.g. "crash=0.05,corrupt=0.05,rcrash=0.1,server=3@120+60".
+     *
+     * Malformed specs are rejected loudly rather than silently
+     * accepted: NaN/negative/>1 probabilities, trailing garbage after a
+     * number, and duplicate keys (except `server`, which may repeat)
+     * all throw.
      *
      * @throws std::invalid_argument on malformed input
      */

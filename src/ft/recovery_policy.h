@@ -63,6 +63,14 @@ struct RecoveryPolicy
     double auto_absorb_cap = 0.25;
 
     /**
+     * Refetches of a shuffle chunk whose checksum verification failed,
+     * before the map output is declared lost and the producing task is
+     * re-executed or absorbed (Hadoop's fetch-failure retries, scaled to
+     * one shuffle hop).
+     */
+    uint32_t shuffle_fetch_retries = 1;
+
+    /**
      * Backoff before re-attempt number (@p failed_attempts + 1):
      * min(backoff_cap, backoff_initial * backoff_factor^(failed-1)).
      *

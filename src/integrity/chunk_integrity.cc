@@ -1,0 +1,64 @@
+#include "integrity/chunk_integrity.h"
+
+#include <cstring>
+
+#include "integrity/checksum.h"
+
+namespace approxhadoop::integrity {
+
+namespace {
+
+/** Fixed hash seed: chunk digests are stable across jobs and replays. */
+constexpr uint64_t kChunkHashSeed = 0x5CA1AB1E0DDBA11ULL;
+
+}  // namespace
+
+uint64_t
+chunkChecksum(const mr::MapOutputChunk& chunk)
+{
+    Hasher64 h(kChunkHashSeed);
+    h.update(chunk.map_task);
+    h.update(chunk.items_total);
+    h.update(chunk.items_processed);
+    h.update(chunk.records_skipped);
+    h.update(static_cast<uint64_t>(chunk.records.size()));
+    for (const mr::KeyValue& kv : chunk.records) {
+        h.update(kv.key);
+        h.update(kv.value);
+        h.update(kv.value2);
+        h.update(kv.value3);
+        h.update(kv.value4);
+    }
+    return h.digest();
+}
+
+void
+stampChunk(mr::MapOutputChunk& chunk)
+{
+    chunk.checksum = chunkChecksum(chunk);
+}
+
+bool
+verifyChunk(const mr::MapOutputChunk& chunk)
+{
+    return chunk.checksum == chunkChecksum(chunk);
+}
+
+void
+corruptChunk(mr::MapOutputChunk& chunk, Rng& rng)
+{
+    if (chunk.records.empty()) {
+        // Nothing in the payload to damage; corrupt the sampling
+        // metadata instead (still checksum-covered).
+        chunk.items_processed ^= 1ULL << rng.uniformInt(16);
+        return;
+    }
+    size_t idx = static_cast<size_t>(rng.uniformInt(chunk.records.size()));
+    mr::KeyValue& kv = chunk.records[idx];
+    uint64_t bits = 0;
+    std::memcpy(&bits, &kv.value, sizeof(bits));
+    bits ^= 1ULL << rng.uniformInt(64);
+    std::memcpy(&kv.value, &bits, sizeof(bits));
+}
+
+}  // namespace approxhadoop::integrity

@@ -1,0 +1,34 @@
+#ifndef APPROXHADOOP_INTEGRITY_CHUNK_INTEGRITY_H_
+#define APPROXHADOOP_INTEGRITY_CHUNK_INTEGRITY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "mapreduce/reducer.h"
+
+namespace approxhadoop::integrity {
+
+/**
+ * Digest over a shuffle chunk's serialized records and sampling
+ * metadata (map task id, M_i, m_i, skipped-record count). The chunk's
+ * own `checksum` field is excluded, so stamping is idempotent.
+ */
+uint64_t chunkChecksum(const mr::MapOutputChunk& chunk);
+
+/** Computes and stores the chunk's checksum. */
+void stampChunk(mr::MapOutputChunk& chunk);
+
+/** True when the stored checksum matches the recomputed digest. */
+bool verifyChunk(const mr::MapOutputChunk& chunk);
+
+/**
+ * Simulates in-flight corruption of one fetched chunk copy: flips a
+ * single bit of a record value (or, for empty chunks, perturbs the
+ * metadata) chosen by @p rng. The damage is always visible to
+ * verifyChunk() because the checksum covers every mutated field.
+ */
+void corruptChunk(mr::MapOutputChunk& chunk, Rng& rng);
+
+}  // namespace approxhadoop::integrity
+
+#endif  // APPROXHADOOP_INTEGRITY_CHUNK_INTEGRITY_H_

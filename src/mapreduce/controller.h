@@ -85,6 +85,26 @@ class JobHandle
     /** Sampling ratio that not-yet-started tasks will run at. */
     double pendingSamplingRatio() const;
 
+    /**
+     * Expected delay between an attempt crashing and the JobTracker
+     * declaring it dead, seconds: the configured task timeout plus half
+     * a heartbeat interval (the mean residual until the last heartbeat).
+     * 0 when detection is instantaneous (task_timeout_ms <= 0).
+     * Controllers fold this into end-of-job time predictions — a retry
+     * cannot begin before the failure is even detected.
+     */
+    double failureDetectionDelaySeconds() const;
+
+    /**
+     * Observed fraction of map attempts that failed so far:
+     * failed / (failed + completed); 0 before any failure. The
+     * target-error controller uses it to extrapolate retry overhead.
+     */
+    double attemptFailureRate() const;
+
+    /** First-retry backoff delay from the job's RecoveryPolicy. */
+    double typicalRetryBackoffSeconds() const;
+
   private:
     Job& job_;
 };

@@ -19,7 +19,9 @@ bool
 Counters::anyFaults() const
 {
     return map_attempts_failed > 0 || maps_retried > 0 ||
-           maps_absorbed > 0 || server_crashes > 0;
+           maps_absorbed > 0 || server_crashes > 0 ||
+           chunks_corrupted > 0 || bad_records_skipped > 0 ||
+           reduce_attempts_failed > 0 || timeouts_detected > 0;
 }
 
 double
@@ -60,7 +62,7 @@ Counters::faultSummary() const
     if (!anyFaults()) {
         return "";
     }
-    char buf[256];
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "attempts_failed=%llu retried=%llu absorbed=%llu "
                   "speculated=%llu server_crashes=%llu wasted=%.1fs",
@@ -70,7 +72,34 @@ Counters::faultSummary() const
                   static_cast<unsigned long long>(maps_speculated),
                   static_cast<unsigned long long>(server_crashes),
                   wasted_attempt_seconds);
-    return buf;
+    std::string line = buf;
+    if (chunks_corrupted > 0 || bad_records_skipped > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      " corrupt_chunks=%llu refetches=%llu "
+                      "outputs_lost=%llu bad_records=%llu",
+                      static_cast<unsigned long long>(chunks_corrupted),
+                      static_cast<unsigned long long>(chunk_refetches),
+                      static_cast<unsigned long long>(map_outputs_lost),
+                      static_cast<unsigned long long>(bad_records_skipped));
+        line += buf;
+    }
+    if (reduce_attempts_failed > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " reduce_failed=%llu checkpoints=%llu replayed=%llu",
+            static_cast<unsigned long long>(reduce_attempts_failed),
+            static_cast<unsigned long long>(reducer_checkpoints),
+            static_cast<unsigned long long>(chunks_replayed));
+        line += buf;
+    }
+    if (timeouts_detected > 0) {
+        std::snprintf(
+            buf, sizeof(buf), " timeouts=%llu detect_wait=%.1fs",
+            static_cast<unsigned long long>(timeouts_detected),
+            detection_wait_seconds);
+        line += buf;
+    }
+    return line;
 }
 
 }  // namespace approxhadoop::mr

@@ -34,6 +34,31 @@ struct Counters
      */
     double wasted_attempt_seconds = 0.0;
 
+    // --- data integrity (src/integrity/) ---
+    /** Shuffle-chunk fetches that failed checksum verification. */
+    uint64_t chunks_corrupted = 0;
+    /** Refetches issued after a corrupt fetch (successful or not). */
+    uint64_t chunk_refetches = 0;
+    /** Map outputs lost to corruption after refetch exhaustion (the
+     *  task then re-executes or is absorbed as a dropped cluster). */
+    uint64_t map_outputs_lost = 0;
+    /** Bad input records skipped by mappers (skip-bad-records). */
+    uint64_t bad_records_skipped = 0;
+
+    // --- reduce-side recovery ---
+    /** Reduce attempts that crashed and restarted from a checkpoint. */
+    uint64_t reduce_attempts_failed = 0;
+    /** Checkpoints taken across all reducers. */
+    uint64_t reducer_checkpoints = 0;
+    /** Retained chunks replayed into restarted reduce attempts. */
+    uint64_t chunks_replayed = 0;
+
+    // --- heartbeat failure detection ---
+    /** Dead attempts declared via heartbeat-timeout expiry. */
+    uint64_t timeouts_detected = 0;
+    /** Simulated seconds between crashes and their detection. */
+    double detection_wait_seconds = 0.0;
+
     /** T: items in the whole input (the population size). */
     uint64_t items_total = 0;
     /** Items scanned by completed maps (read cost is paid for these). */

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "integrity/chunk_integrity.h"
 
 namespace approxhadoop::mr {
 
@@ -218,6 +219,37 @@ JobHandle::pendingSamplingRatio() const
     return job_.pending_sampling_ratio_;
 }
 
+double
+JobHandle::failureDetectionDelaySeconds() const
+{
+    if (job_.config_.task_timeout_ms <= 0.0) {
+        return 0.0;
+    }
+    // Timeout counts from the last heartbeat the tracker received; on
+    // average the crash lands half an interval after it.
+    double hb = std::max(0.0, job_.config_.heartbeat_interval_ms);
+    return (job_.config_.task_timeout_ms + 0.5 * hb) / 1000.0;
+}
+
+double
+JobHandle::attemptFailureRate() const
+{
+    uint64_t failed = job_.counters_.map_attempts_failed +
+                      job_.counters_.map_outputs_lost;
+    if (failed == 0) {
+        return 0.0;
+    }
+    uint64_t done = job_.counters_.maps_completed;
+    return static_cast<double>(failed) /
+           static_cast<double>(failed + done);
+}
+
+double
+JobHandle::typicalRetryBackoffSeconds() const
+{
+    return job_.config_.recovery.backoffDelay(1);
+}
+
 // ---------------------------------------------------------------------------
 // Job: setup
 // ---------------------------------------------------------------------------
@@ -367,6 +399,22 @@ Job::placeReducers()
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
         reducers_.push_back(reducer_factory_());
     }
+
+    // Reduce-side fault tolerance: take a pristine checkpoint of every
+    // reducer that supports state capture, and arm the first injected
+    // crash. Reducers without checkpoint support never crash (the
+    // framework cannot roll their state back).
+    reduce_exec_.assign(config_.num_reducers, ReduceExec{});
+    reduce_ft_ = injector_.plan().reduce_crash_prob > 0.0;
+    if (reduce_ft_) {
+        for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+            ReduceExec& rx = reduce_exec_[r];
+            rx.supported = reducers_[r]->checkpoint(rx.state);
+            if (rx.supported) {
+                armReduceCrash(r);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -515,11 +563,13 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
         attempt.cost.straggler = true;
     }
     if (fate.crashes) {
-        // The attempt dies partway through; its slot is held until then.
+        // The attempt dies partway through. Its slot stays held and the
+        // JobTracker stays oblivious until the heartbeat timeout expires
+        // (onAttemptCrashed schedules the detection event).
         attempt.event = cluster_.events().scheduleAfter(
             attempt.cost.total * fate.crash_fraction,
             [this, task_id, attempt_index] {
-                onAttemptFailed(task_id, attempt_index);
+                onAttemptCrashed(task_id, attempt_index);
             });
     } else {
         attempt.event = cluster_.events().scheduleAfter(
@@ -622,11 +672,41 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
             cluster_.now() - exec.attempts[a].start;
     }
 
+    // Obtain the user map function's real output. In parallel mode the
+    // work was computed (or is still being computed) by the pool; get()
+    // blocks only on *this* task and rethrows any user exception here,
+    // exactly where serial mode would have thrown it.
+    std::vector<MapOutputChunk> chunks;
+    if (exec.pending_output.valid()) {
+        chunks = exec.pending_output.get();
+    } else {
+        std::unique_ptr<Mapper> mapper = mapper_factory_();
+        chunks = computeMapOutput(task_id, task.items_total,
+                                  task.approximate, std::move(mapper));
+    }
+
+    // Shuffle-transfer integrity: every chunk's checksum is verified at
+    // reduce delivery. A corrupted fetch is retried against the stored
+    // map output; if retries are exhausted the map output itself is
+    // declared lost and the task fails exactly like an attempt crash
+    // (Hadoop's "too many fetch failures" re-execution path).
+    if (!fetchVerified(task_id, chunks)) {
+        ++task.failed_attempts;
+        ++counters_.map_outputs_lost;
+        counters_.wasted_attempt_seconds += cluster_.now() - winner.start;
+        --running_count_;
+        resolveFailure(task_id);
+        return;
+    }
+
     task.state = TaskState::kCompleted;
     task.finish_time = cluster_.now();
     task.server = winner.server;
     task.local = winner.local;
-    task.items_processed = exec.sample.size();
+    task.items_processed =
+        chunks.empty() ? exec.sample.size() : chunks[0].items_processed;
+    task.records_skipped = chunks.empty() ? 0 : chunks[0].records_skipped;
+    counters_.bad_records_skipped += task.records_skipped;
     task.startup_time = winner.cost.startup;
     task.read_time = winner.cost.read;
     task.process_time = winner.cost.process;
@@ -644,19 +724,7 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     ++completed_duration_count_;
     ++wave_counts_[task.wave].second;
 
-    // Merge the user map function's real output into the shuffle. In
-    // parallel mode the work was computed (or is still being computed) by
-    // the pool; get() blocks only on *this* task and rethrows any user
-    // exception here, exactly where serial mode would have thrown it.
-    if (exec.pending_output.valid()) {
-        deliverChunks(task_id, exec.pending_output.get());
-    } else {
-        std::unique_ptr<Mapper> mapper = mapper_factory_();
-        deliverChunks(task_id,
-                      computeMapOutput(task_id, task.items_total,
-                                       task.approximate,
-                                       std::move(mapper)));
-    }
+    deliverChunks(task_id, std::move(chunks));
 
     // Refill the freed slots before notifying the controller so wave
     // indices stay contiguous.
@@ -696,6 +764,82 @@ Job::killRunningTask(uint64_t task_id)
 // ---------------------------------------------------------------------------
 // Job: failure handling (src/ft/ wiring)
 // ---------------------------------------------------------------------------
+
+sim::SimTime
+Job::detectionTime(sim::SimTime attempt_start, sim::SimTime crash_time) const
+{
+    double timeout = config_.task_timeout_ms / 1000.0;
+    if (timeout <= 0.0) {
+        return crash_time;  // oracle detection (unit-test mode)
+    }
+    double hb = config_.heartbeat_interval_ms / 1000.0;
+    sim::SimTime last_heartbeat = crash_time;
+    if (hb > 0.0) {
+        // Heartbeats tick at start + k*hb; the tracker's expiry clock
+        // restarts at the last one that made it out before the crash.
+        double periods = std::floor((crash_time - attempt_start) / hb);
+        last_heartbeat = attempt_start + periods * hb;
+    }
+    return std::max(crash_time, last_heartbeat + timeout);
+}
+
+void
+Job::onAttemptCrashed(uint64_t task_id, size_t attempt_index)
+{
+    // The attempt dies silently: its slot stays occupied, speculation
+    // still sees a "running" attempt, and nothing is rescheduled until
+    // the JobTracker's expiry timer fires. This is exactly Hadoop's
+    // failure model — workers are detected dead, never announced dead.
+    Attempt& a = exec_[task_id].attempts[attempt_index];
+    assert(!a.done && !a.crashed);
+    a.crashed = true;
+    a.crashed_at = cluster_.now();
+    sim::SimTime detect_at = detectionTime(a.start, a.crashed_at);
+    if (detect_at <= cluster_.now()) {
+        onAttemptDeclaredDead(task_id, attempt_index);
+        return;
+    }
+    a.event = cluster_.events().schedule(
+        detect_at, [this, task_id, attempt_index] {
+            onAttemptDeclaredDead(task_id, attempt_index);
+        });
+}
+
+void
+Job::onAttemptDeclaredDead(uint64_t task_id, size_t attempt_index)
+{
+    Attempt& a = exec_[task_id].attempts[attempt_index];
+    assert(!a.done && a.crashed);
+    double wait = cluster_.now() - a.crashed_at;
+    if (wait > 0.0) {
+        ++counters_.timeouts_detected;
+        counters_.detection_wait_seconds += wait;
+    }
+    onAttemptFailed(task_id, attempt_index);
+}
+
+void
+Job::onOrphanDetected(uint64_t task_id, sim::SimTime crashed_at)
+{
+    // The task's attempt died with its server; by the time the timeout
+    // expires a speculative twin may have completed the task or another
+    // detection may have resolved it already.
+    if (tasks_[task_id].state != TaskState::kRunning) {
+        return;
+    }
+    for (const Attempt& att : exec_[task_id].attempts) {
+        if (!att.done) {
+            return;  // a live twin may still complete the task
+        }
+    }
+    double wait = cluster_.now() - crashed_at;
+    if (wait > 0.0) {
+        ++counters_.timeouts_detected;
+        counters_.detection_wait_seconds += wait;
+    }
+    --running_count_;
+    resolveFailure(task_id);
+}
 
 void
 Job::failAttempt(uint64_t task_id, size_t attempt_index)
@@ -764,8 +908,9 @@ Job::resolveFailure(uint64_t task_id)
     if (!absorb && task.failed_attempts >= config_.recovery.max_attempts) {
         if (config_.failure_mode == ft::FailureMode::kRetry) {
             // Stock-Hadoop semantics: a task out of attempts fails the
-            // whole job.
-            throw std::runtime_error(
+            // whole job. Job::run() attaches the counters so callers can
+            // print the fault summary.
+            throw JobFailedError(
                 "map task " + std::to_string(task_id) + " failed " +
                 std::to_string(task.failed_attempts) +
                 " attempts (max_attempts exhausted)");
@@ -844,44 +989,56 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
     }
     ++counters_.server_crashes;
 
-    // Every in-flight attempt hosted by the dying server fails with it.
-    std::vector<std::pair<uint64_t, size_t>> affected;
+    // Every in-flight attempt hosted by the dying server dies with it.
+    // Detection, however, is heartbeat-based: the JobTracker only learns
+    // of each death once the attempt's timeout expires, so resolution
+    // (retry/absorb) is deferred to a scheduled detection event.
+    struct Orphan
+    {
+        uint64_t task;
+        size_t attempt;
+        sim::SimTime crashed_at;
+        sim::SimTime detect_at;
+    };
+    std::vector<Orphan> affected;
     for (const MapTaskInfo& task : tasks_) {
         if (task.state != TaskState::kRunning) {
             continue;
         }
         const TaskExec& exec = exec_[task.task_id];
         for (size_t a = 0; a < exec.attempts.size(); ++a) {
-            if (!exec.attempts[a].done &&
-                exec.attempts[a].server == crash.server) {
-                affected.emplace_back(task.task_id, a);
+            const Attempt& att = exec.attempts[a];
+            if (att.done || att.server != crash.server) {
+                continue;
             }
+            // An attempt that had already crashed silently keeps its
+            // original expiry clock; the server crash does not reset it.
+            sim::SimTime crashed_at =
+                att.crashed ? att.crashed_at : cluster_.now();
+            affected.push_back({task.task_id, a, crashed_at,
+                                detectionTime(att.start, crashed_at)});
         }
     }
     // Fail the attempts first so the server's map slots are free, which
     // Server::fail() asserts; reduce slots survive (reducer state is
-    // treated as checkpointed off-node, see DESIGN.md).
-    for (auto [t, a] : affected) {
-        failAttempt(t, a);
+    // checkpointed, see DESIGN.md). failAttempt also cancels any pending
+    // per-attempt detection event, so the Orphan records below are the
+    // only detectors left.
+    for (const Orphan& o : affected) {
+        failAttempt(o.task, o.attempt);
     }
     srv.fail(cluster_.now());
-    // Now resolve the orphaned tasks; retries will land on the surviving
-    // servers.
-    for (auto [t, a] : affected) {
-        (void)a;
-        if (tasks_[t].state != TaskState::kRunning) {
-            continue;  // both twins were on this server; already resolved
-        }
-        bool any_active = false;
-        for (const Attempt& att : exec_[t].attempts) {
-            if (!att.done) {
-                any_active = true;
-                break;
-            }
-        }
-        if (!any_active) {
-            --running_count_;
-            resolveFailure(t);
+    // Schedule detection for the orphaned tasks; retries will land on
+    // the surviving servers. Several detectors may target one task (twin
+    // attempts): onOrphanDetected no-ops once the task left kRunning.
+    for (const Orphan& o : affected) {
+        if (o.detect_at <= cluster_.now()) {
+            onOrphanDetected(o.task, o.crashed_at);
+        } else {
+            cluster_.events().schedule(
+                o.detect_at, [this, task = o.task, at = o.crashed_at] {
+                    onOrphanDetected(task, at);
+                });
         }
     }
     if (crash.down_for >= 0.0) {
@@ -905,13 +1062,32 @@ Job::computeMapOutput(uint64_t task_id, uint64_t items_total,
                       bool approximate, std::unique_ptr<Mapper> mapper) const
 {
     const TaskExec& exec = exec_[task_id];
+    // Bad-record skipping (Hadoop's mapred.skip.mode): records the fault
+    // plan marks unparseable are dropped before mapping. The survivors
+    // are still a uniform random sample of the cluster — each record's
+    // badness is independent of its position — so skipping only shrinks
+    // m_i and folds into the within-cluster variance term M(M-m)s²/m.
+    std::vector<uint64_t> good;
+    good.reserve(exec.sample.size());
+    uint64_t skipped = 0;
+    if (injector_.plan().bad_record_prob > 0.0) {
+        for (uint64_t index : exec.sample) {
+            if (injector_.recordBad(task_id, index)) {
+                ++skipped;
+            } else {
+                good.push_back(index);
+            }
+        }
+    } else {
+        good.assign(exec.sample.begin(), exec.sample.end());
+    }
     // Task randomness derives from the seed + task id only, so results do
     // not depend on scheduling order, speculation, or which thread runs
     // the computation.
-    MapContext ctx(task_id, items_total, exec.sample.size(), approximate,
+    MapContext ctx(task_id, items_total, good.size(), approximate,
                    Rng(config_.seed).derive(0xA11CE + task_id));
     mapper->setup(ctx);
-    for (uint64_t index : exec.sample) {
+    for (uint64_t index : good) {
         mapper->map(dataset_.item(task_id, index), ctx);
     }
     mapper->cleanup(ctx);
@@ -937,11 +1113,17 @@ Job::computeMapOutput(uint64_t task_id, uint64_t items_total,
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
         chunks[r].map_task = task_id;
         chunks[r].items_total = items_total;
-        chunks[r].items_processed = exec.sample.size();
+        chunks[r].items_processed = good.size();
+        chunks[r].records_skipped = skipped;
     }
     for (KeyValue& kv : output) {
         uint32_t r = partitioner_->partition(kv.key, config_.num_reducers);
         chunks[r].records.push_back(std::move(kv));
+    }
+    // Checksum at emit time: the map side stamps, the reduce side
+    // verifies on every fetch (fetchVerified).
+    for (MapOutputChunk& chunk : chunks) {
+        integrity::stampChunk(chunk);
     }
     return chunks;
 }
@@ -981,10 +1163,122 @@ Job::deliverChunks(uint64_t task_id, std::vector<MapOutputChunk>&& chunks)
     // the driver thread, in simulated-completion order, so reducers need
     // no locking and estimates are schedule-independent.
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+        if (reduce_ft_) {
+            ReduceExec& rx = reduce_exec_[r];
+            // Injected reduce-attempt crash: fires just before this
+            // chunk would be consumed, so the chunk itself is among the
+            // replayed ones after restart.
+            if (rx.supported && rx.crash_at != 0 &&
+                rx.delivered >= rx.crash_at) {
+                restartReducer(r);
+            }
+        }
         counters_.records_shuffled += chunks[r].records.size();
         reducer_records_[r] += chunks[r].records.size();
         reducers_[r]->consume(chunks[r]);
+        if (reduce_ft_) {
+            ReduceExec& rx = reduce_exec_[r];
+            ++rx.delivered;
+            if (rx.supported) {
+                // Retain delivered-but-uncheckpointed chunks for replay;
+                // a periodic checkpoint truncates the retention log.
+                rx.retained.push_back(chunks[r]);
+                uint64_t interval = config_.reducer_checkpoint_interval;
+                if (interval > 0 &&
+                    rx.delivered - rx.checkpointed >= interval) {
+                    bool ok = reducers_[r]->checkpoint(rx.state);
+                    assert(ok);
+                    (void)ok;
+                    rx.checkpointed = rx.delivered;
+                    rx.retained.clear();
+                    ++counters_.reducer_checkpoints;
+                }
+            }
+        }
     }
+}
+
+bool
+Job::fetchVerified(uint64_t task_id, std::vector<MapOutputChunk>& chunks)
+{
+    if (injector_.plan().chunk_corrupt_prob <= 0.0) {
+        return true;
+    }
+    TaskExec& exec = exec_[task_id];
+    if (exec.fetch_rounds.size() < chunks.size()) {
+        exec.fetch_rounds.resize(chunks.size(), 0);
+    }
+    for (size_t r = 0; r < chunks.size(); ++r) {
+        bool ok = false;
+        for (uint32_t f = 0;
+             f <= config_.recovery.shuffle_fetch_retries && !ok; ++f) {
+            // The fetch-round counter persists across re-executions of
+            // the producing task so every fetch rolls a fresh, still
+            // deterministic corruption decision.
+            uint64_t fetch_no = exec.fetch_rounds[r]++;
+            if (injector_.chunkCorrupted(task_id, r, fetch_no)) {
+                // Damage a copy and genuinely verify it: the checksum
+                // must catch the injected bit flip, not be assumed to.
+                MapOutputChunk damaged = chunks[r];
+                Rng rng = Rng(config_.seed)
+                              .derive(0xC0FFEE + task_id * 1315423911ULL +
+                                      r * 2654435761ULL + fetch_no);
+                integrity::corruptChunk(damaged, rng);
+                assert(!integrity::verifyChunk(damaged));
+                ++counters_.chunks_corrupted;
+                if (f < config_.recovery.shuffle_fetch_retries) {
+                    ++counters_.chunk_refetches;
+                }
+                continue;
+            }
+            // Clean fetch: the stored map output arrives intact.
+            assert(integrity::verifyChunk(chunks[r]));
+            ok = true;
+        }
+        if (!ok) {
+            return false;  // retries exhausted: map output lost
+        }
+    }
+    return true;
+}
+
+void
+Job::armReduceCrash(uint32_t reducer)
+{
+    ReduceExec& rx = reduce_exec_[reducer];
+    ft::FaultInjector::ReduceAttemptFate fate =
+        injector_.reduceAttemptFate(reducer, rx.attempt);
+    // The last allowed attempt always runs clean, mirroring the map-side
+    // guarantee that max_attempts bounds injected failures per task.
+    if (!fate.crashes || rx.attempt + 1 >= config_.recovery.max_attempts) {
+        rx.crash_at = 0;
+        return;
+    }
+    uint64_t horizon = static_cast<uint64_t>(std::max(
+        1.0, std::ceil(fate.crash_fraction
+                       * static_cast<double>(tasks_.size()))));
+    rx.crash_at = rx.delivered + horizon;
+}
+
+void
+Job::restartReducer(uint32_t reducer)
+{
+    ReduceExec& rx = reduce_exec_[reducer];
+    ++counters_.reduce_attempts_failed;
+    ++rx.attempt;
+    // Roll back to the last checkpoint, then replay the retained chunks
+    // in their original delivery order. Replay re-feeds real records, so
+    // recovery costs show up in reducer_records_ (and thus in the
+    // simulated reduce time), not just in counters.
+    bool ok = reducers_[reducer]->restore(rx.state);
+    assert(ok);
+    (void)ok;
+    for (const MapOutputChunk& chunk : rx.retained) {
+        reducers_[reducer]->consume(chunk);
+        reducer_records_[reducer] += chunk.records.size();
+        ++counters_.chunks_replayed;
+    }
+    armReduceCrash(reducer);
 }
 
 // ---------------------------------------------------------------------------
@@ -1217,7 +1511,13 @@ Job::run()
     scheduleLoop();
     // Degenerate case: everything dropped before anything ran.
     checkMapPhaseDone();
-    cluster_.events().run();
+    try {
+        cluster_.events().run();
+    } catch (JobFailedError& e) {
+        e.counters = counters_;
+        pool_.reset();
+        throw;
+    }
     // Drain computations of tasks killed mid-flight and release the
     // workers; their futures were never consumed and are discarded here.
     pool_.reset();

@@ -6,6 +6,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,24 @@ struct JobResult
         double bound_relative_error = 0.0;
     };
     HeadlineError headlineErrorAgainst(const JobResult& precise) const;
+};
+
+/**
+ * Thrown by Job::run() when the job fails after exhausting recovery
+ * (e.g. a map task out of attempts in FailureMode::kRetry). Carries the
+ * counters at failure time so callers — approxrun in particular — can
+ * report what faults led up to the abort.
+ */
+class JobFailedError : public std::runtime_error
+{
+  public:
+    explicit JobFailedError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+
+    /** Counter snapshot at the moment the job aborted. */
+    Counters counters;
 };
 
 /**
@@ -183,6 +202,14 @@ class Job
         bool done = false;
         /** True when the attempt crashed (fault injection). */
         bool failed = false;
+        /**
+         * True once the attempt silently died but the JobTracker has not
+         * declared it dead yet: its heartbeats stopped, its slot is still
+         * held, and `event` is the pending timeout-expiry event.
+         */
+        bool crashed = false;
+        /** When the silent crash happened (valid while `crashed`). */
+        sim::SimTime crashed_at = 0.0;
     };
 
     struct TaskExec
@@ -205,6 +232,34 @@ class Job
          * simulated crash does not invalidate it).
          */
         std::future<std::vector<MapOutputChunk>> pending_output;
+        /**
+         * Shuffle fetches issued so far per reduce partition (corrupt
+         * fetches included). Indexes the injector's pure corruption
+         * stream; advanced only on the driver thread in simulated order,
+         * so refetch decisions are thread-count independent.
+         */
+        std::vector<uint64_t> fetch_rounds;
+    };
+
+    /** Recovery bookkeeping for one reduce task (active under rcrash). */
+    struct ReduceExec
+    {
+        /** Current attempt index (0 = first execution). */
+        uint64_t attempt = 0;
+        /** Chunks consumed since job start (checkpoint + replay basis). */
+        uint64_t delivered = 0;
+        /** Absolute delivered-sequence number at which the current
+         *  attempt crashes; 0 = no crash pending. */
+        uint64_t crash_at = 0;
+        /** Delivered-sequence number covered by `state`. */
+        uint64_t checkpointed = 0;
+        /** Whether the reducer supports checkpoint()/restore(). */
+        bool supported = false;
+        /** Last checkpoint blob (pristine-state blob before any). */
+        std::string state;
+        /** Delivered-but-uncheckpointed chunks, in delivery order —
+         *  the replay source after a restart. */
+        std::vector<MapOutputChunk> retained;
     };
 
     // --- scheduling ---
@@ -222,9 +277,26 @@ class Job
     void killRunningTask(uint64_t task_id);
 
     // --- failure handling (src/ft/ wiring) ---
+    /**
+     * When the JobTracker declares dead an attempt that stopped
+     * heartbeating at @p crash_time: the last heartbeat it received,
+     * plus the task timeout. Collapses to @p crash_time when
+     * task_timeout_ms <= 0 (oracle detection, unit-test mode).
+     */
+    sim::SimTime detectionTime(sim::SimTime attempt_start,
+                               sim::SimTime crash_time) const;
+    /** Silent attempt death: heartbeats stop, the slot stays held, and
+     *  a timeout-expiry event is scheduled. */
+    void onAttemptCrashed(uint64_t task_id, size_t attempt_index);
+    /** Timeout expiry: the JobTracker finally declares the attempt
+     *  dead and runs the failure path. */
+    void onAttemptDeclaredDead(uint64_t task_id, size_t attempt_index);
+    /** Timeout expiry for an attempt lost to a server crash: resolve
+     *  the orphaned task unless a twin is still alive. */
+    void onOrphanDetected(uint64_t task_id, sim::SimTime crashed_at);
     /** Marks one attempt as crashed and frees its slot. */
     void failAttempt(uint64_t task_id, size_t attempt_index);
-    /** Attempt crash event: fail it, then resolve if no twin remains. */
+    /** Attempt declared dead: fail it, then resolve if no twin remains. */
     void onAttemptFailed(uint64_t task_id, size_t attempt_index);
     /** Retry-vs-absorb decision once every attempt of a task failed. */
     void resolveFailure(uint64_t task_id);
@@ -257,6 +329,23 @@ class Job
      */
     void deliverChunks(uint64_t task_id,
                        std::vector<MapOutputChunk>&& chunks);
+    /**
+     * Reduce-side fetch of a completed task's chunks with checksum
+     * verification. A corrupt fetch is refetched from the retained map
+     * output up to RecoveryPolicy::shuffle_fetch_retries times; returns
+     * false when some partition's chunk stayed corrupt — the map output
+     * is lost and the task re-executes or is absorbed.
+     */
+    bool fetchVerified(uint64_t task_id,
+                       std::vector<MapOutputChunk>& chunks);
+
+    // --- reduce-side recovery ---
+    /** Derives the current reduce attempt's crash point (if any) from
+     *  the injector; 0 disarms. */
+    void armReduceCrash(uint32_t reducer);
+    /** Crashed reduce attempt: restore the last checkpoint and replay
+     *  the delivered-but-uncheckpointed chunks in delivery order. */
+    void restartReducer(uint32_t reducer);
 
     // --- controller surface (via JobHandle) ---
     void dropPendingTask(uint64_t task_id);
@@ -323,6 +412,9 @@ class Job
     std::vector<std::unique_ptr<Reducer>> reducers_;
     std::vector<uint32_t> reducer_servers_;
     std::vector<uint64_t> reducer_records_;
+    std::vector<ReduceExec> reduce_exec_;
+    /** True when the plan injects reduce crashes (chunk retention on). */
+    bool reduce_ft_ = false;
     uint32_t reducers_done_ = 0;
     bool map_phase_done_ = false;
     bool job_done_ = false;

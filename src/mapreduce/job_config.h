@@ -77,6 +77,34 @@ struct JobConfig
     ft::FailureMode failure_mode = ft::FailureMode::kRetry;
 
     /**
+     * Interval between task-attempt heartbeats to the JobTracker,
+     * simulated milliseconds. Crash *detection* is heartbeat-based: a
+     * crashed or partitioned attempt is only declared dead once
+     * task_timeout_ms elapses after its last heartbeat, exactly like
+     * real Hadoop's expiry tracker — there is no detection oracle.
+     * <= 0 collapses to instantaneous detection (useful in unit tests).
+     */
+    double heartbeat_interval_ms = 1000.0;
+
+    /**
+     * Dead-task declaration timeout, simulated milliseconds since the
+     * last received heartbeat (Hadoop's mapred.task.timeout; 600 s
+     * there, scaled down to our ~10 s task durations). Lowering it
+     * detects failures sooner at the cost of false positives on real
+     * clusters; the bench sweep measures this time-vs-error knob.
+     * <= 0 collapses to instantaneous detection.
+     */
+    double task_timeout_ms = 10000.0;
+
+    /**
+     * Checkpoint each reducer's incremental state every N delivered
+     * chunks (0 disables periodic checkpoints). Only consulted when the
+     * fault plan injects reduce crashes (`rcrash=P`): checkpointing
+     * exists to bound replay after a reduce-attempt restart.
+     */
+    uint64_t reducer_checkpoint_interval = 8;
+
+    /**
      * Host worker threads executing the *real* CPU work of map tasks
      * (record synthesis, the map UDF, combining, partitioning). 1 runs
      * everything on the driver thread exactly as before; N > 1 overlaps

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "integrity/blob.h"
+
 namespace approxhadoop::mr {
 
 void
@@ -18,6 +20,52 @@ GroupingReducer::finalize(ReduceContext& ctx)
     for (const auto& [key, values] : groups_) {
         reduce(key, values, ctx);
     }
+}
+
+bool
+GroupingReducer::checkpoint(std::string& state) const
+{
+    integrity::BlobWriter w;
+    w.putU64(groups_.size());
+    for (const auto& [key, values] : groups_) {
+        w.putString(key);
+        w.putU64(values.size());
+        for (const KeyValue& kv : values) {
+            w.putString(kv.key);
+            w.putDouble(kv.value);
+            w.putDouble(kv.value2);
+            w.putDouble(kv.value3);
+            w.putDouble(kv.value4);
+        }
+    }
+    state = w.release();
+    return true;
+}
+
+bool
+GroupingReducer::restore(const std::string& state)
+{
+    integrity::BlobReader r(state);
+    std::map<std::string, std::vector<KeyValue>> groups;
+    uint64_t num_groups = r.getU64();
+    for (uint64_t g = 0; g < num_groups; ++g) {
+        std::string key = r.getString();
+        uint64_t count = r.getU64();
+        std::vector<KeyValue>& values = groups[key];
+        values.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            KeyValue kv;
+            kv.key = r.getString();
+            kv.value = r.getDouble();
+            kv.value2 = r.getDouble();
+            kv.value3 = r.getDouble();
+            kv.value4 = r.getDouble();
+            values.push_back(std::move(kv));
+        }
+    }
+    r.expectEnd();
+    groups_ = std::move(groups);
+    return true;
 }
 
 void

@@ -24,6 +24,15 @@ struct MapOutputChunk
     uint64_t items_total = 0;
     /** m_i: items the producing task actually processed. */
     uint64_t items_processed = 0;
+    /** Bad input records the mapper skipped (excluded from m_i, so the
+     *  within-cluster variance widens to cover the loss). */
+    uint64_t records_skipped = 0;
+    /**
+     * 64-bit digest over the serialized records and the metadata above,
+     * stamped by integrity::stampChunk() at map-attempt emit and
+     * verified at reduce-side delivery; 0 only before stamping.
+     */
+    uint64_t checksum = 0;
     /** Records for this partition only. */
     std::vector<KeyValue> records;
 };
@@ -95,6 +104,35 @@ class Reducer
 
     /** Produces the partition's final output. */
     virtual void finalize(ReduceContext& ctx) = 0;
+
+    /**
+     * Serializes the reducer's incremental state into @p state so a
+     * crashed attempt can be resumed without replaying every chunk.
+     * Returns false when the reducer does not support checkpointing;
+     * the framework then cannot roll its state back, so reduce-crash
+     * injection is skipped for it. Implementations must round-trip through
+     * restore() bit-identically: recovered runs are pinned to match
+     * fault-free runs exactly.
+     */
+    virtual bool
+    checkpoint(std::string& state) const
+    {
+        (void)state;
+        return false;
+    }
+
+    /**
+     * Replaces the reducer's state with a blob previously produced by
+     * checkpoint() on the same reducer type (an empty blob from a
+     * pristine reducer resets to the initial state). Returns false when
+     * unsupported.
+     */
+    virtual bool
+    restore(const std::string& state)
+    {
+        (void)state;
+        return false;
+    }
 };
 
 /**
@@ -107,6 +145,11 @@ class GroupingReducer : public Reducer
   public:
     void consume(const MapOutputChunk& chunk) override;
     void finalize(ReduceContext& ctx) override;
+
+    /** Serializes the key → buffered-records map (the default
+     *  checkpoint format promised by the Reducer interface). */
+    bool checkpoint(std::string& state) const override;
+    bool restore(const std::string& state) override;
 
     /** Classic per-key reduction over all buffered records. */
     virtual void reduce(const std::string& key,

@@ -110,6 +110,8 @@ struct MapTaskInfo
     uint64_t items_total = 0;
     /** m_i: items actually processed (set at completion). */
     uint64_t items_processed = 0;
+    /** Bad input records skipped by the mapper (excluded from m_i). */
+    uint64_t records_skipped = 0;
     /** Wave index assigned at start (floor(start_rank / map slots)). */
     int wave = -1;
     /** Server of the winning attempt. */

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table-driven negative tests for the hardened FaultPlan::parse():
+ * non-finite and out-of-range probabilities, trailing garbage, duplicate
+ * keys, and malformed seeds must all be rejected with
+ * std::invalid_argument, never silently clamped.
+ */
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ft/fault_plan.h"
+
+namespace approxhadoop::ft {
+namespace {
+
+struct BadSpec
+{
+    const char* spec;
+    const char* why;
+};
+
+TEST(FaultPlanParseTest, RejectsInvalidSpecs)
+{
+    const std::vector<BadSpec> cases = {
+        // Out-of-range / non-finite probabilities.
+        {"crash=nan", "NaN probability"},
+        {"crash=inf", "infinite probability"},
+        {"crash=-0.5", "negative probability"},
+        {"crash=1.5", "probability above one"},
+        {"corrupt=nan", "NaN corruption probability"},
+        {"corrupt=-0.1", "negative corruption probability"},
+        {"corrupt=2", "corruption probability above one"},
+        {"badrec=nan", "NaN bad-record probability"},
+        {"badrec=1.01", "bad-record probability above one"},
+        {"rcrash=-1", "negative reduce-crash probability"},
+        {"rcrash=inf", "infinite reduce-crash probability"},
+        {"straggler=nan:4", "NaN straggler probability"},
+        // Trailing garbage after an otherwise valid number.
+        {"crash=0.5x", "trailing garbage after probability"},
+        {"corrupt=0.5junk", "trailing garbage after probability"},
+        {"rcrash=0.1 ", "trailing space after probability"},
+        {"seed=12abc", "trailing garbage after seed"},
+        // Malformed seeds.
+        {"seed=abc", "non-numeric seed"},
+        {"seed=-3", "negative seed"},
+        {"seed=", "empty seed"},
+        // Duplicate keys: a silent last-wins would mask typos.
+        {"crash=0.1,crash=0.2", "duplicate crash key"},
+        {"corrupt=0.1,corrupt=0.1", "duplicate corrupt key"},
+        {"badrec=0.1,crash=0.2,badrec=0.3", "duplicate badrec key"},
+        {"rcrash=0.1,rcrash=0.1", "duplicate rcrash key"},
+        {"seed=1,seed=2", "duplicate seed key"},
+        // Structural garbage.
+        {"crash", "clause without ="},
+        {"=0.5", "clause without key"},
+        {"crash=", "clause without value"},
+        {"crash=0.1,,straggler=0.1:2", "empty clause"},
+        {"bogus=1", "unknown key"},
+    };
+    for (const BadSpec& c : cases) {
+        EXPECT_THROW(FaultPlan::parse(c.spec), std::invalid_argument)
+            << "spec '" << c.spec << "' should fail: " << c.why;
+    }
+}
+
+TEST(FaultPlanParseTest, ParsesNewFaultKinds)
+{
+    FaultPlan plan = FaultPlan::parse("corrupt=0.05,badrec=0.01,rcrash=0.1");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_DOUBLE_EQ(plan.chunk_corrupt_prob, 0.05);
+    EXPECT_DOUBLE_EQ(plan.bad_record_prob, 0.01);
+    EXPECT_DOUBLE_EQ(plan.reduce_crash_prob, 0.1);
+    EXPECT_NE(plan.summary().find("corrupt"), std::string::npos);
+    EXPECT_NE(plan.summary().find("badrec"), std::string::npos);
+    EXPECT_NE(plan.summary().find("rcrash"), std::string::npos);
+}
+
+TEST(FaultPlanParseTest, BoundaryProbabilitiesAreAccepted)
+{
+    EXPECT_DOUBLE_EQ(FaultPlan::parse("corrupt=0").chunk_corrupt_prob, 0.0);
+    EXPECT_DOUBLE_EQ(FaultPlan::parse("corrupt=1").chunk_corrupt_prob, 1.0);
+    EXPECT_FALSE(FaultPlan::parse("corrupt=0").enabled());
+    EXPECT_TRUE(FaultPlan::parse("rcrash=1").enabled());
+}
+
+TEST(FaultPlanParseTest, RepeatedServerClausesAreAllowed)
+{
+    // "server" is the one legitimately repeatable key: each clause adds
+    // another scheduled crash.
+    FaultPlan plan = FaultPlan::parse("server=0@10,server=1@20+5");
+    ASSERT_EQ(plan.server_crashes.size(), 2u);
+    EXPECT_EQ(plan.server_crashes[0].server, 0u);
+    EXPECT_EQ(plan.server_crashes[1].server, 1u);
+}
+
+}  // namespace
+}  // namespace approxhadoop::ft

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the shuffle-integrity module: the XXH64 digest (known
+ * answers + streaming equivalence), the checkpoint blob codec, and
+ * chunk stamping/verification/corruption.
+ */
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "integrity/blob.h"
+#include "integrity/checksum.h"
+#include "integrity/chunk_integrity.h"
+#include "mapreduce/reducer.h"
+
+namespace approxhadoop::integrity {
+namespace {
+
+TEST(IntegrityChecksumTest, MatchesReferenceXXH64Vectors)
+{
+    // Published xxHash test vectors: any deviation means the digest is
+    // not XXH64 and cross-version checksums would diverge.
+    EXPECT_EQ(hash64("", 0, 0), 0xEF46DB3751D8E999ULL);
+    EXPECT_EQ(hash64("abc", 3, 0), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(IntegrityChecksumTest, StreamingMatchesOneShot)
+{
+    std::string data;
+    for (int i = 0; i < 257; ++i) {
+        data.push_back(static_cast<char>(i * 131 + 7));
+    }
+    uint64_t oneshot = hash64(data.data(), data.size(), 99);
+    // Feed the same bytes in every possible two-part split, exercising
+    // the 32-byte stripe buffer boundary handling.
+    for (size_t cut = 0; cut <= data.size(); cut += 13) {
+        Hasher64 h(99);
+        h.update(data.data(), cut);
+        h.update(data.data() + cut, data.size() - cut);
+        EXPECT_EQ(h.digest(), oneshot) << "split at " << cut;
+    }
+}
+
+TEST(IntegrityChecksumTest, SeedAndContentSensitivity)
+{
+    const char* msg = "approxhadoop";
+    uint64_t base = hash64(msg, 12, 0);
+    EXPECT_NE(base, hash64(msg, 12, 1));
+    std::string tweaked(msg, 12);
+    tweaked[5] ^= 1;
+    EXPECT_NE(base, hash64(tweaked.data(), 12, 0));
+}
+
+TEST(IntegrityBlobTest, RoundTripsAllFieldTypes)
+{
+    BlobWriter w;
+    w.putU64(0);
+    w.putU64(~0ULL);
+    w.putDouble(3.14159);
+    w.putDouble(-0.0);
+    w.putString("");
+    w.putString(std::string("with\0nul", 8));
+    w.putBool(true);
+    w.putBool(false);
+
+    BlobReader r(w.str());
+    EXPECT_EQ(r.getU64(), 0u);
+    EXPECT_EQ(r.getU64(), ~0ULL);
+    EXPECT_DOUBLE_EQ(r.getDouble(), 3.14159);
+    double neg_zero = r.getDouble();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));  // bit-exact, not value-equal
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_EQ(r.getString(), std::string("with\0nul", 8));
+    EXPECT_TRUE(r.getBool());
+    EXPECT_FALSE(r.getBool());
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(IntegrityBlobTest, TruncatedAndTrailingBytesThrow)
+{
+    BlobWriter w;
+    w.putU64(7);
+    std::string blob = w.str();
+
+    BlobReader truncated(blob.substr(0, 3));
+    EXPECT_THROW(truncated.getU64(), std::runtime_error);
+
+    BlobReader trailing(blob + "x");
+    EXPECT_EQ(trailing.getU64(), 7u);
+    EXPECT_FALSE(trailing.atEnd());
+    EXPECT_THROW(trailing.expectEnd(), std::runtime_error);
+}
+
+mr::MapOutputChunk
+sampleChunk()
+{
+    mr::MapOutputChunk chunk;
+    chunk.map_task = 11;
+    chunk.items_total = 400;
+    chunk.items_processed = 260;
+    chunk.records_skipped = 3;
+    chunk.records.push_back({"alpha", 1.5});
+    chunk.records.push_back({"beta", -2.25});
+    chunk.records.push_back({"gamma", 1e9});
+    return chunk;
+}
+
+TEST(IntegrityChunkTest, StampThenVerifyHolds)
+{
+    mr::MapOutputChunk chunk = sampleChunk();
+    EXPECT_FALSE(verifyChunk(chunk));  // unstamped
+    stampChunk(chunk);
+    EXPECT_NE(chunk.checksum, 0u);
+    EXPECT_TRUE(verifyChunk(chunk));
+}
+
+TEST(IntegrityChunkTest, AnyFieldMutationBreaksVerification)
+{
+    mr::MapOutputChunk base = sampleChunk();
+    stampChunk(base);
+
+    auto mutate = [&](auto&& fn) {
+        mr::MapOutputChunk c = base;
+        fn(c);
+        return verifyChunk(c);
+    };
+    EXPECT_FALSE(mutate([](auto& c) { c.records[1].value += 1e-9; }));
+    EXPECT_FALSE(mutate([](auto& c) { c.records[0].key = "alphA"; }));
+    EXPECT_FALSE(mutate([](auto& c) { c.items_processed ^= 1; }));
+    EXPECT_FALSE(mutate([](auto& c) { c.records_skipped += 1; }));
+    EXPECT_FALSE(mutate([](auto& c) { c.map_task += 1; }));
+    EXPECT_FALSE(mutate([](auto& c) { c.records.pop_back(); }));
+}
+
+TEST(IntegrityChunkTest, InjectedCorruptionIsAlwaysDetected)
+{
+    mr::MapOutputChunk chunk = sampleChunk();
+    stampChunk(chunk);
+    for (uint64_t s = 0; s < 64; ++s) {
+        mr::MapOutputChunk damaged = chunk;
+        Rng rng(0xFEEDu + s);
+        corruptChunk(damaged, rng);
+        EXPECT_FALSE(verifyChunk(damaged)) << "stream " << s;
+    }
+}
+
+TEST(IntegrityChunkTest, EmptyChunkCorruptionIsDetected)
+{
+    mr::MapOutputChunk chunk;
+    chunk.map_task = 3;
+    chunk.items_total = 100;
+    chunk.items_processed = 100;
+    stampChunk(chunk);
+    EXPECT_TRUE(verifyChunk(chunk));
+    Rng rng(1234);
+    corruptChunk(chunk, rng);
+    EXPECT_FALSE(verifyChunk(chunk));
+}
+
+}  // namespace
+}  // namespace approxhadoop::integrity

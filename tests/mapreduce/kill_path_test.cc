@@ -13,6 +13,7 @@
 
 #include "hdfs/dataset.h"
 #include "hdfs/namenode.h"
+#include "integrity/blob.h"
 #include "mapreduce/combiner.h"
 #include "mapreduce/job.h"
 #include "sim/cluster.h"
@@ -160,6 +161,124 @@ TEST(KillPathTest, RetriedTasksShuffleExactlyOnce)
     // delivery would push the sum past 40.
     EXPECT_DOUBLE_EQ(sumValue(result), 40.0);
     EXPECT_GT(result.counters.wasted_attempt_seconds, 0.0);
+}
+
+/**
+ * Checkpointable reducer that records the order in which map-task chunks
+ * reach it. The order log is part of the checkpointed state, so a
+ * restore rolls it back and the framework's replay re-extends it: the
+ * final log equals the fault-free log iff replay preserves the serial
+ * shuffle-merge order.
+ */
+class RecordingReducer : public Reducer
+{
+  public:
+    RecordingReducer(std::shared_ptr<std::vector<uint64_t>> final_order,
+                     std::shared_ptr<uint64_t> restores)
+        : final_order_(std::move(final_order)),
+          restores_(std::move(restores))
+    {
+    }
+
+    void
+    consume(const MapOutputChunk& chunk) override
+    {
+        order_.push_back(chunk.map_task);
+        for (const KeyValue& kv : chunk.records) {
+            sum_ += kv.value;
+        }
+    }
+
+    void
+    finalize(ReduceContext& ctx) override
+    {
+        ctx.write("k", sum_);
+        *final_order_ = order_;
+    }
+
+    bool
+    checkpoint(std::string& state) const override
+    {
+        integrity::BlobWriter w;
+        w.putDouble(sum_);
+        w.putU64(order_.size());
+        for (uint64_t t : order_) {
+            w.putU64(t);
+        }
+        state = w.str();
+        return true;
+    }
+
+    bool
+    restore(const std::string& state) override
+    {
+        integrity::BlobReader r(state);
+        sum_ = r.getDouble();
+        order_.assign(r.getU64(), 0);
+        for (uint64_t& t : order_) {
+            t = r.getU64();
+        }
+        r.expectEnd();
+        ++*restores_;
+        return true;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::vector<uint64_t> order_;
+    std::shared_ptr<std::vector<uint64_t>> final_order_;
+    std::shared_ptr<uint64_t> restores_;
+};
+
+TEST(KillPathTest, ReplayAfterReducerRestartPreservesMergeOrder)
+{
+    auto runRecorded = [](const std::string& fault_spec,
+                          std::vector<uint64_t>& order, Counters& counters) {
+        auto final_order = std::make_shared<std::vector<uint64_t>>();
+        auto restores = std::make_shared<uint64_t>(0);
+        RunSpec spec;
+        spec.config.fault_plan = ft::FaultPlan::parse(fault_spec);
+        spec.config.reducer_checkpoint_interval = 5;
+        sim::Cluster cluster(sim::ClusterConfig::xeon10());
+        hdfs::NameNode nn(cluster.numServers(), 3, 7);
+        auto ds = dataset(spec.blocks);
+        Job job(cluster, ds, nn, spec.config);
+        job.setMapperFactory([] { return std::make_unique<OneMapper>(); });
+        job.setReducerFactory([final_order, restores] {
+            return std::make_unique<RecordingReducer>(final_order,
+                                                      restores);
+        });
+        JobResult result = job.run();
+        order = *final_order;
+        counters = result.counters;
+        EXPECT_DOUBLE_EQ(sumValue(result), 40.0);
+        return *restores;
+    };
+
+    std::vector<uint64_t> clean_order;
+    Counters clean_counters;
+    uint64_t clean_restores =
+        runRecorded("", clean_order, clean_counters);
+    EXPECT_EQ(clean_restores, 0u);
+    EXPECT_EQ(clean_order.size(), 40u);
+    EXPECT_EQ(clean_counters.reduce_attempts_failed, 0u);
+
+    std::vector<uint64_t> faulty_order;
+    Counters faulty_counters;
+    uint64_t faulty_restores =
+        runRecorded("rcrash=1", faulty_order, faulty_counters);
+    // rcrash=1 crashes every allowed reduce attempt but the last.
+    EXPECT_GT(faulty_restores, 0u);
+    EXPECT_GT(faulty_counters.reduce_attempts_failed, 0u);
+    EXPECT_GT(faulty_counters.chunks_replayed, 0u);
+    EXPECT_GT(faulty_counters.reducer_checkpoints, 0u);
+    // Replay must re-deliver the retained chunks in their original
+    // serial shuffle-merge order: the recovered order log is then
+    // bit-identical to the fault-free one.
+    EXPECT_EQ(faulty_order, clean_order);
+    // records_shuffled counts first-time deliveries only, never replays.
+    EXPECT_EQ(faulty_counters.records_shuffled,
+              clean_counters.records_shuffled);
 }
 
 TEST(KillPathTest, KillDuringRetryBackoffCompletesTheJob)

@@ -15,6 +15,7 @@
  *   approxrun projectpop --precise --cluster atom60 --blocks 3552
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +60,19 @@ struct Options
     int top = 10;
     ft::FaultPlan fault_plan;
     ft::FailureMode failure_mode = ft::FailureMode::kRetry;
+    double heartbeat_interval_ms = -1.0;  // <0: keep JobConfig default
+    bool heartbeat_set = false;
+    double task_timeout_ms = -1.0;
+    bool timeout_set = false;
+    bool selfcheck = false;
+};
+
+/** Exit codes: distinguishable failure classes for scripts and CI. */
+enum ExitCode {
+    kExitOk = 0,
+    kExitBadUsage = 2,       // unknown app/flag or malformed value
+    kExitJobFailed = 3,      // job aborted after retry exhaustion
+    kExitSelfcheckFailed = 4 // reported CI does not cover the exact answer
 };
 
 void
@@ -92,12 +106,24 @@ usage()
         "  --cluster NAME        xeon10 (default) or atom60\n"
         "  --seed S              experiment seed\n"
         "  --fault-plan SPEC     inject failures; SPEC is comma-separated\n"
-        "                        crash=P, straggler=P:F[:S],\n"
-        "                        server=ID@T[+D], seed=S\n"
+        "                        crash=P, straggler=P:F[:S], corrupt=P,\n"
+        "                        badrec=P, rcrash=P, server=ID@T[+D],\n"
+        "                        seed=S\n"
         "  --failure-mode M      retry | absorb | auto (default retry)\n"
+        "  --heartbeat-interval MS  task heartbeat period, simulated ms\n"
+        "                        (default 1000)\n"
+        "  --task-timeout MS     declare a silent task dead after MS\n"
+        "                        since its last heartbeat (default 10000;\n"
+        "                        <= 0: instantaneous detection)\n"
+        "  --selfcheck           also run a fault-free precise reference\n"
+        "                        and fail (exit 4) unless the headline\n"
+        "                        key's CI covers the exact answer\n"
         "  --s3                  suspend drained servers (energy mode)\n"
         "  --top K               result rows to print (default 10)\n"
-        "  --verbose             framework INFO logging\n");
+        "  --verbose             framework INFO logging\n"
+        "\n"
+        "exit codes: 0 ok, 2 bad usage, 3 job failed (retries\n"
+        "exhausted), 4 selfcheck CI coverage failure\n");
 }
 
 bool
@@ -170,6 +196,14 @@ parseArgs(int argc, char** argv, Options& opt)
                 std::fprintf(stderr, "--failure-mode: %s\n", e.what());
                 return false;
             }
+        } else if (arg == "--heartbeat-interval") {
+            opt.heartbeat_interval_ms = std::atof(value());
+            opt.heartbeat_set = true;
+        } else if (arg == "--task-timeout") {
+            opt.task_timeout_ms = std::atof(value());
+            opt.timeout_set = true;
+        } else if (arg == "--selfcheck") {
+            opt.selfcheck = true;
         } else if (arg == "--s3") {
             opt.s3 = true;
         } else if (arg == "--top") {
@@ -212,20 +246,85 @@ printResult(const Options& opt, const mr::JobResult& result)
                 result.energy_wh, result.counters.summary().c_str());
 }
 
+void
+applyCommonConfig(const Options& opt, mr::JobConfig& config)
+{
+    config.seed = opt.seed;
+    config.s3_when_drained = opt.s3;
+    config.num_exec_threads = opt.threads;
+    config.fault_plan = opt.fault_plan;
+    config.failure_mode = opt.failure_mode;
+    if (opt.heartbeat_set) {
+        config.heartbeat_interval_ms = opt.heartbeat_interval_ms;
+    }
+    if (opt.timeout_set) {
+        config.task_timeout_ms = opt.task_timeout_ms;
+    }
+}
+
+sim::ClusterConfig
+clusterConfigFor(const Options& opt)
+{
+    return opt.cluster == "atom60" ? sim::ClusterConfig::atom60()
+                                   : sim::ClusterConfig::xeon10();
+}
+
+/**
+ * Validates the approximate result against a fault-free precise run of
+ * the same job: the headline key (largest predicted absolute error, the
+ * key the paper reports) must have a confidence interval that covers the
+ * exact answer. CI uses this to assert end-to-end statistical soundness
+ * under fault injection.
+ */
+int
+selfcheckAgainst(const mr::JobResult& approx, const mr::JobResult& precise)
+{
+    const mr::OutputRecord* worst = nullptr;
+    for (const mr::OutputRecord& r : approx.output) {
+        if (!r.has_bound || !std::isfinite(r.errorBound())) {
+            continue;
+        }
+        if (worst == nullptr || r.errorBound() > worst->errorBound()) {
+            worst = &r;
+        }
+    }
+    if (worst == nullptr) {
+        std::fprintf(stderr,
+                     "selfcheck: no key carries a finite error bound\n");
+        return kExitSelfcheckFailed;
+    }
+    const mr::OutputRecord* exact = precise.find(worst->key);
+    if (exact == nullptr) {
+        std::fprintf(stderr,
+                     "selfcheck: headline key '%s' missing from the "
+                     "precise reference\n",
+                     worst->key.c_str());
+        return kExitSelfcheckFailed;
+    }
+    double deviation = std::fabs(worst->value - exact->value);
+    if (deviation > worst->errorBound()) {
+        std::fprintf(stderr,
+                     "selfcheck FAILED: key '%s' estimate %.4f +/- %.4f "
+                     "does not cover exact %.4f\n",
+                     worst->key.c_str(), worst->value, worst->errorBound(),
+                     exact->value);
+        return kExitSelfcheckFailed;
+    }
+    std::printf("selfcheck OK: key '%s' estimate %.4f +/- %.4f covers "
+                "exact %.4f\n",
+                worst->key.c_str(), worst->value, worst->errorBound(),
+                exact->value);
+    return kExitOk;
+}
+
 template <typename App>
 int
 runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
                   mr::JobConfig config)
 {
     config.num_reducers = opt.reducers;
-    config.seed = opt.seed;
-    config.s3_when_drained = opt.s3;
-    config.num_exec_threads = opt.threads;
-    config.fault_plan = opt.fault_plan;
-    config.failure_mode = opt.failure_mode;
-    sim::Cluster cluster(opt.cluster == "atom60"
-                             ? sim::ClusterConfig::atom60()
-                             : sim::ClusterConfig::xeon10());
+    applyCommonConfig(opt, config);
+    sim::Cluster cluster(clusterConfigFor(opt));
     hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
     core::ApproxJobRunner runner(cluster, data, nn);
     mr::JobResult result =
@@ -234,22 +333,24 @@ runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
                     : runner.runAggregation(config, opt.approx,
                                             App::mapperFactory(), App::kOp);
     printResult(opt, result);
-    return 0;
+    if (opt.selfcheck && !opt.precise) {
+        // Fault-free precise reference on a fresh cluster.
+        mr::JobConfig ref_config = config;
+        ref_config.fault_plan = ft::FaultPlan{};
+        ref_config.failure_mode = ft::FailureMode::kRetry;
+        sim::Cluster ref_cluster(clusterConfigFor(opt));
+        hdfs::NameNode ref_nn(ref_cluster.numServers(), 3, opt.seed);
+        core::ApproxJobRunner ref_runner(ref_cluster, data, ref_nn);
+        mr::JobResult precise = ref_runner.runPrecise(
+            ref_config, App::mapperFactory(), App::preciseReducerFactory());
+        return selfcheckAgainst(result, precise);
+    }
+    return kExitOk;
 }
 
-}  // namespace
-
 int
-main(int argc, char** argv)
+runApp(const Options& opt)
 {
-    Options opt;
-    if (!parseArgs(argc, argv, opt)) {
-        usage();
-        return 2;
-    }
-    Logger::instance().setLevel(opt.verbose ? LogLevel::kInfo
-                                            : LogLevel::kWarn);
-
     // --- Wikipedia dump apps ------------------------------------------------
     if (opt.app == "wikilength" || opt.app == "wikipagerank") {
         workloads::WikiDumpParams params;
@@ -339,11 +440,7 @@ main(int argc, char** argv)
         core::ApproxJobRunner runner(cluster, *seeds, nn);
         mr::JobConfig config = apps::DCPlacementApp::jobConfig(
             seeds_per_map, opt.reducers);
-        config.seed = opt.seed;
-        config.s3_when_drained = opt.s3;
-        config.num_exec_threads = opt.threads;
-        config.fault_plan = opt.fault_plan;
-        config.failure_mode = opt.failure_mode;
+        applyCommonConfig(opt, config);
         mr::JobResult result =
             opt.precise
                 ? runner.runPrecise(
@@ -369,10 +466,7 @@ main(int argc, char** argv)
         core::ApproxJobRunner runner(cluster, *data, nn);
         mr::JobConfig config =
             apps::FrameEncoderApp::jobConfig(frames, opt.reducers);
-        config.seed = opt.seed;
-        config.num_exec_threads = opt.threads;
-        config.fault_plan = opt.fault_plan;
-        config.failure_mode = opt.failure_mode;
+        applyCommonConfig(opt, config);
         mr::JobResult result = runner.runUserDefined(
             config, opt.approx, apps::FrameEncoderApp::mapperFactory(),
             apps::FrameEncoderApp::reducerFactory());
@@ -382,5 +476,29 @@ main(int argc, char** argv)
 
     std::fprintf(stderr, "unknown app '%s'\n\n", opt.app.c_str());
     usage();
-    return 2;
+    return kExitBadUsage;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return kExitBadUsage;
+    }
+    Logger::instance().setLevel(opt.verbose ? LogLevel::kInfo
+                                            : LogLevel::kWarn);
+    try {
+        return runApp(opt);
+    } catch (const mr::JobFailedError& e) {
+        // Retry exhaustion under FailureMode::kRetry: report what faults
+        // led up to the abort, with a distinct exit code for scripts.
+        std::fprintf(stderr, "job failed: %s\n", e.what());
+        std::fprintf(stderr, "fault summary: %s\n",
+                     e.counters.faultSummary().c_str());
+        return kExitJobFailed;
+    }
 }
