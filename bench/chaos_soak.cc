@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chaos-soak throughput: how many randomized fault scenarios the
+ * invariant oracle can grind through per second, and the observed
+ * fault-space mix (failure modes, fault keys fired, retry-exhaustion
+ * aborts). The nightly CI soak runs approxchaos directly; this bench
+ * answers "how big can a soak budget be" and keeps the oracle's hot
+ * path (two full simulated job runs + replay per scenario) exercised.
+ *
+ *   bench_chaos_soak            full run (600 scenarios)
+ *   bench_chaos_soak --smoke    seconds-scale CI smoke run (60)
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "chaos/oracle.h"
+#include "chaos/scenario.h"
+
+using namespace approxhadoop;
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+    const int trials = smoke ? 60 : 600;
+    const uint64_t family_seed = 20260806;
+
+    benchutil::printTitle(
+        "Chaos soak",
+        "invariant-oracle throughput over the randomized fault space");
+
+    chaos::ChaosOracle oracle;
+    chaos::ScenarioGenerator generator(family_seed);
+    int violations = 0, failed_runs = 0, with_faults = 0;
+    int by_mode[3] = {0, 0, 0};
+
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < trials; ++i) {
+        chaos::Scenario s = generator.generate(static_cast<uint64_t>(i));
+        ++by_mode[static_cast<int>(s.mode)];
+        if (s.plan.enabled()) {
+            ++with_faults;
+        }
+        chaos::RunOutcome outcome = oracle.runScenario(s, 1);
+        if (outcome.failed) {
+            ++failed_runs;
+        }
+        if (!oracle.check(s).empty()) {
+            ++violations;
+        }
+    }
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+    std::printf("%d scenarios in %.2fs host time (%.1f/s)\n", trials,
+                elapsed, trials / elapsed);
+    std::printf("fault plans active: %d/%d | retry-exhaustion aborts: "
+                "%d\n",
+                with_faults, trials, failed_runs);
+    std::printf("failure modes: retry=%d absorb=%d auto=%d\n", by_mode[0],
+                by_mode[1], by_mode[2]);
+    std::printf("invariant violations: %d\n", violations);
+    if (violations > 0) {
+        std::printf("FAIL: the oracle found real violations; run "
+                    "approxchaos --seed %llu to shrink them\n",
+                    static_cast<unsigned long long>(family_seed));
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

@@ -1,0 +1,161 @@
+#include "apps/aggregation_registry.h"
+
+#include "apps/log_apps.h"
+#include "apps/webserver_apps.h"
+#include "apps/wiki_apps.h"
+#include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
+#include "hdfs/namenode.h"
+#include "workloads/access_log.h"
+#include "workloads/webserver_log.h"
+#include "workloads/wiki_dump.h"
+
+namespace approxhadoop::apps {
+
+namespace {
+
+std::unique_ptr<hdfs::BlockDataset>
+makeWiki(uint64_t blocks, uint64_t items, uint64_t seed)
+{
+    workloads::WikiDumpParams params;
+    params.num_blocks = blocks;
+    params.articles_per_block = items;
+    params.seed = seed;
+    return workloads::makeWikiDump(params);
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeLog(uint64_t blocks, uint64_t items, uint64_t seed)
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = blocks;
+    params.entries_per_block = items;
+    params.seed = seed;
+    return workloads::makeAccessLog(params);
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeWeb(uint64_t blocks, uint64_t items, uint64_t seed)
+{
+    workloads::WebServerLogParams params;
+    params.num_weeks = blocks;
+    params.entries_per_week = items;
+    params.seed = seed;
+    return workloads::makeWebServerLog(params);
+}
+
+template <typename App>
+AggregationWorkload
+wikiEntry(const std::string& name)
+{
+    AggregationWorkload w;
+    w.name = name;
+    w.op = App::kOp;
+    w.default_blocks = 161;
+    w.default_items = 400;
+    w.make_dataset = makeWiki;
+    w.job_config = [](uint64_t items, uint32_t reducers) {
+        return App::jobConfig(items, reducers);
+    };
+    w.mapper_factory = [] { return App::mapperFactory(); };
+    w.precise_reducer_factory = [] { return App::preciseReducerFactory(); };
+    return w;
+}
+
+template <typename App>
+AggregationWorkload
+accessLogEntry(const std::string& name)
+{
+    AggregationWorkload w;
+    w.name = name;
+    w.op = App::kOp;
+    w.default_blocks = 744;
+    w.default_items = 400;
+    w.make_dataset = makeLog;
+    w.job_config = [name](uint64_t items, uint32_t reducers) {
+        return logProcessingConfig(name, items, reducers);
+    };
+    w.mapper_factory = [] { return App::mapperFactory(); };
+    w.precise_reducer_factory = [] { return App::preciseReducerFactory(); };
+    return w;
+}
+
+template <typename App>
+AggregationWorkload
+webLogEntry(const std::string& name)
+{
+    AggregationWorkload w;
+    w.name = name;
+    w.op = App::kOp;
+    w.default_blocks = 80;
+    w.default_items = 2000;
+    w.make_dataset = makeWeb;
+    w.job_config = [name](uint64_t items, uint32_t reducers) {
+        return webServerLogConfig(name, items, reducers);
+    };
+    w.mapper_factory = [] { return App::mapperFactory(); };
+    w.precise_reducer_factory = [] { return App::preciseReducerFactory(); };
+    return w;
+}
+
+}  // namespace
+
+const std::vector<AggregationWorkload>&
+aggregationWorkloads()
+{
+    static const std::vector<AggregationWorkload> kWorkloads = {
+        wikiEntry<WikiLength>("wikilength"),
+        wikiEntry<WikiPageRank>("wikipagerank"),
+        accessLogEntry<ProjectPopularity>("projectpop"),
+        accessLogEntry<PagePopularity>("pagepop"),
+        accessLogEntry<PageTraffic>("pagetraffic"),
+        webLogEntry<WebRequestRate>("webrate"),
+        webLogEntry<AttackFrequencies>("attacks"),
+        webLogEntry<TotalSize>("totalsize"),
+        webLogEntry<RequestSize>("requestsize"),
+        webLogEntry<Clients>("clients"),
+        webLogEntry<ClientBrowser>("browsers"),
+    };
+    return kWorkloads;
+}
+
+const AggregationWorkload*
+findAggregationWorkload(const std::string& name)
+{
+    for (const AggregationWorkload& w : aggregationWorkloads()) {
+        if (w.name == name) {
+            return &w;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+aggregationWorkloadNames()
+{
+    std::string names;
+    for (const AggregationWorkload& w : aggregationWorkloads()) {
+        if (!names.empty()) {
+            names += ' ';
+        }
+        names += w.name;
+    }
+    return names;
+}
+
+mr::JobResult
+runPreciseReference(const AggregationWorkload& workload,
+                    const hdfs::BlockDataset& data, mr::JobConfig config,
+                    const sim::ClusterConfig& cluster_config, uint64_t seed)
+{
+    config.fault_plan = ft::FaultPlan{};
+    config.failure_mode = ft::FailureMode::kRetry;
+    sim::Cluster cluster(cluster_config);
+    hdfs::NameNode namenode(cluster.numServers(), 3, seed);
+    core::ApproxJobRunner runner(cluster, data, namenode);
+    return runner.runPrecise(config, workload.mapper_factory(),
+                             workload.precise_reducer_factory());
+}
+
+}  // namespace approxhadoop::apps

@@ -1,0 +1,76 @@
+#ifndef APPROXHADOOP_APPS_AGGREGATION_REGISTRY_H_
+#define APPROXHADOOP_APPS_AGGREGATION_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampling_reducer.h"
+#include "hdfs/dataset.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::apps {
+
+/**
+ * One row per multi-stage-sampling aggregation application: everything
+ * needed to build its dataset, configure its job, and run it precisely
+ * or approximately. approxrun's dispatch and the chaos harness
+ * (src/chaos/) both draw from this table, so the CLI's workload list
+ * and the fuzzer's scenario space cannot drift apart.
+ */
+struct AggregationWorkload
+{
+    /** CLI name (approxrun <name>, chaos scenario workload). */
+    std::string name;
+
+    /** The reducer aggregation this app estimates under sampling. */
+    core::MultiStageSamplingReducer::Op op;
+
+    /** Paper-scale dataset shape used when the CLI gives no override. */
+    uint64_t default_blocks = 0;
+    uint64_t default_items = 0;
+
+    /** Builds the synthetic dataset (blocks x items, seeded). */
+    std::function<std::unique_ptr<hdfs::BlockDataset>(
+        uint64_t blocks, uint64_t items, uint64_t seed)>
+        make_dataset;
+
+    /** App cost model / framework config for a given block size. */
+    std::function<mr::JobConfig(uint64_t items_per_block,
+                                uint32_t num_reducers)>
+        job_config;
+
+    std::function<mr::Job::MapperFactory()> mapper_factory;
+    std::function<mr::Job::ReducerFactory()> precise_reducer_factory;
+};
+
+/** All aggregation workloads, in the order usage() lists them. */
+const std::vector<AggregationWorkload>& aggregationWorkloads();
+
+/** Looks up a workload by CLI name; nullptr when unknown. */
+const AggregationWorkload* findAggregationWorkload(const std::string& name);
+
+/** Space-separated list of valid workload names (for usage/errors). */
+std::string aggregationWorkloadNames();
+
+/**
+ * Fault-free precise reference run of @p workload over @p data on a
+ * fresh cluster/NameNode (no state shared with any approximate run of
+ * the same dataset). The fault plan and failure mode in @p config are
+ * overridden to none/retry; everything else is kept so the reference
+ * answers "what would this exact job compute without approximation or
+ * faults". Used by `approxrun --selfcheck` and by the chaos oracle's
+ * statistical-soundness battery.
+ */
+mr::JobResult runPreciseReference(const AggregationWorkload& workload,
+                                  const hdfs::BlockDataset& data,
+                                  mr::JobConfig config,
+                                  const sim::ClusterConfig& cluster_config,
+                                  uint64_t seed);
+
+}  // namespace approxhadoop::apps
+
+#endif  // APPROXHADOOP_APPS_AGGREGATION_REGISTRY_H_

@@ -1,0 +1,94 @@
+#ifndef APPROXHADOOP_CHAOS_SCENARIO_H_
+#define APPROXHADOOP_CHAOS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ft/fault_plan.h"
+#include "ft/recovery_policy.h"
+
+namespace approxhadoop::chaos {
+
+/**
+ * One randomized chaos scenario: a complete job description — workload,
+ * input shape, approximation settings, recovery policy, thread count,
+ * and fault plan — that the invariant oracle (chaos/oracle.h) can run
+ * and check.
+ *
+ * A scenario is a *pure function of (family seed, index)*: regenerating
+ * index i from the same family seed reproduces it bit-identically, which
+ * is what makes `approxchaos --seed S --scenario I` an exact replay and
+ * lets CI compare two independent generations of the same scenario.
+ */
+struct Scenario
+{
+    /** Generator family seed this scenario was drawn from. */
+    uint64_t family_seed = 0;
+    /** Index within the family (the scenario's replay handle). */
+    uint64_t index = 0;
+
+    /** Aggregation workload name (apps::aggregationWorkloads row). */
+    std::string workload;
+
+    uint64_t blocks = 0;
+    uint64_t items = 0;
+    uint32_t reducers = 1;
+    /** Parallel thread count the determinism check compares against 1. */
+    uint32_t threads = 2;
+    uint64_t job_seed = 0;
+
+    /** Input sampling ratio (1.0 = full input). */
+    double sampling = 1.0;
+    /** Target relative error; active only when has_target. */
+    bool has_target = false;
+    double target = 0.0;
+
+    ft::FailureMode mode = ft::FailureMode::kRetry;
+    uint32_t max_attempts = 4;
+    uint64_t checkpoint_interval = 8;
+    double heartbeat_ms = 1000.0;
+    double timeout_ms = 10000.0;
+
+    ft::FaultPlan plan;
+
+    /** One-line description for logs. */
+    std::string describe() const;
+
+    /**
+     * Ready-to-paste `approxrun` command line reproducing this scenario
+     * outside the harness (same job config, fault plan, and seeds).
+     */
+    std::string approxrunCommand() const;
+};
+
+/**
+ * Seeded scenario generator over the default chaos space: every
+ * FaultPlan key (crash, rcrash, straggler, corrupt, badrec, server),
+ * every failure mode, 1-8 threads, sampled/targeted/full inputs, and a
+ * slice of retry-exhaustion scenarios that must end in the exit-3
+ * contract. generate(i) is deterministic and order-independent — it
+ * never mutates generator state — so scenarios can be regenerated or
+ * re-run individually.
+ */
+class ScenarioGenerator
+{
+  public:
+    explicit ScenarioGenerator(uint64_t family_seed)
+        : family_seed_(family_seed)
+    {
+    }
+
+    /** Workload names scenarios are drawn from (count/sum aggregations
+     *  whose map emissions the oracle can replay analytically). */
+    static const std::vector<std::string>& workloadNames();
+
+    Scenario generate(uint64_t index) const;
+
+  private:
+    uint64_t family_seed_;
+};
+
+}  // namespace approxhadoop::chaos
+
+#endif  // APPROXHADOOP_CHAOS_SCENARIO_H_

@@ -1,0 +1,203 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+namespace approxhadoop::chaos {
+
+namespace {
+
+/** One candidate simplification; returns false when it would not change
+ *  the scenario (so the oracle run is skipped). */
+using Transform = bool (*)(Scenario&);
+
+bool
+zeroCrash(Scenario& s)
+{
+    if (s.plan.task_crash_prob == 0.0) {
+        return false;
+    }
+    s.plan.task_crash_prob = 0.0;
+    return true;
+}
+
+bool
+zeroReduceCrash(Scenario& s)
+{
+    if (s.plan.reduce_crash_prob == 0.0) {
+        return false;
+    }
+    s.plan.reduce_crash_prob = 0.0;
+    return true;
+}
+
+bool
+zeroCorrupt(Scenario& s)
+{
+    if (s.plan.chunk_corrupt_prob == 0.0) {
+        return false;
+    }
+    s.plan.chunk_corrupt_prob = 0.0;
+    return true;
+}
+
+bool
+zeroBadRecords(Scenario& s)
+{
+    if (s.plan.bad_record_prob == 0.0) {
+        return false;
+    }
+    s.plan.bad_record_prob = 0.0;
+    return true;
+}
+
+bool
+zeroStragglers(Scenario& s)
+{
+    if (s.plan.straggler_prob == 0.0) {
+        return false;
+    }
+    s.plan.straggler_prob = 0.0;
+    s.plan.straggler_factor = 4.0;
+    s.plan.straggler_sigma = 0.0;
+    return true;
+}
+
+bool
+clearServerCrashes(Scenario& s)
+{
+    if (s.plan.server_crashes.empty()) {
+        return false;
+    }
+    s.plan.server_crashes.clear();
+    return true;
+}
+
+bool
+dropOneServerCrash(Scenario& s)
+{
+    if (s.plan.server_crashes.size() < 2) {
+        return false;
+    }
+    s.plan.server_crashes.pop_back();
+    return true;
+}
+
+bool
+dropTarget(Scenario& s)
+{
+    if (!s.has_target) {
+        return false;
+    }
+    s.has_target = false;
+    s.target = 0.0;
+    s.sampling = 1.0;
+    return true;
+}
+
+bool
+fullSampling(Scenario& s)
+{
+    if (s.has_target || s.sampling >= 1.0) {
+        return false;
+    }
+    s.sampling = 1.0;
+    return true;
+}
+
+bool
+oneReducer(Scenario& s)
+{
+    if (s.reducers == 1) {
+        return false;
+    }
+    s.reducers = 1;
+    return true;
+}
+
+bool
+twoThreads(Scenario& s)
+{
+    if (s.threads <= 2) {
+        return false;
+    }
+    s.threads = 2;
+    return true;
+}
+
+bool
+halveBlocks(Scenario& s)
+{
+    if (s.blocks <= 4) {
+        return false;
+    }
+    s.blocks = std::max<uint64_t>(4, s.blocks / 2);
+    return true;
+}
+
+bool
+halveItems(Scenario& s)
+{
+    if (s.items <= 4) {
+        return false;
+    }
+    s.items = std::max<uint64_t>(4, s.items / 2);
+    return true;
+}
+
+bool
+halveProbabilities(Scenario& s)
+{
+    bool changed = false;
+    for (double* p :
+         {&s.plan.task_crash_prob, &s.plan.reduce_crash_prob,
+          &s.plan.chunk_corrupt_prob, &s.plan.bad_record_prob,
+          &s.plan.straggler_prob}) {
+        if (*p > 0.02) {
+            *p /= 2.0;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+}  // namespace
+
+ShrinkResult
+shrinkScenario(const Scenario& failing,
+               const std::function<bool(const Scenario&)>& still_fails,
+               int max_evaluations)
+{
+    // Ordered roughly by how much each simplification removes: whole
+    // fault keys first, then scale, then probability halving.
+    static const Transform kTransforms[] = {
+        zeroCrash,          zeroReduceCrash,   zeroCorrupt,
+        zeroBadRecords,     zeroStragglers,    clearServerCrashes,
+        dropOneServerCrash, dropTarget,        fullSampling,
+        oneReducer,         twoThreads,        halveBlocks,
+        halveItems,         halveProbabilities,
+    };
+
+    ShrinkResult out;
+    out.scenario = failing;
+    bool progress = true;
+    while (progress && out.evaluations < max_evaluations) {
+        progress = false;
+        for (Transform transform : kTransforms) {
+            if (out.evaluations >= max_evaluations) {
+                break;
+            }
+            Scenario candidate = out.scenario;
+            if (!transform(candidate)) {
+                continue;
+            }
+            ++out.evaluations;
+            if (still_fails(candidate)) {
+                out.scenario = candidate;
+                progress = true;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace approxhadoop::chaos

@@ -1,0 +1,39 @@
+#ifndef APPROXHADOOP_CHAOS_SHRINK_H_
+#define APPROXHADOOP_CHAOS_SHRINK_H_
+
+#include <functional>
+
+#include "chaos/scenario.h"
+
+namespace approxhadoop::chaos {
+
+/** Outcome of shrinking one failing scenario. */
+struct ShrinkResult
+{
+    /** The smallest scenario found that still violates an invariant. */
+    Scenario scenario;
+    /** Oracle evaluations spent (each is a full scenario check). */
+    int evaluations = 0;
+};
+
+/**
+ * Greedily minimizes a violating scenario: repeatedly tries to zero a
+ * fault-plan key, drop scheduled server crashes, remove the
+ * approximation target, restore full sampling, reduce reducers/threads,
+ * shrink the input, and halve the remaining fault probabilities —
+ * keeping each simplification only when @p still_fails confirms the
+ * violation survives it. Runs to a fixpoint or until @p max_evaluations
+ * oracle calls are spent, whichever comes first. Deterministic: the
+ * same failing scenario always shrinks to the same reproducer.
+ *
+ * @param still_fails predicate running the oracle on a candidate; true
+ *                    when the candidate still violates an invariant
+ */
+ShrinkResult
+shrinkScenario(const Scenario& failing,
+               const std::function<bool(const Scenario&)>& still_fails,
+               int max_evaluations = 80);
+
+}  // namespace approxhadoop::chaos
+
+#endif  // APPROXHADOOP_CHAOS_SHRINK_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <stdexcept>
 
@@ -180,19 +181,124 @@ FaultPlan::parse(const std::string& spec)
     return plan;
 }
 
+namespace {
+
+/** Shortest decimal form that strtod() reads back bit-identically.
+ *  Never uses exponent notation for representable magnitudes: a '+' in
+ *  "1.5e+02" would collide with the server=ID@T+D duration separator. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v &&
+            std::strchr(buf, 'e') == nullptr) {
+            return buf;
+        }
+    }
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v) {
+            break;
+        }
+    }
+    return buf;
+}
+
+}  // namespace
+
+std::string
+FaultPlan::spec() const
+{
+    std::string out;
+    auto clause = [&out](const std::string& text) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += text;
+    };
+    if (task_crash_prob > 0.0) {
+        clause("crash=" + formatDouble(task_crash_prob));
+    }
+    if (chunk_corrupt_prob > 0.0) {
+        clause("corrupt=" + formatDouble(chunk_corrupt_prob));
+    }
+    if (bad_record_prob > 0.0) {
+        clause("badrec=" + formatDouble(bad_record_prob));
+    }
+    if (reduce_crash_prob > 0.0) {
+        clause("rcrash=" + formatDouble(reduce_crash_prob));
+    }
+    if (straggler_prob > 0.0) {
+        std::string s = "straggler=" + formatDouble(straggler_prob) + ':' +
+                        formatDouble(straggler_factor);
+        if (straggler_sigma > 0.0) {
+            s += ':' + formatDouble(straggler_sigma);
+        }
+        clause(s);
+    }
+    for (const ServerCrash& crash : server_crashes) {
+        std::string s = "server=" + std::to_string(crash.server) + '@' +
+                        formatDouble(crash.at);
+        if (crash.down_for >= 0.0) {
+            s += '+' + formatDouble(crash.down_for);
+        }
+        clause(s);
+    }
+    if (seed != 0) {
+        clause("seed=" + std::to_string(seed));
+    }
+    return out;
+}
+
+const std::vector<std::string>&
+FaultPlan::specKeys()
+{
+    static const std::vector<std::string> kKeys = {
+        "crash", "corrupt", "badrec", "rcrash", "straggler", "server",
+        "seed"};
+    return kKeys;
+}
+
+std::string
+FaultPlan::helpText()
+{
+    return "comma-separated clauses (all optional):\n"
+           "  crash=P            per-attempt map crash probability\n"
+           "  corrupt=P          per-fetch shuffle-chunk corruption "
+           "probability\n"
+           "  badrec=P           per-record bad-input probability\n"
+           "  rcrash=P           per-attempt reduce crash probability\n"
+           "  straggler=P:F[:S]  probability, slowdown factor >= 1, "
+           "optional lognormal sigma\n"
+           "  server=ID@T[+D]    crash server ID at simulated time T, "
+           "repaired after D s (repeatable)\n"
+           "  seed=S             fault-stream seed (non-negative "
+           "integer)\n"
+           "e.g. \"crash=0.05,straggler=0.02:6,server=3@120+60,seed=7\"";
+}
+
 std::string
 FaultPlan::summary() const
 {
     if (!enabled()) {
         return "none";
     }
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "crash=%.3g corrupt=%.3g badrec=%.3g rcrash=%.3g "
-                  "straggler=%.3g:%.3g server-crashes=%zu",
+                  "straggler=%.3g:%.3g server-crashes=%zu seed=%llu",
                   task_crash_prob, chunk_corrupt_prob, bad_record_prob,
                   reduce_crash_prob, straggler_prob, straggler_factor,
-                  server_crashes.size());
+                  server_crashes.size(),
+                  static_cast<unsigned long long>(seed));
     return buf;
 }
 

@@ -95,7 +95,24 @@ struct FaultPlan
      */
     static FaultPlan parse(const std::string& spec);
 
-    /** Human-readable one-line description (empty plan: "none"). */
+    /**
+     * Canonical spec string: parse(spec()) reconstructs this plan
+     * field-for-field (doubles are printed round-trip exact). Keys at
+     * their defaults are omitted; a fully-default plan serializes to "".
+     * Used by the chaos harness to emit ready-to-paste `approxrun
+     * --fault-plan` reproducers.
+     */
+    std::string spec() const;
+
+    /** Every clause key parse() accepts, in grammar order. */
+    static const std::vector<std::string>& specKeys();
+
+    /** Multi-line `--fault-plan` grammar for CLI usage/help output.
+     *  Mentions every key in specKeys(). */
+    static std::string helpText();
+
+    /** Human-readable one-line description (empty plan: "none").
+     *  Mentions every non-default clause, including the seed. */
     std::string summary() const;
 };
 

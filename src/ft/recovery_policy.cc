@@ -1,6 +1,7 @@
 #include "ft/recovery_policy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace approxhadoop::ft {
@@ -39,14 +40,22 @@ parseFailureMode(const std::string& name)
 double
 RecoveryPolicy::backoffDelay(uint32_t failed_attempts) const
 {
-    double delay = backoff_initial;
-    for (uint32_t i = 1; i < failed_attempts; ++i) {
-        delay *= backoff_factor;
-        if (delay >= backoff_cap) {
-            return backoff_cap;
-        }
+    // Closed form with the exponent clamped *before* it is used: a task
+    // that has failed billions of times (or a caller passing a huge
+    // attempt index) must cost O(1) and return the cap, not spin in a
+    // multiplication loop or overflow to inf. 1024 doublings already
+    // overflow any double, so the clamp never changes a real delay.
+    if (failed_attempts <= 1) {
+        return std::min(backoff_initial, backoff_cap);
     }
-    return std::min(delay, backoff_cap);
+    constexpr uint32_t kMaxExponent = 1024;
+    uint32_t exponent = std::min(failed_attempts - 1, kMaxExponent);
+    double delay =
+        backoff_initial * std::pow(backoff_factor, static_cast<double>(exponent));
+    if (!(delay < backoff_cap)) {  // negated: NaN/inf also land on the cap
+        return backoff_cap;
+    }
+    return delay;
 }
 
 }  // namespace approxhadoop::ft

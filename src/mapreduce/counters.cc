@@ -102,4 +102,59 @@ Counters::faultSummary() const
     return line;
 }
 
+std::string
+Counters::conservationViolation(uint32_t num_reducers) const
+{
+    char buf[256];
+    auto violation = [&buf](const char* identity, uint64_t lhs,
+                            uint64_t rhs) {
+        std::snprintf(buf, sizeof(buf), "%s (%llu != %llu)", identity,
+                      static_cast<unsigned long long>(lhs),
+                      static_cast<unsigned long long>(rhs));
+        return std::string(buf);
+    };
+    uint64_t accounted =
+        maps_completed + maps_killed + maps_dropped + maps_absorbed;
+    if (maps_total != accounted) {
+        return violation("task conservation: total != "
+                         "completed+killed+dropped+absorbed",
+                         maps_total, accounted);
+    }
+    uint64_t attempts_accounted = maps_completed + map_attempts_failed +
+                                  map_attempts_cancelled + map_outputs_lost;
+    if (map_attempts_launched != attempts_accounted) {
+        return violation("attempt conservation: launched != "
+                         "completed+failed+cancelled+outputs_lost",
+                         map_attempts_launched, attempts_accounted);
+    }
+    if (chunks_delivered != maps_completed * num_reducers) {
+        return violation("delivered-once: chunks_delivered != "
+                         "completed*reducers",
+                         chunks_delivered, maps_completed * num_reducers);
+    }
+    if (!(wasted_attempt_seconds >= 0.0)) {
+        return "wasted work must be >= 0 (wasted_attempt_seconds < 0 "
+               "or NaN)";
+    }
+    if (!(detection_wait_seconds >= 0.0)) {
+        return "detection wait must be >= 0 (detection_wait_seconds < 0 "
+               "or NaN)";
+    }
+    if (chunk_refetches > chunks_corrupted) {
+        return violation("refetch causality: refetches > corrupted",
+                         chunk_refetches, chunks_corrupted);
+    }
+    if (items_processed > items_read || items_read > items_total) {
+        return violation("sample containment: processed <= read <= total "
+                         "violated",
+                         items_processed, items_read);
+    }
+    if (maps_retried > map_attempts_failed + map_outputs_lost) {
+        return violation("retry causality: retried > failed+outputs_lost",
+                         maps_retried,
+                         map_attempts_failed + map_outputs_lost);
+    }
+    return "";
+}
+
 }  // namespace approxhadoop::mr

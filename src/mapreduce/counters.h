@@ -19,8 +19,13 @@ struct Counters
     uint64_t maps_speculated = 0;
 
     // --- failure / recovery (fault injection, src/ft/) ---
+    /** Map attempts started (first runs, retries, speculative twins). */
+    uint64_t map_attempts_launched = 0;
     /** Map attempts that crashed (task faults + server crashes). */
     uint64_t map_attempts_failed = 0;
+    /** Attempts cancelled while healthy: losing speculative twins and
+     *  in-flight attempts of tasks killed/dropped by the controller. */
+    uint64_t map_attempts_cancelled = 0;
     /** Re-attempts scheduled after a failure (retry path). */
     uint64_t maps_retried = 0;
     /** Failed tasks reclassified as dropped instead of re-run. */
@@ -44,6 +49,9 @@ struct Counters
     uint64_t map_outputs_lost = 0;
     /** Bad input records skipped by mappers (skip-bad-records). */
     uint64_t bad_records_skipped = 0;
+    /** Shuffle chunks delivered to reducers (each completed map output
+     *  is delivered exactly once per reducer). */
+    uint64_t chunks_delivered = 0;
 
     // --- reduce-side recovery ---
     /** Reduce attempts that crashed and restarted from a checkpoint. */
@@ -88,6 +96,26 @@ struct Counters
      * fault-free); approxrun appends it to the job summary.
      */
     std::string faultSummary() const;
+
+    /**
+     * Checks the conservation identities that must hold for any
+     * *successfully completed* job, whatever faults were injected:
+     *
+     *   1. task conservation:
+     *      maps_total == completed + killed + dropped + absorbed
+     *   2. attempt conservation: every launched attempt ends exactly one
+     *      way — launched == completed + failed + cancelled + outputs_lost
+     *   3. delivered-once: chunks_delivered == maps_completed * reducers
+     *   4. non-negative metered work: wasted/detection seconds >= 0
+     *   5. refetch causality: chunk_refetches <= chunks_corrupted
+     *   6. sample containment: items_processed <= items_read <= items_total
+     *   7. retry causality: maps_retried <= failed + outputs_lost
+     *
+     * Returns "" when all hold, else a description of the first
+     * violated identity. The chaos harness (src/chaos/) calls this on
+     * every scenario; see DESIGN.md "Chaos testing & invariants".
+     */
+    std::string conservationViolation(uint32_t num_reducers) const;
 };
 
 }  // namespace approxhadoop::mr

@@ -506,6 +506,7 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
     TaskExec& exec = exec_[task_id];
     sim::Server& srv = cluster_.server(server);
     srv.acquireMapSlot(cluster_.now());
+    ++counters_.map_attempts_launched;
 
     if (task.state == TaskState::kPending) {
         assert(pending_count_ > 0);
@@ -668,6 +669,7 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
         cluster_.server(exec.attempts[a].server)
             .releaseMapSlot(cluster_.now());
         exec.attempts[a].done = true;
+        ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds +=
             cluster_.now() - exec.attempts[a].start;
     }
@@ -751,6 +753,7 @@ Job::killRunningTask(uint64_t task_id)
         cluster_.events().cancel(a.event);
         cluster_.server(a.server).releaseMapSlot(cluster_.now());
         a.done = true;
+        ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds += cluster_.now() - a.start;
     }
     task.state = TaskState::kKilled;
@@ -1173,6 +1176,7 @@ Job::deliverChunks(uint64_t task_id, std::vector<MapOutputChunk>&& chunks)
                 restartReducer(r);
             }
         }
+        ++counters_.chunks_delivered;
         counters_.records_shuffled += chunks[r].records.size();
         reducer_records_[r] += chunks[r].records.size();
         reducers_[r]->consume(chunks[r]);

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the chaos harness: scenario generation must be
+ * deterministic and cover the whole fault space, the invariant oracle
+ * must pass clean scenarios and catch every planted mutation on its
+ * probe, and the shrinker must produce a smaller, still-failing
+ * reproducer.
+ */
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/aggregation_registry.h"
+#include "chaos/oracle.h"
+#include "chaos/scenario.h"
+#include "chaos/shrink.h"
+
+namespace approxhadoop::chaos {
+namespace {
+
+TEST(ScenarioGeneratorTest, RegenerationIsBitIdentical)
+{
+    ScenarioGenerator gen(42);
+    for (uint64_t index : {0ull, 7ull, 63ull, 499ull}) {
+        Scenario a = gen.generate(index);
+        Scenario b = gen.generate(index);
+        EXPECT_EQ(a.describe(), b.describe()) << index;
+        EXPECT_EQ(a.approxrunCommand(), b.approxrunCommand()) << index;
+        // A second generator with the same family seed agrees too —
+        // `approxchaos --seed S --scenario I` replays exactly what the
+        // soak ran.
+        ScenarioGenerator gen2(42);
+        Scenario c = gen2.generate(index);
+        EXPECT_EQ(a.describe(), c.describe()) << index;
+    }
+}
+
+TEST(ScenarioGeneratorTest, FamiliesWithDifferentSeedsDiverge)
+{
+    Scenario a = ScenarioGenerator(1).generate(0);
+    Scenario b = ScenarioGenerator(2).generate(0);
+    EXPECT_NE(a.describe(), b.describe());
+}
+
+TEST(ScenarioGeneratorTest, SpaceCoversEveryFaultKeyAndFailureMode)
+{
+    ScenarioGenerator gen(7);
+    bool crash = false, rcrash = false, corrupt = false, badrec = false,
+         straggler = false, server = false, target = false,
+         sampled = false, full = false;
+    std::set<ft::FailureMode> modes;
+    std::set<std::string> workloads;
+    std::set<uint32_t> thread_counts;
+    for (uint64_t i = 0; i < 300; ++i) {
+        Scenario s = gen.generate(i);
+        crash |= s.plan.task_crash_prob > 0.0;
+        rcrash |= s.plan.reduce_crash_prob > 0.0;
+        corrupt |= s.plan.chunk_corrupt_prob > 0.0;
+        badrec |= s.plan.bad_record_prob > 0.0;
+        straggler |= s.plan.straggler_prob > 0.0;
+        server |= !s.plan.server_crashes.empty();
+        target |= s.has_target;
+        sampled |= !s.has_target && s.sampling < 1.0;
+        full |= !s.has_target && s.sampling == 1.0;
+        modes.insert(s.mode);
+        workloads.insert(s.workload);
+        thread_counts.insert(s.threads);
+    }
+    EXPECT_TRUE(crash);
+    EXPECT_TRUE(rcrash);
+    EXPECT_TRUE(corrupt);
+    EXPECT_TRUE(badrec);
+    EXPECT_TRUE(straggler);
+    EXPECT_TRUE(server);
+    EXPECT_TRUE(target);
+    EXPECT_TRUE(sampled);
+    EXPECT_TRUE(full);
+    EXPECT_EQ(modes.size(), 3u) << "retry, absorb, and auto all drawn";
+    EXPECT_EQ(workloads.size(), ScenarioGenerator::workloadNames().size());
+    EXPECT_GE(thread_counts.size(), 4u);
+}
+
+TEST(ScenarioGeneratorTest, EveryWorkloadNameResolvesInTheRegistry)
+{
+    for (const std::string& name : ScenarioGenerator::workloadNames()) {
+        EXPECT_NE(apps::findAggregationWorkload(name), nullptr) << name;
+    }
+}
+
+TEST(ScenarioTest, ApproxrunCommandCarriesTheFullConfiguration)
+{
+    Scenario s = ScenarioGenerator(11).generate(3);
+    std::string cmd = s.approxrunCommand();
+    EXPECT_EQ(cmd.rfind("approxrun " + s.workload, 0), 0u) << cmd;
+    for (const char* flag :
+         {"--blocks", "--items", "--seed", "--reducers", "--threads",
+          "--failure-mode", "--max-attempts", "--checkpoint-interval",
+          "--heartbeat-interval", "--task-timeout"}) {
+        EXPECT_NE(cmd.find(flag), std::string::npos)
+            << flag << " missing from: " << cmd;
+    }
+    if (s.plan.enabled()) {
+        EXPECT_NE(cmd.find("--fault-plan"), std::string::npos) << cmd;
+    }
+}
+
+TEST(ChaosOracleTest, CleanScenariosPassAllInvariants)
+{
+    ChaosOracle oracle;
+    ScenarioGenerator gen(1);
+    for (uint64_t i = 0; i < 4; ++i) {
+        Scenario s = gen.generate(i);
+        std::vector<Violation> v = oracle.check(s);
+        EXPECT_TRUE(v.empty())
+            << s.describe() << " violated " << v.front().invariant << ": "
+            << v.front().detail;
+    }
+}
+
+TEST(ChaosOracleTest, EveryMutationIsCaughtOnItsProbe)
+{
+    static const Mutation kMutations[] = {
+        Mutation::kCiWidening, Mutation::kCounters, Mutation::kDeterminism,
+        Mutation::kExitCode};
+    ChaosOracle clean;
+    for (Mutation m : kMutations) {
+        Scenario probe = ChaosOracle::mutationProbe(m);
+        EXPECT_TRUE(clean.check(probe).empty())
+            << toString(m) << " probe must be clean without the mutation";
+        ChaosOracle mutated(m);
+        std::vector<Violation> caught = mutated.check(probe);
+        ASSERT_FALSE(caught.empty())
+            << "mutation '" << toString(m) << "' was not caught";
+    }
+}
+
+TEST(ChaosOracleTest, MutationNamesParseAndUnknownNamesThrow)
+{
+    EXPECT_EQ(parseMutation("ci-widening"), Mutation::kCiWidening);
+    EXPECT_EQ(parseMutation("counters"), Mutation::kCounters);
+    EXPECT_EQ(parseMutation("determinism"), Mutation::kDeterminism);
+    EXPECT_EQ(parseMutation("exit-code"), Mutation::kExitCode);
+    EXPECT_THROW(parseMutation("everything"), std::invalid_argument);
+}
+
+TEST(ShrinkTest, RemovesIrrelevantFaultKeysAndShrinksScale)
+{
+    Scenario failing = ScenarioGenerator(3).generate(0);
+    failing.plan.task_crash_prob = 0.5;
+    failing.plan.chunk_corrupt_prob = 0.3;
+    failing.plan.bad_record_prob = 0.2;
+    failing.plan.straggler_prob = 0.25;
+    failing.blocks = 64;
+    failing.items = 32;
+    failing.reducers = 4;
+    failing.threads = 8;
+
+    // Stand-in oracle: the "bug" only needs a crash probability above
+    // 0.1 — everything else is noise the shrinker should strip.
+    auto still_fails = [](const Scenario& s) {
+        return s.plan.task_crash_prob > 0.1;
+    };
+    ShrinkResult out = shrinkScenario(failing, still_fails);
+
+    EXPECT_TRUE(still_fails(out.scenario));
+    EXPECT_GT(out.evaluations, 0);
+    EXPECT_DOUBLE_EQ(out.scenario.plan.chunk_corrupt_prob, 0.0);
+    EXPECT_DOUBLE_EQ(out.scenario.plan.bad_record_prob, 0.0);
+    EXPECT_DOUBLE_EQ(out.scenario.plan.straggler_prob, 0.0);
+    EXPECT_TRUE(out.scenario.plan.server_crashes.empty());
+    EXPECT_EQ(out.scenario.blocks, 4u);
+    EXPECT_EQ(out.scenario.items, 4u);
+    EXPECT_EQ(out.scenario.reducers, 1u);
+    EXPECT_LE(out.scenario.threads, 2u);
+    // The crash probability is halved only while the failure survives.
+    EXPECT_GT(out.scenario.plan.task_crash_prob, 0.1);
+    EXPECT_LE(out.scenario.plan.task_crash_prob, 0.125 + 1e-12);
+}
+
+TEST(ShrinkTest, IsDeterministicAndRespectsTheEvaluationBudget)
+{
+    Scenario failing = ScenarioGenerator(9).generate(1);
+    failing.plan.task_crash_prob = 0.9;
+    auto still_fails = [](const Scenario& s) {
+        return s.plan.task_crash_prob > 0.0;
+    };
+    ShrinkResult a = shrinkScenario(failing, still_fails);
+    ShrinkResult b = shrinkScenario(failing, still_fails);
+    EXPECT_EQ(a.scenario.describe(), b.scenario.describe());
+    EXPECT_EQ(a.evaluations, b.evaluations);
+
+    ShrinkResult capped = shrinkScenario(failing, still_fails, 3);
+    EXPECT_LE(capped.evaluations, 3);
+}
+
+TEST(ChaosOracleTest, CoverageBatterySucceedsOnTheRealEstimator)
+{
+    ChaosOracle oracle;
+    std::optional<Violation> miss = oracle.coverageBattery(5, 12);
+    EXPECT_FALSE(miss.has_value())
+        << miss->invariant << ": " << miss->detail;
+}
+
+}  // namespace
+}  // namespace approxhadoop::chaos

@@ -96,5 +96,68 @@ TEST(FaultPlanParseTest, RepeatedServerClausesAreAllowed)
     EXPECT_EQ(plan.server_crashes[1].server, 1u);
 }
 
+TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
+{
+    const std::vector<std::string> specs = {
+        "",
+        "crash=0.25",
+        "crash=0.1,corrupt=0.05,badrec=0.01,rcrash=0.2",
+        "straggler=0.3:5",
+        "straggler=0.3:5:0.7",
+        "server=2@150,server=0@10+25",
+        "crash=0.5,straggler=0.1:8:0.25,server=4@99.5+3.5,seed=777",
+        "seed=42",
+    };
+    for (const std::string& spec : specs) {
+        FaultPlan plan = FaultPlan::parse(spec);
+        // spec() must itself parse, and the reparsed plan must be
+        // field-identical — that makes every logged plan replayable.
+        FaultPlan again = FaultPlan::parse(plan.spec());
+        EXPECT_EQ(plan.task_crash_prob, again.task_crash_prob) << spec;
+        EXPECT_EQ(plan.reduce_crash_prob, again.reduce_crash_prob) << spec;
+        EXPECT_EQ(plan.chunk_corrupt_prob, again.chunk_corrupt_prob)
+            << spec;
+        EXPECT_EQ(plan.bad_record_prob, again.bad_record_prob) << spec;
+        EXPECT_EQ(plan.straggler_prob, again.straggler_prob) << spec;
+        EXPECT_EQ(plan.straggler_factor, again.straggler_factor) << spec;
+        EXPECT_EQ(plan.straggler_sigma, again.straggler_sigma) << spec;
+        EXPECT_EQ(plan.seed, again.seed) << spec;
+        ASSERT_EQ(plan.server_crashes.size(), again.server_crashes.size())
+            << spec;
+        for (size_t i = 0; i < plan.server_crashes.size(); ++i) {
+            EXPECT_EQ(plan.server_crashes[i].server,
+                      again.server_crashes[i].server)
+                << spec;
+            EXPECT_EQ(plan.server_crashes[i].at,
+                      again.server_crashes[i].at)
+                << spec;
+            EXPECT_EQ(plan.server_crashes[i].down_for,
+                      again.server_crashes[i].down_for)
+                << spec;
+        }
+        // And spec() must be canonical: serializing twice is a fixpoint.
+        EXPECT_EQ(plan.spec(), again.spec()) << spec;
+    }
+    EXPECT_EQ(FaultPlan{}.spec(), "");
+}
+
+TEST(FaultPlanRoundTripTest, EveryParserKeyAppearsInSummaryAndHelp)
+{
+    // A key the parser accepts but the summary or help text omits is a
+    // key users can neither discover nor see in logs. Build a plan that
+    // exercises every key so summary() has a reason to mention each.
+    FaultPlan plan = FaultPlan::parse(
+        "crash=0.1,corrupt=0.2,badrec=0.3,rcrash=0.4,"
+        "straggler=0.5:4,server=1@50,seed=9");
+    const std::string summary = plan.summary();
+    const std::string help = FaultPlan::helpText();
+    for (const std::string& key : FaultPlan::specKeys()) {
+        EXPECT_NE(summary.find(key), std::string::npos)
+            << "summary() omits parser key '" << key << "': " << summary;
+        EXPECT_NE(help.find(key), std::string::npos)
+            << "helpText() omits parser key '" << key << "'";
+    }
+}
+
 }  // namespace
 }  // namespace approxhadoop::ft

@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -28,6 +29,42 @@ TEST(RecoveryPolicyTest, CustomScheduleHonoursKnobs)
     EXPECT_DOUBLE_EQ(policy.backoffDelay(2), 3.0);
     EXPECT_DOUBLE_EQ(policy.backoffDelay(3), 9.0);
     EXPECT_DOUBLE_EQ(policy.backoffDelay(4), 10.0);
+}
+
+TEST(RecoveryPolicyTest, HugeAttemptCountsSaturateAtCapWithoutOverflow)
+{
+    RecoveryPolicy policy;  // 5s initial, x2, 60s cap
+    // A naive 2^(n-1) shift or repeated multiply overflows (or spins for
+    // minutes) long before these attempt counts; the delay must simply
+    // saturate at the cap, instantly.
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(64), 60.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(1000000), 60.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(UINT32_MAX), 60.0);
+}
+
+TEST(RecoveryPolicyTest, UnityFactorNeverExceedsInitialOrHangs)
+{
+    RecoveryPolicy policy;
+    policy.backoff_initial = 5.0;
+    policy.backoff_factor = 1.0;  // delay never grows toward the cap
+    policy.backoff_cap = 60.0;
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(1), 5.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(2), 5.0);
+    // Regression: the old loop implementation iterated once per attempt
+    // waiting for the delay to reach the cap; with factor 1.0 it never
+    // does, so this call spun ~4e9 iterations.
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(UINT32_MAX), 5.0);
+}
+
+TEST(RecoveryPolicyTest, InitialAboveCapIsClampedFromTheFirstAttempt)
+{
+    RecoveryPolicy policy;
+    policy.backoff_initial = 120.0;
+    policy.backoff_factor = 2.0;
+    policy.backoff_cap = 60.0;
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(0), 60.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(1), 60.0);
+    EXPECT_DOUBLE_EQ(policy.backoffDelay(7), 60.0);
 }
 
 TEST(RecoveryPolicyTest, HadoopStyleDefaults)

@@ -97,6 +97,76 @@ TEST(IntegrityBlobTest, TruncatedAndTrailingBytesThrow)
     EXPECT_THROW(trailing.expectEnd(), std::runtime_error);
 }
 
+TEST(IntegrityBlobTest, ZeroLengthInputThrowsOnEveryGetter)
+{
+    const std::string empty;
+    EXPECT_TRUE(BlobReader(empty).atEnd());
+    EXPECT_NO_THROW(BlobReader(empty).expectEnd());
+    {
+        BlobReader r(empty);
+        EXPECT_THROW(r.getU64(), std::runtime_error);
+    }
+    {
+        BlobReader r(empty);
+        EXPECT_THROW(r.getDouble(), std::runtime_error);
+    }
+    {
+        BlobReader r(empty);
+        EXPECT_THROW(r.getString(), std::runtime_error);
+    }
+    {
+        BlobReader r(empty);
+        EXPECT_THROW(r.getBool(), std::runtime_error);
+    }
+}
+
+TEST(IntegrityBlobTest, EveryTruncationPointOfAMixedBlobThrows)
+{
+    BlobWriter w;
+    w.putU64(42);
+    w.putDouble(2.5);
+    w.putString("checkpoint");
+    w.putBool(true);
+    const std::string blob = w.str();
+
+    // A corrupt checkpoint may be cut anywhere; every prefix must fail
+    // with an exception (never read out of bounds or return garbage).
+    for (size_t cut = 0; cut < blob.size(); ++cut) {
+        std::string prefix = blob.substr(0, cut);  // BlobReader keeps a ref
+        BlobReader r(prefix);
+        EXPECT_THROW(
+            {
+                r.getU64();
+                r.getDouble();
+                r.getString();
+                r.getBool();
+            },
+            std::runtime_error)
+            << "prefix of " << cut << " bytes parsed cleanly";
+    }
+}
+
+TEST(IntegrityBlobTest, OversizedStringLengthPrefixThrowsNotAllocates)
+{
+    // A corrupted length prefix can claim a string far larger than the
+    // blob (or than memory). The reader must reject it up front instead
+    // of attempting a huge allocation or reading past the buffer.
+    BlobWriter w;
+    w.putU64(~0ULL);  // string length 2^64-1, no payload
+    {
+        BlobReader r(w.str());
+        EXPECT_THROW(r.getString(), std::runtime_error);
+    }
+
+    BlobWriter w2;
+    w2.putU64(1000);  // claims 1000 bytes, provides 4
+    std::string blob = w2.str() + "abcd";
+    {
+        BlobReader r(blob);
+        EXPECT_THROW(r.getString(), std::runtime_error);
+    }
+}
+
 mr::MapOutputChunk
 sampleChunk()
 {

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for Counters::conservationViolation(): a real faulted job's
+ * counters must satisfy every conservation identity, and tampering with
+ * any single counter must be detected. This is the unit-level anchor
+ * for the chaos harness's counter-conservation invariant.
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/aggregation_registry.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/counters.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::mr {
+namespace {
+
+/** Runs projectpop under crash+corruption faults and returns counters. */
+Counters
+faultedRunCounters(uint32_t reducers)
+{
+    const apps::AggregationWorkload* w =
+        apps::findAggregationWorkload("projectpop");
+    auto data = w->make_dataset(24, 16, 99);
+    JobConfig config = w->job_config(16, reducers);
+    config.seed = 99;
+    config.failure_mode = ft::FailureMode::kAbsorb;
+    config.fault_plan =
+        ft::FaultPlan::parse("crash=0.2,corrupt=0.15,rcrash=0.1,seed=5");
+    sim::Cluster cluster{sim::ClusterConfig::xeon10()};
+    hdfs::NameNode nn(cluster.numServers(), 3, 99);
+    core::ApproxJobRunner runner(cluster, *data, nn);
+    core::ApproxConfig approx;
+    approx.sampling_ratio = 0.5;
+    JobResult result = runner.runAggregation(
+        config, approx, w->mapper_factory(), w->op);
+    return result.counters;
+}
+
+TEST(CountersConservationTest, FaultedRunSatisfiesAllIdentities)
+{
+    Counters c = faultedRunCounters(2);
+    EXPECT_TRUE(c.anyFaults()) << "fault plan should have fired";
+    EXPECT_EQ(c.conservationViolation(2), "");
+}
+
+TEST(CountersConservationTest, EachTamperedIdentityIsNamed)
+{
+    Counters base = faultedRunCounters(2);
+    ASSERT_EQ(base.conservationViolation(2), "");
+
+    struct Tamper
+    {
+        const char* name;
+        void (*apply)(Counters&);
+        const char* expect;  // substring of the violation message
+    };
+    const Tamper cases[] = {
+        {"phantom completed map",
+         [](Counters& c) { ++c.maps_completed; }, "task conservation"},
+        {"vanished attempt",
+         [](Counters& c) { ++c.map_attempts_launched; },
+         "attempt conservation"},
+        {"double-delivered chunk",
+         [](Counters& c) { ++c.chunks_delivered; }, "delivered-once"},
+        {"negative wasted work",
+         [](Counters& c) { c.wasted_attempt_seconds = -1.0; },
+         "wasted"},
+        {"negative detection wait",
+         [](Counters& c) { c.detection_wait_seconds = -0.5; },
+         "detection"},
+        {"refetch without corruption",
+         [](Counters& c) { c.chunk_refetches = c.chunks_corrupted + 1; },
+         "refetch"},
+        {"processed more than read",
+         [](Counters& c) { c.items_processed = c.items_read + 1; },
+         "containment"},
+        {"read more than the input",
+         [](Counters& c) { c.items_read = c.items_total + 1; },
+         "containment"},
+        {"retry without failure",
+         [](Counters& c) {
+             c.maps_retried =
+                 c.map_attempts_failed + c.map_outputs_lost + 1;
+         },
+         "retry"},
+    };
+    for (const Tamper& t : cases) {
+        Counters c = base;
+        t.apply(c);
+        std::string violation = c.conservationViolation(2);
+        EXPECT_FALSE(violation.empty()) << t.name << " not detected";
+        EXPECT_NE(violation.find(t.expect), std::string::npos)
+            << t.name << " reported as: " << violation;
+    }
+}
+
+TEST(CountersConservationTest, ReducerCountEntersDeliveredOnce)
+{
+    Counters c = faultedRunCounters(4);
+    EXPECT_EQ(c.conservationViolation(4), "");
+    // The same counters checked against the wrong reducer count must
+    // fail: delivered-once is reducer-sensitive.
+    if (c.maps_completed > 0) {
+        EXPECT_NE(c.conservationViolation(1), "");
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop::mr

@@ -15,6 +15,7 @@
  *   approxrun projectpop --precise --cluster atom60 --blocks 3552
  */
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -23,11 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/aggregation_registry.h"
 #include "apps/dc_placement_app.h"
 #include "apps/frame_encoder_app.h"
-#include "apps/log_apps.h"
-#include "apps/webserver_apps.h"
-#include "apps/wiki_apps.h"
 #include "common/logging.h"
 #include "core/approx_config.h"
 #include "core/approx_job.h"
@@ -35,10 +34,7 @@
 #include "ft/recovery_policy.h"
 #include "hdfs/namenode.h"
 #include "sim/cluster.h"
-#include "workloads/access_log.h"
 #include "workloads/dc_placement.h"
-#include "workloads/webserver_log.h"
-#include "workloads/wiki_dump.h"
 
 using namespace approxhadoop;
 
@@ -64,6 +60,10 @@ struct Options
     bool heartbeat_set = false;
     double task_timeout_ms = -1.0;
     bool timeout_set = false;
+    uint32_t max_attempts = 0;
+    bool max_attempts_set = false;
+    uint64_t checkpoint_interval = 0;
+    bool checkpoint_set = false;
     bool selfcheck = false;
 };
 
@@ -82,10 +82,9 @@ usage()
         "usage: approxrun <app> [options]\n"
         "\n"
         "apps:\n"
-        "  wikilength wikipagerank        (Wikipedia dump)\n"
-        "  projectpop pagepop pagetraffic (Wikipedia access log)\n"
-        "  webrate attacks totalsize requestsize clients browsers\n"
-        "                                 (web-server log)\n"
+        "  %s\n"
+        "                                 (multi-stage sampling "
+        "aggregations)\n"
         "  dcplacement                    (simulated annealing, GEV)\n"
         "  video                          (user-defined approximation)\n"
         "\n"
@@ -93,25 +92,29 @@ usage()
         "  --precise             run without any approximation\n"
         "  --sampling R          input data sampling ratio in (0,1]\n"
         "  --drop R              map dropping ratio in [0,1)\n"
-        "  --target X            target relative error (e.g. 0.01)\n"
-        "  --confidence C        confidence level (default 0.95)\n"
+        "  --target X            target relative error > 0 (e.g. 0.01)\n"
+        "  --confidence C        confidence level in (0,1) "
+        "(default 0.95)\n"
         "  --pilot N:R           pilot wave of N maps at ratio R\n"
-        "  --user-defined F      fraction of approximate map variants\n"
-        "  --blocks N            input blocks (= map tasks)\n"
-        "  --items N             items per block\n"
-        "  --reducers N          reduce tasks (default 1)\n"
+        "  --user-defined F      fraction of approximate map variants,\n"
+        "                        in [0,1]\n"
+        "  --blocks N            input blocks (= map tasks), N >= 1\n"
+        "  --items N             items per block, N >= 1\n"
+        "  --reducers N          reduce tasks in [1, 1024] (default 1)\n"
         "  --threads N           host threads for real map work "
         "(default 1;\n"
         "                        results are identical at any setting)\n"
         "  --cluster NAME        xeon10 (default) or atom60\n"
-        "  --seed S              experiment seed\n"
-        "  --fault-plan SPEC     inject failures; SPEC is comma-separated\n"
-        "                        crash=P, straggler=P:F[:S], corrupt=P,\n"
-        "                        badrec=P, rcrash=P, server=ID@T[+D],\n"
-        "                        seed=S\n"
+        "  --seed S              experiment seed (non-negative integer)\n"
+        "  --fault-plan SPEC     inject failures; SPEC grammar:\n"
+        "%s"
         "  --failure-mode M      retry | absorb | auto (default retry)\n"
+        "  --max-attempts N      map attempts before the job aborts,\n"
+        "                        in [1, 1000000] (default 4)\n"
+        "  --checkpoint-interval N  reducer checkpoint every N chunks\n"
+        "                        (0 disables; default 8)\n"
         "  --heartbeat-interval MS  task heartbeat period, simulated ms\n"
-        "                        (default 1000)\n"
+        "                        (> 0; default 1000)\n"
         "  --task-timeout MS     declare a silent task dead after MS\n"
         "                        since its last heartbeat (default 10000;\n"
         "                        <= 0: instantaneous detection)\n"
@@ -123,7 +126,69 @@ usage()
         "  --verbose             framework INFO logging\n"
         "\n"
         "exit codes: 0 ok, 2 bad usage, 3 job failed (retries\n"
-        "exhausted), 4 selfcheck CI coverage failure\n");
+        "exhausted), 4 selfcheck CI coverage failure\n",
+        apps::aggregationWorkloadNames().c_str(),
+        ft::FaultPlan::helpText().c_str());
+}
+
+/**
+ * Strict numeric parsers: the whole token must be a finite number in
+ * range, or the flag is rejected (exit 2). atof/atoi-style silent
+ * garbage-to-zero would turn a typo like `--sampling 0..1` into a
+ * drastically different experiment.
+ */
+bool
+parseDouble(const char* text, double& out)
+{
+    if (text == nullptr || *text == '\0') {
+        return false;
+    }
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' || !std::isfinite(v)) {
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseUint64(const char* text, uint64_t& out)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::strchr(text, '-') != nullptr) {
+        return false;
+    }
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        return false;
+    }
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+parseUint32(const char* text, uint32_t lo, uint32_t hi, uint32_t& out)
+{
+    uint64_t v = 0;
+    if (!parseUint64(text, v) || v < lo || v > hi) {
+        return false;
+    }
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+/** Reports a malformed flag value with the expected grammar; always
+ *  returns false so parse sites can `return badValue(...)`. */
+bool
+badValue(const std::string& flag, const char* grammar, const char* got)
+{
+    std::fprintf(stderr, "%s wants %s, got '%s'\n", flag.c_str(), grammar,
+                 got == nullptr ? "" : got);
+    return false;
 }
 
 bool
@@ -145,48 +210,95 @@ parseArgs(int argc, char** argv, Options& opt)
         if (arg == "--precise") {
             opt.precise = true;
         } else if (arg == "--sampling") {
-            opt.approx.sampling_ratio = std::atof(value());
+            const char* v = value();
+            if (!parseDouble(v, opt.approx.sampling_ratio) ||
+                opt.approx.sampling_ratio <= 0.0 ||
+                opt.approx.sampling_ratio > 1.0) {
+                return badValue(arg, "a ratio in (0, 1]", v);
+            }
         } else if (arg == "--drop") {
-            opt.approx.drop_ratio = std::atof(value());
+            const char* v = value();
+            if (!parseDouble(v, opt.approx.drop_ratio) ||
+                opt.approx.drop_ratio < 0.0 ||
+                opt.approx.drop_ratio >= 1.0) {
+                return badValue(arg, "a ratio in [0, 1)", v);
+            }
         } else if (arg == "--target") {
-            opt.approx.target_relative_error = std::atof(value());
+            const char* v = value();
+            double target = 0.0;
+            if (!parseDouble(v, target) || target <= 0.0) {
+                return badValue(arg, "a relative error > 0", v);
+            }
+            opt.approx.target_relative_error = target;
         } else if (arg == "--confidence") {
-            opt.approx.confidence = std::atof(value());
+            const char* v = value();
+            if (!parseDouble(v, opt.approx.confidence) ||
+                opt.approx.confidence <= 0.0 ||
+                opt.approx.confidence >= 1.0) {
+                return badValue(arg, "a confidence level in (0, 1)", v);
+            }
         } else if (arg == "--pilot") {
             const char* v = value();
             const char* colon = std::strchr(v, ':');
             if (colon == nullptr) {
-                std::fprintf(stderr, "--pilot wants N:R\n");
-                return false;
+                return badValue(arg, "N:R (pilot maps : sampling ratio)",
+                                v);
+            }
+            std::string maps(v, colon - v);
+            if (!parseUint64(maps.c_str(), opt.approx.pilot.maps) ||
+                opt.approx.pilot.maps == 0 ||
+                !parseDouble(colon + 1,
+                             opt.approx.pilot.sampling_ratio) ||
+                opt.approx.pilot.sampling_ratio <= 0.0 ||
+                opt.approx.pilot.sampling_ratio > 1.0) {
+                return badValue(arg,
+                                "N:R with N >= 1 maps and R in (0, 1]", v);
             }
             opt.approx.pilot.enabled = true;
-            opt.approx.pilot.maps = std::strtoull(v, nullptr, 10);
-            opt.approx.pilot.sampling_ratio = std::atof(colon + 1);
         } else if (arg == "--user-defined") {
-            opt.approx.user_defined_fraction = std::atof(value());
-        } else if (arg == "--blocks") {
-            opt.blocks = std::strtoull(value(), nullptr, 10);
-        } else if (arg == "--items") {
-            opt.items = std::strtoull(value(), nullptr, 10);
-        } else if (arg == "--reducers") {
-            opt.reducers = static_cast<uint32_t>(std::atoi(value()));
-        } else if (arg == "--threads") {
-            int threads = std::atoi(value());
-            if (threads < 1 || threads > 1024) {
-                std::fprintf(stderr,
-                             "--threads wants a value in [1, 1024]\n");
-                return false;
+            const char* v = value();
+            if (!parseDouble(v, opt.approx.user_defined_fraction) ||
+                opt.approx.user_defined_fraction < 0.0 ||
+                opt.approx.user_defined_fraction > 1.0) {
+                return badValue(arg, "a fraction in [0, 1]", v);
             }
-            opt.threads = static_cast<uint32_t>(threads);
+        } else if (arg == "--blocks") {
+            const char* v = value();
+            if (!parseUint64(v, opt.blocks) || opt.blocks == 0) {
+                return badValue(arg, "an integer >= 1", v);
+            }
+        } else if (arg == "--items") {
+            const char* v = value();
+            if (!parseUint64(v, opt.items) || opt.items == 0) {
+                return badValue(arg, "an integer >= 1", v);
+            }
+        } else if (arg == "--reducers") {
+            const char* v = value();
+            if (!parseUint32(v, 1, 1024, opt.reducers)) {
+                return badValue(arg, "an integer in [1, 1024]", v);
+            }
+        } else if (arg == "--threads") {
+            const char* v = value();
+            if (!parseUint32(v, 1, 1024, opt.threads)) {
+                return badValue(arg, "an integer in [1, 1024]", v);
+            }
         } else if (arg == "--cluster") {
             opt.cluster = value();
+            if (opt.cluster != "xeon10" && opt.cluster != "atom60") {
+                return badValue(arg, "one of: xeon10 atom60",
+                                opt.cluster.c_str());
+            }
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(value(), nullptr, 10);
+            const char* v = value();
+            if (!parseUint64(v, opt.seed)) {
+                return badValue(arg, "a non-negative integer", v);
+            }
         } else if (arg == "--fault-plan") {
             try {
                 opt.fault_plan = ft::FaultPlan::parse(value());
             } catch (const std::exception& e) {
-                std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+                std::fprintf(stderr, "--fault-plan: %s\n%s", e.what(),
+                             ft::FaultPlan::helpText().c_str());
                 return false;
             }
         } else if (arg == "--failure-mode") {
@@ -196,18 +308,42 @@ parseArgs(int argc, char** argv, Options& opt)
                 std::fprintf(stderr, "--failure-mode: %s\n", e.what());
                 return false;
             }
+        } else if (arg == "--max-attempts") {
+            const char* v = value();
+            if (!parseUint32(v, 1, 1000000, opt.max_attempts)) {
+                return badValue(arg, "an integer in [1, 1000000]", v);
+            }
+            opt.max_attempts_set = true;
+        } else if (arg == "--checkpoint-interval") {
+            const char* v = value();
+            if (!parseUint64(v, opt.checkpoint_interval)) {
+                return badValue(arg, "a non-negative integer", v);
+            }
+            opt.checkpoint_set = true;
         } else if (arg == "--heartbeat-interval") {
-            opt.heartbeat_interval_ms = std::atof(value());
+            const char* v = value();
+            if (!parseDouble(v, opt.heartbeat_interval_ms) ||
+                opt.heartbeat_interval_ms <= 0.0) {
+                return badValue(arg, "a period in ms > 0", v);
+            }
             opt.heartbeat_set = true;
         } else if (arg == "--task-timeout") {
-            opt.task_timeout_ms = std::atof(value());
+            const char* v = value();
+            if (!parseDouble(v, opt.task_timeout_ms)) {
+                return badValue(arg, "a timeout in ms", v);
+            }
             opt.timeout_set = true;
         } else if (arg == "--selfcheck") {
             opt.selfcheck = true;
         } else if (arg == "--s3") {
             opt.s3 = true;
         } else if (arg == "--top") {
-            opt.top = std::atoi(value());
+            const char* v = value();
+            uint32_t top = 0;
+            if (!parseUint32(v, 0, 1000000, top)) {
+                return badValue(arg, "a non-negative integer", v);
+            }
+            opt.top = static_cast<int>(top);
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
@@ -259,6 +395,12 @@ applyCommonConfig(const Options& opt, mr::JobConfig& config)
     }
     if (opt.timeout_set) {
         config.task_timeout_ms = opt.task_timeout_ms;
+    }
+    if (opt.max_attempts_set) {
+        config.recovery.max_attempts = opt.max_attempts;
+    }
+    if (opt.checkpoint_set) {
+        config.reducer_checkpoint_interval = opt.checkpoint_interval;
     }
 }
 
@@ -317,32 +459,35 @@ selfcheckAgainst(const mr::JobResult& approx, const mr::JobResult& precise)
     return kExitOk;
 }
 
-template <typename App>
+/**
+ * Runs one registry aggregation workload. All eleven aggregation apps
+ * dispatch through the registry (src/apps/aggregation_registry.h), the
+ * same table the chaos harness fuzzes, so the CLI and the fuzzer can
+ * never disagree about what a workload means.
+ */
 int
-runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
-                  mr::JobConfig config)
+runAggregationWorkload(const Options& opt,
+                       const apps::AggregationWorkload& workload)
 {
-    config.num_reducers = opt.reducers;
+    uint64_t blocks = opt.blocks ? opt.blocks : workload.default_blocks;
+    uint64_t items = opt.items ? opt.items : workload.default_items;
+    std::unique_ptr<hdfs::BlockDataset> data =
+        workload.make_dataset(blocks, items, opt.seed);
+    mr::JobConfig config = workload.job_config(items, opt.reducers);
     applyCommonConfig(opt, config);
     sim::Cluster cluster(clusterConfigFor(opt));
     hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
-    core::ApproxJobRunner runner(cluster, data, nn);
+    core::ApproxJobRunner runner(cluster, *data, nn);
     mr::JobResult result =
-        opt.precise ? runner.runPrecise(config, App::mapperFactory(),
-                                        App::preciseReducerFactory())
-                    : runner.runAggregation(config, opt.approx,
-                                            App::mapperFactory(), App::kOp);
+        opt.precise
+            ? runner.runPrecise(config, workload.mapper_factory(),
+                                workload.precise_reducer_factory())
+            : runner.runAggregation(config, opt.approx,
+                                    workload.mapper_factory(), workload.op);
     printResult(opt, result);
     if (opt.selfcheck && !opt.precise) {
-        // Fault-free precise reference on a fresh cluster.
-        mr::JobConfig ref_config = config;
-        ref_config.fault_plan = ft::FaultPlan{};
-        ref_config.failure_mode = ft::FailureMode::kRetry;
-        sim::Cluster ref_cluster(clusterConfigFor(opt));
-        hdfs::NameNode ref_nn(ref_cluster.numServers(), 3, opt.seed);
-        core::ApproxJobRunner ref_runner(ref_cluster, data, ref_nn);
-        mr::JobResult precise = ref_runner.runPrecise(
-            ref_config, App::mapperFactory(), App::preciseReducerFactory());
+        mr::JobResult precise = apps::runPreciseReference(
+            workload, *data, config, clusterConfigFor(opt), opt.seed);
         return selfcheckAgainst(result, precise);
     }
     return kExitOk;
@@ -351,73 +496,10 @@ runAggregationApp(const Options& opt, const hdfs::BlockDataset& data,
 int
 runApp(const Options& opt)
 {
-    // --- Wikipedia dump apps ------------------------------------------------
-    if (opt.app == "wikilength" || opt.app == "wikipagerank") {
-        workloads::WikiDumpParams params;
-        params.num_blocks = opt.blocks ? opt.blocks : 161;
-        params.articles_per_block = opt.items ? opt.items : 400;
-        params.seed = opt.seed;
-        auto dump = workloads::makeWikiDump(params);
-        if (opt.app == "wikilength") {
-            return runAggregationApp<apps::WikiLength>(
-                opt, *dump,
-                apps::WikiLength::jobConfig(params.articles_per_block));
-        }
-        return runAggregationApp<apps::WikiPageRank>(
-            opt, *dump,
-            apps::WikiPageRank::jobConfig(params.articles_per_block));
-    }
-
-    // --- Wikipedia access-log apps ------------------------------------------
-    if (opt.app == "projectpop" || opt.app == "pagepop" ||
-        opt.app == "pagetraffic") {
-        workloads::AccessLogParams params;
-        params.num_blocks = opt.blocks ? opt.blocks : 744;
-        params.entries_per_block = opt.items ? opt.items : 400;
-        params.seed = opt.seed;
-        auto log = workloads::makeAccessLog(params);
-        mr::JobConfig config = apps::logProcessingConfig(
-            opt.app, params.entries_per_block);
-        if (opt.app == "projectpop") {
-            return runAggregationApp<apps::ProjectPopularity>(opt, *log,
-                                                              config);
-        }
-        if (opt.app == "pagepop") {
-            return runAggregationApp<apps::PagePopularity>(opt, *log,
-                                                           config);
-        }
-        return runAggregationApp<apps::PageTraffic>(opt, *log, config);
-    }
-
-    // --- Web-server log apps -------------------------------------------------
-    if (opt.app == "webrate" || opt.app == "attacks" ||
-        opt.app == "totalsize" || opt.app == "requestsize" ||
-        opt.app == "clients" || opt.app == "browsers") {
-        workloads::WebServerLogParams params;
-        params.num_weeks = opt.blocks ? opt.blocks : 80;
-        params.entries_per_week = opt.items ? opt.items : 2000;
-        params.seed = opt.seed;
-        auto log = workloads::makeWebServerLog(params);
-        mr::JobConfig config =
-            apps::webServerLogConfig(opt.app, params.entries_per_week);
-        if (opt.app == "webrate") {
-            return runAggregationApp<apps::WebRequestRate>(opt, *log,
-                                                           config);
-        }
-        if (opt.app == "attacks") {
-            return runAggregationApp<apps::AttackFrequencies>(opt, *log,
-                                                              config);
-        }
-        if (opt.app == "totalsize") {
-            return runAggregationApp<apps::TotalSize>(opt, *log, config);
-        }
-        if (opt.app == "requestsize") {
-            return runAggregationApp<apps::RequestSize>(opt, *log, config);
-        }
-        if (opt.app == "clients") {
-            return runAggregationApp<apps::Clients>(opt, *log, config);
-        }
-        return runAggregationApp<apps::ClientBrowser>(opt, *log, config);
+    // --- Multi-stage-sampling aggregations (registry dispatch) --------------
+    if (const apps::AggregationWorkload* workload =
+            apps::findAggregationWorkload(opt.app)) {
+        return runAggregationWorkload(opt, *workload);
     }
 
     // --- DC Placement (GEV) ---------------------------------------------------
@@ -431,9 +513,7 @@ runApp(const Options& opt)
         uint64_t seeds_per_map = opt.items ? opt.items : 2;
         auto seeds =
             workloads::makeDCPlacementSeeds(maps, seeds_per_map, opt.seed);
-        sim::ClusterConfig cc = opt.cluster == "atom60"
-                                    ? sim::ClusterConfig::atom60()
-                                    : sim::ClusterConfig::xeon10();
+        sim::ClusterConfig cc = clusterConfigFor(opt);
         cc.map_slots_per_server = 4;
         sim::Cluster cluster(cc);
         hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
@@ -459,9 +539,7 @@ runApp(const Options& opt)
         uint64_t frames = opt.items ? opt.items : 120;
         auto data = apps::FrameEncoderApp::makeFrames(blocks, frames,
                                                       opt.seed);
-        sim::Cluster cluster(opt.cluster == "atom60"
-                                 ? sim::ClusterConfig::atom60()
-                                 : sim::ClusterConfig::xeon10());
+        sim::Cluster cluster(clusterConfigFor(opt));
         hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
         core::ApproxJobRunner runner(cluster, *data, nn);
         mr::JobConfig config =
@@ -474,8 +552,10 @@ runApp(const Options& opt)
         return 0;
     }
 
-    std::fprintf(stderr, "unknown app '%s'\n\n", opt.app.c_str());
-    usage();
+    std::fprintf(stderr,
+                 "unknown app '%s'; valid apps:\n  %s dcplacement video\n",
+                 opt.app.c_str(),
+                 apps::aggregationWorkloadNames().c_str());
     return kExitBadUsage;
 }
 
