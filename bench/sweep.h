@@ -12,6 +12,7 @@
 #include "hdfs/dataset.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/job.h"
+#include "obs/report.h"
 #include "sim/cluster.h"
 
 namespace approxhadoop::benchutil {
@@ -96,12 +97,19 @@ runRatioSweep(const SweepSpec& spec)
                               static_cast<uint64_t>(sampling * 1000);
                 mr::JobResult r = runner.runAggregation(
                     config, approx, spec.mapper_factory, spec.op);
-                runtimes.push_back(r.runtime);
+                // Consume the same machine-readable report approxrun
+                // --report-json emits, so the figures and the CLI
+                // artifact can never disagree about runtime or the
+                // headline CI. Only the *actual* error still needs the
+                // raw result (it requires the precise reference).
+                obs::JobReport report = obs::JobReport::build(
+                    config.name, config, r, nullptr);
+                runtimes.push_back(report.runtime_s);
                 mr::JobResult::HeadlineError err =
                     r.headlineErrorAgainst(precise);
                 actual_errors.push_back(100.0 *
                                         err.actual_relative_error);
-                bounds.push_back(100.0 * err.bound_relative_error);
+                bounds.push_back(100.0 * report.headline.relative_bound);
             }
             Agg rt = aggregate(runtimes);
             Agg err = aggregate(actual_errors);

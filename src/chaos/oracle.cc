@@ -248,18 +248,24 @@ toString(Mutation m)
 }
 
 RunOutcome
-ChaosOracle::runScenario(const Scenario& s, uint32_t threads) const
+ChaosOracle::runScenario(const Scenario& s, uint32_t threads,
+                         obs::Observability* obs,
+                         mr::JobConfig* config_out) const
 {
     const apps::AggregationWorkload& workload = workloadFor(s);
     std::unique_ptr<hdfs::BlockDataset> data =
         workload.make_dataset(s.blocks, s.items, s.job_seed);
     mr::JobConfig config = scenarioJobConfig(workload, s, threads);
     core::ApproxConfig approx = scenarioApproxConfig(s);
+    if (config_out != nullptr) {
+        *config_out = config;
+    }
 
     RunOutcome outcome;
     sim::Cluster cluster(sim::ClusterConfig::xeon10());
     hdfs::NameNode namenode(cluster.numServers(), 3, s.job_seed);
     core::ApproxJobRunner runner(cluster, *data, namenode);
+    runner.setObservability(obs);
     try {
         outcome.result = runner.runAggregation(
             config, approx, workload.mapper_factory(), workload.op);

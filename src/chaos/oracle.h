@@ -8,6 +8,10 @@
 #include "chaos/scenario.h"
 #include "mapreduce/job.h"
 
+namespace approxhadoop::obs {
+struct Observability;
+}  // namespace approxhadoop::obs
+
 namespace approxhadoop::chaos {
 
 /**
@@ -85,10 +89,16 @@ class ChaosOracle
     {
     }
 
-    /** Runs the scenario once at the given thread count (applying this
-     *  oracle's mutation to the observation). */
-    RunOutcome runScenario(const Scenario& scenario,
-                           uint32_t threads) const;
+    /**
+     * Runs the scenario once at the given thread count (applying this
+     * oracle's mutation to the observation). When @p obs is non-null the
+     * run records into it (trace + metrics) and @p config_out, if also
+     * non-null, receives the job configuration — enough for the caller
+     * to build an obs::JobReport of the run.
+     */
+    RunOutcome runScenario(const Scenario& scenario, uint32_t threads,
+                           obs::Observability* obs = nullptr,
+                           mr::JobConfig* config_out = nullptr) const;
 
     /** Runs and checks one scenario; empty result = all invariants hold. */
     std::vector<Violation> check(const Scenario& scenario) const;

@@ -14,10 +14,11 @@ Logger::instance()
 void
 Logger::log(LogLevel level, const std::string& tag, const std::string& msg)
 {
-    if (level < level_) {
+    if (level < level_.load(std::memory_order_relaxed)) {
         return;
     }
     static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(emit_mutex_);
     std::fprintf(stderr, "[%s] %s: %s\n",
                  kNames[static_cast<int>(level)], tag.c_str(), msg.c_str());
 }

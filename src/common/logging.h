@@ -1,6 +1,8 @@
 #ifndef APPROXHADOOP_COMMON_LOGGING_H_
 #define APPROXHADOOP_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,9 +14,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /**
  * Minimal leveled logger used throughout the framework.
  *
- * The logger writes to stderr and is intentionally not thread-safe: the
- * simulator is single-threaded by design (see src/sim/event_queue.h).
- * Benchmarks silence it by raising the level to kError.
+ * The logger writes to stderr and is thread-safe: the simulated event
+ * loop is single-threaded, but map-side UDF work runs on thread-pool
+ * workers (JobConfig::num_exec_threads) that may log concurrently. Each
+ * line is emitted atomically under a mutex and the level is atomic, so
+ * concurrent lines interleave whole, never mid-line. Benchmarks silence
+ * the logger by raising the level to kError.
  */
 class Logger
 {
@@ -23,13 +28,18 @@ class Logger
     static Logger& instance();
 
     /** Sets the minimum severity that will be emitted. */
-    void setLevel(LogLevel level) { level_ = level; }
+    void setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
 
     /** Returns the current minimum severity. */
-    LogLevel level() const { return level_; }
+    LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
     /**
      * Emits one log line if @p level passes the configured threshold.
+     * The line is written with a single stdio call under emit_mutex_,
+     * so lines from concurrent threads never interleave.
      *
      * @param level severity of the message
      * @param tag   short subsystem tag (e.g., "jobtracker")
@@ -40,7 +50,8 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel level_ = LogLevel::kWarn;
+    std::atomic<LogLevel> level_{LogLevel::kWarn};
+    std::mutex emit_mutex_;
 };
 
 /** Stream-style helper: LOG_STREAM(kInfo, "tag") << "message"; */

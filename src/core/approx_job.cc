@@ -59,6 +59,7 @@ ApproxJobRunner::runAggregation(mr::JobConfig config,
     }
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setObservability(obs_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -108,6 +109,7 @@ ApproxJobRunner::runThreeStageAggregation(
     }
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setObservability(obs_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -141,6 +143,7 @@ ApproxJobRunner::runExtreme(mr::JobConfig config, const ApproxConfig& approx,
     }
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setObservability(obs_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     // Extreme-value jobs approximate by dropping tasks only; sampling
@@ -176,6 +179,7 @@ ApproxJobRunner::runUserDefined(mr::JobConfig config,
     config.framework_overhead = approx.framework_overhead;
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setObservability(obs_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(std::move(reducer_factory));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -197,6 +201,7 @@ ApproxJobRunner::runPrecise(mr::JobConfig config,
                             mr::Job::ReducerFactory reducer_factory)
 {
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
+    job.setObservability(obs_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(std::move(reducer_factory));
     return job.run();

@@ -13,6 +13,10 @@
 #include "mapreduce/job.h"
 #include "sim/cluster.h"
 
+namespace approxhadoop::obs {
+struct Observability;
+}  // namespace approxhadoop::obs
+
 namespace approxhadoop::core {
 
 /**
@@ -85,6 +89,14 @@ class ApproxJobRunner
     /** True if the last target-mode run achieved its bound early. */
     bool lastTargetAchieved() const { return last_target_achieved_; }
 
+    /**
+     * Attaches an observability sink (trace recorder + metrics registry)
+     * that every subsequently run job reports into. Not owned; must
+     * outlive the run calls. Pass nullptr to detach. Strictly additive:
+     * recording never changes scheduling, results, or error bounds.
+     */
+    void setObservability(obs::Observability* obs) { obs_ = obs; }
+
   private:
     /**
      * Pre-creates @p count reducers so controllers can observe them, and
@@ -99,6 +111,7 @@ class ApproxJobRunner
     const hdfs::BlockDataset& dataset_;
     hdfs::NameNode& namenode_;
     bool last_target_achieved_ = false;
+    obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace approxhadoop::core

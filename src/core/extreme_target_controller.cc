@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace approxhadoop::core {
 
@@ -50,6 +51,18 @@ ExtremeTargetController::onMapComplete(mr::JobHandle& job,
     }
     if (meetsTarget(job)) {
         achieved_ = true;
+        if (obs::TraceRecorder* trace = job.trace()) {
+            obs::ReplanRecord rec;
+            rec.sim_time = job.now();
+            rec.trigger = "achieved";
+            rec.completed = job.completedMaps();
+            rec.running = job.runningMaps();
+            rec.pending = job.pendingMaps();
+            rec.feasible = true;
+            rec.maps_to_run = 0;
+            rec.sampling_ratio = 1.0;
+            trace->recordReplan(rec);
+        }
         job.dropAllRemaining();
         AH_INFO("gev-ctl") << "extreme target achieved after "
                            << job.completedMaps() << " maps";

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace approxhadoop::core {
 
 UserRatioController::UserRatioController(double drop_ratio)
@@ -19,7 +21,20 @@ UserRatioController::onJobStart(mr::JobHandle& job)
     }
     uint64_t to_drop = static_cast<uint64_t>(std::llround(
         drop_ratio_ * static_cast<double>(job.numMapTasks())));
-    job.dropPendingMaps(to_drop);
+    uint64_t pending_before = job.pendingMaps();
+    uint64_t dropped = job.dropPendingMaps(to_drop);
+    if (obs::TraceRecorder* trace = job.trace()) {
+        obs::ReplanRecord rec;
+        rec.sim_time = job.now();
+        rec.trigger = "user-drop";
+        rec.completed = job.completedMaps();
+        rec.running = job.runningMaps();
+        rec.pending = pending_before;
+        rec.feasible = true;
+        rec.maps_to_run = pending_before - dropped;
+        rec.sampling_ratio = job.pendingSamplingRatio();
+        trace->recordReplan(rec);
+    }
 }
 
 }  // namespace approxhadoop::core

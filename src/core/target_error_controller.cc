@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "stats/student_t.h"
 
 namespace approxhadoop::core {
@@ -219,7 +220,8 @@ TargetErrorController::solve(const mr::JobHandle& job,
     // the key with the *maximum predicted absolute error* — rare keys
     // have tiny absolute errors but unattainable relative ones, and the
     // paper's own reporting uses the max-absolute-error key.
-    auto feasible = [&](uint64_t n2, double m) {
+    auto worstAt = [&](uint64_t n2, double m, double& out_err,
+                       double& out_target) {
         uint64_t n_total = completed + running + n2;
         double worst_err = 0.0;
         double worst_tau = 0.0;
@@ -231,7 +233,14 @@ TargetErrorController::solve(const mr::JobHandle& job,
                 worst_tau = key.tau_hat;
             }
         }
-        return worst_err <= targetFor(worst_tau);
+        out_err = worst_err;
+        out_target = targetFor(worst_tau);
+        return worst_err <= out_target;
+    };
+    auto feasible = [&](uint64_t n2, double m) {
+        double err = 0.0;
+        double target = 0.0;
+        return worstAt(n2, m, err, target);
     };
 
     // Candidate n2 values: dense at the low end, geometric above.
@@ -273,29 +282,50 @@ TargetErrorController::solve(const mr::JobHandle& job,
             best.sampling_ratio =
                 std::clamp(m / mean_items, 1e-6, 1.0);
             best.predicted_ret = ret;
+            worstAt(n2, m, best.predicted_error, best.target_error);
         }
     }
     return best;
 }
 
 void
-TargetErrorController::applyPlan(mr::JobHandle& job, const Plan& plan)
+TargetErrorController::applyPlan(mr::JobHandle& job, const Plan& plan,
+                                 const char* trigger)
 {
     last_plan_ = plan;
+    uint64_t pending_before = job.pendingMaps();
     if (!plan.feasible) {
         // No approximation possible: run the remaining maps precise.
         job.setPendingSamplingRatio(1.0);
-        return;
+    } else {
+        job.setPendingSamplingRatio(plan.sampling_ratio);
+        uint64_t pending = job.pendingMaps();
+        if (pending > plan.maps_to_run) {
+            job.dropPendingMaps(pending - plan.maps_to_run);
+        }
     }
-    job.setPendingSamplingRatio(plan.sampling_ratio);
-    uint64_t pending = job.pendingMaps();
-    if (pending > plan.maps_to_run) {
-        job.dropPendingMaps(pending - plan.maps_to_run);
+    if (obs::TraceRecorder* trace = job.trace()) {
+        obs::ReplanRecord rec;
+        rec.sim_time = job.now();
+        rec.trigger = trigger;
+        rec.completed = job.completedMaps();
+        rec.running = job.runningMaps();
+        rec.pending = pending_before;
+        rec.feasible = plan.feasible;
+        rec.maps_to_run = plan.feasible ? plan.maps_to_run : pending_before;
+        rec.sampling_ratio = plan.feasible ? plan.sampling_ratio : 1.0;
+        rec.predicted_error = plan.predicted_error;
+        rec.target_error = plan.target_error;
+        rec.predicted_ret = plan.predicted_ret;
+        rec.failure_overhead = plan.failure_overhead;
+        trace->recordReplan(rec);
     }
 }
 
 bool
-TargetErrorController::currentlyMeetsTarget(const mr::JobHandle& job) const
+TargetErrorController::currentlyMeetsTarget(const mr::JobHandle& job,
+                                            double* worst_err_out,
+                                            double* worst_target_out) const
 {
     if (job.completedMaps() < config_.min_clusters_for_decision) {
         return false;
@@ -321,6 +351,12 @@ TargetErrorController::currentlyMeetsTarget(const mr::JobHandle& job) const
             worst_value = w.value;
         }
     }
+    if (worst_err_out != nullptr) {
+        *worst_err_out = worst_err;
+    }
+    if (worst_target_out != nullptr) {
+        *worst_target_out = targetFor(worst_value);
+    }
     return any_key && worst_err <= targetFor(worst_value);
 }
 
@@ -343,7 +379,7 @@ TargetErrorController::onMapComplete(mr::JobHandle& job,
         CostFit fit = fitCostModel(job);
         job.releaseHeld();
         Plan plan = solve(job, fit);
-        applyPlan(job, plan);
+        applyPlan(job, plan, "pilot");
         job.kickScheduler();
         AH_INFO("target-ctl")
             << "pilot done: plan feasible=" << plan.feasible
@@ -373,8 +409,26 @@ TargetErrorController::onMapComplete(mr::JobHandle& job,
     if (job.completedMaps() % interval != 0 && job.pendingMaps() > 0) {
         return;
     }
-    if (currentlyMeetsTarget(job)) {
+    double achieved_err = 0.0;
+    double achieved_target = 0.0;
+    if (currentlyMeetsTarget(job, &achieved_err, &achieved_target)) {
         achieved_ = true;
+        if (obs::TraceRecorder* trace = job.trace()) {
+            obs::ReplanRecord rec;
+            rec.sim_time = job.now();
+            rec.trigger = "achieved";
+            rec.completed = job.completedMaps();
+            rec.running = job.runningMaps();
+            rec.pending = job.pendingMaps();
+            rec.feasible = true;
+            rec.maps_to_run = 0;
+            rec.sampling_ratio = job.pendingSamplingRatio();
+            rec.predicted_error = achieved_err;
+            rec.target_error = achieved_target;
+            rec.predicted_ret = 0.0;
+            rec.failure_overhead = 0.0;
+            trace->recordReplan(rec);
+        }
         job.dropAllRemaining();
         AH_INFO("target-ctl") << "target achieved at "
                               << job.completedMaps() << " maps; dropping "
@@ -384,7 +438,7 @@ TargetErrorController::onMapComplete(mr::JobHandle& job,
     if (job.pendingMaps() > 0) {
         CostFit fit = fitCostModel(job);
         Plan plan = solve(job, fit);
-        applyPlan(job, plan);
+        applyPlan(job, plan, "replan");
     }
 }
 

@@ -77,6 +77,10 @@ class TargetErrorController : public mr::JobController
          * until a failure has been observed.
          */
         double failure_overhead = 0.0;
+        /** Worst-key predicted absolute error bound under the plan. */
+        double predicted_error = 0.0;
+        /** Absolute error target for that binding key. */
+        double target_error = 0.0;
         /** False when no plan meets the target (run everything). */
         bool feasible = false;
     };
@@ -128,10 +132,21 @@ class TargetErrorController : public mr::JobController
     /** Solves the optimization problem; see class comment. */
     Plan solve(const mr::JobHandle& job, const CostFit& fit) const;
 
-    void applyPlan(mr::JobHandle& job, const Plan& plan);
+    /**
+     * Applies @p plan and records it with the job's trace recorder (when
+     * one is attached); @p trigger is "pilot" or "replan".
+     */
+    void applyPlan(mr::JobHandle& job, const Plan& plan,
+                   const char* trigger);
 
-    /** True when all keys currently meet the target. */
-    bool currentlyMeetsTarget(const mr::JobHandle& job) const;
+    /**
+     * True when all keys currently meet the target. When non-null,
+     * @p worst_err / @p worst_target receive the achieved bound and
+     * absolute target of the binding (max-absolute-error) key.
+     */
+    bool currentlyMeetsTarget(const mr::JobHandle& job,
+                              double* worst_err = nullptr,
+                              double* worst_target = nullptr) const;
 
     ApproxConfig config_;
     std::vector<MultiStageSamplingReducer*> reducers_;

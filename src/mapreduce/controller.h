@@ -5,6 +5,10 @@
 
 #include "mapreduce/types.h"
 
+namespace approxhadoop::obs {
+class TraceRecorder;
+}  // namespace approxhadoop::obs
+
 namespace approxhadoop::mr {
 
 class Job;
@@ -104,6 +108,14 @@ class JobHandle
 
     /** First-retry backoff delay from the job's RecoveryPolicy. */
     double typicalRetryBackoffSeconds() const;
+
+    /**
+     * The job's trace recorder, or null when no observability sink is
+     * attached. Controllers record their planning decisions here
+     * (obs::ReplanRecord); they must not let the recorder influence any
+     * decision — observability is strictly additive.
+     */
+    obs::TraceRecorder* trace() const;
 
   private:
     Job& job_;

@@ -34,20 +34,53 @@ Counters::effectiveSamplingRatio() const
            static_cast<double>(items_total);
 }
 
+namespace {
+
+// Unbounded key=value formatting: summary() used to truncate at a fixed
+// 256-byte buffer once the fault counters grew past it.
+void
+appendKv(std::string& line, const char* key, uint64_t value)
+{
+    if (!line.empty()) {
+        line += ' ';
+    }
+    line += key;
+    line += '=';
+    line += std::to_string(value);
+}
+
+void
+appendSeconds(std::string& line, const char* key, double seconds)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+    if (!line.empty()) {
+        line += ' ';
+    }
+    line += key;
+    line += '=';
+    line += buf;
+}
+
+}  // namespace
+
 std::string
 Counters::summary() const
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "maps=%llu done=%llu dropped=%llu killed=%llu "
-                  "items=%llu processed=%llu waves=%d",
-                  static_cast<unsigned long long>(maps_total),
-                  static_cast<unsigned long long>(maps_completed),
-                  static_cast<unsigned long long>(maps_dropped),
-                  static_cast<unsigned long long>(maps_killed),
-                  static_cast<unsigned long long>(items_total),
-                  static_cast<unsigned long long>(items_processed), waves);
-    std::string line = buf;
+    std::string line;
+    appendKv(line, "maps", maps_total);
+    appendKv(line, "done", maps_completed);
+    appendKv(line, "dropped", maps_dropped);
+    appendKv(line, "killed", maps_killed);
+    appendKv(line, "speculated", maps_speculated);
+    appendKv(line, "items", items_total);
+    appendKv(line, "read", items_read);
+    appendKv(line, "processed", items_processed);
+    appendKv(line, "shuffled", records_shuffled);
+    appendKv(line, "delivered", chunks_delivered);
+    appendKv(line, "local", local_maps);
+    appendKv(line, "remote", remote_maps);
+    appendKv(line, "waves", static_cast<uint64_t>(waves < 0 ? 0 : waves));
     std::string faults = faultSummary();
     if (!faults.empty()) {
         line += " | ";
@@ -62,42 +95,29 @@ Counters::faultSummary() const
     if (!anyFaults()) {
         return "";
     }
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "attempts_failed=%llu retried=%llu absorbed=%llu "
-                  "speculated=%llu server_crashes=%llu wasted=%.1fs",
-                  static_cast<unsigned long long>(map_attempts_failed),
-                  static_cast<unsigned long long>(maps_retried),
-                  static_cast<unsigned long long>(maps_absorbed),
-                  static_cast<unsigned long long>(maps_speculated),
-                  static_cast<unsigned long long>(server_crashes),
-                  wasted_attempt_seconds);
-    std::string line = buf;
-    if (chunks_corrupted > 0 || bad_records_skipped > 0) {
-        std::snprintf(buf, sizeof(buf),
-                      " corrupt_chunks=%llu refetches=%llu "
-                      "outputs_lost=%llu bad_records=%llu",
-                      static_cast<unsigned long long>(chunks_corrupted),
-                      static_cast<unsigned long long>(chunk_refetches),
-                      static_cast<unsigned long long>(map_outputs_lost),
-                      static_cast<unsigned long long>(bad_records_skipped));
-        line += buf;
+    std::string line;
+    appendKv(line, "attempts", map_attempts_launched);
+    appendKv(line, "attempts_failed", map_attempts_failed);
+    appendKv(line, "cancelled", map_attempts_cancelled);
+    appendKv(line, "retried", maps_retried);
+    appendKv(line, "absorbed", maps_absorbed);
+    appendKv(line, "server_crashes", server_crashes);
+    appendSeconds(line, "wasted", wasted_attempt_seconds);
+    if (chunks_corrupted > 0 || bad_records_skipped > 0 ||
+        map_outputs_lost > 0) {
+        appendKv(line, "corrupt_chunks", chunks_corrupted);
+        appendKv(line, "refetches", chunk_refetches);
+        appendKv(line, "outputs_lost", map_outputs_lost);
+        appendKv(line, "bad_records", bad_records_skipped);
     }
     if (reduce_attempts_failed > 0) {
-        std::snprintf(
-            buf, sizeof(buf),
-            " reduce_failed=%llu checkpoints=%llu replayed=%llu",
-            static_cast<unsigned long long>(reduce_attempts_failed),
-            static_cast<unsigned long long>(reducer_checkpoints),
-            static_cast<unsigned long long>(chunks_replayed));
-        line += buf;
+        appendKv(line, "reduce_failed", reduce_attempts_failed);
+        appendKv(line, "checkpoints", reducer_checkpoints);
+        appendKv(line, "replayed", chunks_replayed);
     }
     if (timeouts_detected > 0) {
-        std::snprintf(
-            buf, sizeof(buf), " timeouts=%llu detect_wait=%.1fs",
-            static_cast<unsigned long long>(timeouts_detected),
-            detection_wait_seconds);
-        line += buf;
+        appendKv(line, "timeouts", timeouts_detected);
+        appendSeconds(line, "detect_wait", detection_wait_seconds);
     }
     return line;
 }

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "integrity/chunk_integrity.h"
+#include "obs/observability.h"
 
 namespace approxhadoop::mr {
 
@@ -250,6 +251,12 @@ JobHandle::typicalRetryBackoffSeconds() const
     return job_.config_.recovery.backoffDelay(1);
 }
 
+obs::TraceRecorder*
+JobHandle::trace() const
+{
+    return job_.obs_ != nullptr ? &job_.obs_->trace : nullptr;
+}
+
 // ---------------------------------------------------------------------------
 // Job: setup
 // ---------------------------------------------------------------------------
@@ -314,6 +321,13 @@ Job::setController(JobController* controller)
 {
     assert(!started_);
     controller_ = controller;
+}
+
+void
+Job::setObservability(obs::Observability* obs)
+{
+    assert(!started_);
+    obs_ = obs;
 }
 
 void
@@ -386,6 +400,11 @@ Job::placeReducers()
             if (s.freeReduceSlots() > 0) {
                 s.acquireReduceSlot(cluster_.now());
                 reducer_servers_.push_back(s.id());
+                if (obs_ != nullptr) {
+                    obs_->trace.reducerPlaced(
+                        static_cast<uint32_t>(reducer_servers_.size() - 1),
+                        s.id(), cluster_.now());
+                }
                 progress = true;
                 ++placed;
             }
@@ -580,6 +599,11 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
             });
     }
     exec.attempts.push_back(attempt);
+    if (obs_ != nullptr) {
+        obs_->trace.mapAttemptStart(task_id, attempt_index, server,
+                                    task.wave, task.sampling_ratio,
+                                    task.approximate, cluster_.now());
+    }
 }
 
 void
@@ -672,6 +696,10 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
         ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds +=
             cluster_.now() - exec.attempts[a].start;
+        if (obs_ != nullptr) {
+            obs_->trace.mapAttemptFinish(task_id, a, "cancelled",
+                                         cluster_.now());
+        }
     }
 
     // Obtain the user map function's real output. In parallel mode the
@@ -697,6 +725,11 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
         ++counters_.map_outputs_lost;
         counters_.wasted_attempt_seconds += cluster_.now() - winner.start;
         --running_count_;
+        if (obs_ != nullptr) {
+            obs_->trace.mapAttemptFinish(task_id, attempt_index,
+                                         "output-lost", cluster_.now());
+            obs_->trace.mapOutputLost(task_id, cluster_.now());
+        }
         resolveFailure(task_id);
         return;
     }
@@ -725,6 +758,12 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     completed_duration_sum_ += task.duration();
     ++completed_duration_count_;
     ++wave_counts_[task.wave].second;
+    if (obs_ != nullptr) {
+        obs_->trace.mapAttemptFinish(task_id, attempt_index, "completed",
+                                     cluster_.now());
+        obs_->metrics.histogram("map_task_duration_s")
+            .observe(task.duration());
+    }
 
     deliverChunks(task_id, std::move(chunks));
 
@@ -746,7 +785,8 @@ Job::killRunningTask(uint64_t task_id)
     MapTaskInfo& task = tasks_[task_id];
     assert(task.state == TaskState::kRunning);
     TaskExec& exec = exec_[task_id];
-    for (Attempt& a : exec.attempts) {
+    for (size_t i = 0; i < exec.attempts.size(); ++i) {
+        Attempt& a = exec.attempts[i];
         if (a.done) {
             continue;
         }
@@ -755,6 +795,10 @@ Job::killRunningTask(uint64_t task_id)
         a.done = true;
         ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds += cluster_.now() - a.start;
+        if (obs_ != nullptr) {
+            obs_->trace.mapAttemptFinish(task_id, i, "killed",
+                                         cluster_.now());
+        }
     }
     task.state = TaskState::kKilled;
     task.finish_time = cluster_.now();
@@ -797,6 +841,9 @@ Job::onAttemptCrashed(uint64_t task_id, size_t attempt_index)
     assert(!a.done && !a.crashed);
     a.crashed = true;
     a.crashed_at = cluster_.now();
+    if (obs_ != nullptr) {
+        obs_->trace.mapAttemptCrash(task_id, attempt_index, cluster_.now());
+    }
     sim::SimTime detect_at = detectionTime(a.start, a.crashed_at);
     if (detect_at <= cluster_.now()) {
         onAttemptDeclaredDead(task_id, attempt_index);
@@ -817,6 +864,10 @@ Job::onAttemptDeclaredDead(uint64_t task_id, size_t attempt_index)
     if (wait > 0.0) {
         ++counters_.timeouts_detected;
         counters_.detection_wait_seconds += wait;
+        if (obs_ != nullptr) {
+            obs_->trace.heartbeatTimeout(task_id, attempt_index, wait,
+                                         cluster_.now());
+        }
     }
     onAttemptFailed(task_id, attempt_index);
 }
@@ -839,6 +890,11 @@ Job::onOrphanDetected(uint64_t task_id, sim::SimTime crashed_at)
     if (wait > 0.0) {
         ++counters_.timeouts_detected;
         counters_.detection_wait_seconds += wait;
+        if (obs_ != nullptr) {
+            obs_->trace.heartbeatTimeout(
+                task_id, exec_[task_id].attempts.size() - 1, wait,
+                cluster_.now());
+        }
     }
     --running_count_;
     resolveFailure(task_id);
@@ -858,6 +914,10 @@ Job::failAttempt(uint64_t task_id, size_t attempt_index)
     ++tasks_[task_id].failed_attempts;
     ++counters_.map_attempts_failed;
     counters_.wasted_attempt_seconds += cluster_.now() - a.start;
+    if (obs_ != nullptr) {
+        obs_->trace.mapAttemptFinish(task_id, attempt_index, "failed",
+                                     cluster_.now());
+    }
 }
 
 void
@@ -930,6 +990,9 @@ Job::resolveFailure(uint64_t task_id)
     ++retry_wait_count_;
     ++counters_.maps_retried;
     double delay = config_.recovery.backoffDelay(task.failed_attempts);
+    if (obs_ != nullptr) {
+        obs_->trace.retryScheduled(task_id, delay, cluster_.now());
+    }
     exec_[task_id].retry_event = cluster_.events().scheduleAfter(
         delay, [this, task_id] { requeueTask(task_id); });
     // The freed slot can host other work during the backoff.
@@ -945,6 +1008,9 @@ Job::absorbFailedTask(uint64_t task_id)
     ++terminal_count_;
     ++counters_.maps_absorbed;
     ++wave_counts_[task.wave].second;
+    if (obs_ != nullptr) {
+        obs_->trace.taskAbsorbed(task_id, cluster_.now());
+    }
     // Its chunk is never delivered: the reducers see one cluster fewer,
     // which widens the confidence interval exactly as dropping does.
     scheduleLoop();
@@ -991,6 +1057,9 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
         return;  // still down from an earlier crash
     }
     ++counters_.server_crashes;
+    if (obs_ != nullptr) {
+        obs_->trace.serverCrash(crash.server, cluster_.now());
+    }
 
     // Every in-flight attempt hosted by the dying server dies with it.
     // Detection, however, is heartbeat-based: the JobTracker only learns
@@ -1050,6 +1119,9 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
                 sim::Server& s = cluster_.server(server);
                 if (s.state() == sim::ServerState::kFailed) {
                     s.repair(cluster_.now());
+                    if (obs_ != nullptr) {
+                        obs_->trace.serverRepair(server, cluster_.now());
+                    }
                     scheduleLoop();
                 }
             });
@@ -1196,6 +1268,10 @@ Job::deliverChunks(uint64_t task_id, std::vector<MapOutputChunk>&& chunks)
                     rx.checkpointed = rx.delivered;
                     rx.retained.clear();
                     ++counters_.reducer_checkpoints;
+                    if (obs_ != nullptr) {
+                        obs_->trace.reducerCheckpoint(r, rx.delivered,
+                                                      cluster_.now());
+                    }
                 }
             }
         }
@@ -1230,8 +1306,15 @@ Job::fetchVerified(uint64_t task_id, std::vector<MapOutputChunk>& chunks)
                 integrity::corruptChunk(damaged, rng);
                 assert(!integrity::verifyChunk(damaged));
                 ++counters_.chunks_corrupted;
-                if (f < config_.recovery.shuffle_fetch_retries) {
+                bool will_refetch =
+                    f < config_.recovery.shuffle_fetch_retries;
+                if (will_refetch) {
                     ++counters_.chunk_refetches;
+                }
+                if (obs_ != nullptr) {
+                    obs_->trace.shuffleCorrupt(
+                        task_id, static_cast<uint32_t>(r), will_refetch,
+                        cluster_.now());
                 }
                 continue;
             }
@@ -1270,6 +1353,10 @@ Job::restartReducer(uint32_t reducer)
     ReduceExec& rx = reduce_exec_[reducer];
     ++counters_.reduce_attempts_failed;
     ++rx.attempt;
+    if (obs_ != nullptr) {
+        obs_->trace.reducerRestart(reducer, rx.attempt, rx.retained.size(),
+                                   cluster_.now());
+    }
     // Roll back to the last checkpoint, then replay the retained chunks
     // in their original delivery order. Replay re-feeds real records, so
     // recovery costs show up in reducer_records_ (and thus in the
@@ -1380,6 +1467,34 @@ Job::releaseHeld()
 // ---------------------------------------------------------------------------
 
 void
+Job::obsWaveSnapshot(int wave)
+{
+    if (obs_ == nullptr) {
+        return;
+    }
+    // Counters are cumulative, so publish them monotonically: a wave that
+    // completes out of order must never roll an instrument backwards.
+    obs::MetricsRegistry& m = obs_->metrics;
+    m.counter("maps_completed").advanceTo(counters_.maps_completed);
+    m.counter("maps_dropped").advanceTo(counters_.maps_dropped);
+    m.counter("maps_killed").advanceTo(counters_.maps_killed);
+    m.counter("maps_absorbed").advanceTo(counters_.maps_absorbed);
+    m.counter("map_attempts_launched")
+        .advanceTo(counters_.map_attempts_launched);
+    m.counter("map_attempts_failed")
+        .advanceTo(counters_.map_attempts_failed);
+    m.counter("items_processed").advanceTo(counters_.items_processed);
+    m.counter("records_shuffled").advanceTo(counters_.records_shuffled);
+    m.counter("chunks_delivered").advanceTo(counters_.chunks_delivered);
+    m.gauge("pending_maps")
+        .set(static_cast<double>(pending_count_ + held_count_ +
+                                 retry_wait_count_));
+    m.gauge("running_maps").set(static_cast<double>(running_count_));
+    m.gauge("pending_sampling_ratio").set(pending_sampling_ratio_);
+    m.snapshotWave(wave, cluster_.now());
+}
+
+void
 Job::checkWaveCompletion(int wave)
 {
     auto it = wave_counts_.find(wave);
@@ -1396,6 +1511,10 @@ Job::checkWaveCompletion(int wave)
         return;
     }
     wave_counts_.erase(it);
+    if (obs_ != nullptr) {
+        obsWaveSnapshot(wave);
+        obs_->trace.waveComplete(wave, cluster_.now());
+    }
     if (controller_ != nullptr) {
         JobHandle handle(*this);
         controller_->onWaveComplete(handle, wave);
@@ -1410,6 +1529,21 @@ Job::checkMapPhaseDone()
     }
     map_phase_done_ = true;
     counters_.waves = max_wave_ + 1;
+    if (obs_ != nullptr) {
+        // Waves whose completion never fired through checkWaveCompletion
+        // (e.g. a dropAllRemaining sweep terminated them wholesale) still
+        // get a final metrics snapshot. The controller's onWaveComplete is
+        // deliberately NOT invoked here: the pinned wave-by-wave behavior
+        // of existing integration tests must not change.
+        while (!wave_counts_.empty()) {
+            auto it = wave_counts_.begin();
+            int wave = it->first;
+            wave_counts_.erase(it);
+            obsWaveSnapshot(wave);
+            obs_->trace.waveComplete(wave, cluster_.now());
+        }
+        obs_->trace.mapPhaseDone(cluster_.now());
+    }
     if (controller_ != nullptr) {
         JobHandle handle(*this);
         controller_->onMapPhaseDone(handle);
@@ -1458,10 +1592,17 @@ Job::onReducerDone(uint32_t reducer)
     }
     cluster_.server(reducer_servers_[reducer])
         .releaseReduceSlot(cluster_.now());
+    if (obs_ != nullptr) {
+        obs_->trace.reducerFinish(reducer, reducer_records_[reducer],
+                                  cluster_.now());
+    }
     ++reducers_done_;
     if (reducers_done_ == config_.num_reducers) {
         end_time_ = cluster_.now();
         job_done_ = true;
+        if (obs_ != nullptr) {
+            obs_->trace.endJob(cluster_.now());
+        }
         // Wake any servers we parked so the cluster is reusable.
         for (sim::Server& s : cluster_.servers()) {
             if (s.state() == sim::ServerState::kLowPower) {
@@ -1489,6 +1630,11 @@ Job::run()
     start_energy_wh_ = cluster_.energyWattHours();
     if (config_.num_exec_threads > 1) {
         pool_ = std::make_unique<ThreadPool>(config_.num_exec_threads);
+    }
+    if (obs_ != nullptr) {
+        obs_->trace.beginJob(config_.name, cluster_.numServers(),
+                             cluster_.config().map_slots_per_server,
+                             config_.num_reducers, cluster_.now());
     }
 
     buildTasks();
@@ -1519,6 +1665,9 @@ Job::run()
         cluster_.events().run();
     } catch (JobFailedError& e) {
         e.counters = counters_;
+        if (obs_ != nullptr) {
+            obs_->trace.endJob(cluster_.now());
+        }
         pool_.reset();
         throw;
     }

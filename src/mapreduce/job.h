@@ -26,6 +26,10 @@
 #include "mapreduce/types.h"
 #include "sim/cluster.h"
 
+namespace approxhadoop::obs {
+struct Observability;
+}  // namespace approxhadoop::obs
+
 namespace approxhadoop::mr {
 
 /** Everything a job run produces. */
@@ -171,6 +175,15 @@ class Job
 
     /** Installs an approximation controller (optional, not owned). */
     void setController(JobController* controller);
+
+    /**
+     * Attaches an observability sink (optional, not owned; must outlive
+     * run()). The job then records lifecycle events into its
+     * TraceRecorder and publishes per-wave metric snapshots into its
+     * MetricsRegistry. Strictly additive: attaching one never changes
+     * the simulated timeline or the results.
+     */
+    void setObservability(obs::Observability* obs);
 
     /**
      * Sets the initial sampling ratio for map tasks (controllers may
@@ -354,6 +367,10 @@ class Job
     void holdPendingExcept(uint64_t keep);
     void releaseHeld();
 
+    // --- observability (no-ops when obs_ is null) ---
+    /** Publishes scheduler/counter state and snapshots it as @p wave. */
+    void obsWaveSnapshot(int wave);
+
     // --- completion ---
     void checkWaveCompletion(int wave);
     void checkMapPhaseDone();
@@ -372,6 +389,7 @@ class Job
     std::shared_ptr<const Partitioner> partitioner_;
     std::shared_ptr<Combiner> combiner_;
     JobController* controller_ = nullptr;
+    obs::Observability* obs_ = nullptr;
 
     Rng rng_;
     uint64_t first_block_ = 0;

@@ -1,0 +1,499 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace approxhadoop::obs {
+
+std::string
+JsonWriter::quoted(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    assert(ec == std::errc());
+    return std::string(buf, ptr);
+}
+
+std::string
+JsonWriter::number(uint64_t v)
+{
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    assert(ec == std::errc());
+    return std::string(buf, ptr);
+}
+
+std::string
+JsonWriter::number(int64_t v)
+{
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    assert(ec == std::errc());
+    return std::string(buf, ptr);
+}
+
+void
+JsonWriter::indent()
+{
+    out_.push_back('\n');
+    out_.append(static_cast<size_t>(depth_) * 2, ' ');
+}
+
+void
+JsonWriter::separate()
+{
+    if (need_comma_) {
+        out_.push_back(',');
+    }
+    if (depth_ > 0) {
+        indent();
+    }
+    need_comma_ = true;
+}
+
+void
+JsonWriter::key(const std::string& k)
+{
+    separate();
+    out_ += quoted(k);
+    out_ += ": ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out_.push_back('{');
+    ++depth_;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    --depth_;
+    indent();
+    out_.push_back('}');
+    need_comma_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out_.push_back('[');
+    ++depth_;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::endArray()
+{
+    --depth_;
+    indent();
+    out_.push_back(']');
+    need_comma_ = true;
+}
+
+void
+JsonWriter::beginObject(const std::string& k)
+{
+    key(k);
+    out_.push_back('{');
+    ++depth_;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::beginArray(const std::string& k)
+{
+    key(k);
+    out_.push_back('[');
+    ++depth_;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::field(const std::string& k, const std::string& value)
+{
+    key(k);
+    out_ += quoted(value);
+}
+
+void
+JsonWriter::field(const std::string& k, const char* value)
+{
+    field(k, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string& k, double value)
+{
+    key(k);
+    out_ += number(value);
+}
+
+void
+JsonWriter::field(const std::string& k, uint64_t value)
+{
+    key(k);
+    out_ += number(value);
+}
+
+void
+JsonWriter::field(const std::string& k, int64_t value)
+{
+    key(k);
+    out_ += number(value);
+}
+
+void
+JsonWriter::field(const std::string& k, int value)
+{
+    field(k, static_cast<int64_t>(value));
+}
+
+void
+JsonWriter::field(const std::string& k, unsigned value)
+{
+    field(k, static_cast<uint64_t>(value));
+}
+
+void
+JsonWriter::field(const std::string& k, bool value)
+{
+    key(k);
+    out_ += value ? "true" : "false";
+}
+
+void
+JsonWriter::nullField(const std::string& k)
+{
+    key(k);
+    out_ += "null";
+}
+
+void
+JsonWriter::element(const std::string& value)
+{
+    separate();
+    out_ += quoted(value);
+}
+
+void
+JsonWriter::element(double value)
+{
+    separate();
+    out_ += number(value);
+}
+
+void
+JsonWriter::element(uint64_t value)
+{
+    separate();
+    out_ += number(value);
+}
+
+const JsonValue&
+JsonValue::at(const std::string& k) const
+{
+    static const JsonValue null_value;
+    auto it = object.find(k);
+    return it == object.end() ? null_value : it->second;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    std::optional<JsonValue>
+    run(std::string* error)
+    {
+        JsonValue v;
+        if (!value(v)) {
+            fail("invalid value");
+        }
+        skipSpace();
+        if (!failed_ && pos_ != text_.size()) {
+            fail("trailing characters");
+        }
+        if (failed_) {
+            if (error != nullptr) {
+                *error = error_;
+            }
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string& why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = why + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    value(JsonValue& out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        char c = text_[pos_];
+        switch (c) {
+        case '{': return object(out);
+        case '[': return array(out);
+        case '"':
+            out.type = JsonValue::Type::kString;
+            return string(out.string);
+        case 't':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.type = JsonValue::Type::kNull;
+            return literal("null");
+        default: return numberValue(out);
+        }
+    }
+
+    bool
+    string(std::string& out)
+    {
+        if (!consume('"')) {
+            return false;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"') {
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    return false;
+                }
+                char esc = text_[pos_++];
+                switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        return false;
+                    }
+                    unsigned code = 0;
+                    auto [ptr, ec] = std::from_chars(
+                        text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+                    if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+                        return false;
+                    }
+                    pos_ += 4;
+                    // The emitter only escapes control bytes; decode the
+                    // BMP subset as UTF-8 for completeness.
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(
+                            static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                }
+                default: return false;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return false;
+    }
+
+    bool
+    numberValue(JsonValue& out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return false;
+        }
+        double v = 0.0;
+        auto [ptr, ec] =
+            std::from_chars(text_.data() + start, text_.data() + pos_, v);
+        if (ec != std::errc() || ptr != text_.data() + pos_) {
+            return false;
+        }
+        out.type = JsonValue::Type::kNumber;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    object(JsonValue& out)
+    {
+        if (!consume('{')) {
+            return false;
+        }
+        out.type = JsonValue::Type::kObject;
+        skipSpace();
+        if (consume('}')) {
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string k;
+            if (!string(k)) {
+                return false;
+            }
+            if (!consume(':')) {
+                return false;
+            }
+            JsonValue v;
+            if (!value(v)) {
+                return false;
+            }
+            out.object.emplace(std::move(k), std::move(v));
+            if (consume('}')) {
+                return true;
+            }
+            if (!consume(',')) {
+                return false;
+            }
+        }
+    }
+
+    bool
+    array(JsonValue& out)
+    {
+        if (!consume('[')) {
+            return false;
+        }
+        out.type = JsonValue::Type::kArray;
+        skipSpace();
+        if (consume(']')) {
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v)) {
+                return false;
+            }
+            out.array.push_back(std::move(v));
+            if (consume(']')) {
+                return true;
+            }
+            if (!consume(',')) {
+                return false;
+            }
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string& text, std::string* error)
+{
+    return Parser(text).run(error);
+}
+
+}  // namespace approxhadoop::obs

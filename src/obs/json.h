@@ -1,0 +1,107 @@
+#ifndef APPROXHADOOP_OBS_JSON_H_
+#define APPROXHADOOP_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::obs {
+
+/**
+ * Minimal JSON emitter with deterministic number formatting.
+ *
+ * Doubles are rendered with std::to_chars (shortest round-trip form), so
+ * the same value always produces the same bytes on every run and every
+ * thread count — the job report's byte-determinism contract rests on
+ * this. Non-finite doubles are emitted as null (JSON has no Inf/NaN).
+ *
+ * Output is pretty-printed, one key per line, so that wall-clock-bearing
+ * lines can be stripped with a line filter (see JobReport::toJson()).
+ */
+class JsonWriter
+{
+  public:
+    /** Serializes a string with JSON escaping (quotes included). */
+    static std::string quoted(const std::string& s);
+    /** Deterministic shortest-round-trip rendering; null if non-finite. */
+    static std::string number(double v);
+    static std::string number(uint64_t v);
+    static std::string number(int64_t v);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** Starts `"key": {` — follow with fields and endObject(). */
+    void beginObject(const std::string& key);
+    /** Starts `"key": [` — follow with values and endArray(). */
+    void beginArray(const std::string& key);
+
+    void field(const std::string& key, const std::string& value);
+    void field(const std::string& key, const char* value);
+    void field(const std::string& key, double value);
+    void field(const std::string& key, uint64_t value);
+    void field(const std::string& key, int64_t value);
+    void field(const std::string& key, int value);
+    void field(const std::string& key, unsigned value);
+    void field(const std::string& key, bool value);
+    void nullField(const std::string& key);
+
+    /** Array elements. */
+    void element(const std::string& value);
+    void element(double value);
+    void element(uint64_t value);
+
+    std::string str() const { return out_; }
+
+  private:
+    void indent();
+    void separate();
+    void key(const std::string& k);
+
+    std::string out_;
+    int depth_ = 0;
+    bool need_comma_ = false;
+};
+
+/**
+ * Parsed JSON value tree (recursive-descent parser in parse()).
+ *
+ * Only what the schema tests and the obscheck validator need: type
+ * inspection, object key lookup, array iteration. Numbers are stored as
+ * double.
+ */
+struct JsonValue
+{
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return type == Type::kNull; }
+    bool isObject() const { return type == Type::kObject; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isNumber() const { return type == Type::kNumber; }
+    bool isString() const { return type == Type::kString; }
+
+    bool has(const std::string& k) const { return object.count(k) > 0; }
+    /** Returns the member or a static null value. */
+    const JsonValue& at(const std::string& k) const;
+};
+
+/**
+ * Parses one JSON document. Returns nullopt and fills *error (if given)
+ * with a position-annotated message on malformed input.
+ */
+std::optional<JsonValue> parseJson(const std::string& text,
+                                   std::string* error = nullptr);
+
+}  // namespace approxhadoop::obs
+
+#endif  // APPROXHADOOP_OBS_JSON_H_

@@ -1,0 +1,24 @@
+#include "obs/metrics.h"
+
+namespace approxhadoop::obs {
+
+void
+MetricsRegistry::snapshotWave(int wave, double sim_time)
+{
+    WaveSnapshot snap;
+    snap.wave = wave;
+    snap.sim_time = sim_time;
+    for (const auto& [name, c] : counters_) {
+        snap.counters.emplace(name, c.value());
+    }
+    for (const auto& [name, g] : gauges_) {
+        snap.gauges.emplace(name, g.value());
+    }
+    for (const auto& [name, h] : histograms_) {
+        snap.histograms.emplace(
+            name, HistogramStats{h.count(), h.sum(), h.min(), h.max()});
+    }
+    snapshots_.push_back(std::move(snap));
+}
+
+}  // namespace approxhadoop::obs

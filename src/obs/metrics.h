@@ -1,0 +1,120 @@
+#ifndef APPROXHADOOP_OBS_METRICS_H_
+#define APPROXHADOOP_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::obs {
+
+/**
+ * Named counter/gauge/histogram instruments with per-wave snapshots.
+ *
+ * Supersedes ad-hoc reads of mr::Counters for observability purposes:
+ * the job publishes its scheduler state and monotone counts here at
+ * every wave boundary, and snapshotWave() captures all instrument values
+ * into an immutable row that the JSON job report serializes.
+ *
+ * Instruments live in std::map keyed by name, so snapshot serialization
+ * order is deterministic. Driver-thread-only, like Counters.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Monotone event count. */
+    class Counter
+    {
+      public:
+        void increment(uint64_t delta = 1) { value_ += delta; }
+        /** Raises the counter to `total` (mirror of an external count). */
+        void
+        advanceTo(uint64_t total)
+        {
+            value_ = std::max(value_, total);
+        }
+        uint64_t value() const { return value_; }
+
+      private:
+        uint64_t value_ = 0;
+    };
+
+    /** Point-in-time value (may go up or down). */
+    class Gauge
+    {
+      public:
+        void set(double v) { value_ = v; }
+        double value() const { return value_; }
+
+      private:
+        double value_ = 0.0;
+    };
+
+    /** Streaming distribution summary (count/sum/min/max). */
+    class Histogram
+    {
+      public:
+        void
+        observe(double x)
+        {
+            ++count_;
+            sum_ += x;
+            min_ = std::min(min_, x);
+            max_ = std::max(max_, x);
+        }
+        uint64_t count() const { return count_; }
+        double sum() const { return sum_; }
+        double min() const { return count_ == 0 ? 0.0 : min_; }
+        double max() const { return count_ == 0 ? 0.0 : max_; }
+        double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+      private:
+        uint64_t count_ = 0;
+        double sum_ = 0.0;
+        double min_ = std::numeric_limits<double>::infinity();
+        double max_ = -std::numeric_limits<double>::infinity();
+    };
+
+    struct HistogramStats
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** All instrument values at one wave boundary. */
+    struct WaveSnapshot
+    {
+        int wave = 0;
+        double sim_time = 0.0;
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, HistogramStats> histograms;
+    };
+
+    /** Finds or creates the named instrument. */
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+    /** Captures every instrument's current value as the row for `wave`. */
+    void snapshotWave(int wave, double sim_time);
+
+    const std::vector<WaveSnapshot>& waveSnapshots() const
+    {
+        return snapshots_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+    std::vector<WaveSnapshot> snapshots_;
+};
+
+}  // namespace approxhadoop::obs
+
+#endif  // APPROXHADOOP_OBS_METRICS_H_

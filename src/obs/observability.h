@@ -1,0 +1,26 @@
+#ifndef APPROXHADOOP_OBS_OBSERVABILITY_H_
+#define APPROXHADOOP_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace approxhadoop::obs {
+
+/**
+ * Everything a job run records about itself: the lifecycle event trace
+ * and the per-wave metric snapshots. Attach one to a job via
+ * mr::Job::setObservability() (or core::ApproxJobRunner::
+ * setObservability()) before run(); the object must outlive the run.
+ *
+ * Observability is strictly additive: attaching it never changes the
+ * simulated timeline, the scheduler, or the results.
+ */
+struct Observability
+{
+    TraceRecorder trace;
+    MetricsRegistry metrics;
+};
+
+}  // namespace approxhadoop::obs
+
+#endif  // APPROXHADOOP_OBS_OBSERVABILITY_H_

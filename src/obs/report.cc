@@ -1,0 +1,328 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "ft/recovery_policy.h"
+#include "obs/json.h"
+#include "obs/observability.h"
+
+namespace approxhadoop::obs {
+
+namespace {
+
+void
+fillConfig(JobReport& report, const mr::JobConfig& config)
+{
+    report.job_name = config.name;
+    report.seed = config.seed;
+    report.threads = config.num_exec_threads;
+    report.reducers = config.num_reducers;
+    report.failure_mode = ft::toString(config.failure_mode);
+    report.fault_plan = config.fault_plan.spec();
+    report.heartbeat_interval_ms = config.heartbeat_interval_ms;
+    report.task_timeout_ms = config.task_timeout_ms;
+    report.checkpoint_interval = config.reducer_checkpoint_interval;
+}
+
+void
+fillObs(JobReport& report, const Observability* obs)
+{
+    if (obs == nullptr) {
+        return;
+    }
+    report.replans = obs->trace.replans();
+    report.metric_snapshots = obs->metrics.waveSnapshots();
+}
+
+void
+writeCounters(JsonWriter& w, const mr::Counters& c)
+{
+    w.beginObject("counters");
+    w.field("maps_total", c.maps_total);
+    w.field("maps_completed", c.maps_completed);
+    w.field("maps_killed", c.maps_killed);
+    w.field("maps_dropped", c.maps_dropped);
+    w.field("maps_speculated", c.maps_speculated);
+    w.field("map_attempts_launched", c.map_attempts_launched);
+    w.field("map_attempts_failed", c.map_attempts_failed);
+    w.field("map_attempts_cancelled", c.map_attempts_cancelled);
+    w.field("maps_retried", c.maps_retried);
+    w.field("maps_absorbed", c.maps_absorbed);
+    w.field("server_crashes", c.server_crashes);
+    w.field("wasted_attempt_seconds", c.wasted_attempt_seconds);
+    w.field("chunks_corrupted", c.chunks_corrupted);
+    w.field("chunk_refetches", c.chunk_refetches);
+    w.field("map_outputs_lost", c.map_outputs_lost);
+    w.field("bad_records_skipped", c.bad_records_skipped);
+    w.field("chunks_delivered", c.chunks_delivered);
+    w.field("reduce_attempts_failed", c.reduce_attempts_failed);
+    w.field("reducer_checkpoints", c.reducer_checkpoints);
+    w.field("chunks_replayed", c.chunks_replayed);
+    w.field("timeouts_detected", c.timeouts_detected);
+    w.field("detection_wait_seconds", c.detection_wait_seconds);
+    w.field("items_total", c.items_total);
+    w.field("items_read", c.items_read);
+    w.field("items_processed", c.items_processed);
+    w.field("records_shuffled", c.records_shuffled);
+    w.field("local_maps", c.local_maps);
+    w.field("remote_maps", c.remote_maps);
+    w.field("waves", c.waves);
+    w.field("dropped_fraction", c.droppedFraction());
+    w.field("effective_sampling_ratio", c.effectiveSamplingRatio());
+    w.endObject();
+}
+
+}  // namespace
+
+JobReport
+JobReport::build(const std::string& app, const mr::JobConfig& config,
+                 const mr::JobResult& result, const Observability* obs)
+{
+    JobReport report;
+    report.app = app;
+    report.status = "ok";
+    fillConfig(report, config);
+    report.runtime_s = result.runtime;
+    report.energy_wh = result.energy_wh;
+    report.counters = result.counters;
+    report.fault_summary = result.counters.faultSummary();
+    fillObs(report, obs);
+
+    for (const mr::OutputRecord& r : result.output) {
+        ResultRow row;
+        row.key = r.key;
+        row.value = r.value;
+        row.has_bound = r.has_bound;
+        row.lower = r.lower;
+        row.upper = r.upper;
+        row.bound = r.errorBound();
+        row.relative_bound = r.relativeError();
+        report.results.push_back(std::move(row));
+
+        // Same headline-key selection as JobResult::headlineErrorAgainst:
+        // maximum finite predicted absolute error.
+        double bound = r.errorBound();
+        if (r.has_bound && std::isfinite(bound) &&
+            (!report.headline.present || bound > report.headline.bound)) {
+            report.headline.present = true;
+            report.headline.key = r.key;
+            report.headline.bound = bound;
+            report.headline.relative_bound =
+                r.value != 0.0 ? bound / std::fabs(r.value) : 0.0;
+        }
+    }
+
+    std::map<int, WaveRow> waves;
+    for (const mr::MapTaskInfo& t : result.tasks) {
+        if (t.wave < 0) {
+            // Dropped before starting: no wave, no plan row.
+            if (t.state == mr::TaskState::kDropped) {
+                ++report.dropped_never_started;
+            }
+            continue;
+        }
+        auto [it, inserted] = waves.try_emplace(t.wave);
+        WaveRow& row = it->second;
+        row.wave = t.wave;
+        if (inserted) {
+            row.sampling_ratio_min = t.sampling_ratio;
+            row.sampling_ratio_max = t.sampling_ratio;
+            row.first_start_s = t.start_time;
+            row.last_finish_s = t.finish_time;
+        } else {
+            row.sampling_ratio_min =
+                std::min(row.sampling_ratio_min, t.sampling_ratio);
+            row.sampling_ratio_max =
+                std::max(row.sampling_ratio_max, t.sampling_ratio);
+            row.first_start_s = std::min(row.first_start_s, t.start_time);
+            row.last_finish_s = std::max(row.last_finish_s, t.finish_time);
+        }
+        ++row.maps_started;
+        if (t.approximate) {
+            ++row.approximate_maps;
+        }
+        switch (t.state) {
+        case mr::TaskState::kCompleted: ++row.completed; break;
+        case mr::TaskState::kKilled: ++row.killed; break;
+        case mr::TaskState::kAbsorbed: ++row.absorbed; break;
+        default: break;
+        }
+        row.failed_attempts += t.failed_attempts;
+        row.items_total += t.items_total;
+        row.items_processed += t.items_processed;
+        row.records_skipped += t.records_skipped;
+    }
+    for (auto& [wave, row] : waves) {
+        report.waves.push_back(std::move(row));
+    }
+    return report;
+}
+
+JobReport
+JobReport::fromFailure(const std::string& app, const mr::JobConfig& config,
+                       const std::string& error, const mr::Counters& counters,
+                       const Observability* obs)
+{
+    JobReport report;
+    report.app = app;
+    report.status = "failed";
+    report.error = error;
+    fillConfig(report, config);
+    report.counters = counters;
+    report.fault_summary = counters.faultSummary();
+    fillObs(report, obs);
+    return report;
+}
+
+std::string
+JobReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kSchema);
+    w.field("app", app);
+    w.field("status", status);
+    if (!error.empty()) {
+        w.field("error", error);
+    }
+
+    w.beginObject("config");
+    w.field("name", job_name);
+    w.field("seed", seed);
+    w.field("threads", threads);
+    w.field("reducers", reducers);
+    w.field("failure_mode", failure_mode);
+    w.field("fault_plan", fault_plan);
+    w.field("heartbeat_interval_ms", heartbeat_interval_ms);
+    w.field("task_timeout_ms", task_timeout_ms);
+    w.field("checkpoint_interval", checkpoint_interval);
+    w.endObject();
+
+    w.field("runtime_s", runtime_s);
+    w.field("energy_wh", energy_wh);
+    writeCounters(w, counters);
+    w.field("fault_summary", fault_summary);
+
+    w.beginArray("results");
+    for (const ResultRow& r : results) {
+        w.beginObject();
+        w.field("key", r.key);
+        w.field("value", r.value);
+        w.field("has_bound", r.has_bound);
+        if (r.has_bound) {
+            w.field("lower", r.lower);
+            w.field("upper", r.upper);
+            w.field("bound", r.bound);
+            w.field("relative_bound", r.relative_bound);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    if (headline.present) {
+        w.beginObject("headline");
+        w.field("key", headline.key);
+        w.field("bound", headline.bound);
+        w.field("relative_bound", headline.relative_bound);
+        w.endObject();
+    } else {
+        w.nullField("headline");
+    }
+
+    w.beginArray("waves");
+    for (const WaveRow& row : waves) {
+        w.beginObject();
+        w.field("wave", row.wave);
+        w.beginObject("plan");
+        w.field("maps_started", row.maps_started);
+        w.field("approximate_maps", row.approximate_maps);
+        w.field("sampling_ratio_min", row.sampling_ratio_min);
+        w.field("sampling_ratio_max", row.sampling_ratio_max);
+        w.endObject();
+        w.beginObject("outcome");
+        w.field("completed", row.completed);
+        w.field("killed", row.killed);
+        w.field("absorbed", row.absorbed);
+        w.field("failed_attempts", row.failed_attempts);
+        w.field("items_total", row.items_total);
+        w.field("items_processed", row.items_processed);
+        w.field("records_skipped", row.records_skipped);
+        w.field("first_start_s", row.first_start_s);
+        w.field("last_finish_s", row.last_finish_s);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.field("dropped_never_started", dropped_never_started);
+
+    w.beginArray("replans");
+    for (const ReplanRecord& r : replans) {
+        w.beginObject();
+        w.field("sim_time_s", r.sim_time);
+        w.field("trigger", r.trigger);
+        w.field("completed", r.completed);
+        w.field("running", r.running);
+        w.field("pending", r.pending);
+        w.field("feasible", r.feasible);
+        w.field("maps_to_run", r.maps_to_run);
+        w.field("sampling_ratio", r.sampling_ratio);
+        w.field("predicted_error", r.predicted_error);
+        w.field("target_error", r.target_error);
+        w.field("predicted_ret_s", r.predicted_ret);
+        w.field("failure_overhead_s", r.failure_overhead);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginObject("metrics");
+    w.beginArray("wave_snapshots");
+    for (const MetricsRegistry::WaveSnapshot& s : metric_snapshots) {
+        w.beginObject();
+        w.field("wave", s.wave);
+        w.field("sim_time_s", s.sim_time);
+        w.beginObject("counters");
+        for (const auto& [name, v] : s.counters) {
+            w.field(name, v);
+        }
+        w.endObject();
+        w.beginObject("gauges");
+        for (const auto& [name, v] : s.gauges) {
+            w.field(name, v);
+        }
+        w.endObject();
+        w.beginObject("histograms");
+        for (const auto& [name, h] : s.histograms) {
+            w.beginObject(name);
+            w.field("count", h.count);
+            w.field("sum", h.sum);
+            w.field("min", h.min);
+            w.field("max", h.max);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    // The only non-deterministic bytes in the report. Every key starts
+    // with "wall_" and owns its line, so `grep -v '"wall_'` yields a
+    // byte-comparable document.
+    w.beginObject("wall_clock");
+    w.field("wall_generated_unix_ms",
+            static_cast<int64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count()));
+    w.endObject();
+
+    w.endObject();
+    std::string out = w.str();
+    out.push_back('\n');
+    return out;
+}
+
+}  // namespace approxhadoop::obs

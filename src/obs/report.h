@@ -1,0 +1,127 @@
+#ifndef APPROXHADOOP_OBS_REPORT_H_
+#define APPROXHADOOP_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace approxhadoop::obs {
+
+struct Observability;
+
+/**
+ * Machine-readable summary of one job run: results + confidence
+ * intervals, per-wave plan/outcome pairs, the controller's re-plan log,
+ * fault summary, and energy/runtime. `approxrun --report-json FILE`
+ * writes its JSON form; the bench harness (bench/sweep.h) and the chaos
+ * harness consume it instead of re-deriving fields from JobResult.
+ *
+ * toJson() is byte-deterministic for a fixed (seed, thread count) run,
+ * except for the "wall_clock" object, whose keys all start with "wall_"
+ * and sit on their own lines so `grep -v '"wall_'` strips them for
+ * byte-comparison in CI.
+ */
+struct JobReport
+{
+    static constexpr const char* kSchema = "approxhadoop-job-report/1";
+
+    struct ResultRow
+    {
+        std::string key;
+        double value = 0.0;
+        bool has_bound = false;
+        double lower = 0.0;
+        double upper = 0.0;
+        /** CI half-width (errorBound()). */
+        double bound = 0.0;
+        double relative_bound = 0.0;
+    };
+
+    /**
+     * The paper's headline key: maximum predicted absolute error among
+     * keys with finite bounds (same selection as
+     * mr::JobResult::headlineErrorAgainst()).
+     */
+    struct Headline
+    {
+        bool present = false;
+        std::string key;
+        double bound = 0.0;
+        double relative_bound = 0.0;
+    };
+
+    /** Plan/outcome pair for one map wave. */
+    struct WaveRow
+    {
+        int wave = 0;
+        /** Plan: what the scheduler/controller committed this wave to. */
+        uint64_t maps_started = 0;
+        uint64_t approximate_maps = 0;
+        double sampling_ratio_min = 1.0;
+        double sampling_ratio_max = 1.0;
+        /** Outcome: terminal states and work actually done. */
+        uint64_t completed = 0;
+        uint64_t killed = 0;
+        uint64_t absorbed = 0;
+        uint64_t failed_attempts = 0;
+        uint64_t items_total = 0;
+        uint64_t items_processed = 0;
+        uint64_t records_skipped = 0;
+        double first_start_s = 0.0;
+        double last_finish_s = 0.0;
+    };
+
+    std::string app;
+    /** "ok" or "failed". */
+    std::string status = "ok";
+    std::string error;
+
+    /** Config snapshot (the determinism-relevant knobs). */
+    std::string job_name;
+    uint64_t seed = 0;
+    uint32_t threads = 1;
+    uint32_t reducers = 1;
+    std::string failure_mode;
+    std::string fault_plan;
+    double heartbeat_interval_ms = 0.0;
+    double task_timeout_ms = 0.0;
+    uint64_t checkpoint_interval = 0;
+
+    double runtime_s = 0.0;
+    double energy_wh = 0.0;
+    mr::Counters counters;
+    std::string fault_summary;
+
+    std::vector<ResultRow> results;
+    Headline headline;
+    std::vector<WaveRow> waves;
+    /** Maps dropped before ever starting (no wave assignment). */
+    uint64_t dropped_never_started = 0;
+    std::vector<ReplanRecord> replans;
+    std::vector<MetricsRegistry::WaveSnapshot> metric_snapshots;
+
+    /** Builds the report for a completed run; obs may be null. */
+    static JobReport build(const std::string& app,
+                           const mr::JobConfig& config,
+                           const mr::JobResult& result,
+                           const Observability* obs);
+
+    /** Builds a status="failed" report from a JobFailedError. */
+    static JobReport fromFailure(const std::string& app,
+                                 const mr::JobConfig& config,
+                                 const std::string& error,
+                                 const mr::Counters& counters,
+                                 const Observability* obs);
+
+    std::string toJson() const;
+};
+
+}  // namespace approxhadoop::obs
+
+#endif  // APPROXHADOOP_OBS_REPORT_H_

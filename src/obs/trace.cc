@@ -1,0 +1,399 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace approxhadoop::obs {
+
+namespace {
+
+constexpr double kUsPerSimSecond = 1e6;
+
+std::string
+num(double v)
+{
+    return JsonWriter::number(v);
+}
+
+std::string
+num(uint64_t v)
+{
+    return JsonWriter::number(v);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : start_wall_(std::chrono::steady_clock::now())
+{
+}
+
+double
+TraceRecorder::wallMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_wall_)
+        .count();
+}
+
+int
+TraceRecorder::allocLane(uint32_t server)
+{
+    if (server >= lanes_.size()) {
+        lanes_.resize(server + 1);
+    }
+    auto& lanes = lanes_[server];
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        if (!lanes[i]) {
+            lanes[i] = true;
+            return static_cast<int>(i);
+        }
+    }
+    lanes.push_back(true);
+    return static_cast<int>(lanes.size() - 1);
+}
+
+void
+TraceRecorder::instant(std::string name, const char* category, uint32_t pid,
+                       int tid, double now,
+                       std::vector<std::pair<std::string, std::string>> args)
+{
+    Event e;
+    e.name = std::move(name);
+    e.category = category;
+    e.phase = 'i';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = now * kUsPerSimSecond;
+    e.wall_ms = wallMs();
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::metadata(const char* what, uint32_t pid, int tid,
+                        const std::string& label)
+{
+    Event e;
+    e.name = what;
+    e.category = "metadata";
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.args.emplace_back("name", JsonWriter::quoted(label));
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::beginJob(const std::string& name, uint32_t num_servers,
+                        int map_slots_per_server, uint32_t num_reducers,
+                        double now)
+{
+    num_servers_ = num_servers;
+    map_slots_ = map_slots_per_server;
+    lanes_.assign(num_servers, std::vector<bool>());
+    for (uint32_t s = 0; s < num_servers; ++s) {
+        metadata("process_name", s, 0, "server " + std::to_string(s));
+        for (int slot = 0; slot < map_slots_per_server; ++slot) {
+            metadata("thread_name", s, slot,
+                     "map slot " + std::to_string(slot));
+        }
+    }
+    metadata("process_name", jobtrackerPid(), 0, "jobtracker");
+    metadata("thread_name", jobtrackerPid(), 0, "controller");
+    instant("job-start", "job", jobtrackerPid(), 0, now,
+            {{"job", JsonWriter::quoted(name)},
+             {"reducers", num(static_cast<uint64_t>(num_reducers))}});
+}
+
+void
+TraceRecorder::endJob(double now)
+{
+    instant("job-end", "job", jobtrackerPid(), 0, now, {});
+}
+
+void
+TraceRecorder::mapAttemptStart(uint64_t task, size_t attempt, uint32_t server,
+                               int wave, double sampling_ratio,
+                               bool approximate, double now)
+{
+    OpenAttempt open;
+    open.server = server;
+    open.lane = allocLane(server);
+    open.start = now;
+    open.wave = wave;
+    open_maps_[{task, attempt}] = open;
+    // Start args are frozen into the 'X' event when the attempt closes;
+    // record them as an instant so an attempt that never closes (job
+    // failure mid-run) still shows up.
+    instant("map-start", "map", server, open.lane, now,
+            {{"task", num(task)},
+             {"attempt", num(static_cast<uint64_t>(attempt))},
+             {"wave", num(static_cast<uint64_t>(wave < 0 ? 0 : wave))},
+             {"sampling_ratio", num(sampling_ratio)},
+             {"approximate", approximate ? "true" : "false"}});
+}
+
+void
+TraceRecorder::mapAttemptFinish(uint64_t task, size_t attempt,
+                                const char* outcome, double now)
+{
+    auto it = open_maps_.find({task, attempt});
+    if (it == open_maps_.end()) {
+        return;
+    }
+    const OpenAttempt open = it->second;
+    open_maps_.erase(it);
+    if (open.server < lanes_.size() &&
+        static_cast<size_t>(open.lane) < lanes_[open.server].size()) {
+        lanes_[open.server][open.lane] = false;
+    }
+    Event e;
+    e.name = "map " + std::to_string(task) + "." + std::to_string(attempt);
+    e.category = "map";
+    e.phase = 'X';
+    e.pid = open.server;
+    e.tid = open.lane;
+    e.ts_us = open.start * kUsPerSimSecond;
+    e.dur_us = (now - open.start) * kUsPerSimSecond;
+    e.wall_ms = wallMs();
+    e.args.emplace_back("task", num(task));
+    e.args.emplace_back("attempt", num(static_cast<uint64_t>(attempt)));
+    e.args.emplace_back("wave",
+                        num(static_cast<uint64_t>(open.wave < 0 ? 0
+                                                                : open.wave)));
+    e.args.emplace_back("outcome", JsonWriter::quoted(outcome));
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::mapAttemptCrash(uint64_t task, size_t attempt, double now)
+{
+    auto it = open_maps_.find({task, attempt});
+    uint32_t pid = it != open_maps_.end() ? it->second.server
+                                          : jobtrackerPid();
+    int tid = it != open_maps_.end() ? it->second.lane : 0;
+    instant("map-crash", "fault", pid, tid, now,
+            {{"task", num(task)},
+             {"attempt", num(static_cast<uint64_t>(attempt))}});
+}
+
+void
+TraceRecorder::heartbeatTimeout(uint64_t task, size_t attempt, double waited,
+                                double now)
+{
+    instant("heartbeat-timeout", "fault", jobtrackerPid(), 0, now,
+            {{"task", num(task)},
+             {"attempt", num(static_cast<uint64_t>(attempt))},
+             {"waited_s", num(waited)}});
+}
+
+void
+TraceRecorder::reducerPlaced(uint32_t reducer, uint32_t server, double now)
+{
+    int lane = map_slots_ + reduce_ordinals_[server]++;
+    open_reducers_[reducer] = {server, now};
+    metadata("thread_name", server, lane,
+             "reducer " + std::to_string(reducer));
+    reduce_lanes_[reducer] = lane;
+    instant("reduce-placed", "reduce", server, lane, now,
+            {{"reducer", num(static_cast<uint64_t>(reducer))}});
+}
+
+void
+TraceRecorder::reducerCheckpoint(uint32_t reducer, uint64_t delivered,
+                                 double now)
+{
+    auto it = open_reducers_.find(reducer);
+    if (it == open_reducers_.end()) {
+        return;
+    }
+    instant("reduce-checkpoint", "reduce", it->second.first,
+            reduce_lanes_[reducer], now,
+            {{"reducer", num(static_cast<uint64_t>(reducer))},
+             {"delivered", num(delivered)}});
+}
+
+void
+TraceRecorder::reducerRestart(uint32_t reducer, uint64_t attempt,
+                              uint64_t replayed, double now)
+{
+    auto it = open_reducers_.find(reducer);
+    if (it == open_reducers_.end()) {
+        return;
+    }
+    instant("reduce-restart", "fault", it->second.first,
+            reduce_lanes_[reducer], now,
+            {{"reducer", num(static_cast<uint64_t>(reducer))},
+             {"attempt", num(attempt)},
+             {"replayed_chunks", num(replayed)}});
+}
+
+void
+TraceRecorder::reducerFinish(uint32_t reducer, uint64_t records, double now)
+{
+    auto it = open_reducers_.find(reducer);
+    if (it == open_reducers_.end()) {
+        return;
+    }
+    auto [server, start] = it->second;
+    open_reducers_.erase(it);
+    Event e;
+    e.name = "reduce " + std::to_string(reducer);
+    e.category = "reduce";
+    e.phase = 'X';
+    e.pid = server;
+    e.tid = reduce_lanes_[reducer];
+    e.ts_us = start * kUsPerSimSecond;
+    e.dur_us = (now - start) * kUsPerSimSecond;
+    e.wall_ms = wallMs();
+    e.args.emplace_back("reducer", num(static_cast<uint64_t>(reducer)));
+    e.args.emplace_back("records", num(records));
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::shuffleCorrupt(uint64_t task, uint32_t partition, bool refetched,
+                              double now)
+{
+    instant("shuffle-corrupt", "fault", jobtrackerPid(), 0, now,
+            {{"task", num(task)},
+             {"partition", num(static_cast<uint64_t>(partition))},
+             {"refetched", refetched ? "true" : "false"}});
+}
+
+void
+TraceRecorder::mapOutputLost(uint64_t task, double now)
+{
+    instant("map-output-lost", "fault", jobtrackerPid(), 0, now,
+            {{"task", num(task)}});
+}
+
+void
+TraceRecorder::taskAbsorbed(uint64_t task, double now)
+{
+    instant("task-absorbed", "controller", jobtrackerPid(), 0, now,
+            {{"task", num(task)}});
+}
+
+void
+TraceRecorder::retryScheduled(uint64_t task, double delay, double now)
+{
+    instant("retry-scheduled", "fault", jobtrackerPid(), 0, now,
+            {{"task", num(task)}, {"delay_s", num(delay)}});
+}
+
+void
+TraceRecorder::serverCrash(uint32_t server, double now)
+{
+    instant("server-crash", "fault", jobtrackerPid(), 0, now,
+            {{"server", num(static_cast<uint64_t>(server))}});
+}
+
+void
+TraceRecorder::serverRepair(uint32_t server, double now)
+{
+    instant("server-repair", "fault", jobtrackerPid(), 0, now,
+            {{"server", num(static_cast<uint64_t>(server))}});
+}
+
+void
+TraceRecorder::waveComplete(int wave, double now)
+{
+    instant("wave-complete", "job", jobtrackerPid(), 0, now,
+            {{"wave", num(static_cast<uint64_t>(wave < 0 ? 0 : wave))}});
+}
+
+void
+TraceRecorder::mapPhaseDone(double now)
+{
+    instant("map-phase-done", "job", jobtrackerPid(), 0, now, {});
+}
+
+void
+TraceRecorder::recordReplan(const ReplanRecord& r)
+{
+    replans_.push_back(r);
+    instant("replan", "controller", jobtrackerPid(), 0, r.sim_time,
+            {{"trigger", JsonWriter::quoted(r.trigger)},
+             {"completed", num(r.completed)},
+             {"running", num(r.running)},
+             {"pending", num(r.pending)},
+             {"feasible", r.feasible ? "true" : "false"},
+             {"maps_to_run", num(r.maps_to_run)},
+             {"sampling_ratio", num(r.sampling_ratio)},
+             {"predicted_error", num(r.predicted_error)},
+             {"target_error", num(r.target_error)},
+             {"predicted_ret_s", num(r.predicted_ret)},
+             {"failure_overhead_s", num(r.failure_overhead)}});
+}
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    std::vector<const Event*> sorted;
+    sorted.reserve(events_.size());
+    for (const Event& e : events_) {
+        sorted.push_back(&e);
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event* a, const Event* b) {
+                         // Metadata first, then (pid, tid, ts).
+                         if ((a->phase == 'M') != (b->phase == 'M')) {
+                             return a->phase == 'M';
+                         }
+                         if (a->pid != b->pid) {
+                             return a->pid < b->pid;
+                         }
+                         if (a->tid != b->tid) {
+                             return a->tid < b->tid;
+                         }
+                         return a->ts_us < b->ts_us;
+                     });
+
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const Event* e : sorted) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        out += "{\"name\": " + JsonWriter::quoted(e->name);
+        out += ", \"cat\": " + JsonWriter::quoted(e->category);
+        out += ", \"ph\": \"";
+        out.push_back(e->phase);
+        out += "\", \"pid\": " + JsonWriter::number(
+                                     static_cast<uint64_t>(e->pid));
+        out += ", \"tid\": " +
+               JsonWriter::number(static_cast<int64_t>(e->tid));
+        if (e->phase != 'M') {
+            out += ", \"ts\": " + JsonWriter::number(e->ts_us);
+        }
+        if (e->phase == 'X') {
+            out += ", \"dur\": " + JsonWriter::number(e->dur_us);
+        }
+        if (e->phase == 'i') {
+            out += ", \"s\": \"t\"";
+        }
+        out += ", \"args\": {";
+        bool first_arg = true;
+        for (const auto& [k, v] : e->args) {
+            if (!first_arg) {
+                out += ", ";
+            }
+            first_arg = false;
+            out += JsonWriter::quoted(k) + ": " + v;
+        }
+        if (e->phase != 'M') {
+            if (!first_arg) {
+                out += ", ";
+            }
+            out += "\"wall_ms\": " + JsonWriter::number(e->wall_ms);
+        }
+        out += "}}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+}  // namespace approxhadoop::obs

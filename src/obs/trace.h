@@ -1,0 +1,169 @@
+#ifndef APPROXHADOOP_OBS_TRACE_H_
+#define APPROXHADOOP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace approxhadoop::obs {
+
+/**
+ * One controller planning decision (pilot fit, wave re-plan, target
+ * achieved, or a static user-ratio drop). Records the scheduler state
+ * the controller saw and the plan it chose; these rows feed both the
+ * Chrome trace ("replan" instants on the jobtracker track) and the
+ * "replans" array of the JSON job report.
+ *
+ * All fields are simulated-time quantities, so the record sequence is
+ * bit-identical across runs and thread counts.
+ */
+struct ReplanRecord
+{
+    double sim_time = 0.0;
+    /** "pilot" | "replan" | "achieved" | "user-drop". */
+    std::string trigger;
+    uint64_t completed = 0;
+    uint64_t running = 0;
+    /** Pending maps at decision time, before any drop this plan makes. */
+    uint64_t pending = 0;
+    bool feasible = false;
+    /** Pending maps the plan keeps (the rest are dropped). */
+    uint64_t maps_to_run = 0;
+    /** Sampling ratio applied to maps started after this decision. */
+    double sampling_ratio = 1.0;
+    /** Predicted worst-key CI half-width under the plan (absolute). */
+    double predicted_error = 0.0;
+    /** Absolute error target for the binding key (0 if not applicable). */
+    double target_error = 0.0;
+    /** Predicted remaining execution time, seconds. */
+    double predicted_ret = 0.0;
+    /** Failure-overhead term of the RET objective, seconds per map. */
+    double failure_overhead = 0.0;
+};
+
+/**
+ * Records structured lifecycle events of one job run and exports them as
+ * Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+ *
+ * Track layout: one trace process per simulated server (pid = server
+ * id); within a server, one thread row per map slot (tid = 0 ..
+ * map_slots-1, lanes allocated lowest-free at attempt start) and one row
+ * per hosted reducer (tid = map_slots + ordinal). A virtual "jobtracker"
+ * process (pid = num_servers) carries controller re-plans, wave
+ * boundaries, server crash/repair and shuffle-integrity instants.
+ *
+ * Timestamps are simulated microseconds (sim seconds x 1e6); each event
+ * also carries the wall-clock milliseconds since recorder construction
+ * as an arg, satisfying the "both simulated and wall-clock" contract
+ * without perturbing the simulated timeline.
+ *
+ * Like Counters, this class is driver-thread-only: the simulator invokes
+ * every hook from the event loop thread.
+ */
+class TraceRecorder
+{
+  public:
+    struct Event
+    {
+        std::string name;
+        std::string category;
+        char phase = 'i';  ///< 'X' complete, 'i' instant, 'M' metadata.
+        uint32_t pid = 0;
+        int tid = 0;
+        double ts_us = 0.0;
+        double dur_us = 0.0;  ///< 'X' only.
+        double wall_ms = 0.0;
+        /** Pre-rendered arg values (JSON fragments: numbers or strings). */
+        std::vector<std::pair<std::string, std::string>> args;
+    };
+
+    TraceRecorder();
+
+    /** Declares the cluster shape; emits track-naming metadata. */
+    void beginJob(const std::string& name, uint32_t num_servers,
+                  int map_slots_per_server, uint32_t num_reducers, double now);
+    void endJob(double now);
+
+    void mapAttemptStart(uint64_t task, size_t attempt, uint32_t server,
+                         int wave, double sampling_ratio, bool approximate,
+                         double now);
+    /** Closes the attempt's slot lane; outcome names the 'X' event. */
+    void mapAttemptFinish(uint64_t task, size_t attempt, const char* outcome,
+                          double now);
+    /** Silent crash: instant on the lane; the slot stays occupied (zombie)
+        until heartbeat expiry closes it via mapAttemptFinish. */
+    void mapAttemptCrash(uint64_t task, size_t attempt, double now);
+    void heartbeatTimeout(uint64_t task, size_t attempt, double waited,
+                          double now);
+
+    void reducerPlaced(uint32_t reducer, uint32_t server, double now);
+    void reducerCheckpoint(uint32_t reducer, uint64_t delivered, double now);
+    void reducerRestart(uint32_t reducer, uint64_t attempt, uint64_t replayed,
+                        double now);
+    void reducerFinish(uint32_t reducer, uint64_t records, double now);
+
+    /** A shuffle chunk failed verification; refetched says whether a
+        retry was attempted (false = map output lost). */
+    void shuffleCorrupt(uint64_t task, uint32_t partition, bool refetched,
+                        double now);
+    void mapOutputLost(uint64_t task, double now);
+    void taskAbsorbed(uint64_t task, double now);
+    void retryScheduled(uint64_t task, double delay, double now);
+
+    void serverCrash(uint32_t server, double now);
+    void serverRepair(uint32_t server, double now);
+    void waveComplete(int wave, double now);
+    void mapPhaseDone(double now);
+
+    void recordReplan(const ReplanRecord& r);
+
+    const std::vector<ReplanRecord>& replans() const { return replans_; }
+    const std::vector<Event>& events() const { return events_; }
+
+    /**
+     * Exports {"traceEvents": [...]} with events sorted by
+     * (pid, tid, ts), so simulated timestamps are monotone within each
+     * track row. Not byte-deterministic across runs (wall_ms args);
+     * the job report is the deterministic artifact.
+     */
+    std::string toChromeJson() const;
+
+  private:
+    struct OpenAttempt
+    {
+        uint32_t server = 0;
+        int lane = 0;
+        double start = 0.0;
+        int wave = -1;
+    };
+
+    double wallMs() const;
+    int allocLane(uint32_t server);
+    void instant(std::string name, const char* category, uint32_t pid, int tid,
+                 double now,
+                 std::vector<std::pair<std::string, std::string>> args);
+    void metadata(const char* what, uint32_t pid, int tid,
+                  const std::string& label);
+    uint32_t jobtrackerPid() const { return num_servers_; }
+
+    std::chrono::steady_clock::time_point start_wall_;
+    uint32_t num_servers_ = 0;
+    int map_slots_ = 0;
+    /** lanes_[server][lane] = occupied. */
+    std::vector<std::vector<bool>> lanes_;
+    std::map<std::pair<uint64_t, size_t>, OpenAttempt> open_maps_;
+    std::map<uint32_t, std::pair<uint32_t, double>> open_reducers_;
+    /** Per-server count of reducers hosted so far (reduce lane ordinal). */
+    std::map<uint32_t, int> reduce_ordinals_;
+    /** reducer id -> its tid (map_slots_ + placement ordinal). */
+    std::map<uint32_t, int> reduce_lanes_;
+    std::vector<Event> events_;
+    std::vector<ReplanRecord> replans_;
+};
+
+}  // namespace approxhadoop::obs
+
+#endif  // APPROXHADOOP_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <functional>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <cmath>
 #include <limits>
@@ -9,6 +11,24 @@
 namespace approxhadoop::stats {
 
 namespace {
+
+/**
+ * Thread-safe ln|Gamma(x)|. glibc's lgamma() writes the sign into the
+ * process-global `signgam`, which races when map-side threads evaluate
+ * t-distribution tails concurrently; lgamma_r() takes the sign slot as
+ * a parameter instead. All call sites here have x > 0, so the sign is
+ * always +1 and can be discarded either way.
+ */
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
 
 /** Continued fraction for the incomplete beta function (Lentz). */
 double
@@ -74,7 +94,7 @@ incompleteBeta(double a, double b, double x)
     if (x == 1.0) {
         return 1.0;
     }
-    double log_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+    double log_beta = logGamma(a + b) - logGamma(a) - logGamma(b) +
                       a * std::log(x) + b * std::log(1.0 - x);
     double front = std::exp(log_beta);
     // Use the symmetry relation for fast convergence.
@@ -161,13 +181,24 @@ studentTCriticalCached(double confidence, double df)
                    (std::hash<double>()(k.df) * 1099511628211ULL);
         }
     };
+    // Map-side UDFs run on thread-pool workers (JobConfig::
+    // num_exec_threads), so the cache is shared mutable state: readers
+    // take a shared lock (the steady-state path — every wave hits the
+    // same handful of (confidence, df) pairs), writers an exclusive one.
+    static std::shared_mutex cache_mutex;
     static std::unordered_map<Key, double, KeyHash> cache;
     Key key{confidence, df};
-    auto it = cache.find(key);
-    if (it != cache.end()) {
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(cache_mutex);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            return it->second;
+        }
     }
+    // Compute outside the lock: two racing threads may both evaluate,
+    // but the function is pure so either insert wins harmlessly.
     double value = studentTCritical(confidence, df);
+    std::unique_lock<std::shared_mutex> lock(cache_mutex);
     // Bound the cache; df values are job-size-bounded in practice.
     if (cache.size() > 1'000'000) {
         cache.clear();

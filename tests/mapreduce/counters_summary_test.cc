@@ -1,0 +1,124 @@
+#include "mapreduce/counters.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::mr {
+namespace {
+
+/** Counters with every field nonzero, so every summary section prints. */
+Counters
+allFieldsSet()
+{
+    Counters c;
+    c.maps_total = 101;
+    c.maps_completed = 59;
+    c.maps_killed = 11;
+    c.maps_dropped = 23;
+    c.maps_speculated = 3;
+    c.map_attempts_launched = 83;
+    c.map_attempts_failed = 13;
+    c.map_attempts_cancelled = 5;
+    c.maps_retried = 7;
+    c.maps_absorbed = 8;
+    c.server_crashes = 2;
+    c.wasted_attempt_seconds = 12.5;
+    c.chunks_corrupted = 9;
+    c.chunk_refetches = 6;
+    c.map_outputs_lost = 4;
+    c.bad_records_skipped = 17;
+    c.chunks_delivered = 118;
+    c.reduce_attempts_failed = 3;
+    c.reducer_checkpoints = 21;
+    c.chunks_replayed = 14;
+    c.timeouts_detected = 10;
+    c.detection_wait_seconds = 99.5;
+    c.items_total = 1000000;
+    c.items_read = 700000;
+    c.items_processed = 350000;
+    c.records_shuffled = 123456;
+    c.local_maps = 40;
+    c.remote_maps = 19;
+    c.waves = 6;
+    return c;
+}
+
+void
+expectContains(const std::string& haystack, const std::string& token)
+{
+    EXPECT_NE(haystack.find(token), std::string::npos)
+        << "'" << token << "' missing from: " << haystack;
+}
+
+// Regression: summary() used to format into a fixed char buf[256], so a
+// fault-heavy run silently truncated the tail of the line. Every counter
+// field must now surface in summary()/faultSummary(), however many
+// sections are active.
+TEST(CountersSummaryTest, EveryFieldAppearsWhenNonzero)
+{
+    Counters c = allFieldsSet();
+    std::string s = c.summary();
+
+    expectContains(s, "maps=101");
+    expectContains(s, "done=59");
+    expectContains(s, "dropped=23");
+    expectContains(s, "killed=11");
+    expectContains(s, "speculated=3");
+    expectContains(s, "items=1000000");
+    expectContains(s, "read=700000");
+    expectContains(s, "processed=350000");
+    expectContains(s, "shuffled=123456");
+    expectContains(s, "delivered=118");
+    expectContains(s, "local=40");
+    expectContains(s, "remote=19");
+    expectContains(s, "waves=6");
+
+    std::string f = c.faultSummary();
+    EXPECT_NE(s.find(" | " + f), std::string::npos)
+        << "summary must embed the fault summary: " << s;
+    expectContains(f, "attempts=83");
+    expectContains(f, "attempts_failed=13");
+    expectContains(f, "cancelled=5");
+    expectContains(f, "retried=7");
+    expectContains(f, "absorbed=8");
+    expectContains(f, "server_crashes=2");
+    expectContains(f, "wasted=12.5s");
+    expectContains(f, "corrupt_chunks=9");
+    expectContains(f, "refetches=6");
+    expectContains(f, "outputs_lost=4");
+    expectContains(f, "bad_records=17");
+    expectContains(f, "reduce_failed=3");
+    expectContains(f, "checkpoints=21");
+    expectContains(f, "replayed=14");
+    expectContains(f, "timeouts=10");
+    expectContains(f, "detect_wait=99.5s");
+}
+
+TEST(CountersSummaryTest, NoTruncationAtLargeMagnitudes)
+{
+    Counters c = allFieldsSet();
+    // Max-magnitude values push the line far past the old 256-byte
+    // buffer; the final token must still be present and intact.
+    c.maps_total = c.items_total = c.items_read = c.items_processed =
+        c.records_shuffled = c.chunks_delivered =
+            UINT64_C(18446744073709551615);
+    c.timeouts_detected = UINT64_C(18446744073709551615);
+    c.detection_wait_seconds = 1.23456789e12;
+    std::string s = c.summary();
+    EXPECT_GT(s.size(), 256u);
+    expectContains(s, "detect_wait=");
+    expectContains(s, "timeouts=18446744073709551615");
+}
+
+TEST(CountersSummaryTest, FaultFreeRunHasNoFaultSection)
+{
+    Counters c;
+    c.maps_total = 100;
+    c.maps_completed = 100;
+    EXPECT_EQ(c.faultSummary(), "");
+    EXPECT_EQ(c.summary().find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxhadoop::mr

@@ -1,0 +1,95 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::obs {
+namespace {
+
+TEST(JsonWriterTest, WriterOutputParsesBackToSameValues)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "wiki\"length\"\n");
+    w.field("count", static_cast<uint64_t>(42));
+    w.field("ratio", 0.1);
+    w.field("feasible", true);
+    w.nullField("missing");
+    w.beginArray("values");
+    w.element(1.5);
+    w.element(static_cast<uint64_t>(7));
+    w.element(std::string("text"));
+    w.endArray();
+    w.beginObject("nested");
+    w.field("wave", 3);
+    w.endObject();
+    w.endObject();
+
+    std::string error;
+    std::optional<JsonValue> v = parseJson(w.str(), &error);
+    ASSERT_TRUE(v.has_value()) << error;
+    EXPECT_EQ(v->at("name").string, "wiki\"length\"\n");
+    EXPECT_DOUBLE_EQ(v->at("count").number, 42.0);
+    EXPECT_DOUBLE_EQ(v->at("ratio").number, 0.1);
+    EXPECT_TRUE(v->at("feasible").boolean);
+    EXPECT_TRUE(v->at("missing").isNull());
+    ASSERT_EQ(v->at("values").array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v->at("values").array[0].number, 1.5);
+    EXPECT_EQ(v->at("values").array[2].string, "text");
+    EXPECT_DOUBLE_EQ(v->at("nested").at("wave").number, 3.0);
+}
+
+TEST(JsonWriterTest, NumberFormattingIsShortestRoundTrip)
+{
+    // The byte-determinism contract: same double, same bytes, and the
+    // bytes parse back to exactly the same double.
+    for (double v : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 12.5}) {
+        std::string text = JsonWriter::number(v);
+        EXPECT_EQ(text, JsonWriter::number(v));
+        std::optional<JsonValue> parsed = parseJson(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        EXPECT_EQ(parsed->number, v) << text;
+    }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(JsonWriter::number(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(-std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(std::nan("")), "null");
+}
+
+TEST(JsonParserTest, UnicodeEscapesDecodeToUtf8)
+{
+    std::optional<JsonValue> v = parseJson("\"A\\u00e9\\u0041\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string, "A\xc3\xa9"
+                         "A");
+}
+
+TEST(JsonParserTest, MalformedInputIsRejectedWithPosition)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": 1,}", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("[1, 2", &error).has_value());
+    EXPECT_FALSE(parseJson("{} trailing", &error).has_value());
+    EXPECT_FALSE(parseJson("", &error).has_value());
+}
+
+TEST(JsonParserTest, MissingKeyLookupsReturnNull)
+{
+    std::optional<JsonValue> v = parseJson("{\"a\": 1}");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->has("a"));
+    EXPECT_FALSE(v->has("b"));
+    EXPECT_TRUE(v->at("b").isNull());
+}
+
+}  // namespace
+}  // namespace approxhadoop::obs

@@ -1,0 +1,80 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIncrementAndAdvance)
+{
+    MetricsRegistry m;
+    m.counter("maps").increment();
+    m.counter("maps").increment(4);
+    EXPECT_EQ(m.counter("maps").value(), 5u);
+
+    // advanceTo mirrors an external monotone count: it never rolls back,
+    // even when waves publish out of order.
+    m.counter("maps").advanceTo(3);
+    EXPECT_EQ(m.counter("maps").value(), 5u);
+    m.counter("maps").advanceTo(17);
+    EXPECT_EQ(m.counter("maps").value(), 17u);
+}
+
+TEST(MetricsRegistryTest, GaugeMovesBothWays)
+{
+    MetricsRegistry m;
+    m.gauge("pending").set(12.0);
+    EXPECT_DOUBLE_EQ(m.gauge("pending").value(), 12.0);
+    m.gauge("pending").set(3.0);
+    EXPECT_DOUBLE_EQ(m.gauge("pending").value(), 3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramStats)
+{
+    MetricsRegistry m;
+    MetricsRegistry::Histogram& h = m.histogram("latency");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty: no infinities leak out
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+    h.observe(2.0);
+    h.observe(8.0);
+    h.observe(5.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 8.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(MetricsRegistryTest, WaveSnapshotsAreImmutableRows)
+{
+    MetricsRegistry m;
+    m.counter("done").advanceTo(10);
+    m.gauge("pending").set(90.0);
+    m.snapshotWave(0, 100.0);
+
+    m.counter("done").advanceTo(25);
+    m.gauge("pending").set(75.0);
+    m.histogram("ratio").observe(0.5);
+    m.snapshotWave(1, 200.0);
+
+    const std::vector<MetricsRegistry::WaveSnapshot>& rows =
+        m.waveSnapshots();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].wave, 0);
+    EXPECT_DOUBLE_EQ(rows[0].sim_time, 100.0);
+    EXPECT_EQ(rows[0].counters.at("done"), 10u);
+    EXPECT_DOUBLE_EQ(rows[0].gauges.at("pending"), 90.0);
+    // Instruments created after a snapshot do not appear in it.
+    EXPECT_EQ(rows[0].histograms.count("ratio"), 0u);
+
+    EXPECT_EQ(rows[1].wave, 1);
+    EXPECT_EQ(rows[1].counters.at("done"), 25u);
+    EXPECT_DOUBLE_EQ(rows[1].gauges.at("pending"), 75.0);
+    EXPECT_EQ(rows[1].histograms.at("ratio").count, 1u);
+}
+
+}  // namespace
+}  // namespace approxhadoop::obs

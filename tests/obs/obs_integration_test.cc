@@ -1,0 +1,277 @@
+/**
+ * @file
+ * End-to-end tests of the observability subsystem: real target-error jobs
+ * run with an Observability sink attached, and the exported Chrome trace
+ * and JSON job report are validated against their schema, determinism,
+ * and replan-fidelity contracts.
+ */
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "apps/log_apps.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "obs/json.h"
+#include "obs/observability.h"
+#include "obs/report.h"
+#include "sim/cluster.h"
+#include "workloads/access_log.h"
+
+namespace approxhadoop {
+namespace {
+
+struct ObservedRun
+{
+    mr::JobResult result;
+    mr::JobConfig config;
+    std::unique_ptr<obs::Observability> obs;
+};
+
+/** Figure-9-style target-error run with the sink attached. */
+ObservedRun
+runTargetWithObs(double target, bool pilot = false)
+{
+    workloads::AccessLogParams params;
+    params.num_blocks = 120;
+    params.entries_per_block = 400;
+    auto log = workloads::makeAccessLog(params);
+
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 11);
+    core::ApproxJobRunner runner(cluster, *log, nn);
+
+    ObservedRun run;
+    run.obs = std::make_unique<obs::Observability>();
+    runner.setObservability(run.obs.get());
+
+    core::ApproxConfig approx;
+    approx.target_relative_error = target;
+    if (pilot) {
+        approx.pilot.enabled = true;
+        approx.pilot.maps = 20;
+        approx.pilot.sampling_ratio = 0.05;
+    }
+    run.config = apps::logProcessingConfig("pp", 400);
+    run.result = runner.runAggregation(run.config, approx,
+                                       apps::ProjectPopularity::mapperFactory(),
+                                       apps::ProjectPopularity::kOp);
+    return run;
+}
+
+/** Drops every line containing `"wall_` (the wall-clock escape hatch). */
+std::string
+stripWallClockLines(const std::string& text)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"wall_") == std::string::npos) {
+            out << line << '\n';
+        }
+    }
+    return out.str();
+}
+
+TEST(ObsTraceTest, ChromeTraceSchemaAndMonotoneRows)
+{
+    ObservedRun run = runTargetWithObs(0.05);
+
+    std::string error;
+    std::optional<obs::JsonValue> root =
+        obs::parseJson(run.obs->trace.toChromeJson(), &error);
+    ASSERT_TRUE(root.has_value()) << error;
+    const obs::JsonValue& events = root->at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_FALSE(events.array.empty());
+
+    bool saw_metadata = false;
+    std::set<std::string> names;
+    // Simulated timestamps must be monotone within each (pid, tid) row —
+    // that is what makes the Perfetto tracks render as clean lanes.
+    std::map<std::pair<double, double>, double> last_ts;
+    for (const obs::JsonValue& e : events.array) {
+        ASSERT_TRUE(e.isObject());
+        ASSERT_TRUE(e.at("ph").isString());
+        ASSERT_TRUE(e.at("pid").isNumber());
+        ASSERT_TRUE(e.at("tid").isNumber());
+        if (e.at("ph").string == "M") {
+            saw_metadata = true;
+            continue;
+        }
+        ASSERT_TRUE(e.at("ts").isNumber());
+        ASSERT_TRUE(e.at("name").isString());
+        names.insert(e.at("name").string);
+        EXPECT_GE(e.at("ts").number, 0.0);
+        auto row = std::make_pair(e.at("pid").number, e.at("tid").number);
+        auto it = last_ts.find(row);
+        if (it != last_ts.end()) {
+            EXPECT_GE(e.at("ts").number, it->second)
+                << "ts regressed on row pid=" << row.first
+                << " tid=" << row.second;
+        }
+        last_ts[row] = e.at("ts").number;
+        if (e.at("ph").string == "X") {
+            ASSERT_TRUE(e.at("dur").isNumber());
+            EXPECT_GE(e.at("dur").number, 0.0);
+        }
+        // Wall-clock timestamps ride along as an arg on every event.
+        EXPECT_TRUE(e.at("args").at("wall_ms").isNumber());
+    }
+    EXPECT_TRUE(saw_metadata);
+
+    // The lifecycle taxonomy: map attempts, wave boundaries, controller
+    // re-plans, and job bracketing must all be present in a target run.
+    EXPECT_TRUE(names.count("job-start"));
+    EXPECT_TRUE(names.count("job-end"));
+    EXPECT_TRUE(names.count("map-start"));
+    EXPECT_TRUE(names.count("wave-complete"));
+    EXPECT_TRUE(names.count("map-phase-done"));
+    EXPECT_TRUE(names.count("replan"));
+}
+
+TEST(ObsTraceTest, ReplanRecordsReproduceFrozenTaskRatios)
+{
+    ObservedRun run = runTargetWithObs(0.05);
+    const std::vector<obs::ReplanRecord>& replans =
+        run.obs->trace.replans();
+    ASSERT_FALSE(replans.empty());
+
+    double prev_time = 0.0;
+    std::set<double> planned_ratios;
+    for (const obs::ReplanRecord& r : replans) {
+        EXPECT_GE(r.sim_time, prev_time);
+        prev_time = r.sim_time;
+        EXPECT_TRUE(r.trigger == "pilot" || r.trigger == "replan" ||
+                    r.trigger == "achieved" || r.trigger == "user-drop")
+            << r.trigger;
+        EXPECT_GT(r.sampling_ratio, 0.0);
+        EXPECT_LE(r.sampling_ratio, 1.0);
+        planned_ratios.insert(r.sampling_ratio);
+    }
+
+    // Every sampling ratio frozen into a started task must have been
+    // announced by some re-plan record (ratio 1.0 is the precise default
+    // the first wave runs at). This pins the trace to the wave-by-wave
+    // ratios the target-error integration tests already verify.
+    for (const mr::MapTaskInfo& t : run.result.tasks) {
+        if (t.wave < 0 || t.sampling_ratio == 1.0) {
+            continue;
+        }
+        EXPECT_TRUE(planned_ratios.count(t.sampling_ratio))
+            << "task " << t.task_id << " ran at ratio " << t.sampling_ratio
+            << " which no replan record announced";
+    }
+}
+
+TEST(ObsReportTest, SchemaRoundTripAndWaveCounts)
+{
+    ObservedRun run = runTargetWithObs(0.05);
+    obs::JobReport report = obs::JobReport::build("pp", run.config,
+                                                  run.result, run.obs.get());
+
+    std::string error;
+    std::optional<obs::JsonValue> root =
+        obs::parseJson(report.toJson(), &error);
+    ASSERT_TRUE(root.has_value()) << error;
+
+    EXPECT_EQ(root->at("schema").string, obs::JobReport::kSchema);
+    EXPECT_EQ(root->at("app").string, "pp");
+    EXPECT_EQ(root->at("status").string, "ok");
+    for (const char* key : {"config", "counters", "results", "waves",
+                            "replans", "metrics", "wall_clock"}) {
+        EXPECT_TRUE(root->has(key)) << key;
+    }
+    EXPECT_TRUE(root->at("runtime_s").isNumber());
+    EXPECT_DOUBLE_EQ(root->at("runtime_s").number, run.result.runtime);
+
+    // One result row per output record; the headline must be one of them.
+    EXPECT_EQ(root->at("results").array.size(), run.result.output.size());
+    ASSERT_TRUE(root->at("headline").isObject());
+    EXPECT_GT(root->at("headline").at("bound").number, 0.0);
+
+    // Per-wave accounting must close: the waves array, the metric
+    // snapshots, and the counters.waves scalar all agree.
+    uint64_t waves =
+        static_cast<uint64_t>(root->at("counters").at("waves").number);
+    EXPECT_EQ(root->at("waves").array.size(), waves);
+    EXPECT_EQ(root->at("metrics").at("wave_snapshots").array.size(), waves);
+
+    uint64_t completed = 0;
+    for (const obs::JsonValue& row : root->at("waves").array) {
+        completed +=
+            static_cast<uint64_t>(row.at("outcome").at("completed").number);
+        EXPECT_GT(row.at("plan").at("maps_started").number, 0.0);
+    }
+    EXPECT_EQ(completed, run.result.counters.maps_completed);
+
+    // Replans serialize one row per recorded decision.
+    EXPECT_EQ(root->at("replans").array.size(),
+              run.obs->trace.replans().size());
+}
+
+TEST(ObsReportTest, ByteIdenticalAcrossRunsModuloWallClock)
+{
+    ObservedRun a = runTargetWithObs(0.05);
+    ObservedRun b = runTargetWithObs(0.05);
+    std::string ja =
+        obs::JobReport::build("pp", a.config, a.result, a.obs.get()).toJson();
+    std::string jb =
+        obs::JobReport::build("pp", b.config, b.result, b.obs.get()).toJson();
+
+    // The wall_clock section is the only permitted difference, and it
+    // must be strippable line-wise (the CI diff relies on this).
+    EXPECT_EQ(stripWallClockLines(ja), stripWallClockLines(jb));
+    EXPECT_NE(stripWallClockLines(ja), ja)
+        << "report must carry a wall_clock section";
+}
+
+TEST(ObsReportTest, PilotRunRecordsPilotTrigger)
+{
+    ObservedRun run = runTargetWithObs(0.05, /*pilot=*/true);
+    const std::vector<obs::ReplanRecord>& replans =
+        run.obs->trace.replans();
+    ASSERT_FALSE(replans.empty());
+    EXPECT_EQ(replans.front().trigger, "pilot");
+}
+
+TEST(ObsReportTest, DetachedSinkProducesReportWithoutObsSections)
+{
+    // JobReport::build(..., nullptr) is the bench-harness path: results
+    // and counters populate, replans/snapshots stay empty.
+    workloads::AccessLogParams params;
+    params.num_blocks = 24;
+    params.entries_per_block = 100;
+    auto log = workloads::makeAccessLog(params);
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    hdfs::NameNode nn(cluster.numServers(), 3, 11);
+    core::ApproxJobRunner runner(cluster, *log, nn);
+    core::ApproxConfig approx;
+    approx.target_relative_error = 0.10;
+    mr::JobConfig config = apps::logProcessingConfig("pp", 100);
+    mr::JobResult result = runner.runAggregation(
+        config, approx, apps::ProjectPopularity::mapperFactory(),
+        apps::ProjectPopularity::kOp);
+
+    obs::JobReport report =
+        obs::JobReport::build("pp", config, result, nullptr);
+    EXPECT_TRUE(report.replans.empty());
+    EXPECT_TRUE(report.metric_snapshots.empty());
+    EXPECT_FALSE(report.results.empty());
+    EXPECT_DOUBLE_EQ(report.runtime_s, result.runtime);
+
+    std::optional<obs::JsonValue> root = obs::parseJson(report.toJson());
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(root->at("replans").array.size(), 0u);
+}
+
+}  // namespace
+}  // namespace approxhadoop

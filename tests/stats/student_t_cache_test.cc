@@ -1,8 +1,12 @@
 #include "stats/student_t.h"
 
 #include <cmath>
+#include <future>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace approxhadoop::stats {
 namespace {
@@ -30,6 +34,44 @@ TEST(StudentTCriticalCachedTest, SubUnitDfIsInfinite)
 {
     EXPECT_TRUE(std::isinf(studentTCriticalCached(0.95, 0.0)));
     EXPECT_TRUE(std::isinf(studentTCriticalCached(0.95, 0.5)));
+}
+
+// Regression: the memoization map behind studentTCriticalCached() used
+// to be an unsynchronized static, so map-side UDF threads calling into
+// the estimator raced the driver. Hammer the same and disjoint keys from
+// a pool; under TSan (CI runs this suite with -fsanitize=thread) any
+// reintroduced unguarded access is a hard failure, and every thread must
+// observe the exact single-threaded values.
+TEST(StudentTCacheConcurrency, PoolHammerMatchesSerialValues)
+{
+    constexpr int kThreads = 8;
+    constexpr int kItersPerThread = 400;
+    double expect_shared = studentTCritical(0.95, 17.0);
+
+    ThreadPool pool(kThreads);
+    std::vector<std::future<bool>> done;
+    for (int t = 0; t < kThreads; ++t) {
+        done.push_back(pool.submit([t, expect_shared] {
+            for (int i = 0; i < kItersPerThread; ++i) {
+                // Shared hot key: every thread reads/inserts the same
+                // entry.
+                if (studentTCriticalCached(0.95, 17.0) != expect_shared) {
+                    return false;
+                }
+                // Per-thread cold keys: concurrent inserts into fresh
+                // buckets.
+                double df = 2.0 + t * kItersPerThread + i;
+                double got = studentTCriticalCached(0.95, df);
+                if (got != studentTCritical(0.95, df)) {
+                    return false;
+                }
+            }
+            return true;
+        }));
+    }
+    for (auto& f : done) {
+        EXPECT_TRUE(f.get());
+    }
 }
 
 TEST(IncompleteBetaTest, ExtremeParameters)

@@ -29,6 +29,8 @@
 #include "chaos/scenario.h"
 #include "chaos/shrink.h"
 #include "common/logging.h"
+#include "obs/observability.h"
+#include "obs/report.h"
 
 using namespace approxhadoop;
 
@@ -214,6 +216,37 @@ reportViolation(const Options& opt, const chaos::ChaosOracle& oracle,
         } else {
             std::fprintf(stderr, "cannot append to %s\n",
                          opt.repro_out.c_str());
+        }
+        // Rerun the shrunk scenario with observability attached and save
+        // the machine-readable artifacts next to the reproducer list, so
+        // a CI failure ships the timeline and job report of the minimal
+        // failing run, not just its command line.
+        obs::Observability sink;
+        mr::JobConfig config;
+        chaos::RunOutcome rerun = oracle.runScenario(
+            shrunk.scenario, shrunk.scenario.threads, &sink, &config);
+        obs::JobReport report =
+            rerun.failed
+                ? obs::JobReport::fromFailure(shrunk.scenario.workload,
+                                              config, rerun.error,
+                                              rerun.counters, &sink)
+                : obs::JobReport::build(shrunk.scenario.workload, config,
+                                        rerun.result, &sink);
+        std::string report_path = opt.repro_out + ".report.json";
+        std::string trace_path = opt.repro_out + ".trace.json";
+        auto save = [](const std::string& path, const std::string& text) {
+            if (FILE* f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+                return true;
+            }
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        };
+        if (save(report_path, report.toJson()) &&
+            save(trace_path, sink.trace.toChromeJson())) {
+            std::printf("  artifacts: %s, %s\n", report_path.c_str(),
+                        trace_path.c_str());
         }
     }
 }

@@ -33,6 +33,8 @@
 #include "ft/fault_plan.h"
 #include "ft/recovery_policy.h"
 #include "hdfs/namenode.h"
+#include "obs/observability.h"
+#include "obs/report.h"
 #include "sim/cluster.h"
 #include "workloads/dc_placement.h"
 
@@ -65,7 +67,16 @@ struct Options
     uint64_t checkpoint_interval = 0;
     bool checkpoint_set = false;
     bool selfcheck = false;
+    std::string report_json;  // --report-json FILE ("" = off)
+    std::string trace_out;    // --trace-out FILE ("" = off)
 };
+
+/**
+ * Observability sink shared by every job of the invocation; created in
+ * main() when --report-json or --trace-out is given, and file-scope so
+ * the JobFailedError path can still emit artifacts for the partial run.
+ */
+std::unique_ptr<obs::Observability> g_obs;
 
 /** Exit codes: distinguishable failure classes for scripts and CI. */
 enum ExitCode {
@@ -121,6 +132,10 @@ usage()
         "  --selfcheck           also run a fault-free precise reference\n"
         "                        and fail (exit 4) unless the headline\n"
         "                        key's CI covers the exact answer\n"
+        "  --report-json FILE    write a machine-readable job report\n"
+        "                        (JSON; schema approxhadoop-job-report/1)\n"
+        "  --trace-out FILE      write a Chrome trace-event timeline\n"
+        "                        (load in chrome://tracing or Perfetto)\n"
         "  --s3                  suspend drained servers (energy mode)\n"
         "  --top K               result rows to print (default 10)\n"
         "  --verbose             framework INFO logging\n"
@@ -333,6 +348,16 @@ parseArgs(int argc, char** argv, Options& opt)
                 return badValue(arg, "a timeout in ms", v);
             }
             opt.timeout_set = true;
+        } else if (arg == "--report-json") {
+            opt.report_json = value();
+            if (opt.report_json.empty()) {
+                return badValue(arg, "a file path", "");
+            }
+        } else if (arg == "--trace-out") {
+            opt.trace_out = value();
+            if (opt.trace_out.empty()) {
+                return badValue(arg, "a file path", "");
+            }
         } else if (arg == "--selfcheck") {
             opt.selfcheck = true;
         } else if (arg == "--s3") {
@@ -411,6 +436,32 @@ clusterConfigFor(const Options& opt)
                                    : sim::ClusterConfig::xeon10();
 }
 
+bool
+writeTextFile(const std::string& path, const std::string& text)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     std::strerror(errno));
+        return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+/** Writes --report-json and --trace-out artifacts (whichever are set). */
+void
+emitObsArtifacts(const Options& opt, const obs::JobReport& report)
+{
+    if (!opt.report_json.empty()) {
+        writeTextFile(opt.report_json, report.toJson());
+    }
+    if (!opt.trace_out.empty() && g_obs != nullptr) {
+        writeTextFile(opt.trace_out, g_obs->trace.toChromeJson());
+    }
+}
+
 /**
  * Validates the approximate result against a fault-free precise run of
  * the same job: the headline key (largest predicted absolute error, the
@@ -478,6 +529,7 @@ runAggregationWorkload(const Options& opt,
     sim::Cluster cluster(clusterConfigFor(opt));
     hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
     core::ApproxJobRunner runner(cluster, *data, nn);
+    runner.setObservability(g_obs.get());
     mr::JobResult result =
         opt.precise
             ? runner.runPrecise(config, workload.mapper_factory(),
@@ -485,6 +537,10 @@ runAggregationWorkload(const Options& opt,
             : runner.runAggregation(config, opt.approx,
                                     workload.mapper_factory(), workload.op);
     printResult(opt, result);
+    if (g_obs != nullptr) {
+        emitObsArtifacts(opt, obs::JobReport::build(opt.app, config, result,
+                                                    g_obs.get()));
+    }
     if (opt.selfcheck && !opt.precise) {
         mr::JobResult precise = apps::runPreciseReference(
             workload, *data, config, clusterConfigFor(opt), opt.seed);
@@ -518,6 +574,7 @@ runApp(const Options& opt)
         sim::Cluster cluster(cc);
         hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
         core::ApproxJobRunner runner(cluster, *seeds, nn);
+        runner.setObservability(g_obs.get());
         mr::JobConfig config = apps::DCPlacementApp::jobConfig(
             seeds_per_map, opt.reducers);
         applyCommonConfig(opt, config);
@@ -530,6 +587,10 @@ runApp(const Options& opt)
                       config, opt.approx,
                       apps::DCPlacementApp::mapperFactory(problem), true);
         printResult(opt, result);
+        if (g_obs != nullptr) {
+            emitObsArtifacts(opt, obs::JobReport::build(
+                                      opt.app, config, result, g_obs.get()));
+        }
         return 0;
     }
 
@@ -542,6 +603,7 @@ runApp(const Options& opt)
         sim::Cluster cluster(clusterConfigFor(opt));
         hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
         core::ApproxJobRunner runner(cluster, *data, nn);
+        runner.setObservability(g_obs.get());
         mr::JobConfig config =
             apps::FrameEncoderApp::jobConfig(frames, opt.reducers);
         applyCommonConfig(opt, config);
@@ -549,6 +611,10 @@ runApp(const Options& opt)
             config, opt.approx, apps::FrameEncoderApp::mapperFactory(),
             apps::FrameEncoderApp::reducerFactory());
         printResult(opt, result);
+        if (g_obs != nullptr) {
+            emitObsArtifacts(opt, obs::JobReport::build(
+                                      opt.app, config, result, g_obs.get()));
+        }
         return 0;
     }
 
@@ -571,6 +637,9 @@ main(int argc, char** argv)
     }
     Logger::instance().setLevel(opt.verbose ? LogLevel::kInfo
                                             : LogLevel::kWarn);
+    if (!opt.report_json.empty() || !opt.trace_out.empty()) {
+        g_obs = std::make_unique<obs::Observability>();
+    }
     try {
         return runApp(opt);
     } catch (const mr::JobFailedError& e) {
@@ -579,6 +648,19 @@ main(int argc, char** argv)
         std::fprintf(stderr, "job failed: %s\n", e.what());
         std::fprintf(stderr, "fault summary: %s\n",
                      e.counters.faultSummary().c_str());
+        if (g_obs != nullptr) {
+            // The JobConfig that failed is out of scope here; rebuild the
+            // determinism-relevant knobs from the CLI options so the
+            // failed-run report still records them.
+            mr::JobConfig config;
+            config.name = opt.app;
+            config.num_reducers = opt.reducers;
+            applyCommonConfig(opt, config);
+            emitObsArtifacts(opt,
+                             obs::JobReport::fromFailure(
+                                 opt.app, config, e.what(), e.counters,
+                                 g_obs.get()));
+        }
         return kExitJobFailed;
     }
 }

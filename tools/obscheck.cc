@@ -1,0 +1,250 @@
+/**
+ * @file
+ * obscheck — schema validator for approxrun/approxchaos observability
+ * artifacts. CI runs it on every --report-json / --trace-out file so a
+ * refactor cannot silently ship malformed or internally inconsistent
+ * JSON.
+ *
+ *   obscheck --report run.report.json --trace run.trace.json
+ *
+ * Checks:
+ *  - the report parses, carries the expected schema tag, and has every
+ *    required top-level section;
+ *  - per-wave plan/outcome rows match the counters' wave count on
+ *    successful runs;
+ *  - the trace parses, is a Chrome trace-event container, and simulated
+ *    timestamps are monotone non-decreasing within each (pid, tid) row.
+ *
+ * Exit codes: 0 valid, 1 validation failure, 2 usage/IO error.
+ */
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+enum ExitCode { kExitOk = 0, kExitInvalid = 1, kExitBadUsage = 2 };
+
+void
+usage()
+{
+    std::printf("usage: obscheck [--report FILE] [--trace FILE]\n"
+                "\n"
+                "validates approxrun --report-json and --trace-out\n"
+                "artifacts; at least one of the two flags is required\n"
+                "\n"
+                "exit codes: 0 valid, 1 validation failure, 2 bad "
+                "usage/unreadable file\n");
+}
+
+bool
+readFile(const std::string& path, std::string& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "obscheck: cannot read %s\n", path.c_str());
+        return false;
+    }
+    char buf[65536];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        out.append(buf, n);
+    }
+    std::fclose(f);
+    return true;
+}
+
+/** Collects failures so one run reports every problem, not just the
+ *  first. */
+struct Checker
+{
+    int failures = 0;
+
+    void fail(const std::string& what)
+    {
+        std::fprintf(stderr, "obscheck: %s\n", what.c_str());
+        ++failures;
+    }
+
+    void require(bool ok, const std::string& what)
+    {
+        if (!ok) {
+            fail(what);
+        }
+    }
+};
+
+void
+checkReport(const std::string& path, Checker& check)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::exit(kExitBadUsage);
+    }
+    std::string error;
+    std::optional<obs::JsonValue> doc = obs::parseJson(text, &error);
+    if (!doc) {
+        check.fail("report " + path + ": " + error);
+        return;
+    }
+    const obs::JsonValue& v = *doc;
+    check.require(v.isObject(), "report: root is not an object");
+    check.require(v.at("schema").string == "approxhadoop-job-report/1",
+                  "report: schema tag is not approxhadoop-job-report/1");
+    for (const char* key :
+         {"app", "status", "config", "counters", "results", "waves",
+          "replans", "metrics", "wall_clock"}) {
+        check.require(v.has(key),
+                      std::string("report: missing key '") + key + "'");
+    }
+    const std::string& status = v.at("status").string;
+    check.require(status == "ok" || status == "failed",
+                  "report: status must be ok or failed, got '" + status +
+                      "'");
+    check.require(v.at("runtime_s").isNumber(),
+                  "report: runtime_s is not a number");
+    const obs::JsonValue& counters = v.at("counters");
+    check.require(counters.isObject(), "report: counters is not an object");
+    for (const char* key : {"maps_total", "maps_completed", "waves",
+                            "items_total", "items_processed"}) {
+        check.require(counters.at(key).isNumber(),
+                      std::string("report: counters.") + key +
+                          " is not a number");
+    }
+    const obs::JsonValue& waves = v.at("waves");
+    check.require(waves.isArray(), "report: waves is not an array");
+    if (status == "ok" && waves.isArray() &&
+        counters.at("waves").isNumber()) {
+        // Every wave the job ran must carry exactly one plan/outcome row.
+        double expected = counters.at("waves").number;
+        check.require(
+            static_cast<double>(waves.array.size()) == expected,
+            "report: waves has " + std::to_string(waves.array.size()) +
+                " rows but counters.waves = " +
+                std::to_string(static_cast<long long>(expected)));
+    }
+    for (const obs::JsonValue& row : waves.array) {
+        check.require(row.has("wave") && row.has("plan") &&
+                          row.has("outcome"),
+                      "report: wave row missing wave/plan/outcome");
+        check.require(row.at("plan").at("maps_started").isNumber(),
+                      "report: wave plan missing maps_started");
+        check.require(row.at("outcome").at("completed").isNumber(),
+                      "report: wave outcome missing completed");
+    }
+    for (const obs::JsonValue& rec : v.at("replans").array) {
+        const std::string& trigger = rec.at("trigger").string;
+        check.require(trigger == "pilot" || trigger == "replan" ||
+                          trigger == "achieved" || trigger == "user-drop",
+                      "report: bad replan trigger '" + trigger + "'");
+        check.require(rec.at("sampling_ratio").isNumber() &&
+                          rec.at("sampling_ratio").number > 0.0 &&
+                          rec.at("sampling_ratio").number <= 1.0,
+                      "report: replan sampling_ratio out of (0, 1]");
+    }
+    for (const obs::JsonValue& row : v.at("results").array) {
+        check.require(row.has("key") && row.at("value").isNumber(),
+                      "report: result row missing key/value");
+    }
+    check.require(v.at("wall_clock").isObject(),
+                  "report: wall_clock is not an object");
+}
+
+void
+checkTrace(const std::string& path, Checker& check)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::exit(kExitBadUsage);
+    }
+    std::string error;
+    std::optional<obs::JsonValue> doc = obs::parseJson(text, &error);
+    if (!doc) {
+        check.fail("trace " + path + ": " + error);
+        return;
+    }
+    const obs::JsonValue& events = doc->at("traceEvents");
+    if (!events.isArray()) {
+        check.fail("trace: traceEvents is not an array");
+        return;
+    }
+    check.require(!events.array.empty(), "trace: traceEvents is empty");
+    // Per-row monotonicity: the exporter sorts by (pid, tid, ts), so the
+    // simulated clock must never run backwards within one track row.
+    std::map<std::pair<double, double>, double> last_ts;
+    bool saw_metadata = false;
+    for (const obs::JsonValue& e : events.array) {
+        if (!e.isObject() || !e.has("ph") || !e.has("pid") ||
+            !e.has("tid")) {
+            check.fail("trace: event without ph/pid/tid");
+            return;
+        }
+        const std::string& ph = e.at("ph").string;
+        if (ph == "M") {
+            saw_metadata = true;
+            continue;
+        }
+        check.require(e.at("ts").isNumber() && e.at("ts").number >= 0.0,
+                      "trace: non-'M' event without a valid ts");
+        check.require(e.has("name"), "trace: event without a name");
+        auto row = std::make_pair(e.at("pid").number, e.at("tid").number);
+        auto it = last_ts.find(row);
+        if (it != last_ts.end() && e.at("ts").number < it->second) {
+            check.fail("trace: ts not monotone within a (pid, tid) row");
+            return;
+        }
+        last_ts[row] = e.at("ts").number;
+        if (ph == "X") {
+            check.require(e.at("dur").isNumber() &&
+                              e.at("dur").number >= 0.0,
+                          "trace: 'X' event without a valid dur");
+        }
+    }
+    check.require(saw_metadata,
+                  "trace: no 'M' metadata events (track names missing)");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string report_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            usage();
+            return kExitBadUsage;
+        }
+    }
+    if (report_path.empty() && trace_path.empty()) {
+        usage();
+        return kExitBadUsage;
+    }
+    Checker check;
+    if (!report_path.empty()) {
+        checkReport(report_path, check);
+    }
+    if (!trace_path.empty()) {
+        checkTrace(trace_path, check);
+    }
+    if (check.failures > 0) {
+        return kExitInvalid;
+    }
+    std::printf("obscheck OK:%s%s\n",
+                report_path.empty() ? "" : (" " + report_path).c_str(),
+                trace_path.empty() ? "" : (" " + trace_path).c_str());
+    return kExitOk;
+}
