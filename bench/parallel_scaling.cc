@@ -12,8 +12,14 @@
  * statistically free.
  *
  * Usage:
- *   bench_parallel_scaling            full workload (161 blocks x 400)
- *   bench_parallel_scaling --smoke    seconds-scale CI smoke run
+ *   bench_parallel_scaling                 full workload (161 blocks x 400)
+ *   bench_parallel_scaling --smoke         seconds-scale CI smoke run
+ *   bench_parallel_scaling --json <path>   also emit the benchdiff report
+ *
+ * The --json report (schema "approxhadoop-bench/1") carries the
+ * single-thread records/sec throughput (gated at 15% by tools/benchdiff)
+ * and the simulated runtime (required to match the committed baseline
+ * exactly — speedups must not change results).
  */
 #include <chrono>
 #include <cmath>
@@ -74,11 +80,15 @@ int
 main(int argc, char** argv)
 {
     bool smoke = false;
+    const char* json_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -101,6 +111,8 @@ main(int argc, char** argv)
     std::printf("%8s %14s %14s %14s %10s\n", "threads", "wall mean ms",
                 "wall min ms", "sim runtime s", "speedup");
 
+    uint64_t total_records = params.num_blocks * params.articles_per_block;
+    benchutil::BenchReport report("parallel_scaling", reps);
     double base_min = 0.0;
     double base_checksum = 0.0;
     bool identical = true;
@@ -112,9 +124,19 @@ main(int argc, char** argv)
             walls.push_back(last.wall_ms);
         }
         benchutil::Agg agg = benchutil::aggregate(walls);
+        double med_ms = benchutil::median(walls);
         if (threads == thread_counts.front()) {
             base_min = agg.min;
             base_checksum = last.checksum;
+            report.metric("map_records_per_sec",
+                          med_ms > 0.0 ? 1000.0 *
+                                             static_cast<double>(
+                                                 total_records) /
+                                             med_ms
+                                       : 0.0);
+            report.metric("wall_ms_median_1thread", med_ms);
+            report.metric("sim_runtime_s", last.sim_runtime);
+            report.metric("sim_output_checksum", last.checksum);
         } else if (std::fabs(last.checksum - base_checksum) >
                    1e-9 * std::fabs(base_checksum)) {
             identical = false;
@@ -130,5 +152,8 @@ main(int argc, char** argv)
         return 1;
     }
     std::printf("\noutputs identical across all thread counts\n");
+    if (json_path != nullptr && !report.write(json_path)) {
+        return 1;
+    }
     return 0;
 }

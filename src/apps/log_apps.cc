@@ -37,6 +37,18 @@ ProjectPopularity::Mapper::map(const std::string& record,
     }
 }
 
+void
+ProjectPopularity::Mapper::mapBatch(const std::string_view* records,
+                                    size_t count, mr::MapContext& ctx)
+{
+    workloads::AccessLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseAccessLogEntry(records[i], entry)) {
+            ctx.write(entry.project, 1.0);
+        }
+    }
+}
+
 mr::Job::MapperFactory
 ProjectPopularity::mapperFactory()
 {
@@ -58,6 +70,18 @@ PagePopularity::Mapper::map(const std::string& record, mr::MapContext& ctx)
     }
 }
 
+void
+PagePopularity::Mapper::mapBatch(const std::string_view* records,
+                                 size_t count, mr::MapContext& ctx)
+{
+    workloads::AccessLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseAccessLogEntry(records[i], entry)) {
+            ctx.write(entry.page, 1.0);
+        }
+    }
+}
+
 mr::Job::MapperFactory
 PagePopularity::mapperFactory()
 {
@@ -76,6 +100,18 @@ PageTraffic::Mapper::map(const std::string& record, mr::MapContext& ctx)
     workloads::AccessLogEntry entry;
     if (workloads::parseAccessLogEntry(record, entry)) {
         ctx.write(entry.page, static_cast<double>(entry.bytes));
+    }
+}
+
+void
+PageTraffic::Mapper::mapBatch(const std::string_view* records, size_t count,
+                              mr::MapContext& ctx)
+{
+    workloads::AccessLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseAccessLogEntry(records[i], entry)) {
+            ctx.write(entry.page, static_cast<double>(entry.bytes));
+        }
     }
 }
 
@@ -102,6 +138,23 @@ LogRequestRate::Mapper::map(const std::string& record, mr::MapContext& ctx)
     char key[16];
     std::snprintf(key, sizeof(key), "h%03u", hour);
     ctx.write(key, 1.0);
+}
+
+void
+LogRequestRate::Mapper::mapBatch(const std::string_view* records,
+                                 size_t count, mr::MapContext& ctx)
+{
+    workloads::AccessLogEntryView entry;
+    char key[16];
+    for (size_t i = 0; i < count; ++i) {
+        if (!workloads::parseAccessLogEntry(records[i], entry)) {
+            continue;
+        }
+        uint32_t hour =
+            static_cast<uint32_t>((entry.timestamp / 3600) % 168);
+        std::snprintf(key, sizeof(key), "h%03u", hour);
+        ctx.write(key, 1.0);
+    }
 }
 
 mr::Job::MapperFactory

@@ -2,6 +2,7 @@
 #define APPROXHADOOP_APPS_LOG_APPS_H_
 
 #include <string>
+#include <string_view>
 
 #include "core/sampling_reducer.h"
 #include "mapreduce/job.h"
@@ -33,6 +34,8 @@ class ProjectPopularity
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -49,6 +52,8 @@ class PagePopularity
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -65,6 +70,8 @@ class PageTraffic
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -84,6 +91,8 @@ class LogRequestRate
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();

@@ -56,6 +56,21 @@ WebRequestRate::Mapper::map(const std::string& record, mr::MapContext& ctx)
     ctx.write(key, 1.0);
 }
 
+void
+WebRequestRate::Mapper::mapBatch(const std::string_view* records,
+                                 size_t count, mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    char key[16];
+    for (size_t i = 0; i < count; ++i) {
+        if (!workloads::parseWebLogEntry(records[i], entry)) {
+            continue;
+        }
+        std::snprintf(key, sizeof(key), "h%03u", entry.hour_of_week);
+        ctx.write(key, 1.0);
+    }
+}
+
 mr::Job::MapperFactory
 WebRequestRate::mapperFactory()
 {
@@ -75,6 +90,18 @@ AttackFrequencies::Mapper::map(const std::string& record,
     workloads::WebLogEntry entry;
     if (parse(record, entry) && entry.attack) {
         ctx.write(entry.client, 1.0);
+    }
+}
+
+void
+AttackFrequencies::Mapper::mapBatch(const std::string_view* records,
+                                    size_t count, mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseWebLogEntry(records[i], entry) && entry.attack) {
+            ctx.write(entry.client, 1.0);
+        }
     }
 }
 
@@ -99,6 +126,18 @@ TotalSize::Mapper::map(const std::string& record, mr::MapContext& ctx)
     }
 }
 
+void
+TotalSize::Mapper::mapBatch(const std::string_view* records, size_t count,
+                            mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseWebLogEntry(records[i], entry)) {
+            ctx.write("total_bytes", static_cast<double>(entry.bytes));
+        }
+    }
+}
+
 mr::Job::MapperFactory
 TotalSize::mapperFactory()
 {
@@ -117,6 +156,18 @@ RequestSize::Mapper::map(const std::string& record, mr::MapContext& ctx)
     workloads::WebLogEntry entry;
     if (parse(record, entry)) {
         ctx.write("mean_bytes", static_cast<double>(entry.bytes));
+    }
+}
+
+void
+RequestSize::Mapper::mapBatch(const std::string_view* records, size_t count,
+                              mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseWebLogEntry(records[i], entry)) {
+            ctx.write("mean_bytes", static_cast<double>(entry.bytes));
+        }
     }
 }
 
@@ -141,6 +192,18 @@ Clients::Mapper::map(const std::string& record, mr::MapContext& ctx)
     }
 }
 
+void
+Clients::Mapper::mapBatch(const std::string_view* records, size_t count,
+                          mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseWebLogEntry(records[i], entry)) {
+            ctx.write(entry.client, 1.0);
+        }
+    }
+}
+
 mr::Job::MapperFactory
 Clients::mapperFactory()
 {
@@ -159,6 +222,18 @@ ClientBrowser::Mapper::map(const std::string& record, mr::MapContext& ctx)
     workloads::WebLogEntry entry;
     if (parse(record, entry)) {
         ctx.write(entry.browser, 1.0);
+    }
+}
+
+void
+ClientBrowser::Mapper::mapBatch(const std::string_view* records,
+                                size_t count, mr::MapContext& ctx)
+{
+    workloads::WebLogEntryView entry;
+    for (size_t i = 0; i < count; ++i) {
+        if (workloads::parseWebLogEntry(records[i], entry)) {
+            ctx.write(entry.browser, 1.0);
+        }
     }
 }
 

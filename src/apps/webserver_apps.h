@@ -2,6 +2,7 @@
 #define APPROXHADOOP_APPS_WEBSERVER_APPS_H_
 
 #include <string>
+#include <string_view>
 
 #include "core/sampling_reducer.h"
 #include "mapreduce/job.h"
@@ -30,6 +31,8 @@ class WebRequestRate
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -50,6 +53,8 @@ class AttackFrequencies
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -66,6 +71,8 @@ class TotalSize
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -82,6 +89,8 @@ class RequestSize
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -98,6 +107,8 @@ class Clients
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();
@@ -114,6 +125,8 @@ class ClientBrowser
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     static mr::Job::MapperFactory mapperFactory();

@@ -1,6 +1,7 @@
 #include "apps/wiki_apps.h"
 
-#include <cstdio>
+#include <charconv>
+#include <cstring>
 #include <vector>
 
 #include "mapreduce/reducer.h"
@@ -12,14 +13,30 @@ namespace approxhadoop::apps {
 // WikiLength
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/** Formats "len%08llu" into @p buf (no heap); same bytes as snprintf. */
+std::string_view
+formatBinKey(uint64_t bin, char (&buf)[24])
+{
+    char digits[20];
+    auto res = std::to_chars(digits, digits + sizeof(digits), bin);
+    size_t n = static_cast<size_t>(res.ptr - digits);
+    std::memcpy(buf, "len", 3);
+    size_t pad = n < 8 ? 8 - n : 0;
+    std::memset(buf + 3, '0', pad);
+    std::memcpy(buf + 3 + pad, digits, n);
+    return std::string_view(buf, 3 + pad + n);
+}
+
+}  // namespace
+
 std::string
 WikiLength::binKey(uint64_t size_bytes)
 {
     uint64_t bin = size_bytes / kBinWidthBytes * kBinWidthBytes;
     char buf[24];
-    std::snprintf(buf, sizeof(buf), "len%08llu",
-                  static_cast<unsigned long long>(bin));
-    return buf;
+    return std::string(formatBinKey(bin, buf));
 }
 
 void
@@ -27,6 +44,18 @@ WikiLength::Mapper::map(const std::string& record, mr::MapContext& ctx)
 {
     uint64_t size = workloads::wikiArticleSize(record);
     ctx.write(binKey(size), 1.0);
+}
+
+void
+WikiLength::Mapper::mapBatch(const std::string_view* records, size_t count,
+                             mr::MapContext& ctx)
+{
+    char buf[24];
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t size = workloads::wikiArticleSize(records[i]);
+        uint64_t bin = size / kBinWidthBytes * kBinWidthBytes;
+        ctx.write(formatBinKey(bin, buf), 1.0);
+    }
 }
 
 mr::Job::MapperFactory
@@ -72,6 +101,19 @@ WikiPageRank::Mapper::map(const std::string& record, mr::MapContext& ctx)
     workloads::wikiArticleLinks(record, links);
     for (const std::string& target : links) {
         ctx.write(target, 1.0);
+    }
+}
+
+void
+WikiPageRank::Mapper::mapBatch(const std::string_view* records,
+                               size_t count, mr::MapContext& ctx)
+{
+    for (size_t i = 0; i < count; ++i) {
+        links_.clear();
+        workloads::wikiArticleLinks(records[i], links_);
+        for (std::string_view target : links_) {
+            ctx.write(target, 1.0);
+        }
     }
 }
 

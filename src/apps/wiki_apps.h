@@ -2,6 +2,8 @@
 #define APPROXHADOOP_APPS_WIKI_APPS_H_
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/sampling_reducer.h"
 #include "mapreduce/job.h"
@@ -23,6 +25,8 @@ class WikiLength
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
     };
 
     /** Bin key for an article size ("len00042" style, sortable). */
@@ -57,6 +61,12 @@ class WikiPageRank
     {
       public:
         void map(const std::string& record, mr::MapContext& ctx) override;
+        void mapBatch(const std::string_view* records, size_t count,
+                      mr::MapContext& ctx) override;
+
+      private:
+        /** Scratch for link views, reused across records. */
+        std::vector<std::string_view> links_;
     };
 
     static mr::Job::MapperFactory mapperFactory();

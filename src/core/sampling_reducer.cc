@@ -5,6 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "integrity/blob.h"
 #include "mapreduce/combiner.h"
@@ -33,9 +37,28 @@ MultiStageSamplingReducer::consume(const mr::MapOutputChunk& chunk)
             double sum = 0.0;
             double sum_sq = 0.0;
         };
-        std::map<std::string, Moments> per_key;
+        // Flat per-chunk key table instead of a std::map: chunks out of
+        // the map-side combiner carry each key once (sorted), so the
+        // adjacent-run check below almost always hits; uncombined chunks
+        // fall back to one hash probe per record. The fold over distinct
+        // keys is per-key independent, so its order does not affect any
+        // aggregate value.
+        std::vector<std::pair<std::string_view, Moments>> per_key;
+        std::unordered_map<std::string_view, size_t> key_index;
         for (const mr::KeyValue& kv : chunk.records) {
-            Moments& m = per_key[kv.key];
+            Moments* slot;
+            if (!per_key.empty() && per_key.back().first == kv.key) {
+                slot = &per_key.back().second;
+            } else {
+                auto [it, inserted] =
+                    key_index.try_emplace(kv.key, per_key.size());
+                if (inserted) {
+                    per_key.emplace_back(std::string_view(kv.key),
+                                         Moments{});
+                }
+                slot = &per_key[it->second].second;
+            }
+            Moments& m = *slot;
             if (mr::MomentsCombiner::isMomentsRecord(kv)) {
                 // Map-side MomentsCombiner output: unpack (sum, sum_sq,
                 // count) so bounds match the uncombined execution.
@@ -58,7 +81,7 @@ MultiStageSamplingReducer::consume(const mr::MapOutputChunk& chunk)
         double big_m = static_cast<double>(chunk.items_total);
         double mi = static_cast<double>(chunk.items_processed);
         for (const auto& [key, m] : per_key) {
-            SumAggregate& agg = sums_[key];
+            SumAggregate& agg = sums_[std::string(key)];
             ++agg.emitted_clusters;
             agg.records += m.count;
             if (mi <= 0.0) {

@@ -44,7 +44,7 @@ class ThreeStageEmitter
         kv.value2 = sum_squares;
         kv.value3 = static_cast<double>(subunits_total);
         kv.value4 = static_cast<double>(subunits_sampled);
-        ctx.output().push_back(std::move(kv));
+        ctx.emit(std::move(kv));
     }
 };
 

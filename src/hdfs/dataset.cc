@@ -1,6 +1,7 @@
 #include "hdfs/dataset.h"
 
 #include <cassert>
+#include <numeric>
 #include <utility>
 
 namespace approxhadoop::hdfs {
@@ -62,6 +63,21 @@ GeneratedDataset::GeneratedDataset(uint64_t num_blocks,
     assert(items_per_block > 0);
 }
 
+GeneratedDataset::GeneratedDataset(uint64_t num_blocks,
+                                   uint64_t items_per_block,
+                                   Generator generator,
+                                   BlockGenerator block_generator,
+                                   uint64_t bytes_per_item,
+                                   size_t cache_cap_bytes)
+    : num_blocks_(num_blocks), items_per_block_(items_per_block),
+      generator_(std::move(generator)),
+      block_generator_(std::move(block_generator)),
+      bytes_per_item_(bytes_per_item), cache_cap_bytes_(cache_cap_bytes)
+{
+    assert(num_blocks > 0);
+    assert(items_per_block > 0);
+}
+
 uint64_t
 GeneratedDataset::itemsInBlock(uint64_t block) const
 {
@@ -74,7 +90,76 @@ GeneratedDataset::item(uint64_t block, uint64_t index) const
 {
     assert(block < num_blocks_);
     assert(index < items_per_block_);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        auto it = cache_.find(block);
+        if (it != cache_.end()) {
+            return std::string(it->second.record(index));
+        }
+    }
     return generator_(block, index);
+}
+
+void
+GeneratedDataset::generate(uint64_t block, const uint64_t* indices,
+                           size_t count, RecordBuffer& out) const
+{
+    if (block_generator_) {
+        block_generator_(block, indices, count, out);
+    } else {
+        for (size_t i = 0; i < count; ++i) {
+            out.append(generator_(block, indices[i]));
+        }
+    }
+}
+
+void
+GeneratedDataset::readItems(uint64_t block, const uint64_t* indices,
+                            size_t count, RecordBuffer& out) const
+{
+    assert(block < num_blocks_);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        auto it = cache_.find(block);
+        if (it != cache_.end()) {
+            for (size_t i = 0; i < count; ++i) {
+                out.append(it->second.record(indices[i]));
+            }
+            return;
+        }
+    }
+    // Whole-block synthesis (which feeds the cache) only pays off when
+    // the full block is requested — precise scans, which also re-read
+    // blocks across repetitions. Sampled reads typically touch a block
+    // once, so doing extra records up front is pure overhead for them;
+    // they keep the lazy per-index path.
+    bool whole_block = count == items_per_block_;
+    if (!whole_block) {
+        generate(block, indices, count, out);
+        return;
+    }
+    // count == items_per_block_ and indices are distinct and in range,
+    // so they cover the block exactly (though not necessarily in order).
+    RecordBuffer full;
+    std::vector<uint64_t> all(items_per_block_);
+    std::iota(all.begin(), all.end(), 0);
+    generate(block, all.data(), all.size(), full);
+    for (size_t i = 0; i < count; ++i) {
+        out.append(full.record(indices[i]));
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_bytes_ + full.payloadBytes() <= cache_cap_bytes_ &&
+        cache_.find(block) == cache_.end()) {
+        cache_bytes_ += full.payloadBytes();
+        cache_.emplace(block, std::move(full));
+    }
+}
+
+size_t
+GeneratedDataset::cachedBytes() const
+{
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_bytes_;
 }
 
 }  // namespace approxhadoop::hdfs

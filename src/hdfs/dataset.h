@@ -3,10 +3,62 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace approxhadoop::hdfs {
+
+/**
+ * Arena of materialized records: one contiguous byte buffer plus record
+ * boundaries, so a batch of records costs one allocation instead of one
+ * std::string each. Producers either append() whole records or write
+ * bytes straight into bytes() and mark boundaries with endRecord().
+ */
+class RecordBuffer
+{
+  public:
+    /** Raw byte sink; append record bytes here, then call endRecord(). */
+    std::string& bytes() { return bytes_; }
+
+    /** Marks the end of the record being written into bytes(). */
+    void endRecord() { ends_.push_back(bytes_.size()); }
+
+    /** Appends one complete record. */
+    void
+    append(std::string_view record)
+    {
+        bytes_.append(record);
+        endRecord();
+    }
+
+    /** Number of complete records. */
+    size_t size() const { return ends_.size(); }
+
+    /** View of record @p i; valid until the buffer is cleared/appended. */
+    std::string_view
+    record(size_t i) const
+    {
+        size_t begin = i == 0 ? 0 : ends_[i - 1];
+        return std::string_view(bytes_).substr(begin, ends_[i] - begin);
+    }
+
+    /** Total payload bytes. */
+    size_t payloadBytes() const { return bytes_.size(); }
+
+    void
+    clear()
+    {
+        bytes_.clear();
+        ends_.clear();
+    }
+
+  private:
+    std::string bytes_;
+    std::vector<size_t> ends_;
+};
 
 /**
  * A block-structured input dataset, the HDFS file abstraction the
@@ -35,6 +87,24 @@ class BlockDataset
      * @pre block < numBlocks() and index < itemsInBlock(block)
      */
     virtual std::string item(uint64_t block, uint64_t index) const = 0;
+
+    /**
+     * Materializes a batch of records of one block into @p out (appending;
+     * the caller clears). Record i of the batch is the block's record
+     * indices[i], byte-identical to item(block, indices[i]) — overrides
+     * may only change *how* the bytes are produced (amortizing per-block
+     * work over the batch), never the bytes themselves.
+     *
+     * Thread safety: may be called concurrently from parallel map tasks.
+     */
+    virtual void
+    readItems(uint64_t block, const uint64_t* indices, size_t count,
+              RecordBuffer& out) const
+    {
+        for (size_t i = 0; i < count; ++i) {
+            out.append(item(block, indices[i]));
+        }
+    }
 
     /** Nominal bytes per item, for I/O and locality accounting. */
     virtual uint64_t bytesPerItem() const { return 100; }
@@ -69,12 +139,35 @@ class InMemoryDataset : public BlockDataset
  * Dataset whose records are produced lazily by a generator function.
  * The generator must be deterministic in (block, index) so that precise
  * and approximate runs observe identical data.
+ *
+ * Two generator forms exist. The per-item Generator is the baseline
+ * contract. Workloads may additionally supply a BlockGenerator that
+ * synthesizes many records of one block in a single call — hoisting
+ * per-block state (e.g. the block-locality RNG) out of the per-record
+ * loop — which readItems() uses for batched map execution. Both forms
+ * must produce byte-identical records for the same (block, index).
+ *
+ * Blocks synthesized in full are retained in a bounded in-memory block
+ * cache (a DataNode block cache stand-in): the simulated cluster re-reads
+ * the same blocks across runs and repetitions, and re-synthesizing them
+ * from mt19937 seeds each time would dominate wall-clock time without
+ * modeling anything (real input bytes exist; they are not recomputed per
+ * read). The cache never changes record content, only where the bytes
+ * come from.
  */
 class GeneratedDataset : public BlockDataset
 {
   public:
     using Generator = std::function<std::string(uint64_t block,
                                                 uint64_t index)>;
+    /** Appends records indices[0..count) of @p block to @p out. */
+    using BlockGenerator = std::function<void(uint64_t block,
+                                              const uint64_t* indices,
+                                              size_t count,
+                                              RecordBuffer& out)>;
+
+    /** Default block-cache capacity (bytes of cached record payload). */
+    static constexpr size_t kDefaultCacheCapBytes = 64u << 20;
 
     /**
      * @param num_blocks      number of blocks
@@ -85,16 +178,39 @@ class GeneratedDataset : public BlockDataset
     GeneratedDataset(uint64_t num_blocks, uint64_t items_per_block,
                      Generator generator, uint64_t bytes_per_item = 100);
 
+    /** As above, plus a batched synthesizer used by readItems(). */
+    GeneratedDataset(uint64_t num_blocks, uint64_t items_per_block,
+                     Generator generator, BlockGenerator block_generator,
+                     uint64_t bytes_per_item = 100,
+                     size_t cache_cap_bytes = kDefaultCacheCapBytes);
+
     uint64_t numBlocks() const override { return num_blocks_; }
     uint64_t itemsInBlock(uint64_t block) const override;
     std::string item(uint64_t block, uint64_t index) const override;
+    void readItems(uint64_t block, const uint64_t* indices, size_t count,
+                   RecordBuffer& out) const override;
     uint64_t bytesPerItem() const override { return bytes_per_item_; }
 
+    /** Cached payload bytes (for tests/diagnostics). */
+    size_t cachedBytes() const;
+
   private:
+    /** Appends the requested records via the best available generator. */
+    void generate(uint64_t block, const uint64_t* indices, size_t count,
+                  RecordBuffer& out) const;
+
     uint64_t num_blocks_;
     uint64_t items_per_block_;
     Generator generator_;
+    BlockGenerator block_generator_;
     uint64_t bytes_per_item_;
+    size_t cache_cap_bytes_ = kDefaultCacheCapBytes;
+
+    // Block cache: fully synthesized blocks, keyed by block id. Guarded
+    // by cache_mu_ because parallel map tasks read concurrently.
+    mutable std::mutex cache_mu_;
+    mutable std::unordered_map<uint64_t, RecordBuffer> cache_;
+    mutable size_t cache_bytes_ = 0;
 };
 
 }  // namespace approxhadoop::hdfs

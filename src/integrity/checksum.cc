@@ -126,6 +126,12 @@ Hasher64::update(double v)
 void
 Hasher64::update(const std::string& s)
 {
+    update(std::string_view(s));
+}
+
+void
+Hasher64::update(std::string_view s)
+{
     update(static_cast<uint64_t>(s.size()));
     update(s.data(), s.size());
 }

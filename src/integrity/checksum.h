@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace approxhadoop::integrity {
 
@@ -33,6 +34,9 @@ class Hasher64
 
     /** Feeds a length-prefixed string (unambiguous concatenation). */
     void update(const std::string& s);
+
+    /** Same digest as the string overload, without materializing one. */
+    void update(std::string_view s);
 
     /** Digest of everything fed so far; does not reset the state. */
     uint64_t digest() const;

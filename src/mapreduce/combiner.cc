@@ -7,9 +7,16 @@ SumCombiner::combine(const std::string& key,
                      const std::vector<KeyValue>& values,
                      std::vector<KeyValue>& out)
 {
+    combineGroup(key, values.data(), values.size(), out);
+}
+
+void
+SumCombiner::combineGroup(const std::string& key, const KeyValue* values,
+                          size_t count, std::vector<KeyValue>& out)
+{
     double sum = 0.0;
-    for (const KeyValue& kv : values) {
-        sum += kv.value;
+    for (size_t i = 0; i < count; ++i) {
+        sum += values[i].value;
     }
     out.push_back(KeyValue{key, sum, 0.0, 0.0, 0.0});
 }
@@ -19,8 +26,16 @@ CountCombiner::combine(const std::string& key,
                        const std::vector<KeyValue>& values,
                        std::vector<KeyValue>& out)
 {
+    combineGroup(key, values.data(), values.size(), out);
+}
+
+void
+CountCombiner::combineGroup(const std::string& key,
+                            const KeyValue* /*values*/, size_t count,
+                            std::vector<KeyValue>& out)
+{
     out.push_back(
-        KeyValue{key, static_cast<double>(values.size()), 0.0, 0.0, 0.0});
+        KeyValue{key, static_cast<double>(count), 0.0, 0.0, 0.0});
 }
 
 void
@@ -28,14 +43,21 @@ MomentsCombiner::combine(const std::string& key,
                          const std::vector<KeyValue>& values,
                          std::vector<KeyValue>& out)
 {
+    combineGroup(key, values.data(), values.size(), out);
+}
+
+void
+MomentsCombiner::combineGroup(const std::string& key,
+                              const KeyValue* values, size_t count,
+                              std::vector<KeyValue>& out)
+{
     double sum = 0.0;
     double sum_sq = 0.0;
-    for (const KeyValue& kv : values) {
-        sum += kv.value;
-        sum_sq += kv.value * kv.value;
+    for (size_t i = 0; i < count; ++i) {
+        sum += values[i].value;
+        sum_sq += values[i].value * values[i].value;
     }
-    out.push_back(KeyValue{key, sum, sum_sq,
-                           static_cast<double>(values.size()),
+    out.push_back(KeyValue{key, sum, sum_sq, static_cast<double>(count),
                            kMomentsMarker});
 }
 

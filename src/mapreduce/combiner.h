@@ -43,6 +43,21 @@ class Combiner
                          std::vector<KeyValue>& out) = 0;
 
     /**
+     * Batched form used by the map-side hot path: combines @p count
+     * contiguous records of one key without materializing a per-key
+     * vector. The default copies into a vector and calls combine(), so
+     * user combiners keep working unchanged; the built-in combiners
+     * override it to fold in place. Must emit exactly what combine()
+     * would for the same records in the same order.
+     */
+    virtual void
+    combineGroup(const std::string& key, const KeyValue* values,
+                 size_t count, std::vector<KeyValue>& out)
+    {
+        combine(key, std::vector<KeyValue>(values, values + count), out);
+    }
+
+    /**
      * True when the combiner's output lets a downstream multi-stage
      * sampling reducer reconstruct the per-cluster count/sum/sum-of-
      * squares (e.g., MomentsCombiner). Plain sum/count combiners return
@@ -58,6 +73,8 @@ class SumCombiner : public Combiner
     void combine(const std::string& key,
                  const std::vector<KeyValue>& values,
                  std::vector<KeyValue>& out) override;
+    void combineGroup(const std::string& key, const KeyValue* values,
+                      size_t count, std::vector<KeyValue>& out) override;
 };
 
 /** Replaces each key's records with their count. */
@@ -67,6 +84,8 @@ class CountCombiner : public Combiner
     void combine(const std::string& key,
                  const std::vector<KeyValue>& values,
                  std::vector<KeyValue>& out) override;
+    void combineGroup(const std::string& key, const KeyValue* values,
+                      size_t count, std::vector<KeyValue>& out) override;
 };
 
 /**
@@ -86,6 +105,8 @@ class MomentsCombiner : public Combiner
     void combine(const std::string& key,
                  const std::vector<KeyValue>& values,
                  std::vector<KeyValue>& out) override;
+    void combineGroup(const std::string& key, const KeyValue* values,
+                      size_t count, std::vector<KeyValue>& out) override;
 
     bool preservesMoments() const override { return true; }
 

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -1162,27 +1164,90 @@ Job::computeMapOutput(uint64_t task_id, uint64_t items_total,
     MapContext ctx(task_id, items_total, good.size(), approximate,
                    Rng(config_.seed).derive(0xA11CE + task_id));
     mapper->setup(ctx);
-    for (uint64_t index : good) {
-        mapper->map(dataset_.item(task_id, index), ctx);
+    // Batched execution: the task's records are materialized with one
+    // readItems call into a reusable arena — a full-block read there is
+    // what lets the dataset synthesize the whole block at once and keep
+    // it in the block cache — then handed to the mapper kBatchRecords at
+    // a time, so the mapper pays one virtual dispatch per batch instead
+    // of per record. The batched path emits exactly what per-record
+    // map() calls over item() would (asserted by
+    // tests/apps/map_batch_test.cc and cross-checked by the chaos
+    // oracle's record-at-a-time replay).
+    constexpr size_t kBatchRecords = 256;
+    hdfs::RecordBuffer batch;
+    dataset_.readItems(task_id, good.data(), good.size(), batch);
+    assert(batch.size() == good.size());
+    std::vector<std::string_view> views;
+    views.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        views.push_back(batch.record(i));
+    }
+    for (size_t pos = 0; pos < views.size(); pos += kBatchRecords) {
+        size_t n = std::min(kBatchRecords, views.size() - pos);
+        mapper->mapBatch(views.data() + pos, n, ctx);
     }
     mapper->cleanup(ctx);
 
     std::vector<KeyValue> output = std::move(ctx.output());
-    if (combiner_ != nullptr && !output.empty()) {
-        // Map-side combine: group this task's records by key and fold.
-        // The shared combiner instance runs concurrently for every
-        // in-flight task in parallel mode, so combiners must be stateless
-        // across combine() calls (see combiner.h).
-        std::map<std::string, std::vector<KeyValue>> groups;
-        for (KeyValue& kv : output) {
-            groups[kv.key].push_back(std::move(kv));
+    KeyInterner& interner = ctx.interner();
+    std::vector<uint32_t> key_ids = ctx.keyIds();
+    if (key_ids.size() != output.size()) {
+        // A mapper pushed records through output() directly instead of
+        // write()/emit(); rebuild the id stream from the key strings.
+        key_ids.clear();
+        key_ids.reserve(output.size());
+        for (const KeyValue& kv : output) {
+            key_ids.push_back(interner.intern(kv.key));
         }
+    }
+    if (combiner_ != nullptr && !output.empty()) {
+        // Map-side combine on interned ids: a stable counting sort
+        // gathers each key's records contiguously (emission order
+        // preserved), then keys are folded in sorted-key order — the
+        // same record-for-record output the former std::map grouping
+        // produced, without per-record node allocation or per-key string
+        // re-hashing. The shared combiner instance runs concurrently for
+        // every in-flight task in parallel mode, so combiners must be
+        // stateless across calls (see combiner.h).
+        size_t nkeys = interner.size();
+        std::vector<size_t> counts(nkeys, 0);
+        for (uint32_t id : key_ids) {
+            ++counts[id];
+        }
+        std::vector<size_t> starts(nkeys + 1, 0);
+        for (size_t k = 0; k < nkeys; ++k) {
+            starts[k + 1] = starts[k] + counts[k];
+        }
+        std::vector<KeyValue> grouped(output.size());
+        {
+            std::vector<size_t> cursor(starts.begin(), starts.end() - 1);
+            for (size_t i = 0; i < output.size(); ++i) {
+                grouped[cursor[key_ids[i]]++] = std::move(output[i]);
+            }
+        }
+        std::vector<uint32_t> order(nkeys);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&interner](uint32_t a, uint32_t b) {
+                      return interner.key(a) < interner.key(b);
+                  });
         std::vector<KeyValue> combined;
-        combined.reserve(groups.size());
-        for (const auto& [key, values] : groups) {
-            combiner_->combine(key, values, combined);
+        combined.reserve(nkeys);
+        for (uint32_t id : order) {
+            if (counts[id] == 0) {
+                continue;
+            }
+            combiner_->combineGroup(interner.key(id),
+                                    grouped.data() + starts[id],
+                                    counts[id], combined);
         }
         output = std::move(combined);
+        // Combiners may emit arbitrary keys; re-derive the id stream.
+        key_ids.clear();
+        key_ids.reserve(output.size());
+        for (const KeyValue& kv : output) {
+            key_ids.push_back(interner.intern(kv.key));
+        }
     }
     std::vector<MapOutputChunk> chunks(config_.num_reducers);
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
@@ -1191,9 +1256,33 @@ Job::computeMapOutput(uint64_t task_id, uint64_t items_total,
         chunks[r].items_processed = good.size();
         chunks[r].records_skipped = skipped;
     }
-    for (KeyValue& kv : output) {
-        uint32_t r = partitioner_->partition(kv.key, config_.num_reducers);
-        chunks[r].records.push_back(std::move(kv));
+    if (config_.num_reducers == 1) {
+        // Single partition: the task's output vector becomes the chunk
+        // buffer wholesale (no per-record partitioning or copying).
+        chunks[0].records = std::move(output);
+    } else if (!output.empty()) {
+        // Partition once per distinct key (ids are dense), then build
+        // each chunk with an exact reserve so record memory is one
+        // allocation per chunk.
+        constexpr uint32_t kNoPart = 0xFFFFFFFFu;
+        std::vector<uint32_t> part_of_id(interner.size(), kNoPart);
+        std::vector<size_t> sizes(config_.num_reducers, 0);
+        std::vector<uint32_t> parts(output.size());
+        for (size_t i = 0; i < output.size(); ++i) {
+            uint32_t& p = part_of_id[key_ids[i]];
+            if (p == kNoPart) {
+                p = partitioner_->partition(interner.key(key_ids[i]),
+                                            config_.num_reducers);
+            }
+            parts[i] = p;
+            ++sizes[p];
+        }
+        for (uint32_t r = 0; r < config_.num_reducers; ++r) {
+            chunks[r].records.reserve(sizes[r]);
+        }
+        for (size_t i = 0; i < output.size(); ++i) {
+            chunks[parts[i]].records.push_back(std::move(output[i]));
+        }
     }
     // Checksum at emit time: the map side stamps, the reduce side
     // verifies on every fetch (fetchVerified).

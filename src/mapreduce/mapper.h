@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
+#include "mapreduce/key_interner.h"
 #include "mapreduce/types.h"
 
 namespace approxhadoop::mr {
@@ -17,6 +19,11 @@ namespace approxhadoop::mr {
  * metadata the approximation layer piggybacks on the shuffle: the task
  * id (cluster id for multi-stage sampling), block item counts, and
  * whether the task is running its user-defined approximate variant.
+ *
+ * Every emitted key is also interned into a per-task KeyInterner, and
+ * keyIds() carries one id per emitted record. The framework's combine
+ * and partition stages run on those dense ids instead of re-hashing key
+ * strings per record (see Job::computeMapOutput).
  */
 class MapContext
 {
@@ -39,16 +46,26 @@ class MapContext
 
     /** Emits an intermediate record. */
     void
-    write(const std::string& key, double value)
+    write(std::string_view key, double value)
     {
-        output_.push_back(KeyValue{key, value, 0.0});
+        key_ids_.push_back(interner_.intern(key));
+        output_.push_back(KeyValue{std::string(key), value, 0.0});
     }
 
     /** Emits a ratio observation (numerator, denominator). */
     void
-    write(const std::string& key, double value, double value2)
+    write(std::string_view key, double value, double value2)
     {
-        output_.push_back(KeyValue{key, value, value2});
+        key_ids_.push_back(interner_.intern(key));
+        output_.push_back(KeyValue{std::string(key), value, value2});
+    }
+
+    /** Emits a pre-built record (e.g. a three-stage unit record). */
+    void
+    emit(KeyValue kv)
+    {
+        key_ids_.push_back(interner_.intern(kv.key));
+        output_.push_back(std::move(kv));
     }
 
     uint64_t taskId() const { return task_id_; }
@@ -64,13 +81,21 @@ class MapContext
     /** Emitted records; consumed by the framework after the task runs. */
     std::vector<KeyValue>& output() { return output_; }
 
+    /** Interned key id per emitted record (parallel to output()). */
+    const std::vector<uint32_t>& keyIds() const { return key_ids_; }
+
+    /** The task's key-interning table. */
+    KeyInterner& interner() { return interner_; }
+
   private:
     uint64_t task_id_;
     uint64_t items_total_;
     uint64_t items_processed_;
     bool approximate_;
     Rng rng_;
+    KeyInterner interner_;
     std::vector<KeyValue> output_;
+    std::vector<uint32_t> key_ids_;
 };
 
 /**
@@ -91,6 +116,25 @@ class Mapper
 
     /** Called for every (sampled) input record. */
     virtual void map(const std::string& record, MapContext& ctx) = 0;
+
+    /**
+     * Batched map call: processes a block of records in one virtual
+     * dispatch. The default loops over map(); hot mappers override it to
+     * parse the record views in place (no per-record std::string). An
+     * override must emit exactly what per-record map() calls would —
+     * the batched and record-at-a-time paths are asserted byte-identical
+     * (tests/apps/map_batch_test.cc) and the chaos oracle replays tasks
+     * through map().
+     */
+    virtual void
+    mapBatch(const std::string_view* records, size_t count, MapContext& ctx)
+    {
+        std::string scratch;
+        for (size_t i = 0; i < count; ++i) {
+            scratch.assign(records[i].data(), records[i].size());
+            map(scratch, ctx);
+        }
+    }
 
     /** Called once after the last record. */
     virtual void cleanup(MapContext& /*ctx*/) {}

@@ -5,7 +5,7 @@
 namespace approxhadoop::mr {
 
 uint64_t
-HashPartitioner::fnv1a(const std::string& key)
+HashPartitioner::fnv1a(std::string_view key)
 {
     uint64_t hash = 0xcbf29ce484222325ULL;
     for (char c : key) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace approxhadoop::mr {
 
@@ -33,7 +34,7 @@ class HashPartitioner : public Partitioner
                        uint32_t num_partitions) const override;
 
     /** The underlying stable hash, exposed for tests. */
-    static uint64_t fnv1a(const std::string& key);
+    static uint64_t fnv1a(std::string_view key);
 };
 
 }  // namespace approxhadoop::mr

@@ -1,13 +1,58 @@
 #include "workloads/access_log.h"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
 #include "common/random.h"
 #include "common/zipf.h"
+#include "workloads/format_util.h"
 
 namespace approxhadoop::workloads {
+
+namespace {
+
+/**
+ * Appends one access-log record. The per-record RNG stream and the
+ * output bytes are frozen (see wiki_dump.cc). The former per-record
+ * block RNG was constructed but never drawn from, so no record byte ever
+ * depended on it; it is gone entirely.
+ */
+void
+appendAccessLogRecord(const AccessLogParams& p,
+                      const ZipfDistribution& project_zipf,
+                      const ZipfDistribution& page_zipf, uint64_t block,
+                      uint64_t index, std::string& out)
+{
+    Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+
+    uint64_t project;
+    uint64_t page;
+    if (rng.bernoulli(p.trending_prob)) {
+        // Temporal locality: this block's trending pages.
+        uint64_t t = rng.uniformInt(p.trending_pages);
+        Rng trend_rng(splitmix64(p.seed * 977 + block * 17 + t));
+        project = project_zipf.sample(trend_rng);
+        page = page_zipf.sample(trend_rng);
+    } else {
+        project = project_zipf.sample(rng);
+        page = page_zipf.sample(rng);
+    }
+    // Timestamps advance with the block (each block is a time slice).
+    uint64_t ts = block * 3600 + rng.uniformInt(3600);
+    uint64_t bytes =
+        static_cast<uint64_t>(rng.exponential(1.0 / p.mean_bytes)) + 200;
+
+    appendU64(out, ts);
+    out.append("\tproj");
+    appendU64(out, project);
+    out.append("\tproj");
+    appendU64(out, project);
+    out.append("/page");
+    appendU64(out, page);
+    out.push_back('\t');
+    appendU64(out, bytes);
+}
+
+}  // namespace
 
 std::unique_ptr<hdfs::BlockDataset>
 makeAccessLog(const AccessLogParams& params)
@@ -20,60 +65,58 @@ makeAccessLog(const AccessLogParams& params)
 
     auto generator = [p, project_zipf, page_zipf](uint64_t block,
                                                   uint64_t index) {
-        Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
-        Rng block_rng(splitmix64(p.seed * 131 + block));
-
-        uint64_t project;
-        uint64_t page;
-        if (rng.bernoulli(p.trending_prob)) {
-            // Temporal locality: this block's trending pages.
-            uint64_t t = rng.uniformInt(p.trending_pages);
-            Rng trend_rng(splitmix64(p.seed * 977 + block * 17 + t));
-            project = project_zipf->sample(trend_rng);
-            page = page_zipf->sample(trend_rng);
-        } else {
-            project = project_zipf->sample(rng);
-            page = page_zipf->sample(rng);
+        std::string out;
+        appendAccessLogRecord(p, *project_zipf, *page_zipf, block, index,
+                              out);
+        return out;
+    };
+    auto block_generator = [p, project_zipf, page_zipf](
+                               uint64_t block, const uint64_t* indices,
+                               size_t count, hdfs::RecordBuffer& out) {
+        for (size_t i = 0; i < count; ++i) {
+            appendAccessLogRecord(p, *project_zipf, *page_zipf, block,
+                                  indices[i], out.bytes());
+            out.endRecord();
         }
-        // Timestamps advance with the block (each block is a time slice).
-        uint64_t ts = block * 3600 + rng.uniformInt(3600);
-        uint64_t bytes = static_cast<uint64_t>(
-            rng.exponential(1.0 / p.mean_bytes)) + 200;
-        (void)block_rng;
-
-        char buf[96];
-        std::snprintf(buf, sizeof(buf),
-                      "%llu\tproj%llu\tproj%llu/page%llu\t%llu",
-                      static_cast<unsigned long long>(ts),
-                      static_cast<unsigned long long>(project),
-                      static_cast<unsigned long long>(project),
-                      static_cast<unsigned long long>(page),
-                      static_cast<unsigned long long>(bytes));
-        return std::string(buf);
     };
     return std::make_unique<hdfs::GeneratedDataset>(
-        p.num_blocks, p.entries_per_block, generator, 120);
+        p.num_blocks, p.entries_per_block, generator, block_generator,
+        120);
 }
 
 bool
 parseAccessLogEntry(const std::string& record, AccessLogEntry& entry)
 {
+    AccessLogEntryView view;
+    if (!parseAccessLogEntry(std::string_view(record), view)) {
+        return false;
+    }
+    entry.timestamp = view.timestamp;
+    entry.project.assign(view.project);
+    entry.page.assign(view.page);
+    entry.bytes = view.bytes;
+    return true;
+}
+
+bool
+parseAccessLogEntry(std::string_view record, AccessLogEntryView& entry)
+{
     size_t t1 = record.find('\t');
-    if (t1 == std::string::npos) {
+    if (t1 == std::string_view::npos) {
         return false;
     }
     size_t t2 = record.find('\t', t1 + 1);
-    if (t2 == std::string::npos) {
+    if (t2 == std::string_view::npos) {
         return false;
     }
     size_t t3 = record.find('\t', t2 + 1);
-    if (t3 == std::string::npos) {
+    if (t3 == std::string_view::npos) {
         return false;
     }
-    entry.timestamp = std::strtoull(record.c_str(), nullptr, 10);
+    entry.timestamp = parseU64(record);
     entry.project = record.substr(t1 + 1, t2 - t1 - 1);
     entry.page = record.substr(t2 + 1, t3 - t2 - 1);
-    entry.bytes = std::strtoull(record.c_str() + t3 + 1, nullptr, 10);
+    entry.bytes = parseU64(record.substr(t3 + 1));
     return true;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hdfs/dataset.h"
@@ -57,8 +58,20 @@ struct AccessLogEntry
 std::unique_ptr<hdfs::BlockDataset>
 makeAccessLog(const AccessLogParams& params);
 
+/** One parsed access-log record with zero-copy field views. */
+struct AccessLogEntryView
+{
+    uint64_t timestamp = 0;
+    std::string_view project;
+    std::string_view page;
+    uint64_t bytes = 0;
+};
+
 /** Parses an access-log record (returns false on malformed input). */
 bool parseAccessLogEntry(const std::string& record, AccessLogEntry& entry);
+
+/** Zero-copy variant: fields are views into @p record. */
+bool parseAccessLogEntry(std::string_view record, AccessLogEntryView& entry);
 
 /**
  * Table 2 of the paper: log sizes per period. periodBlocks() returns the

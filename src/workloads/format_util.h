@@ -1,0 +1,40 @@
+#ifndef APPROXHADOOP_WORKLOADS_FORMAT_UTIL_H_
+#define APPROXHADOOP_WORKLOADS_FORMAT_UTIL_H_
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace approxhadoop::workloads {
+
+/** Appends @p v in decimal (same bytes as printf %llu / operator<<). */
+inline void
+appendU64(std::string& out, uint64_t v)
+{
+    char buf[20];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+/**
+ * Parses the leading decimal digits of @p s (no sign/whitespace), as
+ * strtoull does on this repo's generated records. Returns 0 when @p s
+ * does not start with a digit.
+ */
+inline uint64_t
+parseU64(std::string_view s)
+{
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9') {
+            break;
+        }
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+}
+
+}  // namespace approxhadoop::workloads
+
+#endif  // APPROXHADOOP_WORKLOADS_FORMAT_UTIL_H_

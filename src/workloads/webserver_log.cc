@@ -2,12 +2,11 @@
 
 #include <array>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "common/random.h"
 #include "common/zipf.h"
+#include "workloads/format_util.h"
 
 namespace approxhadoop::workloads {
 
@@ -70,6 +69,41 @@ sampleBrowser(Rng& rng)
     return kBrowsers.back();
 }
 
+/**
+ * Appends one web-server log record. RNG stream and output bytes are
+ * frozen (see wiki_dump.cc).
+ */
+void
+appendWebLogRecord(const WebServerLogParams& p,
+                   const ZipfDistribution& client_zipf,
+                   const ZipfDistribution& url_zipf,
+                   const ZipfDistribution& attacker_zipf, uint64_t block,
+                   uint64_t index, std::string& out)
+{
+    Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+    uint32_t hour = sampleHour(rng);
+    bool attack = rng.bernoulli(p.attack_prob);
+    uint64_t client = attack
+                          ? attacker_zipf.sample(rng)
+                          : p.num_attackers + client_zipf.sample(rng);
+    uint64_t url = url_zipf.sample(rng);
+    uint64_t bytes =
+        static_cast<uint64_t>(rng.exponential(1.0 / p.mean_bytes)) + 128;
+    const char* browser = sampleBrowser(rng);
+
+    appendU64(out, hour);
+    out.append("\tc");
+    appendU64(out, client);
+    out.append("\t/u");
+    appendU64(out, url);
+    out.push_back('\t');
+    appendU64(out, bytes);
+    out.push_back('\t');
+    out.append(browser);
+    out.push_back('\t');
+    out.push_back(attack ? '1' : '0');
+}
+
 }  // namespace
 
 std::unique_ptr<hdfs::BlockDataset>
@@ -85,37 +119,48 @@ makeWebServerLog(const WebServerLogParams& params)
 
     auto generator = [p, client_zipf, url_zipf, attacker_zipf](
                          uint64_t block, uint64_t index) {
-        Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
-        uint32_t hour = sampleHour(rng);
-        bool attack = rng.bernoulli(p.attack_prob);
-        uint64_t client = attack ? attacker_zipf->sample(rng)
-                                 : p.num_attackers +
-                                       client_zipf->sample(rng);
-        uint64_t url = url_zipf->sample(rng);
-        uint64_t bytes = static_cast<uint64_t>(
-            rng.exponential(1.0 / p.mean_bytes)) + 128;
-        const char* browser = sampleBrowser(rng);
-
-        char buf[112];
-        std::snprintf(buf, sizeof(buf), "%u\tc%llu\t/u%llu\t%llu\t%s\t%d",
-                      hour, static_cast<unsigned long long>(client),
-                      static_cast<unsigned long long>(url),
-                      static_cast<unsigned long long>(bytes), browser,
-                      attack ? 1 : 0);
-        return std::string(buf);
+        std::string out;
+        appendWebLogRecord(p, *client_zipf, *url_zipf, *attacker_zipf,
+                           block, index, out);
+        return out;
+    };
+    auto block_generator = [p, client_zipf, url_zipf, attacker_zipf](
+                               uint64_t block, const uint64_t* indices,
+                               size_t count, hdfs::RecordBuffer& out) {
+        for (size_t i = 0; i < count; ++i) {
+            appendWebLogRecord(p, *client_zipf, *url_zipf, *attacker_zipf,
+                               block, indices[i], out.bytes());
+            out.endRecord();
+        }
     };
     return std::make_unique<hdfs::GeneratedDataset>(
-        p.num_weeks, p.entries_per_week, generator, 140);
+        p.num_weeks, p.entries_per_week, generator, block_generator, 140);
 }
 
 bool
 parseWebLogEntry(const std::string& record, WebLogEntry& entry)
 {
+    WebLogEntryView view;
+    if (!parseWebLogEntry(std::string_view(record), view)) {
+        return false;
+    }
+    entry.hour_of_week = view.hour_of_week;
+    entry.client.assign(view.client);
+    entry.url.assign(view.url);
+    entry.bytes = view.bytes;
+    entry.browser.assign(view.browser);
+    entry.attack = view.attack;
+    return true;
+}
+
+bool
+parseWebLogEntry(std::string_view record, WebLogEntryView& entry)
+{
     size_t pos = 0;
-    std::array<std::string, 6> fields;
+    std::array<std::string_view, 6> fields;
     for (int f = 0; f < 6; ++f) {
         size_t tab = record.find('\t', pos);
-        if (tab == std::string::npos) {
+        if (tab == std::string_view::npos) {
             if (f != 5) {
                 return false;
             }
@@ -124,11 +169,10 @@ parseWebLogEntry(const std::string& record, WebLogEntry& entry)
         fields[f] = record.substr(pos, tab - pos);
         pos = tab + 1;
     }
-    entry.hour_of_week =
-        static_cast<uint32_t>(std::strtoul(fields[0].c_str(), nullptr, 10));
+    entry.hour_of_week = static_cast<uint32_t>(parseU64(fields[0]));
     entry.client = fields[1];
     entry.url = fields[2];
-    entry.bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
+    entry.bytes = parseU64(fields[3]);
     entry.browser = fields[4];
     entry.attack = fields[5] == "1";
     return true;

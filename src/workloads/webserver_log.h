@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "hdfs/dataset.h"
 
@@ -57,8 +58,22 @@ struct WebLogEntry
 std::unique_ptr<hdfs::BlockDataset>
 makeWebServerLog(const WebServerLogParams& params);
 
+/** One parsed web-server log record with zero-copy field views. */
+struct WebLogEntryView
+{
+    uint32_t hour_of_week = 0;
+    std::string_view client;
+    std::string_view url;
+    uint64_t bytes = 0;
+    std::string_view browser;
+    bool attack = false;
+};
+
 /** Parses a web-server log record. */
 bool parseWebLogEntry(const std::string& record, WebLogEntry& entry);
+
+/** Zero-copy variant: fields are views into @p record. */
+bool parseWebLogEntry(std::string_view record, WebLogEntryView& entry);
 
 /**
  * Relative request intensity for an hour of the week: a diurnal curve

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "hdfs/dataset.h"
 
@@ -47,11 +49,15 @@ std::unique_ptr<hdfs::BlockDataset>
 makeWikiDump(const WikiDumpParams& params);
 
 /** Parses the size field of a dump record. */
-uint64_t wikiArticleSize(const std::string& record);
+uint64_t wikiArticleSize(std::string_view record);
 
 /** Appends the link targets of a dump record to @p out. */
 void wikiArticleLinks(const std::string& record,
                       std::vector<std::string>& out);
+
+/** Zero-copy variant: link targets as views into @p record. */
+void wikiArticleLinks(std::string_view record,
+                      std::vector<std::string_view>& out);
 
 }  // namespace approxhadoop::workloads
 

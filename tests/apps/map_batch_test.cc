@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The batched-execution contract of every registry workload: a
+ * mapBatch() override must emit exactly the records that per-record
+ * map() calls would, and a dataset's readItems() must serve bytes
+ * identical to item(). Both equivalences are what lets the batched hot
+ * path in Job::computeMapOutput coexist with the record-at-a-time
+ * replay in the chaos oracle — any divergence here is a determinism
+ * bug, not a perf tradeoff.
+ */
+#include <memory>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/aggregation_registry.h"
+#include "common/random.h"
+#include "hdfs/dataset.h"
+#include "mapreduce/mapper.h"
+#include "mapreduce/types.h"
+
+namespace approxhadoop {
+namespace {
+
+struct WorkloadCase
+{
+    std::string name;
+};
+
+void
+PrintTo(const WorkloadCase& c, std::ostream* os)
+{
+    *os << c.name;
+}
+
+class MapBatchEquivalence : public ::testing::TestWithParam<WorkloadCase>
+{
+};
+
+constexpr uint64_t kBlocks = 4;
+constexpr uint64_t kItems = 32;
+constexpr uint64_t kSeed = 42;
+
+mr::MapContext
+freshContext(uint64_t task_id)
+{
+    return mr::MapContext(task_id, kItems, kItems, false,
+                          Rng(kSeed).derive(0xA11CE + task_id));
+}
+
+TEST_P(MapBatchEquivalence, BatchedOutputMatchesRecordAtATime)
+{
+    const apps::AggregationWorkload* w =
+        apps::findAggregationWorkload(GetParam().name);
+    ASSERT_NE(w, nullptr);
+    auto data = w->make_dataset(kBlocks, kItems, kSeed);
+
+    for (uint64_t block = 0; block < kBlocks; ++block) {
+        // Record-at-a-time reference: the path the chaos oracle replays.
+        auto ref_mapper = w->mapper_factory()();
+        mr::MapContext ref_ctx = freshContext(block);
+        ref_mapper->setup(ref_ctx);
+        for (uint64_t i = 0; i < kItems; ++i) {
+            ref_mapper->map(data->item(block, i), ref_ctx);
+        }
+        ref_mapper->cleanup(ref_ctx);
+
+        // Batched path, as Job::computeMapOutput drives it.
+        auto batch_mapper = w->mapper_factory()();
+        mr::MapContext batch_ctx = freshContext(block);
+        batch_mapper->setup(batch_ctx);
+        std::vector<uint64_t> indices(kItems);
+        std::iota(indices.begin(), indices.end(), 0);
+        hdfs::RecordBuffer buffer;
+        data->readItems(block, indices.data(), indices.size(), buffer);
+        std::vector<std::string_view> views;
+        for (size_t i = 0; i < indices.size(); ++i) {
+            views.push_back(buffer.record(i));
+        }
+        batch_mapper->mapBatch(views.data(), views.size(), batch_ctx);
+        batch_mapper->cleanup(batch_ctx);
+
+        const auto& ref = ref_ctx.output();
+        const auto& batch = batch_ctx.output();
+        ASSERT_EQ(ref.size(), batch.size()) << "block " << block;
+        for (size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_EQ(ref[i].key, batch[i].key)
+                << "block " << block << " record " << i;
+            EXPECT_EQ(ref[i].value, batch[i].value)
+                << "block " << block << " record " << i;
+            EXPECT_EQ(ref[i].value2, batch[i].value2)
+                << "block " << block << " record " << i;
+            EXPECT_EQ(ref[i].value3, batch[i].value3)
+                << "block " << block << " record " << i;
+            EXPECT_EQ(ref[i].value4, batch[i].value4)
+                << "block " << block << " record " << i;
+        }
+
+        // keyIds() must stay parallel to output() and decode back to the
+        // emitted key — the combine/partition stages run on these ids.
+        ASSERT_EQ(batch_ctx.keyIds().size(), batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(batch_ctx.interner().key(batch_ctx.keyIds()[i]),
+                      batch[i].key);
+        }
+    }
+}
+
+TEST_P(MapBatchEquivalence, ReadItemsMatchesItem)
+{
+    const apps::AggregationWorkload* w =
+        apps::findAggregationWorkload(GetParam().name);
+    ASSERT_NE(w, nullptr);
+    auto data = w->make_dataset(kBlocks, kItems, kSeed);
+
+    for (uint64_t block = 0; block < kBlocks; ++block) {
+        // Full block (whole-block synthesis + cache path).
+        std::vector<uint64_t> all(kItems);
+        std::iota(all.begin(), all.end(), 0);
+        hdfs::RecordBuffer full;
+        data->readItems(block, all.data(), all.size(), full);
+        ASSERT_EQ(full.size(), kItems);
+        for (uint64_t i = 0; i < kItems; ++i) {
+            EXPECT_EQ(std::string(full.record(i)), data->item(block, i))
+                << "block " << block << " index " << i;
+        }
+
+        // Sparse sample (lazy path), including out-of-order indices.
+        std::vector<uint64_t> sparse = {kItems - 1, 0, kItems / 2};
+        hdfs::RecordBuffer sampled;
+        data->readItems(block, sparse.data(), sparse.size(), sampled);
+        ASSERT_EQ(sampled.size(), sparse.size());
+        for (size_t i = 0; i < sparse.size(); ++i) {
+            EXPECT_EQ(std::string(sampled.record(i)),
+                      data->item(block, sparse[i]))
+                << "block " << block << " index " << sparse[i];
+        }
+    }
+}
+
+std::vector<WorkloadCase>
+allWorkloads()
+{
+    std::vector<WorkloadCase> cases;
+    for (const apps::AggregationWorkload& w : apps::aggregationWorkloads()) {
+        cases.push_back(WorkloadCase{w.name});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryWorkloads, MapBatchEquivalence,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+        return info.param.name;
+    });
+
+// The default mapBatch (base-class loop) must also match, independent of
+// any app override — covers mappers that never specialize the batch hook.
+TEST(MapBatchDefault, BaseClassLoopMatchesMap)
+{
+    class EchoMapper : public mr::Mapper
+    {
+      public:
+        void map(const std::string& record, mr::MapContext& ctx) override
+        {
+            ctx.write(record, static_cast<double>(record.size()));
+        }
+    };
+
+    std::vector<std::string> records = {"a", "bb", "", "a", "ccc"};
+    mr::MapContext ref_ctx(0, 5, 5, false, Rng(1));
+    EchoMapper ref;
+    for (const std::string& r : records) {
+        ref.map(r, ref_ctx);
+    }
+
+    std::vector<std::string_view> views(records.begin(), records.end());
+    mr::MapContext batch_ctx(0, 5, 5, false, Rng(1));
+    EchoMapper batched;
+    batched.mapBatch(views.data(), views.size(), batch_ctx);
+
+    ASSERT_EQ(ref_ctx.output().size(), batch_ctx.output().size());
+    for (size_t i = 0; i < ref_ctx.output().size(); ++i) {
+        EXPECT_EQ(ref_ctx.output()[i].key, batch_ctx.output()[i].key);
+        EXPECT_EQ(ref_ctx.output()[i].value, batch_ctx.output()[i].value);
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop
