@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Service throughput scaling: runs the multi-tenant JobService at three
+ * offered-load points (light / moderate / heavy Poisson arrival rates on
+ * a fixed two-tenant spec) and reports host jobs/sec alongside the
+ * simulated per-tenant p99 latencies and degradation counts.
+ *
+ * Like bench_parallel_scaling this measures *host* wall-clock — the
+ * service loop's own overhead (admission, waterfill arbitration,
+ * end-game scans) is the thing being gated. Simulated results are
+ * asserted byte-identical across repetitions (the service report is a
+ * pure function of the spec), so any speedup shown here cannot have
+ * changed scheduling behavior.
+ *
+ * Usage:
+ *   bench_service_scaling                  full sweep
+ *   bench_service_scaling --smoke          seconds-scale CI smoke run
+ *   bench_service_scaling --json <path>    also emit the benchdiff report
+ *
+ * The --json report (schema "approxhadoop-bench/1") carries the
+ * heavy-load jobs/sec throughput (gated at 15% by tools/benchdiff) and
+ * sim_* latency/degradation metrics (required to match the committed
+ * baseline exactly).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/job_service.h"
+#include "service/report.h"
+#include "service/service_spec.h"
+
+using namespace approxhadoop;
+
+namespace {
+
+struct LoadPoint
+{
+    const char* name;     // metric suffix: light / moderate / heavy
+    double arrival_rate;  // jobs per simulated second, before intensity
+};
+
+struct RunOutcome
+{
+    double wall_ms = 0.0;
+    service::ServiceReport report;
+    std::string json;  // deterministic bytes, compared across reps
+};
+
+RunOutcome
+runOnce(const std::string& spec_text)
+{
+    service::ServiceSpec spec = service::parseServiceSpec(spec_text);
+    auto start = std::chrono::steady_clock::now();
+    service::JobService svc(spec);
+    service::ServiceReport report = svc.run();
+    auto end = std::chrono::steady_clock::now();
+
+    RunOutcome outcome;
+    outcome.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    outcome.json = report.toJson();
+    outcome.report = std::move(report);
+    return outcome;
+}
+
+std::string
+specFor(double arrival_rate, bool smoke)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "tenants=2,arrival=%g,duration=%u,seed=7,blocks=%u,items=8,"
+        "reducers=2,target=0.05,pressure=2,degrade=2,maxscale=4,"
+        "endgame=25,workloads=wikilength",
+        arrival_rate, smoke ? 200u : 500u, smoke ? 24u : 60u);
+    return buf;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<LoadPoint> points =
+        smoke ? std::vector<LoadPoint>{{"light", 0.01}, {"heavy", 0.06}}
+              : std::vector<LoadPoint>{
+                    {"light", 0.01}, {"moderate", 0.03}, {"heavy", 0.06}};
+    int reps = smoke ? 1 : benchutil::repetitions(3);
+
+    benchutil::printTitle(
+        "service-scaling",
+        smoke ? "JobService jobs/sec + p99 latency vs offered load (smoke)"
+              : "JobService jobs/sec + p99 latency vs offered load");
+    std::printf("%10s %8s %6s %6s %10s %10s %6s %12s %10s\n", "load",
+                "arrival", "subm", "done", "p99 t0 s", "p99 t1 s", "degr",
+                "wall med ms", "jobs/sec");
+
+    benchutil::BenchReport report("service_scaling", reps);
+    bool identical = true;
+    for (const LoadPoint& p : points) {
+        std::string spec_text = specFor(p.arrival_rate, smoke);
+        std::vector<double> walls;
+        RunOutcome last;
+        std::string first_json;
+        for (int r = 0; r < reps; ++r) {
+            last = runOnce(spec_text);
+            walls.push_back(last.wall_ms);
+            if (r == 0) {
+                first_json = last.json;
+            } else if (last.json != first_json) {
+                identical = false;
+            }
+        }
+        double med_ms = benchutil::median(walls);
+        double jobs_per_sec =
+            med_ms > 0.0
+                ? 1000.0 *
+                      static_cast<double>(last.report.jobs_completed) /
+                      med_ms
+                : 0.0;
+        const service::TenantReport& t0 = last.report.tenants.at(0);
+        const service::TenantReport& t1 = last.report.tenants.at(1);
+        uint64_t degraded = 0;
+        for (const service::TenantReport& t : last.report.tenants) {
+            degraded += t.jobs_degraded;
+        }
+        std::printf("%10s %8.3f %6llu %6llu %10.1f %10.1f %6llu %12.1f "
+                    "%10.1f\n",
+                    p.name, p.arrival_rate,
+                    static_cast<unsigned long long>(
+                        last.report.jobs_submitted),
+                    static_cast<unsigned long long>(
+                        last.report.jobs_completed),
+                    t0.p99_latency, t1.p99_latency,
+                    static_cast<unsigned long long>(degraded), med_ms,
+                    jobs_per_sec);
+
+        std::string suffix = std::string("_") + p.name;
+        report.metric("sim_jobs_completed" + suffix,
+                      static_cast<double>(last.report.jobs_completed));
+        report.metric("sim_p99_t0_s" + suffix, t0.p99_latency);
+        report.metric("sim_p99_t1_s" + suffix, t1.p99_latency);
+        report.metric("sim_jobs_degraded" + suffix,
+                      static_cast<double>(degraded));
+        if (&p == &points.back()) {
+            report.metric("svc_jobs_per_sec", jobs_per_sec);
+            report.metric("wall_ms_median_heavy", med_ms);
+            report.metric("sim_makespan_s" + suffix,
+                          last.report.sim_makespan);
+        }
+    }
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: service report varied across repetitions of "
+                     "the same spec\n");
+        return 1;
+    }
+    std::printf("\nreports byte-identical across all repetitions\n");
+    if (json_path != nullptr && !report.write(json_path)) {
+        return 1;
+    }
+    return 0;
+}

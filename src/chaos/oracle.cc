@@ -13,6 +13,7 @@
 #include "core/approx_input_format.h"
 #include "core/approx_job.h"
 #include "hdfs/namenode.h"
+#include "service/job_service.h"
 #include "sim/cluster.h"
 #include "stats/two_stage.h"
 
@@ -58,6 +59,10 @@ countersMismatch(const mr::Counters& a, const mr::Counters& b)
     APPROX_CHAOS_CMP(maps_killed)
     APPROX_CHAOS_CMP(maps_dropped)
     APPROX_CHAOS_CMP(maps_speculated)
+    APPROX_CHAOS_CMP(maps_endgame_speculated)
+    APPROX_CHAOS_CMP(map_slots_acquired)
+    APPROX_CHAOS_CMP(map_slots_released)
+    APPROX_CHAOS_CMP(map_slot_seconds)
     APPROX_CHAOS_CMP(map_attempts_launched)
     APPROX_CHAOS_CMP(map_attempts_failed)
     APPROX_CHAOS_CMP(map_attempts_cancelled)
@@ -306,9 +311,141 @@ ChaosOracle::runScenario(const Scenario& s, uint32_t threads,
     return outcome;
 }
 
+namespace {
+
+/**
+ * Service-level invariants for the multi-job scenario slice: the same
+ * workload submitted concurrent_jobs times through the JobService with
+ * staggered arrivals and derived per-job seeds. Checks, in order: the
+ * termination contract (the service itself must not throw), same-spec
+ * report byte-identity, per-completed-job counter conservation under
+ * slot contention, job accounting (submitted = completed + failed), and
+ * that no map or reduce slot leaks past the run.
+ */
+std::vector<Violation>
+checkMultiJob(const Scenario& s)
+{
+    std::vector<Violation> violations;
+    auto violate = [&violations](const std::string& invariant,
+                                 const std::string& detail) {
+        violations.push_back(Violation{invariant, detail});
+    };
+
+    service::ServiceSpec spec;
+    service::TenantClass hi;
+    hi.name = "t0";
+    hi.priority = 0;
+    hi.weight = 2.0;
+    service::TenantClass lo;
+    lo.name = "t1";
+    lo.priority = 1;
+    lo.weight = 1.0;
+    spec.tenants = {hi, lo};
+    spec.duration = 600.0;
+    spec.seed = s.job_seed;
+    spec.blocks = s.blocks;
+    spec.items = s.items;
+    spec.reducers = s.reducers;
+    spec.target_rel_error = s.has_target ? s.target : 0.05;
+    spec.endgame_left_percent = 25.0;
+    spec.workloads = {s.workload};
+    spec.pressure_threshold = 2;
+    spec.fault_plan = s.plan;
+    // Whole-server crashes are not attributable to one tenant; the
+    // generator already strips them, but hand-built scenarios may not.
+    spec.fault_plan.server_crashes.clear();
+
+    std::vector<service::JobArrival> arrivals;
+    Rng seeds = Rng(s.job_seed).derive(0x5E41CE);
+    for (uint32_t j = 0; j < s.concurrent_jobs; ++j) {
+        service::JobArrival a;
+        a.time = 0.5 * j;
+        a.tenant = j % 2;
+        a.workload = s.workload;
+        a.job_seed = 1 + seeds.uniformInt(1000000000);
+        arrivals.push_back(a);
+    }
+
+    std::string first_json;
+    std::string second_json;
+    try {
+        service::JobService first(spec, arrivals);
+        service::ServiceReport report = first.run();
+        first_json = report.toJson();
+
+        for (const sim::Server& server : first.cluster().servers()) {
+            if (server.busyMapSlots() != 0 ||
+                server.busyReduceSlots() != 0) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "server %u still holds %d map / %d reduce "
+                              "slots after the run",
+                              server.id(), server.busyMapSlots(),
+                              server.busyReduceSlots());
+                violate("conservation", buf);
+            }
+        }
+
+        uint64_t completed = 0;
+        uint64_t failed = 0;
+        for (const service::JobService::JobOutcome& outcome :
+             first.outcomes()) {
+            if (outcome.failed) {
+                ++failed;
+                continue;
+            }
+            ++completed;
+            std::string conservation =
+                outcome.result.counters.conservationViolation(s.reducers);
+            if (!conservation.empty()) {
+                violate("conservation",
+                        outcome.arrival.workload + " seed " +
+                            std::to_string(outcome.arrival.job_seed) +
+                            ": " + conservation);
+            }
+        }
+        if (completed != report.jobs_completed ||
+            failed != report.jobs_failed ||
+            report.jobs_submitted != s.concurrent_jobs ||
+            completed + failed != report.jobs_submitted) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "job accounting: submitted=%llu completed=%llu "
+                "failed=%llu (outcomes: %llu/%llu, expected %u jobs)",
+                static_cast<unsigned long long>(report.jobs_submitted),
+                static_cast<unsigned long long>(report.jobs_completed),
+                static_cast<unsigned long long>(report.jobs_failed),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed),
+                s.concurrent_jobs);
+            violate("conservation", buf);
+        }
+
+        service::JobService second(spec, arrivals);
+        second_json = second.run().toJson();
+    } catch (const std::exception& e) {
+        violate("termination",
+                std::string("service run threw: ") + e.what());
+        return violations;
+    }
+
+    if (first_json != second_json) {
+        violate("determinism",
+                "same-spec service reports differ byte-wise");
+    }
+    return violations;
+}
+
+}  // namespace
+
 std::vector<Violation>
 ChaosOracle::check(const Scenario& s) const
 {
+    if (s.concurrent_jobs > 1) {
+        return checkMultiJob(s);
+    }
+
     std::vector<Violation> violations;
     auto violate = [&violations](const std::string& invariant,
                                  const std::string& detail) {

@@ -35,17 +35,21 @@ formatDouble(double v)
 std::string
 Scenario::describe() const
 {
-    char buf[256];
+    char buf[288];
+    std::string jobs_dim =
+        concurrent_jobs > 1 ? " jobs=" + std::to_string(concurrent_jobs)
+                            : "";
     std::snprintf(buf, sizeof(buf),
                   "#%llu %s %llux%llu reducers=%u threads=%u seed=%llu "
-                  "sampling=%.3g%s mode=%s attempts=%u plan[%s]",
+                  "sampling=%.3g%s%s mode=%s attempts=%u plan[%s]",
                   static_cast<unsigned long long>(index), workload.c_str(),
                   static_cast<unsigned long long>(blocks),
                   static_cast<unsigned long long>(items), reducers, threads,
                   static_cast<unsigned long long>(job_seed), sampling,
                   has_target ? (" target=" + formatDouble(target)).c_str()
                              : "",
-                  ft::toString(mode), max_attempts, plan.summary().c_str());
+                  jobs_dim.c_str(), ft::toString(mode), max_attempts,
+                  plan.summary().c_str());
     return buf;
 }
 
@@ -168,6 +172,16 @@ ScenarioGenerator::generate(uint64_t index) const
         s.max_attempts = 2;
         s.has_target = false;
         s.sampling = 1.0;
+    }
+
+    // Multi-job slice: 2-4 concurrent jobs through the JobService
+    // (drawn last so the single-job field prefix above is unchanged for
+    // a given (family seed, index)). Server crashes are stripped — a
+    // whole-server crash is not attributable to one job when several
+    // tenants hold map slots on it.
+    if (rng.bernoulli(0.12)) {
+        s.concurrent_jobs = static_cast<uint32_t>(2 + rng.uniformInt(3));
+        s.plan.server_crashes.clear();
     }
     return s;
 }

@@ -52,6 +52,20 @@ struct Scenario
 
     ft::FaultPlan plan;
 
+    /**
+     * Number of jobs run concurrently through the multi-tenant
+     * JobService (src/service/). 1 = the classic standalone path. > 1
+     * routes the oracle through the service: the same workload is
+     * submitted concurrent_jobs times with staggered arrivals and
+     * derived per-job seeds, and the invariants shift to service-level
+     * ones (same-spec report byte-identity, per-job counter
+     * conservation under slot contention, no leaked slots). Scenarios
+     * in this slice never carry server crashes: a whole-server crash
+     * cannot be attributed to one job when several tenants hold slots
+     * on it.
+     */
+    uint32_t concurrent_jobs = 1;
+
     /** One-line description for logs. */
     std::string describe() const;
 

@@ -11,6 +11,26 @@ namespace {
 using Transform = bool (*)(Scenario&);
 
 bool
+singleJob(Scenario& s)
+{
+    if (s.concurrent_jobs <= 1) {
+        return false;
+    }
+    s.concurrent_jobs = 1;
+    return true;
+}
+
+bool
+fewerJobs(Scenario& s)
+{
+    if (s.concurrent_jobs <= 2) {
+        return false;
+    }
+    --s.concurrent_jobs;
+    return true;
+}
+
+bool
 zeroCrash(Scenario& s)
 {
     if (s.plan.task_crash_prob == 0.0) {
@@ -170,11 +190,12 @@ shrinkScenario(const Scenario& failing,
     // Ordered roughly by how much each simplification removes: whole
     // fault keys first, then scale, then probability halving.
     static const Transform kTransforms[] = {
-        zeroCrash,          zeroReduceCrash,   zeroCorrupt,
-        zeroBadRecords,     zeroStragglers,    clearServerCrashes,
-        dropOneServerCrash, dropTarget,        fullSampling,
-        oneReducer,         twoThreads,        halveBlocks,
-        halveItems,         halveProbabilities,
+        singleJob,          fewerJobs,         zeroCrash,
+        zeroReduceCrash,    zeroCorrupt,       zeroBadRecords,
+        zeroStragglers,     clearServerCrashes, dropOneServerCrash,
+        dropTarget,         fullSampling,      oneReducer,
+        twoThreads,         halveBlocks,       halveItems,
+        halveProbabilities,
     };
 
     ShrinkResult out;

@@ -38,9 +38,17 @@ double
 TargetErrorController::targetFor(double tau_hat) const
 {
     if (config_.target_absolute_error.has_value()) {
-        return *config_.target_absolute_error;
+        return target_scale_ * *config_.target_absolute_error;
     }
-    return *config_.target_relative_error * std::fabs(tau_hat);
+    return target_scale_ * *config_.target_relative_error *
+           std::fabs(tau_hat);
+}
+
+void
+TargetErrorController::setTargetScale(double scale)
+{
+    assert(scale >= 1.0);
+    target_scale_ = std::max(1.0, scale);
 }
 
 std::vector<MultiStageSamplingReducer::KeyPlanStats>

@@ -91,6 +91,18 @@ class TargetErrorController : public mr::JobController
     /** True once the target was achieved and remaining maps dropped. */
     bool targetAchieved() const { return achieved_; }
 
+    /**
+     * Accuracy-arbitration hook (src/service/): multiplies the
+     * user-specified target error by @p scale from now on. Scale > 1
+     * widens the bound — the controller drops more clusters / samples
+     * fewer items on its next decision, freeing slots for higher
+     * priority tenants; restoring 1.0 reverts to the user's target for
+     * all future decisions. Never applied retroactively: clusters
+     * already dropped stay dropped. @pre scale >= 1.
+     */
+    void setTargetScale(double scale);
+    double targetScale() const { return target_scale_; }
+
   private:
     /** Fitted cost-model parameters from completed task measurements. */
     struct CostFit
@@ -154,6 +166,8 @@ class TargetErrorController : public mr::JobController
     bool pilot_released_ = false;
     bool achieved_ = false;
     Plan last_plan_;
+    /** AccuracyArbiter degradation factor applied to the target (>= 1). */
+    double target_scale_ = 1.0;
 
     /** Keys examined per decision (the binding key plus runners-up). */
     static constexpr size_t kMaxKeysChecked = 16;

@@ -174,6 +174,23 @@ Counters::conservationViolation(uint32_t num_reducers) const
                          maps_retried,
                          map_attempts_failed + map_outputs_lost);
     }
+    if (map_slots_acquired != map_slots_released) {
+        return violation("slot conservation: acquired != released",
+                         map_slots_acquired, map_slots_released);
+    }
+    if (map_slots_acquired != map_attempts_launched) {
+        return violation("slot conservation: acquired != "
+                         "attempts_launched",
+                         map_slots_acquired, map_attempts_launched);
+    }
+    if (!(map_slot_seconds >= 0.0)) {
+        return "slot conservation: map_slot_seconds < 0 or NaN";
+    }
+    if (maps_endgame_speculated > maps_speculated) {
+        return violation("endgame causality: endgame_speculated > "
+                         "speculated",
+                         maps_endgame_speculated, maps_speculated);
+    }
     return "";
 }
 

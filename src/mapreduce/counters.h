@@ -17,6 +17,18 @@ struct Counters
     uint64_t maps_killed = 0;
     uint64_t maps_dropped = 0;
     uint64_t maps_speculated = 0;
+    /** Speculative twins launched by the end-game path (subset of
+     *  maps_speculated; see JobConfig::endgame_left_percent). */
+    uint64_t maps_endgame_speculated = 0;
+
+    // --- slot leasing (multi-tenant service, src/service/) ---
+    /** Map slots leased from cluster servers (one per attempt start). */
+    uint64_t map_slots_acquired = 0;
+    /** Map slots returned (attempt finish/crash/kill/cancel). */
+    uint64_t map_slots_released = 0;
+    /** Simulated slot-seconds held by map attempts (for per-tenant
+     *  slot accounting in the service report). */
+    double map_slot_seconds = 0.0;
 
     // --- failure / recovery (fault injection, src/ft/) ---
     /** Map attempts started (first runs, retries, speculative twins). */
@@ -110,6 +122,10 @@ struct Counters
      *   5. refetch causality: chunk_refetches <= chunks_corrupted
      *   6. sample containment: items_processed <= items_read <= items_total
      *   7. retry causality: maps_retried <= failed + outputs_lost
+     *   8. slot conservation: every leased map slot is returned —
+     *      map_slots_acquired == map_slots_released ==
+     *      map_attempts_launched, and endgame twins are speculative —
+     *      maps_endgame_speculated <= maps_speculated
      *
      * Returns "" when all hold, else a description of the first
      * violated identity. The chaos harness (src/chaos/) calls this on

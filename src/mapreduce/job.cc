@@ -333,6 +333,22 @@ Job::setObservability(obs::Observability* obs)
 }
 
 void
+Job::setCompletionHandler(CompletionHandler handler)
+{
+    assert(!started_);
+    completion_handler_ = std::move(handler);
+}
+
+void
+Job::setMapSlotLimit(int limit)
+{
+    // Callable mid-run (the SlotArbiter re-targets at every admission /
+    // completion). Lowering never revokes running attempts — see the
+    // header comment on wave-boundary yield.
+    map_slot_limit_ = std::max(0, limit);
+}
+
+void
 Job::setInitialSamplingRatio(double ratio)
 {
     assert(!started_);
@@ -484,7 +500,8 @@ Job::scheduleLoop()
             if (s.state() != sim::ServerState::kActive) {
                 continue;
             }
-            while (s.freeMapSlots() > 0 && pending_count_ > 0) {
+            while (s.freeMapSlots() > 0 && pending_count_ > 0 &&
+                   slotBudgetLeft()) {
                 int64_t t = nextLocalTaskForServer(s.id());
                 if (t < 0) {
                     break;
@@ -493,11 +510,12 @@ Job::scheduleLoop()
             }
         }
         bool progress = true;
-        while (progress && pending_count_ > 0) {
+        while (progress && pending_count_ > 0 && slotBudgetLeft()) {
             progress = false;
             for (sim::Server& s : cluster_.servers()) {
                 if (s.state() != sim::ServerState::kActive ||
-                    s.freeMapSlots() == 0 || pending_count_ == 0) {
+                    s.freeMapSlots() == 0 || pending_count_ == 0 ||
+                    !slotBudgetLeft()) {
                     continue;
                 }
                 // Prefer a (newly exposed) local task even in pass 2.
@@ -527,6 +545,8 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
     TaskExec& exec = exec_[task_id];
     sim::Server& srv = cluster_.server(server);
     srv.acquireMapSlot(cluster_.now());
+    ++held_map_slots_;
+    ++counters_.map_slots_acquired;
     ++counters_.map_attempts_launched;
 
     if (task.state == TaskState::kPending) {
@@ -611,14 +631,27 @@ Job::startAttempt(uint64_t task_id, uint32_t server, bool local)
 void
 Job::maybeSpeculate()
 {
-    if (!config_.speculation || pending_count_ > 0 || held_count_ > 0 ||
-        running_count_ == 0 || completed_duration_count_ == 0) {
+    if (pending_count_ > 0 || held_count_ > 0 || running_count_ == 0 ||
+        completed_duration_count_ == 0) {
         return;
     }
     double mean_duration =
         completed_duration_sum_ /
         static_cast<double>(completed_duration_count_);
     double threshold = config_.speculation_threshold * mean_duration;
+    // End-game window (the shuttle job_tracker's left_percent design):
+    // with only a tail of maps left, a single straggler holds the whole
+    // makespan hostage, so duplicate anything slower than the *mean* —
+    // even when classic speculation is off or its higher threshold has
+    // not tripped yet.
+    bool endgame =
+        config_.endgame_left_percent > 0.0 &&
+        static_cast<double>(remainingMaps()) * 100.0 <=
+            config_.endgame_left_percent *
+                static_cast<double>(tasks_.size());
+    if (!config_.speculation && !endgame) {
+        return;
+    }
 
     for (MapTaskInfo& task : tasks_) {
         if (task.state != TaskState::kRunning) {
@@ -640,38 +673,56 @@ Job::maybeSpeculate()
             continue;
         }
         double elapsed = cluster_.now() - active->start;
-        if (elapsed <= threshold) {
+        bool classic = config_.speculation && elapsed > threshold;
+        bool tail = endgame && elapsed > mean_duration;
+        if (!classic && !tail) {
             continue;
         }
-        // Find a free slot, preferring a replica holder.
-        int64_t chosen = -1;
-        bool local = false;
-        for (uint32_t s : namenode_.replicas(task.block)) {
-            sim::Server& srv = cluster_.server(s);
+        if (!slotBudgetLeft()) {
+            return;  // the job's arbitrated share is fully used
+        }
+        if (!speculateTask(task.task_id, !classic)) {
+            return;  // no free slots anywhere
+        }
+    }
+}
+
+bool
+Job::speculateTask(uint64_t task_id, bool endgame)
+{
+    MapTaskInfo& task = tasks_[task_id];
+    // Find a free slot, preferring a replica holder.
+    int64_t chosen = -1;
+    bool local = false;
+    for (uint32_t s : namenode_.replicas(task.block)) {
+        sim::Server& srv = cluster_.server(s);
+        if (srv.state() == sim::ServerState::kActive &&
+            srv.freeMapSlots() > 0) {
+            chosen = s;
+            local = true;
+            break;
+        }
+    }
+    if (chosen < 0) {
+        for (sim::Server& srv : cluster_.servers()) {
             if (srv.state() == sim::ServerState::kActive &&
                 srv.freeMapSlots() > 0) {
-                chosen = s;
-                local = true;
+                chosen = srv.id();
+                local = namenode_.isLocal(task.block, srv.id());
                 break;
             }
         }
-        if (chosen < 0) {
-            for (sim::Server& srv : cluster_.servers()) {
-                if (srv.state() == sim::ServerState::kActive &&
-                    srv.freeMapSlots() > 0) {
-                    chosen = srv.id();
-                    local = namenode_.isLocal(task.block, srv.id());
-                    break;
-                }
-            }
-        }
-        if (chosen < 0) {
-            return;  // no free slots anywhere
-        }
-        task.speculated = true;
-        ++counters_.maps_speculated;
-        startAttempt(task.task_id, static_cast<uint32_t>(chosen), local);
     }
+    if (chosen < 0) {
+        return false;
+    }
+    task.speculated = true;
+    ++counters_.maps_speculated;
+    if (endgame) {
+        ++counters_.maps_endgame_speculated;
+    }
+    startAttempt(task_id, static_cast<uint32_t>(chosen), local);
+    return true;
 }
 
 void
@@ -684,7 +735,7 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     Attempt& winner = exec.attempts[attempt_index];
     assert(!winner.done && !winner.failed);
     winner.done = true;
-    cluster_.server(winner.server).releaseMapSlot(cluster_.now());
+    releaseAttemptSlot(winner);
 
     // Cancel losing attempts and free their slots.
     for (size_t a = 0; a < exec.attempts.size(); ++a) {
@@ -692,8 +743,7 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
             continue;
         }
         cluster_.events().cancel(exec.attempts[a].event);
-        cluster_.server(exec.attempts[a].server)
-            .releaseMapSlot(cluster_.now());
+        releaseAttemptSlot(exec.attempts[a]);
         exec.attempts[a].done = true;
         ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds +=
@@ -793,7 +843,7 @@ Job::killRunningTask(uint64_t task_id)
             continue;
         }
         cluster_.events().cancel(a.event);
-        cluster_.server(a.server).releaseMapSlot(cluster_.now());
+        releaseAttemptSlot(a);
         a.done = true;
         ++counters_.map_attempts_cancelled;
         counters_.wasted_attempt_seconds += cluster_.now() - a.start;
@@ -903,6 +953,16 @@ Job::onOrphanDetected(uint64_t task_id, sim::SimTime crashed_at)
 }
 
 void
+Job::releaseAttemptSlot(const Attempt& attempt)
+{
+    cluster_.server(attempt.server).releaseMapSlot(cluster_.now());
+    assert(held_map_slots_ > 0);
+    --held_map_slots_;
+    ++counters_.map_slots_released;
+    counters_.map_slot_seconds += cluster_.now() - attempt.start;
+}
+
+void
 Job::failAttempt(uint64_t task_id, size_t attempt_index)
 {
     Attempt& a = exec_[task_id].attempts[attempt_index];
@@ -912,7 +972,7 @@ Job::failAttempt(uint64_t task_id, size_t attempt_index)
     cluster_.events().cancel(a.event);
     a.done = true;
     a.failed = true;
-    cluster_.server(a.server).releaseMapSlot(cluster_.now());
+    releaseAttemptSlot(a);
     ++tasks_[task_id].failed_attempts;
     ++counters_.map_attempts_failed;
     counters_.wasted_attempt_seconds += cluster_.now() - a.start;
@@ -974,11 +1034,19 @@ Job::resolveFailure(uint64_t task_id)
         if (config_.failure_mode == ft::FailureMode::kRetry) {
             // Stock-Hadoop semantics: a task out of attempts fails the
             // whole job. Job::run() attaches the counters so callers can
-            // print the fault summary.
-            throw JobFailedError(
+            // print the fault summary. Under a service, throwing out of
+            // an event callback would tear down the shared queue and
+            // every other tenant's job with it — the failure is routed
+            // to the completion handler instead.
+            std::string message =
                 "map task " + std::to_string(task_id) + " failed " +
                 std::to_string(task.failed_attempts) +
-                " attempts (max_attempts exhausted)");
+                " attempts (max_attempts exhausted)";
+            if (completion_handler_) {
+                failJob(task_id, message);
+                return;
+            }
+            throw JobFailedError(message);
         }
         // kAuto chose retry but no attempts remain: absorbing is always
         // statistically valid, failing the job never is.
@@ -1049,6 +1117,60 @@ Job::killRetryWaiter(uint64_t task_id)
     ++terminal_count_;
     ++counters_.maps_killed;
     ++wave_counts_[task.wave].second;
+}
+
+void
+Job::failJob(uint64_t failing_task, const std::string& message)
+{
+    assert(!job_done_ && !job_failed_);
+    job_failed_ = true;
+    failure_message_ = message;
+    // The failing task already left the running count with every attempt
+    // done and its slots returned; mark it terminal directly.
+    MapTaskInfo& failing = tasks_[failing_task];
+    failing.state = TaskState::kKilled;
+    failing.finish_time = cluster_.now();
+    ++terminal_count_;
+    ++counters_.maps_killed;
+    ++wave_counts_[failing.wave].second;
+    // Tear the rest down through the normal kill paths so every held map
+    // slot goes back to the shared cluster and every pending event
+    // (attempt completions, detections, retry backoffs) is cancelled.
+    for (MapTaskInfo& t : tasks_) {
+        if (t.task_id == failing_task) {
+            continue;
+        }
+        if (t.state == TaskState::kPending ||
+            t.state == TaskState::kHeld) {
+            dropPendingTask(t.task_id);
+        } else if (t.state == TaskState::kRunning) {
+            killRunningTask(t.task_id);
+        } else if (t.state == TaskState::kAwaitingRetry) {
+            killRetryWaiter(t.task_id);
+        }
+    }
+    // The reducers never ran; free their slots for the next tenant.
+    for (uint32_t server : reducer_servers_) {
+        cluster_.server(server).releaseReduceSlot(cluster_.now());
+    }
+    end_time_ = cluster_.now();
+    if (obs_ != nullptr) {
+        obs_->trace.endJob(cluster_.now());
+    }
+    notifyCompletion();
+}
+
+void
+Job::notifyCompletion()
+{
+    if (!completion_handler_) {
+        return;
+    }
+    // Moved out first so the handler fires at most once even when it
+    // re-enters the job (the service admits/rebalances from inside it).
+    CompletionHandler handler = std::move(completion_handler_);
+    completion_handler_ = nullptr;
+    handler(job_failed_, failure_message_);
 }
 
 void
@@ -1613,7 +1735,8 @@ Job::checkWaveCompletion(int wave)
 void
 Job::checkMapPhaseDone()
 {
-    if (map_phase_done_ || terminal_count_ != tasks_.size()) {
+    if (map_phase_done_ || job_failed_ ||
+        terminal_count_ != tasks_.size()) {
         return;
     }
     map_phase_done_ = true;
@@ -1698,6 +1821,7 @@ Job::onReducerDone(uint32_t reducer)
                 s.exitLowPower(cluster_.now());
             }
         }
+        notifyCompletion();
     }
 }
 
@@ -1705,8 +1829,8 @@ Job::onReducerDone(uint32_t reducer)
 // Job: driver
 // ---------------------------------------------------------------------------
 
-JobResult
-Job::run()
+void
+Job::start()
 {
     if (started_) {
         throw std::logic_error("Job::run() called twice");
@@ -1750,23 +1874,20 @@ Job::run()
     scheduleLoop();
     // Degenerate case: everything dropped before anything ran.
     checkMapPhaseDone();
-    try {
-        cluster_.events().run();
-    } catch (JobFailedError& e) {
-        e.counters = counters_;
-        if (obs_ != nullptr) {
-            obs_->trace.endJob(cluster_.now());
-        }
-        pool_.reset();
-        throw;
+}
+
+JobResult
+Job::collectResult()
+{
+    if (!job_done_) {
+        throw std::logic_error(
+            job_failed_
+                ? "collectResult() on a failed job: " + failure_message_
+                : "collectResult() before job completion");
     }
     // Drain computations of tasks killed mid-flight and release the
     // workers; their futures were never consumed and are discarded here.
     pool_.reset();
-
-    if (!job_done_) {
-        throw std::runtime_error("job did not complete (scheduler stall)");
-    }
 
     JobResult result;
     result.output = std::move(output_);
@@ -1777,6 +1898,28 @@ Job::run()
     AH_INFO("job") << config_.name << " finished in " << result.runtime
                    << "s: " << result.counters.summary();
     return result;
+}
+
+JobResult
+Job::run()
+{
+    start();
+    try {
+        cluster_.events().run();
+    } catch (JobFailedError& e) {
+        e.counters = counters_;
+        if (obs_ != nullptr) {
+            obs_->trace.endJob(cluster_.now());
+        }
+        pool_.reset();
+        throw;
+    }
+    pool_.reset();
+
+    if (!job_done_) {
+        throw std::runtime_error("job did not complete (scheduler stall)");
+    }
+    return collectResult();
 }
 
 }  // namespace approxhadoop::mr

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -200,6 +201,61 @@ class Job
     /** Runs the job to completion and returns its results. */
     JobResult run();
 
+    // --- service-mode surface (src/service/) -----------------------------
+    //
+    // A JobService drives many jobs on one shared cluster/event queue:
+    // it calls start() on each admitted job, pumps the queue itself, and
+    // learns of completion through the handler instead of blocking in
+    // run(). run() is implemented as start() + pump-to-empty + collect,
+    // so standalone behavior is bit-identical to before the split.
+
+    /** Called when the job reaches a terminal state. @p failed is true
+     *  when recovery was exhausted (retry mode); the job then does NOT
+     *  throw JobFailedError — the message is passed here instead. */
+    using CompletionHandler =
+        std::function<void(bool failed, const std::string& error)>;
+
+    /** Installs the completion handler (service mode). @pre not run */
+    void setCompletionHandler(CompletionHandler handler);
+
+    /**
+     * Schedules the job onto the cluster without running the event
+     * queue: builds tasks, places reducers, arms fault-plan events, and
+     * fills the initial wave. The caller then drives
+     * cluster().events() and must keep this Job alive until done().
+     */
+    void start();
+
+    /** Assembles the result after done(); resets the worker pool. */
+    JobResult collectResult();
+
+    /** True once the job reached a terminal state (success or failure). */
+    bool done() const { return job_done_ || job_failed_; }
+    bool jobFailed() const { return job_failed_; }
+    const std::string& failureMessage() const { return failure_message_; }
+
+    /**
+     * Caps the map slots this job may hold concurrently (default:
+     * unlimited). Enforcement is non-destructive — lowering the cap
+     * never kills running attempts; usage shrinks by attrition as
+     * attempts complete, i.e. the job yields at wave boundaries, which
+     * is what keeps its task schedule (and results) deterministic.
+     * Raising the cap takes effect at the next scheduler kick.
+     */
+    void setMapSlotLimit(int limit);
+    int mapSlotLimit() const { return map_slot_limit_; }
+    /** Map slots this job currently holds. */
+    uint64_t heldMapSlots() const { return held_map_slots_; }
+    /** Maps not yet in a terminal state (pending+held+retry+running). */
+    uint64_t remainingMaps() const
+    {
+        return pending_count_ + held_count_ + retry_wait_count_ +
+               running_count_;
+    }
+    const Counters& counters() const { return counters_; }
+    sim::SimTime startTime() const { return start_time_; }
+    sim::SimTime endTime() const { return end_time_; }
+
     const JobConfig& config() const { return config_; }
 
   private:
@@ -288,6 +344,17 @@ class Job
     void onAttemptFinish(uint64_t task_id, size_t attempt_index);
     void maybeSpeculate();
     void killRunningTask(uint64_t task_id);
+    /** True while the job is under its external map-slot cap. */
+    bool slotBudgetLeft() const
+    {
+        return map_slot_limit_ > 0 &&
+               held_map_slots_ < static_cast<uint64_t>(map_slot_limit_);
+    }
+    /** Frees one map slot held by @p attempt (single release site). */
+    void releaseAttemptSlot(const Attempt& attempt);
+    /** Launches a duplicate attempt for @p task (first finish wins);
+     *  false when no active server has a free slot. */
+    bool speculateTask(uint64_t task_id, bool endgame);
 
     // --- failure handling (src/ft/ wiring) ---
     /**
@@ -319,6 +386,16 @@ class Job
     void requeueTask(uint64_t task_id);
     /** Cancels a kAwaitingRetry task (job shutdown path). */
     void killRetryWaiter(uint64_t task_id);
+    /**
+     * Service-mode terminal failure: instead of throwing out of an event
+     * callback (which would tear down the whole shared event queue),
+     * cancels every outstanding task/attempt, returns all held slots, and
+     * notifies the completion handler. @p failing_task has already left
+     * the running count with all its attempts done.
+     */
+    void failJob(uint64_t failing_task, const std::string& message);
+    /** Invokes the completion handler once (if installed). */
+    void notifyCompletion();
     /** Scheduled whole-server crash from the fault plan. */
     void onServerCrash(ft::FaultPlan::ServerCrash crash);
 
@@ -437,6 +514,14 @@ class Job
     bool map_phase_done_ = false;
     bool job_done_ = false;
     bool started_ = false;
+
+    // Service-mode state (inert in standalone runs).
+    CompletionHandler completion_handler_;
+    bool job_failed_ = false;
+    std::string failure_message_;
+    /** External map-slot cap (INT_MAX = standalone, unconstrained). */
+    int map_slot_limit_ = std::numeric_limits<int>::max();
+    uint64_t held_map_slots_ = 0;
 
     sim::SimTime start_time_ = 0.0;
     sim::SimTime end_time_ = 0.0;

@@ -40,6 +40,19 @@ struct JobConfig
     double speculation_threshold = 1.3;
 
     /**
+     * End-game speculation (the shuttle job_tracker "left_percent"
+     * design): once the job's non-terminal maps drop to this percentage
+     * of the total, any still-running map whose elapsed time exceeds the
+     * mean completed-task duration gets a duplicate attempt — first
+     * finish wins, the loser is cancelled through the normal kill path.
+     * More aggressive than `speculation_threshold` (factor 1.0 vs 1.3)
+     * and active even when `speculation` is off, because at the end of a
+     * job a single straggler holds the whole makespan hostage.
+     * 0 disables (the default: standalone behavior is unchanged).
+     */
+    double endgame_left_percent = 0.0;
+
+    /**
      * When true, servers left with no work after map dropping transition
      * to ACPI S3 until the job finishes (the paper's energy experiments,
      * Figure 12).

@@ -1,0 +1,37 @@
+#include "service/accuracy_arbiter.h"
+
+#include <cassert>
+
+namespace approxhadoop::service {
+
+AccuracyArbiter::AccuracyArbiter(uint64_t pressure_threshold,
+                                 double degrade_factor, double max_scale)
+    : pressure_threshold_(pressure_threshold),
+      degrade_factor_(degrade_factor),
+      max_scale_(max_scale)
+{
+    assert(degrade_factor_ >= 1.0);
+    assert(max_scale_ >= 1.0);
+}
+
+double
+AccuracyArbiter::scaleFor(uint64_t queued) const
+{
+    if (pressure_threshold_ == 0 || queued < pressure_threshold_) {
+        return 1.0;
+    }
+    // One degrade step per full threshold of queued jobs, capped.
+    // Multiplication loop rather than pow() keeps the result exactly
+    // reproducible across libms.
+    uint64_t steps = queued / pressure_threshold_;
+    double scale = 1.0;
+    for (uint64_t i = 0; i < steps; ++i) {
+        scale *= degrade_factor_;
+        if (scale >= max_scale_) {
+            return max_scale_;
+        }
+    }
+    return scale;
+}
+
+}  // namespace approxhadoop::service

@@ -1,0 +1,58 @@
+#ifndef APPROXHADOOP_SERVICE_ACCURACY_ARBITER_H_
+#define APPROXHADOOP_SERVICE_ACCURACY_ARBITER_H_
+
+#include <cstdint>
+
+namespace approxhadoop::service {
+
+/**
+ * Accuracy-for-latency arbitration policy (the AccuracyArbiter): maps
+ * the admission queue depth to a target-error scale for degradable
+ * (non-top-priority) jobs.
+ *
+ * Below the pressure threshold the scale is 1.0 — nobody's accuracy is
+ * touched. At or above it, each further threshold of queued jobs
+ * multiplies the scale by the degrade factor, capped at max_scale:
+ *
+ *   queued in [T, 2T)  -> factor
+ *   queued in [2T, 3T) -> factor^2
+ *   ...                -> min(factor^k, max_scale)
+ *
+ * The service applies the scale through
+ * core::TargetErrorController::setTargetScale, which widens the target
+ * the optimizer aims for — low-priority jobs drop more map tasks and
+ * finish sooner, freeing slots for the high-priority class. When the
+ * queue drains below the threshold the scale returns to 1.0 and future
+ * decisions use the user's original target again (widening is never
+ * retroactive: clusters already dropped stay dropped, so a degraded
+ * job's achieved CI stays sound against its *widened* target).
+ *
+ * Pure function of (threshold, factor, cap, queue depth): trivially
+ * deterministic.
+ */
+class AccuracyArbiter
+{
+  public:
+    /**
+     * @param pressure_threshold queue depth that triggers degradation;
+     *                           0 disables degradation entirely
+     * @param degrade_factor     target widening per pressure step (>= 1)
+     * @param max_scale          cap on the total widening (>= 1)
+     */
+    AccuracyArbiter(uint64_t pressure_threshold, double degrade_factor,
+                    double max_scale);
+
+    /** Target-error scale for degradable jobs at @p queued depth. */
+    double scaleFor(uint64_t queued) const;
+
+    uint64_t pressureThreshold() const { return pressure_threshold_; }
+
+  private:
+    uint64_t pressure_threshold_;
+    double degrade_factor_;
+    double max_scale_;
+};
+
+}  // namespace approxhadoop::service
+
+#endif  // APPROXHADOOP_SERVICE_ACCURACY_ARBITER_H_

@@ -1,0 +1,96 @@
+#include "service/arrival.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "workloads/intensity.h"
+
+namespace approxhadoop::service {
+
+namespace {
+
+/** Stream constant separating the arrival Rng from other derivations
+ *  of the service seed. */
+constexpr uint64_t kArrivalStream = 0xA881;
+
+}  // namespace
+
+ArrivalGenerator::ArrivalGenerator(const ServiceSpec& spec,
+                                   std::vector<std::string> workload_names)
+    : spec_(spec),
+      workload_names_(std::move(workload_names)),
+      rng_(Rng(spec.seed).derive(kArrivalStream))
+{
+    if (workload_names_.empty()) {
+        throw std::invalid_argument(
+            "ArrivalGenerator: empty workload list");
+    }
+    if (spec_.tenants.empty()) {
+        throw std::invalid_argument("ArrivalGenerator: no tenants");
+    }
+}
+
+uint32_t
+ArrivalGenerator::hourOfWeek(double t, double duration)
+{
+    assert(duration > 0.0);
+    double frac = t / duration;
+    if (frac < 0.0) {
+        frac = 0.0;
+    }
+    auto hour = static_cast<uint32_t>(frac * 168.0);
+    return hour < 168 ? hour : 167;
+}
+
+std::vector<JobArrival>
+ArrivalGenerator::generate()
+{
+    using workloads::maxWeeklyIntensity;
+    using workloads::weeklyIntensity;
+
+    double total_arrival_weight = 0.0;
+    for (const TenantClass& t : spec_.tenants) {
+        total_arrival_weight += t.arrival_weight;
+    }
+    if (!(total_arrival_weight > 0.0)) {
+        throw std::invalid_argument(
+            "ArrivalGenerator: tenant arrival weights sum to zero");
+    }
+
+    const double peak = maxWeeklyIntensity();
+    const double lambda_max = spec_.arrival_rate * peak;
+
+    std::vector<JobArrival> arrivals;
+    double t = 0.0;
+    while (true) {
+        t += rng_.exponential(lambda_max);
+        if (t >= spec_.duration) {
+            break;
+        }
+        // Thinning: accept in proportion to the current intensity.
+        double intensity = weeklyIntensity(hourOfWeek(t, spec_.duration));
+        if (rng_.uniform() >= intensity / peak) {
+            continue;
+        }
+        JobArrival a;
+        a.time = t;
+        // Weighted tenant pick (cumulative scan, deterministic order).
+        double pick = rng_.uniform() * total_arrival_weight;
+        double cum = 0.0;
+        a.tenant = static_cast<uint32_t>(spec_.tenants.size() - 1);
+        for (uint32_t i = 0; i < spec_.tenants.size(); ++i) {
+            cum += spec_.tenants[i].arrival_weight;
+            if (pick < cum) {
+                a.tenant = i;
+                break;
+            }
+        }
+        a.workload =
+            workload_names_[rng_.uniformInt(workload_names_.size())];
+        a.job_seed = rng_.uniformInt(1000000000) + 1;
+        arrivals.push_back(std::move(a));
+    }
+    return arrivals;
+}
+
+}  // namespace approxhadoop::service

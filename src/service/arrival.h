@@ -1,0 +1,65 @@
+#ifndef APPROXHADOOP_SERVICE_ARRIVAL_H_
+#define APPROXHADOOP_SERVICE_ARRIVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "service/service_spec.h"
+
+namespace approxhadoop::service {
+
+/** One job submission produced by the arrival process. */
+struct JobArrival
+{
+    /** Submission time, simulated seconds. */
+    double time = 0.0;
+    /** Index into ServiceSpec::tenants. */
+    uint32_t tenant = 0;
+    /** Aggregation-registry workload name. */
+    std::string workload;
+    /** Per-job root seed (dataset, placement, task durations). */
+    uint64_t job_seed = 0;
+};
+
+/**
+ * Seeded non-homogeneous Poisson arrival process over the shared
+ * diurnal/weekly intensity curve (workloads::weeklyIntensity — the same
+ * curve the webserver_log workload samples its records from).
+ *
+ * Implementation is Poisson thinning: candidate gaps are exponential at
+ * the peak rate arrival_rate * maxWeeklyIntensity(), and each candidate
+ * is accepted with probability intensity(t) / maxWeeklyIntensity(). The
+ * arrival window [0, duration) is mapped onto exactly one week of the
+ * curve, so every run exercises the full diurnal + weekend shape.
+ *
+ * The whole stream is a pure function of (spec.seed, spec fields,
+ * workload list): same spec, byte-identical arrivals.
+ */
+class ArrivalGenerator
+{
+  public:
+    /**
+     * @param spec           service configuration (rates, seed, tenants)
+     * @param workload_names job-mix candidates, already validated
+     *                       against the registry (non-empty)
+     */
+    ArrivalGenerator(const ServiceSpec& spec,
+                     std::vector<std::string> workload_names);
+
+    /** All arrivals in [0, spec.duration), in increasing time order. */
+    std::vector<JobArrival> generate();
+
+    /** Maps a sim time in [0, duration) to an hour-of-week in [0, 168). */
+    static uint32_t hourOfWeek(double t, double duration);
+
+  private:
+    const ServiceSpec& spec_;
+    std::vector<std::string> workload_names_;
+    Rng rng_;
+};
+
+}  // namespace approxhadoop::service
+
+#endif  // APPROXHADOOP_SERVICE_ARRIVAL_H_

@@ -1,0 +1,56 @@
+#ifndef APPROXHADOOP_SERVICE_JOB_QUEUE_H_
+#define APPROXHADOOP_SERVICE_JOB_QUEUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace approxhadoop::service {
+
+/**
+ * Admission queue with tenant priority classes: jobs pop in
+ * (priority ascending, FIFO within class) order. Priority 0 is the
+ * most important class. Deterministic: ordering depends only on the
+ * push sequence, never on addresses or hashes.
+ */
+class JobQueue
+{
+  public:
+    /** Enqueues job @p id in class @p priority. */
+    void
+    push(uint64_t id, uint32_t priority)
+    {
+        entries_.emplace(std::make_pair(priority, next_seq_++), id);
+    }
+
+    bool empty() const { return entries_.empty(); }
+    uint64_t size() const { return entries_.size(); }
+
+    /** Best (priority, FIFO) job without removing it. @pre !empty() */
+    uint64_t
+    front() const
+    {
+        assert(!entries_.empty());
+        return entries_.begin()->second;
+    }
+
+    /** Removes and returns the best job. @pre !empty() */
+    uint64_t
+    pop()
+    {
+        assert(!entries_.empty());
+        uint64_t id = entries_.begin()->second;
+        entries_.erase(entries_.begin());
+        return id;
+    }
+
+  private:
+    /** (priority, admission sequence) -> job id. */
+    std::map<std::pair<uint32_t, uint64_t>, uint64_t> entries_;
+    uint64_t next_seq_ = 0;
+};
+
+}  // namespace approxhadoop::service
+
+#endif  // APPROXHADOOP_SERVICE_JOB_QUEUE_H_

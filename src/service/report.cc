@@ -1,0 +1,68 @@
+#include "service/report.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace approxhadoop::service {
+
+double
+percentileSorted(const std::vector<double>& sorted_values,
+                 double percentile)
+{
+    if (sorted_values.empty()) {
+        return 0.0;
+    }
+    assert(percentile > 0.0 && percentile <= 1.0);
+    auto rank = static_cast<size_t>(
+        std::ceil(percentile * static_cast<double>(sorted_values.size())));
+    if (rank == 0) {
+        rank = 1;
+    }
+    return sorted_values[rank - 1];
+}
+
+std::string
+ServiceReport::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schema", kSchema);
+    w.field("spec", spec);
+    w.field("seed", seed);
+    w.field("duration", duration);
+    w.field("sim_makespan", sim_makespan);
+    w.field("jobs_submitted", jobs_submitted);
+    w.field("jobs_completed", jobs_completed);
+    w.field("jobs_failed", jobs_failed);
+    w.field("peak_queue_depth", peak_queue_depth);
+    w.field("energy_wh", energy_wh);
+    w.beginArray("tenants");
+    for (const TenantReport& t : tenants) {
+        w.beginObject();
+        w.field("name", t.name);
+        w.field("priority", t.priority);
+        w.field("weight", t.weight);
+        w.field("jobs_submitted", t.jobs_submitted);
+        w.field("jobs_completed", t.jobs_completed);
+        w.field("jobs_failed", t.jobs_failed);
+        w.field("jobs_degraded", t.jobs_degraded);
+        w.field("p50_latency", t.p50_latency);
+        w.field("p99_latency", t.p99_latency);
+        w.field("mean_latency", t.mean_latency);
+        w.field("goodput_per_ksec", t.goodput_per_ksec);
+        w.field("mean_rel_ci_width", t.mean_rel_ci_width);
+        w.field("max_rel_ci_width", t.max_rel_ci_width);
+        w.field("target_rel_error", t.target_rel_error);
+        w.field("slot_seconds", t.slot_seconds);
+        w.field("slo_seconds", t.slo_seconds);
+        w.field("slo_violations", t.slo_violations);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace approxhadoop::service

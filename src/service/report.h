@@ -1,0 +1,91 @@
+#ifndef APPROXHADOOP_SERVICE_REPORT_H_
+#define APPROXHADOOP_SERVICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace approxhadoop::service {
+
+/** Aggregated outcome for one tenant class over a service run. */
+struct TenantReport
+{
+    std::string name;
+    uint32_t priority = 0;
+    double weight = 1.0;
+
+    uint64_t jobs_submitted = 0;
+    uint64_t jobs_completed = 0;
+    uint64_t jobs_failed = 0;
+    /** Jobs whose target was widened by the AccuracyArbiter at least
+     *  once. */
+    uint64_t jobs_degraded = 0;
+
+    /** Latency = completion - submission (queue wait included),
+     *  nearest-rank percentiles over completed jobs; 0 when none. */
+    double p50_latency = 0.0;
+    double p99_latency = 0.0;
+    double mean_latency = 0.0;
+
+    /** Completed jobs per 1000 simulated seconds of arrival window. */
+    double goodput_per_ksec = 0.0;
+
+    /** Achieved relative CI half-width of the binding key (the record
+     *  with the largest absolute error bound), averaged / maxed over
+     *  completed jobs that produced a bounded estimate. */
+    double mean_rel_ci_width = 0.0;
+    double max_rel_ci_width = 0.0;
+
+    /** The undegraded per-job target relative error. */
+    double target_rel_error = 0.0;
+
+    /** Total map-slot occupancy, slot-seconds, across the tenant's
+     *  completed jobs (Counters::map_slot_seconds). */
+    double slot_seconds = 0.0;
+
+    /** p99 latency SLO (0 = none) and completed jobs exceeding it. */
+    double slo_seconds = 0.0;
+    uint64_t slo_violations = 0;
+};
+
+/**
+ * Machine-readable outcome of one JobService run. Fully simulated
+ * quantities only — no wall-clock — so the same spec produces a
+ * byte-identical report (pinned by the same-seed CI diff).
+ */
+struct ServiceReport
+{
+    /** Schema identifier, bumped on breaking change. */
+    static constexpr const char* kSchema = "approxhadoop-service-report/1";
+
+    /** Deterministic one-line echo of the spec (specSummary). */
+    std::string spec;
+    uint64_t seed = 0;
+    double duration = 0.0;
+
+    /** Simulated time when the last job finished. */
+    double sim_makespan = 0.0;
+
+    uint64_t jobs_submitted = 0;
+    uint64_t jobs_completed = 0;
+    uint64_t jobs_failed = 0;
+
+    /** Deepest the admission queue ever got. */
+    uint64_t peak_queue_depth = 0;
+
+    /** Cluster energy over the whole run, watt-hours. */
+    double energy_wh = 0.0;
+
+    std::vector<TenantReport> tenants;
+
+    /** Serializes to pretty-printed JSON (deterministic bytes). */
+    std::string toJson() const;
+};
+
+/** Nearest-rank percentile of an ascending-sorted sample; 0 if empty. */
+double percentileSorted(const std::vector<double>& sorted_values,
+                        double percentile);
+
+}  // namespace approxhadoop::service
+
+#endif  // APPROXHADOOP_SERVICE_REPORT_H_

@@ -1,0 +1,53 @@
+#include "service/slot_arbiter.h"
+
+#include <cassert>
+#include <cstddef>
+
+using std::size_t;
+
+namespace approxhadoop::service {
+
+std::vector<int>
+arbitrateSlots(const std::vector<SlotClaim>& claims, int total_slots)
+{
+    std::vector<int> caps(claims.size(), 0);
+    if (total_slots <= 0) {
+        return caps;
+    }
+    int remaining = total_slots;
+
+    // Progress floor: one slot per claim with demand, in index
+    // (admission) order, so every admitted job keeps moving.
+    for (size_t i = 0; i < claims.size() && remaining > 0; ++i) {
+        if (claims[i].demand > 0) {
+            caps[i] = 1;
+            --remaining;
+        }
+    }
+
+    // Waterfill the rest: repeatedly grant one slot to the unmet claim
+    // with the smallest normalized allocation (cap + 1) / weight.
+    // Compared cross-multiplied so ties are exact, not FP-rounded.
+    while (remaining > 0) {
+        size_t best = claims.size();
+        for (size_t i = 0; i < claims.size(); ++i) {
+            assert(claims[i].weight > 0.0);
+            if (static_cast<uint64_t>(caps[i]) >= claims[i].demand) {
+                continue;
+            }
+            if (best == claims.size() ||
+                (caps[i] + 1.0) * claims[best].weight <
+                    (caps[best] + 1.0) * claims[i].weight) {
+                best = i;
+            }
+        }
+        if (best == claims.size()) {
+            break;  // every demand met
+        }
+        ++caps[best];
+        --remaining;
+    }
+    return caps;
+}
+
+}  // namespace approxhadoop::service

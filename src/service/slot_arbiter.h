@@ -1,0 +1,44 @@
+#ifndef APPROXHADOOP_SERVICE_SLOT_ARBITER_H_
+#define APPROXHADOOP_SERVICE_SLOT_ARBITER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace approxhadoop::service {
+
+/** One running job's claim on the cluster's map slots. */
+struct SlotClaim
+{
+    /** Fair-share weight of the owning tenant (> 0). */
+    double weight = 1.0;
+    /** Map tasks the job still wants to run (remaining maps). */
+    uint64_t demand = 0;
+};
+
+/**
+ * Weighted fair-share slot arbitration (the SlotArbiter): splits
+ * @p total_slots map slots across the claims by weighted waterfilling.
+ *
+ * Properties, all deterministic (ties break toward the lower claim
+ * index, which the service keeps in admission order):
+ *
+ *  - work conservation: the caps sum to min(total, sum of demands);
+ *  - progress guarantee: every claim with demand > 0 receives at least
+ *    one slot while slots remain, so no admitted job can stall forever
+ *    behind a heavier tenant (it holds its reduce slots regardless);
+ *  - weighted fairness: beyond the progress floor, slots go one at a
+ *    time to the claim with the smallest normalized allocation
+ *    (cap + 1) / weight, the classic waterfill — a weight-2 tenant
+ *    converges to twice the slots of a weight-1 tenant.
+ *
+ * The caps are applied through mr::Job::setMapSlotLimit, which never
+ * revokes running attempts: a shrunk cap takes effect by attrition at
+ * wave boundaries, preserving per-job determinism of everything
+ * already launched.
+ */
+std::vector<int> arbitrateSlots(const std::vector<SlotClaim>& claims,
+                                int total_slots);
+
+}  // namespace approxhadoop::service
+
+#endif  // APPROXHADOOP_SERVICE_SLOT_ARBITER_H_

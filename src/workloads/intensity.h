@@ -1,0 +1,46 @@
+#ifndef APPROXHADOOP_WORKLOADS_INTENSITY_H_
+#define APPROXHADOOP_WORKLOADS_INTENSITY_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace approxhadoop::workloads {
+
+/**
+ * Relative request intensity for an hour of the week: a diurnal curve
+ * (day vs night) damped on weekends. The single implementation behind
+ * both the web-server log generator (Figure 10(a) shape) and the
+ * service ArrivalGenerator's non-homogeneous Poisson process, so the
+ * two can never drift apart (pinned equal by test).
+ */
+inline double
+weeklyIntensity(uint32_t hour_of_week)
+{
+    uint32_t day = (hour_of_week / 24) % 7;
+    uint32_t hour = hour_of_week % 24;
+    // Diurnal curve peaking mid-afternoon; the busiest/quietest spread is
+    // roughly 33%, matching Figure 10(b).
+    double diurnal =
+        1.0 + 0.10 * std::sin((static_cast<double>(hour) - 8.0) * M_PI /
+                               12.0);
+    double weekend = (day >= 5) ? 0.95 : 1.0;
+    return diurnal * weekend;
+}
+
+/** Upper bound of weeklyIntensity over the week (for Poisson thinning). */
+inline double
+maxWeeklyIntensity()
+{
+    double max = 0.0;
+    for (uint32_t h = 0; h < 168; ++h) {
+        double v = weeklyIntensity(h);
+        if (v > max) {
+            max = v;
+        }
+    }
+    return max;
+}
+
+}  // namespace approxhadoop::workloads
+
+#endif  // APPROXHADOOP_WORKLOADS_INTENSITY_H_

@@ -10,20 +10,6 @@
 
 namespace approxhadoop::workloads {
 
-double
-weeklyIntensity(uint32_t hour_of_week)
-{
-    uint32_t day = (hour_of_week / 24) % 7;
-    uint32_t hour = hour_of_week % 24;
-    // Diurnal curve peaking mid-afternoon; the busiest/quietest spread is
-    // roughly 33%, matching Figure 10(b).
-    double diurnal =
-        1.0 + 0.10 * std::sin((static_cast<double>(hour) - 8.0) * M_PI /
-                               12.0);
-    double weekend = (day >= 5) ? 0.95 : 1.0;
-    return diurnal * weekend;
-}
-
 namespace {
 
 /** Cumulative distribution over the 168 hours of a week. */

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "hdfs/dataset.h"
+#include "workloads/intensity.h"
 
 namespace approxhadoop::workloads {
 
@@ -75,12 +76,8 @@ bool parseWebLogEntry(const std::string& record, WebLogEntry& entry);
 /** Zero-copy variant: fields are views into @p record. */
 bool parseWebLogEntry(std::string_view record, WebLogEntryView& entry);
 
-/**
- * Relative request intensity for an hour of the week: a diurnal curve
- * (day vs night) damped on weekends. Exposed so tests can verify the
- * generator reproduces the Figure 10(a) shape.
- */
-double weeklyIntensity(uint32_t hour_of_week);
+// weeklyIntensity(hour_of_week) now lives in workloads/intensity.h so the
+// service ArrivalGenerator shares the exact implementation.
 
 }  // namespace approxhadoop::workloads
 

@@ -84,6 +84,76 @@ TEST(ScenarioGeneratorTest, SpaceCoversEveryFaultKeyAndFailureMode)
     EXPECT_GE(thread_counts.size(), 4u);
 }
 
+TEST(ScenarioGeneratorTest, MultiJobSliceDrawsTwoToFourJobsSansCrashes)
+{
+    ScenarioGenerator gen(7);
+    uint64_t multi = 0;
+    for (uint64_t i = 0; i < 300; ++i) {
+        Scenario s = gen.generate(i);
+        if (s.concurrent_jobs == 1) {
+            continue;
+        }
+        ++multi;
+        EXPECT_GE(s.concurrent_jobs, 2u);
+        EXPECT_LE(s.concurrent_jobs, 4u);
+        // Whole-server crashes are stripped from multi-job scenarios:
+        // they cannot be attributed to one tenant.
+        EXPECT_TRUE(s.plan.server_crashes.empty()) << s.describe();
+        EXPECT_NE(s.describe().find("jobs="), std::string::npos);
+    }
+    // ~12% slice of 300 scenarios: present but not dominant.
+    EXPECT_GE(multi, 15u);
+    EXPECT_LE(multi, 80u);
+}
+
+TEST(ChaosOracleTest, MultiJobScenarioPassesServiceInvariants)
+{
+    // A hand-built multi-job scenario with faults runs through the
+    // JobService path of the oracle: report determinism, per-job
+    // conservation, and no leaked slots must all hold.
+    Scenario s;
+    s.workload = "projectpop";
+    s.blocks = 24;
+    s.items = 8;
+    s.reducers = 2;
+    s.job_seed = 77;
+    s.concurrent_jobs = 3;
+    s.plan.task_crash_prob = 0.1;
+    s.plan.straggler_prob = 0.15;
+    s.plan.seed = 3;
+    std::vector<Violation> v = ChaosOracle().check(s);
+    EXPECT_TRUE(v.empty())
+        << s.describe() << " violated " << v.front().invariant << ": "
+        << v.front().detail;
+}
+
+TEST(ShrinkTest, MultiJobScenariosShrinkToOneJobFirst)
+{
+    Scenario failing;
+    failing.workload = "wikilength";
+    failing.blocks = 32;
+    failing.items = 8;
+    failing.reducers = 2;
+    failing.job_seed = 5;
+    failing.concurrent_jobs = 4;
+    failing.plan.task_crash_prob = 0.3;
+
+    // A failure that does not depend on multi-tenancy at all: the
+    // shrinker must discover that and drop to a single job.
+    auto still_fails = [](const Scenario& s) {
+        return s.plan.task_crash_prob > 0.0;
+    };
+    ShrinkResult out = shrinkScenario(failing, still_fails);
+    EXPECT_EQ(out.scenario.concurrent_jobs, 1u);
+
+    // A failure that needs at least two tenants keeps two jobs.
+    auto needs_contention = [](const Scenario& s) {
+        return s.concurrent_jobs >= 2;
+    };
+    ShrinkResult kept = shrinkScenario(failing, needs_contention);
+    EXPECT_EQ(kept.scenario.concurrent_jobs, 2u);
+}
+
 TEST(ScenarioGeneratorTest, EveryWorkloadNameResolvesInTheRegistry)
 {
     for (const std::string& name : ScenarioGenerator::workloadNames()) {

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/aggregation_registry.h"
+
 namespace {
 
 struct RunResult
@@ -115,6 +117,47 @@ TEST(ApproxrunCliTest, CleanRunExitsZero)
         "projectpop --blocks 6 --items 8 --sampling 0.5 --seed 7");
     EXPECT_EQ(r.exit_code, 0) << r.output;
     EXPECT_NE(r.output.find("runtime"), std::string::npos) << r.output;
+}
+
+TEST(ApproxrunCliTest, ListWorkloadsPrintsRegistryAndExitsZero)
+{
+    // --list-workloads is the machine-discoverable registry dump the
+    // service spec grammar points users at; it must stay in sync with
+    // the registry (one row per workload) and exit 0 without running a
+    // job.
+    RunResult r = runApproxrun("--list-workloads");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+
+    struct ListCase
+    {
+        const char* required_substring;
+        const char* why;
+    };
+    std::vector<ListCase> cases = {
+        {"workload", "header row names the first column"},
+        {"blocks", "header row names the shape columns"},
+        {"sum", "op column is printed"},
+    };
+    for (const auto& w :
+         approxhadoop::apps::aggregationWorkloads()) {
+        cases.push_back({w.name.c_str(), "registry row present"});
+    }
+    for (const ListCase& c : cases) {
+        EXPECT_NE(r.output.find(c.required_substring), std::string::npos)
+            << c.why << " — expected '" << c.required_substring
+            << "' in:\n"
+            << r.output;
+    }
+
+    // One line per registry row plus the header: the listing is the
+    // registry, not a curated subset.
+    size_t lines = 0;
+    for (char ch : r.output) {
+        lines += ch == '\n' ? 1 : 0;
+    }
+    EXPECT_EQ(lines,
+              approxhadoop::apps::aggregationWorkloads().size() + 1)
+        << r.output;
 }
 
 TEST(ApproxrunCliTest, RetryExhaustionExitsThree)

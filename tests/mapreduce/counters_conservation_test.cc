@@ -89,6 +89,21 @@ TEST(CountersConservationTest, EachTamperedIdentityIsNamed)
                  c.map_attempts_failed + c.map_outputs_lost + 1;
          },
          "retry"},
+        // Identity 8: the multi-tenant slot-leasing ledger.
+        {"leaked slot lease",
+         [](Counters& c) { ++c.map_slots_acquired; },
+         "slot conservation"},
+        {"double-released slot",
+         [](Counters& c) { ++c.map_slots_released; },
+         "slot conservation"},
+        {"negative slot-seconds",
+         [](Counters& c) { c.map_slot_seconds = -1.0; },
+         "slot conservation"},
+        {"endgame twin without speculation",
+         [](Counters& c) {
+             c.maps_endgame_speculated = c.maps_speculated + 1;
+         },
+         "endgame causality"},
     };
     for (const Tamper& t : cases) {
         Counters c = base;

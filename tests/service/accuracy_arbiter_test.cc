@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AccuracyArbiter policy: the scale is 1.0 below the pressure
+ * threshold, multiplies by the degrade factor per threshold of queue
+ * depth, caps at max_scale, and is disabled entirely at threshold 0.
+ */
+#include "service/accuracy_arbiter.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::service {
+namespace {
+
+TEST(AccuracyArbiterTest, NoPressureNoDegradation)
+{
+    AccuracyArbiter arbiter(3, 2.0, 8.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(0), 1.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(1), 1.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(2), 1.0);
+}
+
+TEST(AccuracyArbiterTest, GeometricGrowthPerThreshold)
+{
+    AccuracyArbiter arbiter(3, 2.0, 64.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(3), 2.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(5), 2.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(6), 4.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(9), 8.0);
+}
+
+TEST(AccuracyArbiterTest, CappedAtMaxScale)
+{
+    AccuracyArbiter arbiter(2, 2.0, 4.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(100), 4.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(1000000), 4.0);
+}
+
+TEST(AccuracyArbiterTest, ZeroThresholdDisables)
+{
+    AccuracyArbiter arbiter(0, 2.0, 4.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(0), 1.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(50), 1.0);
+}
+
+TEST(AccuracyArbiterTest, UnitFactorNeverWidens)
+{
+    AccuracyArbiter arbiter(1, 1.0, 4.0);
+    EXPECT_DOUBLE_EQ(arbiter.scaleFor(10), 1.0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::service

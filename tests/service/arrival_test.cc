@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ArrivalGenerator: seeded determinism (same spec -> byte-identical
+ * stream), well-formedness of every arrival, rate scaling, and the pin
+ * that the thinning process follows the *shared* diurnal/weekly curve
+ * (workloads/intensity.h) — the same implementation the web-server log
+ * samples from, so the two can never drift apart.
+ */
+#include "service/arrival.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workloads/intensity.h"
+
+namespace approxhadoop::service {
+namespace {
+
+const std::vector<std::string> kMix = {"wikilength", "projectpop"};
+
+ServiceSpec
+specWith(double rate, double duration, uint64_t seed)
+{
+    ServiceSpec spec = parseServiceSpec("");  // default 2-tenant ladder
+    spec.arrival_rate = rate;
+    spec.duration = duration;
+    spec.seed = seed;
+    return spec;
+}
+
+TEST(ArrivalGeneratorTest, SameSpecSameStream)
+{
+    ServiceSpec spec = specWith(0.1, 2000.0, 77);
+    std::vector<JobArrival> a = ArrivalGenerator(spec, kMix).generate();
+    std::vector<JobArrival> b = ArrivalGenerator(spec, kMix).generate();
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].job_seed, b[i].job_seed);
+    }
+}
+
+TEST(ArrivalGeneratorTest, DifferentSeedDifferentStream)
+{
+    ServiceSpec spec = specWith(0.1, 2000.0, 77);
+    ServiceSpec other = specWith(0.1, 2000.0, 78);
+    std::vector<JobArrival> a = ArrivalGenerator(spec, kMix).generate();
+    std::vector<JobArrival> b = ArrivalGenerator(other, kMix).generate();
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_TRUE(a.size() != b.size() || a[0].time != b[0].time ||
+                a[0].job_seed != b[0].job_seed);
+}
+
+TEST(ArrivalGeneratorTest, EveryArrivalIsWellFormed)
+{
+    ServiceSpec spec = specWith(0.2, 3000.0, 5);
+    std::vector<JobArrival> arrivals =
+        ArrivalGenerator(spec, kMix).generate();
+    ASSERT_FALSE(arrivals.empty());
+    double prev = 0.0;
+    for (const JobArrival& a : arrivals) {
+        EXPECT_GE(a.time, prev) << "arrivals out of order";
+        prev = a.time;
+        EXPECT_LT(a.time, spec.duration);
+        EXPECT_LT(a.tenant, spec.tenants.size());
+        EXPECT_TRUE(a.workload == "wikilength" ||
+                    a.workload == "projectpop")
+            << a.workload;
+        EXPECT_GT(a.job_seed, 0u);
+    }
+}
+
+TEST(ArrivalGeneratorTest, RateScalesTheStream)
+{
+    std::vector<JobArrival> slow =
+        ArrivalGenerator(specWith(0.05, 5000.0, 3), kMix).generate();
+    std::vector<JobArrival> fast =
+        ArrivalGenerator(specWith(0.2, 5000.0, 3), kMix).generate();
+    ASSERT_FALSE(slow.empty());
+    // 4x the rate: between 3x and 5x the arrivals (Poisson noise).
+    double ratio = static_cast<double>(fast.size()) /
+                   static_cast<double>(slow.size());
+    EXPECT_GT(ratio, 3.0) << fast.size() << " vs " << slow.size();
+    EXPECT_LT(ratio, 5.0) << fast.size() << " vs " << slow.size();
+}
+
+TEST(ArrivalGeneratorTest, ZeroArrivalWeightTenantGetsNothing)
+{
+    ServiceSpec spec = specWith(0.2, 3000.0, 11);
+    spec.tenants[1].arrival_weight = 0.0;
+    std::vector<JobArrival> arrivals =
+        ArrivalGenerator(spec, kMix).generate();
+    ASSERT_FALSE(arrivals.empty());
+    for (const JobArrival& a : arrivals) {
+        EXPECT_EQ(a.tenant, 0u);
+    }
+}
+
+TEST(ArrivalGeneratorTest, HourOfWeekSpansExactlyOneWeek)
+{
+    const double d = 600.0;
+    EXPECT_EQ(ArrivalGenerator::hourOfWeek(0.0, d), 0u);
+    EXPECT_EQ(ArrivalGenerator::hourOfWeek(d / 2.0, d), 84u);
+    EXPECT_EQ(ArrivalGenerator::hourOfWeek(d - 1e-9, d), 167u);
+}
+
+TEST(ArrivalGeneratorTest, ThinningFollowsTheSharedIntensityCurve)
+{
+    // Bucket a dense stream by hour-of-week and compare against the
+    // shared curve: hours the curve calls busy must collect more
+    // arrivals than hours it calls quiet. Uses the *same*
+    // workloads::weeklyIntensity the web-server log samples from — the
+    // "one implementation, pinned equal" satellite.
+    ServiceSpec spec = specWith(5.0, 20000.0, 21);
+    std::vector<JobArrival> arrivals =
+        ArrivalGenerator(spec, kMix).generate();
+    ASSERT_GT(arrivals.size(), 10000u);
+
+    std::vector<uint64_t> counts(168, 0);
+    for (const JobArrival& a : arrivals) {
+        ++counts[ArrivalGenerator::hourOfWeek(a.time, spec.duration)];
+    }
+
+    double busy_count = 0.0;
+    double quiet_count = 0.0;
+    uint64_t busy_hours = 0;
+    uint64_t quiet_hours = 0;
+    double max_intensity = workloads::maxWeeklyIntensity();
+    for (uint32_t h = 0; h < 168; ++h) {
+        double rel = workloads::weeklyIntensity(h) / max_intensity;
+        if (rel > 0.98) {
+            busy_count += static_cast<double>(counts[h]);
+            ++busy_hours;
+        } else if (rel < 0.85) {
+            quiet_count += static_cast<double>(counts[h]);
+            ++quiet_hours;
+        }
+    }
+    ASSERT_GT(busy_hours, 0u);
+    ASSERT_GT(quiet_hours, 0u);
+    // Per-hour density must follow the curve with visible margin.
+    EXPECT_GT(busy_count / static_cast<double>(busy_hours),
+              1.05 * quiet_count / static_cast<double>(quiet_hours));
+}
+
+}  // namespace
+}  // namespace approxhadoop::service

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JobQueue admission order: strict priority classes, FIFO within a
+ * class, and stable behaviour across interleaved push/pop sequences.
+ */
+#include "service/job_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::service {
+namespace {
+
+TEST(JobQueueTest, PriorityBeatsArrivalOrder)
+{
+    JobQueue q;
+    q.push(10, 2);
+    q.push(11, 0);
+    q.push(12, 1);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 11u);
+    EXPECT_EQ(q.pop(), 12u);
+    EXPECT_EQ(q.pop(), 10u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueueTest, FifoWithinClass)
+{
+    JobQueue q;
+    q.push(1, 1);
+    q.push(2, 1);
+    q.push(3, 1);
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 3u);
+}
+
+TEST(JobQueueTest, InterleavedPushPopKeepsOrder)
+{
+    JobQueue q;
+    q.push(1, 1);
+    q.push(2, 0);
+    EXPECT_EQ(q.front(), 2u);
+    EXPECT_EQ(q.pop(), 2u);
+    // A later high-priority arrival overtakes the waiting low class.
+    q.push(3, 0);
+    EXPECT_EQ(q.pop(), 3u);
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace approxhadoop::service

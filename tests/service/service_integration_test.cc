@@ -1,0 +1,325 @@
+/**
+ * @file
+ * End-to-end JobService pins — the acceptance criteria of the
+ * multi-tenant subsystem:
+ *
+ *  - uncontended purity: a single job run through the service is
+ *    bit-identical (outputs, counters, runtime) to the same job run
+ *    standalone through ApproxJobRunner with the same seed;
+ *  - same-spec determinism: two service runs produce byte-identical
+ *    reports;
+ *  - the accuracy-for-latency trade at overload: the high-priority
+ *    class meets its SLO and is never degraded, the low-priority class
+ *    is degraded, and every degraded estimate stays *sound* (its CI
+ *    covers the fault-free precise answer);
+ *  - no degradation at low load;
+ *  - end-game speculation strictly reduces makespan on a
+ *    straggler-heavy plan without double-delivering chunks;
+ *  - slot/counter conservation under contention.
+ */
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/aggregation_registry.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "hdfs/namenode.h"
+#include "service/job_service.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop::service {
+namespace {
+
+/** Field-by-field counter equality with a readable failure message. */
+void
+expectCountersEqual(const mr::Counters& a, const mr::Counters& b)
+{
+#define EXPECT_COUNTER_EQ(field) EXPECT_EQ(a.field, b.field) << #field
+    EXPECT_COUNTER_EQ(maps_total);
+    EXPECT_COUNTER_EQ(maps_completed);
+    EXPECT_COUNTER_EQ(maps_killed);
+    EXPECT_COUNTER_EQ(maps_dropped);
+    EXPECT_COUNTER_EQ(maps_speculated);
+    EXPECT_COUNTER_EQ(maps_endgame_speculated);
+    EXPECT_COUNTER_EQ(map_slots_acquired);
+    EXPECT_COUNTER_EQ(map_slots_released);
+    EXPECT_COUNTER_EQ(map_slot_seconds);
+    EXPECT_COUNTER_EQ(map_attempts_launched);
+    EXPECT_COUNTER_EQ(map_attempts_failed);
+    EXPECT_COUNTER_EQ(map_attempts_cancelled);
+    EXPECT_COUNTER_EQ(items_total);
+    EXPECT_COUNTER_EQ(items_read);
+    EXPECT_COUNTER_EQ(items_processed);
+    EXPECT_COUNTER_EQ(records_shuffled);
+    EXPECT_COUNTER_EQ(chunks_delivered);
+    EXPECT_COUNTER_EQ(waves);
+#undef EXPECT_COUNTER_EQ
+}
+
+ServiceSpec
+baseSpec()
+{
+    ServiceSpec spec = parseServiceSpec("");  // default 2-tenant ladder
+    spec.blocks = 24;
+    spec.items = 12;
+    spec.reducers = 2;
+    spec.target_rel_error = 0.05;
+    spec.endgame_left_percent = 25.0;
+    spec.workloads = {"wikilength"};
+    return spec;
+}
+
+JobArrival
+arrivalAt(double time, uint32_t tenant, uint64_t seed)
+{
+    JobArrival a;
+    a.time = time;
+    a.tenant = tenant;
+    a.workload = "wikilength";
+    a.job_seed = seed;
+    return a;
+}
+
+TEST(ServiceIntegrationTest, UncontendedJobBitIdenticalToStandalone)
+{
+    const uint64_t kSeed = 12345;
+    ServiceSpec spec = baseSpec();
+
+    JobService svc(spec, {arrivalAt(0.0, 0, kSeed)});
+    svc.run();
+    ASSERT_EQ(svc.outcomes().size(), 1u);
+    const JobService::JobOutcome& outcome = svc.outcomes()[0];
+    ASSERT_TRUE(outcome.completed);
+
+    // The same job, standalone: same seed, dataset, placement, config.
+    const apps::AggregationWorkload& w =
+        *apps::findAggregationWorkload("wikilength");
+    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    std::unique_ptr<hdfs::BlockDataset> data =
+        w.make_dataset(spec.blocks, spec.items, kSeed);
+    hdfs::NameNode namenode(cluster.numServers(), 3, kSeed);
+    mr::JobConfig config = w.job_config(spec.items, spec.reducers);
+    config.name = "wikilength#0";
+    config.seed = kSeed;
+    config.endgame_left_percent = spec.endgame_left_percent;
+    config.s3_when_drained = false;
+    core::ApproxConfig approx;
+    approx.target_relative_error = spec.target_rel_error;
+    core::ApproxJobRunner runner(cluster, *data, namenode);
+    mr::JobResult standalone =
+        runner.runAggregation(config, approx, w.mapper_factory(), w.op);
+
+    const mr::JobResult& service_result = outcome.result;
+    EXPECT_EQ(service_result.runtime, standalone.runtime);
+    expectCountersEqual(service_result.counters, standalone.counters);
+    ASSERT_EQ(service_result.output.size(), standalone.output.size());
+    for (size_t i = 0; i < standalone.output.size(); ++i) {
+        const mr::OutputRecord& s = service_result.output[i];
+        const mr::OutputRecord& r = standalone.output[i];
+        EXPECT_EQ(s.key, r.key);
+        EXPECT_EQ(s.value, r.value) << s.key;
+        EXPECT_EQ(s.lower, r.lower) << s.key;
+        EXPECT_EQ(s.upper, r.upper) << s.key;
+        EXPECT_EQ(s.has_bound, r.has_bound) << s.key;
+    }
+}
+
+TEST(ServiceIntegrationTest, SameSpecReportsAreByteIdentical)
+{
+    ServiceSpec spec = baseSpec();
+    spec.arrival_rate = 0.05;
+    spec.duration = 400.0;
+    spec.seed = 9;
+
+    JobService first(spec);
+    JobService second(spec);
+    std::string a = first.run().toJson();
+    std::string b = second.run().toJson();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+/** The committed overload demo: two classes, multi-wave jobs, arrival
+ *  pressure well past the cluster's throughput. */
+ServiceSpec
+overloadSpec()
+{
+    ServiceSpec spec = baseSpec();
+    spec.blocks = 120;  // > 80 map slots: multi-wave, CI is nonzero
+    spec.items = 8;
+    spec.reducers = 2;
+    spec.arrival_rate = 0.05;
+    spec.duration = 500.0;
+    spec.seed = 7;
+    spec.pressure_threshold = 2;
+    spec.degrade_factor = 2.0;
+    spec.max_target_scale = 4.0;
+    spec.tenants[0].slo_seconds = 1000.0;
+    return spec;
+}
+
+TEST(ServiceIntegrationTest, OverloadTradesLowPriorityAccuracyForLatency)
+{
+    ServiceSpec spec = overloadSpec();
+    JobService svc(spec);
+    ServiceReport report = svc.run();
+
+    ASSERT_EQ(report.tenants.size(), 2u);
+    const TenantReport& hi = report.tenants[0];
+    const TenantReport& lo = report.tenants[1];
+    ASSERT_GE(hi.jobs_completed, 3u) << report.toJson();
+    ASSERT_GE(lo.jobs_completed, 3u) << report.toJson();
+
+    // The queue actually backed up (this is an overload scenario)...
+    EXPECT_GT(report.peak_queue_depth, spec.pressure_threshold);
+
+    // ...so the low class was degraded; the top class never is.
+    EXPECT_EQ(hi.jobs_degraded, 0u);
+    EXPECT_GT(lo.jobs_degraded, 0u) << report.toJson();
+
+    // The high class got the latency it paid for: p99 within its SLO
+    // and strictly ahead of the low class at both percentiles.
+    EXPECT_EQ(hi.slo_violations, 0u) << report.toJson();
+    EXPECT_LE(hi.p99_latency, hi.slo_seconds);
+    EXPECT_LT(hi.p50_latency, lo.p50_latency) << report.toJson();
+    EXPECT_LT(hi.p99_latency, lo.p99_latency) << report.toJson();
+
+    // And the low class paid in accuracy: its achieved CI widths are
+    // visibly wider than the protected class's.
+    EXPECT_GT(lo.mean_rel_ci_width, hi.mean_rel_ci_width)
+        << report.toJson();
+
+    // Degraded jobs widened their bounds, but every estimate remains
+    // sound: the CI covers the fault-free precise answer.
+    const apps::AggregationWorkload& w =
+        *apps::findAggregationWorkload("wikilength");
+    uint64_t degraded_outcomes = 0;
+    for (const JobService::JobOutcome& o : svc.outcomes()) {
+        if (!o.completed) {
+            continue;
+        }
+        degraded_outcomes += o.ever_degraded ? 1 : 0;
+        std::unique_ptr<hdfs::BlockDataset> data =
+            w.make_dataset(spec.blocks, spec.items, o.arrival.job_seed);
+        mr::JobConfig config = w.job_config(spec.items, spec.reducers);
+        config.seed = o.arrival.job_seed;
+        mr::JobResult precise = apps::runPreciseReference(
+            w, *data, config, sim::ClusterConfig::xeon10(),
+            o.arrival.job_seed);
+        mr::JobResult::HeadlineError err =
+            o.result.headlineErrorAgainst(precise);
+        EXPECT_LE(err.actual_relative_error,
+                  err.bound_relative_error * (1.0 + 1e-12) + 1e-9)
+            << "job seed " << o.arrival.job_seed
+            << (o.ever_degraded ? " (degraded)" : "")
+            << ": CI does not cover the precise answer";
+    }
+    EXPECT_GT(degraded_outcomes, 0u);
+}
+
+TEST(ServiceIntegrationTest, LowLoadNeverDegrades)
+{
+    ServiceSpec spec = overloadSpec();
+    spec.arrival_rate = 0.004;  // ~2 jobs in the window: no pressure
+    JobService svc(spec);
+    ServiceReport report = svc.run();
+    ASSERT_GE(report.jobs_completed, 1u);
+    for (const TenantReport& t : report.tenants) {
+        EXPECT_EQ(t.jobs_degraded, 0u) << t.name;
+    }
+    for (const JobService::JobOutcome& o : svc.outcomes()) {
+        EXPECT_FALSE(o.ever_degraded);
+        EXPECT_DOUBLE_EQ(o.final_target_scale, 1.0);
+    }
+}
+
+TEST(ServiceIntegrationTest, EndgameSpeculationCutsStragglerMakespan)
+{
+    // Straggler-heavy single job: end-game speculation must strictly
+    // reduce the makespan and never double-deliver a chunk. The
+    // straggler fraction (~15% of 64 maps) sits inside the 25% end-game
+    // window, so the tail is speculatable.
+    ServiceSpec spec = baseSpec();
+    spec.blocks = 64;
+    spec.items = 8;
+    spec.fault_plan = ft::FaultPlan::parse("straggler=0.15:10,seed=5");
+
+    ServiceSpec with = spec;
+    with.endgame_left_percent = 25.0;
+    ServiceSpec without = spec;
+    without.endgame_left_percent = 0.0;
+
+    JobService sped(with, {arrivalAt(0.0, 0, 4242)});
+    JobService plain(without, {arrivalAt(0.0, 0, 4242)});
+    ServiceReport sped_report = sped.run();
+    ServiceReport plain_report = plain.run();
+
+    ASSERT_EQ(sped.outcomes().size(), 1u);
+    ASSERT_TRUE(sped.outcomes()[0].completed);
+    const mr::Counters& c = sped.outcomes()[0].result.counters;
+    EXPECT_GT(c.maps_endgame_speculated, 0u);
+    // Delivered-once and the rest of the conservation identities.
+    EXPECT_EQ(c.conservationViolation(spec.reducers), "");
+    EXPECT_EQ(c.chunks_delivered, c.maps_completed * spec.reducers);
+
+    EXPECT_LT(sped_report.sim_makespan, plain_report.sim_makespan)
+        << "end-game speculation did not beat the stragglers";
+}
+
+TEST(ServiceIntegrationTest, ContendedRunConservesCountersAndSlots)
+{
+    ServiceSpec spec = baseSpec();
+    spec.blocks = 60;
+    std::vector<JobArrival> arrivals = {
+        arrivalAt(0.0, 0, 101), arrivalAt(0.5, 1, 202),
+        arrivalAt(1.0, 1, 303)};
+    JobService svc(spec, arrivals);
+    ServiceReport report = svc.run();
+
+    EXPECT_EQ(report.jobs_submitted, 3u);
+    EXPECT_EQ(report.jobs_completed + report.jobs_failed, 3u);
+    for (const JobService::JobOutcome& o : svc.outcomes()) {
+        ASSERT_TRUE(o.completed);
+        EXPECT_EQ(o.result.counters.conservationViolation(spec.reducers),
+                  "")
+            << "job seed " << o.arrival.job_seed;
+    }
+    // No slot leaks: the cluster is fully idle after the run.
+    for (const sim::Server& server : svc.cluster().servers()) {
+        EXPECT_EQ(server.busyMapSlots(), 0) << "server " << server.id();
+        EXPECT_EQ(server.busyReduceSlots(), 0)
+            << "server " << server.id();
+    }
+}
+
+TEST(ServiceIntegrationTest, ExplicitArrivalValidation)
+{
+    ServiceSpec spec = baseSpec();
+    // Out-of-order times are rejected up front.
+    EXPECT_THROW(
+        JobService(spec, {arrivalAt(1.0, 0, 1), arrivalAt(0.5, 0, 2)}),
+        std::invalid_argument);
+    // Unknown workloads and bad tenants are rejected at run().
+    JobArrival bad_workload = arrivalAt(0.0, 0, 1);
+    bad_workload.workload = "nosuchapp";
+    JobService bad_w(spec, {bad_workload});
+    EXPECT_THROW(bad_w.run(), std::invalid_argument);
+    JobService bad_t(spec, {arrivalAt(0.0, 9, 1)});
+    EXPECT_THROW(bad_t.run(), std::invalid_argument);
+    // Server crashes cannot be attributed to one tenant: rejected.
+    ServiceSpec crashy = baseSpec();
+    crashy.fault_plan = ft::FaultPlan::parse("server=0@10");
+    EXPECT_THROW(
+        {
+            JobService rejected(crashy);
+            (void)rejected;
+        },
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxhadoop::service

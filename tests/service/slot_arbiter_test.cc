@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The SlotArbiter's documented properties, pinned: work conservation,
+ * the one-slot progress floor, weighted convergence, demand capping,
+ * and byte-determinism of the allocation for equal inputs.
+ */
+#include "service/slot_arbiter.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace approxhadoop::service {
+namespace {
+
+int
+sum(const std::vector<int>& caps)
+{
+    return std::accumulate(caps.begin(), caps.end(), 0);
+}
+
+TEST(SlotArbiterTest, WorkConservation)
+{
+    // Demands exceed the cluster: every slot is handed out.
+    std::vector<SlotClaim> claims = {{2.0, 100}, {1.0, 100}, {1.0, 100}};
+    std::vector<int> caps = arbitrateSlots(claims, 80);
+    EXPECT_EQ(sum(caps), 80);
+
+    // Demands below the cluster: exactly the demand is handed out.
+    claims = {{2.0, 5}, {1.0, 7}};
+    caps = arbitrateSlots(claims, 80);
+    ASSERT_EQ(caps.size(), 2u);
+    EXPECT_EQ(caps[0], 5);
+    EXPECT_EQ(caps[1], 7);
+}
+
+TEST(SlotArbiterTest, WeightedConvergence)
+{
+    // Beyond the floor, a weight-2 tenant converges to twice the slots
+    // of each weight-1 tenant: 80 slots at 2:1:1 -> 40/20/20.
+    std::vector<SlotClaim> claims = {{2.0, 100}, {1.0, 100}, {1.0, 100}};
+    std::vector<int> caps = arbitrateSlots(claims, 80);
+    EXPECT_EQ(caps[0], 40);
+    EXPECT_EQ(caps[1], 20);
+    EXPECT_EQ(caps[2], 20);
+}
+
+TEST(SlotArbiterTest, ProgressFloorBeatsWeight)
+{
+    // A starving tenant with tiny weight still gets one slot while any
+    // remain — the no-stall guarantee behind service admission.
+    std::vector<SlotClaim> claims = {{1000.0, 100}, {0.001, 100}};
+    std::vector<int> caps = arbitrateSlots(claims, 80);
+    EXPECT_GE(caps[1], 1);
+    EXPECT_EQ(sum(caps), 80);
+}
+
+TEST(SlotArbiterTest, ZeroDemandGetsNothing)
+{
+    std::vector<SlotClaim> claims = {{1.0, 0}, {1.0, 10}};
+    std::vector<int> caps = arbitrateSlots(claims, 80);
+    EXPECT_EQ(caps[0], 0);
+    EXPECT_EQ(caps[1], 10);
+}
+
+TEST(SlotArbiterTest, TiesBreakTowardLowerIndex)
+{
+    // Equal weights, odd slot count: the extra slot goes to the earlier
+    // claim (admission order), deterministically.
+    std::vector<SlotClaim> claims = {{1.0, 100}, {1.0, 100}};
+    std::vector<int> caps = arbitrateSlots(claims, 9);
+    EXPECT_EQ(caps[0], 5);
+    EXPECT_EQ(caps[1], 4);
+}
+
+TEST(SlotArbiterTest, DeterministicAcrossCalls)
+{
+    std::vector<SlotClaim> claims = {
+        {2.0, 37}, {1.0, 64}, {0.5, 12}, {4.0, 80}};
+    std::vector<int> a = arbitrateSlots(claims, 80);
+    std::vector<int> b = arbitrateSlots(claims, 80);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(sum(a), 80);
+    for (size_t i = 0; i < claims.size(); ++i) {
+        EXPECT_LE(static_cast<uint64_t>(a[i]), claims[i].demand);
+        EXPECT_GE(a[i], 1) << "claim " << i << " starved";
+    }
+}
+
+TEST(SlotArbiterTest, NoClaimsOrNoSlots)
+{
+    EXPECT_TRUE(arbitrateSlots({}, 80).empty());
+    std::vector<SlotClaim> claims = {{1.0, 10}};
+    std::vector<int> caps = arbitrateSlots(claims, 0);
+    ASSERT_EQ(caps.size(), 1u);
+    EXPECT_EQ(caps[0], 0);
+}
+
+}  // namespace
+}  // namespace approxhadoop::service

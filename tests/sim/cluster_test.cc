@@ -1,9 +1,16 @@
 #include "sim/cluster.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace approxhadoop::sim {
 namespace {
+
+using approxhadoop::Rng;
 
 TEST(ClusterTest, Xeon10Preset)
 {
@@ -32,6 +39,70 @@ TEST(ClusterTest, EnergyAggregatesAcrossServers)
     cluster.events().run();
     // Two idle servers at 100 W for one hour = 200 Wh.
     EXPECT_NEAR(cluster.energyWattHours(), 200.0, 1e-9);
+}
+
+TEST(ClusterTest, SlotAccountingUnderInterleavedLeaseRelease)
+{
+    // Multi-tenant slot churn: a seeded random interleaving of
+    // lease/release across all servers (the pattern several concurrent
+    // jobs produce through the service). At every step the per-server
+    // busy+free identity holds, capacity is never exceeded (no double
+    // grant), and total acquisitions equal total releases at the end.
+    Cluster cluster(ClusterConfig::xeon10());
+    Rng rng(20260808);
+    std::vector<uint32_t> held(cluster.numServers(), 0);
+    uint64_t acquired = 0;
+    uint64_t released = 0;
+    double now = 0.0;
+
+    for (int step = 0; step < 5000; ++step) {
+        now += 0.1;
+        uint32_t id =
+            static_cast<uint32_t>(rng.uniformInt(cluster.numServers()));
+        Server& server = cluster.server(id);
+        bool lease = rng.bernoulli(0.55);
+        if (lease && server.freeMapSlots() > 0) {
+            server.acquireMapSlot(now);
+            ++held[id];
+            ++acquired;
+        } else if (!lease && held[id] > 0) {
+            server.releaseMapSlot(now);
+            --held[id];
+            ++released;
+        }
+
+        ASSERT_EQ(server.busyMapSlots(),
+                  static_cast<int>(held[id]));
+        ASSERT_GE(server.freeMapSlots(), 0) << "double grant";
+        ASSERT_EQ(server.busyMapSlots() + server.freeMapSlots(),
+                  server.mapSlots());
+    }
+
+    // Drain and check conservation: every lease was returned.
+    for (uint32_t id = 0; id < cluster.numServers(); ++id) {
+        while (held[id] > 0) {
+            cluster.server(id).releaseMapSlot(now);
+            --held[id];
+            ++released;
+        }
+        EXPECT_EQ(cluster.server(id).busyMapSlots(), 0);
+        EXPECT_EQ(cluster.server(id).freeMapSlots(),
+                  cluster.server(id).mapSlots());
+    }
+    EXPECT_EQ(acquired, released);
+}
+
+TEST(ClusterTest, ReduceSlotAccountingMatchesMapSlots)
+{
+    Cluster cluster(ClusterConfig::xeon10());
+    Server& server = cluster.server(0);
+    ASSERT_EQ(server.freeReduceSlots(), 1);
+    server.acquireReduceSlot(1.0);
+    EXPECT_EQ(server.busyReduceSlots(), 1);
+    EXPECT_EQ(server.freeReduceSlots(), 0);
+    server.releaseReduceSlot(2.0);
+    EXPECT_EQ(server.busyReduceSlots(), 0);
+    EXPECT_EQ(server.freeReduceSlots(), 1);
 }
 
 TEST(ClusterTest, TimeComesFromEventQueue)

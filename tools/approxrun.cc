@@ -140,6 +140,10 @@ usage()
         "  --top K               result rows to print (default 10)\n"
         "  --verbose             framework INFO logging\n"
         "\n"
+        "  --list-workloads      print the aggregation-workload\n"
+        "                        registry (name, op, default shape)\n"
+        "                        and exit 0\n"
+        "\n"
         "exit codes: 0 ok, 2 bad usage, 3 job failed (retries\n"
         "exhausted), 4 selfcheck CI coverage failure\n",
         apps::aggregationWorkloadNames().c_str(),
@@ -204,6 +208,38 @@ badValue(const std::string& flag, const char* grammar, const char* got)
     std::fprintf(stderr, "%s wants %s, got '%s'\n", flag.c_str(), grammar,
                  got == nullptr ? "" : got);
     return false;
+}
+
+/** `approxrun --list-workloads`: dump the aggregation registry —
+ *  the same table the chaos harness and the service simulator draw
+ *  their job mixes from — one row per workload, and exit 0. */
+int
+listWorkloads()
+{
+    std::printf("%-14s %-8s %8s %8s\n", "workload", "op", "blocks",
+                "items");
+    for (const apps::AggregationWorkload& w :
+         apps::aggregationWorkloads()) {
+        const char* op = "?";
+        switch (w.op) {
+            case core::MultiStageSamplingReducer::Op::kSum:
+                op = "sum";
+                break;
+            case core::MultiStageSamplingReducer::Op::kCount:
+                op = "count";
+                break;
+            case core::MultiStageSamplingReducer::Op::kAverage:
+                op = "average";
+                break;
+            case core::MultiStageSamplingReducer::Op::kRatio:
+                op = "ratio";
+                break;
+        }
+        std::printf("%-14s %-8s %8llu %8llu\n", w.name.c_str(), op,
+                    static_cast<unsigned long long>(w.default_blocks),
+                    static_cast<unsigned long long>(w.default_items));
+    }
+    return 0;
 }
 
 bool
@@ -630,6 +666,9 @@ runApp(const Options& opt)
 int
 main(int argc, char** argv)
 {
+    if (argc >= 2 && std::string(argv[1]) == "--list-workloads") {
+        return listWorkloads();
+    }
     Options opt;
     if (!parseArgs(argc, argv, opt)) {
         usage();

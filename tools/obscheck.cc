@@ -35,10 +35,12 @@ enum ExitCode { kExitOk = 0, kExitInvalid = 1, kExitBadUsage = 2 };
 void
 usage()
 {
-    std::printf("usage: obscheck [--report FILE] [--trace FILE]\n"
+    std::printf("usage: obscheck [--report FILE] [--trace FILE] "
+                "[--service-report FILE]\n"
                 "\n"
-                "validates approxrun --report-json and --trace-out\n"
-                "artifacts; at least one of the two flags is required\n"
+                "validates approxrun --report-json, --trace-out, and\n"
+                "approxsvc --report-json artifacts; at least one flag\n"
+                "is required\n"
                 "\n"
                 "exit codes: 0 valid, 1 validation failure, 2 bad "
                 "usage/unreadable file\n");
@@ -158,6 +160,82 @@ checkReport(const std::string& path, Checker& check)
 }
 
 void
+checkServiceReport(const std::string& path, Checker& check)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::exit(kExitBadUsage);
+    }
+    std::string error;
+    std::optional<obs::JsonValue> doc = obs::parseJson(text, &error);
+    if (!doc) {
+        check.fail("service report " + path + ": " + error);
+        return;
+    }
+    const obs::JsonValue& v = *doc;
+    check.require(v.isObject(), "service report: root is not an object");
+    check.require(
+        v.at("schema").string == "approxhadoop-service-report/1",
+        "service report: schema tag is not "
+        "approxhadoop-service-report/1");
+    for (const char* key :
+         {"spec", "seed", "duration", "sim_makespan", "jobs_submitted",
+          "jobs_completed", "jobs_failed", "peak_queue_depth",
+          "energy_wh", "tenants"}) {
+        check.require(v.has(key), std::string("service report: missing "
+                                              "key '") +
+                                      key + "'");
+    }
+    for (const char* key : {"seed", "duration", "sim_makespan",
+                            "jobs_submitted", "jobs_completed",
+                            "jobs_failed", "peak_queue_depth",
+                            "energy_wh"}) {
+        check.require(v.at(key).isNumber(),
+                      std::string("service report: ") + key +
+                          " is not a number");
+    }
+    // Submission accounting must balance: every job completed or
+    // failed (the service refuses to finish with stalled jobs).
+    check.require(v.at("jobs_submitted").number ==
+                      v.at("jobs_completed").number +
+                          v.at("jobs_failed").number,
+                  "service report: submitted != completed + failed");
+    const obs::JsonValue& tenants = v.at("tenants");
+    if (!tenants.isArray() || tenants.array.empty()) {
+        check.fail("service report: tenants is not a non-empty array");
+        return;
+    }
+    double tenant_submitted = 0.0;
+    for (const obs::JsonValue& t : tenants.array) {
+        check.require(t.isObject() && t.has("name"),
+                      "service report: tenant row missing name");
+        for (const char* key :
+             {"priority", "weight", "jobs_submitted", "jobs_completed",
+              "jobs_failed", "jobs_degraded", "p50_latency",
+              "p99_latency", "mean_latency", "goodput_per_ksec",
+              "mean_rel_ci_width", "max_rel_ci_width",
+              "target_rel_error", "slot_seconds", "slo_seconds",
+              "slo_violations"}) {
+            check.require(t.at(key).isNumber(),
+                          std::string("service report: tenant.") + key +
+                              " is not a number");
+        }
+        check.require(t.at("p50_latency").number <=
+                          t.at("p99_latency").number,
+                      "service report: tenant p50 > p99");
+        check.require(t.at("jobs_degraded").number <=
+                          t.at("jobs_completed").number,
+                      "service report: tenant degraded > completed");
+        check.require(t.at("slot_seconds").number >= 0.0,
+                      "service report: negative tenant slot_seconds");
+        tenant_submitted += t.at("jobs_submitted").number;
+    }
+    check.require(tenant_submitted == v.at("jobs_submitted").number,
+                  "service report: tenant submissions do not sum to "
+                  "the total");
+}
+
+void
 checkTrace(const std::string& path, Checker& check)
 {
     std::string text;
@@ -218,18 +296,22 @@ main(int argc, char** argv)
 {
     std::string report_path;
     std::string trace_path;
+    std::string service_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--report" && i + 1 < argc) {
             report_path = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--service-report" && i + 1 < argc) {
+            service_path = argv[++i];
         } else {
             usage();
             return kExitBadUsage;
         }
     }
-    if (report_path.empty() && trace_path.empty()) {
+    if (report_path.empty() && trace_path.empty() &&
+        service_path.empty()) {
         usage();
         return kExitBadUsage;
     }
@@ -240,11 +322,15 @@ main(int argc, char** argv)
     if (!trace_path.empty()) {
         checkTrace(trace_path, check);
     }
+    if (!service_path.empty()) {
+        checkServiceReport(service_path, check);
+    }
     if (check.failures > 0) {
         return kExitInvalid;
     }
-    std::printf("obscheck OK:%s%s\n",
+    std::printf("obscheck OK:%s%s%s\n",
                 report_path.empty() ? "" : (" " + report_path).c_str(),
-                trace_path.empty() ? "" : (" " + trace_path).c_str());
+                trace_path.empty() ? "" : (" " + trace_path).c_str(),
+                service_path.empty() ? "" : (" " + service_path).c_str());
     return kExitOk;
 }
