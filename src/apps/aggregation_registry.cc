@@ -8,6 +8,7 @@
 #include "ft/recovery_policy.h"
 #include "hdfs/namenode.h"
 #include "workloads/access_log.h"
+#include "workloads/skew_storm.h"
 #include "workloads/webserver_log.h"
 #include "workloads/wiki_dump.h"
 
@@ -33,6 +34,16 @@ makeLog(uint64_t blocks, uint64_t items, uint64_t seed)
     params.entries_per_block = items;
     params.seed = seed;
     return workloads::makeAccessLog(params);
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeStorm(uint64_t blocks, uint64_t items, uint64_t seed)
+{
+    workloads::SkewStormParams params;
+    params.num_blocks = blocks;
+    params.items_per_block = items;
+    params.seed = seed;
+    return workloads::makeSkewStorm(params);
 }
 
 std::unique_ptr<hdfs::BlockDataset>
@@ -81,6 +92,26 @@ accessLogEntry(const std::string& name)
     return w;
 }
 
+/** Skew-storm variant of a log app: same record format and mapper,
+ *  adversarial hot-key / Zipf-shifted-block-size input. */
+template <typename App>
+AggregationWorkload
+skewStormEntry(const std::string& name)
+{
+    AggregationWorkload w;
+    w.name = name;
+    w.op = App::kOp;
+    w.default_blocks = 744;
+    w.default_items = 400;
+    w.make_dataset = makeStorm;
+    w.job_config = [name](uint64_t items, uint32_t reducers) {
+        return logProcessingConfig(name, items, reducers);
+    };
+    w.mapper_factory = [] { return App::mapperFactory(); };
+    w.precise_reducer_factory = [] { return App::preciseReducerFactory(); };
+    return w;
+}
+
 template <typename App>
 AggregationWorkload
 webLogEntry(const std::string& name)
@@ -116,6 +147,7 @@ aggregationWorkloads()
         webLogEntry<RequestSize>("requestsize"),
         webLogEntry<Clients>("clients"),
         webLogEntry<ClientBrowser>("browsers"),
+        skewStormEntry<ProjectPopularity>("skewstorm"),
     };
     return kWorkloads;
 }

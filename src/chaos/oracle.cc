@@ -69,6 +69,10 @@ countersMismatch(const mr::Counters& a, const mr::Counters& b)
     APPROX_CHAOS_CMP(maps_retried)
     APPROX_CHAOS_CMP(maps_absorbed)
     APPROX_CHAOS_CMP(server_crashes)
+    APPROX_CHAOS_CMP(servers_added)
+    APPROX_CHAOS_CMP(servers_revoked)
+    APPROX_CHAOS_CMP(servers_drained)
+    APPROX_CHAOS_CMP(servers_retired)
     APPROX_CHAOS_CMP(wasted_attempt_seconds)
     APPROX_CHAOS_CMP(chunks_corrupted)
     APPROX_CHAOS_CMP(chunk_refetches)
@@ -113,6 +117,7 @@ scenarioJobConfig(const apps::AggregationWorkload& workload,
 {
     mr::JobConfig config = workload.job_config(s.items, s.reducers);
     config.seed = s.job_seed;
+    config.cluster_spec = s.cluster;
     config.fault_plan = s.plan;
     config.failure_mode = s.mode;
     config.recovery.max_attempts = s.max_attempts;
@@ -267,7 +272,7 @@ ChaosOracle::runScenario(const Scenario& s, uint32_t threads,
     }
 
     RunOutcome outcome;
-    sim::Cluster cluster(sim::ClusterConfig::xeon10());
+    sim::Cluster cluster(sim::ClusterConfig::parse(s.cluster));
     hdfs::NameNode namenode(cluster.numServers(), 3, s.job_seed);
     core::ApproxJobRunner runner(cluster, *data, namenode);
     runner.setObservability(obs);
@@ -350,10 +355,15 @@ checkMultiJob(const Scenario& s)
     spec.endgame_left_percent = 25.0;
     spec.workloads = {s.workload};
     spec.pressure_threshold = 2;
+    spec.cluster = s.cluster;
     spec.fault_plan = s.plan;
-    // Whole-server crashes are not attributable to one tenant; the
-    // generator already strips them, but hand-built scenarios may not.
+    // Fleet-changing faults are not attributable to one tenant (the
+    // JobService rejects them outright); the generator already strips
+    // them, but hand-built scenarios may not.
     spec.fault_plan.server_crashes.clear();
+    spec.fault_plan.revocations.clear();
+    spec.fault_plan.scale_outs.clear();
+    spec.fault_plan.drains.clear();
 
     std::vector<service::JobArrival> arrivals;
     Rng seeds = Rng(s.job_seed).derive(0x5E41CE);
@@ -710,9 +720,18 @@ ChaosOracle::mutationProbe(Mutation mutation)
         case Mutation::kDeterminism:
             break;  // a healthy faulted run exercises both checks
         case Mutation::kCiWidening:
-            // Absorbed clusters guarantee a nonzero CI for the halving
-            // to corrupt.
-            s.plan.task_crash_prob = 0.3;
+            // A permanent revocation storm mid-wave is the *only* fault:
+            // the maps orphaned by the revoked servers are absorbed,
+            // guaranteeing a nonzero CI for the halving to corrupt — and
+            // forcing the shrinker to keep the revoke key in the minimal
+            // reproducer (dropping it makes the run exact again).
+            {
+                ft::FaultPlan::Revocation storm;
+                storm.count = 3;
+                storm.at = 3.0;
+                storm.down_for = -1.0;
+                s.plan.revocations.push_back(storm);
+            }
             s.plan.seed = 7;
             break;
         case Mutation::kExitCode:

@@ -35,21 +35,23 @@ formatDouble(double v)
 std::string
 Scenario::describe() const
 {
-    char buf[288];
+    char buf[320];
     std::string jobs_dim =
         concurrent_jobs > 1 ? " jobs=" + std::to_string(concurrent_jobs)
                             : "";
+    std::string fleet_dim =
+        cluster != "xeon10" ? " cluster=" + cluster : "";
     std::snprintf(buf, sizeof(buf),
                   "#%llu %s %llux%llu reducers=%u threads=%u seed=%llu "
-                  "sampling=%.3g%s%s mode=%s attempts=%u plan[%s]",
+                  "sampling=%.3g%s%s%s mode=%s attempts=%u plan[%s]",
                   static_cast<unsigned long long>(index), workload.c_str(),
                   static_cast<unsigned long long>(blocks),
                   static_cast<unsigned long long>(items), reducers, threads,
                   static_cast<unsigned long long>(job_seed), sampling,
                   has_target ? (" target=" + formatDouble(target)).c_str()
                              : "",
-                  jobs_dim.c_str(), ft::toString(mode), max_attempts,
-                  plan.summary().c_str());
+                  jobs_dim.c_str(), fleet_dim.c_str(), ft::toString(mode),
+                  max_attempts, plan.summary().c_str());
     return buf;
 }
 
@@ -62,6 +64,9 @@ Scenario::approxrunCommand() const
     cmd += " --seed " + std::to_string(job_seed);
     cmd += " --reducers " + std::to_string(reducers);
     cmd += " --threads " + std::to_string(threads);
+    if (cluster != "xeon10") {
+        cmd += " --cluster " + cluster;
+    }
     if (has_target) {
         cmd += " --target " + formatDouble(target);
     } else if (sampling < 1.0) {
@@ -86,9 +91,12 @@ ScenarioGenerator::workloadNames()
     // Count/sum aggregations only: their per-key cluster statistics can
     // be recomputed analytically by replaying the mapper, which is what
     // the oracle's absorb-identity check needs. One workload per dataset
-    // family keeps scenario runtime bounded.
+    // family keeps scenario runtime bounded; "skewstorm" is the
+    // adversarial hot-key / Zipf-shifted-block-size variant of
+    // projectpop.
     static const std::vector<std::string> kNames = {
-        "wikilength", "projectpop", "pagetraffic", "totalsize"};
+        "wikilength", "projectpop", "pagetraffic", "totalsize",
+        "skewstorm"};
     return kNames;
 }
 
@@ -182,6 +190,41 @@ ScenarioGenerator::generate(uint64_t index) const
     if (rng.bernoulli(0.12)) {
         s.concurrent_jobs = static_cast<uint32_t>(2 + rng.uniformInt(3));
         s.plan.server_crashes.clear();
+    }
+
+    // Elastic/heterogeneous slice (drawn last, same reason as above).
+    // Every fleet has >= 10 servers so the legacy `server=` ids drawn
+    // earlier (0..9) always exist.
+    if (rng.bernoulli(0.30)) {
+        static const char* kFleets[] = {"10xeon+20atom", "6xeon+6atom",
+                                        "atom60", "12atom", "16xeon"};
+        s.cluster = kFleets[rng.uniformInt(5)];
+    }
+    // Fleet-change events only make sense standalone: the JobService
+    // rejects fleet-changing fault plans (a revocation or resize cannot
+    // be attributed to one tenant).
+    if (s.concurrent_jobs == 1) {
+        if (rng.bernoulli(0.25)) {
+            ft::FaultPlan::Revocation storm;
+            storm.count = static_cast<uint32_t>(1 + rng.uniformInt(5));
+            storm.at = 200.0 * rng.uniform();
+            storm.down_for =
+                rng.bernoulli(0.5) ? 10.0 + 100.0 * rng.uniform() : -1.0;
+            plan.revocations.push_back(storm);
+        }
+        if (rng.bernoulli(0.2)) {
+            ft::FaultPlan::ScaleOut add;
+            add.count = static_cast<uint32_t>(1 + rng.uniformInt(6));
+            add.server_class = rng.bernoulli(0.5) ? "atom" : "xeon";
+            add.at = 150.0 * rng.uniform();
+            plan.scale_outs.push_back(add);
+        }
+        if (rng.bernoulli(0.2)) {
+            ft::FaultPlan::Drain drain;
+            drain.count = static_cast<uint32_t>(1 + rng.uniformInt(4));
+            drain.at = 150.0 * rng.uniform();
+            plan.drains.push_back(drain);
+        }
     }
     return s;
 }

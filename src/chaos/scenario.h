@@ -66,6 +66,14 @@ struct Scenario
      */
     uint32_t concurrent_jobs = 1;
 
+    /**
+     * Fleet spec in the cluster grammar ("xeon10", "atom60", or a mixed
+     * fleet like "10xeon+20atom"). Heterogeneous fleets exercise the
+     * speed-aware scheduler; every generated spec has >= 10 servers so
+     * legacy `server=ID` draws (ids 0..9) stay in range.
+     */
+    std::string cluster = "xeon10";
+
     /** One-line description for logs. */
     std::string describe() const;
 

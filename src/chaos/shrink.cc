@@ -31,6 +31,37 @@ fewerJobs(Scenario& s)
 }
 
 bool
+noStorms(Scenario& s)
+{
+    if (s.plan.revocations.empty()) {
+        return false;
+    }
+    s.plan.revocations.clear();
+    return true;
+}
+
+bool
+noResize(Scenario& s)
+{
+    if (s.plan.scale_outs.empty() && s.plan.drains.empty()) {
+        return false;
+    }
+    s.plan.scale_outs.clear();
+    s.plan.drains.clear();
+    return true;
+}
+
+bool
+homogeneousFleet(Scenario& s)
+{
+    if (s.cluster == "xeon10") {
+        return false;
+    }
+    s.cluster = "xeon10";
+    return true;
+}
+
+bool
 zeroCrash(Scenario& s)
 {
     if (s.plan.task_crash_prob == 0.0) {
@@ -187,14 +218,16 @@ shrinkScenario(const Scenario& failing,
                const std::function<bool(const Scenario&)>& still_fails,
                int max_evaluations)
 {
-    // Ordered roughly by how much each simplification removes: whole
+    // Ordered roughly by how much each simplification removes: elastic
+    // dimensions (no storms, no resize, homogeneous fleet) and whole
     // fault keys first, then scale, then probability halving.
     static const Transform kTransforms[] = {
-        singleJob,          fewerJobs,         zeroCrash,
-        zeroReduceCrash,    zeroCorrupt,       zeroBadRecords,
+        singleJob,          fewerJobs,          noStorms,
+        noResize,           homogeneousFleet,   zeroCrash,
+        zeroReduceCrash,    zeroCorrupt,        zeroBadRecords,
         zeroStragglers,     clearServerCrashes, dropOneServerCrash,
-        dropTarget,         fullSampling,      oneReducer,
-        twoThreads,         halveBlocks,       halveItems,
+        dropTarget,         fullSampling,       oneReducer,
+        twoThreads,         halveBlocks,        halveItems,
         halveProbabilities,
     };
 

@@ -1,5 +1,6 @@
 #include "ft/fault_plan.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -60,6 +61,54 @@ parseProbability(const std::string& token, const char* what)
     return p;
 }
 
+uint32_t
+parseCount(const std::string& token, const char* what)
+{
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+        throw std::invalid_argument(std::string("fault plan: bad ") +
+                                    what + " '" + token +
+                                    "' (want a positive integer)");
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno == ERANGE || end != token.c_str() + token.size() ||
+        v == 0 || v > 100000) {
+        throw std::invalid_argument(std::string("fault plan: ") + what +
+                                    " '" + token +
+                                    "' must be in [1, 100000]");
+    }
+    return static_cast<uint32_t>(v);
+}
+
+/** Parses the shared "T[+D]" time-and-optional-duration tail. */
+void
+parseWhen(const std::string& when_spec, const char* what, double& at,
+          double* down_for)
+{
+    std::string when = when_spec;
+    size_t plus = when.find('+');
+    if (plus != std::string::npos) {
+        if (down_for == nullptr) {
+            throw std::invalid_argument(std::string("fault plan: ") +
+                                        what + " takes no +D duration");
+        }
+        *down_for = parseDouble(when.substr(plus + 1),
+                                (std::string(what) + " duration").c_str());
+        if (*down_for < 0.0) {
+            throw std::invalid_argument(std::string("fault plan: ") +
+                                        what + " duration must be >= 0");
+        }
+        when = when.substr(0, plus);
+    }
+    at = parseDouble(when, (std::string(what) + " time").c_str());
+    if (at < 0.0) {
+        throw std::invalid_argument(std::string("fault plan: ") + what +
+                                    " time must be >= 0");
+    }
+}
+
 uint64_t
 parseSeed(const std::string& token)
 {
@@ -85,7 +134,14 @@ FaultPlan::enabled() const
 {
     return task_crash_prob > 0.0 || chunk_corrupt_prob > 0.0 ||
            bad_record_prob > 0.0 || reduce_crash_prob > 0.0 ||
-           straggler_prob > 0.0 || !server_crashes.empty();
+           straggler_prob > 0.0 || changesFleet();
+}
+
+bool
+FaultPlan::changesFleet() const
+{
+    return !server_crashes.empty() || !revocations.empty() ||
+           !scale_outs.empty() || !drains.empty();
 }
 
 FaultPlan
@@ -104,9 +160,12 @@ FaultPlan::parse(const std::string& spec)
         }
         std::string key = clause.substr(0, eq);
         std::string value = clause.substr(eq + 1);
-        // `server` may legitimately repeat (several scheduled crashes);
-        // for every other key a repeat is a spec mistake, not a merge.
-        if (key != "server" && !seen.insert(key).second) {
+        // The scheduled-event keys may legitimately repeat (several
+        // crashes/storms/resizes); for every other key a repeat is a
+        // spec mistake, not a merge.
+        bool repeatable = key == "server" || key == "revoke" ||
+                          key == "addsrv" || key == "drain";
+        if (!repeatable && !seen.insert(key).second) {
             throw std::invalid_argument("fault plan: duplicate clause '" +
                                         key + "'");
         }
@@ -171,6 +230,54 @@ FaultPlan::parse(const std::string& spec)
                     "fault plan: server crash time must be >= 0");
             }
             plan.server_crashes.push_back(crash);
+        } else if (key == "revoke") {
+            size_t at = value.find('@');
+            if (at == std::string::npos) {
+                throw std::invalid_argument(
+                    "fault plan: revoke wants N@T[+D]");
+            }
+            Revocation storm;
+            storm.count =
+                parseCount(value.substr(0, at), "revoke count");
+            parseWhen(value.substr(at + 1), "revoke", storm.at,
+                      &storm.down_for);
+            plan.revocations.push_back(storm);
+        } else if (key == "addsrv") {
+            size_t at = value.find('@');
+            if (at == std::string::npos) {
+                throw std::invalid_argument(
+                    "fault plan: addsrv wants NCLASS@T (e.g. 4atom@90)");
+            }
+            std::string term = value.substr(0, at);
+            size_t digits = 0;
+            while (digits < term.size() &&
+                   std::isdigit(static_cast<unsigned char>(
+                       term[digits]))) {
+                ++digits;
+            }
+            if (digits == 0 || digits == term.size()) {
+                throw std::invalid_argument(
+                    "fault plan: addsrv wants NCLASS@T (e.g. 4atom@90)");
+            }
+            ScaleOut add;
+            add.count = parseCount(term.substr(0, digits), "addsrv count");
+            add.server_class = term.substr(digits);
+            if (add.server_class != "xeon" && add.server_class != "atom") {
+                throw std::invalid_argument(
+                    "fault plan: addsrv class '" + add.server_class +
+                    "' unknown (want xeon or atom)");
+            }
+            parseWhen(value.substr(at + 1), "addsrv", add.at, nullptr);
+            plan.scale_outs.push_back(add);
+        } else if (key == "drain") {
+            size_t at = value.find('@');
+            if (at == std::string::npos) {
+                throw std::invalid_argument("fault plan: drain wants N@T");
+            }
+            Drain drain;
+            drain.count = parseCount(value.substr(0, at), "drain count");
+            parseWhen(value.substr(at + 1), "drain", drain.at, nullptr);
+            plan.drains.push_back(drain);
         } else if (key == "seed") {
             plan.seed = parseSeed(value);
         } else {
@@ -252,6 +359,22 @@ FaultPlan::spec() const
         }
         clause(s);
     }
+    for (const Revocation& storm : revocations) {
+        std::string s = "revoke=" + std::to_string(storm.count) + '@' +
+                        formatDouble(storm.at);
+        if (storm.down_for >= 0.0) {
+            s += '+' + formatDouble(storm.down_for);
+        }
+        clause(s);
+    }
+    for (const ScaleOut& add : scale_outs) {
+        clause("addsrv=" + std::to_string(add.count) + add.server_class +
+               '@' + formatDouble(add.at));
+    }
+    for (const Drain& drain : drains) {
+        clause("drain=" + std::to_string(drain.count) + '@' +
+               formatDouble(drain.at));
+    }
     if (seed != 0) {
         clause("seed=" + std::to_string(seed));
     }
@@ -262,8 +385,8 @@ const std::vector<std::string>&
 FaultPlan::specKeys()
 {
     static const std::vector<std::string> kKeys = {
-        "crash", "corrupt", "badrec", "rcrash", "straggler", "server",
-        "seed"};
+        "crash",  "corrupt", "badrec", "rcrash", "straggler", "server",
+        "revoke", "addsrv",  "drain",  "seed"};
     return kKeys;
 }
 
@@ -280,9 +403,18 @@ FaultPlan::helpText()
            "optional lognormal sigma\n"
            "  server=ID@T[+D]    crash server ID at simulated time T, "
            "repaired after D s (repeatable)\n"
+           "  revoke=N@T[+D]     kill N servers at once at time T "
+           "(correlated revocation storm; kills min(N, alive-1) so the "
+           "job can finish); +D repairs them, else they leave for good "
+           "(repeatable)\n"
+           "  addsrv=NCLASS@T    N servers of CLASS (xeon|atom) join "
+           "the fleet at time T (repeatable)\n"
+           "  drain=N@T          gracefully decommission N servers at "
+           "time T, newest first (repeatable)\n"
            "  seed=S             fault-stream seed (non-negative "
            "integer)\n"
-           "e.g. \"crash=0.05,straggler=0.02:6,server=3@120+60,seed=7\"";
+           "e.g. \"crash=0.05,straggler=0.02:6,server=3@120+60,seed=7\" "
+           "or \"revoke=3@60,addsrv=4atom@90\"";
 }
 
 std::string
@@ -291,13 +423,15 @@ FaultPlan::summary() const
     if (!enabled()) {
         return "none";
     }
-    char buf[320];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "crash=%.3g corrupt=%.3g badrec=%.3g rcrash=%.3g "
-                  "straggler=%.3g:%.3g server-crashes=%zu seed=%llu",
+                  "straggler=%.3g:%.3g server-crashes=%zu revoke=%zu "
+                  "addsrv=%zu drain=%zu seed=%llu",
                   task_crash_prob, chunk_corrupt_prob, bad_record_prob,
                   reduce_crash_prob, straggler_prob, straggler_factor,
-                  server_crashes.size(),
+                  server_crashes.size(), revocations.size(),
+                  scale_outs.size(), drains.size(),
                   static_cast<unsigned long long>(seed));
     return buf;
 }

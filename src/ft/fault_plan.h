@@ -32,6 +32,51 @@ struct FaultPlan
         double down_for = -1.0;
     };
 
+    /**
+     * One correlated revocation storm: @p count servers killed in the
+     * same instant (the spot-market generalization of ServerCrash).
+     * Victims are drawn deterministically from (job seed, plan seed,
+     * storm index) among the servers still in the fleet, always leaving
+     * at least one schedulable server so the job can finish.
+     */
+    struct Revocation
+    {
+        /** Servers killed by this storm. */
+        uint32_t count = 1;
+        /** Storm time, simulated seconds after job start. */
+        double at = 0.0;
+        /**
+         * Seconds until the victims are repaired and rejoin; < 0 means
+         * the revocation is permanent (the victims leave the fleet).
+         */
+        double down_for = -1.0;
+    };
+
+    /** One scheduled scale-out: @p count servers of @p server_class
+     *  join the fleet at time @p at. */
+    struct ScaleOut
+    {
+        uint32_t count = 1;
+        /** Hardware class grammar name ("xeon" or "atom"). */
+        std::string server_class = "xeon";
+        /** Join time, simulated seconds after job start. */
+        double at = 0.0;
+    };
+
+    /**
+     * One scheduled graceful decommission: @p count servers begin
+     * draining at time @p at (finish running work, take nothing new,
+     * retire once drained). The highest-numbered eligible servers are
+     * chosen — LIFO scale-in, the way autoscalers release the newest
+     * capacity first — always leaving at least one schedulable server.
+     */
+    struct Drain
+    {
+        uint32_t count = 1;
+        /** Drain start, simulated seconds after job start. */
+        double at = 0.0;
+    };
+
     /** Probability that any single map attempt crashes mid-execution. */
     double task_crash_prob = 0.0;
 
@@ -66,12 +111,25 @@ struct FaultPlan
     /** Scheduled server crashes. */
     std::vector<ServerCrash> server_crashes;
 
+    /** Scheduled correlated revocation storms. */
+    std::vector<Revocation> revocations;
+
+    /** Scheduled mid-job scale-outs. */
+    std::vector<ScaleOut> scale_outs;
+
+    /** Scheduled graceful decommissions. */
+    std::vector<Drain> drains;
+
     /** Extra seed mixed into the job seed (vary failure patterns while
      *  keeping the workload fixed). */
     uint64_t seed = 0;
 
     /** True when the plan injects anything at all. */
     bool enabled() const;
+
+    /** True when the plan changes fleet membership (crashes whole
+     *  servers, revokes, resizes, or drains). */
+    bool changesFleet() const;
 
     /**
      * Parses a command-line plan spec: comma-separated clauses
@@ -82,14 +140,21 @@ struct FaultPlan
      *   rcrash=P           per-attempt reduce crash probability
      *   straggler=P:F[:S]  probability, factor, optional lognormal sigma
      *   server=ID@T[+D]    crash server ID at time T, repaired after D s
+     *   revoke=N@T[+D]     kill N servers at once at time T (correlated
+     *                      revocation storm); +D repairs them after D s,
+     *                      otherwise they leave the fleet for good
+     *   addsrv=NCLASS@T    N servers of CLASS (xeon|atom) join at time
+     *                      T, cluster-grammar term style (e.g. 4atom)
+     *   drain=N@T          gracefully decommission N servers at time T
      *   seed=S             fault-stream seed
      *
-     * e.g. "crash=0.05,corrupt=0.05,rcrash=0.1,server=3@120+60".
+     * e.g. "crash=0.05,corrupt=0.05,rcrash=0.1,server=3@120+60" or
+     * "revoke=3@60,addsrv=4atom@90".
      *
      * Malformed specs are rejected loudly rather than silently
      * accepted: NaN/negative/>1 probabilities, trailing garbage after a
-     * number, and duplicate keys (except `server`, which may repeat)
-     * all throw.
+     * number, and duplicate keys (except `server`, `revoke`, `addsrv`,
+     * and `drain`, which may repeat) all throw.
      *
      * @throws std::invalid_argument on malformed input
      */

@@ -21,7 +21,9 @@ Counters::anyFaults() const
     return map_attempts_failed > 0 || maps_retried > 0 ||
            maps_absorbed > 0 || server_crashes > 0 ||
            chunks_corrupted > 0 || bad_records_skipped > 0 ||
-           reduce_attempts_failed > 0 || timeouts_detected > 0;
+           reduce_attempts_failed > 0 || timeouts_detected > 0 ||
+           servers_added > 0 || servers_drained > 0 ||
+           servers_retired > 0;
 }
 
 double
@@ -119,6 +121,13 @@ Counters::faultSummary() const
         appendKv(line, "timeouts", timeouts_detected);
         appendSeconds(line, "detect_wait", detection_wait_seconds);
     }
+    if (servers_added > 0 || servers_revoked > 0 || servers_drained > 0 ||
+        servers_retired > 0) {
+        appendKv(line, "srv_added", servers_added);
+        appendKv(line, "srv_revoked", servers_revoked);
+        appendKv(line, "srv_drained", servers_drained);
+        appendKv(line, "srv_retired", servers_retired);
+    }
     return line;
 }
 
@@ -190,6 +199,17 @@ Counters::conservationViolation(uint32_t num_reducers) const
         return violation("endgame causality: endgame_speculated > "
                          "speculated",
                          maps_endgame_speculated, maps_speculated);
+    }
+    if (servers_revoked > server_crashes) {
+        return violation("fleet conservation: servers_revoked > "
+                         "server_crashes",
+                         servers_revoked, server_crashes);
+    }
+    if (servers_retired > servers_drained + servers_revoked) {
+        return violation("fleet conservation: servers_retired > "
+                         "drained+revoked",
+                         servers_retired,
+                         servers_drained + servers_revoked);
     }
     return "";
 }

@@ -44,6 +44,18 @@ struct Counters
     uint64_t maps_absorbed = 0;
     /** Whole-server crash events that fired during the job. */
     uint64_t server_crashes = 0;
+
+    // --- fleet elasticity (membership events) ---
+    /** Servers that joined the fleet mid-job (scale-out). */
+    uint64_t servers_added = 0;
+    /** Servers killed by correlated revocation storms (each victim is
+     *  also a server_crash). */
+    uint64_t servers_revoked = 0;
+    /** Servers that began a graceful decommission (draining). */
+    uint64_t servers_drained = 0;
+    /** Servers that permanently left the fleet (drained to completion
+     *  or permanently revoked). */
+    uint64_t servers_retired = 0;
     /**
      * Simulated seconds spent by attempts whose work was discarded:
      * crashed attempts, losing speculative twins, and attempts of
@@ -126,6 +138,10 @@ struct Counters
      *      map_slots_acquired == map_slots_released ==
      *      map_attempts_launched, and endgame twins are speculative —
      *      maps_endgame_speculated <= maps_speculated
+     *   9. fleet conservation: every storm victim is a server crash —
+     *      servers_revoked <= server_crashes — and a server only leaves
+     *      for good through a drain or a permanent revocation —
+     *      servers_retired <= servers_drained + servers_revoked
      *
      * Returns "" when all hold, else a description of the first
      * violated identity. The chaos harness (src/chaos/) calls this on

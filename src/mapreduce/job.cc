@@ -491,10 +491,16 @@ Job::nextGlobalTask(uint32_t server, bool& local)
 void
 Job::scheduleLoop()
 {
+    // Draining servers whose last slot was just returned leave the
+    // fleet before any new placement decisions are made.
+    maybeRetireDrained();
     // Pass 1: satisfy block locality — every server first picks tasks
     // whose input it holds. Pass 2: round-robin the remaining pending
     // tasks one slot at a time so no single server swallows the queue
-    // (mirrors Hadoop's per-heartbeat assignment).
+    // (mirrors Hadoop's per-heartbeat assignment). Pass 2 visits
+    // servers fastest-first so remote work lands on the quickest free
+    // machine; the sort is stable over ids, so a homogeneous fleet
+    // keeps the exact legacy id-order (bit-identical schedules).
     if (pending_count_ > 0) {
         for (sim::Server& s : cluster_.servers()) {
             if (s.state() != sim::ServerState::kActive) {
@@ -509,10 +515,21 @@ Job::scheduleLoop()
                 startAttempt(static_cast<uint64_t>(t), s.id(), true);
             }
         }
+        std::vector<uint32_t> order;
+        order.reserve(cluster_.numServers());
+        for (const sim::Server& s : cluster_.servers()) {
+            order.push_back(s.id());
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [this](uint32_t a, uint32_t b) {
+                             return cluster_.server(a).speed() >
+                                    cluster_.server(b).speed();
+                         });
         bool progress = true;
         while (progress && pending_count_ > 0 && slotBudgetLeft()) {
             progress = false;
-            for (sim::Server& s : cluster_.servers()) {
+            for (uint32_t id : order) {
+                sim::Server& s = cluster_.server(id);
                 if (s.state() != sim::ServerState::kActive ||
                     s.freeMapSlots() == 0 || pending_count_ == 0 ||
                     !slotBudgetLeft()) {
@@ -691,26 +708,37 @@ bool
 Job::speculateTask(uint64_t task_id, bool endgame)
 {
     MapTaskInfo& task = tasks_[task_id];
-    // Find a free slot, preferring a replica holder.
+    // Find a free slot, preferring a replica holder; among candidates
+    // take the fastest machine (a speculative twin only helps if it can
+    // beat the original). The strictly-greater comparison keeps the
+    // legacy first-found choice on homogeneous fleets, so schedules
+    // there stay bit-identical to pre-elasticity builds.
     int64_t chosen = -1;
     bool local = false;
     for (uint32_t s : namenode_.replicas(task.block)) {
         sim::Server& srv = cluster_.server(s);
         if (srv.state() == sim::ServerState::kActive &&
-            srv.freeMapSlots() > 0) {
+            srv.freeMapSlots() > 0 &&
+            (chosen < 0 ||
+             srv.speed() >
+                 cluster_.server(static_cast<uint32_t>(chosen)).speed())) {
             chosen = s;
             local = true;
-            break;
         }
     }
     if (chosen < 0) {
         for (sim::Server& srv : cluster_.servers()) {
             if (srv.state() == sim::ServerState::kActive &&
-                srv.freeMapSlots() > 0) {
+                srv.freeMapSlots() > 0 &&
+                (chosen < 0 ||
+                 srv.speed() > cluster_.server(static_cast<uint32_t>(chosen))
+                                   .speed())) {
                 chosen = srv.id();
-                local = namenode_.isLocal(task.block, srv.id());
-                break;
             }
+        }
+        if (chosen >= 0) {
+            local = namenode_.isLocal(task.block,
+                                      static_cast<uint32_t>(chosen));
         }
     }
     if (chosen < 0) {
@@ -1176,13 +1204,19 @@ Job::notifyCompletion()
 void
 Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
 {
-    sim::Server& srv = cluster_.server(crash.server);
-    if (srv.state() == sim::ServerState::kFailed) {
-        return;  // still down from an earlier crash
+    crashOneServer(crash.server, crash.down_for, /*leave_fleet=*/false);
+}
+
+void
+Job::crashOneServer(uint32_t server, double down_for, bool leave_fleet)
+{
+    sim::Server& srv = cluster_.server(server);
+    if (srv.state() == sim::ServerState::kFailed || srv.departed()) {
+        return;  // still down from an earlier crash, or already gone
     }
     ++counters_.server_crashes;
     if (obs_ != nullptr) {
-        obs_->trace.serverCrash(crash.server, cluster_.now());
+        obs_->trace.serverCrash(server, cluster_.now());
     }
 
     // Every in-flight attempt hosted by the dying server dies with it.
@@ -1204,7 +1238,7 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
         const TaskExec& exec = exec_[task.task_id];
         for (size_t a = 0; a < exec.attempts.size(); ++a) {
             const Attempt& att = exec.attempts[a];
-            if (att.done || att.server != crash.server) {
+            if (att.done || att.server != server) {
                 continue;
             }
             // An attempt that had already crashed silently keeps its
@@ -1224,6 +1258,16 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
         failAttempt(o.task, o.attempt);
     }
     srv.fail(cluster_.now());
+    if (leave_fleet) {
+        // Permanent revocation: the victim leaves the fleet for good and
+        // its energy meter stops (kRetired draws 0 W, unlike kFailed
+        // machines which also draw 0 W but may be repaired).
+        srv.retire(cluster_.now());
+        ++counters_.servers_retired;
+        if (obs_ != nullptr) {
+            obs_->trace.serverRetired(server, cluster_.now());
+        }
+    }
     // Schedule detection for the orphaned tasks; retries will land on
     // the surviving servers. Several detectors may target one task (twin
     // attempts): onOrphanDetected no-ops once the task left kRunning.
@@ -1237,18 +1281,119 @@ Job::onServerCrash(ft::FaultPlan::ServerCrash crash)
                 });
         }
     }
-    if (crash.down_for >= 0.0) {
-        cluster_.events().scheduleAfter(
-            crash.down_for, [this, server = crash.server] {
-                sim::Server& s = cluster_.server(server);
-                if (s.state() == sim::ServerState::kFailed) {
-                    s.repair(cluster_.now());
-                    if (obs_ != nullptr) {
-                        obs_->trace.serverRepair(server, cluster_.now());
-                    }
-                    scheduleLoop();
+    if (!leave_fleet && down_for >= 0.0) {
+        cluster_.events().scheduleAfter(down_for, [this, server] {
+            sim::Server& s = cluster_.server(server);
+            if (s.state() == sim::ServerState::kFailed) {
+                s.repair(cluster_.now());
+                if (obs_ != nullptr) {
+                    obs_->trace.serverRepair(server, cluster_.now());
                 }
-            });
+                scheduleLoop();
+            }
+        });
+    }
+}
+
+void
+Job::onRevocationStorm(ft::FaultPlan::Revocation storm, size_t storm_index)
+{
+    if (job_done_ || job_failed_) {
+        return;
+    }
+    std::vector<uint32_t> eligible;
+    for (const sim::Server& s : cluster_.servers()) {
+        if (s.state() == sim::ServerState::kActive ||
+            s.state() == sim::ServerState::kLowPower) {
+            eligible.push_back(s.id());
+        }
+    }
+    if (eligible.size() <= 1) {
+        return;  // a storm never takes the last schedulable server
+    }
+    uint32_t kills = std::min(
+        storm.count, static_cast<uint32_t>(eligible.size() - 1));
+    // Victim choice is a pure function of (job seed, plan seed, storm
+    // index) — never rng_, whose draw sequence the workload owns —
+    // so the same storm hits the same machines at any thread count.
+    Rng storm_rng = Rng(config_.seed ^ config_.fault_plan.seed)
+                        .derive(0xF1EE7 + storm_index);
+    for (uint32_t k = 0; k < kills; ++k) {
+        uint64_t j = k + storm_rng.uniformInt(eligible.size() - k);
+        std::swap(eligible[k], eligible[j]);
+    }
+    counters_.servers_revoked += kills;
+    if (obs_ != nullptr) {
+        obs_->trace.revocationStorm(kills, cluster_.now());
+    }
+    bool permanent = storm.down_for < 0.0;
+    for (uint32_t k = 0; k < kills; ++k) {
+        crashOneServer(eligible[k], storm.down_for, permanent);
+    }
+}
+
+void
+Job::onScaleOut(ft::FaultPlan::ScaleOut add)
+{
+    if (job_done_ || job_failed_) {
+        return;
+    }
+    uint32_t first = cluster_.addServers(
+        add.count, sim::ServerClass::byName(add.server_class, add.count));
+    // Joiners hold no block replicas, so they only ever appear in the
+    // global (remote) queue; the per-server locality queues just grow.
+    local_pending_.resize(cluster_.numServers());
+    counters_.servers_added += add.count;
+    if (obs_ != nullptr) {
+        obs_->trace.serversAdded(add.count, first, add.server_class,
+                                 cluster_.now());
+    }
+    scheduleLoop();
+}
+
+void
+Job::onDrain(ft::FaultPlan::Drain drain)
+{
+    if (job_done_ || job_failed_) {
+        return;
+    }
+    std::vector<uint32_t> eligible;  // ascending server ids
+    for (const sim::Server& s : cluster_.servers()) {
+        if (s.state() == sim::ServerState::kActive ||
+            s.state() == sim::ServerState::kLowPower) {
+            eligible.push_back(s.id());
+        }
+    }
+    if (eligible.size() <= 1) {
+        return;  // never drain the last schedulable server
+    }
+    uint32_t n = std::min(
+        drain.count, static_cast<uint32_t>(eligible.size() - 1));
+    // LIFO scale-in: release the newest (highest-numbered) capacity
+    // first, the way autoscalers return the machines they added last.
+    for (uint32_t k = 0; k < n; ++k) {
+        uint32_t id = eligible[eligible.size() - 1 - k];
+        cluster_.server(id).beginDrain(cluster_.now());
+        ++counters_.servers_drained;
+        if (obs_ != nullptr) {
+            obs_->trace.serverDraining(id, cluster_.now());
+        }
+    }
+    maybeRetireDrained();
+}
+
+void
+Job::maybeRetireDrained()
+{
+    for (sim::Server& s : cluster_.servers()) {
+        if (s.state() == sim::ServerState::kDraining &&
+            s.busyMapSlots() == 0 && s.busyReduceSlots() == 0) {
+            s.retire(cluster_.now());
+            ++counters_.servers_retired;
+            if (obs_ != nullptr) {
+                obs_->trace.serverRetired(s.id(), cluster_.now());
+            }
+        }
     }
 }
 
@@ -1804,6 +1949,8 @@ Job::onReducerDone(uint32_t reducer)
     }
     cluster_.server(reducer_servers_[reducer])
         .releaseReduceSlot(cluster_.now());
+    // A draining host that was only waiting for this reducer can leave.
+    maybeRetireDrained();
     if (obs_ != nullptr) {
         obs_->trace.reducerFinish(reducer, reducer_records_[reducer],
                                   cluster_.now());
@@ -1853,18 +2000,34 @@ Job::start()
     buildTasks();
     placeReducers();
 
-    // Server crashes fire at plan-fixed simulated times, interleaving
-    // deterministically with task events.
+    // Server crashes and fleet-membership events fire at plan-fixed
+    // simulated times, interleaving deterministically with task events.
     for (const ft::FaultPlan::ServerCrash& crash :
          config_.fault_plan.server_crashes) {
         if (crash.server >= cluster_.numServers()) {
             throw std::invalid_argument(
                 "fault plan crashes server " +
                 std::to_string(crash.server) + " but the cluster has " +
-                std::to_string(cluster_.numServers()) + " servers");
+                std::to_string(cluster_.numServers()) +
+                " servers (valid ids: 0.." +
+                std::to_string(cluster_.numServers() - 1) + ")");
         }
         cluster_.events().scheduleAfter(crash.at,
                                         [this, crash] { onServerCrash(crash); });
+    }
+    for (size_t i = 0; i < config_.fault_plan.revocations.size(); ++i) {
+        ft::FaultPlan::Revocation storm = config_.fault_plan.revocations[i];
+        cluster_.events().scheduleAfter(
+            storm.at, [this, storm, i] { onRevocationStorm(storm, i); });
+    }
+    for (const ft::FaultPlan::ScaleOut& add :
+         config_.fault_plan.scale_outs) {
+        cluster_.events().scheduleAfter(add.at,
+                                        [this, add] { onScaleOut(add); });
+    }
+    for (const ft::FaultPlan::Drain& drain : config_.fault_plan.drains) {
+        cluster_.events().scheduleAfter(drain.at,
+                                        [this, drain] { onDrain(drain); });
     }
 
     if (controller_ != nullptr) {

@@ -398,6 +398,32 @@ class Job
     void notifyCompletion();
     /** Scheduled whole-server crash from the fault plan. */
     void onServerCrash(ft::FaultPlan::ServerCrash crash);
+    /**
+     * Crashes one server: orphans its in-flight map attempts (each gets
+     * its own heartbeat-based detection event, so a storm of
+     * simultaneous losses is never double-counted — every attempt lives
+     * on exactly one server), then fails the node. @p leave_fleet makes
+     * the loss permanent (the server retires: 0 W, out of the slot
+     * totals); otherwise a repair is scheduled after @p down_for >= 0.
+     */
+    void crashOneServer(uint32_t server, double down_for,
+                        bool leave_fleet);
+    /**
+     * Correlated revocation storm: kills min(count, alive-1) servers in
+     * one instant. Victim choice is a pure function of (job seed, plan
+     * seed, storm index) — it never draws from rng_, so a plan without
+     * storms is bit-identical to pre-elasticity runs.
+     */
+    void onRevocationStorm(ft::FaultPlan::Revocation storm,
+                           size_t storm_index);
+    /** Mid-job scale-out: new servers join and the scheduler fills
+     *  their (remote-only) slots immediately. */
+    void onScaleOut(ft::FaultPlan::ScaleOut add);
+    /** Graceful decommission: the newest min(count, alive-1) servers
+     *  begin draining (LIFO scale-in). */
+    void onDrain(ft::FaultPlan::Drain drain);
+    /** Retires drained servers whose slots have all emptied. */
+    void maybeRetireDrained();
 
     // --- data path ---
     /**

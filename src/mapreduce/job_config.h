@@ -15,6 +15,14 @@ struct JobConfig
 {
     std::string name = "job";
 
+    /**
+     * Cluster-grammar label of the fleet this job runs on ("xeon10",
+     * "atom60", "10xeon+20atom", ...). Informational: the Cluster object
+     * itself is built by the caller; this string only flows into the
+     * JSON job report's config section so a report names its fleet.
+     */
+    std::string cluster_spec = "xeon10";
+
     /** Number of reduce tasks (the paper runs one per server). */
     uint32_t num_reducers = 1;
 

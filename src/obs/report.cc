@@ -22,6 +22,7 @@ fillConfig(JobReport& report, const mr::JobConfig& config)
     report.reducers = config.num_reducers;
     report.failure_mode = ft::toString(config.failure_mode);
     report.fault_plan = config.fault_plan.spec();
+    report.cluster = config.cluster_spec;
     report.heartbeat_interval_ms = config.heartbeat_interval_ms;
     report.task_timeout_ms = config.task_timeout_ms;
     report.checkpoint_interval = config.reducer_checkpoint_interval;
@@ -52,6 +53,10 @@ writeCounters(JsonWriter& w, const mr::Counters& c)
     w.field("maps_retried", c.maps_retried);
     w.field("maps_absorbed", c.maps_absorbed);
     w.field("server_crashes", c.server_crashes);
+    w.field("servers_added", c.servers_added);
+    w.field("servers_revoked", c.servers_revoked);
+    w.field("servers_drained", c.servers_drained);
+    w.field("servers_retired", c.servers_retired);
     w.field("wasted_attempt_seconds", c.wasted_attempt_seconds);
     w.field("chunks_corrupted", c.chunks_corrupted);
     w.field("chunk_refetches", c.chunk_refetches);
@@ -196,6 +201,7 @@ JobReport::toJson() const
     w.field("reducers", reducers);
     w.field("failure_mode", failure_mode);
     w.field("fault_plan", fault_plan);
+    w.field("cluster", cluster);
     w.field("heartbeat_interval_ms", heartbeat_interval_ms);
     w.field("task_timeout_ms", task_timeout_ms);
     w.field("checkpoint_interval", checkpoint_interval);

@@ -89,6 +89,8 @@ struct JobReport
     uint32_t reducers = 1;
     std::string failure_mode;
     std::string fault_plan;
+    /** Fleet spec the job ran on (cluster-grammar string). */
+    std::string cluster;
     double heartbeat_interval_ms = 0.0;
     double task_timeout_ms = 0.0;
     uint64_t checkpoint_interval = 0;

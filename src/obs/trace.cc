@@ -298,6 +298,41 @@ TraceRecorder::serverRepair(uint32_t server, double now)
 }
 
 void
+TraceRecorder::revocationStorm(uint32_t count, double now)
+{
+    instant("revocation-storm", "fault", jobtrackerPid(), 0, now,
+            {{"count", num(static_cast<uint64_t>(count))}});
+}
+
+void
+TraceRecorder::serversAdded(uint32_t count, uint32_t first_id,
+                            const std::string& server_class, double now)
+{
+    for (uint32_t s = first_id; s < first_id + count; ++s) {
+        metadata("process_name", s, 0,
+                 "server " + std::to_string(s) + " (" + server_class + ")");
+    }
+    instant("servers-added", "fleet", jobtrackerPid(), 0, now,
+            {{"count", num(static_cast<uint64_t>(count))},
+             {"first_id", num(static_cast<uint64_t>(first_id))},
+             {"class", JsonWriter::quoted(server_class)}});
+}
+
+void
+TraceRecorder::serverDraining(uint32_t server, double now)
+{
+    instant("server-draining", "fleet", jobtrackerPid(), 0, now,
+            {{"server", num(static_cast<uint64_t>(server))}});
+}
+
+void
+TraceRecorder::serverRetired(uint32_t server, double now)
+{
+    instant("server-retired", "fleet", jobtrackerPid(), 0, now,
+            {{"server", num(static_cast<uint64_t>(server))}});
+}
+
+void
 TraceRecorder::waveComplete(int wave, double now)
 {
     instant("wave-complete", "job", jobtrackerPid(), 0, now,

@@ -52,8 +52,9 @@ struct ReplanRecord
  * id); within a server, one thread row per map slot (tid = 0 ..
  * map_slots-1, lanes allocated lowest-free at attempt start) and one row
  * per hosted reducer (tid = map_slots + ordinal). A virtual "jobtracker"
- * process (pid = num_servers) carries controller re-plans, wave
- * boundaries, server crash/repair and shuffle-integrity instants.
+ * process (fixed high pid, so servers joining mid-job never collide
+ * with it) carries controller re-plans, wave boundaries, server
+ * crash/repair, fleet-membership and shuffle-integrity instants.
  *
  * Timestamps are simulated microseconds (sim seconds x 1e6); each event
  * also carries the wall-clock milliseconds since recorder construction
@@ -115,6 +116,15 @@ class TraceRecorder
 
     void serverCrash(uint32_t server, double now);
     void serverRepair(uint32_t server, double now);
+    /** A correlated revocation storm fired, killing @p count servers
+        (each victim also gets its own server-crash instant). */
+    void revocationStorm(uint32_t count, double now);
+    /** Mid-job scale-out: @p count servers of @p server_class joined,
+        with ids first_id .. first_id+count-1; names their trace tracks. */
+    void serversAdded(uint32_t count, uint32_t first_id,
+                      const std::string& server_class, double now);
+    void serverDraining(uint32_t server, double now);
+    void serverRetired(uint32_t server, double now);
     void waveComplete(int wave, double now);
     void mapPhaseDone(double now);
 
@@ -147,7 +157,8 @@ class TraceRecorder
                  std::vector<std::pair<std::string, std::string>> args);
     void metadata(const char* what, uint32_t pid, int tid,
                   const std::string& label);
-    uint32_t jobtrackerPid() const { return num_servers_; }
+    /** Far above any server id, including mid-job joiners. */
+    uint32_t jobtrackerPid() const { return 1u << 20; }
 
     std::chrono::steady_clock::time_point start_wall_;
     uint32_t num_servers_ = 0;

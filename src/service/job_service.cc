@@ -64,16 +64,15 @@ JobService::JobService(const ServiceSpec& spec)
       accuracy_(spec.pressure_threshold, spec.degrade_factor,
                 spec.max_target_scale)
 {
-    if (!spec_.fault_plan.server_crashes.empty()) {
+    if (spec_.fault_plan.changesFleet()) {
         throw std::invalid_argument(
-            "JobService: server-crash faults are not supported in "
-            "multi-tenant runs (a whole-server crash cannot be "
+            "JobService: fleet-changing faults (server crashes, "
+            "revocation storms, scale-outs, drains) are not supported "
+            "in multi-tenant runs (a whole-server event cannot be "
             "attributed to one job)");
     }
-    sim::ClusterConfig cc = spec_.cluster == "atom60"
-                                ? sim::ClusterConfig::atom60()
-                                : sim::ClusterConfig::xeon10();
-    cluster_ = std::make_unique<sim::Cluster>(cc);
+    cluster_ = std::make_unique<sim::Cluster>(
+        sim::ClusterConfig::parse(spec_.cluster));
 
     if (spec_.reducers > static_cast<uint32_t>(cluster_->totalReduceSlots())) {
         throw std::invalid_argument(

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "sim/cluster.h"
 
 namespace approxhadoop::service {
 
@@ -196,9 +197,15 @@ parseServiceSpec(const std::string& spec)
                 }
             }
         } else if (key == "cluster") {
-            if (value != "xeon10" && value != "atom60") {
+            // Full fleet grammar: presets (xeon10, atom60) or mixed
+            // terms like 10xeon+20atom. Delegate validation to the
+            // cluster-spec parser so the grammars cannot drift apart.
+            try {
+                (void)sim::ClusterConfig::parse(value);
+            } catch (const std::invalid_argument& e) {
                 throw std::invalid_argument(
-                    "service spec: cluster must be xeon10 or atom60");
+                    std::string("service spec: bad cluster spec: ") +
+                    e.what());
             }
             out.cluster = value;
         } else if (key == "straggler" || key == "crash") {
@@ -274,7 +281,8 @@ serviceSpecHelp()
            "  endgame=P          endgame speculation left-percent (0=off)\n"
            "  slo=A+B+...        per-tenant p99 SLO seconds\n"
            "  workloads=a+b+...  job-mix workload names\n"
-           "  cluster=NAME       xeon10 (default) or atom60\n"
+           "  cluster=SPEC       xeon10 (default), atom60, or a mixed\n"
+           "                     fleet like 10xeon+20atom\n"
            "  straggler=P:F[:S]  injected-straggler fault clause\n"
            "  crash=P            per-attempt crash probability\n";
 }

@@ -2,6 +2,7 @@
 #define APPROXHADOOP_SIM_CLUSTER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -9,6 +10,30 @@
 #include "sim/server.h"
 
 namespace approxhadoop::sim {
+
+/**
+ * One hardware class within a (possibly mixed) fleet: a server count
+ * plus the per-server shape all members share.
+ */
+struct ServerClass
+{
+    /** Grammar name ("xeon" or "atom"); echoed by ClusterConfig::spec(). */
+    std::string name = "xeon";
+    uint32_t count = 0;
+    int map_slots = 8;
+    int reduce_slots = 1;
+    /** Relative compute speed (1.0 = paper's Xeon reference). */
+    double speed = 1.0;
+    PowerModel power = xeonPowerModel();
+
+    /** The paper's Xeon node shape: 8 map slots, 1 reduce slot, 1.0x. */
+    static ServerClass xeon(uint32_t count);
+    /** The paper's Atom node shape: 4 map slots, 1 reduce slot, 0.35x. */
+    static ServerClass atom(uint32_t count);
+    /** Looks a class template up by grammar name ("xeon"/"atom").
+     *  @throws std::invalid_argument on an unknown name */
+    static ServerClass byName(const std::string& name, uint32_t count);
+};
 
 /** Static description of a simulated cluster. */
 struct ClusterConfig
@@ -20,16 +45,50 @@ struct ClusterConfig
     double speed = 1.0;
     PowerModel power = xeonPowerModel();
 
+    /**
+     * Mixed-fleet description. Empty means a uniform fleet built from
+     * the scalar fields above (the pre-elasticity behavior, preserved
+     * bit-for-bit). Non-empty means the fleet is the concatenation of
+     * the classes, server ids assigned in class order; the scalar
+     * fields then mirror the first class so legacy readers stay
+     * sensible.
+     */
+    std::vector<ServerClass> classes;
+
     /** The paper's 10-node Xeon cluster (8 map slots, 1 reduce slot). */
     static ClusterConfig xeon10();
     /** The paper's 60-node Atom cluster (4 map slots, 1 reduce slot). */
     static ClusterConfig atom60();
+
+    /**
+     * Parses the cluster spec grammar:
+     *
+     *   xeon10 | atom60            the paper's preset fleets
+     *   <N>xeon[+<M>atom[+...]]    mixed fleet, e.g. "10xeon+20atom"
+     *
+     * Terms are '+'-separated `<count><class>` with class in
+     * {xeon, atom}; counts must be >= 1 and the fleet non-empty.
+     * parse("xeon10") and parse("10xeon") build identical servers.
+     *
+     * @throws std::invalid_argument on malformed input
+     */
+    static ClusterConfig parse(const std::string& spec);
+
+    /** Canonical grammar form: "xeon10"/"atom60" for the presets, the
+     *  '+'-joined class list otherwise. parse(spec()) round-trips. */
+    std::string spec() const;
 };
 
 /**
  * A simulated server cluster: the event queue plus the servers and their
  * energy meters. The MapReduce runtime (src/mapreduce/) layers job
  * scheduling on top of this.
+ *
+ * The fleet is dynamic: addServers() grows it mid-run (scale-out) and
+ * servers leave through drain/retire (graceful decommission) or
+ * fail-forever (revocation). Departed servers draw no power and are
+ * excluded from the slot totals, but keep their ids — server ids are
+ * stable for the lifetime of the cluster.
  */
 class Cluster
 {
@@ -52,6 +111,21 @@ class Cluster
         return static_cast<uint32_t>(servers_.size());
     }
 
+    /**
+     * Adds @p count servers of class @p cls to the fleet at the current
+     * simulated time. The joiners' energy meters start at now — they are
+     * charged nothing for the epoch before they existed. Invalidates
+     * references into servers().
+     *
+     * @return the id of the first new server (ids are sequential)
+     */
+    uint32_t addServers(uint32_t count, const ServerClass& cls);
+
+    /**
+     * Map slots on servers that can still be scheduled onto (excludes
+     * draining and retired servers; a temporarily failed server still
+     * counts, as before elasticity — it will be repaired).
+     */
     int totalMapSlots() const;
     int totalReduceSlots() const;
 

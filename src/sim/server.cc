@@ -5,19 +5,22 @@
 namespace approxhadoop::sim {
 
 Server::Server(uint32_t id, int map_slots, int reduce_slots, double speed,
-               const PowerModel& power)
+               const PowerModel& power, SimTime joined_at)
     : id_(id), map_slots_(map_slots), reduce_slots_(reduce_slots),
-      speed_(speed), power_(power)
+      speed_(speed), power_(power), joined_at_(joined_at),
+      last_accrual_(joined_at)
 {
     assert(map_slots >= 0);
     assert(reduce_slots >= 0);
     assert(speed > 0.0);
+    assert(joined_at >= 0.0);
 }
 
 double
 Server::currentWatts() const
 {
-    if (state_ == ServerState::kFailed) {
+    if (state_ == ServerState::kFailed ||
+        state_ == ServerState::kRetired) {
         return 0.0;
     }
     if (state_ == ServerState::kLowPower) {
@@ -103,6 +106,25 @@ Server::repair(SimTime now)
     assert(state_ == ServerState::kFailed);
     accrue(now);
     state_ = ServerState::kActive;
+}
+
+void
+Server::beginDrain(SimTime now)
+{
+    assert(state_ == ServerState::kActive ||
+           state_ == ServerState::kLowPower);
+    accrue(now);
+    state_ = ServerState::kDraining;
+}
+
+void
+Server::retire(SimTime now)
+{
+    assert(state_ == ServerState::kDraining ||
+           state_ == ServerState::kFailed);
+    assert(busy_map_slots_ == 0);
+    accrue(now);
+    state_ = ServerState::kRetired;
 }
 
 }  // namespace approxhadoop::sim

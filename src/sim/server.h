@@ -13,6 +13,9 @@ enum class ServerState {
     kActive,    ///< powered on; draws idle..peak depending on utilization
     kLowPower,  ///< ACPI S3 suspend
     kFailed,    ///< crashed; draws nothing, takes no work until repair
+    kDraining,  ///< graceful decommission: powered, finishes running work,
+                ///< accepts nothing new, retires once drained
+    kRetired,   ///< left the fleet for good; draws nothing forever
 };
 
 /**
@@ -20,7 +23,10 @@ enum class ServerState {
  * slots (Hadoop 1.x style), a relative speed factor, and an energy meter.
  *
  * Energy is integrated lazily: every slot or state change first accrues
- * energy for the elapsed interval at the previous power draw.
+ * energy for the elapsed interval at the previous power draw. A server
+ * that joined mid-run (scale-out) starts its meter at its join time, and
+ * a retired server draws nothing after departure — the meter only ever
+ * covers the interval the server was actually part of the fleet.
  */
 class Server
 {
@@ -31,14 +37,17 @@ class Server
      * @param reduce_slots concurrent reduce tasks the node can run
      * @param speed        relative speed factor (1.0 = reference Xeon)
      * @param power        power model for energy accounting
+     * @param joined_at    simulated time the node joined the fleet; its
+     *                     energy meter starts here
      */
     Server(uint32_t id, int map_slots, int reduce_slots, double speed,
-           const PowerModel& power);
+           const PowerModel& power, SimTime joined_at = 0.0);
 
     uint32_t id() const { return id_; }
     int mapSlots() const { return map_slots_; }
     int reduceSlots() const { return reduce_slots_; }
     double speed() const { return speed_; }
+    SimTime joinedAt() const { return joined_at_; }
 
     int busyMapSlots() const { return busy_map_slots_; }
     int busyReduceSlots() const { return busy_reduce_slots_; }
@@ -46,6 +55,9 @@ class Server
     int freeReduceSlots() const { return reduce_slots_ - busy_reduce_slots_; }
 
     ServerState state() const { return state_; }
+
+    /** True once the server has permanently left the fleet. */
+    bool departed() const { return state_ == ServerState::kRetired; }
 
     /** Claims one map slot. @pre freeMapSlots() > 0 and state is active */
     void acquireMapSlot(SimTime now);
@@ -80,6 +92,24 @@ class Server
     /** Repairs a failed server; it can host new attempts again. */
     void repair(SimTime now);
 
+    /**
+     * Starts a graceful decommission: the node keeps running (and is
+     * billed for) its in-flight work but is offered nothing new; call
+     * retire() once the map slots drain.
+     * @pre state is active or low-power
+     */
+    void beginDrain(SimTime now);
+
+    /**
+     * Removes the server from the fleet for good; it draws no power
+     * from this instant on. Reached from kDraining (graceful, once map
+     * slots drained) or kFailed (a permanent revocation). Reduce slots
+     * may still be claimed — a surviving reducer's state lives off-node
+     * and its slot release on a retired server is a no-op power-wise.
+     * @pre busyMapSlots() == 0
+     */
+    void retire(SimTime now);
+
     /** Instantaneous power draw in watts. */
     double currentWatts() const;
 
@@ -100,6 +130,7 @@ class Server
     int busy_reduce_slots_ = 0;
     ServerState state_ = ServerState::kActive;
 
+    SimTime joined_at_ = 0.0;
     SimTime last_accrual_ = 0.0;
     double energy_joules_ = 0.0;
 };

@@ -1,0 +1,117 @@
+#include "workloads/skew_storm.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "workloads/format_util.h"
+
+namespace approxhadoop::workloads {
+
+namespace {
+
+/**
+ * Appends one skew-storm record. Per-record RNG streams are frozen to
+ * (seed, block, index) exactly like access_log.cc, so the bytes never
+ * depend on sampling order, batching, or the host thread count.
+ */
+void
+appendSkewStormRecord(const SkewStormParams& p,
+                      const ZipfDistribution& project_zipf,
+                      const ZipfDistribution& page_zipf, uint64_t block,
+                      uint64_t index, std::string& out)
+{
+    Rng rng(splitmix64(p.seed ^ (block * 0x9E3779B1ULL + index)));
+
+    uint64_t project;
+    if (p.hot_keys > 0 && rng.bernoulli(p.hot_key_prob)) {
+        // Celebrity projects: a handful of keys absorb a constant
+        // fraction of the whole log.
+        project = rng.uniformInt(p.hot_keys);
+    } else {
+        project = project_zipf.sample(rng);
+    }
+    uint64_t page = page_zipf.sample(rng);
+    uint64_t ts = block * 3600 + rng.uniformInt(3600);
+    uint64_t bytes =
+        static_cast<uint64_t>(rng.exponential(1.0 / p.mean_bytes)) + 200;
+
+    appendU64(out, ts);
+    out.append("\tproj");
+    appendU64(out, project);
+    out.append("\tproj");
+    appendU64(out, project);
+    out.append("/page");
+    appendU64(out, page);
+    out.push_back('\t');
+    appendU64(out, bytes);
+}
+
+/** BlockDataset with Zipf-shifted per-block item counts. */
+class SkewStormDataset : public hdfs::BlockDataset
+{
+  public:
+    explicit SkewStormDataset(const SkewStormParams& params)
+        : params_(params),
+          project_zipf_(params.num_projects, params.project_zipf),
+          page_zipf_(params.pages_per_project, params.page_zipf)
+    {
+    }
+
+    uint64_t numBlocks() const override { return params_.num_blocks; }
+
+    uint64_t itemsInBlock(uint64_t block) const override
+    {
+        return skewStormItemsInBlock(params_, block);
+    }
+
+    std::string item(uint64_t block, uint64_t index) const override
+    {
+        std::string out;
+        appendSkewStormRecord(params_, project_zipf_, page_zipf_, block,
+                              index, out);
+        return out;
+    }
+
+    void readItems(uint64_t block, const uint64_t* indices, size_t count,
+                   hdfs::RecordBuffer& out) const override
+    {
+        for (size_t i = 0; i < count; ++i) {
+            appendSkewStormRecord(params_, project_zipf_, page_zipf_,
+                                  block, indices[i], out.bytes());
+            out.endRecord();
+        }
+    }
+
+    uint64_t bytesPerItem() const override { return 120; }
+
+  private:
+    SkewStormParams params_;
+    ZipfDistribution project_zipf_;
+    ZipfDistribution page_zipf_;
+};
+
+}  // namespace
+
+uint64_t
+skewStormItemsInBlock(const SkewStormParams& params, uint64_t block)
+{
+    if (params.size_classes <= 1) {
+        return params.items_per_block;
+    }
+    // The storm rank is a pure function of (seed, block): most blocks
+    // draw rank 0 (base size); a heavy-tailed few draw a high rank and
+    // balloon to (1 + rank) times the base.
+    Rng rng(splitmix64(params.seed * 0x51C5ULL + block));
+    ZipfDistribution size_zipf(params.size_classes, params.size_zipf);
+    uint64_t rank = size_zipf.sample(rng);
+    return params.items_per_block * (1 + rank);
+}
+
+std::unique_ptr<hdfs::BlockDataset>
+makeSkewStorm(const SkewStormParams& params)
+{
+    return std::make_unique<SkewStormDataset>(params);
+}
+
+}  // namespace approxhadoop::workloads

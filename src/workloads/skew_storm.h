@@ -1,0 +1,73 @@
+#ifndef APPROXHADOOP_WORKLOADS_SKEW_STORM_H_
+#define APPROXHADOOP_WORKLOADS_SKEW_STORM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hdfs/dataset.h"
+
+namespace approxhadoop::workloads {
+
+/**
+ * Hot-key / skew-storm access log: the adversarial cousin of the access
+ * log in access_log.h, built to stress two-stage cluster sampling where
+ * it is weakest.
+ *
+ * Two kinds of skew are injected, both deterministic in the seed:
+ *
+ *  - Cluster-size skew ("storm blocks"): per-block item counts are
+ *    Zipf-shifted — each block draws a rank from Zipf(size_zipf) over
+ *    size_classes ranks and holds items_per_block * (1 + rank) records.
+ *    Most blocks stay at the base size; a heavy-tailed few balloon to
+ *    size_classes times it, so dropping one of those blocks moves the
+ *    estimate far more than the average cluster would.
+ *
+ *  - Key skew (hot keys): with hot_key_prob a record's project is one of
+ *    hot_keys "celebrity" projects instead of a Zipf draw over the full
+ *    project space, concentrating reducer key mass the way a viral page
+ *    concentrates real pageview logs.
+ *
+ * Records are byte-compatible with the access-log format
+ * ("ts TAB project TAB page TAB bytes"), so every log-processing app
+ * (projectpop, pagepop, pagetraffic) runs unchanged on top of it.
+ */
+struct SkewStormParams
+{
+    /** Blocks (= map tasks). */
+    uint64_t num_blocks = 744;
+    /** Base log lines per block (storm blocks hold a multiple). */
+    uint64_t items_per_block = 400;
+    /** Size classes: a block's item count is base * (1 + rank) with
+     *  rank Zipf-drawn in [0, size_classes). */
+    uint64_t size_classes = 16;
+    /** Zipf exponent of the block-size rank draw (higher = rarer,
+     *  sharper storms). */
+    double size_zipf = 1.4;
+    /** Distinct projects in the cold tail. */
+    uint64_t num_projects = 2640;
+    /** Zipf exponent of cold-tail project popularity. */
+    double project_zipf = 1.15;
+    /** Probability a record hits one of the hot keys. */
+    double hot_key_prob = 0.35;
+    /** Number of celebrity projects sharing the hot mass. */
+    uint64_t hot_keys = 3;
+    /** Distinct pages per project (modeled, not enumerated). */
+    uint64_t pages_per_project = 5000;
+    /** Zipf exponent of page-within-project popularity. */
+    double page_zipf = 1.05;
+    /** Mean response size in bytes. */
+    double mean_bytes = 12000.0;
+    uint64_t seed = 2015;
+};
+
+/** Number of records in @p block under @p params (exposed for tests). */
+uint64_t skewStormItemsInBlock(const SkewStormParams& params,
+                               uint64_t block);
+
+/** Builds the skew-storm log as a lazily generated dataset. */
+std::unique_ptr<hdfs::BlockDataset>
+makeSkewStorm(const SkewStormParams& params);
+
+}  // namespace approxhadoop::workloads
+
+#endif  // APPROXHADOOP_WORKLOADS_SKEW_STORM_H_

@@ -18,6 +18,7 @@
 #include "chaos/oracle.h"
 #include "chaos/scenario.h"
 #include "chaos/shrink.h"
+#include "sim/cluster.h"
 
 namespace approxhadoop::chaos {
 namespace {
@@ -104,6 +105,119 @@ TEST(ScenarioGeneratorTest, MultiJobSliceDrawsTwoToFourJobsSansCrashes)
     // ~12% slice of 300 scenarios: present but not dominant.
     EXPECT_GE(multi, 15u);
     EXPECT_LE(multi, 80u);
+}
+
+TEST(ScenarioGeneratorTest, ElasticDimensionsAreDrawnAndWellFormed)
+{
+    // The elastic slice of the scenario space: mixed fleets, revocation
+    // storms, scale-outs, and drains must all appear across a family,
+    // always on single-job scenarios (JobService rejects fleet changes),
+    // and every generated fleet must be big enough for legacy
+    // `server=ID` draws (ids 0..9).
+    ScenarioGenerator gen(7);
+    uint64_t fleets = 0, storms = 0, scale_outs = 0, drains = 0;
+    for (uint64_t i = 0; i < 300; ++i) {
+        Scenario s = gen.generate(i);
+        if (s.cluster != "xeon10") {
+            ++fleets;
+            sim::Cluster cluster(sim::ClusterConfig::parse(s.cluster));
+            EXPECT_GE(cluster.numServers(), 10u) << s.describe();
+            EXPECT_NE(s.describe().find("cluster="), std::string::npos);
+            EXPECT_NE(s.approxrunCommand().find("--cluster " + s.cluster),
+                      std::string::npos);
+        }
+        if (!s.plan.revocations.empty()) {
+            ++storms;
+        }
+        if (!s.plan.scale_outs.empty()) {
+            ++scale_outs;
+        }
+        if (!s.plan.drains.empty()) {
+            ++drains;
+        }
+        if (s.concurrent_jobs > 1) {
+            EXPECT_FALSE(s.plan.changesFleet())
+                << "fleet changes cannot be attributed to one tenant: "
+                << s.describe();
+        }
+    }
+    EXPECT_GE(fleets, 40u);
+    EXPECT_GE(storms, 30u);
+    EXPECT_GE(scale_outs, 20u);
+    EXPECT_GE(drains, 20u);
+}
+
+TEST(ChaosOracleTest, ElasticScenariosPassAllInvariants)
+{
+    // Hand-built worst case: heterogeneous fleet, permanent revocation
+    // storm, scale-out, and drain in one absorb run. The oracle replays
+    // the whole thing: CI accounting, fleet counters, determinism.
+    Scenario s;
+    s.workload = "skewstorm";
+    s.blocks = 24;
+    s.items = 16;
+    s.reducers = 2;
+    s.job_seed = 9;
+    s.mode = ft::FailureMode::kAbsorb;
+    s.cluster = "6xeon+6atom";
+    ft::FaultPlan::Revocation storm;
+    storm.count = 3;
+    storm.at = 4.0;
+    storm.down_for = -1.0;
+    s.plan.revocations.push_back(storm);
+    ft::FaultPlan::ScaleOut add;
+    add.count = 4;
+    add.server_class = "atom";
+    add.at = 6.0;
+    s.plan.scale_outs.push_back(add);
+    ft::FaultPlan::Drain drain;
+    drain.count = 2;
+    drain.at = 9.0;
+    s.plan.drains.push_back(drain);
+    s.plan.seed = 5;
+    std::vector<Violation> v = ChaosOracle().check(s);
+    EXPECT_TRUE(v.empty())
+        << s.describe() << " violated " << v.front().invariant << ": "
+        << v.front().detail;
+}
+
+TEST(ShrinkTest, ElasticNoiseIsStrippedWhenIrrelevant)
+{
+    Scenario failing = ScenarioGenerator(3).generate(0);
+    failing.plan.task_crash_prob = 0.5;
+    failing.cluster = "10xeon+20atom";
+    ft::FaultPlan::Revocation storm;
+    storm.count = 4;
+    storm.at = 10.0;
+    failing.plan.revocations.push_back(storm);
+    ft::FaultPlan::ScaleOut add;
+    add.count = 2;
+    add.server_class = "atom";
+    add.at = 20.0;
+    failing.plan.scale_outs.push_back(add);
+    ft::FaultPlan::Drain drain;
+    drain.count = 1;
+    drain.at = 30.0;
+    failing.plan.drains.push_back(drain);
+
+    // The "bug" only needs the crash probability: the storm, resize,
+    // and mixed fleet are noise and must all be stripped.
+    auto still_fails = [](const Scenario& s) {
+        return s.plan.task_crash_prob > 0.1;
+    };
+    ShrinkResult out = shrinkScenario(failing, still_fails);
+    EXPECT_TRUE(out.scenario.plan.revocations.empty());
+    EXPECT_TRUE(out.scenario.plan.scale_outs.empty());
+    EXPECT_TRUE(out.scenario.plan.drains.empty());
+    EXPECT_EQ(out.scenario.cluster, "xeon10");
+
+    // But when the failure *requires* the storm, the revoke key stays —
+    // the ci-widening probe depends on exactly this.
+    auto needs_storm = [](const Scenario& s) {
+        return !s.plan.revocations.empty();
+    };
+    ShrinkResult kept = shrinkScenario(failing, needs_storm);
+    EXPECT_FALSE(kept.scenario.plan.revocations.empty());
 }
 
 TEST(ChaosOracleTest, MultiJobScenarioPassesServiceInvariants)

@@ -79,6 +79,10 @@ TEST(ApproxrunCliTest, MalformedInvocationsExitTwoWithGrammar)
         {"projectpop --seed -1", 2, "non-negative", "negative seed"},
         {"projectpop --seed 1e9", 2, "non-negative", "float seed"},
         {"projectpop --cluster foo", 2, "xeon10", "unknown cluster"},
+        {"projectpop --cluster 10xeon+0atom", 2, "xeon10",
+         "zero-count class in mixed fleet"},
+        {"projectpop --cluster 4bogus", 2, "xeon10",
+         "unknown class in fleet spec"},
         {"projectpop --max-attempts 0", 2, "[1, 1000000]",
          "zero attempts"},
         {"projectpop --checkpoint-interval x", 2, "non-negative",
@@ -171,12 +175,43 @@ TEST(ApproxrunCliTest, RetryExhaustionExitsThree)
     EXPECT_NE(r.output.find("job failed"), std::string::npos) << r.output;
 }
 
+TEST(ApproxrunCliTest, MixedFleetElasticRunExitsZeroAndSelfChecks)
+{
+    // A revocation storm + scale-out + drain on a heterogeneous fleet
+    // under absorb must finish, certify its own CI accounting
+    // (--selfcheck), and report the fleet counters.
+    RunResult r = runApproxrun(
+        "projectpop --blocks 24 --items 40 --seed 11 "
+        "--cluster 6xeon+6atom --failure-mode absorb --selfcheck "
+        "--fault-plan revoke=3@4,addsrv=3atom@6,drain=2@9,seed=2");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("selfcheck"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("srv_revoked=3"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("srv_added=3"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("srv_drained=2"), std::string::npos)
+        << r.output;
+}
+
+TEST(ApproxrunCliTest, ServerCrashOutsideFleetExitsTwoWithRange)
+{
+    // server=99 on a 10-server fleet is a config error, caught before
+    // the job starts: exit 2 with the valid id range, not a mid-run
+    // crash or a silently ignored clause.
+    RunResult r = runApproxrun(
+        "projectpop --blocks 4 --items 4 --fault-plan server=99@5");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("valid ids: 0..9"), std::string::npos)
+        << r.output;
+}
+
 TEST(ApproxrunCliTest, FaultPlanHelpMentionsEveryKey)
 {
     RunResult r = runApproxrun("projectpop --fault-plan bogus=1");
     EXPECT_EQ(r.exit_code, 2);
     for (const char* key : {"crash", "rcrash", "straggler", "corrupt",
-                            "badrec", "server", "seed"}) {
+                            "badrec", "server", "revoke", "addsrv",
+                            "drain", "seed"}) {
         EXPECT_NE(r.output.find(key), std::string::npos)
             << "fault-plan grammar omits key '" << key << "'";
     }

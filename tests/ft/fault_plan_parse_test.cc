@@ -59,6 +59,21 @@ TEST(FaultPlanParseTest, RejectsInvalidSpecs)
         {"crash=", "clause without value"},
         {"crash=0.1,,straggler=0.1:2", "empty clause"},
         {"bogus=1", "unknown key"},
+        // Elastic-fleet keys: counts, classes, and time tails are
+        // validated like everything else.
+        {"revoke=5", "revoke without @T"},
+        {"revoke=0@10", "zero revoke count"},
+        {"revoke=x@10", "non-numeric revoke count"},
+        {"revoke=3@-5", "negative storm time"},
+        {"revoke=3@10+-2", "negative repair duration"},
+        {"addsrv=4atom", "addsrv without @T"},
+        {"addsrv=atom@10", "addsrv without count"},
+        {"addsrv=4@10", "addsrv without class"},
+        {"addsrv=4bogus@10", "unknown server class"},
+        {"addsrv=4atom@10+5", "addsrv takes no +D duration"},
+        {"drain=2", "drain without @T"},
+        {"drain=0@10", "zero drain count"},
+        {"drain=2@10+5", "drain takes no +D duration"},
     };
     for (const BadSpec& c : cases) {
         EXPECT_THROW(FaultPlan::parse(c.spec), std::invalid_argument)
@@ -96,6 +111,26 @@ TEST(FaultPlanParseTest, RepeatedServerClausesAreAllowed)
     EXPECT_EQ(plan.server_crashes[1].server, 1u);
 }
 
+TEST(FaultPlanParseTest, ParsesElasticFleetKeys)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "revoke=3@60,revoke=2@90+30,addsrv=4atom@45,drain=2@120");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_TRUE(plan.changesFleet());
+    ASSERT_EQ(plan.revocations.size(), 2u);
+    EXPECT_EQ(plan.revocations[0].count, 3u);
+    EXPECT_DOUBLE_EQ(plan.revocations[0].at, 60.0);
+    EXPECT_LT(plan.revocations[0].down_for, 0.0) << "permanent by default";
+    EXPECT_DOUBLE_EQ(plan.revocations[1].down_for, 30.0);
+    ASSERT_EQ(plan.scale_outs.size(), 1u);
+    EXPECT_EQ(plan.scale_outs[0].count, 4u);
+    EXPECT_EQ(plan.scale_outs[0].server_class, "atom");
+    EXPECT_DOUBLE_EQ(plan.scale_outs[0].at, 45.0);
+    ASSERT_EQ(plan.drains.size(), 1u);
+    EXPECT_EQ(plan.drains[0].count, 2u);
+    EXPECT_DOUBLE_EQ(plan.drains[0].at, 120.0);
+}
+
 TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
 {
     const std::vector<std::string> specs = {
@@ -107,6 +142,9 @@ TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
         "server=2@150,server=0@10+25",
         "crash=0.5,straggler=0.1:8:0.25,server=4@99.5+3.5,seed=777",
         "seed=42",
+        "revoke=3@60",
+        "revoke=2@10+30,addsrv=4atom@90,drain=2@120",
+        "crash=0.1,revoke=1@5.5,addsrv=2xeon@7.25,drain=1@9,seed=3",
     };
     for (const std::string& spec : specs) {
         FaultPlan plan = FaultPlan::parse(spec);
@@ -135,6 +173,33 @@ TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
                       again.server_crashes[i].down_for)
                 << spec;
         }
+        ASSERT_EQ(plan.revocations.size(), again.revocations.size())
+            << spec;
+        for (size_t i = 0; i < plan.revocations.size(); ++i) {
+            EXPECT_EQ(plan.revocations[i].count,
+                      again.revocations[i].count)
+                << spec;
+            EXPECT_EQ(plan.revocations[i].at, again.revocations[i].at)
+                << spec;
+            EXPECT_EQ(plan.revocations[i].down_for,
+                      again.revocations[i].down_for)
+                << spec;
+        }
+        ASSERT_EQ(plan.scale_outs.size(), again.scale_outs.size()) << spec;
+        for (size_t i = 0; i < plan.scale_outs.size(); ++i) {
+            EXPECT_EQ(plan.scale_outs[i].count, again.scale_outs[i].count)
+                << spec;
+            EXPECT_EQ(plan.scale_outs[i].server_class,
+                      again.scale_outs[i].server_class)
+                << spec;
+            EXPECT_EQ(plan.scale_outs[i].at, again.scale_outs[i].at)
+                << spec;
+        }
+        ASSERT_EQ(plan.drains.size(), again.drains.size()) << spec;
+        for (size_t i = 0; i < plan.drains.size(); ++i) {
+            EXPECT_EQ(plan.drains[i].count, again.drains[i].count) << spec;
+            EXPECT_EQ(plan.drains[i].at, again.drains[i].at) << spec;
+        }
         // And spec() must be canonical: serializing twice is a fixpoint.
         EXPECT_EQ(plan.spec(), again.spec()) << spec;
     }
@@ -148,7 +213,8 @@ TEST(FaultPlanRoundTripTest, EveryParserKeyAppearsInSummaryAndHelp)
     // exercises every key so summary() has a reason to mention each.
     FaultPlan plan = FaultPlan::parse(
         "crash=0.1,corrupt=0.2,badrec=0.3,rcrash=0.4,"
-        "straggler=0.5:4,server=1@50,seed=9");
+        "straggler=0.5:4,server=1@50,revoke=2@60,addsrv=3atom@70,"
+        "drain=1@80,seed=9");
     const std::string summary = plan.summary();
     const std::string help = FaultPlan::helpText();
     for (const std::string& key : FaultPlan::specKeys()) {

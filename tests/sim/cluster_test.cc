@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -103,6 +104,117 @@ TEST(ClusterTest, ReduceSlotAccountingMatchesMapSlots)
     server.releaseReduceSlot(2.0);
     EXPECT_EQ(server.busyReduceSlots(), 0);
     EXPECT_EQ(server.freeReduceSlots(), 1);
+}
+
+TEST(ClusterTest, ClusterSpecGrammarTable)
+{
+    // Table-driven: spec -> (servers, map slots, reduce slots). Mixed
+    // fleets concatenate classes in order; parse(spec()) round-trips.
+    struct Case
+    {
+        const char* spec;
+        uint32_t servers;
+        int map_slots;
+        int reduce_slots;
+    };
+    const std::vector<Case> cases = {
+        {"xeon10", 10, 80, 10},
+        {"10xeon", 10, 80, 10},
+        {"atom60", 60, 240, 60},
+        {"60atom", 60, 240, 60},
+        {"10xeon+20atom", 30, 80 + 80, 30},
+        {"6xeon+6atom", 12, 48 + 24, 12},
+        {"1xeon+1atom+1xeon", 3, 8 + 4 + 8, 3},
+    };
+    for (const Case& c : cases) {
+        Cluster cluster(ClusterConfig::parse(c.spec));
+        EXPECT_EQ(cluster.numServers(), c.servers) << c.spec;
+        EXPECT_EQ(cluster.totalMapSlots(), c.map_slots) << c.spec;
+        EXPECT_EQ(cluster.totalReduceSlots(), c.reduce_slots) << c.spec;
+        ClusterConfig again =
+            ClusterConfig::parse(cluster.config().spec());
+        EXPECT_EQ(Cluster(again).totalMapSlots(), c.map_slots) << c.spec;
+    }
+}
+
+TEST(ClusterTest, ClusterSpecGrammarRejectsMalformedSpecs)
+{
+    for (const char* bad :
+         {"", "xeon", "10", "10bogus", "xeon+atom", "10xeon+", "0xeon",
+          "10xeon+0atom", "-3xeon"}) {
+        EXPECT_THROW(ClusterConfig::parse(bad), std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(ClusterTest, MixedFleetKeepsPerClassShape)
+{
+    Cluster cluster(ClusterConfig::parse("2xeon+3atom"));
+    ASSERT_EQ(cluster.numServers(), 5u);
+    EXPECT_EQ(cluster.server(0).mapSlots(), 8);
+    EXPECT_DOUBLE_EQ(cluster.server(1).speed(), 1.0);
+    EXPECT_EQ(cluster.server(2).mapSlots(), 4);
+    EXPECT_DOUBLE_EQ(cluster.server(4).speed(), 0.35);
+}
+
+TEST(ClusterTest, DrainingAndRetiredServersLeaveSlotTotals)
+{
+    Cluster cluster(ClusterConfig::xeon10());
+    ASSERT_EQ(cluster.totalMapSlots(), 80);
+
+    // A temporarily failed server still counts (it will be repaired) —
+    // the pre-elasticity accounting, preserved bit-for-bit.
+    cluster.server(0).fail(1.0);
+    EXPECT_EQ(cluster.totalMapSlots(), 80);
+    cluster.server(0).repair(2.0);
+
+    cluster.server(1).beginDrain(3.0);
+    EXPECT_EQ(cluster.totalMapSlots(), 72);
+    EXPECT_EQ(cluster.totalReduceSlots(), 9);
+
+    cluster.server(1).retire(4.0);
+    EXPECT_TRUE(cluster.server(1).departed());
+    EXPECT_EQ(cluster.totalMapSlots(), 72);
+
+    uint32_t first = cluster.addServers(2, ServerClass::atom(2));
+    EXPECT_EQ(first, 10u);
+    EXPECT_EQ(cluster.numServers(), 12u);
+    EXPECT_EQ(cluster.totalMapSlots(), 72 + 8);
+}
+
+TEST(ClusterTest, EnergyIntegralStopsAtDepartureAndStartsAtJoin)
+{
+    // Hand-computed integral. All servers idle at 100 W:
+    //   server 0: active 0..3600          -> 100 Wh
+    //   server 1: revoked at 1800 (fail + retire, permanent)
+    //             active 0..1800          ->  50 Wh, then 0 W forever
+    //   server 2: joins at 1800, active 1800..3600 -> 50 Wh
+    // Total: 200 Wh. A meter bug that keeps billing departed servers or
+    // backfills joiners shows up as 250 or 300 here.
+    ClusterConfig config;
+    config.num_servers = 2;
+    config.map_slots_per_server = 1;
+    config.power = PowerModel{100.0, 200.0, 10.0};
+    Cluster cluster(config);
+
+    ServerClass joiner = ServerClass::xeon(1);
+    joiner.power = PowerModel{100.0, 200.0, 10.0};
+    cluster.events().schedule(1800.0, [&cluster, joiner] {
+        cluster.server(1).fail(1800.0);
+        cluster.server(1).retire(1800.0);
+        cluster.addServers(1, joiner);
+    });
+    cluster.events().schedule(3600.0, [] {});
+    cluster.events().run();
+
+    EXPECT_EQ(cluster.server(2).joinedAt(), 1800.0);
+    EXPECT_NEAR(cluster.energyWattHours(), 200.0, 1e-9);
+
+    // Another hour changes nothing for the departed server: only the
+    // two live meters advance.
+    cluster.events().schedule(7200.0, [] {});
+    cluster.events().run();
+    EXPECT_NEAR(cluster.energyWattHours(), 400.0, 1e-9);
 }
 
 TEST(ClusterTest, TimeComesFromEventQueue)

@@ -36,6 +36,30 @@ TEST(TaskCostModelTest, SpeedDividesDuration)
     EXPECT_DOUBLE_EQ(model.duration(0, 0, 2.0, rng), 0.5);
 }
 
+TEST(TaskCostModelTest, SpeedScalingTableCoversTheFleetClasses)
+{
+    // Table-driven over the hardware classes the cluster grammar ships
+    // (atom 0.35x, xeon 1.0x) plus extremes: duration is exactly the
+    // speed-1 duration divided by the speed, for every component.
+    TaskCostModel model;
+    model.t0 = 1.5;
+    model.t_read = 0.02;
+    model.t_process = 0.08;
+    model.noise_sigma = 0.0;
+    Rng base_rng(9);
+    const double base = model.duration(400, 100, 1.0, base_rng);
+    ASSERT_DOUBLE_EQ(base, 1.5 + 8.0 + 8.0);
+    for (double speed : {0.35, 0.5, 1.0, 2.0, 4.0}) {
+        Rng rng(9);
+        EXPECT_DOUBLE_EQ(model.duration(400, 100, speed, rng),
+                         base / speed)
+            << "speed " << speed;
+        Rng rng2(9);
+        auto s = model.durationDetailed(400, 100, speed, 1.0, 0.0, rng2);
+        EXPECT_NEAR(s.total, base / speed, 1e-12) << "speed " << speed;
+    }
+}
+
 TEST(TaskCostModelTest, NoiseHasUnitMean)
 {
     TaskCostModel model;

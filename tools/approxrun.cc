@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,9 @@ std::unique_ptr<obs::Observability> g_obs;
 /** Exit codes: distinguishable failure classes for scripts and CI. */
 enum ExitCode {
     kExitOk = 0,
-    kExitBadUsage = 2,       // unknown app/flag or malformed value
+    kExitBadUsage = 2,       // unknown app/flag, malformed value, or a
+                             // config rejected at job start (e.g. a fault
+                             // plan naming a server outside the fleet)
     kExitJobFailed = 3,      // job aborted after retry exhaustion
     kExitSelfcheckFailed = 4 // reported CI does not cover the exact answer
 };
@@ -115,7 +118,9 @@ usage()
         "  --threads N           host threads for real map work "
         "(default 1;\n"
         "                        results are identical at any setting)\n"
-        "  --cluster NAME        xeon10 (default) or atom60\n"
+        "  --cluster SPEC        xeon10 (default), atom60, or a mixed\n"
+        "                        fleet in the cluster grammar, e.g.\n"
+        "                        10xeon+20atom\n"
         "  --seed S              experiment seed (non-negative integer)\n"
         "  --fault-plan SPEC     inject failures; SPEC grammar:\n"
         "%s"
@@ -335,9 +340,11 @@ parseArgs(int argc, char** argv, Options& opt)
             }
         } else if (arg == "--cluster") {
             opt.cluster = value();
-            if (opt.cluster != "xeon10" && opt.cluster != "atom60") {
-                return badValue(arg, "one of: xeon10 atom60",
-                                opt.cluster.c_str());
+            try {
+                (void)sim::ClusterConfig::parse(opt.cluster);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "--cluster: %s\n", e.what());
+                return false;
             }
         } else if (arg == "--seed") {
             const char* v = value();
@@ -447,6 +454,7 @@ void
 applyCommonConfig(const Options& opt, mr::JobConfig& config)
 {
     config.seed = opt.seed;
+    config.cluster_spec = opt.cluster;
     config.s3_when_drained = opt.s3;
     config.num_exec_threads = opt.threads;
     config.fault_plan = opt.fault_plan;
@@ -468,8 +476,7 @@ applyCommonConfig(const Options& opt, mr::JobConfig& config)
 sim::ClusterConfig
 clusterConfigFor(const Options& opt)
 {
-    return opt.cluster == "atom60" ? sim::ClusterConfig::atom60()
-                                   : sim::ClusterConfig::xeon10();
+    return sim::ClusterConfig::parse(opt.cluster);
 }
 
 bool
@@ -701,5 +708,10 @@ main(int argc, char** argv)
                                  g_obs.get()));
         }
         return kExitJobFailed;
+    } catch (const std::invalid_argument& e) {
+        // Config rejected at job start (e.g. `server=ID` outside the
+        // fleet): a usage error, not a runtime failure.
+        std::fprintf(stderr, "config error: %s\n", e.what());
+        return kExitBadUsage;
     }
 }

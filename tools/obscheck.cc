@@ -120,6 +120,40 @@ checkReport(const std::string& path, Checker& check)
                       std::string("report: counters.") + key +
                           " is not a number");
     }
+    // Fleet-elasticity fields (additive in schema /1: absent in reports
+    // from older builds, typed + conserved when present).
+    for (const char* key : {"servers_added", "servers_revoked",
+                            "servers_drained", "servers_retired"}) {
+        if (counters.has(key)) {
+            check.require(counters.at(key).isNumber(),
+                          std::string("report: counters.") + key +
+                              " is not a number");
+        }
+    }
+    if (counters.has("servers_revoked") &&
+        counters.has("server_crashes") &&
+        counters.at("servers_revoked").isNumber() &&
+        counters.at("server_crashes").isNumber()) {
+        check.require(counters.at("servers_revoked").number <=
+                          counters.at("server_crashes").number,
+                      "report: counters.servers_revoked exceeds "
+                      "server_crashes (every storm victim is a crash)");
+    }
+    if (counters.has("servers_retired") &&
+        counters.has("servers_drained") &&
+        counters.has("servers_revoked") &&
+        counters.at("servers_retired").isNumber()) {
+        check.require(counters.at("servers_retired").number <=
+                          counters.at("servers_drained").number +
+                              counters.at("servers_revoked").number,
+                      "report: counters.servers_retired exceeds "
+                      "drained+revoked (a server only leaves via drain "
+                      "or permanent revocation)");
+    }
+    if (v.at("config").isObject() && v.at("config").has("cluster")) {
+        check.require(v.at("config").at("cluster").isString(),
+                      "report: config.cluster is not a string");
+    }
     const obs::JsonValue& waves = v.at("waves");
     check.require(waves.isArray(), "report: waves is not an array");
     if (status == "ok" && waves.isArray() &&
