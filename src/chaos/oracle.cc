@@ -13,6 +13,7 @@
 #include "core/approx_input_format.h"
 #include "core/approx_job.h"
 #include "hdfs/namenode.h"
+#include "journal/journal.h"
 #include "service/job_service.h"
 #include "sim/cluster.h"
 #include "stats/two_stage.h"
@@ -141,6 +142,59 @@ scenarioApproxConfig(const Scenario& s)
     return approx;
 }
 
+/** Journal header for a dcrash= scenario's record/resume loop. */
+journal::RunSpec
+journalSpec(const Scenario& s, uint32_t threads)
+{
+    journal::RunSpec spec;
+    spec.app = s.workload;
+    spec.blocks = s.blocks;
+    spec.items = s.items;
+    spec.seed = s.job_seed;
+    spec.reducers = s.reducers;
+    spec.threads = threads;
+    spec.cluster = s.cluster;
+    spec.sampling = s.sampling;
+    spec.has_target = s.has_target;
+    spec.target = s.target;
+    spec.confidence = kConfidence;
+    spec.failure_mode = ft::toString(s.mode);
+    spec.max_attempts = s.max_attempts;
+    spec.checkpoint_interval = s.checkpoint_interval;
+    spec.heartbeat_ms = s.heartbeat_ms;
+    spec.timeout_ms = s.timeout_ms;
+    spec.fault_plan = s.plan.spec();
+    return spec;
+}
+
+/** First difference between two job results, or "". */
+std::string
+resultsMismatch(const mr::JobResult& a, const mr::JobResult& b)
+{
+    if (a.runtime != b.runtime) {
+        return formatKv("runtime", a.runtime, b.runtime);
+    }
+    std::string diff = countersMismatch(a.counters, b.counters);
+    if (!diff.empty()) {
+        return diff;
+    }
+    if (a.output.size() != b.output.size()) {
+        return formatKv("output size",
+                        static_cast<double>(a.output.size()),
+                        static_cast<double>(b.output.size()));
+    }
+    for (size_t i = 0; i < a.output.size(); ++i) {
+        const mr::OutputRecord& x = a.output[i];
+        const mr::OutputRecord& y = b.output[i];
+        if (x.key != y.key || x.value != y.value || x.lower != y.lower ||
+            x.upper != y.upper || x.has_bound != y.has_bound) {
+            return "output record " + std::to_string(i) + " ('" + x.key +
+                   "' vs '" + y.key + "') differs";
+        }
+    }
+    return "";
+}
+
 const apps::AggregationWorkload&
 workloadFor(const Scenario& s)
 {
@@ -263,37 +317,61 @@ ChaosOracle::runScenario(const Scenario& s, uint32_t threads,
                          mr::JobConfig* config_out) const
 {
     const apps::AggregationWorkload& workload = workloadFor(s);
-    std::unique_ptr<hdfs::BlockDataset> data =
-        workload.make_dataset(s.blocks, s.items, s.job_seed);
-    mr::JobConfig config = scenarioJobConfig(workload, s, threads);
     core::ApproxConfig approx = scenarioApproxConfig(s);
-    if (config_out != nullptr) {
-        *config_out = config;
+
+    // dcrash= scenarios run the same record/kill/resume loop approxrun
+    // does, against an in-memory journal: each DriverKilledError tears
+    // down the incarnation and the next one re-executes from scratch
+    // with the journal verifying every re-reached epoch.
+    std::unique_ptr<journal::JobJournal> jj;
+    if (s.plan.hasDriverCrash()) {
+        jj = journal::JobJournal::createInMemory(journalSpec(s, threads));
     }
 
     RunOutcome outcome;
-    sim::Cluster cluster(sim::ClusterConfig::parse(s.cluster));
-    hdfs::NameNode namenode(cluster.numServers(), 3, s.job_seed);
-    core::ApproxJobRunner runner(cluster, *data, namenode);
-    runner.setObservability(obs);
-    try {
-        outcome.result = runner.runAggregation(
-            config, approx, workload.mapper_factory(), workload.op);
-        outcome.counters = outcome.result.counters;
-    } catch (const mr::JobFailedError& e) {
-        if (mutation_ == Mutation::kExitCode) {
-            // The deliberate bug: swallow the failure and report an
-            // empty successful result, as a runtime with a broken
-            // abort path would.
+    for (;;) {
+        std::unique_ptr<hdfs::BlockDataset> data =
+            workload.make_dataset(s.blocks, s.items, s.job_seed);
+        mr::JobConfig config = scenarioJobConfig(workload, s, threads);
+        if (jj != nullptr) {
+            config.driver_crash_skip = jj->resumeCount();
+        }
+        if (config_out != nullptr) {
+            *config_out = config;
+        }
+        sim::Cluster cluster(sim::ClusterConfig::parse(s.cluster));
+        hdfs::NameNode namenode(cluster.numServers(), 3, s.job_seed);
+        core::ApproxJobRunner runner(cluster, *data, namenode);
+        runner.setObservability(obs);
+        runner.setEpochSink(jj.get());
+        try {
+            outcome.result = runner.runAggregation(
+                config, approx, workload.mapper_factory(), workload.op);
+            outcome.counters = outcome.result.counters;
+            break;
+        } catch (const journal::DriverKilledError&) {
+            if (outcome.crash_journal.empty()) {
+                outcome.crash_journal = jj->bytes();
+            }
+            jj = journal::JobJournal::resumeBytes(jj->bytes());
+        } catch (const mr::JobFailedError& e) {
+            if (mutation_ == Mutation::kExitCode) {
+                // The deliberate bug: swallow the failure and report an
+                // empty successful result, as a runtime with a broken
+                // abort path would.
+                outcome.counters = e.counters;
+                outcome.result.counters = e.counters;
+                outcome.resumes = jj ? jj->resumeCount() : 0;
+                return outcome;
+            }
+            outcome.failed = true;
+            outcome.error = e.what();
             outcome.counters = e.counters;
-            outcome.result.counters = e.counters;
+            outcome.resumes = jj ? jj->resumeCount() : 0;
             return outcome;
         }
-        outcome.failed = true;
-        outcome.error = e.what();
-        outcome.counters = e.counters;
-        return outcome;
     }
+    outcome.resumes = jj ? jj->resumeCount() : 0;
 
     if (mutation_ == Mutation::kCiWidening) {
         for (mr::OutputRecord& r : outcome.result.output) {
@@ -364,6 +442,9 @@ checkMultiJob(const Scenario& s)
     spec.fault_plan.revocations.clear();
     spec.fault_plan.scale_outs.clear();
     spec.fault_plan.drains.clear();
+    // Likewise driver crashes: the JobService rejects dcrash= plans (a
+    // driver kill cannot be attributed to one tenant).
+    spec.fault_plan.driver_crashes.clear();
 
     std::vector<service::JobArrival> arrivals;
     Rng seeds = Rng(s.job_seed).derive(0x5E41CE);
@@ -482,6 +563,112 @@ ChaosOracle::check(const Scenario& s) const
                 "1-thread and parallel runs disagree on job failure");
         return violations;
     }
+
+    // --- crash recovery: resume equivalence + torn-journal hardening --
+    // A dcrash= scenario already ran through the journal kill/resume
+    // loop above; the resumed run must be indistinguishable from the
+    // same scenario with its driver crashes removed, and the journal
+    // image captured at the moment of the kill must survive arbitrary
+    // truncation (recover a sealed prefix or reject loudly — never
+    // crash, never invent an epoch).
+    if (s.plan.hasDriverCrash()) {
+        Scenario uninterrupted = s;
+        uninterrupted.plan.driver_crashes.clear();
+        RunOutcome base;
+        try {
+            base = runScenario(uninterrupted, 1);
+        } catch (const std::exception& e) {
+            violate("termination",
+                    std::string("dcrash-free baseline threw: ") + e.what());
+            return violations;
+        }
+        if (base.failed != serial.failed) {
+            violate("resume-equivalence",
+                    "resumed and uninterrupted runs disagree on job "
+                    "failure");
+        } else if (base.failed) {
+            if (base.error != serial.error) {
+                violate("resume-equivalence",
+                        "failure messages differ: '" + serial.error +
+                            "' vs '" + base.error + "'");
+            }
+        } else {
+            std::string diff =
+                resultsMismatch(serial.result, base.result);
+            if (!diff.empty()) {
+                violate("resume-equivalence",
+                        "resumed run differs from the uninterrupted "
+                        "one: " +
+                            diff);
+            }
+        }
+
+        const std::string& image = serial.crash_journal;
+        if (!image.empty()) {
+            size_t full_epochs = 0;
+            try {
+                journal::LoadedJournal full = journal::parseJournal(image);
+                full_epochs = full.epochs.size();
+            } catch (const std::exception& e) {
+                violate("torn-journal",
+                        std::string("crash-time journal image does not "
+                                    "parse: ") +
+                            e.what());
+            }
+            // ~100 cut points spread over the image (the exhaustive
+            // per-byte sweep lives in the journal format tests; the
+            // soak's job is catching regressions on real crash images).
+            size_t cuts = std::min<size_t>(image.size(), 96);
+            size_t last_epochs = 0;
+            for (size_t c = 0; c <= cuts && cuts > 0; ++c) {
+                size_t len = image.size() * c / cuts;
+                std::string prefix = image.substr(0, len);
+                char where[48];
+                std::snprintf(where, sizeof(where), "cut at byte %zu",
+                              len);
+                try {
+                    journal::LoadedJournal loaded =
+                        journal::parseJournal(prefix);
+                    if (loaded.epochs.size() > full_epochs ||
+                        loaded.epochs.size() < last_epochs) {
+                        violate("torn-journal",
+                                std::string(where) +
+                                    ": recovered epoch count is not a "
+                                    "monotone prefix of the full image");
+                        break;
+                    }
+                    last_epochs = loaded.epochs.size();
+                    std::unique_ptr<journal::JobJournal> recovered =
+                        journal::JobJournal::resumeBytes(prefix);
+                    size_t expect = loaded.epochs.size() -
+                                    loaded.resume_markers;
+                    if (recovered->epochsToVerify() != expect) {
+                        violate("torn-journal",
+                                std::string(where) +
+                                    ": resume does not verify exactly "
+                                    "the sealed epochs");
+                        break;
+                    }
+                } catch (const journal::JournalError&) {
+                    // Contractual rejection — only legitimate before
+                    // any epoch was recoverable (a severed header).
+                    if (last_epochs != 0) {
+                        violate("torn-journal",
+                                std::string(where) +
+                                    ": rejected after epochs were "
+                                    "recoverable at an earlier cut");
+                        break;
+                    }
+                } catch (const std::exception& e) {
+                    violate("torn-journal",
+                            std::string(where) +
+                                ": non-journal exception: " + e.what());
+                    break;
+                }
+            }
+        }
+    }
+
     if (serial.failed) {
         if (s.mode != ft::FailureMode::kRetry) {
             violate("exit-code",

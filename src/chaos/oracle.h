@@ -60,6 +60,13 @@ struct RunOutcome
     mr::JobResult result;
     /** Counter snapshot (from the result, or the error on failure). */
     mr::Counters counters;
+    /** Driver kills survived via journal resume. 0 when the scenario
+     *  carries no dcrash= faults (or none fired before the job ended). */
+    uint32_t resumes = 0;
+    /** Journal image captured at the first driver kill — the crash-time
+     *  snapshot the torn-journal invariant truncates. Empty when no
+     *  kill fired. */
+    std::string crash_journal;
 };
 
 /**
@@ -75,7 +82,13 @@ struct RunOutcome
  *    per-task samples can be replayed (no bad records), the headline
  *    key's estimate and CI must equal the analytic two-stage estimator
  *    run over the completed clusters — i.e. absorbed/failed tasks widen
- *    the CI *exactly* like dropped clusters (paper Section 3.1).
+ *    the CI *exactly* like dropped clusters (paper Section 3.1);
+ *  - crash recovery (dcrash= scenarios): the run is wrapped in the
+ *    journal record/kill/resume loop, and the resumed run must match
+ *    the same scenario with its driver crashes removed bit-for-bit
+ *    (resume equivalence); truncating the crash-time journal image at
+ *    arbitrary byte offsets must recover a sealed prefix or throw
+ *    JournalError — never crash and never invent an epoch.
  *
  * The CI *coverage* property is probabilistic per scenario, so it is
  * checked as a separate seeded battery (coverageBattery) with a

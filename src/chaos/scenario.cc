@@ -82,6 +82,11 @@ Scenario::approxrunCommand() const
     if (!spec.empty()) {
         cmd += " --fault-plan \"" + spec + "\"";
     }
+    if (plan.hasDriverCrash()) {
+        // dcrash= kills abort the process; approxrun requires a journal
+        // to resume from, so the reproducer must carry one.
+        cmd += " --journal chaos.axj";
+    }
     return cmd;
 }
 
@@ -224,6 +229,20 @@ ScenarioGenerator::generate(uint64_t index) const
             drain.count = static_cast<uint32_t>(1 + rng.uniformInt(4));
             drain.at = 150.0 * rng.uniform();
             plan.drains.push_back(drain);
+        }
+        // Driver-crash dimension (drawn last, same stability reason):
+        // one or two dcrash= kills early in the job. The oracle wraps
+        // such scenarios in the journal record/resume loop and checks
+        // the resumed run against the uninterrupted one. Kill times
+        // past the job's end simply never fire — the equivalence then
+        // holds trivially. Single-job only: the JobService rejects
+        // dcrash plans (a driver kill is not attributable to one
+        // tenant).
+        if (rng.bernoulli(0.25)) {
+            uint64_t kills = 1 + rng.uniformInt(2);
+            for (uint64_t k = 0; k < kills; ++k) {
+                plan.driver_crashes.push_back(0.5 + 15.0 * rng.uniform());
+            }
         }
     }
     return s;

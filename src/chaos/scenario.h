@@ -60,9 +60,10 @@ struct Scenario
      * derived per-job seeds, and the invariants shift to service-level
      * ones (same-spec report byte-identity, per-job counter
      * conservation under slot contention, no leaked slots). Scenarios
-     * in this slice never carry server crashes: a whole-server crash
-     * cannot be attributed to one job when several tenants hold slots
-     * on it.
+     * in this slice never carry server crashes or driver crashes: a
+     * whole-server crash cannot be attributed to one job when several
+     * tenants hold slots on it, and the JobService rejects dcrash=
+     * plans outright.
      */
     uint32_t concurrent_jobs = 1;
 
@@ -86,10 +87,10 @@ struct Scenario
 
 /**
  * Seeded scenario generator over the default chaos space: every
- * FaultPlan key (crash, rcrash, straggler, corrupt, badrec, server),
- * every failure mode, 1-8 threads, sampled/targeted/full inputs, and a
- * slice of retry-exhaustion scenarios that must end in the exit-3
- * contract. generate(i) is deterministic and order-independent — it
+ * FaultPlan key (crash, rcrash, straggler, corrupt, badrec, server,
+ * revoke, addsrv, drain, dcrash), every failure mode, 1-8 threads,
+ * sampled/targeted/full inputs, and a slice of retry-exhaustion
+ * scenarios that must end in the exit-3 contract. generate(i) is deterministic and order-independent — it
  * never mutates generator state — so scenarios can be regenerated or
  * re-run individually.
  */

@@ -31,6 +31,26 @@ fewerJobs(Scenario& s)
 }
 
 bool
+noDriverCrash(Scenario& s)
+{
+    if (s.plan.driver_crashes.empty()) {
+        return false;
+    }
+    s.plan.driver_crashes.clear();
+    return true;
+}
+
+bool
+dropOneDriverCrash(Scenario& s)
+{
+    if (s.plan.driver_crashes.size() < 2) {
+        return false;
+    }
+    s.plan.driver_crashes.pop_back();
+    return true;
+}
+
+bool
 noStorms(Scenario& s)
 {
     if (s.plan.revocations.empty()) {
@@ -222,13 +242,13 @@ shrinkScenario(const Scenario& failing,
     // dimensions (no storms, no resize, homogeneous fleet) and whole
     // fault keys first, then scale, then probability halving.
     static const Transform kTransforms[] = {
-        singleJob,          fewerJobs,          noStorms,
-        noResize,           homogeneousFleet,   zeroCrash,
-        zeroReduceCrash,    zeroCorrupt,        zeroBadRecords,
-        zeroStragglers,     clearServerCrashes, dropOneServerCrash,
-        dropTarget,         fullSampling,       oneReducer,
-        twoThreads,         halveBlocks,        halveItems,
-        halveProbabilities,
+        singleJob,          fewerJobs,          noDriverCrash,
+        dropOneDriverCrash, noStorms,           noResize,
+        homogeneousFleet,   zeroCrash,          zeroReduceCrash,
+        zeroCorrupt,        zeroBadRecords,     zeroStragglers,
+        clearServerCrashes, dropOneServerCrash, dropTarget,
+        fullSampling,       oneReducer,         twoThreads,
+        halveBlocks,        halveItems,         halveProbabilities,
     };
 
     ShrinkResult out;

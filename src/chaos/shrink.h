@@ -18,7 +18,7 @@ struct ShrinkResult
 
 /**
  * Greedily minimizes a violating scenario: repeatedly tries to zero a
- * fault-plan key, drop scheduled server crashes, remove the
+ * fault-plan key, drop scheduled server or driver crashes, remove the
  * approximation target, restore full sampling, reduce reducers/threads,
  * shrink the input, and halve the remaining fault probabilities —
  * keeping each simplification only when @p still_fails confirms the

@@ -60,6 +60,7 @@ ApproxJobRunner::runAggregation(mr::JobConfig config,
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
     job.setObservability(obs_);
+    job.setEpochSink(epoch_sink_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -110,6 +111,7 @@ ApproxJobRunner::runThreeStageAggregation(
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
     job.setObservability(obs_);
+    job.setEpochSink(epoch_sink_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -144,6 +146,7 @@ ApproxJobRunner::runExtreme(mr::JobConfig config, const ApproxConfig& approx,
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
     job.setObservability(obs_);
+    job.setEpochSink(epoch_sink_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(makeSharedFactory(pool));
     // Extreme-value jobs approximate by dropping tasks only; sampling
@@ -180,6 +183,7 @@ ApproxJobRunner::runUserDefined(mr::JobConfig config,
 
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
     job.setObservability(obs_);
+    job.setEpochSink(epoch_sink_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(std::move(reducer_factory));
     job.setInputFormat(std::make_shared<ApproxTextInputFormat>());
@@ -202,6 +206,7 @@ ApproxJobRunner::runPrecise(mr::JobConfig config,
 {
     mr::Job job(cluster_, dataset_, namenode_, std::move(config));
     job.setObservability(obs_);
+    job.setEpochSink(epoch_sink_);
     job.setMapperFactory(std::move(mapper_factory));
     job.setReducerFactory(std::move(reducer_factory));
     return job.run();

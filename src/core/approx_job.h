@@ -97,6 +97,14 @@ class ApproxJobRunner
      */
     void setObservability(obs::Observability* obs) { obs_ = obs; }
 
+    /**
+     * Attaches a journal epoch sink that every subsequently run job
+     * seals its checkpoint epochs into (crash-consistent journaling;
+     * see src/journal/). Not owned; must outlive the run calls. Pass
+     * nullptr to detach. Like observability, strictly additive.
+     */
+    void setEpochSink(journal::EpochSink* sink) { epoch_sink_ = sink; }
+
   private:
     /**
      * Pre-creates @p count reducers so controllers can observe them, and
@@ -112,6 +120,7 @@ class ApproxJobRunner
     hdfs::NameNode& namenode_;
     bool last_target_achieved_ = false;
     obs::Observability* obs_ = nullptr;
+    journal::EpochSink* epoch_sink_ = nullptr;
 };
 
 }  // namespace approxhadoop::core

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "integrity/blob.h"
 #include "obs/trace.h"
 #include "stats/student_t.h"
 
@@ -49,6 +50,23 @@ TargetErrorController::setTargetScale(double scale)
 {
     assert(scale >= 1.0);
     target_scale_ = std::max(1.0, scale);
+}
+
+std::string
+TargetErrorController::journalState() const
+{
+    integrity::BlobWriter w;
+    w.putBool(pilot_released_);
+    w.putBool(achieved_);
+    w.putU64(last_plan_.maps_to_run);
+    w.putDouble(last_plan_.sampling_ratio);
+    w.putDouble(last_plan_.predicted_ret);
+    w.putDouble(last_plan_.failure_overhead);
+    w.putDouble(last_plan_.predicted_error);
+    w.putDouble(last_plan_.target_error);
+    w.putBool(last_plan_.feasible);
+    w.putDouble(target_scale_);
+    return w.release();
 }
 
 std::vector<MultiStageSamplingReducer::KeyPlanStats>

@@ -103,6 +103,14 @@ class TargetErrorController : public mr::JobController
     void setTargetScale(double scale);
     double targetScale() const { return target_scale_; }
 
+    /**
+     * Journal snapshot of the replan state (pilot released, target
+     * achieved, the last applied Plan, the arbiter's target scale). A
+     * resumed run re-derives all of it by re-execution; the journal
+     * verifies the blobs match byte-for-byte.
+     */
+    std::string journalState() const override;
+
   private:
     /** Fitted cost-model parameters from completed task measurements. */
     struct CostFit

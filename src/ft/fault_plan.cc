@@ -134,7 +134,7 @@ FaultPlan::enabled() const
 {
     return task_crash_prob > 0.0 || chunk_corrupt_prob > 0.0 ||
            bad_record_prob > 0.0 || reduce_crash_prob > 0.0 ||
-           straggler_prob > 0.0 || changesFleet();
+           straggler_prob > 0.0 || changesFleet() || hasDriverCrash();
 }
 
 bool
@@ -164,7 +164,8 @@ FaultPlan::parse(const std::string& spec)
         // crashes/storms/resizes); for every other key a repeat is a
         // spec mistake, not a merge.
         bool repeatable = key == "server" || key == "revoke" ||
-                          key == "addsrv" || key == "drain";
+                          key == "addsrv" || key == "drain" ||
+                          key == "dcrash";
         if (!repeatable && !seen.insert(key).second) {
             throw std::invalid_argument("fault plan: duplicate clause '" +
                                         key + "'");
@@ -278,6 +279,13 @@ FaultPlan::parse(const std::string& spec)
             drain.count = parseCount(value.substr(0, at), "drain count");
             parseWhen(value.substr(at + 1), "drain", drain.at, nullptr);
             plan.drains.push_back(drain);
+        } else if (key == "dcrash") {
+            double at = parseDouble(value, "dcrash time");
+            if (!(at > 0.0)) {
+                throw std::invalid_argument(
+                    "fault plan: dcrash time must be > 0");
+            }
+            plan.driver_crashes.push_back(at);
         } else if (key == "seed") {
             plan.seed = parseSeed(value);
         } else {
@@ -375,6 +383,9 @@ FaultPlan::spec() const
         clause("drain=" + std::to_string(drain.count) + '@' +
                formatDouble(drain.at));
     }
+    for (double at : driver_crashes) {
+        clause("dcrash=" + formatDouble(at));
+    }
     if (seed != 0) {
         clause("seed=" + std::to_string(seed));
     }
@@ -386,7 +397,7 @@ FaultPlan::specKeys()
 {
     static const std::vector<std::string> kKeys = {
         "crash",  "corrupt", "badrec", "rcrash", "straggler", "server",
-        "revoke", "addsrv",  "drain",  "seed"};
+        "revoke", "addsrv",  "drain",  "dcrash", "seed"};
     return kKeys;
 }
 
@@ -411,6 +422,9 @@ FaultPlan::helpText()
            "the fleet at time T (repeatable)\n"
            "  drain=N@T          gracefully decommission N servers at "
            "time T, newest first (repeatable)\n"
+           "  dcrash=T           kill the driver at simulated time T; "
+           "the restarted driver resumes from its --journal "
+           "(repeatable)\n"
            "  seed=S             fault-stream seed (non-negative "
            "integer)\n"
            "e.g. \"crash=0.05,straggler=0.02:6,server=3@120+60,seed=7\" "
@@ -423,15 +437,15 @@ FaultPlan::summary() const
     if (!enabled()) {
         return "none";
     }
-    char buf[384];
+    char buf[448];
     std::snprintf(buf, sizeof(buf),
                   "crash=%.3g corrupt=%.3g badrec=%.3g rcrash=%.3g "
                   "straggler=%.3g:%.3g server-crashes=%zu revoke=%zu "
-                  "addsrv=%zu drain=%zu seed=%llu",
+                  "addsrv=%zu drain=%zu dcrash=%zu seed=%llu",
                   task_crash_prob, chunk_corrupt_prob, bad_record_prob,
                   reduce_crash_prob, straggler_prob, straggler_factor,
                   server_crashes.size(), revocations.size(),
-                  scale_outs.size(), drains.size(),
+                  scale_outs.size(), drains.size(), driver_crashes.size(),
                   static_cast<unsigned long long>(seed));
     return buf;
 }

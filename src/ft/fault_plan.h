@@ -120,6 +120,18 @@ struct FaultPlan
     /** Scheduled graceful decommissions. */
     std::vector<Drain> drains;
 
+    /**
+     * Scheduled driver kills, simulated seconds after job start: at
+     * each time the driver process terminates mid-run (throws
+     * journal::DriverKilledError out of the event loop) and must be
+     * restarted from its write-ahead journal. Requires journaling —
+     * approxrun rejects a dcrash plan without `--journal`. Times past
+     * job completion are harmless no-ops. Each survived crash is
+     * recorded as a journal resume marker, and on re-execution that
+     * many dcrash events are skipped (JobConfig::driver_crash_skip).
+     */
+    std::vector<double> driver_crashes;
+
     /** Extra seed mixed into the job seed (vary failure patterns while
      *  keeping the workload fixed). */
     uint64_t seed = 0;
@@ -130,6 +142,9 @@ struct FaultPlan
     /** True when the plan changes fleet membership (crashes whole
      *  servers, revokes, resizes, or drains). */
     bool changesFleet() const;
+
+    /** True when the plan schedules driver kills (`dcrash=`). */
+    bool hasDriverCrash() const { return !driver_crashes.empty(); }
 
     /**
      * Parses a command-line plan spec: comma-separated clauses
@@ -146,6 +161,8 @@ struct FaultPlan
      *   addsrv=NCLASS@T    N servers of CLASS (xeon|atom) join at time
      *                      T, cluster-grammar term style (e.g. 4atom)
      *   drain=N@T          gracefully decommission N servers at time T
+     *   dcrash=T           kill the driver at time T (restart resumes
+     *                      from the write-ahead journal; repeatable)
      *   seed=S             fault-stream seed
      *
      * e.g. "crash=0.05,corrupt=0.05,rcrash=0.1,server=3@120+60" or

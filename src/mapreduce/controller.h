@@ -172,6 +172,15 @@ class JobController
 
     /** Called when all map tasks are terminal, before reducers finalize. */
     virtual void onMapPhaseDone(JobHandle& /*job*/) {}
+
+    /**
+     * Opaque snapshot of the controller's replan state for the job
+     * journal, captured at every epoch. A resumed run re-derives its
+     * decisions by re-execution; the journal *verifies* the re-derived
+     * state matches the sealed blob byte-for-byte. Must be a pure
+     * observation (never mutate controller state). Default: stateless.
+     */
+    virtual std::string journalState() const { return ""; }
 };
 
 }  // namespace approxhadoop::mr

@@ -2,7 +2,98 @@
 
 #include <cstdio>
 
+#include "integrity/blob.h"
+
 namespace approxhadoop::mr {
+
+namespace {
+
+/** Every field, in declaration order; one place to keep the journal
+ *  snapshot and its reader in lockstep. */
+template <typename Op, typename C>
+void
+forEachCounterField(Op&& op, C& c)
+{
+    op(c.maps_total);
+    op(c.maps_completed);
+    op(c.maps_killed);
+    op(c.maps_dropped);
+    op(c.maps_speculated);
+    op(c.maps_endgame_speculated);
+    op(c.map_slots_acquired);
+    op(c.map_slots_released);
+    op(c.map_slot_seconds);
+    op(c.map_attempts_launched);
+    op(c.map_attempts_failed);
+    op(c.map_attempts_cancelled);
+    op(c.maps_retried);
+    op(c.maps_absorbed);
+    op(c.server_crashes);
+    op(c.servers_added);
+    op(c.servers_revoked);
+    op(c.servers_drained);
+    op(c.servers_retired);
+    op(c.wasted_attempt_seconds);
+    op(c.chunks_corrupted);
+    op(c.chunk_refetches);
+    op(c.map_outputs_lost);
+    op(c.bad_records_skipped);
+    op(c.chunks_delivered);
+    op(c.reduce_attempts_failed);
+    op(c.reducer_checkpoints);
+    op(c.chunks_replayed);
+    op(c.timeouts_detected);
+    op(c.detection_wait_seconds);
+    op(c.items_total);
+    op(c.items_read);
+    op(c.items_processed);
+    op(c.records_shuffled);
+    op(c.local_maps);
+    op(c.remote_maps);
+    op(c.waves);
+}
+
+struct CounterWriter
+{
+    integrity::BlobWriter& w;
+    void operator()(const uint64_t& v) { w.putU64(v); }
+    void operator()(const double& v) { w.putDouble(v); }
+    void operator()(const int& v)
+    {
+        w.putU64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+    }
+};
+
+struct CounterReader
+{
+    integrity::BlobReader& r;
+    void operator()(uint64_t& v) { v = r.getU64(); }
+    void operator()(double& v) { v = r.getDouble(); }
+    void operator()(int& v)
+    {
+        v = static_cast<int>(static_cast<int64_t>(r.getU64()));
+    }
+};
+
+}  // namespace
+
+std::string
+Counters::serialize() const
+{
+    integrity::BlobWriter w;
+    forEachCounterField(CounterWriter{w}, *this);
+    return w.release();
+}
+
+Counters
+Counters::deserialize(const std::string& blob)
+{
+    integrity::BlobReader r(blob);
+    Counters c;
+    forEachCounterField(CounterReader{r}, c);
+    r.expectEnd();
+    return c;
+}
 
 double
 Counters::droppedFraction() const

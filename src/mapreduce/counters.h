@@ -122,6 +122,15 @@ struct Counters
     std::string faultSummary() const;
 
     /**
+     * Bit-exact binary snapshot (integrity::BlobWriter encoding) used
+     * by the job journal: a resumed run's counters at each consistency
+     * point must match the sealed snapshot byte-for-byte. deserialize()
+     * throws std::runtime_error on malformed input.
+     */
+    std::string serialize() const;
+    static Counters deserialize(const std::string& blob);
+
+    /**
      * Checks the conservation identities that must hold for any
      * *successfully completed* job, whatever faults were injected:
      *

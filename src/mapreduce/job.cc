@@ -5,11 +5,13 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
 
 #include "common/logging.h"
+#include "integrity/checksum.h"
 #include "integrity/chunk_integrity.h"
 #include "obs/observability.h"
 
@@ -333,6 +335,13 @@ Job::setObservability(obs::Observability* obs)
 }
 
 void
+Job::setEpochSink(journal::EpochSink* sink)
+{
+    assert(!started_);
+    epoch_sink_ = sink;
+}
+
+void
 Job::setCompletionHandler(CompletionHandler handler)
 {
     assert(!started_);
@@ -346,6 +355,101 @@ Job::setMapSlotLimit(int limit)
     // completion). Lowering never revokes running attempts — see the
     // header comment on wave-boundary yield.
     map_slot_limit_ = std::max(0, limit);
+}
+
+void
+Job::requestSuspend(SuspendHandler handler)
+{
+    assert(handler);
+    if (!started_ || map_phase_done_ || job_done_ || job_failed_) {
+        throw std::logic_error(
+            "requestSuspend: the map phase is not active");
+    }
+    if (suspend_pending_ || suspended_) {
+        throw std::logic_error(
+            "requestSuspend: job is already suspending or suspended");
+    }
+    if (reduce_ft_) {
+        // Reduce-crash injection retains undelivered chunks against the
+        // live reduce slots; parking would have to replay them across
+        // the gap. The service never enables rcrash, so suspension
+        // simply refuses rather than implementing that path.
+        throw std::logic_error(
+            "requestSuspend: unsupported with reduce-crash injection");
+    }
+    suspend_pending_ = true;
+    suspend_handler_ = std::move(handler);
+    maybeFinishSuspend();
+}
+
+void
+Job::maybeFinishSuspend()
+{
+    if (!suspend_pending_ || park_event_pending_ || running_count_ > 0 ||
+        retry_wait_count_ > 0) {
+        return;
+    }
+    // Quiesced — but do NOT park synchronously. This runs at
+    // scheduleLoop's tail, which the map-completion path invokes BEFORE
+    // the controller's replan and checkMapPhaseDone() have ruled on
+    // this very completion. Parking here when the last map just
+    // finished (or when the controller is about to drop every pending
+    // task) would release the reduce slots and then let the same event
+    // cascade start the reduce phase on a "suspended" job. A zero-delay
+    // event re-checks after those verdicts: if the map phase completed
+    // in the meantime, checkMapPhaseDone() already cancelled the
+    // suspension and the event is a no-op.
+    park_event_pending_ = true;
+    cluster_.events().scheduleAfter(0.0, [this] { finishSuspendNow(); });
+}
+
+void
+Job::finishSuspendNow()
+{
+    park_event_pending_ = false;
+    if (!suspend_pending_ || running_count_ > 0 || retry_wait_count_ > 0) {
+        return;  // cancelled, or same-timestamp work raced in
+    }
+    // Quiesced for real: every attempt and retry waiter has settled, so
+    // all the job still holds is its reduce slots — return them to the
+    // cluster (that is the point of preemption; the reducer objects
+    // keep their aggregates in memory).
+    suspend_pending_ = false;
+    suspended_ = true;
+    for (uint32_t server : reducer_servers_) {
+        cluster_.server(server).releaseReduceSlot(cluster_.now());
+    }
+    maybeRetireDrained();
+    SuspendHandler handler = std::move(suspend_handler_);
+    suspend_handler_ = nullptr;
+    handler(true);
+}
+
+void
+Job::cancelPendingSuspend()
+{
+    if (!suspend_pending_) {
+        return;
+    }
+    suspend_pending_ = false;
+    SuspendHandler handler = std::move(suspend_handler_);
+    suspend_handler_ = nullptr;
+    cluster_.events().scheduleAfter(0.0,
+                                    [handler] { handler(false); });
+}
+
+void
+Job::resumeSuspended()
+{
+    if (!suspended_) {
+        throw std::logic_error("resumeSuspended: job is not suspended");
+    }
+    suspended_ = false;
+    // Placement is recomputed from scratch — the fleet may have changed
+    // while the job was parked. Reducer objects, their aggregates, and
+    // every task state survive untouched.
+    acquireReducerSlots();
+    scheduleLoop();
 }
 
 void
@@ -404,10 +508,11 @@ Job::rebuildQueues()
 }
 
 void
-Job::placeReducers()
+Job::acquireReducerSlots()
 {
     // One reducer per reduce slot, round-robin over servers; reducers
     // hold their slot for the whole job (they shuffle incrementally).
+    reducer_servers_.clear();
     uint32_t placed = 0;
     while (placed < config_.num_reducers) {
         bool progress = false;
@@ -432,6 +537,12 @@ Job::placeReducers()
                 "not enough reduce slots for requested reducers");
         }
     }
+}
+
+void
+Job::placeReducers()
+{
+    acquireReducerSlots();
     reducer_records_.assign(config_.num_reducers, 0);
     for (uint32_t r = 0; r < config_.num_reducers; ++r) {
         reducers_.push_back(reducer_factory_());
@@ -553,6 +664,9 @@ Job::scheduleLoop()
     if (config_.s3_when_drained) {
         maybeSleepServers();
     }
+    // Every path that retires an attempt or drains a retry waiter ends
+    // here, so this is the single quiesce detector for suspension.
+    maybeFinishSuspend();
 }
 
 void
@@ -857,6 +971,15 @@ Job::onAttemptFinish(uint64_t task_id, size_t attempt_index)
     }
     checkWaveCompletion(task.wave);
     checkMapPhaseDone();
+
+    // Mid-wave interval epoch (bounds replay when waves are long). Wave
+    // and final epochs reset the interval counter, and the map-phase
+    // transition above supersedes any half-full interval.
+    if (epoch_sink_ != nullptr && config_.journal_map_interval > 0 &&
+        !map_phase_done_ &&
+        ++maps_since_epoch_ >= config_.journal_map_interval) {
+        captureEpoch(journal::Epoch::kInterval, -1);
+    }
 }
 
 void
@@ -1153,6 +1276,13 @@ Job::failJob(uint64_t failing_task, const std::string& message)
     assert(!job_done_ && !job_failed_);
     job_failed_ = true;
     failure_message_ = message;
+    // Pending driver kills die with the job; see driver_crash_events_.
+    for (sim::EventQueue::EventId id : driver_crash_events_) {
+        cluster_.events().cancel(id);
+    }
+    driver_crash_events_.clear();
+    // A suspension racing the failure resolves as not-suspended.
+    cancelPendingSuspend();
     // The failing task already left the running count with every attempt
     // done and its slots returned; mark it terminal directly.
     MapTaskInfo& failing = tasks_[failing_task];
@@ -1588,6 +1718,16 @@ Job::deliverChunks(uint64_t task_id, std::vector<MapOutputChunk>&& chunks)
     assert(!exec_[task_id].delivered);
     exec_[task_id].delivered = true;
     assert(chunks.size() == config_.num_reducers);
+    if (epoch_sink_ != nullptr) {
+        // One digest per delivered map output, folded over the chunks'
+        // integrity checksums: the journal's proof that the resumed run
+        // shuffled byte-identical data in the identical order.
+        uint64_t digest = 0xcbf29ce484222325ULL;
+        for (const MapOutputChunk& c : chunks) {
+            digest = (digest ^ c.checksum) * 1099511628211ULL;
+        }
+        epoch_delivered_.emplace_back(task_id, digest);
+    }
     // Every reducer gets the chunk even when it carries no records:
     // multi-stage sampling needs each cluster's (M_i, m_i) to account for
     // implicit zeros for the keys of that partition. Consumption stays on
@@ -1850,6 +1990,54 @@ Job::obsWaveSnapshot(int wave)
     m.snapshotWave(wave, cluster_.now());
 }
 
+// ---------------------------------------------------------------------------
+// Job: journaling
+// ---------------------------------------------------------------------------
+
+void
+Job::captureEpoch(uint32_t kind, int wave)
+{
+    if (epoch_sink_ == nullptr) {
+        return;
+    }
+    journal::Epoch e;
+    e.index = epoch_index_++;
+    e.kind = kind;
+    e.wave = wave;
+    e.sim_time = cluster_.now();
+    e.maps_completed = counters_.maps_completed;
+    e.maps_terminal = terminal_count_;
+    e.counters_blob = counters_.serialize();
+    e.delivered = std::move(epoch_delivered_);
+    epoch_delivered_.clear();
+    {
+        // mt19937_64 defines operator<< over its full 19968-bit state;
+        // printing never advances the engine, so the digest is a pure
+        // observation. Any divergence in the driver's draw sequence
+        // between the crashed and the resumed run surfaces here.
+        std::ostringstream os;
+        os << rng_.engine();
+        const std::string state = os.str();
+        e.rng_digest = integrity::hash64(state.data(), state.size());
+    }
+    e.pending_sampling_ratio = pending_sampling_ratio_;
+    e.pending_approx_fraction = pending_approx_fraction_;
+    if (controller_ != nullptr) {
+        e.controller_blob = controller_->journalState();
+    }
+    e.reducer_state.reserve(reducers_.size());
+    for (const std::unique_ptr<Reducer>& r : reducers_) {
+        std::string blob;
+        if (!r->checkpoint(blob)) {
+            blob.clear();  // unsupported: pinned to "" on both sides
+        }
+        e.reducer_state.push_back(std::move(blob));
+    }
+    e.reducer_records = reducer_records_;
+    maps_since_epoch_ = 0;
+    epoch_sink_->onEpoch(e);
+}
+
 void
 Job::checkWaveCompletion(int wave)
 {
@@ -1875,6 +2063,9 @@ Job::checkWaveCompletion(int wave)
         JobHandle handle(*this);
         controller_->onWaveComplete(handle, wave);
     }
+    // Sealed after the controller's replan so the epoch captures the
+    // post-decision state the resumed run must re-derive.
+    captureEpoch(journal::Epoch::kWave, wave);
 }
 
 void
@@ -1885,6 +2076,8 @@ Job::checkMapPhaseDone()
         return;
     }
     map_phase_done_ = true;
+    // A suspension that lost the race against completion is moot.
+    cancelPendingSuspend();
     counters_.waves = max_wave_ + 1;
     if (obs_ != nullptr) {
         // Waves whose completion never fired through checkWaveCompletion
@@ -1959,6 +2152,13 @@ Job::onReducerDone(uint32_t reducer)
     if (reducers_done_ == config_.num_reducers) {
         end_time_ = cluster_.now();
         job_done_ = true;
+        // Pending driver kills die with the job: without this, a dcrash
+        // time beyond the job's end would keep the event loop alive and
+        // accrue idle energy the uninterrupted run never sees.
+        for (sim::EventQueue::EventId id : driver_crash_events_) {
+            cluster_.events().cancel(id);
+        }
+        driver_crash_events_.clear();
         if (obs_ != nullptr) {
             obs_->trace.endJob(cluster_.now());
         }
@@ -1968,6 +2168,7 @@ Job::onReducerDone(uint32_t reducer)
                 s.exitLowPower(cluster_.now());
             }
         }
+        captureEpoch(journal::Epoch::kFinal, -1);
         notifyCompletion();
     }
 }
@@ -2028,6 +2229,24 @@ Job::start()
     for (const ft::FaultPlan::Drain& drain : config_.fault_plan.drains) {
         cluster_.events().scheduleAfter(drain.at,
                                         [this, drain] { onDrain(drain); });
+    }
+    // Driver kills: the throw escapes the event loop — it is the host
+    // process dying, and only a restart loop holding the journal may
+    // catch it. Kills already survived by a previous incarnation are
+    // skipped by the cursor, but their no-op events still occupy the
+    // same event ids, so a resumed schedule interleaves bit-identically
+    // with the crashed one.
+    for (double at : config_.fault_plan.driver_crashes) {
+        driver_crash_events_.push_back(
+            cluster_.events().scheduleAfter(at, [this, at] {
+                if (job_done_ || job_failed_) {
+                    return;  // fired after completion: harmless no-op
+                }
+                if (driver_crashes_fired_++ < config_.driver_crash_skip) {
+                    return;
+                }
+                throw journal::DriverKilledError(at);
+            }));
     }
 
     if (controller_ != nullptr) {

@@ -16,6 +16,7 @@
 #include "ft/fault_injector.h"
 #include "hdfs/dataset.h"
 #include "hdfs/namenode.h"
+#include "journal/sink.h"
 #include "mapreduce/combiner.h"
 #include "mapreduce/controller.h"
 #include "mapreduce/counters.h"
@@ -187,6 +188,17 @@ class Job
     void setObservability(obs::Observability* obs);
 
     /**
+     * Attaches a journal epoch sink (optional, not owned; must outlive
+     * run()). The job then seals an epoch — counters, RNG digest,
+     * reducer checkpoints, controller replan state, delivered-output
+     * digests — at every wave boundary, every
+     * JobConfig::journal_map_interval completed maps, and at job
+     * completion. Capture is a pure observation: attaching a sink never
+     * changes the simulated timeline or the results. @pre not run
+     */
+    void setEpochSink(journal::EpochSink* sink);
+
+    /**
      * Sets the initial sampling ratio for map tasks (controllers may
      * change it for not-yet-started tasks while the job runs).
      */
@@ -233,6 +245,51 @@ class Job
     bool done() const { return job_done_ || job_failed_; }
     bool jobFailed() const { return job_failed_; }
     const std::string& failureMessage() const { return failure_message_; }
+
+    // --- suspend / resume (preemption-by-checkpoint) ------------------
+    //
+    // A JobService preempts a low-priority tenant by suspending it at a
+    // quiesce point and resuming it later on the same cluster: the job
+    // stops taking map slots, drains by attrition (running attempts and
+    // retry backoffs finish through their normal paths), releases its
+    // reduce slots, and parks with all in-memory state — reducer
+    // aggregates, task states, the shared RNG — intact. Only valid
+    // while the map phase is active and the plan injects no reduce
+    // crashes (reduce_ft_ holds reduce slots hostage to replay).
+
+    /** Called once the suspend request settles: @p suspended is true
+     *  when the job parked, false when it finished (or failed) first —
+     *  a racing completion cancels the suspension. */
+    using SuspendHandler = std::function<void(bool suspended)>;
+
+    /**
+     * Asks the job to quiesce and park. Asynchronous: the scheduler
+     * stops granting the job slots immediately, and @p handler fires
+     * (via a zero-delay event) once the last in-flight attempt and
+     * retry waiter settles. @pre started, map phase active, not
+     * already suspending/suspended, no rcrash fault injection.
+     */
+    void requestSuspend(SuspendHandler handler);
+
+    /**
+     * Un-parks a suspended job: re-acquires reduce slots (placement is
+     * recomputed — the fleet may have changed while parked), then kicks
+     * the scheduler. The job continues exactly where it quiesced.
+     */
+    void resumeSuspended();
+
+    bool suspended() const { return suspended_; }
+    bool suspendPending() const { return suspend_pending_; }
+
+    /** True when requestSuspend() would be accepted right now: started,
+     *  map phase active, not already suspending/suspended, and no
+     *  reduce-crash injection. */
+    bool canSuspend() const
+    {
+        return started_ && !map_phase_done_ && !job_done_ &&
+               !job_failed_ && !suspend_pending_ && !suspended_ &&
+               !reduce_ft_;
+    }
 
     /**
      * Caps the map slots this job may hold concurrently (default:
@@ -334,6 +391,9 @@ class Job
     // --- scheduling ---
     void buildTasks();
     void placeReducers();
+    /** Round-robin reduce-slot placement (fills reducer_servers_);
+     *  shared by placeReducers() and resumeSuspended(). */
+    void acquireReducerSlots();
     void rebuildQueues();
     void scheduleLoop();
     /** Next pending task local to @p server; -1 if none. */
@@ -344,10 +404,12 @@ class Job
     void onAttemptFinish(uint64_t task_id, size_t attempt_index);
     void maybeSpeculate();
     void killRunningTask(uint64_t task_id);
-    /** True while the job is under its external map-slot cap. */
+    /** True while the job is under its external map-slot cap. A
+     *  suspending/suspended job has no budget at all — it quiesces by
+     *  attrition, exactly like a cap lowered to zero. */
     bool slotBudgetLeft() const
     {
-        return map_slot_limit_ > 0 &&
+        return !suspend_pending_ && !suspended_ && map_slot_limit_ > 0 &&
                held_map_slots_ < static_cast<uint64_t>(map_slot_limit_);
     }
     /** Frees one map slot held by @p attempt (single release site). */
@@ -474,6 +536,23 @@ class Job
     /** Publishes scheduler/counter state and snapshots it as @p wave. */
     void obsWaveSnapshot(int wave);
 
+    // --- journaling (no-ops when epoch_sink_ is null) ---
+    /** Seals one epoch of driver state into the sink. @p wave is the
+     *  completed wave for Epoch::kWave captures, -1 otherwise. */
+    void captureEpoch(uint32_t kind, int wave);
+
+    // --- suspend / resume ---
+    /** Quiesce detector: when the last attempt/retry waiter settled,
+     *  schedules a zero-delay finishSuspendNow() (deferred so the
+     *  map-completion path can still rule the phase done and cancel). */
+    void maybeFinishSuspend();
+    /** Actually parks the job: releases reduce slots, fires the
+     *  suspend handler. No-op if the suspension was cancelled. */
+    void finishSuspendNow();
+    /** Resolves a pending suspend without parking (job finished or
+     *  failed first); notifies the handler with suspended=false. */
+    void cancelPendingSuspend();
+
     // --- completion ---
     void checkWaveCompletion(int wave);
     void checkMapPhaseDone();
@@ -493,6 +572,7 @@ class Job
     std::shared_ptr<Combiner> combiner_;
     JobController* controller_ = nullptr;
     obs::Observability* obs_ = nullptr;
+    journal::EpochSink* epoch_sink_ = nullptr;
 
     Rng rng_;
     uint64_t first_block_ = 0;
@@ -540,6 +620,27 @@ class Job
     bool map_phase_done_ = false;
     bool job_done_ = false;
     bool started_ = false;
+
+    // Journaling state (inert without an epoch sink).
+    /** Next non-marker epoch index (the job's own monotone counter). */
+    uint64_t epoch_index_ = 0;
+    /** (task_id, output digest) delivered since the last epoch. */
+    std::vector<std::pair<uint64_t, uint64_t>> epoch_delivered_;
+    /** Completed maps since the last interval epoch. */
+    uint64_t maps_since_epoch_ = 0;
+    /** dcrash events fired so far (skip cursor for resumed runs). */
+    uint32_t driver_crashes_fired_ = 0;
+    /** Pending dcrash events, cancelled at job completion so a kill
+     *  time beyond the job's end cannot extend the simulation (and its
+     *  energy integral) past the moment the job finishes. */
+    std::vector<sim::EventQueue::EventId> driver_crash_events_;
+
+    // Suspend/resume state (inert in standalone runs).
+    bool suspend_pending_ = false;
+    bool suspended_ = false;
+    /** A zero-delay finishSuspendNow() event is in flight. */
+    bool park_event_pending_ = false;
+    SuspendHandler suspend_handler_;
 
     // Service-mode state (inert in standalone runs).
     CompletionHandler completion_handler_;

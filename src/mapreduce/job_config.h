@@ -126,6 +126,22 @@ struct JobConfig
     uint64_t reducer_checkpoint_interval = 8;
 
     /**
+     * Scheduled `dcrash=` driver-kill events to skip because they were
+     * already survived by a previous incarnation of this driver. Set by
+     * the resume path from the journal's resume-marker count; 0 for a
+     * fresh run.
+     */
+    uint32_t driver_crash_skip = 0;
+
+    /**
+     * When journaling (Job::setEpochSink), additionally seal an epoch
+     * every N completed map tasks, between wave boundaries. 0 journals
+     * at wave boundaries and job completion only (the default: long
+     * waves then bound replay at one wave).
+     */
+    uint64_t journal_map_interval = 0;
+
+    /**
      * Host worker threads executing the *real* CPU work of map tasks
      * (record synthesis, the map UDF, combining, partitioning). 1 runs
      * everything on the driver thread exactly as before; N > 1 overlaps

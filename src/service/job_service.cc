@@ -71,6 +71,12 @@ JobService::JobService(const ServiceSpec& spec)
             "in multi-tenant runs (a whole-server event cannot be "
             "attributed to one job)");
     }
+    if (spec_.fault_plan.hasDriverCrash()) {
+        throw std::invalid_argument(
+            "JobService: dcrash driver kills are not supported in "
+            "multi-tenant runs (one driver hosts every tenant; use the "
+            "single-job --journal path)");
+    }
     cluster_ = std::make_unique<sim::Cluster>(
         sim::ClusterConfig::parse(spec_.cluster));
 
@@ -158,10 +164,28 @@ JobService::run()
     // here is a service-level scheduling bug.
     for (const ManagedJob& mj : jobs_) {
         if (mj.state != JobState::kDone && mj.state != JobState::kFailed) {
+            const char* state = mj.state == JobState::kPending  ? "pending"
+                                : mj.state == JobState::kQueued ? "queued"
+                                : mj.state == JobState::kRunning
+                                    ? "running"
+                                    : "suspended";
+            std::string detail;
+            if (mj.job) {
+                detail = " done=" + std::to_string(mj.job->done()) +
+                         " started=" + std::to_string(mj.started) +
+                         " suspend_pending=" +
+                         std::to_string(mj.job->suspendPending()) +
+                         " preempt_pending=" +
+                         std::to_string(mj.preempt_pending) +
+                         " held=" + std::to_string(mj.job->heldMapSlots()) +
+                         " cap=" + std::to_string(mj.job->mapSlotLimit()) +
+                         " remaining=" +
+                         std::to_string(mj.job->remainingMaps());
+            }
             throw std::logic_error(
                 "JobService: event queue drained with job '" +
-                mj.arrival.workload + "' not finished (admission or "
-                "arbitration stall)");
+                mj.arrival.workload + "' " + state + detail +
+                " (admission or arbitration stall)");
         }
     }
     return buildReport();
@@ -195,15 +219,146 @@ JobService::pump()
     // newly admitted job's controller makes its first decision.
     applyAccuracyPressure();
 
+    // Preemption next, so a victim starts quiescing before admission is
+    // retried (the freed slots arrive asynchronously via pump() from
+    // onSuspendSettled).
+    maybePreempt();
+
     // Admit in (priority, FIFO) order while each job's whole reducer
     // complement fits (Job::placeReducers claims all reduce slots for
     // the job's lifetime — admitting without them would throw).
     while (!queue_.empty() && freeReduceSlots() >= spec_.reducers) {
+        uint64_t front = queue_.front();
+        if (deferGateBlocks(front)) {
+            ManagedJob& held = jobs_[front];
+            if (!held.was_deferred) {
+                held.was_deferred = true;
+                ++deferred_count_;
+            }
+            break;
+        }
         admit(queue_.pop());
         applyAccuracyPressure();
     }
 
+    // Un-park preempted jobs only after admission had its pick of the
+    // free slots: waiting arrivals outrank a parked lower class.
+    maybeResume();
+
     rebalance();
+}
+
+bool
+JobService::deferGateBlocks(uint64_t front_id) const
+{
+    if (!spec_.defer) {
+        return false;
+    }
+    if (spec_.tenants[jobs_[front_id].arrival.tenant].priority == 0) {
+        return false;
+    }
+    for (uint64_t id : active_) {
+        if (spec_.tenants[jobs_[id].arrival.tenant].priority == 0 &&
+            !jobs_[id].job->done()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+JobService::maybePreempt()
+{
+    if (!spec_.preempt || queue_.empty() ||
+        freeReduceSlots() >= spec_.reducers) {
+        return;
+    }
+    uint64_t front = queue_.front();
+    if (deferGateBlocks(front)) {
+        return;  // the front could not admit even with freed slots
+    }
+    uint32_t front_prio =
+        spec_.tenants[jobs_[front].arrival.tenant].priority;
+
+    // Victim: a running, suspendable job of a strictly less important
+    // class; the least important one, latest-admitted among equals, so
+    // preemption always evicts the cheapest progress.
+    int64_t victim = -1;
+    uint32_t victim_prio = 0;
+    for (uint64_t id : active_) {
+        ManagedJob& mj = jobs_[id];
+        if (mj.state != JobState::kRunning || mj.preempt_pending ||
+            !mj.started || !mj.job->canSuspend()) {
+            continue;
+        }
+        uint32_t prio = spec_.tenants[mj.arrival.tenant].priority;
+        if (prio <= front_prio) {
+            continue;
+        }
+        if (victim < 0 || prio > victim_prio ||
+            (prio == victim_prio &&
+             mj.admit_time >= jobs_[victim].admit_time)) {
+            victim = static_cast<int64_t>(id);
+            victim_prio = prio;
+        }
+    }
+    if (victim < 0) {
+        return;
+    }
+    uint64_t vid = static_cast<uint64_t>(victim);
+    jobs_[vid].preempt_pending = true;
+    jobs_[vid].job->requestSuspend([this, vid](bool suspended) {
+        onSuspendSettled(vid, suspended);
+    });
+}
+
+void
+JobService::onSuspendSettled(uint64_t id, bool suspended)
+{
+    ManagedJob& mj = jobs_[id];
+    mj.preempt_pending = false;
+    if (!suspended) {
+        // The map phase (or the whole job) completed before the victim
+        // quiesced; its own completion path already pumped the queue.
+        return;
+    }
+    assert(mj.state == JobState::kRunning);
+    mj.state = JobState::kSuspended;
+    ++preempted_count_;
+    active_.erase(std::remove(active_.begin(), active_.end(), id),
+                  active_.end());
+    suspended_.push_back(id);
+    pump();
+}
+
+void
+JobService::maybeResume()
+{
+    while (!suspended_.empty() && freeReduceSlots() >= spec_.reducers) {
+        uint64_t id = suspended_.front();
+        // Stay parked while a strictly more important job still waits:
+        // it has first claim on the freed slots (it will admit — or
+        // preempt — from a later pump).
+        if (!queue_.empty() &&
+            spec_.tenants[jobs_[queue_.front()].arrival.tenant].priority <
+                spec_.tenants[jobs_[id].arrival.tenant].priority) {
+            return;
+        }
+        suspended_.erase(suspended_.begin());
+        ManagedJob& mj = jobs_[id];
+        assert(mj.state == JobState::kSuspended);
+        mj.state = JobState::kRunning;
+        ++resumed_count_;
+        active_.push_back(id);
+        std::sort(active_.begin(), active_.end());
+        if (active_.size() > 1) {
+            for (uint64_t a : active_) {
+                jobs_[a].saw_contention = true;
+            }
+        }
+        mj.job->resumeSuspended();
+        rebalance();
+    }
 }
 
 void
@@ -415,6 +570,20 @@ JobService::buildReport()
     report.duration = spec_.duration;
     report.jobs_submitted = jobs_.size();
     report.peak_queue_depth = peak_queue_depth_;
+    report.jobs_preempted = preempted_count_;
+    report.jobs_resumed = resumed_count_;
+    report.jobs_suspended_live = suspended_.size();
+    report.jobs_deferred = deferred_count_;
+    // Conservation: every park is matched by an un-park (or is still
+    // live, which run() already rejects for a completed simulation).
+    if (report.jobs_preempted !=
+        report.jobs_resumed + report.jobs_suspended_live) {
+        throw std::logic_error(
+            "JobService: preemption identity violated: preempted=" +
+            std::to_string(report.jobs_preempted) + " resumed=" +
+            std::to_string(report.jobs_resumed) + " suspended_live=" +
+            std::to_string(report.jobs_suspended_live));
+    }
 
     double makespan = 0.0;
     for (const JobOutcome& o : outcomes_) {

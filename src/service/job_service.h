@@ -86,7 +86,16 @@ class JobService
     const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
 
   private:
-    enum class JobState { kPending, kQueued, kRunning, kDone, kFailed };
+    enum class JobState {
+        kPending,
+        kQueued,
+        kRunning,
+        /** Preempted: parked at a quiesce point with its reduce slots
+         *  released; resumes via maybeResume(). */
+        kSuspended,
+        kDone,
+        kFailed
+    };
 
     /** Everything the service owns for one submitted job. All kept
      *  alive until the service is destroyed: job events capture
@@ -117,15 +126,29 @@ class JobService
         uint64_t initial_maps = 0;
         /** True once Job::start() has run (task set exists). */
         bool started = false;
+        /** A requestSuspend() is in flight (quiescing by attrition). */
+        bool preempt_pending = false;
+        /** Admission was held by the defer gate at least once. */
+        bool was_deferred = false;
     };
 
     void onArrival(uint64_t id);
-    /** Admission + accuracy pressure + slot rebalance, invoked after
-     *  every state change (arrival, completion). */
+    /** Admission + accuracy pressure + preemption + slot rebalance,
+     *  invoked after every state change (arrival, completion, park). */
     void pump();
     void admit(uint64_t id);
     void rebalance();
     void applyAccuracyPressure();
+    /** True when defer=1 holds @p front_id out of admission. */
+    bool deferGateBlocks(uint64_t front_id) const;
+    /** Suspends one victim so the queue front can admit (preempt=1). */
+    void maybePreempt();
+    /** requestSuspend() settled: the victim parked, or a racing
+     *  map-phase/job completion cancelled the suspension. */
+    void onSuspendSettled(uint64_t id, bool suspended);
+    /** Un-parks suspended jobs while slots are free and no strictly
+     *  more important job is still queued. */
+    void maybeResume();
     void onJobCompletion(uint64_t id, bool failed,
                          const std::string& error);
     uint32_t freeReduceSlots() const;
@@ -140,8 +163,12 @@ class JobService
     JobQueue queue_;
     std::vector<ManagedJob> jobs_;       ///< arrival order, stable ids
     std::vector<uint64_t> active_;       ///< running job ids, ascending
+    std::vector<uint64_t> suspended_;    ///< parked job ids, park order
     std::vector<JobOutcome> outcomes_;   ///< completion order
     uint64_t peak_queue_depth_ = 0;
+    uint64_t preempted_count_ = 0;
+    uint64_t resumed_count_ = 0;
+    uint64_t deferred_count_ = 0;
     bool ran_ = false;
 };
 

@@ -37,6 +37,10 @@ ServiceReport::toJson() const
     w.field("jobs_completed", jobs_completed);
     w.field("jobs_failed", jobs_failed);
     w.field("peak_queue_depth", peak_queue_depth);
+    w.field("jobs_preempted", jobs_preempted);
+    w.field("jobs_resumed", jobs_resumed);
+    w.field("jobs_suspended_live", jobs_suspended_live);
+    w.field("jobs_deferred", jobs_deferred);
     w.field("energy_wh", energy_wh);
     w.beginArray("tenants");
     for (const TenantReport& t : tenants) {

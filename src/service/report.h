@@ -73,6 +73,21 @@ struct ServiceReport
     /** Deepest the admission queue ever got. */
     uint64_t peak_queue_depth = 0;
 
+    /**
+     * Preemption-by-checkpoint accounting (preempt=1): jobs parked at a
+     * quiesce point, jobs un-parked, and jobs still parked when the run
+     * ended. The conservation identity
+     * jobs_preempted == jobs_resumed + jobs_suspended_live holds at all
+     * times, and jobs_suspended_live is always 0 for a completed run —
+     * the service never strands a suspended job.
+     */
+    uint64_t jobs_preempted = 0;
+    uint64_t jobs_resumed = 0;
+    uint64_t jobs_suspended_live = 0;
+
+    /** Jobs whose admission was held at least once by defer=1. */
+    uint64_t jobs_deferred = 0;
+
     /** Cluster energy over the whole run, watt-hours. */
     double energy_wh = 0.0;
 

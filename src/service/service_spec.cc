@@ -184,6 +184,13 @@ parseServiceSpec(const std::string& spec)
                 throw std::invalid_argument(
                     "service spec: endgame percent must be <= 100");
             }
+        } else if (key == "preempt" || key == "defer") {
+            uint64_t v = parseUint(value, key.c_str());
+            if (v > 1) {
+                throw std::invalid_argument("service spec: " + key +
+                                            " must be 0 or 1");
+            }
+            (key == "preempt" ? out.preempt : out.defer) = v == 1;
         } else if (key == "slo") {
             for (const std::string& s : split(value, '+')) {
                 slos.push_back(parseNonNegative(s, "SLO seconds"));
@@ -258,6 +265,12 @@ specSummary(const ServiceSpec& spec)
                     ",maxscale=" + num(spec.max_target_scale) +
                     ",endgame=" + num(spec.endgame_left_percent) +
                     ",cluster=" + spec.cluster;
+    if (spec.preempt) {
+        s += ",preempt=1";
+    }
+    if (spec.defer) {
+        s += ",defer=1";
+    }
     if (spec.fault_plan.enabled()) {
         s += ",faults=" + spec.fault_plan.spec();
     }
@@ -279,6 +292,11 @@ serviceSpecHelp()
            "  degrade=F          target widening factor per pressure step\n"
            "  maxscale=M         cap on total target widening\n"
            "  endgame=P          endgame speculation left-percent (0=off)\n"
+           "  preempt=0|1        suspend the least important running job\n"
+           "                     when a more important arrival cannot\n"
+           "                     admit (resumed later; no work lost)\n"
+           "  defer=0|1          hold lower-priority admissions while a\n"
+           "                     priority-0 job is active\n"
            "  slo=A+B+...        per-tenant p99 SLO seconds\n"
            "  workloads=a+b+...  job-mix workload names\n"
            "  cluster=SPEC       xeon10 (default), atom60, or a mixed\n"

@@ -94,6 +94,27 @@ struct ServiceSpec
     /** Cap on the total target-error scale (>= 1). */
     double max_target_scale = 4.0;
 
+    // --- preemption & deferral ---
+
+    /**
+     * Preemption-by-checkpoint: when the front of the admission queue
+     * cannot admit for lack of reduce slots, suspend the least
+     * important running job (strictly lower priority than the waiting
+     * one, latest-admitted among equals) at a quiesce point. The victim
+     * releases its reduce slots and parks with all in-memory state
+     * intact; it resumes once slots free up and no strictly more
+     * important job is still waiting. No work is lost — suspended jobs
+     * always run to completion.
+     */
+    bool preempt = false;
+
+    /**
+     * Deferred admission: while any priority-0 job is active, hold
+     * every lower-priority admission in the queue even when slots are
+     * free, keeping the whole cluster for the top class.
+     */
+    bool defer = false;
+
     // --- environment ---
 
     /** Cluster preset: "xeon10" or "atom60". */
@@ -123,6 +144,11 @@ struct ServiceSpec
  *   degrade=F          target widening factor per pressure step
  *   maxscale=M         cap on the total widening (>= 1)
  *   endgame=P          endgame_left_percent for every job (0 = off)
+ *   preempt=0|1        suspend the least important running job when a
+ *                      more important arrival cannot admit (resumed
+ *                      later; no work lost)
+ *   defer=0|1          hold lower-priority admissions while any
+ *                      priority-0 job is active
  *   slo=A+B+...        per-tenant p99 SLO seconds ('+'-separated,
  *                      one per tenant, 0 = none)
  *   workloads=a+b+...  job-mix workload names ('+'-separated)

@@ -220,6 +220,94 @@ TEST(ShrinkTest, ElasticNoiseIsStrippedWhenIrrelevant)
     EXPECT_FALSE(kept.scenario.plan.revocations.empty());
 }
 
+TEST(ScenarioGeneratorTest, DriverCrashDimensionIsDrawnOnSingleJobOnly)
+{
+    // The driver-crash slice: dcrash= kills must appear across a
+    // family, only on single-job scenarios (the JobService rejects
+    // them), at positive times, and the reproducer command must carry
+    // the --journal flag approxrun requires to resume.
+    ScenarioGenerator gen(7);
+    uint64_t crashed = 0;
+    for (uint64_t i = 0; i < 300; ++i) {
+        Scenario s = gen.generate(i);
+        if (s.concurrent_jobs > 1) {
+            EXPECT_FALSE(s.plan.hasDriverCrash()) << s.describe();
+        }
+        if (!s.plan.hasDriverCrash()) {
+            EXPECT_EQ(s.approxrunCommand().find("--journal"),
+                      std::string::npos);
+            continue;
+        }
+        ++crashed;
+        EXPECT_GE(s.plan.driver_crashes.size(), 1u);
+        EXPECT_LE(s.plan.driver_crashes.size(), 2u);
+        for (double at : s.plan.driver_crashes) {
+            EXPECT_GT(at, 0.0) << s.describe();
+        }
+        EXPECT_NE(s.approxrunCommand().find("--journal"),
+                  std::string::npos)
+            << s.approxrunCommand();
+        EXPECT_NE(s.describe().find("dcrash"), std::string::npos)
+            << s.describe();
+    }
+    // ~25% of single-job scenarios (~88% of 300): present, not rare.
+    EXPECT_GE(crashed, 30u);
+}
+
+TEST(ChaosOracleTest, DriverCrashScenarioPassesResumeEquivalence)
+{
+    // Hand-built kill-and-resume scenario with task crashes active: the
+    // oracle wraps it in the journal restart loop and must find the
+    // resumed run bit-identical to the uninterrupted one, and the
+    // crash-time journal image torn-truncation-safe.
+    Scenario s;
+    s.workload = "projectpop";
+    s.blocks = 40;
+    s.items = 12;
+    s.reducers = 2;
+    s.threads = 4;
+    s.job_seed = 12345;
+    s.sampling = 0.5;
+    s.mode = ft::FailureMode::kAbsorb;
+    s.plan.task_crash_prob = 0.1;
+    s.plan.seed = 3;
+    s.plan.driver_crashes = {2.0, 5.0};
+
+    // The kills must actually fire (otherwise this test checks nothing).
+    ChaosOracle oracle;
+    RunOutcome outcome = oracle.runScenario(s, 1);
+    ASSERT_FALSE(outcome.failed) << outcome.error;
+    EXPECT_EQ(outcome.resumes, 2u)
+        << "driver kills never fired — times beyond the job's end?";
+    EXPECT_FALSE(outcome.crash_journal.empty());
+
+    std::vector<Violation> v = oracle.check(s);
+    EXPECT_TRUE(v.empty())
+        << s.describe() << " violated " << v.front().invariant << ": "
+        << v.front().detail;
+}
+
+TEST(ShrinkTest, DriverCrashesAreStrippedWhenIrrelevant)
+{
+    Scenario failing = ScenarioGenerator(3).generate(0);
+    failing.plan.task_crash_prob = 0.5;
+    failing.plan.driver_crashes = {1.0, 4.0};
+
+    // The "bug" only needs the crash probability: both kills are noise.
+    auto still_fails = [](const Scenario& s) {
+        return s.plan.task_crash_prob > 0.1;
+    };
+    ShrinkResult out = shrinkScenario(failing, still_fails);
+    EXPECT_TRUE(out.scenario.plan.driver_crashes.empty());
+
+    // When the failure needs *a* kill, exactly one survives.
+    auto needs_kill = [](const Scenario& s) {
+        return s.plan.hasDriverCrash();
+    };
+    ShrinkResult kept = shrinkScenario(failing, needs_kill);
+    EXPECT_EQ(kept.scenario.plan.driver_crashes.size(), 1u);
+}
+
 TEST(ChaosOracleTest, MultiJobScenarioPassesServiceInvariants)
 {
     // A hand-built multi-job scenario with faults runs through the

@@ -74,6 +74,13 @@ TEST(FaultPlanParseTest, RejectsInvalidSpecs)
         {"drain=2", "drain without @T"},
         {"drain=0@10", "zero drain count"},
         {"drain=2@10+5", "drain takes no +D duration"},
+        // Driver kills: a time, strictly positive and finite.
+        {"dcrash=", "dcrash without a time"},
+        {"dcrash=abc", "non-numeric dcrash time"},
+        {"dcrash=-5", "negative dcrash time"},
+        {"dcrash=0", "dcrash at time zero"},
+        {"dcrash=inf", "infinite dcrash time"},
+        {"dcrash=10x", "trailing garbage after dcrash time"},
     };
     for (const BadSpec& c : cases) {
         EXPECT_THROW(FaultPlan::parse(c.spec), std::invalid_argument)
@@ -131,6 +138,20 @@ TEST(FaultPlanParseTest, ParsesElasticFleetKeys)
     EXPECT_DOUBLE_EQ(plan.drains[0].at, 120.0);
 }
 
+TEST(FaultPlanParseTest, ParsesDriverCrashKey)
+{
+    FaultPlan plan = FaultPlan::parse("dcrash=10,dcrash=45.5");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_TRUE(plan.hasDriverCrash());
+    EXPECT_FALSE(plan.changesFleet()) << "a driver kill is not a fleet "
+                                         "membership change";
+    ASSERT_EQ(plan.driver_crashes.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.driver_crashes[0], 10.0);
+    EXPECT_DOUBLE_EQ(plan.driver_crashes[1], 45.5);
+    EXPECT_NE(plan.summary().find("dcrash"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::parse("").hasDriverCrash());
+}
+
 TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
 {
     const std::vector<std::string> specs = {
@@ -145,6 +166,8 @@ TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
         "revoke=3@60",
         "revoke=2@10+30,addsrv=4atom@90,drain=2@120",
         "crash=0.1,revoke=1@5.5,addsrv=2xeon@7.25,drain=1@9,seed=3",
+        "dcrash=12.5",
+        "crash=0.2,dcrash=10,dcrash=45.25,seed=11",
     };
     for (const std::string& spec : specs) {
         FaultPlan plan = FaultPlan::parse(spec);
@@ -200,6 +223,12 @@ TEST(FaultPlanRoundTripTest, SpecRegeneratesAnEquivalentPlan)
             EXPECT_EQ(plan.drains[i].count, again.drains[i].count) << spec;
             EXPECT_EQ(plan.drains[i].at, again.drains[i].at) << spec;
         }
+        ASSERT_EQ(plan.driver_crashes.size(), again.driver_crashes.size())
+            << spec;
+        for (size_t i = 0; i < plan.driver_crashes.size(); ++i) {
+            EXPECT_EQ(plan.driver_crashes[i], again.driver_crashes[i])
+                << spec;
+        }
         // And spec() must be canonical: serializing twice is a fixpoint.
         EXPECT_EQ(plan.spec(), again.spec()) << spec;
     }
@@ -214,7 +243,7 @@ TEST(FaultPlanRoundTripTest, EveryParserKeyAppearsInSummaryAndHelp)
     FaultPlan plan = FaultPlan::parse(
         "crash=0.1,corrupt=0.2,badrec=0.3,rcrash=0.4,"
         "straggler=0.5:4,server=1@50,revoke=2@60,addsrv=3atom@70,"
-        "drain=1@80,seed=9");
+        "drain=1@80,dcrash=85,seed=9");
     const std::string summary = plan.summary();
     const std::string help = FaultPlan::helpText();
     for (const std::string& key : FaultPlan::specKeys()) {

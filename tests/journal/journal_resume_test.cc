@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Kill-and-resume determinism — the tentpole acceptance test. A
+ * journaled run killed by dcrash= driver faults and resumed (the same
+ * restart loop approxrun runs in-process) must finish with a JobResult
+ * bit-identical to the uninterrupted run of the same configuration:
+ * identical outputs, counters (full serialized image) and simulated
+ * runtime. The matrix crosses resume points spread over the job's
+ * waves, host thread counts {1, 8}, failure modes {retry, absorb,
+ * auto} under task-crash injection, and an elastic fleet (revoke= +
+ * addsrv= active), plus double-kill runs.
+ */
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/aggregation_registry.h"
+#include "core/approx_config.h"
+#include "core/approx_job.h"
+#include "ft/fault_plan.h"
+#include "hdfs/dataset.h"
+#include "hdfs/namenode.h"
+#include "journal/journal.h"
+#include "mapreduce/job.h"
+#include "sim/cluster.h"
+
+namespace approxhadoop {
+namespace {
+
+constexpr uint64_t kBlocks = 60;
+constexpr uint64_t kItems = 40;
+constexpr uint64_t kSeed = 11;
+constexpr uint32_t kReducers = 2;
+
+struct Scenario
+{
+    const char* label;
+    uint32_t threads;
+    ft::FailureMode mode;
+    /** Base fault plan, "" for fault-free. */
+    const char* faults;
+    const char* cluster = "xeon10";
+};
+
+journal::RunSpec
+specFor(const Scenario& s, const std::string& faults)
+{
+    journal::RunSpec spec;
+    spec.app = "wikilength";
+    spec.blocks = kBlocks;
+    spec.items = kItems;
+    spec.seed = kSeed;
+    spec.reducers = kReducers;
+    spec.threads = s.threads;
+    spec.cluster = s.cluster;
+    spec.sampling = 0.5;
+    spec.failure_mode = ft::toString(s.mode);
+    spec.fault_plan = faults;
+    return spec;
+}
+
+/**
+ * One full run. With @p dcrash times, records into an in-memory
+ * journal and loops through DriverKilledError exactly like approxrun:
+ * resume re-executes from scratch with the journal verifying every
+ * re-reached epoch against the sealed prefix.
+ */
+mr::JobResult
+runScenario(const Scenario& s, const std::vector<double>& dcrash,
+            uint32_t* resumes_out = nullptr)
+{
+    const apps::AggregationWorkload& w =
+        *apps::findAggregationWorkload("wikilength");
+
+    std::string faults = s.faults;
+    for (double t : dcrash) {
+        if (!faults.empty()) {
+            faults += ",";
+        }
+        faults += "dcrash=" + std::to_string(t);
+    }
+
+    std::unique_ptr<journal::JobJournal> jj;
+    if (!dcrash.empty()) {
+        jj = journal::JobJournal::createInMemory(specFor(s, faults));
+    }
+
+    core::ApproxConfig approx;
+    approx.sampling_ratio = 0.5;
+
+    for (;;) {
+        std::unique_ptr<hdfs::BlockDataset> data =
+            w.make_dataset(kBlocks, kItems, kSeed);
+        mr::JobConfig config = w.job_config(kItems, kReducers);
+        config.seed = kSeed;
+        config.cluster_spec = s.cluster;
+        config.num_exec_threads = s.threads;
+        config.failure_mode = s.mode;
+        if (!faults.empty()) {
+            config.fault_plan = ft::FaultPlan::parse(faults);
+        }
+        if (jj != nullptr) {
+            config.driver_crash_skip = jj->resumeCount();
+        }
+        sim::Cluster cluster(sim::ClusterConfig::parse(s.cluster));
+        hdfs::NameNode nn(cluster.numServers(), 3, kSeed);
+        core::ApproxJobRunner runner(cluster, *data, nn);
+        runner.setEpochSink(jj.get());
+        try {
+            mr::JobResult result = runner.runAggregation(
+                config, approx, w.mapper_factory(), w.op);
+            if (resumes_out != nullptr) {
+                *resumes_out = jj ? jj->resumeCount() : 0;
+            }
+            return result;
+        } catch (const journal::DriverKilledError&) {
+            jj = journal::JobJournal::resumeBytes(jj->bytes());
+        }
+    }
+}
+
+void
+expectResultsIdentical(const mr::JobResult& resumed,
+                       const mr::JobResult& baseline,
+                       const std::string& label)
+{
+    EXPECT_EQ(resumed.runtime, baseline.runtime) << label;
+    // The full counter image, not a field sample: any divergence in
+    // scheduling, retries, or shuffle shows up here.
+    EXPECT_EQ(resumed.counters.serialize(), baseline.counters.serialize())
+        << label;
+    ASSERT_EQ(resumed.output.size(), baseline.output.size()) << label;
+    for (size_t i = 0; i < baseline.output.size(); ++i) {
+        const mr::OutputRecord& a = resumed.output[i];
+        const mr::OutputRecord& b = baseline.output[i];
+        EXPECT_EQ(a.key, b.key) << label;
+        EXPECT_EQ(a.value, b.value) << label << " key " << b.key;
+        EXPECT_EQ(a.lower, b.lower) << label << " key " << b.key;
+        EXPECT_EQ(a.upper, b.upper) << label << " key " << b.key;
+    }
+}
+
+/** The scenario axis of the matrix. The task-crash probability is high
+ *  enough that retries/absorbs actually occur before the kill times. */
+const Scenario kScenarios[] = {
+    {"plain-1t", 1, ft::FailureMode::kRetry, ""},
+    {"plain-8t", 8, ft::FailureMode::kRetry, ""},
+    {"retry-crashy-1t", 1, ft::FailureMode::kRetry, "crash=0.15,seed=3"},
+    {"absorb-crashy-8t", 8, ft::FailureMode::kAbsorb,
+     "crash=0.15,seed=3"},
+    {"auto-crashy-1t", 1, ft::FailureMode::kAuto, "crash=0.15,seed=3"},
+    {"elastic-8t", 8, ft::FailureMode::kAuto,
+     "revoke=2@4,addsrv=3atom@8,seed=5", "10xeon+4atom"},
+};
+
+class JournalResumeTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(JournalResumeTest, SingleKillMatchesUninterruptedRun)
+{
+    const Scenario& s = GetParam();
+    mr::JobResult baseline = runScenario(s, {});
+    // Kill times spread across the job: early (first waves), middle,
+    // and late (usually the reduce phase).
+    for (double at : {1.0, 3.0, 6.0, 12.0}) {
+        uint32_t resumes = 0;
+        mr::JobResult resumed = runScenario(s, {at}, &resumes);
+        EXPECT_EQ(resumes, 1u)
+            << s.label << " dcrash=" << at
+            << ": the driver kill never fired (time beyond job end?)";
+        expectResultsIdentical(
+            resumed, baseline,
+            std::string(s.label) + " dcrash=" + std::to_string(at));
+    }
+}
+
+TEST_P(JournalResumeTest, DoubleKillMatchesUninterruptedRun)
+{
+    const Scenario& s = GetParam();
+    mr::JobResult baseline = runScenario(s, {});
+    uint32_t resumes = 0;
+    mr::JobResult resumed = runScenario(s, {2.0, 7.0}, &resumes);
+    EXPECT_EQ(resumes, 2u) << s.label;
+    expectResultsIdentical(resumed, baseline,
+                           std::string(s.label) + " double-kill");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, JournalResumeTest, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+        std::string name = info.param.label;
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(JournalResumeTest, TargetErrorModeSurvivesKills)
+{
+    // Target-error mode exercises the controller's journaled replan
+    // state (pilot wave, per-wave ratio updates).
+    const apps::AggregationWorkload& w =
+        *apps::findAggregationWorkload("wikilength");
+    core::ApproxConfig approx;
+    approx.target_relative_error = 0.05;
+
+    auto run = [&](const std::vector<double>& dcrash) {
+        std::string faults;
+        for (double t : dcrash) {
+            if (!faults.empty()) {
+                faults += ",";
+            }
+            faults += "dcrash=" + std::to_string(t);
+        }
+        journal::RunSpec spec;
+        spec.app = "wikilength";
+        spec.blocks = kBlocks;
+        spec.items = kItems;
+        spec.seed = kSeed;
+        spec.reducers = kReducers;
+        spec.threads = 4;
+        spec.cluster = "xeon10";
+        spec.has_target = true;
+        spec.target = 0.05;
+        spec.failure_mode = "auto";
+        spec.fault_plan = faults;
+        std::unique_ptr<journal::JobJournal> jj;
+        if (!dcrash.empty()) {
+            jj = journal::JobJournal::createInMemory(spec);
+        }
+        for (;;) {
+            std::unique_ptr<hdfs::BlockDataset> data =
+                w.make_dataset(kBlocks, kItems, kSeed);
+            mr::JobConfig config = w.job_config(kItems, kReducers);
+            config.seed = kSeed;
+            config.num_exec_threads = 4;
+            if (!faults.empty()) {
+                config.fault_plan = ft::FaultPlan::parse(faults);
+            }
+            if (jj != nullptr) {
+                config.driver_crash_skip = jj->resumeCount();
+            }
+            sim::Cluster cluster(sim::ClusterConfig::xeon10());
+            hdfs::NameNode nn(cluster.numServers(), 3, kSeed);
+            core::ApproxJobRunner runner(cluster, *data, nn);
+            runner.setEpochSink(jj.get());
+            try {
+                return runner.runAggregation(config, approx,
+                                             w.mapper_factory(), w.op);
+            } catch (const journal::DriverKilledError&) {
+                jj = journal::JobJournal::resumeBytes(jj->bytes());
+            }
+        }
+    };
+
+    mr::JobResult baseline = run({});
+    for (double at : {1.5, 4.0, 9.0}) {
+        expectResultsIdentical(run({at}), baseline,
+                               "target dcrash=" + std::to_string(at));
+    }
+}
+
+}  // namespace
+}  // namespace approxhadoop

@@ -296,6 +296,131 @@ TEST(ServiceIntegrationTest, ContendedRunConservesCountersAndSlots)
     }
 }
 
+/** Preemption scenario: one job's reducer complement (6 of 10 slots)
+ *  blocks a second admission, and the victim has ~20 map waves of
+ *  runway, so a suspension can settle long before the phase ends. */
+ServiceSpec
+preemptSpec()
+{
+    ServiceSpec spec = baseSpec();
+    spec.blocks = 200;
+    spec.items = 8;
+    spec.reducers = 6;
+    return spec;
+}
+
+TEST(ServiceIntegrationTest, PreemptionParksResumesAndCutsP0Latency)
+{
+    ServiceSpec off = preemptSpec();
+    ServiceSpec on = preemptSpec();
+    on.preempt = true;
+    std::vector<JobArrival> arrivals = {arrivalAt(0.0, 1, 501),
+                                        arrivalAt(5.0, 0, 502)};
+
+    JobService off_svc(off, arrivals);
+    JobService on_svc(on, arrivals);
+    ServiceReport off_report = off_svc.run();
+    ServiceReport on_report = on_svc.run();
+
+    // The low-priority job was parked exactly once, resumed, and both
+    // jobs finished: preemption loses no work.
+    EXPECT_EQ(on_report.jobs_preempted, 1u) << on_report.toJson();
+    EXPECT_EQ(on_report.jobs_resumed, 1u);
+    EXPECT_EQ(on_report.jobs_suspended_live, 0u);
+    EXPECT_EQ(off_report.jobs_preempted, 0u);
+    ASSERT_EQ(on_report.jobs_completed, 2u);
+    ASSERT_EQ(off_report.jobs_completed, 2u);
+    EXPECT_EQ(on_report.jobs_failed, 0u);
+
+    auto latencyOf = [](const JobService& svc, uint64_t seed) {
+        for (const JobService::JobOutcome& o : svc.outcomes()) {
+            if (o.arrival.job_seed == seed) {
+                return o.latency;
+            }
+        }
+        ADD_FAILURE() << "no outcome for seed " << seed;
+        return -1.0;
+    };
+    // The whole point: the high-priority arrival no longer waits out
+    // the victim's full runtime.
+    EXPECT_LT(latencyOf(on_svc, 502), latencyOf(off_svc, 502))
+        << on_report.toJson();
+
+    // The resumed victim's counters still conserve, and no slot leaked
+    // across the park/resume cycle.
+    for (const JobService::JobOutcome& o : on_svc.outcomes()) {
+        ASSERT_TRUE(o.completed) << "seed " << o.arrival.job_seed;
+        EXPECT_EQ(o.result.counters.conservationViolation(on.reducers),
+                  "")
+            << "seed " << o.arrival.job_seed;
+    }
+    for (const sim::Server& server : on_svc.cluster().servers()) {
+        EXPECT_EQ(server.busyMapSlots(), 0) << "server " << server.id();
+        EXPECT_EQ(server.busyReduceSlots(), 0)
+            << "server " << server.id();
+    }
+
+    // Same-spec determinism holds with preemption in the path.
+    JobService again(on, arrivals);
+    EXPECT_EQ(again.run().toJson(), on_report.toJson());
+}
+
+TEST(ServiceIntegrationTest, DeferHoldsLowPriorityWhileP0Active)
+{
+    // Both jobs would fit concurrently (2 + 2 of 10 reduce slots);
+    // only the defer gate keeps the p1 arrival out.
+    ServiceSpec spec = baseSpec();
+    spec.blocks = 120;
+    spec.reducers = 2;
+    spec.defer = true;
+    std::vector<JobArrival> arrivals = {arrivalAt(0.0, 0, 601),
+                                        arrivalAt(1.0, 1, 602)};
+
+    JobService svc(spec, arrivals);
+    ServiceReport report = svc.run();
+    EXPECT_EQ(report.jobs_deferred, 1u) << report.toJson();
+    ASSERT_EQ(report.jobs_completed, 2u);
+
+    double p0_finish = -1.0;
+    double p1_admit = -1.0;
+    for (const JobService::JobOutcome& o : svc.outcomes()) {
+        if (o.arrival.job_seed == 601) {
+            p0_finish = o.finish_time;
+        } else if (o.arrival.job_seed == 602) {
+            p1_admit = o.admit_time;
+        }
+    }
+    EXPECT_GE(p1_admit, p0_finish)
+        << "deferred job admitted while the p0 job was still active";
+
+    // Control: without the gate the p1 job admits immediately.
+    ServiceSpec nodefer = spec;
+    nodefer.defer = false;
+    JobService control(nodefer, arrivals);
+    ServiceReport creport = control.run();
+    EXPECT_EQ(creport.jobs_deferred, 0u);
+    for (const JobService::JobOutcome& o : control.outcomes()) {
+        if (o.arrival.job_seed == 602) {
+            EXPECT_LT(o.admit_time, 2.0)
+                << "control run unexpectedly delayed the p1 job";
+        }
+    }
+}
+
+TEST(ServiceIntegrationTest, DriverCrashFaultPlanRejected)
+{
+    // One driver hosts every tenant: a dcrash kill cannot be scoped to
+    // a job. The service refuses the spec up front, like server=.
+    ServiceSpec spec = baseSpec();
+    spec.fault_plan = ft::FaultPlan::parse("dcrash=10");
+    EXPECT_THROW(
+        {
+            JobService rejected(spec);
+            (void)rejected;
+        },
+        std::invalid_argument);
+}
+
 TEST(ServiceIntegrationTest, ExplicitArrivalValidation)
 {
     ServiceSpec spec = baseSpec();

@@ -36,7 +36,8 @@ TEST(ServiceSpecTest, EveryClauseParses)
     ServiceSpec spec = parseServiceSpec(
         "tenants=3,arrival=0.1,duration=900,seed=7,blocks=40,items=12,"
         "reducers=2,target=0.03,pressure=5,degrade=1.5,maxscale=6,"
-        "endgame=30,slo=120+300+0,workloads=wikilength+projectpop,"
+        "endgame=30,preempt=1,defer=1,slo=120+300+0,"
+        "workloads=wikilength+projectpop,"
         "cluster=atom60,straggler=0.2:6,crash=0.1");
     ASSERT_EQ(spec.tenants.size(), 3u);
     EXPECT_DOUBLE_EQ(spec.arrival_rate, 0.1);
@@ -50,6 +51,8 @@ TEST(ServiceSpecTest, EveryClauseParses)
     EXPECT_DOUBLE_EQ(spec.degrade_factor, 1.5);
     EXPECT_DOUBLE_EQ(spec.max_target_scale, 6.0);
     EXPECT_DOUBLE_EQ(spec.endgame_left_percent, 30.0);
+    EXPECT_TRUE(spec.preempt);
+    EXPECT_TRUE(spec.defer);
     EXPECT_DOUBLE_EQ(spec.tenants[0].slo_seconds, 120.0);
     EXPECT_DOUBLE_EQ(spec.tenants[1].slo_seconds, 300.0);
     EXPECT_DOUBLE_EQ(spec.tenants[2].slo_seconds, 0.0);
@@ -86,6 +89,8 @@ TEST(ServiceSpecTest, MalformedSpecsThrowLoudly)
         {"cluster=foo", "unknown cluster"},
         {"blocks=", "empty value"},
         {"crash=1.5", "out-of-range fault probability"},
+        {"preempt=2", "preempt is a boolean flag"},
+        {"defer=yes", "non-numeric defer"},
         {"seed", "clause without '='"},
     };
     for (const BadCase& c : cases) {
@@ -110,14 +115,33 @@ TEST(ServiceSpecTest, SummaryIsDeterministicAndEchoesKnobs)
     }
 }
 
+TEST(ServiceSpecTest, SummaryAppendsPreemptAndDeferOnlyWhenSet)
+{
+    // Off by default: the summary must stay byte-identical to what
+    // pre-preemption builds emitted (reports pin on these bytes).
+    std::string off = specSummary(parseServiceSpec("seed=3"));
+    EXPECT_EQ(off.find("preempt"), std::string::npos) << off;
+    EXPECT_EQ(off.find("defer"), std::string::npos) << off;
+
+    std::string on =
+        specSummary(parseServiceSpec("seed=3,preempt=1,defer=1"));
+    EXPECT_NE(on.find(",preempt=1"), std::string::npos) << on;
+    EXPECT_NE(on.find(",defer=1"), std::string::npos) << on;
+
+    // preempt=0 is valid input but still omitted from the summary.
+    std::string zero = specSummary(parseServiceSpec("preempt=0,defer=0"));
+    EXPECT_EQ(zero.find("preempt"), std::string::npos) << zero;
+    EXPECT_EQ(zero.find("defer"), std::string::npos) << zero;
+}
+
 TEST(ServiceSpecTest, HelpMentionsEveryClause)
 {
     std::string help = serviceSpecHelp();
     for (const char* key :
          {"tenants", "arrival", "duration", "seed", "blocks", "items",
           "reducers", "target", "pressure", "degrade", "maxscale",
-          "endgame", "slo", "workloads", "cluster", "straggler",
-          "crash"}) {
+          "endgame", "preempt", "defer", "slo", "workloads", "cluster",
+          "straggler", "crash"}) {
         EXPECT_NE(help.find(key), std::string::npos)
             << "spec help omits clause '" << key << "'";
     }

@@ -34,6 +34,7 @@
 #include "ft/fault_plan.h"
 #include "ft/recovery_policy.h"
 #include "hdfs/namenode.h"
+#include "journal/journal.h"
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "sim/cluster.h"
@@ -70,6 +71,9 @@ struct Options
     bool selfcheck = false;
     std::string report_json;  // --report-json FILE ("" = off)
     std::string trace_out;    // --trace-out FILE ("" = off)
+    std::string journal;      // --journal FILE ("" = off)
+    std::string resume;       // --resume FILE ("" = fresh run)
+    uint64_t journal_interval = 0;  // --journal-interval N
 };
 
 /**
@@ -141,6 +145,12 @@ usage()
         "                        (JSON; schema approxhadoop-job-report/1)\n"
         "  --trace-out FILE      write a Chrome trace-event timeline\n"
         "                        (load in chrome://tracing or Perfetto)\n"
+        "  --journal FILE        record a crash-consistent run journal\n"
+        "                        (aggregation apps only); required for\n"
+        "                        dcrash= fault plans, whose driver kills\n"
+        "                        restart and resume in-process\n"
+        "  --journal-interval N  also seal a journal epoch every N map\n"
+        "                        completions (0 = wave boundaries only)\n"
         "  --s3                  suspend drained servers (energy mode)\n"
         "  --top K               result rows to print (default 10)\n"
         "  --verbose             framework INFO logging\n"
@@ -149,7 +159,15 @@ usage()
         "                        registry (name, op, default shape)\n"
         "                        and exit 0\n"
         "\n"
-        "exit codes: 0 ok, 2 bad usage, 3 job failed (retries\n"
+        "  approxrun --resume FILE [--threads N] [--top K] [--verbose]\n"
+        "                        [--report-json F] [--trace-out F]\n"
+        "                        resume a journaled run after a driver\n"
+        "                        crash; every job-configuration knob is\n"
+        "                        read back from FILE and may not be\n"
+        "                        overridden\n"
+        "\n"
+        "exit codes: 0 ok, 2 bad usage (including an unreadable,\n"
+        "corrupt, or divergent journal), 3 job failed (retries\n"
         "exhausted), 4 selfcheck CI coverage failure\n",
         apps::aggregationWorkloadNames().c_str(),
         ft::FaultPlan::helpText().c_str());
@@ -401,6 +419,16 @@ parseArgs(int argc, char** argv, Options& opt)
             if (opt.trace_out.empty()) {
                 return badValue(arg, "a file path", "");
             }
+        } else if (arg == "--journal") {
+            opt.journal = value();
+            if (opt.journal.empty()) {
+                return badValue(arg, "a file path", "");
+            }
+        } else if (arg == "--journal-interval") {
+            const char* v = value();
+            if (!parseUint64(v, opt.journal_interval)) {
+                return badValue(arg, "a non-negative integer", v);
+            }
         } else if (arg == "--selfcheck") {
             opt.selfcheck = true;
         } else if (arg == "--s3") {
@@ -477,6 +505,87 @@ sim::ClusterConfig
 clusterConfigFor(const Options& opt)
 {
     return sim::ClusterConfig::parse(opt.cluster);
+}
+
+/**
+ * Journal header for this invocation: everything `approxrun --resume`
+ * needs to re-execute the run bit-identically. @p blocks / @p items are
+ * the *resolved* input shape (workload defaults applied), so the resumed
+ * run never re-consults defaults that may have changed.
+ */
+journal::RunSpec
+makeRunSpec(const Options& opt, uint64_t blocks, uint64_t items,
+            const mr::JobConfig& config)
+{
+    journal::RunSpec s;
+    s.app = opt.app;
+    s.precise = opt.precise;
+    s.blocks = blocks;
+    s.items = items;
+    s.seed = opt.seed;
+    s.reducers = opt.reducers;
+    s.threads = opt.threads;
+    s.cluster = opt.cluster;
+    s.sampling = opt.approx.sampling_ratio;
+    s.drop = opt.approx.drop_ratio;
+    s.has_target = opt.approx.target_relative_error.has_value();
+    s.target = opt.approx.target_relative_error.value_or(0.0);
+    s.confidence = opt.approx.confidence;
+    s.pilot_maps = opt.approx.pilot.enabled ? opt.approx.pilot.maps : 0;
+    s.pilot_ratio = opt.approx.pilot.sampling_ratio;
+    s.s3 = opt.s3;
+    s.failure_mode = ft::toString(opt.failure_mode);
+    s.max_attempts = config.recovery.max_attempts;
+    s.checkpoint_interval = config.reducer_checkpoint_interval;
+    s.heartbeat_ms = config.heartbeat_interval_ms;
+    s.timeout_ms = config.task_timeout_ms;
+    s.fault_plan = opt.fault_plan.spec();
+    s.endgame_left_percent = config.endgame_left_percent;
+    s.map_interval = opt.journal_interval;
+    return s;
+}
+
+/** Inverse of makeRunSpec: reconstructs the full CLI configuration of
+ *  the journaled run. @throws std::invalid_argument on a header naming
+ *  an unknown failure mode or fault-plan key. */
+Options
+optionsFromSpec(const journal::RunSpec& spec)
+{
+    Options opt;
+    opt.app = spec.app;
+    opt.precise = spec.precise;
+    opt.blocks = spec.blocks;
+    opt.items = spec.items;
+    opt.seed = spec.seed;
+    opt.reducers = spec.reducers;
+    opt.threads = spec.threads;
+    opt.cluster = spec.cluster;
+    opt.approx.sampling_ratio = spec.sampling;
+    opt.approx.drop_ratio = spec.drop;
+    if (spec.has_target) {
+        opt.approx.target_relative_error = spec.target;
+    }
+    opt.approx.confidence = spec.confidence;
+    if (spec.pilot_maps > 0) {
+        opt.approx.pilot.enabled = true;
+        opt.approx.pilot.maps = spec.pilot_maps;
+        opt.approx.pilot.sampling_ratio = spec.pilot_ratio;
+    }
+    opt.s3 = spec.s3;
+    opt.failure_mode = ft::parseFailureMode(spec.failure_mode);
+    opt.max_attempts = spec.max_attempts;
+    opt.max_attempts_set = true;
+    opt.checkpoint_interval = spec.checkpoint_interval;
+    opt.checkpoint_set = true;
+    opt.heartbeat_interval_ms = spec.heartbeat_ms;
+    opt.heartbeat_set = true;
+    opt.task_timeout_ms = spec.timeout_ms;
+    opt.timeout_set = true;
+    if (!spec.fault_plan.empty()) {
+        opt.fault_plan = ft::FaultPlan::parse(spec.fault_plan);
+    }
+    opt.journal_interval = spec.map_interval;
+    return opt;
 }
 
 bool
@@ -565,31 +674,75 @@ runAggregationWorkload(const Options& opt,
 {
     uint64_t blocks = opt.blocks ? opt.blocks : workload.default_blocks;
     uint64_t items = opt.items ? opt.items : workload.default_items;
-    std::unique_ptr<hdfs::BlockDataset> data =
-        workload.make_dataset(blocks, items, opt.seed);
-    mr::JobConfig config = workload.job_config(items, opt.reducers);
-    applyCommonConfig(opt, config);
-    sim::Cluster cluster(clusterConfigFor(opt));
-    hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
-    core::ApproxJobRunner runner(cluster, *data, nn);
-    runner.setObservability(g_obs.get());
-    mr::JobResult result =
-        opt.precise
-            ? runner.runPrecise(config, workload.mapper_factory(),
-                                workload.precise_reducer_factory())
-            : runner.runAggregation(config, opt.approx,
-                                    workload.mapper_factory(), workload.op);
-    printResult(opt, result);
-    if (g_obs != nullptr) {
-        emitObsArtifacts(opt, obs::JobReport::build(opt.app, config, result,
-                                                    g_obs.get()));
+
+    // Crash-consistent journaling (src/journal/): record mode seals the
+    // run spec up front; resume mode reloads the sealed prefix and
+    // verifies the re-executed run against it epoch by epoch. A dcrash=
+    // fault unwinds the attempt with DriverKilledError; the loop below
+    // then resumes from the journal exactly like a freshly launched
+    // `approxrun --resume FILE` after a real process kill.
+    std::string journal_path =
+        !opt.resume.empty() ? opt.resume : opt.journal;
+    std::unique_ptr<journal::JobJournal> jj;
+    if (!opt.resume.empty()) {
+        jj = journal::JobJournal::resumeFile(journal_path);
+    } else if (!opt.journal.empty()) {
+        mr::JobConfig probe = workload.job_config(items, opt.reducers);
+        applyCommonConfig(opt, probe);
+        jj = journal::JobJournal::create(
+            journal_path, makeRunSpec(opt, blocks, items, probe));
     }
-    if (opt.selfcheck && !opt.precise) {
-        mr::JobResult precise = apps::runPreciseReference(
-            workload, *data, config, clusterConfigFor(opt), opt.seed);
-        return selfcheckAgainst(result, precise);
+
+    for (;;) {
+        std::unique_ptr<hdfs::BlockDataset> data =
+            workload.make_dataset(blocks, items, opt.seed);
+        mr::JobConfig config = workload.job_config(items, opt.reducers);
+        applyCommonConfig(opt, config);
+        if (jj != nullptr) {
+            config.driver_crash_skip = jj->resumeCount();
+            config.journal_map_interval = jj->spec().map_interval;
+        }
+        sim::Cluster cluster(clusterConfigFor(opt));
+        hdfs::NameNode nn(cluster.numServers(), 3, opt.seed);
+        core::ApproxJobRunner runner(cluster, *data, nn);
+        runner.setObservability(g_obs.get());
+        runner.setEpochSink(jj.get());
+        mr::JobResult result;
+        try {
+            result = opt.precise
+                         ? runner.runPrecise(
+                               config, workload.mapper_factory(),
+                               workload.precise_reducer_factory())
+                         : runner.runAggregation(config, opt.approx,
+                                                 workload.mapper_factory(),
+                                                 workload.op);
+        } catch (const journal::DriverKilledError& e) {
+            std::fprintf(stderr, "%s; resuming from journal '%s'\n",
+                         e.what(), journal_path.c_str());
+            // Close the dead incarnation's journal handle before
+            // re-reading the file, and drop its partial observability:
+            // resume re-executes from the start, so the next attempt
+            // produces the complete trace on its own.
+            jj.reset();
+            jj = journal::JobJournal::resumeFile(journal_path);
+            if (g_obs != nullptr) {
+                g_obs = std::make_unique<obs::Observability>();
+            }
+            continue;
+        }
+        printResult(opt, result);
+        if (g_obs != nullptr) {
+            emitObsArtifacts(opt, obs::JobReport::build(opt.app, config,
+                                                        result,
+                                                        g_obs.get()));
+        }
+        if (opt.selfcheck && !opt.precise) {
+            mr::JobResult precise = apps::runPreciseReference(
+                workload, *data, config, clusterConfigFor(opt), opt.seed);
+            return selfcheckAgainst(result, precise);
+        }
+        return kExitOk;
     }
-    return kExitOk;
 }
 
 int
@@ -599,6 +752,17 @@ runApp(const Options& opt)
     if (const apps::AggregationWorkload* workload =
             apps::findAggregationWorkload(opt.app)) {
         return runAggregationWorkload(opt, *workload);
+    }
+
+    // Journaling covers the registry aggregation workloads only: those
+    // are the jobs the chaos harness kills and resumes, and the only
+    // ones whose full configuration round-trips through a RunSpec.
+    if (!opt.journal.empty() || !opt.resume.empty()) {
+        std::fprintf(stderr,
+                     "--journal/--resume support the registry aggregation "
+                     "workloads only, not '%s'\n",
+                     opt.app.c_str());
+        return kExitBadUsage;
     }
 
     // --- DC Placement (GEV) ---------------------------------------------------
@@ -668,19 +832,11 @@ runApp(const Options& opt)
     return kExitBadUsage;
 }
 
-}  // namespace
-
+/** Shared tail of main(): logging, observability, dispatch, and the
+ *  failure-class exit-code mapping. */
 int
-main(int argc, char** argv)
+runWithOptions(const Options& opt)
 {
-    if (argc >= 2 && std::string(argv[1]) == "--list-workloads") {
-        return listWorkloads();
-    }
-    Options opt;
-    if (!parseArgs(argc, argv, opt)) {
-        usage();
-        return kExitBadUsage;
-    }
     Logger::instance().setLevel(opt.verbose ? LogLevel::kInfo
                                             : LogLevel::kWarn);
     if (!opt.report_json.empty() || !opt.trace_out.empty()) {
@@ -708,10 +864,112 @@ main(int argc, char** argv)
                                  g_obs.get()));
         }
         return kExitJobFailed;
+    } catch (const journal::JournalError& e) {
+        // Unreadable/corrupt journal, or a resumed run diverging from
+        // its sealed prefix: bad input, never a crash.
+        std::fprintf(stderr, "journal error: %s\n", e.what());
+        return kExitBadUsage;
     } catch (const std::invalid_argument& e) {
         // Config rejected at job start (e.g. `server=ID` outside the
         // fleet): a usage error, not a runtime failure.
         std::fprintf(stderr, "config error: %s\n", e.what());
         return kExitBadUsage;
     }
+}
+
+/**
+ * `approxrun --resume FILE [...]`: reconstruct the full configuration
+ * from the journal header, then run it through the normal dispatch. Only
+ * presentation knobs (and --threads, which never changes results) may be
+ * given — everything that shapes the job is journaled and authoritative.
+ */
+int
+resumeMain(int argc, char** argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "missing value for --resume\n");
+        usage();
+        return kExitBadUsage;
+    }
+    Options opt;
+    try {
+        journal::LoadedJournal loaded =
+            journal::parseJournal(journal::readJournalFile(argv[2]));
+        opt = optionsFromSpec(loaded.spec);
+    } catch (const journal::JournalError& e) {
+        std::fprintf(stderr, "journal error: %s\n", e.what());
+        return kExitBadUsage;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "journal error: header invalid: %s\n",
+                     e.what());
+        return kExitBadUsage;
+    }
+    opt.resume = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(kExitBadUsage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            const char* v = value();
+            if (!parseUint32(v, 1, 1024, opt.threads)) {
+                badValue(arg, "an integer in [1, 1024]", v);
+                return kExitBadUsage;
+            }
+        } else if (arg == "--top") {
+            const char* v = value();
+            uint32_t top = 0;
+            if (!parseUint32(v, 0, 1000000, top)) {
+                badValue(arg, "a non-negative integer", v);
+                return kExitBadUsage;
+            }
+            opt.top = static_cast<int>(top);
+        } else if (arg == "--report-json") {
+            opt.report_json = value();
+        } else if (arg == "--trace-out") {
+            opt.trace_out = value();
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "%s cannot be combined with --resume: the job "
+                         "configuration is read back from the journal\n",
+                         arg.c_str());
+            return kExitBadUsage;
+        }
+    }
+    return runWithOptions(opt);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc >= 2 && std::string(argv[1]) == "--list-workloads") {
+        return listWorkloads();
+    }
+    if (argc >= 2 && std::string(argv[1]) == "--resume") {
+        return resumeMain(argc, argv);
+    }
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return kExitBadUsage;
+    }
+    if (opt.fault_plan.hasDriverCrash() && opt.journal.empty()) {
+        std::fprintf(stderr,
+                     "--fault-plan dcrash= requires --journal FILE: "
+                     "driver-crash recovery resumes from the journal\n");
+        return kExitBadUsage;
+    }
+    if (opt.journal_interval != 0 && opt.journal.empty()) {
+        std::fprintf(stderr, "--journal-interval requires --journal\n");
+        return kExitBadUsage;
+    }
+    return runWithOptions(opt);
 }

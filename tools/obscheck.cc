@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "journal/journal.h"
+#include "mapreduce/counters.h"
 #include "obs/json.h"
 
 using namespace approxhadoop;
@@ -36,11 +38,11 @@ void
 usage()
 {
     std::printf("usage: obscheck [--report FILE] [--trace FILE] "
-                "[--service-report FILE]\n"
+                "[--service-report FILE] [--journal FILE]\n"
                 "\n"
-                "validates approxrun --report-json, --trace-out, and\n"
-                "approxsvc --report-json artifacts; at least one flag\n"
-                "is required\n"
+                "validates approxrun --report-json, --trace-out,\n"
+                "approxsvc --report-json, and approxrun --journal\n"
+                "artifacts; at least one flag is required\n"
                 "\n"
                 "exit codes: 0 valid, 1 validation failure, 2 bad "
                 "usage/unreadable file\n");
@@ -323,6 +325,128 @@ checkTrace(const std::string& path, Checker& check)
                   "trace: no 'M' metadata events (track names missing)");
 }
 
+/**
+ * Validates a --journal file: framing and checksum stamps (via
+ * parseJournal), RunSpec sanity, consecutive non-marker epoch indices,
+ * a non-decreasing simulated clock, monotone progress counters, resume
+ * marker ordinals, and — when the run sealed its final epoch — the
+ * counter conservation identities. A torn trailing frame is reported
+ * but is NOT a failure: it is the expected artifact of a killed driver.
+ */
+void
+checkJournal(const std::string& path, Checker& check)
+{
+    std::string bytes;
+    try {
+        bytes = journal::readJournalFile(path);
+    } catch (const journal::JournalError& e) {
+        std::fprintf(stderr, "obscheck: %s\n", e.what());
+        std::exit(kExitBadUsage);
+    }
+    journal::LoadedJournal loaded;
+    try {
+        loaded = journal::parseJournal(bytes);
+    } catch (const journal::JournalError& e) {
+        check.fail("journal " + path + ": " + e.what());
+        return;
+    }
+    if (loaded.torn_tail) {
+        std::printf("obscheck: journal %s has a torn trailing frame "
+                    "(killed driver); sealed prefix is %llu bytes\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(loaded.sealed_bytes));
+    }
+
+    const journal::RunSpec& spec = loaded.spec;
+    check.require(!spec.app.empty(), "journal: RunSpec.app is empty");
+    check.require(spec.blocks >= 1, "journal: RunSpec.blocks must be >= 1");
+    check.require(spec.items >= 1, "journal: RunSpec.items must be >= 1");
+    check.require(spec.reducers >= 1,
+                  "journal: RunSpec.reducers must be >= 1");
+    check.require(spec.threads >= 1,
+                  "journal: RunSpec.threads must be >= 1");
+
+    uint64_t expect_index = 0;
+    uint32_t markers = 0;
+    double last_sim = 0.0;
+    uint64_t last_completed = 0;
+    uint64_t last_terminal = 0;
+    const journal::Epoch* final_epoch = nullptr;
+    const journal::Epoch* last_nonmarker = nullptr;
+    for (size_t i = 0; i < loaded.epochs.size(); ++i) {
+        const journal::Epoch& e = loaded.epochs[i];
+        std::string at = "journal: epoch frame " + std::to_string(i);
+        check.require(e.sim_time >= last_sim,
+                      at + ": sim_time runs backwards (" +
+                          std::to_string(e.sim_time) + " after " +
+                          std::to_string(last_sim) + ")");
+        last_sim = e.sim_time;
+
+        if (e.kind == journal::Epoch::kResumeMarker) {
+            ++markers;
+            check.require(e.index == markers,
+                          at + ": resume marker ordinal " +
+                              std::to_string(e.index) + ", expected " +
+                              std::to_string(markers));
+            continue;
+        }
+        check.require(e.index == expect_index,
+                      at + ": epoch index " + std::to_string(e.index) +
+                          ", expected " + std::to_string(expect_index));
+        ++expect_index;
+        if (e.kind == journal::Epoch::kWave) {
+            check.require(e.wave >= 0, at + ": wave epoch without a "
+                                            "wave number");
+        } else {
+            check.require(e.wave == -1,
+                          at + ": non-wave epoch carries wave " +
+                              std::to_string(e.wave));
+        }
+        check.require(e.maps_completed <= e.maps_terminal,
+                      at + ": maps_completed exceeds maps_terminal");
+        check.require(e.maps_completed >= last_completed &&
+                          e.maps_terminal >= last_terminal,
+                      at + ": map progress runs backwards");
+        last_completed = e.maps_completed;
+        last_terminal = e.maps_terminal;
+        check.require(e.reducer_records.size() == spec.reducers,
+                      at + ": reducer_records has " +
+                          std::to_string(e.reducer_records.size()) +
+                          " entries for " + std::to_string(spec.reducers) +
+                          " reducers");
+        if (e.kind == journal::Epoch::kFinal) {
+            check.require(final_epoch == nullptr,
+                          at + ": second kFinal epoch");
+            final_epoch = &e;
+        } else {
+            check.require(final_epoch == nullptr,
+                          at + ": epoch after the kFinal seal");
+        }
+        last_nonmarker = &e;
+    }
+    check.require(markers == loaded.resume_markers,
+                  "journal: marker count disagrees with parse result");
+
+    if (final_epoch != nullptr) {
+        check.require(final_epoch == last_nonmarker,
+                      "journal: kFinal epoch is not the last");
+        try {
+            mr::Counters c =
+                mr::Counters::deserialize(final_epoch->counters_blob);
+            check.require(c.maps_completed == final_epoch->maps_completed,
+                          "journal: final epoch maps_completed disagrees "
+                          "with its counters blob");
+            std::string violation =
+                c.conservationViolation(spec.reducers);
+            check.require(violation.empty(),
+                          "journal: final epoch counters: " + violation);
+        } catch (const std::exception& e) {
+            check.fail(std::string("journal: final epoch counters blob: ") +
+                       e.what());
+        }
+    }
+}
+
 }  // namespace
 
 int
@@ -331,6 +455,7 @@ main(int argc, char** argv)
     std::string report_path;
     std::string trace_path;
     std::string service_path;
+    std::string journal_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--report" && i + 1 < argc) {
@@ -339,13 +464,15 @@ main(int argc, char** argv)
             trace_path = argv[++i];
         } else if (arg == "--service-report" && i + 1 < argc) {
             service_path = argv[++i];
+        } else if (arg == "--journal" && i + 1 < argc) {
+            journal_path = argv[++i];
         } else {
             usage();
             return kExitBadUsage;
         }
     }
     if (report_path.empty() && trace_path.empty() &&
-        service_path.empty()) {
+        service_path.empty() && journal_path.empty()) {
         usage();
         return kExitBadUsage;
     }
@@ -359,12 +486,16 @@ main(int argc, char** argv)
     if (!service_path.empty()) {
         checkServiceReport(service_path, check);
     }
+    if (!journal_path.empty()) {
+        checkJournal(journal_path, check);
+    }
     if (check.failures > 0) {
         return kExitInvalid;
     }
-    std::printf("obscheck OK:%s%s%s\n",
+    std::printf("obscheck OK:%s%s%s%s\n",
                 report_path.empty() ? "" : (" " + report_path).c_str(),
                 trace_path.empty() ? "" : (" " + trace_path).c_str(),
-                service_path.empty() ? "" : (" " + service_path).c_str());
+                service_path.empty() ? "" : (" " + service_path).c_str(),
+                journal_path.empty() ? "" : (" " + journal_path).c_str());
     return kExitOk;
 }
